@@ -1,0 +1,137 @@
+//! Criterion benches for kernel runtime — the §5.3/§5.4 comparisons
+//! (E11–E14, E16) at criterion-grade statistical rigor.
+//!
+//! Each bench sorts a fixed pseudo-random workload of 256 arrays; the
+//! reported time is per workload pass. Kernels execute as native JIT code
+//! on x86-64 and through the interpreter elsewhere.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_kernels::{
+    baselines, network_kernel, quicksort_with, reference, standalone_inputs, Kernel,
+};
+
+fn workload(n: usize) -> Vec<Vec<i32>> {
+    standalone_inputs(n, 256, 0xBE7C4)
+}
+
+fn run_kernel(kernel: &Kernel, inputs: &[Vec<i32>], buf: &mut Vec<i32>) {
+    for input in inputs {
+        buf.clear();
+        buf.extend_from_slice(input);
+        kernel.sort(buf);
+        std::hint::black_box(buf.first().copied());
+    }
+}
+
+fn bench_standalone_n3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("standalone_n3");
+    let inputs = workload(3);
+    let mut contestants: Vec<Kernel> = Vec::new();
+    let (m, p) = reference::paper_synth_cmov3();
+    contestants.push(Kernel::from_program("enum", &m, p));
+    let (m, p) = reference::alphadev_cmov3();
+    contestants.push(Kernel::from_program("alphadev", &m, p));
+    let (m, p) = reference::enum_worst_cmov3();
+    contestants.push(Kernel::from_program("enum_worst", &m, p));
+    let (m, p) = network_kernel(3, IsaMode::Cmov);
+    contestants.push(Kernel::from_program("network", &m, p));
+    for sorter in baselines::native3() {
+        contestants.push(Kernel::native(sorter));
+    }
+    let mut buf = Vec::new();
+    for kernel in &contestants {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| run_kernel(kernel, &inputs, &mut buf))
+        });
+    }
+    group.finish();
+}
+
+fn bench_standalone_minmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("standalone_minmax");
+    let mut buf = Vec::new();
+    let entries: Vec<(usize, Kernel)> = vec![
+        (3, {
+            let (m, p) = reference::paper_synth_minmax3();
+            Kernel::from_program("minmax3_synth", &m, p)
+        }),
+        (3, {
+            let (m, p) = network_kernel(3, IsaMode::MinMax);
+            Kernel::from_program("minmax3_network", &m, p)
+        }),
+        (5, {
+            let (m, p) = reference::enum_minmax5();
+            Kernel::from_program("minmax5_synth23", &m, p)
+        }),
+        (5, {
+            let (m, p) = network_kernel(5, IsaMode::MinMax);
+            Kernel::from_program("minmax5_network27", &m, p)
+        }),
+    ];
+    for (n, kernel) in &entries {
+        let inputs = workload(*n);
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| run_kernel(kernel, &inputs, &mut buf))
+        });
+    }
+    group.finish();
+}
+
+fn bench_n5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("standalone_n5");
+    let inputs = workload(5);
+    let mut buf = Vec::new();
+    let (m, p) = reference::enum_cmov5();
+    let enum5 = Kernel::from_program("enum33", &m, p);
+    let (m, p) = network_kernel(5, IsaMode::Cmov);
+    let network5 = Kernel::from_program("network36", &m, p);
+    let swap5 = Kernel::native(sortsynth_kernels::NativeSorter {
+        name: "swap",
+        n: 5,
+        sort: baselines::swap5,
+    });
+    let std5 = Kernel::native(sortsynth_kernels::NativeSorter {
+        name: "std",
+        n: 5,
+        sort: baselines::std_sort5,
+    });
+    for kernel in [&enum5, &network5, &swap5, &std5] {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| run_kernel(kernel, &inputs, &mut buf))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quicksort_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quicksort_embedded_n3");
+    group.sample_size(20);
+    let inputs = sortsynth_kernels::embedded_inputs(8, 4096, 0xD1CE);
+    let (m, p) = reference::paper_synth_cmov3();
+    let enum3 = Kernel::from_program("enum", &m, p);
+    let std3 = Kernel::native(baselines::native3().into_iter().find(|s| s.name == "std").expect("std exists"));
+    let mut buf: Vec<i32> = Vec::new();
+    for kernel in [&enum3, &std3] {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                for input in &inputs {
+                    buf.clear();
+                    buf.extend_from_slice(input);
+                    quicksort_with(kernel, &mut buf);
+                    std::hint::black_box(buf.first().copied());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_standalone_n3,
+    bench_standalone_minmax,
+    bench_n5,
+    bench_quicksort_embedding
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benches for synthesis time (the timing-sensitive rows of the
+//! §5.2 tables: E4 headline, E9 ablation highlights, E10 cut factors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_plan::{encode_synthesis, solve, PlanLimits, PlanStrategy};
+use sortsynth_search::{synthesize, Cut, Heuristic, Strategy, SynthesisConfig};
+use sortsynth_solvers::{smt_perm, Budget, EncodeOptions};
+
+fn bench_enum_best(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enum_best");
+    group.sample_size(10);
+    for n in [2u8, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let machine = Machine::new(n, 1, IsaMode::Cmov);
+            b.iter(|| {
+                let result = synthesize(&SynthesisConfig::best(machine.clone()));
+                assert!(result.found_len.is_some());
+                result.stats.generated
+            });
+        });
+    }
+    // n = 4 is ~2.5 s per run; ten samples documents the headline number.
+    group.bench_function("4", |b| {
+        let machine = Machine::new(4, 1, IsaMode::Cmov);
+        b.iter(|| synthesize(&SynthesisConfig::best(machine.clone())).found_len)
+    });
+    group.finish();
+}
+
+fn bench_enum_minmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enum_minmax");
+    group.sample_size(10);
+    for n in [3u8, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let machine = Machine::new(n, 1, IsaMode::MinMax);
+            b.iter(|| synthesize(&SynthesisConfig::best(machine.clone())).found_len)
+        });
+    }
+    group.finish();
+}
+
+fn bench_cut_factors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_factor_n3");
+    group.sample_size(10);
+    for k in [1.0f64, 1.5, 2.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let machine = Machine::new(3, 1, IsaMode::Cmov);
+            b.iter(|| {
+                synthesize(&SynthesisConfig::best(machine.clone()).cut(Cut::Factor(k))).found_len
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("astar_heuristic_n3");
+    group.sample_size(10);
+    for (name, h) in [
+        ("perm_count", Heuristic::PermCount),
+        ("assign_count", Heuristic::AssignCount),
+    ] {
+        group.bench_function(name, |b| {
+            let machine = Machine::new(3, 1, IsaMode::Cmov);
+            b.iter(|| {
+                let cfg = SynthesisConfig::new(machine.clone())
+                    .strategy(Strategy::AStar { heuristic: h })
+                    .budget_viability(true)
+                    .optimal_instrs_only(true)
+                    .cut(Cut::Factor(1.0));
+                synthesize(&cfg).found_len
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines_n2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_n2");
+    group.sample_size(10);
+    group.bench_function("smt_perm", |b| {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        b.iter(|| smt_perm(&machine, 4, EncodeOptions::default(), Budget::default()).0)
+    });
+    group.bench_function("planner_bfs", |b| {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        b.iter(|| {
+            let (problem, _, _) = encode_synthesis(&machine);
+            solve(&problem, PlanStrategy::Bfs, PlanLimits::default()).expanded
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_enum_best,
+    bench_enum_minmax,
+    bench_cut_factors,
+    bench_heuristics,
+    bench_baselines_n2
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! E6: §5.2 CP back-end and goal-formulation tables.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::cp::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E10: §5.2 cut-factor sweep.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::cut_sweep::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E12: §5.3 quicksort/mergesort-embedded runtime, n = 3.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::runtime::run_embedded_n3(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E9: §5.2 enumerative-approach ablation table.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::ablation::run(&cfg);
+}

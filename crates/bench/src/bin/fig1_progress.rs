@@ -1,0 +1,5 @@
+//! E2: Figure 1 — open states and solutions over time (n = 4, k = 1).
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::fig1::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E3: Figure 2 — t-SNE of the n = 3 solution space per cut factor.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::fig2::run(&cfg);
+}

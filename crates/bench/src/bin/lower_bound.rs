@@ -1,0 +1,5 @@
+//! E15: §5.3 kernel-length lower bounds.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::lower_bound::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E16: §5.4 min/max kernel table.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::minmax::run(&cfg);
+}

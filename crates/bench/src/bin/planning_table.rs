@@ -1,0 +1,5 @@
+//! E8: §5.2 planning table (Plan-Parallel × planners).
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::planning::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Runs every experiment in sequence and writes all CSV artifacts.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::run_all(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E11: §5.3 standalone kernel runtime, n = 3.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::runtime::run_standalone_n3(&cfg);
+}

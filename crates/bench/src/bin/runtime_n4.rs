@@ -1,0 +1,5 @@
+//! E13: §5.3 kernel runtime, n = 4 (standalone + quicksort).
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::runtime::run_n4(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E14: §5.3 kernel runtime, n = 5 (requires SORTSYNTH_N5=1).
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::runtime::run_n5(&cfg);
+}

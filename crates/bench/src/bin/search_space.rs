@@ -1,0 +1,5 @@
+//! E1/E17: the §5.1 search-space structure table.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::search_space::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E5: §5.2 SMT table (SMT-Perm, SMT-CEGIS variants).
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::smt::run(&cfg);
+}

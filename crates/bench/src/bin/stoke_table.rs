@@ -1,0 +1,5 @@
+//! E7: §5.2 stochastic-search (STOKE) table.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::stoke_table::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E4: §5.2 headline synthesis-time table (Enum vs AlphaDev).
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::synthesis_time::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! E18: static throughput prediction (uiCA-style pipeline model).
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::throughput::run(&cfg);
+}

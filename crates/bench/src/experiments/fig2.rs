@@ -1,0 +1,106 @@
+//! E3 — Figure 2: t-SNE visualization of the n = 3 solution space under
+//! different cut factors.
+//!
+//! Solutions are featurized as one-hot instruction matrices (step × action),
+//! embedded with exact t-SNE, and written as CSV point clouds tagged by the
+//! smallest cut factor that still retains the solution (the paper colors
+//! k = ∞ / 2 / 1.5 / 1 in blue/orange/green/red).
+
+use std::collections::HashSet;
+
+use sortsynth_isa::{IsaMode, Machine, Program};
+use sortsynth_search::{synthesize, Cut, SynthesisConfig};
+use sortsynth_tsne::{Tsne, TsneConfig};
+
+use crate::util::{time, BenchConfig, Table};
+
+fn all_solutions(machine: &Machine, cut: Option<Cut>) -> Vec<Program> {
+    let mut cfg = SynthesisConfig::new(machine.clone())
+        .budget_viability(true)
+        .all_solutions(true)
+        .max_len(11);
+    if let Some(c) = cut {
+        cfg = cfg.cut(c);
+    }
+    synthesize(&cfg).dag.programs(usize::MAX)
+}
+
+/// One-hot featurization: `len × |actions|` indicator matrix, flattened.
+fn featurize(machine: &Machine, prog: &Program) -> Vec<f64> {
+    let actions = machine.actions();
+    let mut features = vec![0.0f64; prog.len() * actions.len()];
+    for (t, instr) in prog.iter().enumerate() {
+        let a = actions
+            .iter()
+            .position(|x| x == instr)
+            .expect("solutions use canonical actions");
+        features[t * actions.len() + a] = 1.0;
+    }
+    features
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &BenchConfig) {
+    println!("== E3 (Figure 2): t-SNE of the n = 3 solution space ==");
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+
+    let (full, t_full) = time(|| all_solutions(&machine, None));
+    let (k15, _) = time(|| all_solutions(&machine, Some(Cut::Factor(1.5))));
+    let (k1, _) = time(|| all_solutions(&machine, Some(Cut::Factor(1.0))));
+    let (k2, _) = time(|| all_solutions(&machine, Some(Cut::Factor(2.0))));
+    println!(
+        "solutions: no cut {} ({} to enumerate), k=2 {}, k=1.5 {}, k=1 {}",
+        full.len(),
+        crate::util::fmt_duration(t_full),
+        k2.len(),
+        k15.len(),
+        k1.len()
+    );
+
+    let set15: HashSet<&Program> = k15.iter().collect();
+    let set1: HashSet<&Program> = k1.iter().collect();
+    let set2: HashSet<&Program> = k2.iter().collect();
+
+    // Exact t-SNE is O(N²); embed an evenly spaced sample in default mode
+    // and everything in SORTSYNTH_FULL mode.
+    let sample_cap = if cfg.full {
+        full.len()
+    } else if cfg.quick {
+        200
+    } else {
+        1200
+    };
+    let step = (full.len().max(1)).div_ceil(sample_cap.max(1)).max(1);
+    let sample: Vec<&Program> = full.iter().step_by(step).collect();
+    println!("embedding {} of {} solutions (O(N^2) exact t-SNE)", sample.len(), full.len());
+
+    let features: Vec<Vec<f64>> = sample.iter().map(|p| featurize(&machine, p)).collect();
+    let tsne = Tsne::new(TsneConfig {
+        perplexity: 50.0_f64.min(sample.len() as f64 / 4.0),
+        iterations: if cfg.quick { 100 } else { 300 },
+        learning_rate: 10.0,
+        ..TsneConfig::default()
+    });
+    let (embedding, t_embed) = time(|| tsne.embed(&features));
+    println!("t-SNE done in {}", crate::util::fmt_duration(t_embed));
+
+    let mut table = Table::new(&["x", "y", "retained_by"]);
+    for (point, prog) in embedding.iter().zip(&sample) {
+        let tag = if set1.contains(*prog) {
+            "k=1"
+        } else if set15.contains(*prog) {
+            "k=1.5"
+        } else if set2.contains(*prog) {
+            "k=2"
+        } else {
+            "no-cut-only"
+        };
+        table.row_strings(vec![
+            format!("{:.4}", point[0]),
+            format!("{:.4}", point[1]),
+            tag.into(),
+        ]);
+    }
+    table.write_csv(&cfg.ensure_out_dir().join("e03_fig2_tsne.csv"));
+    println!("(paper: 5602 solutions, k=2 keeps all, k=1.5 keeps 838, k=1 keeps 222)");
+}

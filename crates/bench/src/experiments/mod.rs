@@ -1,0 +1,56 @@
+//! One module per paper artifact; see DESIGN.md's experiment index for the
+//! table/figure ↔ module mapping.
+
+pub mod ablation;
+pub mod cp;
+pub mod cut_sweep;
+pub mod fig1;
+pub mod fig2;
+pub mod lower_bound;
+pub mod minmax;
+pub mod planning;
+pub mod runtime;
+pub mod search_space;
+pub mod smt;
+pub mod stoke_table;
+pub mod synthesis_time;
+pub mod throughput;
+
+use crate::util::BenchConfig;
+
+/// Runs every experiment in sequence (the `run_all` binary).
+pub fn run_all(cfg: &BenchConfig) {
+    search_space::run(cfg);
+    println!();
+    synthesis_time::run(cfg);
+    println!();
+    ablation::run(cfg);
+    println!();
+    cut_sweep::run(cfg);
+    println!();
+    fig1::run(cfg);
+    println!();
+    fig2::run(cfg);
+    println!();
+    smt::run(cfg);
+    println!();
+    cp::run(cfg);
+    println!();
+    stoke_table::run(cfg);
+    println!();
+    planning::run(cfg);
+    println!();
+    runtime::run_standalone_n3(cfg);
+    println!();
+    runtime::run_embedded_n3(cfg);
+    println!();
+    runtime::run_n4(cfg);
+    println!();
+    runtime::run_n5(cfg);
+    println!();
+    minmax::run(cfg);
+    println!();
+    throughput::run(cfg);
+    println!();
+    lower_bound::run(cfg);
+}

@@ -1,0 +1,340 @@
+//! E11–E14 — §5.3: kernel runtime benchmarks.
+//!
+//! Standalone (random length-n arrays, values in ±10000) and embedded
+//! (kernels as the base case of quicksort/mergesort over arrays of random
+//! length) comparisons between synthesized kernels, reconstructions of the
+//! published contestants, and hand-written baselines. Kernels run as native
+//! JIT-compiled machine code on x86-64.
+
+use sortsynth_isa::{sampling_score, InstrMix, IsaMode, Machine, Program};
+use sortsynth_kernels::{
+    baselines, embedded_inputs, mergesort_with, network_to_cmov, optimal_network,
+    quicksort_with, reference, standalone_inputs, Kernel,
+};
+use sortsynth_search::{
+    sample_lowest_strata, score_strata, synthesize, Cut, SynthesisConfig,
+};
+
+use crate::util::{bench_sort, fmt_duration, BenchConfig, Table};
+
+/// A contestant: a kernel plus its instruction mix (register instructions
+/// only; the paper's tables additionally count the 2n memory movs of the
+/// load/store frame).
+struct Contestant {
+    kernel: Kernel,
+    mix: Option<InstrMix>,
+}
+
+fn program_contestant(name: &str, machine: &Machine, prog: Program) -> Contestant {
+    let mix = InstrMix::of(&prog);
+    Contestant {
+        kernel: Kernel::from_program(name, machine, prog),
+        mix: Some(mix),
+    }
+}
+
+/// Enumerates every minimal n = 3 kernel and returns (best-scored, sampled,
+/// worst-scored) according to the §5.3 sampling score.
+fn enum_kernels_n3(sample: usize) -> (Program, Vec<Program>, Program) {
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let all = synthesize(
+        &SynthesisConfig::new(machine)
+            .budget_viability(true)
+            .all_solutions(true)
+            .max_len(11),
+    )
+    .dag
+    .programs(usize::MAX);
+    let strata = score_strata(all.clone());
+    let best = strata
+        .values()
+        .next()
+        .and_then(|g| g.first())
+        .expect("n = 3 solutions exist")
+        .clone();
+    let worst = strata
+        .values()
+        .last()
+        .and_then(|g| g.last())
+        .expect("n = 3 solutions exist")
+        .clone();
+    let sampled = sample_lowest_strata(all, 2, sample / 2);
+    (best, sampled, worst)
+}
+
+fn contestants_n3(cfg: &BenchConfig) -> (Vec<Contestant>, Vec<Program>) {
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let (best, sampled, worst) = enum_kernels_n3(if cfg.quick { 20 } else { 200 });
+
+    let mut list = Vec::new();
+    list.push(program_contestant("enum", &machine, best));
+    list.push(program_contestant("enum_worst", &machine, worst));
+    let (m, p) = reference::paper_synth_cmov3();
+    list.push(program_contestant("paper_synth", &m, p));
+    let (m, p) = reference::alphadev_cmov3();
+    list.push(program_contestant("alphadev", &m, p));
+    list.push(program_contestant(
+        "network",
+        &machine,
+        network_to_cmov(&machine, &optimal_network(3)),
+    ));
+    for sorter in baselines::native3() {
+        list.push(Contestant {
+            kernel: Kernel::native(sorter),
+            mix: None,
+        });
+    }
+    (list, sampled)
+}
+
+fn mix_cells(mix: &Option<InstrMix>) -> [String; 4] {
+    match mix {
+        Some(m) => [
+            m.cmp.to_string(),
+            m.mov.to_string(),
+            m.cmov.to_string(),
+            m.other.to_string(),
+        ],
+        None => ["·".into(), "·".into(), "·".into(), "·".into()],
+    }
+}
+
+/// E11: standalone runtime, n = 3, with rank among the sampled enum
+/// solution space.
+pub fn run_standalone_n3(cfg: &BenchConfig) {
+    println!("== E11 (§5.3): standalone kernel runtime, n = 3 ==");
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let (list, sampled) = contestants_n3(cfg);
+    let inputs = standalone_inputs(3, 1000, 11);
+    let iters = if cfg.quick { 50 } else { 4000 };
+
+    // Measure the sampled solution space to compute ranks the way the paper
+    // does (each contestant's position among all measured kernels).
+    let mut population: Vec<(String, f64)> = Vec::new();
+    for (i, prog) in sampled.iter().enumerate() {
+        let kernel = Kernel::from_program(format!("enum#{i}"), &machine, prog.clone());
+        let t = bench_sort(&inputs, iters, |d| kernel.sort(d));
+        population.push((kernel.name().to_string(), t.as_secs_f64()));
+    }
+
+    let mut rows: Vec<(String, f64, Option<InstrMix>)> = Vec::new();
+    for c in &list {
+        let t = bench_sort(&inputs, iters, |d| c.kernel.sort(d));
+        rows.push((c.kernel.name().to_string(), t.as_secs_f64(), c.mix));
+        population.push((c.kernel.name().to_string(), t.as_secs_f64()));
+    }
+    population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+    let mut table = Table::new(&["algorithm", "time", "rank", "cmp", "mov", "cmov", "other"]);
+    for (name, secs, mix) in &rows {
+        let rank = population
+            .iter()
+            .position(|(n, _)| n == name)
+            .expect("contestant measured")
+            + 1;
+        let [cmp, mov, cmov, other] = mix_cells(mix);
+        table.row_strings(vec![
+            name.clone(),
+            fmt_duration(std::time::Duration::from_secs_f64(*secs)),
+            format!("{rank}/{}", population.len()),
+            cmp,
+            mov,
+            cmov,
+            other,
+        ]);
+    }
+    table.print();
+    table.write_csv(&cfg.ensure_out_dir().join("e11_runtime_n3_standalone.csv"));
+    println!("(paper shape: enum best is rank 1, enum_worst near last, default/std far behind)");
+}
+
+/// E12: quicksort- and mergesort-embedded runtime, n = 3.
+pub fn run_embedded_n3(cfg: &BenchConfig) {
+    println!("== E12 (§5.3): embedded kernel runtime, n = 3 ==");
+    let (list, _) = contestants_n3(cfg);
+    let inputs = embedded_inputs(if cfg.quick { 10 } else { 60 }, 20_000, 13);
+    let iters = if cfg.quick { 1 } else { 5 };
+
+    for (label, file) in [("quicksort", "e12_runtime_n3_quicksort.csv"), ("mergesort", "e12_runtime_n3_mergesort.csv")] {
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        for c in &list {
+            let t = bench_sort(&inputs, iters, |d| {
+                if label == "quicksort" {
+                    quicksort_with(&c.kernel, d)
+                } else {
+                    mergesort_with(&c.kernel, d)
+                }
+            });
+            rows.push((c.kernel.name().to_string(), t.as_secs_f64()));
+        }
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        let mut table = Table::new(&["algorithm", &format!("time ({label})"), "rank"]);
+        for (i, (name, secs)) in rows.iter().enumerate() {
+            table.row_strings(vec![
+                name.clone(),
+                fmt_duration(std::time::Duration::from_secs_f64(*secs)),
+                (i + 1).to_string(),
+            ]);
+        }
+        table.print();
+        table.write_csv(&cfg.ensure_out_dir().join(file));
+        println!();
+    }
+    println!("(paper shape: embedding compresses the gaps; cassioneri/enum lead, default/std trail)");
+}
+
+/// E13: n = 4 standalone + quicksort, with score-stratified sampling of the
+/// enumerated solution space.
+pub fn run_n4(cfg: &BenchConfig) {
+    println!("== E13 (§5.3): kernel runtime, n = 4 ==");
+    let machine = Machine::new(4, 1, IsaMode::Cmov);
+
+    // Enumerate minimal solutions under the k = 1 cut (the full space has
+    // 2.2M programs; the cut subspace is what the paper samples from too).
+    let enum_cfg = SynthesisConfig::new(machine.clone())
+        .budget_viability(true)
+        .optimal_instrs_only(true)
+        .cut(Cut::Factor(1.0))
+        .all_solutions(true)
+        .max_len(20);
+    let (result, t_enum) = crate::util::time(|| synthesize(&enum_cfg));
+    let all = result.dag.programs(100_000);
+    println!(
+        "enumerated {} minimal n = 4 kernels (DAG count {}) in {}",
+        all.len(),
+        result.solution_count(),
+        fmt_duration(t_enum)
+    );
+    let strata = score_strata(all.clone());
+    let scores: Vec<u32> = strata.keys().copied().collect();
+    println!("score strata: {scores:?} (paper: {{55, 58, 61, 64, 67, 70}})");
+
+    let sample_n = if cfg.quick { 10 } else { 60 };
+    let sampled = sample_lowest_strata(all.clone(), 2, sample_n / 2);
+    let best = strata.values().next().and_then(|g| g.first()).expect("solutions").clone();
+    let worst = strata.values().last().and_then(|g| g.last()).expect("solutions").clone();
+
+    let mut list = Vec::new();
+    list.push(program_contestant("enum", &machine, best));
+    list.push(program_contestant("enum_worst", &machine, worst));
+    list.push(program_contestant(
+        "alphadev",
+        &machine,
+        network_to_cmov(&machine, &optimal_network(4)),
+    ));
+    for sorter in baselines::native4() {
+        list.push(Contestant {
+            kernel: Kernel::native(sorter),
+            mix: None,
+        });
+    }
+
+    let inputs = standalone_inputs(4, 1000, 17);
+    let iters = if cfg.quick { 50 } else { 4000 };
+    let embed = embedded_inputs(if cfg.quick { 10 } else { 40 }, 20_000, 19);
+    let embed_iters = if cfg.quick { 1 } else { 5 };
+
+    let mut population_s: Vec<f64> = sampled
+        .iter()
+        .enumerate()
+        .map(|(i, prog)| {
+            let kernel = Kernel::from_program(format!("enum#{i}"), &machine, prog.clone());
+            bench_sort(&inputs, iters, |d| kernel.sort(d)).as_secs_f64()
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for c in &list {
+        let ts = bench_sort(&inputs, iters, |d| c.kernel.sort(d)).as_secs_f64();
+        let tq = bench_sort(&embed, embed_iters, |d| quicksort_with(&c.kernel, d)).as_secs_f64();
+        rows.push((c.kernel.name().to_string(), ts, tq));
+        population_s.push(ts);
+    }
+    population_s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    let mut table = Table::new(&["algorithm", "time_S", "rank_S", "time_Q"]);
+    for (name, ts, tq) in &rows {
+        let rank = population_s.iter().position(|x| x == ts).expect("measured") + 1;
+        table.row_strings(vec![
+            name.clone(),
+            fmt_duration(std::time::Duration::from_secs_f64(*ts)),
+            format!("{rank}/{}", population_s.len()),
+            fmt_duration(std::time::Duration::from_secs_f64(*tq)),
+        ]);
+    }
+    table.print();
+    table.write_csv(&cfg.ensure_out_dir().join("e13_runtime_n4.csv"));
+    println!("(paper shape: enum and mimicry lead standalone; enum leads embedded)");
+}
+
+/// E14: n = 5 standalone comparison. Uses the checked-in kernel that this
+/// workspace's search synthesized (33 instructions, 23 min on one core);
+/// `SORTSYNTH_N5=1` re-synthesizes it live.
+pub fn run_n5(cfg: &BenchConfig) {
+    println!("== E14 (§5.3): kernel runtime, n = 5 ==");
+    let (machine, enum5) = if cfg.n5 {
+        let machine = Machine::new(5, 1, IsaMode::Cmov);
+        let (result, t) =
+            crate::util::time(|| synthesize(&SynthesisConfig::best(machine.clone())));
+        let Some(prog) = result.first_program() else {
+            println!("n = 5 synthesis did not finish: {:?}", result.outcome);
+            return;
+        };
+        println!(
+            "synthesized n = 5 kernel live: {} instrs in {} (paper: 33 instrs, 11 min on 16 cores)",
+            prog.len(),
+            fmt_duration(t)
+        );
+        (machine, prog)
+    } else {
+        println!("using the checked-in synthesized kernel (33 instrs; SORTSYNTH_N5=1 re-synthesizes)");
+        reference::enum_cmov5()
+    };
+    assert!(machine.is_correct(&enum5));
+
+    let network = network_to_cmov(&machine, &optimal_network(5));
+    let mut list = Vec::new();
+    list.push(program_contestant("enum", &machine, enum5));
+    list.push(program_contestant("alphadev (network reconstruction)", &machine, network));
+    list.push(Contestant {
+        kernel: Kernel::native(sortsynth_kernels::NativeSorter {
+            name: "swap",
+            n: 5,
+            sort: baselines::swap5,
+        }),
+        mix: None,
+    });
+    list.push(Contestant {
+        kernel: Kernel::native(sortsynth_kernels::NativeSorter {
+            name: "std",
+            n: 5,
+            sort: baselines::std_sort5,
+        }),
+        mix: None,
+    });
+
+    let inputs = standalone_inputs(5, 1000, 23);
+    let mut table = Table::new(&["algorithm", "time", "instrs"]);
+    let mut rows = Vec::new();
+    for c in &list {
+        let t = bench_sort(&inputs, 1000, |d| c.kernel.sort(d)).as_secs_f64();
+        rows.push((c.kernel.name().to_string(), t, c.mix.map(|m| m.total())));
+    }
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    for (name, secs, total) in rows {
+        table.row_strings(vec![
+            name,
+            fmt_duration(std::time::Duration::from_secs_f64(secs)),
+            total.map(|t| t.to_string()).unwrap_or("·".into()),
+        ]);
+    }
+    table.print();
+    table.write_csv(&cfg.ensure_out_dir().join("e14_runtime_n5.csv"));
+}
+
+/// Sanity helper shared by tests: the §5.3 score of a program.
+pub fn score(prog: &Program) -> u32 {
+    sampling_score(prog)
+}

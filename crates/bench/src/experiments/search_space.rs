@@ -1,0 +1,59 @@
+//! E1 + E17 — §5.1: the search-space structure table (`n`, `n!`, optimal
+//! size, program-space size) and the states actually enumerated by the best
+//! configuration.
+
+use sortsynth_isa::{factorial, IsaMode, Machine};
+use sortsynth_search::{synthesize, SynthesisConfig};
+
+use crate::util::{fmt_duration, time, BenchConfig, Table};
+
+/// Known / paper-reported optimal kernel lengths for the cmov ISA.
+pub fn optimal_cmov_len(n: u8) -> u32 {
+    match n {
+        2 => 4,
+        3 => 11,
+        4 => 20,
+        5 => 33,
+        6 => 45,
+        _ => panic!("no tabulated optimum for n = {n}"),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &BenchConfig) {
+    println!("== E1 (§5.1): search-space structure ==");
+    let mut table = Table::new(&["n", "n!", "optimal size", "program space (log10)"]);
+    for n in 3..=6u8 {
+        // The paper's n = 6 row (10^108.4) corresponds to two scratch
+        // registers; the smaller sizes use one.
+        let scratch = if n == 6 { 2 } else { 1 };
+        let machine = Machine::new(n, scratch, IsaMode::Cmov);
+        let len = optimal_cmov_len(n);
+        table.row_strings(vec![
+            n.to_string(),
+            factorial(n).to_string(),
+            len.to_string(),
+            format!("10^{:.1}", machine.program_space_log10(len)),
+        ]);
+    }
+    table.print();
+    table.write_csv(&cfg.ensure_out_dir().join("e01_search_space.csv"));
+
+    println!("\n== E17 (§5.1): states enumerated by the best configuration ==");
+    let mut states = Table::new(&["n", "states generated", "states kept", "time"]);
+    let max_n = if cfg.n5 { 5 } else { 4 };
+    let max_n = if cfg.quick { 3 } else { max_n };
+    for n in 3..=max_n {
+        let machine = Machine::new(n, 1, IsaMode::Cmov);
+        let (result, elapsed) = time(|| synthesize(&SynthesisConfig::best(machine)));
+        states.row_strings(vec![
+            n.to_string(),
+            result.stats.generated.to_string(),
+            result.stats.states_kept.to_string(),
+            fmt_duration(elapsed),
+        ]);
+    }
+    states.print();
+    states.write_csv(&cfg.ensure_out_dir().join("e17_states_enumerated.csv"));
+    println!("(paper: 7e3 / 7e4 / 6e6 for n = 3/4/5; AlphaDev: 4e5 / 1e6 / 6e6)");
+}

@@ -1,0 +1,80 @@
+//! E7 — §5.2's stochastic-search table: cold/warm STOKE with full and
+//! random test suites.
+
+use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_kernels::{network_to_cmov, optimal_network};
+use sortsynth_stoke::{run as stoke_run, Start, StokeConfig, TestSuite};
+
+use crate::util::{fmt_duration, time, BenchConfig, Table};
+
+/// Runs the experiment.
+pub fn run(cfg: &BenchConfig) {
+    println!("== E7 (§5.2): stochastic search (STOKE-style), n = 3 ==");
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let network = network_to_cmov(&machine, &optimal_network(3));
+    let iterations = if cfg.quick { 100_000 } else { 5_000_000 };
+
+    let mut table = Table::new(&["approach", "iterations", "time", "best correct", "note"]);
+    let rows: Vec<(&str, StokeConfig, &str)> = vec![
+        (
+            "Stoke-Cold",
+            StokeConfig {
+                machine: machine.clone(),
+                start: Start::Cold { slots: 13 },
+                iterations,
+                beta: 1.0,
+                seed: 1,
+                tests: TestSuite::Full,
+                minimize_length: true,
+            },
+            "permutation test suite",
+        ),
+        (
+            "Stoke-Cold",
+            StokeConfig {
+                machine: machine.clone(),
+                start: Start::Cold { slots: 13 },
+                iterations,
+                beta: 1.0,
+                seed: 2,
+                tests: TestSuite::RandomSubset(3),
+                minimize_length: true,
+            },
+            "random test suite",
+        ),
+        (
+            "Stoke-Warm",
+            StokeConfig {
+                machine: machine.clone(),
+                start: Start::Warm {
+                    prog: network.clone(),
+                    extra_slots: 2,
+                },
+                iterations,
+                beta: 2.0,
+                seed: 3,
+                tests: TestSuite::Full,
+                minimize_length: true,
+            },
+            "sorting-network start (12 instrs; optimum is 11)",
+        ),
+    ];
+    for (name, stoke_cfg, note) in rows {
+        let (result, elapsed) = time(|| stoke_run(&stoke_cfg));
+        let best = match &result.best_correct {
+            Some(p) => format!("{} instrs", p.len()),
+            None => "— (none found)".into(),
+        };
+        table.row_strings(vec![
+            name.into(),
+            stoke_cfg.iterations.to_string(),
+            fmt_duration(elapsed),
+            best,
+            note.into(),
+        ]);
+    }
+    table.print();
+    table.write_csv(&cfg.ensure_out_dir().join("e07_stoke_table.csv"));
+    println!("(paper: STOKE finds no correct n = 3 kernel cold, and warm-start never");
+    println!(" reaches the optimal length — expect '—' or 12 instrs above)");
+}

@@ -1,0 +1,61 @@
+//! E4 — §5.2 headline table: enumerative synthesis time vs the
+//! paper-reported AlphaDev numbers.
+
+use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_search::{synthesize, SynthesisConfig};
+
+use crate::util::{fmt_duration, time, BenchConfig, Table};
+
+/// Runs the experiment.
+pub fn run(cfg: &BenchConfig) {
+    println!("== E4 (§5.2): synthesis time, Enum best vs AlphaDev ==");
+    let mut table = Table::new(&["approach", "n = 3", "n = 4", "n = 5", "source"]);
+
+    let mut ours: Vec<String> = Vec::new();
+    let max_n = if cfg.quick { 3 } else { 4 };
+    for n in 3..=5u8 {
+        if n > max_n && !(n == 5 && cfg.n5) {
+            ours.push("(skipped; set SORTSYNTH_N5=1)".into());
+            continue;
+        }
+        let machine = Machine::new(n, 1, IsaMode::Cmov);
+        let (result, elapsed) = time(|| synthesize(&SynthesisConfig::best(machine)));
+        ours.push(format!(
+            "{} (len {})",
+            fmt_duration(elapsed),
+            result.found_len.map(|l| l.to_string()).unwrap_or("—".into())
+        ));
+    }
+    table.row_strings(vec![
+        "Enum, best (III)".into(),
+        ours[0].clone(),
+        ours[1].clone(),
+        ours[2].clone(),
+        "measured".into(),
+    ]);
+    // AlphaDev cannot be rerun (TPU fleet, closed source); these rows quote
+    // the values the paper itself reports.
+    table.row_strings(vec![
+        "AlphaDev-RL".into(),
+        "6 min".into(),
+        "30 min".into(),
+        "~1050 min".into(),
+        "paper-reported".into(),
+    ]);
+    table.row_strings(vec![
+        "AlphaDev-S".into(),
+        "0.4 s".into(),
+        "0.6 s".into(),
+        "~345 min".into(),
+        "paper-reported".into(),
+    ]);
+    table.row_strings(vec![
+        "Enum, best (paper)".into(),
+        "97 ms".into(),
+        "2443 ms".into(),
+        "11 min".into(),
+        "paper-reported".into(),
+    ]);
+    table.print();
+    table.write_csv(&cfg.ensure_out_dir().join("e04_synthesis_time.csv"));
+}

@@ -1,0 +1,8 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§5). Each `bin/` target reproduces one artifact; `run_all`
+//! drives them all and drops CSVs into `EXPERIMENTS-results/`.
+//!
+//! Environment knobs are documented on [`util::BenchConfig`].
+
+pub mod experiments;
+pub mod util;

@@ -1,0 +1,219 @@
+//! Shared harness utilities: configuration, timing, table rendering, and
+//! CSV output.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Harness configuration, read from environment variables so every
+/// experiment binary behaves uniformly:
+///
+/// * `SORTSYNTH_QUICK=1` — shrink budgets for smoke testing,
+/// * `SORTSYNTH_FULL=1` — run the multi-hour variants (n = 4 exhaustions,
+///   large cut sweeps),
+/// * `SORTSYNTH_N5=1` — include the n = 5 synthesis runs (minutes to hours
+///   on one core),
+/// * `SORTSYNTH_BUDGET_SECS` — per-solver timeout for the baseline tables
+///   (default 60),
+/// * `SORTSYNTH_OUT` — output directory for CSV artifacts (default
+///   `EXPERIMENTS-results/`).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Smoke-test mode.
+    pub quick: bool,
+    /// Multi-hour mode.
+    pub full: bool,
+    /// Include n = 5 synthesis.
+    pub n5: bool,
+    /// Solver timeout per table row.
+    pub budget: Duration,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+}
+
+impl BenchConfig {
+    /// Reads the configuration from the environment.
+    pub fn from_env() -> Self {
+        let flag = |name: &str| std::env::var(name).map(|v| v == "1").unwrap_or(false);
+        let budget_secs = std::env::var("SORTSYNTH_BUDGET_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60u64);
+        let out_dir = std::env::var("SORTSYNTH_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("EXPERIMENTS-results"));
+        BenchConfig {
+            quick: flag("SORTSYNTH_QUICK"),
+            full: flag("SORTSYNTH_FULL"),
+            n5: flag("SORTSYNTH_N5"),
+            budget: Duration::from_secs(budget_secs),
+            out_dir,
+        }
+    }
+
+    /// The directory CSV artifacts go to (created on demand).
+    pub fn ensure_out_dir(&self) -> &Path {
+        fs::create_dir_all(&self.out_dir).expect("create output directory");
+        &self.out_dir
+    }
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Human-friendly duration, paper-style (`97.0 ms`, `2.44 s`, `11.0 min`),
+/// with microsecond resolution below a millisecond.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.1} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} min", s / 60.0)
+    }
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies every cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Appends a row of pre-rendered strings.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:<w$}  ", w = w));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Writes the table as CSV.
+    pub fn write_csv(&self, path: &Path) {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&escaped.join(","));
+            out.push('\n');
+        }
+        fs::write(path, out).expect("write CSV artifact");
+        println!("  -> wrote {}", path.display());
+    }
+}
+
+/// Benchmarks a sorting routine over a workload: total wall-clock for
+/// `iters` passes over all inputs (each pass copies the input first, like
+/// the paper's Google-benchmark loops).
+pub fn bench_sort(inputs: &[Vec<i32>], iters: usize, mut sort: impl FnMut(&mut [i32])) -> Duration {
+    let mut buf: Vec<i32> = Vec::with_capacity(inputs.iter().map(Vec::len).max().unwrap_or(0));
+    let start = Instant::now();
+    for _ in 0..iters {
+        for input in inputs {
+            buf.clear();
+            buf.extend_from_slice(input);
+            sort(&mut buf);
+            std::hint::black_box(buf.first().copied());
+        }
+    }
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(530)), "530.0 us");
+        assert_eq!(fmt_duration(Duration::from_micros(1530)), "1.53 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(97)), "97.0 us");
+        assert_eq!(fmt_duration(Duration::from_millis(97)), "97.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(2.443)), "2.44 s");
+        assert_eq!(fmt_duration(Duration::from_secs(660)), "11.0 min");
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&[&1, &"x,y"]);
+        t.row_strings(vec!["2".into(), "plain".into()]);
+        let dir = std::env::temp_dir().join("sortsynth-bench-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        t.write_csv(&path);
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n2,plain\n");
+    }
+
+    #[test]
+    fn bench_sort_runs_the_workload() {
+        let inputs = vec![vec![3, 1, 2], vec![2, 2, 1]];
+        let mut calls = 0usize;
+        let _ = bench_sort(&inputs, 3, |d| {
+            d.sort_unstable();
+            calls += 1;
+        });
+        assert_eq!(calls, 6);
+    }
+}

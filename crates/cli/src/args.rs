@@ -1,0 +1,179 @@
+//! Minimal dependency-free argument parsing for the `sortsynth` binary.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use sortsynth_isa::IsaMode;
+
+/// A parsed command line: subcommand, `--key value` options, and positional
+/// arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// `--key value` pairs (`--flag` without a value maps to `"true"`).
+    pub options: HashMap<String, String>,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+}
+
+/// Errors from argument parsing and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError {
+    msg: String,
+}
+
+impl ArgsError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ArgsError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl Error for ArgsError {}
+
+/// Options that take a value (everything else is a boolean flag).
+const VALUED: &[&str] = &[
+    "n", "scratch", "isa", "max-len", "cut", "limit", "data", "len", "budget-states", "strategy",
+];
+
+/// Parses `args` (without the binary name).
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] when no subcommand is present or a valued option
+/// is missing its value.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgsError> {
+    let mut command = None;
+    let mut options = HashMap::new();
+    let mut positional = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            if VALUED.contains(&key) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgsError::new(format!("--{key} needs a value")))?;
+                options.insert(key.to_string(), value.clone());
+            } else {
+                options.insert(key.to_string(), "true".to_string());
+            }
+        } else if command.is_none() {
+            command = Some(arg.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(ParsedArgs {
+        command: command.ok_or_else(|| ArgsError::new("missing subcommand"))?,
+        options,
+        positional,
+    })
+}
+
+impl ParsedArgs {
+    /// `--n` (default 3).
+    pub fn n(&self) -> Result<u8, ArgsError> {
+        self.u8_option("n", 3)
+    }
+
+    /// `--scratch` (default 1).
+    pub fn scratch(&self) -> Result<u8, ArgsError> {
+        self.u8_option("scratch", 1)
+    }
+
+    /// `--isa cmov|minmax` (default cmov).
+    pub fn isa(&self) -> Result<IsaMode, ArgsError> {
+        match self.options.get("isa").map(String::as_str) {
+            None | Some("cmov") => Ok(IsaMode::Cmov),
+            Some("minmax") => Ok(IsaMode::MinMax),
+            Some(other) => Err(ArgsError::new(format!(
+                "unknown ISA `{other}` (expected cmov or minmax)"
+            ))),
+        }
+    }
+
+    /// A generic numeric option with a default.
+    fn u8_option(&self, key: &str, default: u8) -> Result<u8, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgsError::new(format!("--{key}: `{v}` is not a number"))),
+        }
+    }
+
+    /// `--key` numeric option, generic width.
+    pub fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgsError::new(format!("--{key}: `{v}` is not a number"))),
+        }
+    }
+
+    /// Whether a boolean flag is set.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(String::as_str) == Some("true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_positionals() {
+        let parsed = parse(&strings(&["synth", "--n", "4", "--all", "extra"])).unwrap();
+        assert_eq!(parsed.command, "synth");
+        assert_eq!(parsed.options.get("n").map(String::as_str), Some("4"));
+        assert!(parsed.flag("all"));
+        assert_eq!(parsed.positional, vec!["extra"]);
+        assert_eq!(parsed.n().unwrap(), 4);
+        assert_eq!(parsed.scratch().unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse(&strings(&["--n", "3"])).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn valued_option_without_value_is_an_error() {
+        assert!(parse(&strings(&["synth", "--n"])).is_err());
+    }
+
+    #[test]
+    fn isa_parsing() {
+        assert_eq!(
+            parse(&strings(&["synth", "--isa", "minmax"]))
+                .unwrap()
+                .isa()
+                .unwrap(),
+            IsaMode::MinMax
+        );
+        assert_eq!(parse(&strings(&["synth"])).unwrap().isa().unwrap(), IsaMode::Cmov);
+        assert!(parse(&strings(&["synth", "--isa", "avx"])).unwrap().isa().is_err());
+    }
+
+    #[test]
+    fn bad_numbers_are_errors() {
+        let parsed = parse(&strings(&["synth", "--n", "three"])).unwrap();
+        assert!(parsed.n().is_err());
+        let parsed = parse(&strings(&["synth", "--cut", "abc"])).unwrap();
+        assert!(parsed.num::<f64>("cut").is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Subcommand implementations.
+
+use std::io::Read as _;
+use std::time::Duration;
+
+use sortsynth_isa::{
+    analyze, sampling_score, InstrMix, Machine, Program, ThroughputModel,
+};
+use sortsynth_jit::JitKernel;
+use sortsynth_kernels::{interpret, Kernel};
+use sortsynth_search::{
+    prove_no_solution, synthesize, BoundVerdict, Cut, SynthesisConfig,
+};
+
+use crate::args::{ArgsError, ParsedArgs};
+
+/// Help text shown on errors and `sortsynth help`.
+pub const USAGE: &str = "usage:
+  sortsynth synth   --n N [--scratch M] [--isa cmov|minmax] [--all] [--max-len L] [--cut K]
+  sortsynth prove   --n N --len L [--budget-states S]
+  sortsynth check   <file|-> --n N [--scratch M] [--isa cmov|minmax]
+  sortsynth analyze <file|-> --n N [--scratch M] [--isa cmov|minmax]
+  sortsynth run     <file|-> --n N [--scratch M] [--isa cmov|minmax] --data V1,V2,...
+  sortsynth help";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: ParsedArgs) -> Result<(), ArgsError> {
+    match args.command.as_str() {
+        "synth" => synth(&args),
+        "prove" => prove(&args),
+        "check" => check(&args),
+        "analyze" => analyze_cmd(&args),
+        "run" => run(&args),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgsError::new(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn machine_from(args: &ParsedArgs) -> Result<Machine, ArgsError> {
+    Ok(Machine::new(args.n()?, args.scratch()?, args.isa()?))
+}
+
+fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let machine = machine_from(args)?;
+    let mut cfg = SynthesisConfig::best(machine.clone());
+    if let Some(max_len) = args.num::<u32>("max-len")? {
+        cfg = cfg.max_len(max_len);
+    }
+    if let Some(k) = args.num::<f64>("cut")? {
+        cfg = cfg.cut(Cut::Factor(k));
+    }
+    if args.flag("all") {
+        // All-solutions needs the optimality-preserving configuration.
+        cfg = SynthesisConfig::new(machine.clone())
+            .budget_viability(true)
+            .all_solutions(true);
+        if let Some(max_len) = args.num::<u32>("max-len")? {
+            cfg = cfg.max_len(max_len);
+        } else {
+            // Find the optimal length first, then enumerate at it.
+            let probe = synthesize(&SynthesisConfig::best(machine.clone()));
+            let len = probe
+                .found_len
+                .ok_or_else(|| ArgsError::new("no kernel found"))?;
+            cfg = cfg.max_len(len);
+        }
+        if let Some(k) = args.num::<f64>("cut")? {
+            cfg = cfg.cut(Cut::Factor(k));
+        }
+    }
+    let result = synthesize(&cfg);
+    match result.found_len {
+        None => Err(ArgsError::new(format!(
+            "no kernel found (outcome {:?})",
+            result.outcome
+        ))),
+        Some(len) => {
+            if args.flag("all") {
+                let count = result.solution_count();
+                eprintln!(
+                    "# {count} kernels of length {len} ({} states, {:?})",
+                    result.stats.generated, result.stats.search_time
+                );
+                let limit = args.num::<usize>("limit")?.unwrap_or(10);
+                for (i, prog) in result.dag.programs(limit).iter().enumerate() {
+                    println!("# solution {}", i + 1);
+                    print!("{}", machine.format_program(prog));
+                    println!();
+                }
+            } else {
+                eprintln!(
+                    "# length {len}, {} states explored in {:?}",
+                    result.stats.generated, result.stats.search_time
+                );
+                let prog = result.first_program().expect("found_len implies a program");
+                print!("{}", machine.format_program(&prog));
+            }
+            Ok(())
+        }
+    }
+}
+
+fn prove(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let machine = machine_from(args)?;
+    let len = args
+        .num::<u32>("len")?
+        .ok_or_else(|| ArgsError::new("prove needs --len"))?;
+    let budget = args.num::<u64>("budget-states")?;
+    let below = prove_no_solution(&machine, len - 1, budget, Some(Duration::from_secs(3600)));
+    match below.verdict {
+        BoundVerdict::SolutionExists => {
+            println!("a kernel of length <= {} exists: {} is NOT optimal", len - 1, len);
+        }
+        BoundVerdict::Inconclusive => {
+            println!(
+                "inconclusive after {} states; raise --budget-states",
+                below.stats.generated
+            );
+        }
+        BoundVerdict::NoSolution => {
+            let at = synthesize(
+                &SynthesisConfig::new(machine.clone())
+                    .budget_viability(true)
+                    .max_len(len),
+            );
+            if at.found_len == Some(len) {
+                println!(
+                    "proven: the optimal kernel length for n = {} ({:?}) is exactly {len}",
+                    machine.n(),
+                    machine.mode()
+                );
+            } else {
+                println!("no kernel of length <= {len} exists");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_program(args: &ParsedArgs, machine: &Machine) -> Result<Program, ArgsError> {
+    let source = args
+        .positional
+        .first()
+        .ok_or_else(|| ArgsError::new("expected a program file (or `-` for stdin)"))?;
+    let text = if source == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| ArgsError::new(format!("stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(source).map_err(|e| ArgsError::new(format!("{source}: {e}")))?
+    };
+    machine
+        .parse_program(&text)
+        .map_err(|e| ArgsError::new(e.to_string()))
+}
+
+fn check(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let machine = machine_from(args)?;
+    let prog = read_program(args, &machine)?;
+    let counterexamples = machine.counterexamples(&prog);
+    if counterexamples.is_empty() {
+        println!(
+            "OK: sorts all {} permutations ({} instructions)",
+            sortsynth_isa::factorial(machine.n()),
+            prog.len()
+        );
+        Ok(())
+    } else {
+        println!(
+            "INCORRECT: fails {} of {} permutations; first counterexample: {:?}",
+            counterexamples.len(),
+            sortsynth_isa::factorial(machine.n()),
+            counterexamples[0]
+        );
+        Err(ArgsError::new("kernel is incorrect"))
+    }
+}
+
+fn analyze_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let machine = machine_from(args)?;
+    let prog = read_program(args, &machine)?;
+    let mix = InstrMix::of(&prog);
+    let report = analyze(&prog, &ThroughputModel::default());
+    println!("instructions : {}", prog.len());
+    println!(
+        "mix          : {} cmp, {} mov, {} cmov, {} min/max",
+        mix.cmp, mix.mov, mix.cmov, mix.other
+    );
+    println!("score (§5.3) : {}", sampling_score(&prog));
+    println!("critical path: {}", report.critical_path);
+    println!("cycles/iter  : {:.2} (predicted, uiCA-style model)", report.cycles_per_iteration);
+    println!(
+        "bottleneck   : {}",
+        if report.latency_bound { "dependence chain (latency)" } else { "ports / issue width" }
+    );
+    println!(
+        "correct      : {}",
+        if machine.is_correct(&prog) { "yes" } else { "NO" }
+    );
+    Ok(())
+}
+
+fn run(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let machine = machine_from(args)?;
+    let prog = read_program(args, &machine)?;
+    let data_text = args
+        .options
+        .get("data")
+        .ok_or_else(|| ArgsError::new("run needs --data V1,V2,..."))?;
+    let mut data: Vec<i32> = Vec::new();
+    for part in data_text.split(',') {
+        data.push(
+            part.trim()
+                .parse()
+                .map_err(|_| ArgsError::new(format!("--data: `{part}` is not an i32")))?,
+        );
+    }
+    if data.len() < machine.n() as usize {
+        return Err(ArgsError::new(format!(
+            "--data needs at least {} values",
+            machine.n()
+        )));
+    }
+    let backend = if JitKernel::compile(&machine, &prog).is_ok() {
+        let kernel = Kernel::from_program("cli", &machine, prog);
+        kernel.sort(&mut data);
+        "jit"
+    } else {
+        interpret(&machine, &prog, &mut data);
+        "interpreter"
+    };
+    println!("{data:?}  ({backend})");
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! `sortsynth` — synthesize, prove, analyze, and run branchless sorting
+//! kernels from the command line.
+//!
+//! ```text
+//! sortsynth synth   --n 3 [--scratch 1] [--isa cmov|minmax] [--all] [--max-len L] [--cut K]
+//! sortsynth prove   --n 3 --len 11 [--budget-states N]
+//! sortsynth check   <file|-> --n 3          # verify a kernel program
+//! sortsynth analyze <file|-> --n 3          # cost & pipeline analysis
+//! sortsynth run     <file|-> --n 3 --data 3,1,2
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&raw).and_then(commands::dispatch) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("sortsynth: {err}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

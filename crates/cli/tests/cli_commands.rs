@@ -1,0 +1,134 @@
+//! Integration tests driving the installed `sortsynth` binary end-to-end.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn sortsynth() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sortsynth"))
+}
+
+#[test]
+fn synth_emits_a_correct_kernel() {
+    let out = sortsynth()
+        .args(["synth", "--n", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let program = String::from_utf8(out.stdout).expect("utf-8");
+    assert_eq!(program.lines().count(), 4, "optimal n = 2 kernel:\n{program}");
+
+    // Feed the synthesized kernel back through `check` via stdin.
+    let mut check = sortsynth()
+        .args(["check", "-", "--n", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn check");
+    check
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(program.as_bytes())
+        .expect("write program");
+    let out = check.wait_with_output().expect("check runs");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+}
+
+#[test]
+fn check_rejects_incorrect_kernels() {
+    let mut check = sortsynth()
+        .args(["check", "-", "--n", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn check");
+    check
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(b"mov r1 r2\n")
+        .expect("write program");
+    let out = check.wait_with_output().expect("check runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INCORRECT"));
+}
+
+#[test]
+fn run_sorts_data() {
+    let mut run = sortsynth()
+        .args(["run", "-", "--n", "2", "--data", "5,-5"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn run");
+    run.stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(b"mov s1 r2\ncmp r1 r2\ncmovg r2 r1\ncmovg r1 s1\n")
+        .expect("write program");
+    let out = run.wait_with_output().expect("run runs");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[-5, 5]"));
+}
+
+#[test]
+fn analyze_reports_cost_model() {
+    let mut analyze = sortsynth()
+        .args(["analyze", "-", "--n", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn analyze");
+    analyze
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(b"mov s1 r2\ncmp r1 r2\ncmovg r2 r1\ncmovg r1 s1\n")
+        .expect("write program");
+    let out = analyze.wait_with_output().expect("analyze runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("instructions : 4"));
+    assert!(text.contains("correct      : yes"));
+}
+
+#[test]
+fn prove_certifies_the_n2_bound() {
+    let out = sortsynth()
+        .args(["prove", "--n", "2", "--len", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("exactly 4"));
+}
+
+#[test]
+fn synth_all_enumerates_solutions() {
+    let out = sortsynth()
+        .args(["synth", "--n", "2", "--all", "--limit", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.matches("# solution").count() == 3, "{text}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = sortsynth().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn minmax_isa_is_selectable() {
+    let out = sortsynth()
+        .args(["synth", "--n", "3", "--isa", "minmax"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let program = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(program.lines().count(), 8, "{program}");
+    assert!(program.contains("min") || program.contains("max"));
+}

@@ -1,0 +1,237 @@
+//! Static cost models for kernel programs.
+//!
+//! Three models are provided, mirroring the paper's evaluation machinery:
+//!
+//! * [`weighted_score`] — the §5.3 sampling score: `mov` = 1, `cmp` = 2,
+//!   conditional moves = 4 (plus the critical path, which §5.3 adds on top;
+//!   callers combine them via [`critical_path`]).
+//! * [`critical_path`] — length of the longest data-dependence chain through
+//!   the program, the instruction-level-parallelism measure the paper's
+//!   uiCA analysis attributes the synthesized kernels' speedups to (§5.4).
+//! * [`uica_estimate`] — a uiCA-style throughput estimate: the maximum of the
+//!   latency-weighted critical path (with move elimination) and the
+//!   issue-width bound.
+
+use crate::instr::{Instr, Op};
+
+/// Instruction-mix summary as reported in the §5.3 tables
+/// (`Cmp` / `Mov` / `CMov` / `Other` columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstrMix {
+    /// Number of `cmp` instructions.
+    pub cmp: u32,
+    /// Number of unconditional `mov` instructions.
+    pub mov: u32,
+    /// Number of `cmovl`/`cmovg` instructions.
+    pub cmov: u32,
+    /// Everything else (`min`/`max` in this workspace).
+    pub other: u32,
+}
+
+impl InstrMix {
+    /// Counts the instructions of `prog` by category.
+    pub fn of(prog: &[Instr]) -> Self {
+        let mut mix = InstrMix::default();
+        for instr in prog {
+            match instr.op {
+                Op::Mov => mix.mov += 1,
+                Op::Cmp => mix.cmp += 1,
+                Op::Cmovl | Op::Cmovg => mix.cmov += 1,
+                Op::Min | Op::Max => mix.other += 1,
+            }
+        }
+        mix
+    }
+
+    /// Total instruction count.
+    pub fn total(&self) -> u32 {
+        self.cmp + self.mov + self.cmov + self.other
+    }
+}
+
+/// Per-opcode weights for [`weighted_score`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of `mov`.
+    pub mov: u32,
+    /// Weight of `cmp`.
+    pub cmp: u32,
+    /// Weight of `cmovl`/`cmovg`.
+    pub cmov: u32,
+    /// Weight of `min`/`max`.
+    pub minmax: u32,
+}
+
+impl Default for CostWeights {
+    /// The paper's §5.3 weights: `mov` 1, `cmp` 2, conditional moves 4
+    /// (`min`/`max` get 2, matching their `cmp`-like execution cost).
+    fn default() -> Self {
+        CostWeights {
+            mov: 1,
+            cmp: 2,
+            cmov: 4,
+            minmax: 2,
+        }
+    }
+}
+
+/// The §5.3 instruction-weight score used to rank solutions before sampling.
+///
+/// For the paper's n = 4 solution space this takes values in
+/// `{55, 58, 61, 64, 67, 70}` **after** adding the critical path; combine
+/// with [`critical_path`] for the full sampling score.
+///
+/// # Examples
+///
+/// ```
+/// use sortsynth_isa::{weighted_score, CostWeights, IsaMode, Machine};
+///
+/// let m = Machine::new(2, 1, IsaMode::Cmov);
+/// let cas = m.parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")?;
+/// assert_eq!(weighted_score(&cas, CostWeights::default()), 1 + 2 + 4 + 4);
+/// # Ok::<(), sortsynth_isa::ParseProgramError>(())
+/// ```
+pub fn weighted_score(prog: &[Instr], weights: CostWeights) -> u32 {
+    prog.iter()
+        .map(|instr| match instr.op {
+            Op::Mov => weights.mov,
+            Op::Cmp => weights.cmp,
+            Op::Cmovl | Op::Cmovg => weights.cmov,
+            Op::Min | Op::Max => weights.minmax,
+        })
+        .sum()
+}
+
+/// Longest data-dependence chain through `prog`, in instructions.
+///
+/// Only true (read-after-write) dependences count — an out-of-order core
+/// renames away WAR/WAW hazards. Flags are modelled as one extra renamed
+/// resource. Every instruction has unit latency here; see [`uica_estimate`]
+/// for a latency-aware variant with move elimination.
+pub fn critical_path(prog: &[Instr]) -> u32 {
+    dependence_depth(prog, |_| 1)
+}
+
+/// uiCA-style cycle estimate: `max(latency-weighted critical path,
+/// ⌈instructions / issue width⌉)` with an issue width of 4 and zero-latency
+/// (rename-eliminated) `mov`s, as discussed in the paper's §2.1.
+pub fn uica_estimate(prog: &[Instr]) -> f64 {
+    let latency = |op: Op| -> u32 {
+        match op {
+            Op::Mov => 0, // eliminated at register rename
+            Op::Cmp | Op::Cmovl | Op::Cmovg | Op::Min | Op::Max => 1,
+        }
+    };
+    let path = dependence_depth(prog, latency) as f64;
+    let throughput = prog.len() as f64 / 4.0;
+    path.max(throughput)
+}
+
+/// Longest dependence chain where each instruction contributes
+/// `latency(op)` cycles.
+fn dependence_depth(prog: &[Instr], latency: impl Fn(Op) -> u32) -> u32 {
+    // Completion time of the last write to each register / the flags.
+    let mut reg_ready = [0u32; crate::state::MAX_REGS as usize + 1];
+    const FLAGS: usize = crate::state::MAX_REGS as usize;
+    let mut depth = 0;
+    for instr in prog {
+        let mut start = 0u32;
+        let mut dep = |r: usize| start = start.max(reg_ready[r]);
+        dep(instr.src.index() as usize);
+        if instr.op.reads_dst() {
+            dep(instr.dst.index() as usize);
+        }
+        if instr.op.reads_flags() {
+            dep(FLAGS);
+        }
+        let done = start + latency(instr.op);
+        if instr.op.writes_dst() {
+            reg_ready[instr.dst.index() as usize] = done;
+        }
+        if instr.op.writes_flags() {
+            reg_ready[FLAGS] = done;
+        }
+        depth = depth.max(done);
+    }
+    depth
+}
+
+/// Convenience: the §5.3 sampling score, `weighted_score + critical_path`.
+pub fn sampling_score(prog: &[Instr]) -> u32 {
+    weighted_score(prog, CostWeights::default()) + critical_path(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{IsaMode, Machine, Reg};
+
+    fn i(op: Op, dst: u8, src: u8) -> Instr {
+        Instr::new(op, Reg::new(dst), Reg::new(src))
+    }
+
+    #[test]
+    fn instr_mix_counts() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let p = m
+            .parse_program("mov s1 r1; cmp r1 r2; cmovl r1 r2; cmovg r2 s1")
+            .unwrap();
+        let mix = InstrMix::of(&p);
+        assert_eq!(mix.mov, 1);
+        assert_eq!(mix.cmp, 1);
+        assert_eq!(mix.cmov, 2);
+        assert_eq!(mix.other, 0);
+        assert_eq!(mix.total(), 4);
+
+        let mm = Machine::new(3, 1, IsaMode::MinMax);
+        let p = mm.parse_program("mov s1 r1; min r1 r2; max r2 s1").unwrap();
+        let mix = InstrMix::of(&p);
+        assert_eq!(mix.other, 2);
+        assert_eq!(mix.mov, 1);
+    }
+
+    #[test]
+    fn weighted_score_default_weights() {
+        let prog = vec![i(Op::Mov, 3, 1), i(Op::Cmp, 0, 1), i(Op::Cmovg, 1, 0)];
+        assert_eq!(weighted_score(&prog, CostWeights::default()), 1 + 2 + 4);
+    }
+
+    #[test]
+    fn serial_chain_has_full_depth() {
+        // Each instruction depends on the previous through r1.
+        let prog = vec![i(Op::Mov, 0, 1), i(Op::Min, 0, 2), i(Op::Min, 0, 3)];
+        assert_eq!(critical_path(&prog), 3);
+    }
+
+    #[test]
+    fn independent_instrs_run_in_parallel() {
+        let prog = vec![i(Op::Mov, 3, 0), i(Op::Mov, 4, 1), i(Op::Mov, 5, 2)];
+        assert_eq!(critical_path(&prog), 1);
+    }
+
+    #[test]
+    fn flags_create_dependences() {
+        // cmovl depends on cmp through the flags even with disjoint registers.
+        let prog = vec![i(Op::Cmp, 0, 1), i(Op::Cmovl, 2, 3)];
+        assert_eq!(critical_path(&prog), 2);
+        // Two cmps: second overwrites flags; cmov depends on the *second*.
+        let prog = vec![i(Op::Cmp, 0, 1), i(Op::Cmp, 2, 3), i(Op::Cmovl, 4, 5)];
+        assert_eq!(critical_path(&prog), 2);
+    }
+
+    #[test]
+    fn uica_move_elimination() {
+        // A pure mov chain costs 0 latency; throughput bound dominates.
+        let prog = vec![i(Op::Mov, 0, 1), i(Op::Mov, 1, 0)];
+        assert!((uica_estimate(&prog) - 0.5).abs() < 1e-9);
+        // A dependent cmp/cmov pair costs 2 cycles of latency.
+        let prog = vec![i(Op::Cmp, 0, 1), i(Op::Cmovl, 0, 1)];
+        assert!((uica_estimate(&prog) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_score_combines_both() {
+        let prog = vec![i(Op::Cmp, 0, 1), i(Op::Cmovl, 0, 1)];
+        assert_eq!(sampling_score(&prog), (2 + 4) + 2);
+    }
+}

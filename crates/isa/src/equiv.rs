@@ -1,0 +1,171 @@
+//! Semantic program equivalence and the 0-1-lemma analysis of §2.3.
+
+use crate::instr::Instr;
+use crate::machine::{Machine, Reg};
+use crate::perm::permutations;
+use crate::state::MachineState;
+
+/// Whether two programs are *observationally equivalent* for sorting: for
+/// every input permutation they leave identical values in the value
+/// registers `r1..rn` (§3.6's equivalence notion; scratch registers and
+/// flags are dead at kernel exit and therefore ignored).
+///
+/// # Examples
+///
+/// ```
+/// use sortsynth_isa::{equivalent, IsaMode, Machine};
+///
+/// let m = Machine::new(2, 1, IsaMode::Cmov);
+/// // The flag write commutes with an unrelated mov (§3.6's example).
+/// let a = m.parse_program("cmp r1 r2; mov s1 r2")?;
+/// let b = m.parse_program("mov s1 r2; cmp r1 r2")?;
+/// assert!(equivalent(&m, &a, &b));
+/// # Ok::<(), sortsynth_isa::ParseProgramError>(())
+/// ```
+pub fn equivalent(machine: &Machine, a: &[Instr], b: &[Instr]) -> bool {
+    machine.initial_states().into_iter().all(|st| {
+        let out_a = machine.run(a, st);
+        let out_b = machine.run(b, st);
+        observable(machine, out_a) == observable(machine, out_b)
+    })
+}
+
+/// The observable part of a final state: the value registers only.
+fn observable(machine: &Machine, st: MachineState) -> u64 {
+    let bits = 4 * machine.n() as u32;
+    if bits >= 64 {
+        st.bits()
+    } else {
+        st.bits() & ((1u64 << bits) - 1)
+    }
+}
+
+/// Checks §2.3's claim that the 0-1 sorting lemma does **not** apply to
+/// cmp/cmov kernels: returns a permutation of `1..=n` that `prog` fails to
+/// sort even though it sorts *every* 0-1 input, or `None` if no such
+/// witness exists (i.e. either some 0-1 input already fails, or the program
+/// is simply correct).
+///
+/// For genuine compare-and-swap networks this always returns `None` (the
+/// lemma holds); the interesting inputs are programs whose cmp/cmov
+/// structure is *not* a network.
+pub fn zero_one_counterexample(machine: &Machine, prog: &[Instr]) -> Option<Vec<u8>> {
+    if !sorts_all_zero_one(machine, prog) {
+        return None;
+    }
+    permutations(machine.n())
+        .into_iter()
+        .find(|p| !machine.is_sorted(machine.run(prog, machine.initial_state(p))))
+}
+
+/// Whether `prog` sorts every 0/1 input vector (the 0-1 lemma's test
+/// suite).
+pub fn sorts_all_zero_one(machine: &Machine, prog: &[Instr]) -> bool {
+    let n = machine.n();
+    (0u32..1 << n).all(|bits| {
+        let input: Vec<u8> = (0..n).map(|i| ((bits >> i) & 1) as u8).collect();
+        let out = machine.run(prog, machine.initial_state(&input));
+        let result: Vec<u8> = (0..n).map(|i| out.reg(Reg::new(i))).collect();
+        let mut expected = input.clone();
+        expected.sort_unstable();
+        result == expected
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::IsaMode;
+
+    fn m3() -> Machine {
+        Machine::new(3, 1, IsaMode::Cmov)
+    }
+
+    #[test]
+    fn program_is_equivalent_to_itself_and_reorderings() {
+        let m = m3();
+        let a = m.parse_program("cmp r1 r2; mov s1 r2; cmovg r2 r1").unwrap();
+        let b = m.parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1").unwrap();
+        assert!(equivalent(&m, &a, &a));
+        assert!(equivalent(&m, &a, &b));
+    }
+
+    #[test]
+    fn overwritten_compare_is_redundant() {
+        // §3.6: cmp r1 r2; cmp r2 r3 ≡ cmp r2 r3 (first flags overwritten).
+        let m = m3();
+        let a = m.parse_program("cmp r1 r2; cmp r2 r3; cmovl r1 r2").unwrap();
+        let b = m.parse_program("cmp r2 r3; cmovl r1 r2").unwrap();
+        assert!(equivalent(&m, &a, &b));
+    }
+
+    #[test]
+    fn different_behaviour_is_detected() {
+        let m = m3();
+        let a = m.parse_program("cmp r1 r2; cmovg r1 r2").unwrap();
+        let b = m.parse_program("cmp r1 r2; cmovl r1 r2").unwrap();
+        assert!(!equivalent(&m, &a, &b));
+    }
+
+    #[test]
+    fn scratch_contents_are_not_observable() {
+        let m = m3();
+        let a = m.parse_program("mov s1 r1").unwrap();
+        let b: Vec<Instr> = Vec::new();
+        assert!(equivalent(&m, &a, &b));
+    }
+
+    #[test]
+    fn networks_satisfy_the_zero_one_lemma() {
+        // A genuine compare-and-swap sequence: passing 0-1 tests implies
+        // full correctness, so no counterexample exists.
+        let m = m3();
+        let network = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r2; cmp r2 r3; cmovg r2 r3; cmovg r3 s1; \
+                 mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1",
+            )
+            .unwrap();
+        assert!(m.is_correct(&network));
+        assert_eq!(zero_one_counterexample(&m, &network), None);
+    }
+
+    #[test]
+    fn zero_one_lemma_fails_for_free_form_cmov_programs() {
+        // §2.3: because cmp and cmov are *separate* instructions, a program
+        // can react to stale flags — something a single-instruction
+        // compare-and-swap can never do — and the 0-1 lemma breaks.
+        //
+        // Witness: take the standard 11-instruction kernel and delete the
+        // final `cmp r1 r2`, so the last conditional block fires on the
+        // flags of the earlier `cmp r2 r3`. On every 0-1 input the stale
+        // guard happens to coincide with the right one, so all 2^3 = 8
+        // zero-one tests pass; the permutation [1, 3, 2] (three distinct
+        // values) exposes the bug.
+        let m = m3();
+        let stale_flags = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmovg r2 r1; cmovg r1 s1",
+            )
+            .unwrap();
+        assert!(sorts_all_zero_one(&m, &stale_flags));
+        assert!(!m.is_correct(&stale_flags));
+        let witness = zero_one_counterexample(&m, &stale_flags)
+            .expect("0-1 lemma violation witness exists");
+        assert_eq!(witness, vec![1, 3, 2]);
+
+        // Sanity: the unmutated kernel is correct, so no witness exists.
+        let full = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmp r1 r2; cmovg r2 r1; cmovg r1 s1",
+            )
+            .unwrap();
+        assert!(m.is_correct(&full));
+        assert_eq!(zero_one_counterexample(&m, &full), None);
+    }
+}

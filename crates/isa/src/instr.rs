@@ -1,0 +1,320 @@
+//! Instructions and programs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::machine::{Machine, Reg};
+
+/// An opcode of either kernel ISA.
+///
+/// `Mov`, `Cmp`, `Cmovl`, `Cmovg` form the conditional-move ISA of the
+/// paper's §2.2; `Mov`, `Min`, `Max` form the min/max (vector) ISA of §5.4.
+/// `Cmp` is the only flag-writing instruction; `Cmovl`/`Cmovg` are the only
+/// flag readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Op {
+    /// `mov dst, src`: unconditionally copy `src` into `dst`.
+    Mov,
+    /// `cmp a, b`: set the `lt` flag if `a < b`, the `gt` flag if `a > b`.
+    Cmp,
+    /// `cmovl dst, src`: copy `src` into `dst` if the `lt` flag is set.
+    Cmovl,
+    /// `cmovg dst, src`: copy `src` into `dst` if the `gt` flag is set.
+    Cmovg,
+    /// `min dst, src`: `dst = min(dst, src)` (models `pminsd`/`pminud`).
+    Min,
+    /// `max dst, src`: `dst = max(dst, src)` (models `pmaxsd`/`pmaxud`).
+    Max,
+}
+
+impl Op {
+    /// The assembly-style mnemonic (`"mov"`, `"cmp"`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Mov => "mov",
+            Op::Cmp => "cmp",
+            Op::Cmovl => "cmovl",
+            Op::Cmovg => "cmovg",
+            Op::Min => "min",
+            Op::Max => "max",
+        }
+    }
+
+    /// Whether this opcode reads the comparison flags.
+    pub fn reads_flags(self) -> bool {
+        matches!(self, Op::Cmovl | Op::Cmovg)
+    }
+
+    /// Whether this opcode writes the comparison flags.
+    pub fn writes_flags(self) -> bool {
+        matches!(self, Op::Cmp)
+    }
+
+    /// Whether this opcode may write its first (destination) operand.
+    pub fn writes_dst(self) -> bool {
+        !matches!(self, Op::Cmp)
+    }
+
+    /// Whether this opcode reads its first (destination) operand.
+    ///
+    /// `mov` overwrites the destination without reading it; everything else
+    /// either compares it (`cmp`), conditionally keeps it (`cmovl`/`cmovg` —
+    /// the old value survives when the flag is clear, which is a read for
+    /// dependence purposes), or combines it (`min`/`max`).
+    pub fn reads_dst(self) -> bool {
+        !matches!(self, Op::Mov)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A single two-operand instruction: `op dst, src`.
+///
+/// Register operands are [`Reg`] indices into the combined
+/// `r1..rn, s1..sm` register file of a [`Machine`]; use
+/// [`Machine::format_instr`] to render them with their `r`/`s` names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Instr {
+    /// The opcode.
+    pub op: Op,
+    /// First operand (destination for all ops; left comparand for `cmp`).
+    pub dst: Reg,
+    /// Second operand (source; right comparand for `cmp`).
+    pub src: Reg,
+}
+
+impl Instr {
+    /// Creates an instruction.
+    pub fn new(op: Op, dst: Reg, src: Reg) -> Self {
+        Instr { op, dst, src }
+    }
+}
+
+/// A straight-line kernel program: a sequence of [`Instr`].
+pub type Program = Vec<Instr>;
+
+/// Error returned by [`Machine::parse_program`] for malformed program text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    msg: String,
+}
+
+impl ParseProgramError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ParseProgramError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid kernel program: {}", self.msg)
+    }
+}
+
+impl Error for ParseProgramError {}
+
+impl Machine {
+    /// Renders `instr` with `r`/`s` register names, e.g. `"cmovl r1 s1"`.
+    pub fn format_instr(&self, instr: Instr) -> String {
+        format!(
+            "{} {} {}",
+            instr.op,
+            self.reg_name(instr.dst),
+            self.reg_name(instr.src)
+        )
+    }
+
+    /// Renders a whole program, one instruction per line.
+    pub fn format_program(&self, prog: &[Instr]) -> String {
+        let mut out = String::new();
+        for &i in prog {
+            out.push_str(&self.format_instr(i));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Name of register `reg`: `r1..rn` for value registers, `s1..sm` for
+    /// scratch registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range for this machine.
+    pub fn reg_name(&self, reg: Reg) -> String {
+        let idx = reg.index() as usize;
+        let n = self.n() as usize;
+        assert!(idx < self.num_regs() as usize, "register out of range");
+        if idx < n {
+            format!("r{}", idx + 1)
+        } else {
+            format!("s{}", idx - n + 1)
+        }
+    }
+
+    /// Parses a register name (`r3`, `s1`, …) for this machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseProgramError`] if the name is malformed or the index is
+    /// out of range.
+    pub fn parse_reg(&self, text: &str) -> Result<Reg, ParseProgramError> {
+        let text = text.trim().trim_end_matches(',');
+        let (kind, num) = text.split_at(1.min(text.len()));
+        let idx: usize = num
+            .parse()
+            .map_err(|_| ParseProgramError::new(format!("bad register `{text}`")))?;
+        if idx == 0 {
+            return Err(ParseProgramError::new(format!("bad register `{text}`")));
+        }
+        let reg = match kind {
+            "r" if idx <= self.n() as usize => Reg::new((idx - 1) as u8),
+            "s" if idx <= self.scratch() as usize => Reg::new((self.n() as usize + idx - 1) as u8),
+            _ => {
+                return Err(ParseProgramError::new(format!(
+                    "register `{text}` out of range for n={}, m={}",
+                    self.n(),
+                    self.scratch()
+                )))
+            }
+        };
+        Ok(reg)
+    }
+
+    /// Parses program text: instructions separated by newlines or `;`, each
+    /// of the form `op dst src` (an optional comma after `dst` is accepted).
+    /// Blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseProgramError`] on unknown mnemonics, malformed
+    /// registers, or instructions foreign to this machine's ISA.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sortsynth_isa::{IsaMode, Machine};
+    ///
+    /// let machine = Machine::new(2, 1, IsaMode::Cmov);
+    /// let prog = machine.parse_program("cmp r1 r2\ncmovg s1 r1")?;
+    /// assert_eq!(prog.len(), 2);
+    /// # Ok::<(), sortsynth_isa::ParseProgramError>(())
+    /// ```
+    pub fn parse_program(&self, text: &str) -> Result<Program, ParseProgramError> {
+        let mut prog = Program::new();
+        for raw in text.split(['\n', ';']) {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let mnemonic = parts.next().expect("non-empty line has a token");
+            let op = match mnemonic {
+                "mov" | "movdqa" => Op::Mov,
+                "cmp" => Op::Cmp,
+                "cmovl" => Op::Cmovl,
+                "cmovg" => Op::Cmovg,
+                "min" | "pminsd" | "pminud" => Op::Min,
+                "max" | "pmaxsd" | "pmaxud" => Op::Max,
+                other => {
+                    return Err(ParseProgramError::new(format!("unknown mnemonic `{other}`")))
+                }
+            };
+            if !self.mode().ops().contains(&op) {
+                return Err(ParseProgramError::new(format!(
+                    "op `{op}` not in the {:?} ISA",
+                    self.mode()
+                )));
+            }
+            let dst = self.parse_reg(
+                parts
+                    .next()
+                    .ok_or_else(|| ParseProgramError::new(format!("`{line}`: missing dst")))?,
+            )?;
+            let src = self.parse_reg(
+                parts
+                    .next()
+                    .ok_or_else(|| ParseProgramError::new(format!("`{line}`: missing src")))?,
+            )?;
+            if parts.next().is_some() {
+                return Err(ParseProgramError::new(format!("`{line}`: trailing tokens")));
+            }
+            prog.push(Instr::new(op, dst, src));
+        }
+        Ok(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::IsaMode;
+
+    #[test]
+    fn op_flag_usage() {
+        assert!(Op::Cmp.writes_flags());
+        assert!(!Op::Cmp.writes_dst());
+        assert!(Op::Cmovl.reads_flags());
+        assert!(Op::Cmovg.reads_flags());
+        assert!(!Op::Mov.reads_flags());
+        assert!(!Op::Min.reads_flags());
+        assert!(!Op::Mov.reads_dst());
+        assert!(Op::Min.reads_dst());
+    }
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        let machine = Machine::new(3, 2, IsaMode::Cmov);
+        let text = "mov r1 r2\ncmp r2 s1\ncmovl s2 r3\ncmovg r3 r1\n";
+        let prog = machine.parse_program(text).unwrap();
+        assert_eq!(machine.format_program(&prog), text);
+    }
+
+    #[test]
+    fn parse_accepts_semicolons_commas_comments() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let prog = machine
+            .parse_program("# header\nmov s1, r2; cmp r1 r2 # trailing\n\ncmovg r2 r1")
+            .unwrap();
+        assert_eq!(prog.len(), 3);
+        assert_eq!(prog[0], Instr::new(Op::Mov, Reg::new(2), Reg::new(1)));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        assert!(machine.parse_program("bogus r1 r2").is_err());
+        assert!(machine.parse_program("mov r1").is_err());
+        assert!(machine.parse_program("mov r1 r5").is_err());
+        assert!(machine.parse_program("mov r0 r1").is_err());
+        assert!(machine.parse_program("mov r1 s2").is_err());
+        assert!(machine.parse_program("mov r1 r2 r3").is_err());
+        // min/max are not part of the cmov ISA.
+        assert!(machine.parse_program("min r1 r2").is_err());
+    }
+
+    #[test]
+    fn parse_minmax_mnemonic_aliases() {
+        let machine = Machine::new(3, 1, IsaMode::MinMax);
+        let prog = machine
+            .parse_program("movdqa s1 r1\npminud s1 r2\npmaxsd r2 r1")
+            .unwrap();
+        assert_eq!(prog[1].op, Op::Min);
+        assert_eq!(prog[2].op, Op::Max);
+        assert!(machine.parse_program("cmovl r1 r2").is_err());
+    }
+
+    #[test]
+    fn reg_names() {
+        let machine = Machine::new(3, 2, IsaMode::Cmov);
+        assert_eq!(machine.reg_name(Reg::new(0)), "r1");
+        assert_eq!(machine.reg_name(Reg::new(2)), "r3");
+        assert_eq!(machine.reg_name(Reg::new(3)), "s1");
+        assert_eq!(machine.reg_name(Reg::new(4)), "s2");
+    }
+}

@@ -1,0 +1,314 @@
+//! Machine configuration: register file, ISA selection, action sets,
+//! execution, and correctness checking.
+
+use std::fmt;
+
+use crate::instr::{Instr, Op};
+use crate::perm::permutations;
+use crate::state::{MachineState, MAX_REGS};
+
+/// Index of a register in the combined `r1..rn, s1..sm` register file.
+///
+/// Indices `0..n` are the value registers `r1..rn`; indices `n..n+m` are the
+/// scratch registers `s1..sm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its file index.
+    pub fn new(index: u8) -> Self {
+        Reg(index)
+    }
+
+    /// The register-file index.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Which of the paper's two instruction sets a [`Machine`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum IsaMode {
+    /// `mov`/`cmp`/`cmovl`/`cmovg` over general-purpose registers (§2.2).
+    Cmov,
+    /// `mov`/`min`/`max` over vector registers (§5.4).
+    MinMax,
+}
+
+impl IsaMode {
+    /// The opcodes belonging to this ISA.
+    pub fn ops(self) -> &'static [Op] {
+        match self {
+            IsaMode::Cmov => &[Op::Mov, Op::Cmp, Op::Cmovl, Op::Cmovg],
+            IsaMode::MinMax => &[Op::Mov, Op::Min, Op::Max],
+        }
+    }
+}
+
+/// The synthesis machine: `n` value registers, `m` scratch registers, and an
+/// ISA.
+///
+/// All synthesis back-ends in the workspace are parameterized by a `Machine`.
+/// It provides the canonical *action set* (the instructions a synthesizer may
+/// emit, after the paper's symmetry restrictions), program execution over the
+/// packed [`MachineState`], and the permutation-test-suite correctness check
+/// of §2.3.
+///
+/// # Examples
+///
+/// ```
+/// use sortsynth_isa::{IsaMode, Machine};
+///
+/// let machine = Machine::new(3, 1, IsaMode::Cmov);
+/// assert_eq!(machine.num_regs(), 4);
+/// assert_eq!(machine.initial_states().len(), 6); // 3! permutations
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Machine {
+    n: u8,
+    scratch: u8,
+    mode: IsaMode,
+}
+
+impl Machine {
+    /// Creates a machine sorting `n` values with `scratch` scratch registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, or `n + scratch` exceeds the packed-state register
+    /// limit, or `n > 14` (values must fit in a nibble).
+    pub fn new(n: u8, scratch: u8, mode: IsaMode) -> Self {
+        assert!(n >= 2, "need at least two values to sort");
+        assert!(n <= 14, "values 1..=n must fit in a nibble");
+        assert!(
+            n + scratch <= MAX_REGS,
+            "register file exceeds packed-state capacity"
+        );
+        Machine { n, scratch, mode }
+    }
+
+    /// Number of values to sort.
+    pub fn n(&self) -> u8 {
+        self.n
+    }
+
+    /// Number of scratch registers.
+    pub fn scratch(&self) -> u8 {
+        self.scratch
+    }
+
+    /// The instruction set in use.
+    pub fn mode(&self) -> IsaMode {
+        self.mode
+    }
+
+    /// Total registers (`n + scratch`).
+    pub fn num_regs(&self) -> u8 {
+        self.n + self.scratch
+    }
+
+    /// Iterator over all register indices.
+    pub fn regs(&self) -> impl Iterator<Item = Reg> {
+        (0..self.num_regs()).map(Reg::new)
+    }
+
+    /// The initial machine state for one input permutation: `r_i` holds
+    /// `perm[i]`, scratch registers hold 0, flags unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != n`.
+    pub fn initial_state(&self, perm: &[u8]) -> MachineState {
+        assert_eq!(perm.len(), self.n as usize, "permutation length mismatch");
+        let mut values = perm.to_vec();
+        values.resize(self.num_regs() as usize, 0);
+        MachineState::from_values(&values)
+    }
+
+    /// Initial states for all `n!` permutations of `1..=n` — the paper's
+    /// complete correctness test suite (§2.3).
+    pub fn initial_states(&self) -> Vec<MachineState> {
+        permutations(self.n)
+            .iter()
+            .map(|p| self.initial_state(p))
+            .collect()
+    }
+
+    /// Whether the value registers of `state` hold `1..=n` in order — i.e.
+    /// this register assignment is sorted.
+    #[inline]
+    pub fn is_sorted(&self, state: MachineState) -> bool {
+        (0..self.n).all(|i| state.reg(Reg::new(i)) == i + 1)
+    }
+
+    /// Runs `prog` on `state`, returning the final state.
+    pub fn run(&self, prog: &[Instr], mut state: MachineState) -> MachineState {
+        for &instr in prog {
+            state.exec(instr);
+        }
+        state
+    }
+
+    /// Checks correctness on the full permutation test suite (§2.3):
+    /// `prog` must sort every permutation of `1..=n`.
+    pub fn is_correct(&self, prog: &[Instr]) -> bool {
+        self.initial_states()
+            .into_iter()
+            .all(|st| self.is_sorted(self.run(prog, st)))
+    }
+
+    /// Returns the inputs (as permutations of `1..=n`) that `prog` fails to
+    /// sort. Empty iff [`Self::is_correct`].
+    pub fn counterexamples(&self, prog: &[Instr]) -> Vec<Vec<u8>> {
+        permutations(self.n)
+            .into_iter()
+            .filter(|p| !self.is_sorted(self.run(prog, self.initial_state(p))))
+            .collect()
+    }
+
+    /// The canonical action set used by the enumerative search (§3.2): every
+    /// instruction of the ISA over the register file, except
+    ///
+    /// * no instruction with `dst == src` (self-moves are no-ops, `cmp x x`
+    ///   is nonsensical), and
+    /// * `cmp` only with `dst.index() < src.index()` — the paper's symmetry
+    ///   restriction exploiting the `lt`/`gt` flag swap,
+    /// * `min`/`max` likewise only with `dst.index() != src.index()` (both
+    ///   operand orders are kept: destinations differ, so they are not
+    ///   symmetric).
+    pub fn actions(&self) -> Vec<Instr> {
+        let mut out = Vec::new();
+        for &op in self.mode.ops() {
+            for dst in self.regs() {
+                for src in self.regs() {
+                    if dst == src {
+                        continue;
+                    }
+                    if op == Op::Cmp && dst.index() > src.index() {
+                        continue;
+                    }
+                    out.push(Instr::new(op, dst, src));
+                }
+            }
+        }
+        out
+    }
+
+    /// The unrestricted instruction space `ops × regs × regs` (used by the
+    /// stochastic and MCTS baselines, which the paper runs without the
+    /// enumerative symmetry restrictions). Includes `dst == src`.
+    pub fn all_instrs(&self) -> Vec<Instr> {
+        let mut out = Vec::new();
+        for &op in self.mode.ops() {
+            for dst in self.regs() {
+                for src in self.regs() {
+                    out.push(Instr::new(op, dst, src));
+                }
+            }
+        }
+        out
+    }
+
+    /// `log10` of the size of the program space of length `len`:
+    /// `(|ops| · (n+m)²)^len`, the formula of §5.1.
+    pub fn program_space_log10(&self, len: u32) -> f64 {
+        let per_step = self.mode.ops().len() as f64 * (self.num_regs() as f64).powi(2);
+        len as f64 * per_step.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_layout() {
+        let m = Machine::new(3, 2, IsaMode::Cmov);
+        let st = m.initial_state(&[3, 1, 2]);
+        assert_eq!(st.values(5), vec![3, 1, 2, 0, 0]);
+        assert!(!st.lt_flag() && !st.gt_flag());
+    }
+
+    #[test]
+    fn sortedness() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        assert!(m.is_sorted(m.initial_state(&[1, 2, 3])));
+        assert!(!m.is_sorted(m.initial_state(&[2, 1, 3])));
+        // Scratch contents are irrelevant to sortedness.
+        let mut st = m.initial_state(&[1, 2, 3]);
+        st.set_reg(Reg::new(3), 7);
+        assert!(m.is_sorted(st));
+    }
+
+    #[test]
+    fn cas_snippet_is_correct_for_n2() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let prog = m
+            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+            .unwrap();
+        assert!(m.is_correct(&prog));
+        assert!(m.counterexamples(&prog).is_empty());
+    }
+
+    #[test]
+    fn incorrect_program_yields_counterexamples() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        // `mov r1 r2` erases r1's value: [1,2] becomes [2,2] and [2,1]
+        // becomes [1,1], so both permutations are counterexamples.
+        let prog = m.parse_program("mov r1 r2").unwrap();
+        assert!(!m.is_correct(&prog));
+        assert_eq!(m.counterexamples(&prog), vec![vec![1, 2], vec![2, 1]]);
+        // The empty program fails exactly on the unsorted permutation.
+        assert_eq!(m.counterexamples(&[]), vec![vec![2, 1]]);
+    }
+
+    #[test]
+    fn minmax_cas_is_correct_for_n2() {
+        let m = Machine::new(2, 1, IsaMode::MinMax);
+        // mov s1 r1; min r1 r2; max r2 s1 — the three-instruction CAS.
+        let prog = m.parse_program("mov s1 r1; min r1 r2; max r2 s1").unwrap();
+        assert!(m.is_correct(&prog));
+    }
+
+    #[test]
+    fn action_set_counts() {
+        // n=3, m=1, cmov: mov/cmovl/cmovg over 4*3 ordered pairs each, plus
+        // cmp over C(4,2)=6 unordered pairs.
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        assert_eq!(m.actions().len(), 3 * 12 + 6);
+        assert_eq!(m.all_instrs().len(), 4 * 16);
+        // Every cmp action respects the operand ordering restriction.
+        assert!(m
+            .actions()
+            .iter()
+            .filter(|i| i.op == Op::Cmp)
+            .all(|i| i.dst.index() < i.src.index()));
+    }
+
+    #[test]
+    fn program_space_formula_matches_paper_table() {
+        // §5.1: for n=3 (m=1), optimal size 11 → ≈ 10^19.9.
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let log = m.program_space_log10(11);
+        assert!((log - 19.9).abs() < 0.1, "got {log}");
+        // n=4, len 20 → ≈ 10^40.0.
+        let m4 = Machine::new(4, 1, IsaMode::Cmov);
+        let log4 = m4.program_space_log10(20);
+        assert!((log4 - 40.0).abs() < 0.1, "got {log4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length mismatch")]
+    fn initial_state_validates_length() {
+        Machine::new(3, 1, IsaMode::Cmov).initial_state(&[1, 2]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Permutation utilities for the correctness test suite.
+
+/// `n!` as a `u64`.
+///
+/// # Panics
+///
+/// Panics on overflow (`n > 20`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sortsynth_isa::factorial(5), 120);
+/// ```
+pub fn factorial(n: u8) -> u64 {
+    (1..=n as u64).product()
+}
+
+/// All permutations of `1..=n`, in lexicographic order.
+///
+/// The first entry is the identity `[1, 2, …, n]` and the last is the
+/// reversal. Lexicographic order makes test expectations and deduplication
+/// deterministic across the workspace.
+///
+/// # Examples
+///
+/// ```
+/// let perms = sortsynth_isa::permutations(3);
+/// assert_eq!(perms.len(), 6);
+/// assert_eq!(perms[0], vec![1, 2, 3]);
+/// assert_eq!(perms[5], vec![3, 2, 1]);
+/// ```
+pub fn permutations(n: u8) -> Vec<Vec<u8>> {
+    let mut current: Vec<u8> = (1..=n).collect();
+    let mut out = Vec::with_capacity(factorial(n) as usize);
+    loop {
+        out.push(current.clone());
+        if !next_permutation(&mut current) {
+            return out;
+        }
+    }
+}
+
+/// Advances `arr` to its lexicographic successor; returns `false` (leaving
+/// `arr` untouched) when `arr` is already the last permutation.
+fn next_permutation(arr: &mut [u8]) -> bool {
+    if arr.len() < 2 {
+        return false;
+    }
+    // Find the longest non-increasing suffix.
+    let mut i = arr.len() - 1;
+    while i > 0 && arr[i - 1] >= arr[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    // Pivot arr[i-1] is smaller than some element of the suffix: swap with the
+    // rightmost such element, then reverse the suffix.
+    let mut j = arr.len() - 1;
+    while arr[j] <= arr[i - 1] {
+        j -= 1;
+    }
+    arr.swap(i - 1, j);
+    arr[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(4), 24);
+        assert_eq!(factorial(6), 720);
+    }
+
+    #[test]
+    fn permutation_counts_match_factorial() {
+        for n in 1..=6u8 {
+            assert_eq!(permutations(n).len() as u64, factorial(n));
+        }
+    }
+
+    #[test]
+    fn permutations_are_distinct_and_are_permutations() {
+        let perms = permutations(5);
+        let set: HashSet<_> = perms.iter().cloned().collect();
+        assert_eq!(set.len(), perms.len());
+        for p in &perms {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let perms = permutations(4);
+        for w in perms.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

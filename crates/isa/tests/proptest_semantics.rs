@@ -1,0 +1,155 @@
+//! Property-based tests for the ISA semantics and cost models.
+
+use proptest::prelude::*;
+use sortsynth_isa::{
+    critical_path, permutations, uica_estimate, weighted_score, CostWeights, Instr, IsaMode,
+    Machine, MachineState, Op, Program, Reg,
+};
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    (2u8..=5, 1u8..=2, prop_oneof![Just(IsaMode::Cmov), Just(IsaMode::MinMax)])
+        .prop_map(|(n, m, mode)| Machine::new(n, m, mode))
+}
+
+/// An arbitrary instruction valid for `machine`.
+fn arb_instr(machine: Machine) -> impl Strategy<Value = Instr> {
+    let instrs = machine.all_instrs();
+    (0..instrs.len()).prop_map(move |i| instrs[i])
+}
+
+fn arb_program(machine: Machine, max_len: usize) -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_instr(machine), 0..max_len)
+}
+
+proptest! {
+    #[test]
+    fn pack_round_trips(values in prop::collection::vec(0u8..=15, 0..=15)) {
+        let st = MachineState::from_values(&values);
+        prop_assert_eq!(st.values(values.len() as u8), values);
+    }
+
+    #[test]
+    fn set_reg_is_isolated(values in prop::collection::vec(0u8..=15, 1..=15), idx in 0usize..15, v in 0u8..=15) {
+        let idx = idx % values.len();
+        let mut st = MachineState::from_values(&values);
+        st.set_reg(Reg::new(idx as u8), v);
+        for (i, &orig) in values.iter().enumerate() {
+            let expected = if i == idx { v } else { orig };
+            prop_assert_eq!(st.reg(Reg::new(i as u8)), expected);
+        }
+    }
+
+    /// Kernels only move values around: execution can never introduce a
+    /// value that was not already in some register.
+    #[test]
+    fn execution_never_invents_values(
+        (machine, prog) in arb_machine().prop_flat_map(|m| {
+            let mc = m.clone();
+            arb_program(mc, 24).prop_map(move |p| (m.clone(), p))
+        }),
+        perm_idx in 0usize..120,
+    ) {
+        let perms = permutations(machine.n());
+        let perm = &perms[perm_idx % perms.len()];
+        let mut value_set = 0u16;
+        let init = machine.initial_state(perm);
+        for r in machine.regs() {
+            value_set |= 1 << init.reg(r);
+        }
+        let out = machine.run(&prog, init);
+        for r in machine.regs() {
+            prop_assert!(value_set & (1 << out.reg(r)) != 0, "value invented at {r:?}");
+        }
+    }
+
+    /// Only `cmp` writes flags; every other opcode preserves them.
+    #[test]
+    fn flag_discipline(
+        (machine, instr) in arb_machine().prop_flat_map(|m| {
+            let mc = m.clone();
+            arb_instr(mc).prop_map(move |i| (m.clone(), i))
+        }),
+        lt in any::<bool>(),
+    ) {
+        let perms = permutations(machine.n());
+        let mut st = machine.initial_state(&perms[perms.len() - 1]);
+        st.set_flags(lt, !lt);
+        let before = (st.lt_flag(), st.gt_flag());
+        st.exec(instr);
+        if instr.op.writes_flags() {
+            // cmp of distinct-or-equal values: flags are a function of the
+            // compared values; at least they are never both set.
+            prop_assert!(!(st.lt_flag() && st.gt_flag()));
+        } else {
+            prop_assert_eq!((st.lt_flag(), st.gt_flag()), before);
+        }
+    }
+
+    /// `format` then `parse` is the identity on canonical programs.
+    #[test]
+    fn parse_format_round_trip(
+        (machine, prog) in arb_machine().prop_flat_map(|m| {
+            let mc = m.clone();
+            arb_program(mc, 16).prop_map(move |p| (m.clone(), p))
+        }),
+    ) {
+        let text = machine.format_program(&prog);
+        let reparsed = machine.parse_program(&text).expect("own output parses");
+        prop_assert_eq!(reparsed, prog);
+    }
+
+    /// Cost models are consistent: weighted score is additive over
+    /// concatenation, and the critical path never exceeds program length.
+    #[test]
+    fn cost_model_invariants(
+        (machine, a, b) in arb_machine().prop_flat_map(|m| {
+            let m1 = m.clone();
+            let m2 = m.clone();
+            (arb_program(m1, 12), arb_program(m2, 12)).prop_map(move |(a, b)| (m.clone(), a, b))
+        }),
+    ) {
+        let _ = &machine;
+        let w = CostWeights::default();
+        let mut ab = a.clone();
+        ab.extend_from_slice(&b);
+        prop_assert_eq!(weighted_score(&ab, w), weighted_score(&a, w) + weighted_score(&b, w));
+        prop_assert!(critical_path(&ab) as usize <= ab.len());
+        prop_assert!(critical_path(&ab) >= critical_path(&a));
+        prop_assert!(uica_estimate(&ab) <= ab.len() as f64 + 1e-9);
+    }
+
+    /// Instruction execution is deterministic.
+    #[test]
+    fn execution_is_deterministic(
+        (machine, prog) in arb_machine().prop_flat_map(|m| {
+            let mc = m.clone();
+            arb_program(mc, 20).prop_map(move |p| (m.clone(), p))
+        }),
+    ) {
+        for st in machine.initial_states() {
+            prop_assert_eq!(machine.run(&prog, st), machine.run(&prog, st));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A correct kernel stays correct under appending flag-neutral no-ops
+    /// (`cmp` does not move data, so appending one preserves sortedness).
+    #[test]
+    fn appending_cmp_preserves_correctness(dst in 0u8..3, src in 0u8..3) {
+        prop_assume!(dst < src);
+        let machine = Machine::new(3, 1, IsaMode::Cmov);
+        let mut prog = machine
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmp r1 r2; cmovg r2 r1; cmovg r1 s1",
+            )
+            .expect("reference kernel parses");
+        prop_assert!(machine.is_correct(&prog));
+        prog.push(Instr::new(Op::Cmp, Reg::new(dst), Reg::new(src)));
+        prop_assert!(machine.is_correct(&prog));
+    }
+}

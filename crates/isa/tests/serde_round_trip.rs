@@ -1,0 +1,45 @@
+//! JSON round-trip tests for the serde feature (`--features serde`).
+
+#![cfg(feature = "serde")]
+
+use sortsynth_isa::{Instr, IsaMode, Machine, MachineState, Op, Program, Reg};
+
+#[test]
+fn instr_round_trips_through_json() {
+    let instr = Instr::new(Op::Cmovl, Reg::new(2), Reg::new(3));
+    let json = serde_json::to_string(&instr).expect("serialize");
+    let back: Instr = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, instr);
+}
+
+#[test]
+fn program_round_trips_through_json() {
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let prog = machine
+        .parse_program("mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1")
+        .expect("parses");
+    let json = serde_json::to_string(&prog).expect("serialize");
+    let back: Program = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, prog);
+    assert_eq!(machine.format_program(&back), machine.format_program(&prog));
+}
+
+#[test]
+fn machine_round_trips_through_json() {
+    for mode in [IsaMode::Cmov, IsaMode::MinMax] {
+        let machine = Machine::new(4, 2, mode);
+        let json = serde_json::to_string(&machine).expect("serialize");
+        let back: Machine = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, machine);
+    }
+}
+
+#[test]
+fn machine_state_round_trips_through_json() {
+    let mut st = MachineState::from_values(&[3, 1, 2, 0]);
+    st.set_flags(true, false);
+    let json = serde_json::to_string(&st).expect("serialize");
+    let back: MachineState = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, st);
+    assert!(back.lt_flag());
+}

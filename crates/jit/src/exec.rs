@@ -1,0 +1,143 @@
+//! Executable memory buffers (W^X discipline).
+
+use std::error::Error;
+use std::fmt;
+use std::ptr;
+
+/// Errors from JIT compilation or buffer management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JitError {
+    /// The host is not x86-64, so generated code cannot run.
+    UnsupportedTarget,
+    /// The kernel needs more registers than the JIT ABI provides.
+    TooManyRegisters {
+        /// Registers the kernel program uses.
+        needed: usize,
+        /// Registers the ABI can allocate.
+        available: usize,
+    },
+    /// The program uses opcodes outside the ISA the backend was asked for.
+    MixedIsa,
+    /// `mmap`/`mprotect` failed.
+    Os(i32),
+}
+
+impl fmt::Display for JitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JitError::UnsupportedTarget => {
+                write!(f, "native kernel execution requires an x86-64 host")
+            }
+            JitError::TooManyRegisters { needed, available } => write!(
+                f,
+                "kernel uses {needed} registers but the JIT ABI provides {available}"
+            ),
+            JitError::MixedIsa => write!(f, "program mixes cmov and min/max instructions"),
+            JitError::Os(errno) => write!(f, "memory mapping failed (errno {errno})"),
+        }
+    }
+}
+
+impl Error for JitError {}
+
+/// A page-aligned buffer of executable machine code.
+///
+/// The buffer is mapped read-write, filled, then flipped to read-execute
+/// (never writable and executable at once).
+#[derive(Debug)]
+pub struct ExecBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The buffer is immutable after construction and freed exactly once in Drop.
+unsafe impl Send for ExecBuf {}
+unsafe impl Sync for ExecBuf {}
+
+impl ExecBuf {
+    /// Maps `code` into executable memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JitError::Os`] if the kernel refuses the mapping.
+    pub fn new(code: &[u8]) -> Result<Self, JitError> {
+        let page = 4096usize;
+        let len = code.len().div_ceil(page).max(1) * page;
+        // SAFETY: anonymous private mapping with no requested address; the
+        // kernel returns either MAP_FAILED or a fresh region of `len` bytes.
+        let ptr = unsafe {
+            libc::mmap(
+                ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(JitError::Os(last_errno()));
+        }
+        let ptr = ptr as *mut u8;
+        // SAFETY: `ptr..ptr+code.len()` is within the fresh RW mapping.
+        unsafe { ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len()) };
+        // SAFETY: flipping our own fresh mapping to RX.
+        let rc = unsafe { libc::mprotect(ptr as *mut libc::c_void, len, libc::PROT_READ | libc::PROT_EXEC) };
+        if rc != 0 {
+            // SAFETY: unmapping the mapping we just created.
+            unsafe { libc::munmap(ptr as *mut libc::c_void, len) };
+            return Err(JitError::Os(last_errno()));
+        }
+        Ok(ExecBuf { ptr, len })
+    }
+
+    /// Base address of the executable code.
+    pub fn as_ptr(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// Mapped length in bytes (page-rounded).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a successful map).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for ExecBuf {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` came from our own successful mmap.
+        unsafe {
+            libc::munmap(self.ptr as *mut libc::c_void, self.len);
+        }
+    }
+}
+
+fn last_errno() -> i32 {
+    std::io::Error::last_os_error().raw_os_error().unwrap_or(-1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_rounds_to_pages() {
+        let buf = ExecBuf::new(&[0xC3]).unwrap();
+        assert_eq!(buf.len(), 4096);
+        assert!(!buf.is_empty());
+        assert!(!buf.as_ptr().is_null());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn executes_ret() {
+        // A bare `ret` is a valid no-op function.
+        let buf = ExecBuf::new(&[0xC3]).unwrap();
+        let f: extern "C" fn() = unsafe { std::mem::transmute(buf.as_ptr()) };
+        f();
+    }
+}

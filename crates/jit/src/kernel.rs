@@ -1,0 +1,278 @@
+//! Compiling kernel programs to native functions.
+
+use sortsynth_isa::{Instr, IsaMode, Machine, Op};
+
+use crate::asm::{Asm, Gpr, Xmm};
+use crate::exec::{ExecBuf, JitError};
+
+/// The native calling convention of compiled kernels:
+/// `fn(data: *mut i32)` where `data[0..n]` holds the values to sort in
+/// place.
+pub type KernelFn = unsafe extern "C" fn(*mut i32);
+
+/// A sorting-kernel program compiled to native x86-64 code.
+///
+/// The compiled function loads `data[0..n]` into registers, runs the kernel
+/// body register-to-register (exactly the instruction sequence that was
+/// synthesized — the loads/stores are the fixed prologue/epilogue the paper
+/// excludes from kernel length, §5.3), and stores the sorted values back.
+///
+/// # Examples
+///
+/// ```
+/// use sortsynth_isa::{IsaMode, Machine};
+/// use sortsynth_jit::JitKernel;
+///
+/// let machine = Machine::new(2, 1, IsaMode::Cmov);
+/// let prog = machine.parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")?;
+/// let kernel = JitKernel::compile(&machine, &prog)?;
+/// let mut data = [9, -3];
+/// kernel.run(&mut data);
+/// assert_eq!(data, [-3, 9]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct JitKernel {
+    buf: ExecBuf,
+    code_len: usize,
+    n: usize,
+}
+
+impl JitKernel {
+    /// Compiles `prog` for `machine`.
+    ///
+    /// # Errors
+    ///
+    /// * [`JitError::UnsupportedTarget`] off x86-64,
+    /// * [`JitError::TooManyRegisters`] if `n + m` exceeds the ABI register
+    ///   pool (8 GPRs for the cmov ISA, 8 XMM registers for min/max),
+    /// * [`JitError::MixedIsa`] if `prog` contains opcodes outside
+    ///   `machine.mode()`,
+    /// * [`JitError::Os`] if executable memory cannot be mapped.
+    pub fn compile(machine: &Machine, prog: &[Instr]) -> Result<Self, JitError> {
+        if !cfg!(target_arch = "x86_64") {
+            return Err(JitError::UnsupportedTarget);
+        }
+        let code = emit(machine, prog)?;
+        let code_len = code.len();
+        Ok(JitKernel {
+            buf: ExecBuf::new(&code)?,
+            code_len,
+            n: machine.n() as usize,
+        })
+    }
+
+    /// Number of values the kernel sorts.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The emitted machine code (prologue + body + epilogue + `ret`).
+    pub fn code(&self) -> &[u8] {
+        // SAFETY: the first `code_len` bytes of the mapping are the code we
+        // wrote; the mapping is readable.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr(), self.code_len) }
+    }
+
+    /// The raw function pointer (for benchmarking loops that want to avoid
+    /// the bounds check in [`JitKernel::run`]).
+    ///
+    /// # Safety
+    ///
+    /// The caller must pass a pointer to at least `n` valid, writable
+    /// `i32`s.
+    pub unsafe fn as_fn(&self) -> KernelFn {
+        // SAFETY: the buffer holds a complete function with the KernelFn ABI.
+        unsafe { std::mem::transmute::<*const u8, KernelFn>(self.buf.as_ptr()) }
+    }
+
+    /// Sorts `data[0..n]` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() < n`.
+    pub fn run(&self, data: &mut [i32]) {
+        assert!(data.len() >= self.n, "kernel sorts {} values", self.n);
+        // SAFETY: `data` is a valid writable buffer of at least n i32s, and
+        // the compiled code only touches data[0..n] and caller-saved
+        // registers.
+        unsafe { (self.as_fn())(data.as_mut_ptr()) }
+    }
+}
+
+/// Emits prologue, body, and epilogue for `prog`.
+fn emit(machine: &Machine, prog: &[Instr]) -> Result<Vec<u8>, JitError> {
+    let regs = machine.num_regs() as usize;
+    let n = machine.n() as usize;
+    for instr in prog {
+        if !machine.mode().ops().contains(&instr.op) {
+            return Err(JitError::MixedIsa);
+        }
+    }
+    let mut asm = Asm::new();
+    match machine.mode() {
+        IsaMode::Cmov => {
+            let pool = Gpr::ALLOCATABLE;
+            if regs > pool.len() {
+                return Err(JitError::TooManyRegisters {
+                    needed: regs,
+                    available: pool.len(),
+                });
+            }
+            let reg = |r: sortsynth_isa::Reg| pool[r.index() as usize];
+            for i in 0..n {
+                asm.load(pool[i], Gpr::RDI, (4 * i) as i8);
+            }
+            // Scratch registers start at 0 in the machine model.
+            for i in n..regs {
+                asm.xor_self(pool[i]);
+            }
+            for &instr in prog {
+                let (dst, src) = (reg(instr.dst), reg(instr.src));
+                match instr.op {
+                    Op::Mov => asm.mov_rr(dst, src),
+                    Op::Cmp => asm.cmp_rr(dst, src),
+                    Op::Cmovl => asm.cmovl_rr(dst, src),
+                    Op::Cmovg => asm.cmovg_rr(dst, src),
+                    Op::Min | Op::Max => unreachable!("checked against the ISA above"),
+                }
+            }
+            for i in 0..n {
+                asm.store(Gpr::RDI, (4 * i) as i8, pool[i]);
+            }
+        }
+        IsaMode::MinMax => {
+            if regs > 8 {
+                return Err(JitError::TooManyRegisters {
+                    needed: regs,
+                    available: 8,
+                });
+            }
+            let reg = |r: sortsynth_isa::Reg| Xmm::new(r.index());
+            for i in 0..n {
+                asm.movd_load(Xmm::new(i as u8), Gpr::RDI, (4 * i) as i8);
+            }
+            // Scratch registers start at 0 in the machine model.
+            for i in n..regs {
+                asm.pxor_self(Xmm::new(i as u8));
+            }
+            for &instr in prog {
+                let (dst, src) = (reg(instr.dst), reg(instr.src));
+                match instr.op {
+                    Op::Mov => asm.movdqa_rr(dst, src),
+                    Op::Min => asm.pminsd_rr(dst, src),
+                    Op::Max => asm.pmaxsd_rr(dst, src),
+                    Op::Cmp | Op::Cmovl | Op::Cmovg => {
+                        unreachable!("checked against the ISA above")
+                    }
+                }
+            }
+            for i in 0..n {
+                asm.movd_store(Gpr::RDI, (4 * i) as i8, Xmm::new(i as u8));
+            }
+        }
+    }
+    asm.ret();
+    Ok(asm.into_code())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::permutations;
+
+    fn compile(machine: &Machine, text: &str) -> JitKernel {
+        let prog = machine.parse_program(text).unwrap();
+        JitKernel::compile(machine, &prog).unwrap()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn cas_sorts_two_values() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let k = compile(&m, "mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1");
+        for (a, b) in [(1, 2), (2, 1), (5, 5), (-7, 3), (3, -7), (i32::MAX, i32::MIN)] {
+            let mut data = [a, b];
+            k.run(&mut data);
+            assert_eq!(data, [a.min(b), a.max(b)], "input ({a}, {b})");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn minmax_cas_sorts_two_values() {
+        let m = Machine::new(2, 1, IsaMode::MinMax);
+        let k = compile(&m, "mov s1 r1; min r1 r2; max r2 s1");
+        for (a, b) in [(1, 2), (2, 1), (4, 4), (-9, 12), (12, -9)] {
+            let mut data = [a, b];
+            k.run(&mut data);
+            assert_eq!(data, [a.min(b), a.max(b)], "input ({a}, {b})");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn jit_agrees_with_interpreter_on_permutations() {
+        // The interpreter (MachineState::exec) is the semantic oracle; the
+        // JIT must sort every permutation exactly like it does.
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let text = "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                    mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                    cmp r1 r2; cmovg r2 r1; cmovg r1 s1";
+        let prog = m.parse_program(text).unwrap();
+        assert!(m.is_correct(&prog));
+        let k = JitKernel::compile(&m, &prog).unwrap();
+        for perm in permutations(3) {
+            let mut data: Vec<i32> = perm.iter().map(|&v| v as i32 * 100 - 150).collect();
+            k.run(&mut data);
+            let mut expected = data.clone();
+            expected.sort_unstable();
+            assert_eq!(data, expected, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn run_validates_buffer_length() {
+        if !cfg!(target_arch = "x86_64") {
+            return;
+        }
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let k = compile(&m, "mov s1 r2");
+        let result = std::panic::catch_unwind(|| {
+            let mut short = [1i32];
+            k.run(&mut short);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn mixed_isa_rejected() {
+        let cmov = Machine::new(2, 1, IsaMode::Cmov);
+        let minmax = Machine::new(2, 1, IsaMode::MinMax);
+        let prog = minmax.parse_program("min r1 r2").unwrap();
+        assert_eq!(
+            JitKernel::compile(&cmov, &prog).unwrap_err(),
+            JitError::MixedIsa
+        );
+    }
+
+    #[test]
+    fn too_many_registers_rejected() {
+        let m = Machine::new(6, 3, IsaMode::Cmov); // 9 > 8 GPRs
+        match JitKernel::compile(&m, &[]) {
+            Err(JitError::TooManyRegisters { needed: 9, available: 8 }) => {}
+            other => panic!("expected TooManyRegisters, got {other:?}"),
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn emitted_code_has_expected_shape() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let k = compile(&m, "cmp r1 r2");
+        // 2 loads (3 bytes each), 1 scratch xor (2 bytes), 1 cmp (2 bytes),
+        // 2 stores (3 bytes), ret.
+        assert_eq!(k.code().len(), 3 + 3 + 2 + 2 + 3 + 3 + 1);
+        assert_eq!(*k.code().last().unwrap(), 0xC3);
+    }
+}

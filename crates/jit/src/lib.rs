@@ -1,0 +1,28 @@
+//! x86-64 JIT back-end for sorting kernels.
+//!
+//! The paper benchmarks synthesized kernels as real machine code embedded
+//! via inline assembly (§5.3). This crate plays that role: it assembles a
+//! kernel [`Program`](sortsynth_isa::Program) into native x86-64 code — the
+//! exact `mov`/`cmp`/`cmovl`/`cmovg` (or `movdqa`/`pminsd`/`pmaxsd`)
+//! sequence the synthesizer produced, bracketed by the load/store
+//! prologue/epilogue the paper excludes from kernel length — and runs it on
+//! in-memory `i32` arrays.
+//!
+//! Three layers:
+//!
+//! * [`Asm`] — a tiny pure encoder for the needed instruction forms
+//!   (unit-tested byte-for-byte against reference assembler output),
+//! * [`ExecBuf`] — W^X executable memory management,
+//! * [`JitKernel`] — compilation plus a safe `run(&mut [i32])` entry point.
+//!
+//! On non-x86-64 hosts compilation fails with
+//! [`JitError::UnsupportedTarget`]; callers (the benchmark harness) fall
+//! back to the interpreter in `sortsynth-kernels`.
+
+mod asm;
+mod exec;
+mod kernel;
+
+pub use asm::{Asm, Gpr, Xmm};
+pub use exec::{ExecBuf, JitError};
+pub use kernel::{JitKernel, KernelFn};

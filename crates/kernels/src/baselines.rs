@@ -1,0 +1,259 @@
+//! Hand-written native baseline sorters (the paper's §5.3 C++/Rust rows).
+//!
+//! These mirror the paper's hand-written contestants: `default` (branchy
+//! if/swap), `branchless` (rank arithmetic), `swap` (local-variable
+//! `std::swap` style), `std` (the standard library sort), plus a scalar
+//! re-creation of the Mimicry shuffle-based approach and Neri's
+//! "cassioneri" kernel.
+
+/// A named native sorting routine for fixed-length prefixes.
+#[derive(Clone, Copy)]
+pub struct NativeSorter {
+    /// Display name used in the benchmark tables.
+    pub name: &'static str,
+    /// Number of values sorted (`data[0..n]`).
+    pub n: usize,
+    /// The routine; sorts `data[0..n]` in place.
+    pub sort: fn(&mut [i32]),
+}
+
+impl std::fmt::Debug for NativeSorter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeSorter")
+            .field("name", &self.name)
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+// --- n = 3 -------------------------------------------------------------
+
+/// `default`: three compare-and-swaps with a temporary, written the naive
+/// branchy way.
+pub fn default3(d: &mut [i32]) {
+    if d[0] > d[1] {
+        d.swap(0, 1);
+    }
+    if d[1] > d[2] {
+        d.swap(1, 2);
+    }
+    if d[0] > d[1] {
+        d.swap(0, 1);
+    }
+}
+
+/// `branchless`: computes each element's rank with comparisons and writes
+/// values to their final index (the paper's index-arithmetic variant).
+pub fn branchless3(d: &mut [i32]) {
+    let (a, b, c) = (d[0], d[1], d[2]);
+    // Rank = number of strictly smaller elements, with index tie-breaks for
+    // duplicates (an earlier equal element counts as smaller).
+    let ra = (a > b) as usize + (a > c) as usize;
+    let rb = (b >= a) as usize + (b > c) as usize;
+    let rc = (c >= a) as usize + (c >= b) as usize;
+    d[ra] = a;
+    d[rb] = b;
+    d[rc] = c;
+}
+
+/// `swap`: loads into locals, conditional swaps on the locals, stores back —
+/// the compiler turns the local swaps into cmov pairs.
+pub fn swap3(d: &mut [i32]) {
+    let (mut a, mut b, mut c) = (d[0], d[1], d[2]);
+    if a > b {
+        std::mem::swap(&mut a, &mut b);
+    }
+    if b > c {
+        std::mem::swap(&mut b, &mut c);
+    }
+    if a > b {
+        std::mem::swap(&mut a, &mut b);
+    }
+    d[0] = a;
+    d[1] = b;
+    d[2] = c;
+}
+
+/// `std`: the standard library's unstable sort.
+pub fn std_sort3(d: &mut [i32]) {
+    d[..3].sort_unstable();
+}
+
+/// `cassioneri`: a scalar re-creation of Neri's sort3 (arXiv 2307.14503) —
+/// min/max expression form that compilers lower to straight-line cmov code.
+pub fn cassioneri3(d: &mut [i32]) {
+    let (a, b, c) = (d[0], d[1], d[2]);
+    let t = b.min(c);
+    let hi_bc = b.max(c);
+    d[0] = a.min(t);
+    d[2] = a.max(hi_bc);
+    // The middle element is whichever of {a, t, hi_bc} is neither min nor
+    // max: clamp a into [t, hi_bc].
+    d[1] = a.clamp(t, hi_bc);
+}
+
+/// `mimicry`: a scalar stand-in for the Mimicry shuffle-vector kernel —
+/// rank computation driving a permutation write, mirroring how the SIMD
+/// version builds a shuffle mask from comparison results.
+pub fn mimicry3(d: &mut [i32]) {
+    let (a, b, c) = (d[0], d[1], d[2]);
+    let ab = (a > b) as u8;
+    let ac = (a > c) as u8;
+    let bc = (b > c) as u8;
+    let ra = (ab + ac) as usize;
+    let rb = (1 - ab + bc) as usize;
+    let rc = (2 - ac - bc) as usize;
+    d[ra] = a;
+    d[rb] = b;
+    d[rc] = c;
+}
+
+// --- n = 4 -------------------------------------------------------------
+
+/// `default`, n = 4: insertion-style branchy sort.
+pub fn default4(d: &mut [i32]) {
+    for i in 1..4 {
+        let mut j = i;
+        while j > 0 && d[j - 1] > d[j] {
+            d.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// `branchless`, n = 4: rank arithmetic.
+pub fn branchless4(d: &mut [i32]) {
+    let v = [d[0], d[1], d[2], d[3]];
+    for (i, &x) in v.iter().enumerate() {
+        let mut rank = 0usize;
+        for (j, &y) in v.iter().enumerate() {
+            rank += ((y < x) || (y == x && j < i)) as usize;
+        }
+        d[rank] = x;
+    }
+}
+
+/// `swap`, n = 4: the optimal 5-comparator network on locals.
+pub fn swap4(d: &mut [i32]) {
+    let (mut a, mut b, mut c, mut e) = (d[0], d[1], d[2], d[3]);
+    if a > b {
+        std::mem::swap(&mut a, &mut b);
+    }
+    if c > e {
+        std::mem::swap(&mut c, &mut e);
+    }
+    if a > c {
+        std::mem::swap(&mut a, &mut c);
+    }
+    if b > e {
+        std::mem::swap(&mut b, &mut e);
+    }
+    if b > c {
+        std::mem::swap(&mut b, &mut c);
+    }
+    d[0] = a;
+    d[1] = b;
+    d[2] = c;
+    d[3] = e;
+}
+
+/// `std`, n = 4.
+pub fn std_sort4(d: &mut [i32]) {
+    d[..4].sort_unstable();
+}
+
+/// `mimicry`, n = 4: rank-based permutation write.
+pub fn mimicry4(d: &mut [i32]) {
+    branchless4(d);
+}
+
+// --- n = 5 -------------------------------------------------------------
+
+/// `swap`, n = 5: the optimal 9-comparator network on locals.
+pub fn swap5(d: &mut [i32]) {
+    let mut v = [d[0], d[1], d[2], d[3], d[4]];
+    for (i, j) in [(0, 1), (3, 4), (2, 4), (2, 3), (1, 4), (0, 3), (0, 2), (1, 3), (1, 2)] {
+        if v[i] > v[j] {
+            v.swap(i, j);
+        }
+    }
+    d[..5].copy_from_slice(&v);
+}
+
+/// `std`, n = 5.
+pub fn std_sort5(d: &mut [i32]) {
+    d[..5].sort_unstable();
+}
+
+/// The §5.3 n = 3 contestant list.
+pub fn native3() -> Vec<NativeSorter> {
+    vec![
+        NativeSorter { name: "cassioneri", n: 3, sort: cassioneri3 },
+        NativeSorter { name: "mimicry", n: 3, sort: mimicry3 },
+        NativeSorter { name: "branchless", n: 3, sort: branchless3 },
+        NativeSorter { name: "default", n: 3, sort: default3 },
+        NativeSorter { name: "swap", n: 3, sort: swap3 },
+        NativeSorter { name: "std", n: 3, sort: std_sort3 },
+    ]
+}
+
+/// The §5.3 n = 4 contestant list (Neri provides no n = 4 kernel, matching
+/// the paper's footnote).
+pub fn native4() -> Vec<NativeSorter> {
+    vec![
+        NativeSorter { name: "mimicry", n: 4, sort: mimicry4 },
+        NativeSorter { name: "branchless", n: 4, sort: branchless4 },
+        NativeSorter { name: "default", n: 4, sort: default4 },
+        NativeSorter { name: "swap", n: 4, sort: swap4 },
+        NativeSorter { name: "std", n: 4, sort: std_sort4 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::permutations;
+
+    fn check(n: u8, sort: fn(&mut [i32])) {
+        // All permutations of distinct values…
+        for perm in permutations(n) {
+            let mut data: Vec<i32> = perm.iter().map(|&v| v as i32 * 7 - 9).collect();
+            let mut expected = data.clone();
+            sort(&mut data);
+            expected.sort_unstable();
+            assert_eq!(data, expected, "perm {perm:?}");
+        }
+        // …and duplicate-heavy inputs.
+        let mut vals = vec![0i32; n as usize];
+        for pattern in 0..(1u32 << n) {
+            for (i, v) in vals.iter_mut().enumerate() {
+                *v = ((pattern >> i) & 1) as i32;
+            }
+            let mut expected = vals.clone();
+            expected.sort_unstable();
+            let mut data = vals.clone();
+            sort(&mut data);
+            assert_eq!(data, expected, "pattern {pattern:b}");
+        }
+    }
+
+    #[test]
+    fn all_n3_baselines_sort() {
+        for s in native3() {
+            check(3, s.sort);
+        }
+    }
+
+    #[test]
+    fn all_n4_baselines_sort() {
+        for s in native4() {
+            check(4, s.sort);
+        }
+    }
+
+    #[test]
+    fn n5_baselines_sort() {
+        check(5, swap5);
+        check(5, std_sort5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Embedding kernels into divide-and-conquer sorts (§5.3: the `Q` and `M`
+//! benchmark columns).
+//!
+//! The paper evaluates each kernel as the base case of quicksort and
+//! mergesort: the input is recursively partitioned/split until exactly `n`
+//! elements remain, which the kernel sorts.
+
+use crate::runner::Kernel;
+
+/// Quicksort with `kernel` as the base case for slices of length `n`
+/// (shorter residues fall back to insertion sort).
+pub fn quicksort_with(kernel: &Kernel, data: &mut [i32]) {
+    let n = kernel.n();
+    quicksort_rec(kernel, n, data);
+}
+
+fn quicksort_rec(kernel: &Kernel, n: usize, data: &mut [i32]) {
+    if data.len() <= n {
+        base_case(kernel, n, data);
+        return;
+    }
+    let pivot_idx = partition(data);
+    let (lo, hi) = data.split_at_mut(pivot_idx);
+    quicksort_rec(kernel, n, lo);
+    quicksort_rec(kernel, n, &mut hi[1..]);
+}
+
+/// Hoare-style median-of-three partition; returns the final pivot index.
+fn partition(data: &mut [i32]) -> usize {
+    let len = data.len();
+    let mid = len / 2;
+    // Median-of-three pivot selection avoids quadratic behaviour on sorted
+    // inputs without changing the kernel-centric measurement.
+    if data[0] > data[mid] {
+        data.swap(0, mid);
+    }
+    if data[0] > data[len - 1] {
+        data.swap(0, len - 1);
+    }
+    if data[mid] > data[len - 1] {
+        data.swap(mid, len - 1);
+    }
+    data.swap(mid, len - 2);
+    let pivot = data[len - 2];
+    let mut store = 1;
+    for i in 1..len - 2 {
+        if data[i] < pivot {
+            data.swap(i, store);
+            store += 1;
+        }
+    }
+    data.swap(store, len - 2);
+    store
+}
+
+/// Mergesort with `kernel` as the base case for slices of length `n`.
+pub fn mergesort_with(kernel: &Kernel, data: &mut [i32]) {
+    let n = kernel.n();
+    let mut scratch = vec![0i32; data.len()];
+    mergesort_rec(kernel, n, data, &mut scratch);
+}
+
+fn mergesort_rec(kernel: &Kernel, n: usize, data: &mut [i32], scratch: &mut [i32]) {
+    if data.len() <= n {
+        base_case(kernel, n, data);
+        return;
+    }
+    let mid = data.len() / 2;
+    {
+        let (lo, hi) = data.split_at_mut(mid);
+        let (slo, shi) = scratch.split_at_mut(mid);
+        mergesort_rec(kernel, n, lo, slo);
+        mergesort_rec(kernel, n, hi, shi);
+    }
+    merge(data, mid, scratch);
+}
+
+fn merge(data: &mut [i32], mid: usize, scratch: &mut [i32]) {
+    let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+    while i < mid && j < data.len() {
+        if data[i] <= data[j] {
+            scratch[k] = data[i];
+            i += 1;
+        } else {
+            scratch[k] = data[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    scratch[k..k + mid - i].copy_from_slice(&data[i..mid]);
+    let copied = k + mid - i;
+    data.copy_within(j.., copied);
+    data[..copied].copy_from_slice(&scratch[..copied]);
+}
+
+fn base_case(kernel: &Kernel, n: usize, data: &mut [i32]) {
+    if data.len() == n {
+        kernel.sort(data);
+    } else {
+        insertion_sort(data);
+    }
+}
+
+fn insertion_sort(data: &mut [i32]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j - 1] > data[j] {
+            data.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::paper_synth_cmov3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn kernel3() -> Kernel {
+        let (machine, prog) = paper_synth_cmov3();
+        Kernel::from_program("paper_synth", &machine, prog)
+    }
+
+    #[test]
+    fn quicksort_sorts_random_arrays() {
+        let kernel = kernel3();
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [0usize, 1, 2, 3, 4, 10, 127, 1000] {
+            let mut data: Vec<i32> = (0..len).map(|_| rng.gen_range(-10_000..10_000)).collect();
+            let mut expected = data.clone();
+            expected.sort_unstable();
+            quicksort_with(&kernel, &mut data);
+            assert_eq!(data, expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn mergesort_sorts_random_arrays() {
+        let kernel = kernel3();
+        let mut rng = StdRng::seed_from_u64(8);
+        for len in [0usize, 1, 2, 3, 5, 33, 256, 999] {
+            let mut data: Vec<i32> = (0..len).map(|_| rng.gen_range(-10_000..10_000)).collect();
+            let mut expected = data.clone();
+            expected.sort_unstable();
+            mergesort_with(&kernel, &mut data);
+            assert_eq!(data, expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn handles_adversarial_patterns() {
+        let kernel = kernel3();
+        for pattern in [
+            vec![5i32; 100],                         // all equal
+            (0..100).collect::<Vec<i32>>(),          // sorted
+            (0..100).rev().collect::<Vec<i32>>(),    // reversed
+            (0..50).chain((0..50).rev()).collect(),  // organ pipe
+        ] {
+            let mut expected = pattern.clone();
+            expected.sort_unstable();
+            let mut q = pattern.clone();
+            quicksort_with(&kernel, &mut q);
+            assert_eq!(q, expected);
+            let mut m = pattern.clone();
+            mergesort_with(&kernel, &mut m);
+            assert_eq!(m, expected);
+        }
+    }
+}

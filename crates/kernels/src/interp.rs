@@ -1,0 +1,154 @@
+//! A portable interpreter for kernel programs over arbitrary `i32` data.
+//!
+//! [`MachineState`](sortsynth_isa::MachineState) packs register values into
+//! nibbles, which is perfect for search but cannot represent benchmark data
+//! (random values in ±10000, §5.3). This interpreter executes the same
+//! programs over full-width `i32` registers; it is the portable fallback
+//! when the JIT is unavailable and the differential-testing oracle when it
+//! is.
+
+use sortsynth_isa::{Instr, Machine, Op};
+
+/// Interpreter register file: `n + m` `i32` registers plus the two flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntRegs {
+    regs: Vec<i32>,
+    lt: bool,
+    gt: bool,
+}
+
+impl IntRegs {
+    /// Builds the entry state for `data[0..n]` (scratch registers zero,
+    /// flags unset), mirroring [`Machine::initial_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() < machine.n()`.
+    pub fn enter(machine: &Machine, data: &[i32]) -> Self {
+        let n = machine.n() as usize;
+        assert!(data.len() >= n, "kernel sorts {n} values");
+        let mut regs = vec![0i32; machine.num_regs() as usize];
+        regs[..n].copy_from_slice(&data[..n]);
+        IntRegs {
+            regs,
+            lt: false,
+            gt: false,
+        }
+    }
+
+    /// Register values.
+    pub fn regs(&self) -> &[i32] {
+        &self.regs
+    }
+
+    /// Executes one instruction.
+    pub fn exec(&mut self, instr: Instr) {
+        let d = instr.dst.index() as usize;
+        let s = instr.src.index() as usize;
+        match instr.op {
+            Op::Mov => self.regs[d] = self.regs[s],
+            Op::Cmp => {
+                self.lt = self.regs[d] < self.regs[s];
+                self.gt = self.regs[d] > self.regs[s];
+            }
+            Op::Cmovl => {
+                if self.lt {
+                    self.regs[d] = self.regs[s];
+                }
+            }
+            Op::Cmovg => {
+                if self.gt {
+                    self.regs[d] = self.regs[s];
+                }
+            }
+            Op::Min => self.regs[d] = self.regs[d].min(self.regs[s]),
+            Op::Max => self.regs[d] = self.regs[d].max(self.regs[s]),
+        }
+    }
+}
+
+/// Runs `prog` over `data[0..n]` in place, like a compiled kernel would.
+///
+/// # Panics
+///
+/// Panics if `data.len() < machine.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use sortsynth_isa::{IsaMode, Machine};
+/// use sortsynth_kernels::interpret;
+///
+/// let machine = Machine::new(2, 1, IsaMode::Cmov);
+/// let prog = machine.parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")?;
+/// let mut data = [4, -4];
+/// interpret(&machine, &prog, &mut data);
+/// assert_eq!(data, [-4, 4]);
+/// # Ok::<(), sortsynth_isa::ParseProgramError>(())
+/// ```
+pub fn interpret(machine: &Machine, prog: &[Instr], data: &mut [i32]) {
+    let mut st = IntRegs::enter(machine, data);
+    for &instr in prog {
+        st.exec(instr);
+    }
+    let n = machine.n() as usize;
+    data[..n].copy_from_slice(&st.regs()[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::{permutations, IsaMode, MachineState};
+
+    #[test]
+    fn interpreter_matches_packed_semantics_on_permutations() {
+        // Differential test against the search-time oracle: both semantics
+        // must agree on every permutation for a known-correct kernel.
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let prog = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmp r1 r2; cmovg r2 r1; cmovg r1 s1",
+            )
+            .unwrap();
+        for perm in permutations(3) {
+            let mut packed: MachineState = m.initial_state(&perm);
+            packed = m.run(&prog, packed);
+            let mut wide: Vec<i32> = perm.iter().map(|&v| v as i32).collect();
+            interpret(&m, &prog, &mut wide);
+            let packed_vals: Vec<i32> =
+                packed.values(3).into_iter().map(|v| v as i32).collect();
+            assert_eq!(wide, packed_vals, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn handles_negative_and_duplicate_values() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let prog = m
+            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+            .unwrap();
+        for (a, b) in [(-5, -5), (i32::MIN, i32::MAX), (0, -1)] {
+            let mut data = [a, b];
+            interpret(&m, &prog, &mut data);
+            assert_eq!(data, [a.min(b), a.max(b)]);
+        }
+    }
+
+    #[test]
+    fn minmax_ops() {
+        let m = Machine::new(2, 1, IsaMode::MinMax);
+        let prog = m.parse_program("mov s1 r1; min r1 r2; max r2 s1").unwrap();
+        let mut data = [7, -2];
+        interpret(&m, &prog, &mut data);
+        assert_eq!(data, [-2, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel sorts 3 values")]
+    fn short_buffer_panics() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        interpret(&m, &[], &mut [1, 2]);
+    }
+}

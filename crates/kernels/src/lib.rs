@@ -1,0 +1,34 @@
+//! Reference sorting kernels, baselines, and benchmark harness machinery.
+//!
+//! This crate supplies everything the paper's §5.3 kernel-runtime
+//! evaluation needs around the synthesizer:
+//!
+//! * [`interpret`] — a portable `i32` interpreter for kernel programs (the
+//!   differential-testing oracle for the JIT and the fallback off x86-64);
+//! * [`networks`] — size-optimal sorting networks and the §2.1
+//!   compare-and-swap instantiation patterns (4 instructions per comparator
+//!   with cmov, 3 with min/max);
+//! * [`mod@reference`] — the paper's transcribed example kernels and
+//!   reconstructions of the AlphaDev / `enum_worst` contestants;
+//! * [`baselines`] — the hand-written native rows (`default`, `branchless`,
+//!   `swap`, `std`, `cassioneri`, `mimicry`);
+//! * [`Kernel`] — one handle over JIT-compiled, interpreted, and native
+//!   sorters;
+//! * [`quicksort_with`] / [`mergesort_with`] — the embedded (`Q`/`M`)
+//!   benchmark harnesses;
+//! * [`testdata`] — §5.3's random workloads.
+
+pub mod baselines;
+pub mod embed;
+pub mod interp;
+pub mod networks;
+pub mod reference;
+pub mod runner;
+pub mod testdata;
+
+pub use baselines::NativeSorter;
+pub use embed::{mergesort_with, quicksort_with};
+pub use interp::{interpret, IntRegs};
+pub use networks::{network_kernel, network_to_cmov, network_to_minmax, optimal_network};
+pub use runner::Kernel;
+pub use testdata::{embedded_inputs, standalone_inputs};

@@ -1,0 +1,158 @@
+//! A uniform handle for anything that can sort a fixed-length prefix:
+//! JIT-compiled kernel programs, interpreted programs, or native Rust
+//! baselines.
+
+use sortsynth_isa::{Machine, Program};
+use sortsynth_jit::JitKernel;
+
+use crate::baselines::NativeSorter;
+use crate::interp::interpret;
+
+/// A runnable sorting kernel with a display name.
+///
+/// # Examples
+///
+/// ```
+/// use sortsynth_isa::{IsaMode, Machine};
+/// use sortsynth_kernels::Kernel;
+///
+/// let machine = Machine::new(2, 1, IsaMode::Cmov);
+/// let prog = machine.parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")?;
+/// // Prefers the JIT, falls back to the interpreter off x86-64.
+/// let kernel = Kernel::from_program("cas2", &machine, prog);
+/// let mut data = [3, -3];
+/// kernel.sort(&mut data);
+/// assert_eq!(data, [-3, 3]);
+/// # Ok::<(), sortsynth_isa::ParseProgramError>(())
+/// ```
+#[derive(Debug)]
+pub struct Kernel {
+    name: String,
+    n: usize,
+    backend: Backend,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Jit(JitKernel),
+    Interp { machine: Machine, prog: Program },
+    Native(fn(&mut [i32])),
+}
+
+impl Kernel {
+    /// Wraps a kernel program, JIT-compiling when the host supports it and
+    /// falling back to the interpreter otherwise.
+    pub fn from_program(name: impl Into<String>, machine: &Machine, prog: Program) -> Self {
+        let backend = match JitKernel::compile(machine, &prog) {
+            Ok(jit) => Backend::Jit(jit),
+            Err(_) => Backend::Interp {
+                machine: machine.clone(),
+                prog,
+            },
+        };
+        Kernel {
+            name: name.into(),
+            n: machine.n() as usize,
+            backend,
+        }
+    }
+
+    /// Wraps a kernel program, always interpreting (for differential tests
+    /// against the JIT).
+    pub fn interpreted(name: impl Into<String>, machine: &Machine, prog: Program) -> Self {
+        Kernel {
+            name: name.into(),
+            n: machine.n() as usize,
+            backend: Backend::Interp {
+                machine: machine.clone(),
+                prog,
+            },
+        }
+    }
+
+    /// Wraps a native Rust baseline.
+    pub fn native(sorter: NativeSorter) -> Self {
+        Kernel {
+            name: sorter.name.to_owned(),
+            n: sorter.n,
+            backend: Backend::Native(sorter.sort),
+        }
+    }
+
+    /// The kernel's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of values the kernel sorts.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this kernel runs as native machine code (JIT or Rust).
+    pub fn is_native(&self) -> bool {
+        !matches!(self.backend, Backend::Interp { .. })
+    }
+
+    /// Sorts `data[0..n]` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() < self.n()`.
+    #[inline]
+    pub fn sort(&self, data: &mut [i32]) {
+        match &self.backend {
+            Backend::Jit(jit) => jit.run(data),
+            Backend::Interp { machine, prog } => interpret(machine, prog, data),
+            Backend::Native(f) => {
+                assert!(data.len() >= self.n, "kernel sorts {} values", self.n);
+                f(data)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines;
+    use sortsynth_isa::{permutations, IsaMode};
+
+    #[test]
+    fn jit_and_interpreter_backends_agree() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let (_, prog) = crate::reference::paper_synth_cmov3();
+        let jit = Kernel::from_program("jit", &m, prog.clone());
+        let interp = Kernel::interpreted("interp", &m, prog);
+        for perm in permutations(3) {
+            let base: Vec<i32> = perm.iter().map(|&v| v as i32 * 1000 - 2000).collect();
+            let mut a = base.clone();
+            let mut b = base.clone();
+            jit.sort(&mut a);
+            interp.sort(&mut b);
+            assert_eq!(a, b, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn native_backend_runs() {
+        let k = Kernel::native(baselines::native3()[0]);
+        assert_eq!(k.name(), "cassioneri");
+        assert_eq!(k.n(), 3);
+        assert!(k.is_native());
+        let mut data = [3, 1, 2];
+        k.sort(&mut data);
+        assert_eq!(data, [1, 2, 3]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn jit_backend_selected_on_x86_64() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let prog = m
+            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+            .unwrap();
+        let k = Kernel::from_program("cas", &m, prog);
+        assert!(k.is_native());
+    }
+}

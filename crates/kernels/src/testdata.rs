@@ -1,0 +1,57 @@
+//! Benchmark test-data generation matching §5.3's workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's standalone workload: `count` arrays of length `n` with
+/// values uniform in `[-10000, 10000]`.
+pub fn standalone_inputs(n: usize, count: usize, seed: u64) -> Vec<Vec<i32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..n).map(|_| rng.gen_range(-10_000..=10_000)).collect())
+        .collect()
+}
+
+/// The paper's embedded workload: arrays of random length up to `max_len`
+/// (20000 in §5.3) with values uniform in `[-10000, 10000]`.
+pub fn embedded_inputs(count: usize, max_len: usize, seed: u64) -> Vec<Vec<i32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(1..=max_len);
+            (0..len).map(|_| rng.gen_range(-10_000..=10_000)).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_shape_and_range() {
+        let inputs = standalone_inputs(3, 100, 1);
+        assert_eq!(inputs.len(), 100);
+        for arr in &inputs {
+            assert_eq!(arr.len(), 3);
+            assert!(arr.iter().all(|&v| (-10_000..=10_000).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn embedded_lengths_bounded() {
+        let inputs = embedded_inputs(50, 2000, 2);
+        assert_eq!(inputs.len(), 50);
+        assert!(inputs.iter().all(|a| (1..=2000).contains(&a.len())));
+        // Lengths actually vary.
+        let distinct: std::collections::HashSet<usize> =
+            inputs.iter().map(Vec::len).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        assert_eq!(standalone_inputs(4, 10, 42), standalone_inputs(4, 10, 42));
+        assert_ne!(standalone_inputs(4, 10, 42), standalone_inputs(4, 10, 43));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for kernels: networks sort everything, the JIT and
+//! the interpreter agree, and the embeddings sort arbitrary vectors.
+
+use proptest::prelude::*;
+use sortsynth_isa::IsaMode;
+use sortsynth_jit::JitKernel;
+use sortsynth_kernels::{
+    interpret, mergesort_with, network_kernel, quicksort_with, reference, Kernel,
+};
+
+proptest! {
+    /// Network kernels sort arbitrary i32 arrays (any n in 2..=6, both
+    /// ISAs), including duplicates and extreme values.
+    #[test]
+    fn network_kernels_sort_arbitrary_values(
+        n in 2u8..=6,
+        minmax in any::<bool>(),
+        values in prop::collection::vec(any::<i32>(), 6),
+    ) {
+        let mode = if minmax { IsaMode::MinMax } else { IsaMode::Cmov };
+        let (machine, prog) = network_kernel(n, mode);
+        let mut data = values[..n as usize].to_vec();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        interpret(&machine, &prog, &mut data);
+        prop_assert_eq!(data, expected);
+    }
+
+    /// The JIT and the interpreter are observationally equivalent on the
+    /// reference kernels for arbitrary inputs.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn jit_matches_interpreter_on_reference_kernels(
+        values in prop::collection::vec(any::<i32>(), 3),
+        which in 0usize..4,
+    ) {
+        let (machine, prog) = match which {
+            0 => reference::paper_synth_cmov3(),
+            1 => reference::alphadev_cmov3(),
+            2 => reference::enum_worst_cmov3(),
+            _ => reference::paper_synth_minmax3(),
+        };
+        let jit = JitKernel::compile(&machine, &prog).expect("x86-64 host");
+        let mut a = values.clone();
+        let mut b = values.clone();
+        jit.run(&mut a);
+        interpret(&machine, &prog, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Reference kernels actually sort arbitrary data.
+    #[test]
+    fn reference_kernels_sort_arbitrary_values(
+        values in prop::collection::vec(-10_000i32..=10_000, 5),
+        which in 0usize..6,
+    ) {
+        let (machine, prog) = match which {
+            0 => reference::paper_synth_cmov3(),
+            1 => reference::alphadev_cmov3(),
+            2 => reference::enum_worst_cmov3(),
+            3 => reference::enum_minmax3(),
+            4 => reference::enum_cmov5(),
+            _ => reference::enum_minmax5(),
+        };
+        let n = machine.n() as usize;
+        let mut data = values[..n].to_vec();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        interpret(&machine, &prog, &mut data);
+        prop_assert_eq!(data, expected);
+    }
+
+    /// Quicksort/mergesort embeddings sort arbitrary vectors.
+    #[test]
+    fn embeddings_sort_arbitrary_vectors(data in prop::collection::vec(any::<i32>(), 0..300)) {
+        let (machine, prog) = reference::paper_synth_cmov3();
+        let kernel = Kernel::from_program("ref3", &machine, prog);
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let mut q = data.clone();
+        quicksort_with(&kernel, &mut q);
+        prop_assert_eq!(&q, &expected);
+        let mut m = data.clone();
+        mergesort_with(&kernel, &mut m);
+        prop_assert_eq!(&m, &expected);
+    }
+
+    /// Sorting is idempotent through any kernel path.
+    #[test]
+    fn kernel_sorting_is_idempotent(values in prop::collection::vec(any::<i32>(), 3)) {
+        let (machine, prog) = reference::paper_synth_cmov3();
+        let mut once = values.clone();
+        interpret(&machine, &prog, &mut once);
+        let mut twice = once.clone();
+        interpret(&machine, &prog, &mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Differential fuzzing of the JIT: for *arbitrary* (not necessarily
+    /// correct) programs over arbitrary machines, the generated machine code
+    /// and the interpreter must compute identical results on arbitrary
+    /// data. This is the deepest check that the instruction encoder is
+    /// faithful to the semantics.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn jit_matches_interpreter_on_random_programs(
+        n in 2u8..=5,
+        minmax in any::<bool>(),
+        ops in prop::collection::vec((0usize..256, 0usize..256), 0..24),
+        values in prop::collection::vec(any::<i32>(), 5),
+    ) {
+        use sortsynth_isa::{Instr, IsaMode, Machine};
+        let mode = if minmax { IsaMode::MinMax } else { IsaMode::Cmov };
+        let machine = Machine::new(n, 1, mode);
+        let all = machine.all_instrs();
+        let prog: Vec<Instr> = ops
+            .iter()
+            .map(|&(op_idx, _)| all[op_idx % all.len()])
+            .collect();
+        let jit = JitKernel::compile(&machine, &prog).expect("x86-64 host");
+        let mut native = values[..n as usize].to_vec();
+        let mut interp = native.clone();
+        jit.run(&mut native);
+        interpret(&machine, &prog, &mut interp);
+        prop_assert_eq!(native, interp);
+    }
+}

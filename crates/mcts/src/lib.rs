@@ -1,0 +1,292 @@
+//! Monte-Carlo tree search for sorting-kernel synthesis — the unlearned
+//! skeleton of AlphaDev (Mankowitz et al.), the paper's main point of
+//! comparison.
+//!
+//! AlphaDev couples MCTS with a learned policy/value network trained on a
+//! TPU fleet; neither the network weights nor the training pipeline are
+//! public, so (like the paper, which could only quote AlphaDev's published
+//! numbers) we implement the *search* component: UCT selection over partial
+//! programs, expansion over the symmetry-reduced action set, random
+//! rollouts, and a reward that mixes correctness progress (the fraction of
+//! permutations already collapsed) with a brevity bonus.
+//!
+//! This baseline lets the harness demonstrate the paper's central claim
+//! from the other side: without learned guidance, MCTS needs far more
+//! state evaluations than the enumerative search to find kernels at all.
+//!
+//! # Example
+//!
+//! ```
+//! use sortsynth_isa::{IsaMode, Machine};
+//! use sortsynth_mcts::{run, MctsConfig};
+//!
+//! let machine = Machine::new(2, 1, IsaMode::Cmov);
+//! let result = run(&MctsConfig {
+//!     machine: machine.clone(),
+//!     max_len: 6,
+//!     iterations: 20_000,
+//!     exploration: 1.4,
+//!     seed: 1,
+//! });
+//! if let Some(prog) = &result.best_program {
+//!     assert!(machine.is_correct(prog));
+//! }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sortsynth_isa::{Instr, Machine, Program};
+use sortsynth_search::StateSet;
+
+/// Configuration for one MCTS run.
+#[derive(Debug, Clone)]
+pub struct MctsConfig {
+    /// The target machine.
+    pub machine: Machine,
+    /// Maximum program length (episode horizon).
+    pub max_len: u32,
+    /// MCTS iterations (each = one selection/expansion/rollout/backup).
+    pub iterations: u64,
+    /// UCT exploration constant.
+    pub exploration: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Result of [`run`].
+#[derive(Debug, Clone)]
+pub struct MctsResult {
+    /// The shortest correct program discovered, if any.
+    pub best_program: Option<Program>,
+    /// Iterations executed.
+    pub iterations_run: u64,
+    /// Tree nodes allocated.
+    pub nodes: usize,
+    /// Rollouts that reached a sorted state.
+    pub successful_rollouts: u64,
+}
+
+struct Node {
+    state: StateSet,
+    depth: u32,
+    children: Vec<(u8, u32)>, // (action index, node index)
+    untried: Vec<u8>,
+    visits: u64,
+    total_reward: f64,
+}
+
+/// Runs MCTS synthesis.
+pub fn run(cfg: &MctsConfig) -> MctsResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let machine = &cfg.machine;
+    let actions = machine.actions();
+    let init = StateSet::initial(machine);
+    let init_perm = init.perm_count(machine) as f64;
+
+    let mut nodes = vec![Node {
+        state: init,
+        depth: 0,
+        children: Vec::new(),
+        untried: (0..actions.len() as u8).collect(),
+        visits: 0,
+        total_reward: 0.0,
+    }];
+    let mut best: Option<Program> = None;
+    let mut successful = 0u64;
+
+    for _ in 0..cfg.iterations {
+        // Selection: walk down fully-expanded nodes by UCT.
+        let mut path = vec![0u32];
+        let mut current = 0u32;
+        loop {
+            let node = &nodes[current as usize];
+            if node.depth >= cfg.max_len || !node.untried.is_empty() || node.children.is_empty() {
+                break;
+            }
+            let parent_visits = node.visits.max(1) as f64;
+            let c = cfg.exploration;
+            let (_, next) = node
+                .children
+                .iter()
+                .copied()
+                .max_by(|&(_, a), &(_, b)| {
+                    let ua = uct(&nodes[a as usize], parent_visits, c);
+                    let ub = uct(&nodes[b as usize], parent_visits, c);
+                    ua.partial_cmp(&ub).expect("UCT values are finite")
+                })
+                .expect("non-empty children");
+            current = next;
+            path.push(current);
+        }
+
+        // Expansion: try one random untried action.
+        let depth = nodes[current as usize].depth;
+        if depth < cfg.max_len && !nodes[current as usize].untried.is_empty() {
+            let pick = rng.gen_range(0..nodes[current as usize].untried.len());
+            let ai = nodes[current as usize].untried.swap_remove(pick);
+            let child_state = nodes[current as usize].state.apply(actions[ai as usize]);
+            let child = Node {
+                state: child_state,
+                depth: depth + 1,
+                children: Vec::new(),
+                untried: (0..actions.len() as u8).collect(),
+                visits: 0,
+                total_reward: 0.0,
+            };
+            let child_idx = nodes.len() as u32;
+            nodes.push(child);
+            nodes[current as usize].children.push((ai, child_idx));
+            current = child_idx;
+            path.push(current);
+        }
+
+        // Rollout: random actions to the horizon, recording the suffix so a
+        // lucky rollout yields a concrete program.
+        let mut state = nodes[current as usize].state.clone();
+        let mut rollout_len = nodes[current as usize].depth;
+        let mut rollout_suffix: Vec<u8> = Vec::new();
+        let mut solved_at: Option<u32> = None;
+        if state.is_goal(machine) {
+            solved_at = Some(rollout_len);
+        }
+        while solved_at.is_none() && rollout_len < cfg.max_len {
+            // Rollout policy: sample a few candidates and avoid successors
+            // that erase a value (which makes the episode unwinnable). This
+            // is the hand-rolled stand-in for AlphaDev's learned policy
+            // prior.
+            let mut ai = rng.gen_range(0..actions.len());
+            let mut succ = state.apply(actions[ai]);
+            for _ in 0..8 {
+                if !succ.has_erased_value(machine) {
+                    break;
+                }
+                ai = rng.gen_range(0..actions.len());
+                succ = state.apply(actions[ai]);
+            }
+            state = succ;
+            rollout_suffix.push(ai as u8);
+            rollout_len += 1;
+            if state.is_goal(machine) {
+                solved_at = Some(rollout_len);
+            }
+        }
+
+        // Reward: 1 + brevity bonus on success, correctness progress
+        // otherwise (AlphaDev's reward similarly mixes correctness and
+        // latency terms).
+        let reward = match solved_at {
+            Some(len) => {
+                successful += 1;
+                1.0 + (cfg.max_len - len) as f64 / cfg.max_len as f64
+            }
+            None => {
+                let perm = state.perm_count(machine) as f64;
+                0.5 * (init_perm - perm) / init_perm
+            }
+        };
+
+        // Solved: the program is the tree-path prefix plus the rollout
+        // suffix up to the solve point.
+        if solved_at.is_some() {
+            let mut prog = program_for(&nodes, &path, &actions);
+            prog.extend(rollout_suffix.iter().map(|&ai| actions[ai as usize]));
+            debug_assert!(machine.is_correct(&prog));
+            let better = best.as_ref().map(|b| prog.len() < b.len()).unwrap_or(true);
+            if better {
+                best = Some(prog);
+            }
+        }
+
+        // Backup.
+        for &idx in &path {
+            let node = &mut nodes[idx as usize];
+            node.visits += 1;
+            node.total_reward += reward;
+        }
+    }
+
+    MctsResult {
+        best_program: best,
+        iterations_run: cfg.iterations,
+        nodes: nodes.len(),
+        successful_rollouts: successful,
+    }
+}
+
+fn uct(child: &Node, parent_visits: f64, c: f64) -> f64 {
+    if child.visits == 0 {
+        return f64::INFINITY;
+    }
+    let exploit = child.total_reward / child.visits as f64;
+    let explore = c * (parent_visits.ln() / child.visits as f64).sqrt();
+    exploit + explore
+}
+
+/// Reconstructs the instruction sequence along a root-to-node path.
+fn program_for(nodes: &[Node], path: &[u32], actions: &[Instr]) -> Program {
+    let mut prog = Program::new();
+    for w in path.windows(2) {
+        let parent = &nodes[w[0] as usize];
+        let (ai, _) = parent
+            .children
+            .iter()
+            .find(|&&(_, child)| child == w[1])
+            .expect("path edges exist in the tree");
+        prog.push(actions[*ai as usize]);
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    #[test]
+    fn finds_the_n2_kernel() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let result = run(&MctsConfig {
+            machine: machine.clone(),
+            max_len: 6,
+            iterations: 50_000,
+            exploration: 1.4,
+            seed: 5,
+        });
+        let prog = result.best_program.expect("n = 2 is in easy reach of MCTS");
+        assert!(machine.is_correct(&prog));
+        assert!(prog.len() <= 6);
+        assert!(result.successful_rollouts > 0);
+    }
+
+    #[test]
+    fn respects_the_horizon() {
+        // With a horizon below the optimal length no program can be found.
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let result = run(&MctsConfig {
+            machine,
+            max_len: 3,
+            iterations: 20_000,
+            exploration: 1.4,
+            seed: 6,
+        });
+        assert!(result.best_program.is_none());
+        assert_eq!(result.successful_rollouts, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let cfg = MctsConfig {
+            machine,
+            max_len: 6,
+            iterations: 5_000,
+            exploration: 1.4,
+            seed: 9,
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.best_program, b.best_program);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.successful_rollouts, b.successful_rollouts);
+    }
+}

@@ -1,0 +1,268 @@
+//! Encoding kernel synthesis as a grounded planning problem (§5.2's
+//! `Plan-Parallel` formulation).
+//!
+//! Every input permutation contributes a copy of the register file as
+//! facts; each machine instruction becomes one action whose conditional
+//! effects transform *all* copies simultaneously — exactly the paper's
+//! "encode each possible permutation and transform them in tandem with the
+//! program execution". A plan is then literally a sorting-kernel program.
+//!
+//! The flags are modelled as complementary fact pairs (`lt?`/`¬lt?`),
+//! because STRIPS conditions are positive: `cmovl` fires on `lt?`, and the
+//! no-move case needs no effect at all.
+
+use sortsynth_isa::{Instr, Machine, Op, Program};
+
+use crate::strips::{Action, ConditionalEffect, Fact, Problem};
+
+/// Fact-layout helper for one machine/permutation-suite encoding.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    regs: usize,
+    vals: usize,
+    per_perm: usize,
+    perms: usize,
+}
+
+impl Layout {
+    fn new(machine: &Machine, perms: usize) -> Self {
+        let regs = machine.num_regs() as usize;
+        let vals = machine.n() as usize + 1;
+        Layout {
+            regs,
+            vals,
+            per_perm: regs * vals + 4,
+            perms,
+        }
+    }
+
+    /// Fact: register `r` of permutation copy `p` holds value `v`.
+    pub fn x(&self, p: usize, r: usize, v: usize) -> Fact {
+        debug_assert!(p < self.perms && r < self.regs && v < self.vals);
+        Fact((p * self.per_perm + r * self.vals + v) as u32)
+    }
+
+    /// Flag facts of copy `p`: `(lt, ¬lt, gt, ¬gt)`.
+    pub fn flags(&self, p: usize) -> (Fact, Fact, Fact, Fact) {
+        let base = (p * self.per_perm + self.regs * self.vals) as u32;
+        (Fact(base), Fact(base + 1), Fact(base + 2), Fact(base + 3))
+    }
+
+    /// Total fact count.
+    pub fn num_facts(&self) -> usize {
+        self.perms * self.per_perm
+    }
+}
+
+/// Builds the `Plan-Parallel` problem for `machine`. The returned
+/// instruction list is parallel to `Problem::actions`, so a plan maps
+/// directly to a [`Program`].
+pub fn encode_synthesis(machine: &Machine) -> (Problem, Vec<Instr>, Layout) {
+    let perms = sortsynth_isa::permutations(machine.n());
+    let layout = Layout::new(machine, perms.len());
+    let n = machine.n() as usize;
+    let regs = layout.regs;
+
+    let mut init = Vec::new();
+    for (p, perm) in perms.iter().enumerate() {
+        for r in 0..regs {
+            let v = if r < n { perm[r] as usize } else { 0 };
+            init.push(layout.x(p, r, v));
+        }
+        let (_, not_lt, _, not_gt) = layout.flags(p);
+        init.push(not_lt);
+        init.push(not_gt);
+    }
+
+    let mut goal = Vec::new();
+    for p in 0..perms.len() {
+        for r in 0..n {
+            goal.push(layout.x(p, r, r + 1));
+        }
+    }
+
+    let instrs = machine.actions();
+    let actions = instrs
+        .iter()
+        .map(|&instr| encode_action(machine, &layout, instr))
+        .collect();
+
+    (
+        Problem {
+            num_facts: layout.num_facts(),
+            init,
+            goal,
+            actions,
+        },
+        instrs,
+        layout,
+    )
+}
+
+fn encode_action(machine: &Machine, layout: &Layout, instr: Instr) -> Action {
+    let d = instr.dst.index() as usize;
+    let s = instr.src.index() as usize;
+    let vals = layout.vals;
+    let mut effects = Vec::new();
+    for p in 0..layout.perms {
+        let (lt, not_lt, gt, not_gt) = layout.flags(p);
+        match instr.op {
+            Op::Mov => {
+                for v in 0..vals {
+                    effects.push(write_effect(layout, p, d, v, vec![layout.x(p, s, v)]));
+                }
+            }
+            Op::Cmp => {
+                for v1 in 0..vals {
+                    for v2 in 0..vals {
+                        let when = vec![layout.x(p, d, v1), layout.x(p, s, v2)];
+                        let (add, del) = match v1.cmp(&v2) {
+                            std::cmp::Ordering::Less => {
+                                (vec![lt, not_gt], vec![not_lt, gt])
+                            }
+                            std::cmp::Ordering::Greater => {
+                                (vec![gt, not_lt], vec![not_gt, lt])
+                            }
+                            std::cmp::Ordering::Equal => {
+                                (vec![not_lt, not_gt], vec![lt, gt])
+                            }
+                        };
+                        effects.push(ConditionalEffect { when, add, del });
+                    }
+                }
+            }
+            Op::Cmovl | Op::Cmovg => {
+                let flag = if instr.op == Op::Cmovl { lt } else { gt };
+                for v in 0..vals {
+                    effects.push(write_effect(
+                        layout,
+                        p,
+                        d,
+                        v,
+                        vec![flag, layout.x(p, s, v)],
+                    ));
+                }
+            }
+            Op::Min | Op::Max => {
+                for v1 in 0..vals {
+                    for v2 in 0..vals {
+                        let result = if instr.op == Op::Min {
+                            v1.min(v2)
+                        } else {
+                            v1.max(v2)
+                        };
+                        effects.push(write_effect_with(
+                            layout,
+                            p,
+                            d,
+                            result,
+                            vec![layout.x(p, d, v1), layout.x(p, s, v2)],
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Action {
+        name: machine.format_instr(instr),
+        pre: Vec::new(),
+        effects,
+    }
+}
+
+/// Effect: under `when`, register `(p, d)` becomes `v` (add the value fact,
+/// delete all others).
+fn write_effect(layout: &Layout, p: usize, d: usize, v: usize, when: Vec<Fact>) -> ConditionalEffect {
+    write_effect_with(layout, p, d, v, when)
+}
+
+fn write_effect_with(
+    layout: &Layout,
+    p: usize,
+    d: usize,
+    v: usize,
+    when: Vec<Fact>,
+) -> ConditionalEffect {
+    let del = (0..layout.vals)
+        .filter(|&w| w != v)
+        .map(|w| layout.x(p, d, w))
+        .collect();
+    ConditionalEffect {
+        when,
+        add: vec![layout.x(p, d, v)],
+        del,
+    }
+}
+
+/// Converts a plan (action indices) back into a kernel program.
+pub fn plan_to_program(plan: &[usize], instrs: &[Instr]) -> Program {
+    plan.iter().map(|&i| instrs[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{solve, PlanHeuristic, PlanLimits, PlanOutcome, PlanStrategy};
+    use sortsynth_isa::IsaMode;
+
+    #[test]
+    fn layout_facts_are_disjoint() {
+        let machine = Machine::new(3, 1, IsaMode::Cmov);
+        let layout = Layout::new(&machine, 6);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..6 {
+            for r in 0..4 {
+                for v in 0..4 {
+                    assert!(seen.insert(layout.x(p, r, v)));
+                }
+            }
+            let (a, b, c, d) = layout.flags(p);
+            for f in [a, b, c, d] {
+                assert!(seen.insert(f));
+            }
+        }
+        assert_eq!(seen.len(), layout.num_facts());
+    }
+
+    #[test]
+    fn executing_a_known_kernel_as_a_plan_reaches_the_goal() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let (problem, instrs, _) = encode_synthesis(&machine);
+        let kernel = machine
+            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+            .unwrap();
+        let plan: Vec<usize> = kernel
+            .iter()
+            .map(|i| instrs.iter().position(|j| j == i).expect("kernel uses canonical actions"))
+            .collect();
+        assert!(problem.validate(&plan));
+    }
+
+    #[test]
+    fn bfs_planner_synthesizes_the_n2_kernel() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let (problem, instrs, _) = encode_synthesis(&machine);
+        let result = solve(&problem, PlanStrategy::Bfs, PlanLimits::default());
+        assert_eq!(result.outcome, PlanOutcome::Solved);
+        let plan = result.plan.expect("solved");
+        assert_eq!(plan.len(), 4, "BFS finds the optimal plan length");
+        let prog = plan_to_program(&plan, &instrs);
+        assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+    }
+
+    #[test]
+    fn heuristic_planners_synthesize_the_n2_kernel() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let (problem, instrs, _) = encode_synthesis(&machine);
+        for strategy in [
+            PlanStrategy::Gbfs(PlanHeuristic::GoalCount),
+            PlanStrategy::Gbfs(PlanHeuristic::HAdd),
+            PlanStrategy::AStar(PlanHeuristic::HMax),
+        ] {
+            let result = solve(&problem, strategy, PlanLimits::default());
+            assert_eq!(result.outcome, PlanOutcome::Solved, "{strategy:?}");
+            let prog = plan_to_program(&result.plan.expect("solved"), &instrs);
+            assert!(machine.is_correct(&prog), "{strategy:?}");
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The `Plan-Seq` encoding (§5.2): commit a program, then replay it on each
+//! permutation one after another.
+//!
+//! Where `Plan-Parallel` transforms every permutation copy simultaneously
+//! with conditional effects, the linearized formulation splits planning
+//! into phases:
+//!
+//! 1. **Build**: `commit(t, a)` actions choose instruction `a` for program
+//!    position `t` (facts `chosen(t, a)`), left to right.
+//! 2. **Replay**: for each permutation in turn, `exec(t, a)` actions (whose
+//!    precondition includes `chosen(t, a)`) apply the committed instruction
+//!    to a *single* register-file copy.
+//! 3. **Verify**: after position `L`, a `finish(p)` action requires the
+//!    registers to be sorted, records `verified(p)`, and resets the
+//!    registers to the next permutation's initial values.
+//!
+//! The goal demands `verified(p)` for every permutation, so a plan exists
+//! iff a correct kernel of exactly `len` instructions exists — the same
+//! semantics as `Plan-Parallel`, explored through a very different (and,
+//! as the paper observes, planner-friendlier) state space.
+
+use sortsynth_isa::{Instr, Machine, Op, Program};
+
+use crate::strips::{Action, ConditionalEffect, Fact, Problem};
+
+/// Fact layout for the sequential encoding.
+#[derive(Debug, Clone)]
+pub struct SeqLayout {
+    num_actions: usize,
+    len: usize,
+    regs: usize,
+    vals: usize,
+    perms: usize,
+}
+
+impl SeqLayout {
+    /// `chosen(t, a)`.
+    pub fn chosen(&self, t: usize, a: usize) -> Fact {
+        Fact((t * self.num_actions + a) as u32)
+    }
+
+    /// Build-phase cursor `cursor(t)`, `t ∈ 0..=len`.
+    pub fn cursor(&self, t: usize) -> Fact {
+        Fact((self.len * self.num_actions + t) as u32)
+    }
+
+    /// Replay position `pos(t)`, `t ∈ 0..=len`.
+    pub fn pos(&self, t: usize) -> Fact {
+        Fact((self.len * self.num_actions + self.len + 1 + t) as u32)
+    }
+
+    /// Stage marker `stage(p)`, `p ∈ 0..perms`.
+    pub fn stage(&self, p: usize) -> Fact {
+        Fact((self.len * self.num_actions + 2 * (self.len + 1) + p) as u32)
+    }
+
+    /// `verified(p)`.
+    pub fn verified(&self, p: usize) -> Fact {
+        Fact((self.len * self.num_actions + 2 * (self.len + 1) + self.perms + p) as u32)
+    }
+
+    /// Register value fact `x(r, v)` for the single replay copy.
+    pub fn x(&self, r: usize, v: usize) -> Fact {
+        let base = self.len * self.num_actions + 2 * (self.len + 1) + 2 * self.perms;
+        Fact((base + r * self.vals + v) as u32)
+    }
+
+    /// Flag facts `(lt, ¬lt, gt, ¬gt)`.
+    pub fn flags(&self) -> (Fact, Fact, Fact, Fact) {
+        let base = (self.len * self.num_actions
+            + 2 * (self.len + 1)
+            + 2 * self.perms
+            + self.regs * self.vals) as u32;
+        (Fact(base), Fact(base + 1), Fact(base + 2), Fact(base + 3))
+    }
+
+    /// Total fact count.
+    pub fn num_facts(&self) -> usize {
+        self.len * self.num_actions
+            + 2 * (self.len + 1)
+            + 2 * self.perms
+            + self.regs * self.vals
+            + 4
+    }
+}
+
+/// Builds the `Plan-Seq` problem for a kernel of exactly `len`
+/// instructions. Returns the problem, the instruction list referenced by
+/// the `chosen` facts, and the layout.
+pub fn encode_synthesis_seq(machine: &Machine, len: u32) -> (Problem, Vec<Instr>, SeqLayout) {
+    let perms = sortsynth_isa::permutations(machine.n());
+    let instrs = machine.actions();
+    let layout = SeqLayout {
+        num_actions: instrs.len(),
+        len: len as usize,
+        regs: machine.num_regs() as usize,
+        vals: machine.n() as usize + 1,
+        perms: perms.len(),
+    };
+    let n = machine.n() as usize;
+    let (lt, not_lt, gt, not_gt) = layout.flags();
+
+    // Initial state: build phase, cursor at 0.
+    let init = vec![layout.cursor(0)];
+    // Goal: every permutation verified.
+    let goal: Vec<Fact> = (0..perms.len()).map(|p| layout.verified(p)).collect();
+
+    let mut actions = Vec::new();
+
+    // 1. commit(t, a).
+    for t in 0..layout.len {
+        for (a, instr) in instrs.iter().enumerate() {
+            actions.push(Action {
+                name: format!("commit[{t}] {}", machine.format_instr(*instr)),
+                pre: vec![layout.cursor(t)],
+                effects: vec![ConditionalEffect {
+                    when: vec![],
+                    add: vec![layout.chosen(t, a), layout.cursor(t + 1)],
+                    del: vec![layout.cursor(t)],
+                }],
+            });
+        }
+    }
+
+    // Register initialization effects for permutation `p`.
+    let init_regs = |p: usize| -> (Vec<Fact>, Vec<Fact>) {
+        let mut add = Vec::new();
+        for r in 0..layout.regs {
+            let v = if r < n { perms[p][r] as usize } else { 0 };
+            add.push(layout.x(r, v));
+        }
+        add.push(not_lt);
+        add.push(not_gt);
+        // Delete every other register-value fact (harmless if absent).
+        let mut del = Vec::new();
+        for r in 0..layout.regs {
+            let v_keep = if r < n { perms[p][r] as usize } else { 0 };
+            for v in 0..layout.vals {
+                if v != v_keep {
+                    del.push(layout.x(r, v));
+                }
+            }
+        }
+        del.push(lt);
+        del.push(gt);
+        (add, del)
+    };
+
+    // 2. switch: build → replay of permutation 0.
+    {
+        let (add, del) = init_regs(0);
+        let mut add = add;
+        add.push(layout.stage(0));
+        add.push(layout.pos(0));
+        let mut del = del;
+        del.push(layout.cursor(layout.len));
+        actions.push(Action {
+            name: "switch-to-replay".into(),
+            pre: vec![layout.cursor(layout.len)],
+            effects: vec![ConditionalEffect { when: vec![], add, del }],
+        });
+    }
+
+    // 3. exec(t, a): replay the committed instruction on the single copy.
+    for t in 0..layout.len {
+        for (a, instr) in instrs.iter().enumerate() {
+            let d = instr.dst.index() as usize;
+            let s = instr.src.index() as usize;
+            let mut effects = vec![ConditionalEffect {
+                when: vec![],
+                add: vec![layout.pos(t + 1)],
+                del: vec![layout.pos(t)],
+            }];
+            let write = |v: usize, when: Vec<Fact>| ConditionalEffect {
+                when,
+                add: vec![layout.x(d, v)],
+                del: (0..layout.vals)
+                    .filter(|&w| w != v)
+                    .map(|w| layout.x(d, w))
+                    .collect(),
+            };
+            match instr.op {
+                Op::Mov => {
+                    for v in 0..layout.vals {
+                        effects.push(write(v, vec![layout.x(s, v)]));
+                    }
+                }
+                Op::Cmp => {
+                    for v1 in 0..layout.vals {
+                        for v2 in 0..layout.vals {
+                            let when = vec![layout.x(d, v1), layout.x(s, v2)];
+                            let (add, del) = match v1.cmp(&v2) {
+                                std::cmp::Ordering::Less => (vec![lt, not_gt], vec![not_lt, gt]),
+                                std::cmp::Ordering::Greater => (vec![gt, not_lt], vec![not_gt, lt]),
+                                std::cmp::Ordering::Equal => (vec![not_lt, not_gt], vec![lt, gt]),
+                            };
+                            effects.push(ConditionalEffect { when, add, del });
+                        }
+                    }
+                }
+                Op::Cmovl | Op::Cmovg => {
+                    let flag = if instr.op == Op::Cmovl { lt } else { gt };
+                    for v in 0..layout.vals {
+                        effects.push(write(v, vec![flag, layout.x(s, v)]));
+                    }
+                }
+                Op::Min | Op::Max => {
+                    for v1 in 0..layout.vals {
+                        for v2 in 0..layout.vals {
+                            let result = if instr.op == Op::Min { v1.min(v2) } else { v1.max(v2) };
+                            effects.push(write(result, vec![layout.x(d, v1), layout.x(s, v2)]));
+                        }
+                    }
+                }
+            }
+            actions.push(Action {
+                name: format!("exec[{t}] {}", machine.format_instr(*instr)),
+                pre: vec![layout.pos(t), layout.chosen(t, a)],
+                effects,
+            });
+        }
+    }
+
+    // 4. finish(p): registers sorted → verified, reset to the next
+    //    permutation (or stop after the last).
+    for p in 0..perms.len() {
+        let mut pre = vec![layout.pos(layout.len), layout.stage(p)];
+        for r in 0..n {
+            pre.push(layout.x(r, r + 1));
+        }
+        let mut add = vec![layout.verified(p)];
+        let mut del = vec![layout.pos(layout.len), layout.stage(p)];
+        if p + 1 < perms.len() {
+            let (radd, rdel) = init_regs(p + 1);
+            add.extend(radd);
+            add.push(layout.stage(p + 1));
+            add.push(layout.pos(0));
+            del.extend(rdel);
+        }
+        actions.push(Action {
+            name: format!("finish perm {p}"),
+            pre,
+            effects: vec![ConditionalEffect { when: vec![], add, del }],
+        });
+    }
+
+    (
+        Problem {
+            num_facts: layout.num_facts(),
+            init,
+            goal,
+            actions,
+        },
+        instrs,
+        layout,
+    )
+}
+
+/// Extracts the committed kernel from a plan using the fact layout (walks
+/// the plan and records each `commit`'s chosen instruction).
+pub fn seq_plan_program(
+    plan: &[usize],
+    problem: &Problem,
+    instrs: &[Instr],
+    layout: &SeqLayout,
+) -> Program {
+    let mut slots: Vec<Option<Instr>> = vec![None; layout.len];
+    for &ai in plan {
+        let action = &problem.actions[ai];
+        // Commit actions add exactly one chosen(t, a) fact.
+        for eff in &action.effects {
+            for &f in &eff.add {
+                let idx = f.0 as usize;
+                if idx < layout.len * layout_actions(layout) {
+                    let t = idx / layout_actions(layout);
+                    let a = idx % layout_actions(layout);
+                    slots[t] = Some(instrs[a]);
+                }
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("plan committed every position"))
+        .collect()
+}
+
+fn layout_actions(layout: &SeqLayout) -> usize {
+    layout.num_actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{solve, PlanHeuristic, PlanLimits, PlanOutcome, PlanStrategy};
+    use sortsynth_isa::IsaMode;
+
+    #[test]
+    fn seq_layout_facts_are_disjoint() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let (_, instrs, layout) = encode_synthesis_seq(&machine, 4);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..4 {
+            for a in 0..instrs.len() {
+                assert!(seen.insert(layout.chosen(t, a)));
+            }
+        }
+        for t in 0..=4 {
+            assert!(seen.insert(layout.cursor(t)));
+            assert!(seen.insert(layout.pos(t)));
+        }
+        for p in 0..2 {
+            assert!(seen.insert(layout.stage(p)));
+            assert!(seen.insert(layout.verified(p)));
+        }
+        for r in 0..3 {
+            for v in 0..3 {
+                assert!(seen.insert(layout.x(r, v)));
+            }
+        }
+        let (a, b, c, d) = layout.flags();
+        for f in [a, b, c, d] {
+            assert!(seen.insert(f));
+        }
+        assert_eq!(seen.len(), layout.num_facts());
+    }
+
+    #[test]
+    fn committed_kernel_replays_to_the_goal() {
+        // Hand-drive the plan for the known CAS and validate it.
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let (problem, instrs, _layout) = encode_synthesis_seq(&machine, 4);
+        let kernel = machine
+            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+            .unwrap();
+        let mut plan: Vec<usize> = Vec::new();
+        // Commits: action index = t * |instrs| + a.
+        for (t, instr) in kernel.iter().enumerate() {
+            let a = instrs.iter().position(|i| i == instr).expect("canonical");
+            plan.push(t * instrs.len() + a);
+        }
+        // switch-to-replay.
+        let switch = problem
+            .actions
+            .iter()
+            .position(|a| a.name == "switch-to-replay")
+            .expect("switch exists");
+        plan.push(switch);
+        // Replays and finishes for both permutations.
+        for p in 0..2 {
+            for (t, instr) in kernel.iter().enumerate() {
+                let a = instrs.iter().position(|i| i == instr).expect("canonical");
+                let exec = problem
+                    .actions
+                    .iter()
+                    .position(|act| act.name == format!("exec[{t}] {}", machine.format_instr(*instr)))
+                    .expect("exec action exists");
+                let _ = a;
+                plan.push(exec);
+            }
+            let finish = problem
+                .actions
+                .iter()
+                .position(|act| act.name == format!("finish perm {p}"))
+                .expect("finish exists");
+            plan.push(finish);
+        }
+        assert!(problem.validate(&plan), "hand-built Plan-Seq plan validates");
+    }
+
+    #[test]
+    fn gbfs_hadd_solves_plan_seq_for_n2() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let (problem, instrs, layout) = encode_synthesis_seq(&machine, 4);
+        let result = solve(
+            &problem,
+            PlanStrategy::Gbfs(PlanHeuristic::HAdd),
+            PlanLimits {
+                max_nodes: Some(5_000_000),
+                timeout: Some(std::time::Duration::from_secs(120)),
+            },
+        );
+        assert_eq!(result.outcome, PlanOutcome::Solved, "stats: {result:?}");
+        let plan = result.plan.expect("solved");
+        let prog = seq_plan_program(&plan, &problem, &instrs, &layout);
+        assert_eq!(prog.len(), 4);
+        assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+    }
+}

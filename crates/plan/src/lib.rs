@@ -1,0 +1,43 @@
+//! Classical-planning baseline for sorting-kernel synthesis (§5.2).
+//!
+//! The paper formulates kernel synthesis in PDDL and benchmarks
+//! fast-downward, LAMA, Scorpion, and CPDDL on it. Those systems are
+//! forward state-space searches over grounded STRIPS models; this crate
+//! provides that machinery from scratch —
+//!
+//! * [`strips`] — propositional states, actions with conditional effects,
+//!   plan validation;
+//! * [`planner`] — BFS, greedy best-first, and A* over goal-count / h_add /
+//!   h_max delete-relaxation heuristics;
+//! * [`encode`] — the `Plan-Parallel` encoding: one fact per
+//!   (permutation-copy, register, value), one action per machine
+//!   instruction, conditional effects mirroring the instruction semantics
+//!   on every copy at once.
+//!
+//! The paper's `Plan-Seq` linearization exists because several PDDL
+//! planners handle conditional effects poorly; our native planner supports
+//! them directly, so the parallel encoding is the faithful representative
+//! (see DESIGN.md for the substitution note).
+//!
+//! # Example
+//!
+//! ```
+//! use sortsynth_isa::{IsaMode, Machine};
+//! use sortsynth_plan::{encode_synthesis, plan_to_program, solve, PlanLimits, PlanStrategy};
+//!
+//! let machine = Machine::new(2, 1, IsaMode::Cmov);
+//! let (problem, instrs, _) = encode_synthesis(&machine);
+//! let result = solve(&problem, PlanStrategy::Bfs, PlanLimits::default());
+//! let prog = plan_to_program(&result.plan.expect("n = 2 plans exist"), &instrs);
+//! assert!(machine.is_correct(&prog));
+//! ```
+
+pub mod encode;
+pub mod encode_seq;
+pub mod planner;
+pub mod strips;
+
+pub use encode::{encode_synthesis, plan_to_program, Layout};
+pub use encode_seq::{encode_synthesis_seq, seq_plan_program, SeqLayout};
+pub use planner::{solve, PlanHeuristic, PlanLimits, PlanOutcome, PlanResult, PlanStrategy};
+pub use strips::{Action, ConditionalEffect, Fact, Problem, State};

@@ -1,0 +1,361 @@
+//! Forward state-space planners: BFS, greedy best-first, and A* over
+//! goal-count / h_add / h_max delete-relaxation heuristics — the algorithm
+//! family behind the planners the paper benchmarks (§5.2).
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use crate::strips::{Problem, State};
+
+/// Delete-relaxation heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanHeuristic {
+    /// Number of unsatisfied goal facts (cheap, uninformative).
+    GoalCount,
+    /// Additive relaxation cost: sums fact costs (inadmissible, strong —
+    /// the core of FF/LAMA-style planners).
+    HAdd,
+    /// Max relaxation cost (admissible: A* with it is optimal).
+    HMax,
+}
+
+/// Search strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStrategy {
+    /// Breadth-first search (optimal, exhaustive).
+    Bfs,
+    /// Greedy best-first on the heuristic alone.
+    Gbfs(PlanHeuristic),
+    /// A*: `f = g + h`.
+    AStar(PlanHeuristic),
+}
+
+/// Why a planning run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOutcome {
+    /// A plan was found.
+    Solved,
+    /// The reachable space was exhausted: no plan exists.
+    Unsolvable,
+    /// A node or time budget expired.
+    Budget,
+}
+
+/// Result of [`solve`].
+#[derive(Debug, Clone)]
+pub struct PlanResult {
+    /// Action indices of the plan, if solved.
+    pub plan: Option<Vec<usize>>,
+    /// How the run ended.
+    pub outcome: PlanOutcome,
+    /// States expanded.
+    pub expanded: u64,
+    /// States generated.
+    pub generated: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Search budgets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanLimits {
+    /// Maximum generated states.
+    pub max_nodes: Option<u64>,
+    /// Wall-clock limit.
+    pub timeout: Option<Duration>,
+}
+
+/// Solves `problem` with the given strategy.
+pub fn solve(problem: &Problem, strategy: PlanStrategy, limits: PlanLimits) -> PlanResult {
+    let start = Instant::now();
+    let deadline = limits.timeout.map(|t| start + t);
+    let init = problem.initial_state();
+
+    let mut expanded = 0u64;
+    let mut generated = 1u64;
+    // parent map: state -> (parent state index, action)
+    let mut nodes: Vec<(State, Option<(u32, usize)>, u32)> = vec![(init.clone(), None, 0)];
+    let mut seen: HashMap<State, u32> = HashMap::new();
+    seen.insert(init.clone(), 0);
+
+    if problem.is_goal(&init) {
+        return PlanResult {
+            plan: Some(Vec::new()),
+            outcome: PlanOutcome::Solved,
+            expanded,
+            generated,
+            elapsed: start.elapsed(),
+        };
+    }
+
+    let heuristic = |state: &State| -> f64 {
+        match strategy {
+            PlanStrategy::Bfs => 0.0,
+            PlanStrategy::Gbfs(h) | PlanStrategy::AStar(h) => evaluate(problem, state, h),
+        }
+    };
+
+    // Unified open list: BFS uses a queue; heuristic searches use a heap
+    // keyed on f.
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, u32)> = BinaryHeap::new();
+    let use_heap = !matches!(strategy, PlanStrategy::Bfs);
+    if use_heap {
+        let f = priority(strategy, 0, heuristic(&init));
+        heap.push((std::cmp::Reverse(f), 0));
+    } else {
+        queue.push_back(0);
+    }
+
+    loop {
+        let current = if use_heap {
+            match heap.pop() {
+                Some((_, idx)) => idx,
+                None => {
+                    return PlanResult {
+                        plan: None,
+                        outcome: PlanOutcome::Unsolvable,
+                        expanded,
+                        generated,
+                        elapsed: start.elapsed(),
+                    }
+                }
+            }
+        } else {
+            match queue.pop_front() {
+                Some(idx) => idx,
+                None => {
+                    return PlanResult {
+                        plan: None,
+                        outcome: PlanOutcome::Unsolvable,
+                        expanded,
+                        generated,
+                        elapsed: start.elapsed(),
+                    }
+                }
+            }
+        };
+        expanded += 1;
+
+        let (state, _, g) = nodes[current as usize].clone();
+        for (ai, action) in problem.actions.iter().enumerate() {
+            if !problem.applicable(&state, action) {
+                continue;
+            }
+            let succ = problem.apply(&state, action);
+            generated += 1;
+            if seen.contains_key(&succ) {
+                continue;
+            }
+            let idx = nodes.len() as u32;
+            seen.insert(succ.clone(), idx);
+            let is_goal = problem.is_goal(&succ);
+            nodes.push((succ.clone(), Some((current, ai)), g + 1));
+            if is_goal {
+                return PlanResult {
+                    plan: Some(extract_plan(&nodes, idx)),
+                    outcome: PlanOutcome::Solved,
+                    expanded,
+                    generated,
+                    elapsed: start.elapsed(),
+                };
+            }
+            if use_heap {
+                let f = priority(strategy, g + 1, heuristic(&succ));
+                heap.push((std::cmp::Reverse(f), idx));
+            } else {
+                queue.push_back(idx);
+            }
+        }
+
+        if let Some(max) = limits.max_nodes {
+            if generated >= max {
+                return PlanResult {
+                    plan: None,
+                    outcome: PlanOutcome::Budget,
+                    expanded,
+                    generated,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return PlanResult {
+                    plan: None,
+                    outcome: PlanOutcome::Budget,
+                    expanded,
+                    generated,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+    }
+}
+
+fn priority(strategy: PlanStrategy, g: u32, h: f64) -> u64 {
+    // Scale h to keep integer ordering stable; clamp so dead-end states
+    // (h = ∞) stay representable without overflowing the combined key.
+    let h = (h.min(1e12) * 1024.0) as u64;
+    match strategy {
+        PlanStrategy::Bfs => g as u64,
+        PlanStrategy::Gbfs(_) => h,
+        PlanStrategy::AStar(_) => (g as u64) * 1024 + h,
+    }
+}
+
+fn extract_plan(nodes: &[(State, Option<(u32, usize)>, u32)], mut idx: u32) -> Vec<usize> {
+    let mut plan = Vec::new();
+    while let Some((parent, action)) = nodes[idx as usize].1 {
+        plan.push(action);
+        idx = parent;
+    }
+    plan.reverse();
+    plan
+}
+
+/// Delete-relaxation fact costs: ignore deletes, treat conditional-effect
+/// conditions as extra preconditions of that effect, and iterate to a fixed
+/// point. `HAdd` sums precondition costs, `HMax` maximizes.
+fn evaluate(problem: &Problem, state: &State, heuristic: PlanHeuristic) -> f64 {
+    if heuristic == PlanHeuristic::GoalCount {
+        return state.missing(&problem.goal) as f64;
+    }
+    const INF: f64 = 1e18;
+    let mut cost = vec![INF; problem.num_facts];
+    for f in 0..problem.num_facts as u32 {
+        if state.holds(crate::strips::Fact(f)) {
+            cost[f as usize] = 0.0;
+        }
+    }
+    let combine = |costs: &[f64], facts: &[crate::strips::Fact]| -> f64 {
+        let mut acc: f64 = 0.0;
+        for &f in facts {
+            let c = costs[f.0 as usize];
+            if c >= INF {
+                return INF;
+            }
+            acc = match heuristic {
+                PlanHeuristic::HAdd => acc + c,
+                _ => acc.max(c),
+            };
+        }
+        acc
+    };
+    loop {
+        let mut changed = false;
+        for action in &problem.actions {
+            let pre_cost = combine(&cost, &action.pre);
+            if pre_cost >= INF {
+                continue;
+            }
+            for eff in &action.effects {
+                let when_cost = combine(&cost, &eff.when);
+                if when_cost >= INF {
+                    continue;
+                }
+                let trigger = match heuristic {
+                    PlanHeuristic::HAdd => pre_cost + when_cost + 1.0,
+                    _ => pre_cost.max(when_cost) + 1.0,
+                };
+                for &f in &eff.add {
+                    if trigger < cost[f.0 as usize] {
+                        cost[f.0 as usize] = trigger;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    combine(&cost, &problem.goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strips::{Action, ConditionalEffect, Fact};
+
+    fn chain(len: u32) -> Problem {
+        Problem {
+            num_facts: len as usize + 1,
+            init: vec![Fact(0)],
+            goal: vec![Fact(len)],
+            actions: (0..len)
+                .map(|i| Action {
+                    name: format!("step-{i}"),
+                    pre: vec![Fact(i)],
+                    effects: vec![ConditionalEffect {
+                        when: vec![],
+                        add: vec![Fact(i + 1)],
+                        del: vec![Fact(i)],
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn all_strategies_solve_the_chain() {
+        let p = chain(6);
+        for strategy in [
+            PlanStrategy::Bfs,
+            PlanStrategy::Gbfs(PlanHeuristic::GoalCount),
+            PlanStrategy::Gbfs(PlanHeuristic::HAdd),
+            PlanStrategy::AStar(PlanHeuristic::HMax),
+            PlanStrategy::AStar(PlanHeuristic::HAdd),
+        ] {
+            let r = solve(&p, strategy, PlanLimits::default());
+            assert_eq!(r.outcome, PlanOutcome::Solved, "{strategy:?}");
+            let plan = r.plan.expect("solved");
+            assert_eq!(plan.len(), 6, "{strategy:?}");
+            assert!(p.validate(&plan));
+        }
+    }
+
+    #[test]
+    fn unsolvable_is_detected() {
+        let mut p = chain(3);
+        p.goal = vec![Fact(3), Fact(0)]; // 0 is deleted on the only path
+        let r = solve(&p, PlanStrategy::Bfs, PlanLimits::default());
+        assert_eq!(r.outcome, PlanOutcome::Unsolvable);
+    }
+
+    #[test]
+    fn budget_reports() {
+        let p = chain(20);
+        let r = solve(
+            &p,
+            PlanStrategy::Bfs,
+            PlanLimits {
+                max_nodes: Some(3),
+                timeout: None,
+            },
+        );
+        assert_eq!(r.outcome, PlanOutcome::Budget);
+    }
+
+    #[test]
+    fn heuristics_estimate_chain_distance() {
+        let p = chain(5);
+        let init = p.initial_state();
+        assert_eq!(evaluate(&p, &init, PlanHeuristic::GoalCount), 1.0);
+        assert_eq!(evaluate(&p, &init, PlanHeuristic::HMax), 5.0);
+        assert_eq!(evaluate(&p, &init, PlanHeuristic::HAdd), 5.0);
+        let goal_state = State::from_facts(p.num_facts, &p.goal);
+        assert_eq!(evaluate(&p, &goal_state, PlanHeuristic::HMax), 0.0);
+    }
+
+    #[test]
+    fn hmax_is_admissible_on_the_chain() {
+        let p = chain(8);
+        let mut state = p.initial_state();
+        for (dist_to_go, ai) in (0..8).rev().zip(0..8) {
+            let h = evaluate(&p, &state, PlanHeuristic::HMax);
+            assert!(h <= (dist_to_go + 1) as f64);
+            state = p.apply(&state, &p.actions[ai]);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Grounded propositional planning with conditional effects.
+//!
+//! The substrate the paper's §5.2 planning baselines (fast-downward, LAMA,
+//! Scorpion, CPDDL) operate on: states are sets of facts, actions have
+//! preconditions and (conditional) add/delete effects, and a plan is an
+//! action sequence from the initial state to a goal state.
+
+use std::fmt;
+
+/// A ground proposition, identified by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fact(pub u32);
+
+/// One conditional effect: when every `when` fact holds in the *current*
+/// state, `add` facts are added and `del` facts removed (adds win over
+/// deletes of the same fact, the PDDL convention).
+#[derive(Debug, Clone, Default)]
+pub struct ConditionalEffect {
+    /// Condition facts (empty = unconditional).
+    pub when: Vec<Fact>,
+    /// Facts added.
+    pub add: Vec<Fact>,
+    /// Facts deleted.
+    pub del: Vec<Fact>,
+}
+
+/// A ground action.
+#[derive(Debug, Clone, Default)]
+pub struct Action {
+    /// Human-readable name (the instruction text for synthesis encodings).
+    pub name: String,
+    /// Precondition facts.
+    pub pre: Vec<Fact>,
+    /// Effects, evaluated against the pre-action state.
+    pub effects: Vec<ConditionalEffect>,
+}
+
+/// A grounded planning problem.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    /// Total number of facts.
+    pub num_facts: usize,
+    /// Facts true initially.
+    pub init: Vec<Fact>,
+    /// Facts that must hold in a goal state.
+    pub goal: Vec<Fact>,
+    /// The ground actions.
+    pub actions: Vec<Action>,
+}
+
+/// A planning state: a bitset over facts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    words: Box<[u64]>,
+}
+
+impl State {
+    /// The empty state over `num_facts` facts.
+    pub fn empty(num_facts: usize) -> Self {
+        State {
+            words: vec![0u64; num_facts.div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    /// Builds a state from a fact list.
+    pub fn from_facts(num_facts: usize, facts: &[Fact]) -> Self {
+        let mut s = State::empty(num_facts);
+        for &f in facts {
+            s.insert(f);
+        }
+        s
+    }
+
+    /// Whether `fact` holds.
+    #[inline]
+    pub fn holds(&self, fact: Fact) -> bool {
+        self.words[fact.0 as usize / 64] & (1 << (fact.0 % 64)) != 0
+    }
+
+    /// Adds `fact`.
+    #[inline]
+    pub fn insert(&mut self, fact: Fact) {
+        self.words[fact.0 as usize / 64] |= 1 << (fact.0 % 64);
+    }
+
+    /// Removes `fact`.
+    #[inline]
+    pub fn remove(&mut self, fact: Fact) {
+        self.words[fact.0 as usize / 64] &= !(1 << (fact.0 % 64));
+    }
+
+    /// Whether every fact in `facts` holds.
+    pub fn holds_all(&self, facts: &[Fact]) -> bool {
+        facts.iter().all(|&f| self.holds(f))
+    }
+
+    /// Number of facts in `facts` that do *not* hold (the goal-count
+    /// heuristic).
+    pub fn missing(&self, facts: &[Fact]) -> usize {
+        facts.iter().filter(|&&f| !self.holds(f)).count()
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (w, &word) in self.words.iter().enumerate() {
+            for b in 0..64 {
+                if word & (1 << b) != 0 {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", w * 64 + b)?;
+                    first = false;
+                }
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Problem {
+    /// Whether `action` is applicable in `state`.
+    pub fn applicable(&self, state: &State, action: &Action) -> bool {
+        state.holds_all(&action.pre)
+    }
+
+    /// Applies `action` (assumed applicable), returning the successor.
+    pub fn apply(&self, state: &State, action: &Action) -> State {
+        let mut next = state.clone();
+        // Deletes first, adds second (adds win), all conditions read from
+        // the pre-action state.
+        for eff in &action.effects {
+            if state.holds_all(&eff.when) {
+                for &f in &eff.del {
+                    next.remove(f);
+                }
+            }
+        }
+        for eff in &action.effects {
+            if state.holds_all(&eff.when) {
+                for &f in &eff.add {
+                    next.insert(f);
+                }
+            }
+        }
+        next
+    }
+
+    /// The initial state.
+    pub fn initial_state(&self) -> State {
+        State::from_facts(self.num_facts, &self.init)
+    }
+
+    /// Whether `state` satisfies the goal.
+    pub fn is_goal(&self, state: &State) -> bool {
+        state.holds_all(&self.goal)
+    }
+
+    /// Validates that `plan` is executable from the initial state and ends
+    /// in a goal state.
+    pub fn validate(&self, plan: &[usize]) -> bool {
+        let mut state = self.initial_state();
+        for &ai in plan {
+            let Some(action) = self.actions.get(ai) else {
+                return false;
+            };
+            if !self.applicable(&state, action) {
+                return false;
+            }
+            state = self.apply(&state, action);
+        }
+        self.is_goal(&state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-position sliding token: move token from i to i+1.
+    fn chain_problem() -> Problem {
+        let mk_move = |from: u32, to: u32| Action {
+            name: format!("move-{from}-{to}"),
+            pre: vec![Fact(from)],
+            effects: vec![ConditionalEffect {
+                when: vec![],
+                add: vec![Fact(to)],
+                del: vec![Fact(from)],
+            }],
+        };
+        Problem {
+            num_facts: 3,
+            init: vec![Fact(0)],
+            goal: vec![Fact(2)],
+            actions: vec![mk_move(0, 1), mk_move(1, 2)],
+        }
+    }
+
+    #[test]
+    fn state_bitset_ops() {
+        let mut s = State::empty(130);
+        assert!(!s.holds(Fact(129)));
+        s.insert(Fact(129));
+        s.insert(Fact(0));
+        assert!(s.holds(Fact(129)) && s.holds(Fact(0)));
+        s.remove(Fact(0));
+        assert!(!s.holds(Fact(0)));
+        assert_eq!(s.missing(&[Fact(0), Fact(129)]), 1);
+    }
+
+    #[test]
+    fn apply_and_validate() {
+        let p = chain_problem();
+        let s0 = p.initial_state();
+        assert!(p.applicable(&s0, &p.actions[0]));
+        assert!(!p.applicable(&s0, &p.actions[1]));
+        let s1 = p.apply(&s0, &p.actions[0]);
+        assert!(s1.holds(Fact(1)) && !s1.holds(Fact(0)));
+        assert!(p.validate(&[0, 1]));
+        assert!(!p.validate(&[1]));
+        assert!(!p.validate(&[0]));
+        assert!(!p.validate(&[0, 7]));
+    }
+
+    #[test]
+    fn conditional_effects_read_pre_state() {
+        // Action with two conditional effects that would chain if conditions
+        // were read from the intermediate state; correct semantics fire only
+        // the first.
+        let action = Action {
+            name: "cond".into(),
+            pre: vec![],
+            effects: vec![
+                ConditionalEffect {
+                    when: vec![Fact(0)],
+                    add: vec![Fact(1)],
+                    del: vec![],
+                },
+                ConditionalEffect {
+                    when: vec![Fact(1)],
+                    add: vec![Fact(2)],
+                    del: vec![],
+                },
+            ],
+        };
+        let p = Problem {
+            num_facts: 3,
+            init: vec![Fact(0)],
+            goal: vec![],
+            actions: vec![action],
+        };
+        let s1 = p.apply(&p.initial_state(), &p.actions[0]);
+        assert!(s1.holds(Fact(1)));
+        assert!(!s1.holds(Fact(2)), "conditions must not see this action's adds");
+    }
+
+    #[test]
+    fn add_wins_over_delete() {
+        let action = Action {
+            name: "both".into(),
+            pre: vec![],
+            effects: vec![ConditionalEffect {
+                when: vec![],
+                add: vec![Fact(0)],
+                del: vec![Fact(0)],
+            }],
+        };
+        let p = Problem {
+            num_facts: 1,
+            init: vec![Fact(0)],
+            goal: vec![],
+            actions: vec![action],
+        };
+        let s1 = p.apply(&p.initial_state(), &p.actions[0]);
+        assert!(s1.holds(Fact(0)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the planning substrate: plans validate, BFS is
+//! length-optimal, and admissible A* matches BFS.
+
+use proptest::prelude::*;
+use sortsynth_plan::{
+    solve, Action, ConditionalEffect, Fact, PlanHeuristic, PlanLimits, PlanOutcome,
+    PlanStrategy, Problem,
+};
+
+/// Random small STRIPS problems: a token-passing graph where action
+/// `(i → j)` moves the token from node i to node j along randomly chosen
+/// edges. Always solvable iff the goal node is reachable.
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (2usize..8, prop::collection::vec((0usize..8, 0usize..8), 1..20)).prop_map(
+        |(nodes, edges)| {
+            let actions = edges
+                .into_iter()
+                .map(|(from, to)| (from % nodes, to % nodes))
+                .filter(|(from, to)| from != to)
+                .map(|(from, to)| Action {
+                    name: format!("move-{from}-{to}"),
+                    pre: vec![Fact(from as u32)],
+                    effects: vec![ConditionalEffect {
+                        when: vec![],
+                        add: vec![Fact(to as u32)],
+                        del: vec![Fact(from as u32)],
+                    }],
+                })
+                .collect();
+            Problem {
+                num_facts: nodes,
+                init: vec![Fact(0)],
+                goal: vec![Fact((nodes - 1) as u32)],
+                actions,
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Whatever any strategy returns must validate, and BFS plans are
+    /// shortest — admissible A* (h_max) must match their length.
+    #[test]
+    fn planners_agree_on_random_token_graphs(problem in arb_problem()) {
+        let limits = PlanLimits {
+            max_nodes: Some(100_000),
+            timeout: None,
+        };
+        let bfs = solve(&problem, PlanStrategy::Bfs, limits);
+        match bfs.outcome {
+            PlanOutcome::Solved => {
+                let bfs_plan = bfs.plan.expect("solved");
+                prop_assert!(problem.validate(&bfs_plan));
+                // Admissible A* finds an equally short plan.
+                let astar = solve(&problem, PlanStrategy::AStar(PlanHeuristic::HMax), limits);
+                prop_assert_eq!(astar.outcome, PlanOutcome::Solved);
+                let astar_plan = astar.plan.expect("solved");
+                prop_assert!(problem.validate(&astar_plan));
+                prop_assert_eq!(astar_plan.len(), bfs_plan.len());
+                // Greedy searches still find *a* valid plan.
+                for h in [PlanHeuristic::GoalCount, PlanHeuristic::HAdd] {
+                    let gbfs = solve(&problem, PlanStrategy::Gbfs(h), limits);
+                    prop_assert_eq!(gbfs.outcome, PlanOutcome::Solved);
+                    prop_assert!(problem.validate(&gbfs.plan.expect("solved")));
+                }
+            }
+            PlanOutcome::Unsolvable => {
+                // Then no strategy may claim success.
+                for strategy in [
+                    PlanStrategy::Gbfs(PlanHeuristic::HAdd),
+                    PlanStrategy::AStar(PlanHeuristic::HMax),
+                ] {
+                    let r = solve(&problem, strategy, limits);
+                    prop_assert_eq!(r.outcome, PlanOutcome::Unsolvable);
+                }
+            }
+            PlanOutcome::Budget => {}
+        }
+    }
+
+    /// Validation rejects corrupted plans.
+    #[test]
+    fn validation_rejects_random_suffix_corruption(problem in arb_problem(), junk in 0usize..100) {
+        let limits = PlanLimits { max_nodes: Some(100_000), timeout: None };
+        let bfs = solve(&problem, PlanStrategy::Bfs, limits);
+        if let (PlanOutcome::Solved, Some(mut plan)) = (bfs.outcome, bfs.plan) {
+            // An out-of-range action index never validates.
+            plan.push(problem.actions.len() + junk);
+            prop_assert!(!problem.validate(&plan));
+        }
+    }
+}

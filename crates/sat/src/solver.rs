@@ -1,0 +1,609 @@
+//! The CDCL core: watched literals, VSIDS, 1-UIP learning, Luby restarts.
+
+/// A boolean variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Zero-based index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the negated polarity.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Result of a solve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// A conflict or time budget expired first.
+    Unknown,
+}
+
+const UNASSIGNED: u8 = 2;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// For each literal, the clauses watching it.
+    watches: Vec<Vec<u32>>,
+    /// Assignment per variable: 0 = false, 1 = true, 2 = unassigned.
+    assign: Vec<u8>,
+    /// Saved phase per variable for phase-saving.
+    phase: Vec<u8>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// Reason clause per variable (`u32::MAX` for decisions).
+    reason: Vec<u32>,
+    /// Assignment trail.
+    trail: Vec<Lit>,
+    /// Trail index delimiting each decision level.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate.
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Set when an added clause is vacuously unsatisfiable.
+    unsat: bool,
+    conflicts: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of learnt (conflict-derived) clauses.
+    pub fn num_learnt(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
+    /// Exports the original (non-learnt) clauses plus the root-level unit
+    /// facts, e.g. for translation into another solving paradigm (the ILP
+    /// baseline). The export is equisatisfiable with the added formula.
+    pub fn clauses_for_export(&self) -> Vec<Vec<Lit>> {
+        let mut out: Vec<Vec<Lit>> = self
+            .clauses
+            .iter()
+            .filter(|c| !c.learnt)
+            .map(|c| c.lits.clone())
+            .collect();
+        for &lit in &self.trail {
+            if self.level[lit.var().index()] == 0 {
+                out.push(vec![lit]);
+            }
+        }
+        out
+    }
+
+    /// Total conflicts encountered across solve calls.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(UNASSIGNED);
+        self.phase.push(0);
+        self.level.push(0);
+        self.reason.push(u32::MAX);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Adds a clause. Returns `false` if the clause makes the formula
+    /// trivially unsatisfiable (it is empty, or empty after root-level
+    /// simplification).
+    ///
+    /// Clauses must be added before calling `solve` (this solver is not
+    /// incremental across conflicting solve calls, but more clauses may be
+    /// added between successful calls — assignments are reset).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        self.backtrack(0);
+        // Root-level simplification: drop false literals, detect tautology.
+        let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.lit_value(l) {
+                Some(true) => return true, // already satisfied at root
+                Some(false) => continue,
+                None => {
+                    if simplified.contains(&l.negate()) {
+                        return true; // tautology
+                    }
+                    if !simplified.contains(&l) {
+                        simplified.push(l);
+                    }
+                }
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                if !self.enqueue(simplified[0], u32::MAX) {
+                    self.unsat = true;
+                    return false;
+                }
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[simplified[0].negate().index()].push(idx);
+                self.watches[simplified[1].negate().index()].push(idx);
+                self.clauses.push(Clause {
+                    lits: simplified,
+                    learnt: false,
+                });
+                true
+            }
+        }
+    }
+
+    /// Convenience: adds the at-most-one constraint over `lits` (pairwise
+    /// encoding — fine for the small groups synthesis encodings use).
+    pub fn add_at_most_one(&mut self, lits: &[Lit]) {
+        for i in 0..lits.len() {
+            for j in (i + 1)..lits.len() {
+                self.add_clause(&[lits[i].negate(), lits[j].negate()]);
+            }
+        }
+    }
+
+    /// Convenience: exactly-one over `lits`.
+    pub fn add_exactly_one(&mut self, lits: &[Lit]) {
+        self.add_clause(lits);
+        self.add_at_most_one(lits);
+    }
+
+    /// Solves without budgets.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_budgeted(None, None)
+    }
+
+    /// Solves with optional conflict and wall-clock budgets; returns
+    /// [`SolveResult::Unknown`] when a budget expires.
+    pub fn solve_budgeted(
+        &mut self,
+        max_conflicts: Option<u64>,
+        timeout: Option<std::time::Duration>,
+    ) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        if timeout == Some(std::time::Duration::ZERO) {
+            return SolveResult::Unknown;
+        }
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        let start_conflicts = self.conflicts;
+        let mut restart_round = 0u32;
+        loop {
+            let budget = 64 * luby(restart_round);
+            restart_round += 1;
+            match self.search(budget) {
+                Some(result) => return result,
+                None => {
+                    // Restart: keep learnt clauses, reset to root level.
+                    self.backtrack(0);
+                }
+            }
+            if let Some(max) = max_conflicts {
+                if self.conflicts - start_conflicts >= max {
+                    self.backtrack(0);
+                    return SolveResult::Unknown;
+                }
+            }
+            if let Some(d) = deadline {
+                if std::time::Instant::now() >= d {
+                    self.backtrack(0);
+                    return SolveResult::Unknown;
+                }
+            }
+        }
+    }
+
+    /// The model value of `var` after [`SolveResult::Sat`] (and before the
+    /// next solve call); `None` if unassigned.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.assign[var.index()] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var()).map(|v| v != lit.is_neg())
+    }
+
+    /// Runs CDCL until SAT/UNSAT, or `None` after `conflict_budget`
+    /// conflicts (restart signal).
+    fn search(&mut self, conflict_budget: u64) -> Option<SolveResult> {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, backjump) = self.analyze(conflict);
+                self.backtrack(backjump);
+                self.learn(learnt);
+                self.decay_activity();
+                if conflicts_here >= conflict_budget {
+                    return None;
+                }
+            } else {
+                match self.pick_branch_var() {
+                    None => return Some(SolveResult::Sat),
+                    Some(var) => {
+                        self.trail_lim.push(self.trail.len());
+                        let lit = if self.phase[var.index()] == 1 {
+                            Lit::pos(var)
+                        } else {
+                            Lit::neg(var)
+                        };
+                        let ok = self.enqueue(lit, u32::MAX);
+                        debug_assert!(ok, "decision variable was unassigned");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses watching `lit` (i.e. containing ¬lit... we watch the
+            // negation): re-establish their watches.
+            let mut watchers = std::mem::take(&mut self.watches[lit.index()]);
+            let mut i = 0;
+            while i < watchers.len() {
+                let ci = watchers[i];
+                match self.update_watches(ci, lit) {
+                    WatchResult::Kept => i += 1,
+                    WatchResult::Moved => {
+                        watchers.swap_remove(i);
+                    }
+                    WatchResult::Conflict => {
+                        self.watches[lit.index()] = watchers;
+                        return Some(ci);
+                    }
+                }
+            }
+            self.watches[lit.index()] = watchers;
+        }
+        None
+    }
+
+    fn update_watches(&mut self, ci: u32, falsified: Lit) -> WatchResult {
+        // Field-level split borrow: clause literals mutably, assignments
+        // immutably.
+        let assign = &self.assign;
+        let lit_val = |l: Lit| -> Option<bool> {
+            match assign[l.var().index()] {
+                0 => Some(l.is_neg()),
+                1 => Some(!l.is_neg()),
+                _ => None,
+            }
+        };
+        let clause = &mut self.clauses[ci as usize];
+        let false_lit = falsified.negate();
+        // Normalize: the falsified literal goes to position 1.
+        if clause.lits[0] == false_lit {
+            clause.lits.swap(0, 1);
+        }
+        debug_assert_eq!(clause.lits[1], false_lit);
+        // Satisfied through the other watch?
+        let first = clause.lits[0];
+        if lit_val(first) == Some(true) {
+            return WatchResult::Kept;
+        }
+        // Find a replacement watch.
+        let mut new_watch = None;
+        for k in 2..clause.lits.len() {
+            if lit_val(clause.lits[k]) != Some(false) {
+                clause.lits.swap(1, k);
+                new_watch = Some(clause.lits[1]);
+                break;
+            }
+        }
+        if let Some(w) = new_watch {
+            self.watches[w.negate().index()].push(ci);
+            return WatchResult::Moved;
+        }
+        // No replacement: clause is unit (or conflicting).
+        if self.enqueue(first, ci) {
+            WatchResult::Kept
+        } else {
+            WatchResult::Conflict
+        }
+    }
+
+    /// Assigns `lit` with the given reason; `false` on contradiction.
+    fn enqueue(&mut self, lit: Lit, reason: u32) -> bool {
+        match self.lit_value(lit) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = lit.var().index();
+                self.assign[v] = (!lit.is_neg()) as u8;
+                self.phase[v] = self.assign[v];
+                self.level[v] = self.trail_lim.len() as u32;
+                self.reason[v] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// First-UIP conflict analysis; returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, usize) {
+        let current_level = self.trail_lim.len() as u32;
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+        let mut reason_clause = conflict;
+        let mut asserting: Option<Lit> = None;
+
+        loop {
+            let lits: Vec<Lit> = self.clauses[reason_clause as usize].lits.clone();
+            let skip_first = asserting.is_some();
+            for (pos, &q) in lits.iter().enumerate() {
+                if skip_first && pos == 0 {
+                    continue; // the propagated literal itself
+                }
+                let v = q.var().index();
+                if seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                seen[v] = true;
+                self.bump_activity(q.var());
+                if self.level[v] == current_level {
+                    counter += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Walk the trail backwards to the next marked literal of the
+            // current level.
+            loop {
+                trail_idx -= 1;
+                let lit = self.trail[trail_idx];
+                if seen[lit.var().index()] {
+                    asserting = Some(lit);
+                    break;
+                }
+            }
+            let lit = asserting.expect("found a literal on the current level");
+            counter -= 1;
+            seen[lit.var().index()] = false;
+            if counter == 0 {
+                learnt.insert(0, lit.negate());
+                break;
+            }
+            reason_clause = self.reason[lit.var().index()];
+            debug_assert_ne!(reason_clause, u32::MAX, "UIP literal has a reason");
+        }
+
+        // Backjump to the second-highest level in the learnt clause.
+        let backjump = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()] as usize)
+            .max()
+            .unwrap_or(0);
+        (learnt, backjump)
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        if learnt.len() == 1 {
+            let ok = self.enqueue(learnt[0], u32::MAX);
+            debug_assert!(ok, "asserting unit enqueues after backjump");
+            return;
+        }
+        let idx = self.clauses.len() as u32;
+        // Watch the asserting literal and one literal from the backjump
+        // level (position of the max-level literal among the rest).
+        let mut lits = learnt;
+        let max_pos = (1..lits.len())
+            .max_by_key(|&i| self.level[lits[i].var().index()])
+            .expect("learnt clause has at least two literals");
+        lits.swap(1, max_pos);
+        self.watches[lits[0].negate().index()].push(idx);
+        self.watches[lits[1].negate().index()].push(idx);
+        let asserting = lits[0];
+        self.clauses.push(Clause { lits, learnt: true });
+        let ok = self.enqueue(asserting, idx);
+        debug_assert!(ok, "asserting literal enqueues after backjump");
+    }
+
+    fn backtrack(&mut self, level: usize) {
+        while self.trail_lim.len() > level {
+            let limit = self.trail_lim.pop().expect("non-root level has a limit");
+            while self.trail.len() > limit {
+                let lit = self.trail.pop().expect("trail segment is non-empty");
+                self.assign[lit.var().index()] = UNASSIGNED;
+                self.reason[lit.var().index()] = u32::MAX;
+            }
+        }
+        self.qhead = self.qhead.min(self.trail.len());
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        // VSIDS: highest-activity unassigned variable.
+        let mut best: Option<(f64, usize)> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == UNASSIGNED {
+                let a = self.activity[v];
+                if best.map(|(b, _)| a > b).unwrap_or(true) {
+                    best = Some((a, v));
+                }
+            }
+        }
+        best.map(|(_, v)| Var(v as u32))
+    }
+
+    fn bump_activity(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+}
+
+enum WatchResult {
+    Kept,
+    Moved,
+    Conflict,
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …), 0-indexed.
+fn luby(x: u32) -> u64 {
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    let mut x = x as u64;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_round_trips() {
+        let v = Var(7);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert!(!Lit::pos(v).is_neg());
+        assert!(Lit::neg(v).is_neg());
+        assert_eq!(Lit::pos(v).negate(), Lit::neg(v));
+        assert_eq!(Lit::neg(v).negate(), Lit::pos(v));
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn learnt_clauses_are_recorded() {
+        // An instance that needs at least one conflict to solve.
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(v[i]), Lit::pos(v[i + 1])]);
+            s.add_clause(&[Lit::neg(v[i]), Lit::neg(v[i + 1])]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.num_learnt() <= s.num_clauses());
+    }
+
+    #[test]
+    fn exactly_one_constraint() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_exactly_one(&lits);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let set = vars.iter().filter(|&&v| s.value(v) == Some(true)).count();
+        assert_eq!(set, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based differential testing of the CDCL solver against brute
+//! force on random CNF instances.
+
+use proptest::prelude::*;
+use sortsynth_sat::{Lit, SolveResult, Solver};
+
+/// A random clause set over `num_vars` variables: each clause is a
+/// non-empty list of (variable index, polarity) pairs.
+fn arb_cnf(num_vars: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..num_vars, any::<bool>()), 1..5),
+        0..30,
+    )
+}
+
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    (0u32..1 << num_vars).any(|bits| {
+        clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos))
+    })
+}
+
+proptest! {
+    #[test]
+    fn cdcl_matches_brute_force(clauses in arb_cnf(8)) {
+        let num_vars = 8;
+        let expected = brute_force_sat(num_vars, &clauses);
+
+        let mut solver = Solver::new();
+        let vars: Vec<_> = (0..num_vars).map(|_| solver.new_var()).collect();
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, pos)| if pos { Lit::pos(vars[v]) } else { Lit::neg(vars[v]) })
+                .collect();
+            solver.add_clause(&lits);
+        }
+        let got = solver.solve();
+        prop_assert_eq!(got == SolveResult::Sat, expected);
+
+        // A reported model must satisfy every clause.
+        if got == SolveResult::Sat {
+            for clause in &clauses {
+                prop_assert!(clause
+                    .iter()
+                    .any(|&(v, pos)| solver.value(vars[v]) == Some(pos)));
+            }
+        }
+    }
+
+    /// Exactly-one constraints always produce exactly one true literal.
+    #[test]
+    fn exactly_one_holds_in_models(group_size in 2usize..9, extra in arb_cnf(4)) {
+        let mut solver = Solver::new();
+        let group: Vec<_> = (0..group_size).map(|_| solver.new_var()).collect();
+        let extra_vars: Vec<_> = (0..4).map(|_| solver.new_var()).collect();
+        let lits: Vec<Lit> = group.iter().map(|&v| Lit::pos(v)).collect();
+        solver.add_exactly_one(&lits);
+        for clause in &extra {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, pos)| {
+                    if pos { Lit::pos(extra_vars[v]) } else { Lit::neg(extra_vars[v]) }
+                })
+                .collect();
+            solver.add_clause(&lits);
+        }
+        if solver.solve() == SolveResult::Sat {
+            let set = group.iter().filter(|&&v| solver.value(v) == Some(true)).count();
+            prop_assert_eq!(set, 1);
+        }
+    }
+
+    /// Adding clauses can only remove models (monotonicity of UNSAT).
+    #[test]
+    fn adding_clauses_is_monotone(clauses in arb_cnf(6), extra in arb_cnf(6)) {
+        let num_vars = 6;
+        let build = |sets: &[&[Vec<(usize, bool)>]]| {
+            let mut solver = Solver::new();
+            let vars: Vec<_> = (0..num_vars).map(|_| solver.new_var()).collect();
+            for set in sets {
+                for clause in set.iter() {
+                    let lits: Vec<Lit> = clause
+                        .iter()
+                        .map(|&(v, pos)| if pos { Lit::pos(vars[v]) } else { Lit::neg(vars[v]) })
+                        .collect();
+                    solver.add_clause(&lits);
+                }
+            }
+            solver.solve()
+        };
+        let base = build(&[&clauses]);
+        let more = build(&[&clauses, &extra]);
+        if base == SolveResult::Unsat {
+            prop_assert_eq!(more, SolveResult::Unsat);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Synthesis configuration: strategy, heuristics, cuts, and limits.
+
+use std::time::Duration;
+
+use sortsynth_isa::Machine;
+
+/// Open-state selection strategy (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Dijkstra-style layered enumeration: all programs of length ℓ are
+    /// processed before length ℓ+1, so the first solution is guaranteed to
+    /// be of minimal length. `threads > 1` expands each layer in parallel
+    /// (the paper's "dijkstra, parallel" ablation row).
+    Layered {
+        /// Number of worker threads for layer expansion (1 = serial).
+        threads: usize,
+    },
+    /// Best-first search ordered by `g + h` for the chosen heuristic.
+    AStar {
+        /// The guiding heuristic.
+        heuristic: Heuristic,
+    },
+}
+
+/// Search heuristics of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heuristic {
+    /// No guidance: `f = g` (degenerates to uniform-cost search).
+    None,
+    /// Number of distinct permutations remaining in the state. Not
+    /// admissible (it is a sortedness measure, not a length bound), but the
+    /// paper's best-performing guide.
+    PermCount,
+    /// Number of distinct register assignments remaining (includes scratch
+    /// registers and flags). Not admissible.
+    AssignCount,
+    /// Maximum over the state's assignments of the precomputed shortest
+    /// per-assignment sorting distance. **Admissible**: every assignment
+    /// must individually be sorted by the remaining program, so A* with this
+    /// heuristic preserves minimality.
+    MaxRemaining,
+}
+
+impl Heuristic {
+    /// Whether `A*` with this heuristic still guarantees minimal-length
+    /// solutions.
+    pub fn is_admissible(self) -> bool {
+        matches!(self, Heuristic::None | Heuristic::MaxRemaining)
+    }
+}
+
+/// The §3.5 non-optimality-preserving cut. A freshly generated state of
+/// length ℓ is discarded when its permutation count exceeds the threshold
+/// derived from the best (minimum) permutation count seen at length ℓ−1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cut {
+    /// Keep the state only if `perm_count ≤ k · min_prev` (the paper's
+    /// multiplicative cut; `k = 1` is the most aggressive setting).
+    Factor(f64),
+    /// Keep the state only if `perm_count ≤ min_prev + c` (the paper's
+    /// "cut with +2" row).
+    Additive(u32),
+}
+
+impl Cut {
+    /// The largest permutation count that survives given the previous
+    /// layer's minimum.
+    pub fn threshold(self, min_prev: u32) -> u32 {
+        match self {
+            Cut::Factor(k) => (k * min_prev as f64).floor() as u32,
+            Cut::Additive(c) => min_prev + c,
+        }
+    }
+}
+
+/// Full configuration for one synthesis run.
+///
+/// Construct with [`SynthesisConfig::new`] and refine with the builder
+/// methods; run with [`crate::synthesize`].
+///
+/// # Examples
+///
+/// ```
+/// use sortsynth_isa::{IsaMode, Machine};
+/// use sortsynth_search::{Cut, Heuristic, Strategy, SynthesisConfig};
+///
+/// let cfg = SynthesisConfig::new(Machine::new(3, 1, IsaMode::Cmov))
+///     .strategy(Strategy::AStar { heuristic: Heuristic::PermCount })
+///     .cut(Cut::Factor(1.0))
+///     .budget_viability(true)
+///     .optimal_instrs_only(true);
+/// assert!(!cfg.guarantees_minimal()); // cuts may prune optimal states
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// The machine to synthesize for.
+    pub machine: Machine,
+    /// Open-state selection strategy.
+    pub strategy: Strategy,
+    /// Optional §3.5 cut.
+    pub cut: Option<Cut>,
+    /// Enable the §3.3 per-assignment remaining-budget viability check
+    /// (requires the distance table; implied by `MaxRemaining` and
+    /// `optimal_instrs_only`).
+    pub budget_viability: bool,
+    /// Restrict expansion to the §3.2 precomputed optimal first
+    /// instructions.
+    pub optimal_instrs_only: bool,
+    /// Hard upper bound on program length (inclusive). Used both as a search
+    /// budget and, by the lower-bound prover, as the exhaustion depth.
+    pub max_len: Option<u32>,
+    /// Keep searching after the first solution and collect every solution of
+    /// the minimal length.
+    pub all_solutions: bool,
+    /// Abort after generating this many states.
+    pub node_limit: Option<u64>,
+    /// Abort after this much wall-clock time.
+    pub time_limit: Option<Duration>,
+    /// Record a progress sample every this many generated states
+    /// (0 disables; used to regenerate the paper's Figure 1).
+    pub progress_every: u64,
+}
+
+impl SynthesisConfig {
+    /// A baseline configuration: serial layered (Dijkstra) search with the
+    /// erasure viability check only — the paper's "dijkstra, single core"
+    /// row.
+    pub fn new(machine: Machine) -> Self {
+        SynthesisConfig {
+            machine,
+            strategy: Strategy::Layered { threads: 1 },
+            cut: None,
+            budget_viability: false,
+            optimal_instrs_only: false,
+            max_len: None,
+            all_solutions: false,
+            node_limit: None,
+            time_limit: None,
+            progress_every: 0,
+        }
+    }
+
+    /// The paper's best configuration "(III)" (§5.2): optimal-instruction
+    /// restriction, assignment viability check, and the `k = 1` cut, on the
+    /// length-ordered (layered) open list.
+    ///
+    /// The layered open list realizes the paper's permutation-count guidance
+    /// through the cut itself (each layer only keeps states close to the
+    /// layer's permutation-count minimum) while retaining the
+    /// shortest-first property that makes the reported kernel lengths (11 /
+    /// 20 / ≈33 for n = 3/4/5) come out directly. A free-running best-first
+    /// variant is available via [`Strategy::AStar`] for the ablation
+    /// experiments, but being non-admissibly guided it may return
+    /// non-minimal kernels.
+    pub fn best(machine: Machine) -> Self {
+        SynthesisConfig::new(machine)
+            .optimal_instrs_only(true)
+            .budget_viability(true)
+            .cut(Cut::Factor(1.0))
+    }
+
+    /// Sets the open-state selection strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the §3.5 cut.
+    pub fn cut(mut self, cut: Cut) -> Self {
+        self.cut = Some(cut);
+        self
+    }
+
+    /// Enables/disables the per-assignment budget viability check.
+    pub fn budget_viability(mut self, on: bool) -> Self {
+        self.budget_viability = on;
+        self
+    }
+
+    /// Enables/disables the optimal-first-instruction restriction.
+    pub fn optimal_instrs_only(mut self, on: bool) -> Self {
+        self.optimal_instrs_only = on;
+        self
+    }
+
+    /// Sets the inclusive maximum program length.
+    pub fn max_len(mut self, len: u32) -> Self {
+        self.max_len = Some(len);
+        self
+    }
+
+    /// Collect every minimal-length solution instead of stopping at the
+    /// first.
+    pub fn all_solutions(mut self, on: bool) -> Self {
+        self.all_solutions = on;
+        self
+    }
+
+    /// Aborts the search after generating `limit` states.
+    pub fn node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Aborts the search after `limit` wall-clock time.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Records progress samples (for Figure 1) every `every` generated
+    /// states.
+    pub fn progress_every(mut self, every: u64) -> Self {
+        self.progress_every = every;
+        self
+    }
+
+    /// Whether this configuration guarantees that returned solutions have
+    /// minimal length: layered search or admissible A*, with no cut and no
+    /// optimal-instruction restriction (§3.2/§3.5 are explicitly
+    /// non-optimality-preserving — though in practice, and in the paper's
+    /// experiments, they retain minimal-length solutions).
+    pub fn guarantees_minimal(&self) -> bool {
+        let strategy_ok = match self.strategy {
+            Strategy::Layered { .. } => true,
+            Strategy::AStar { heuristic } => heuristic.is_admissible(),
+        };
+        strategy_ok && self.cut.is_none() && !self.optimal_instrs_only
+    }
+
+    /// Whether the engine must build a [`crate::DistanceTable`].
+    pub(crate) fn needs_distance_table(&self) -> bool {
+        self.budget_viability
+            || self.optimal_instrs_only
+            || matches!(
+                self.strategy,
+                Strategy::AStar {
+                    heuristic: Heuristic::MaxRemaining
+                }
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    #[test]
+    fn cut_thresholds() {
+        assert_eq!(Cut::Factor(1.0).threshold(6), 6);
+        assert_eq!(Cut::Factor(1.5).threshold(6), 9);
+        assert_eq!(Cut::Factor(2.0).threshold(5), 10);
+        assert_eq!(Cut::Additive(2).threshold(6), 8);
+    }
+
+    #[test]
+    fn admissibility() {
+        assert!(Heuristic::MaxRemaining.is_admissible());
+        assert!(Heuristic::None.is_admissible());
+        assert!(!Heuristic::PermCount.is_admissible());
+        assert!(!Heuristic::AssignCount.is_admissible());
+    }
+
+    #[test]
+    fn minimality_guarantee() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        assert!(SynthesisConfig::new(m.clone()).guarantees_minimal());
+        assert!(SynthesisConfig::new(m.clone())
+            .strategy(Strategy::AStar {
+                heuristic: Heuristic::MaxRemaining
+            })
+            .guarantees_minimal());
+        assert!(!SynthesisConfig::new(m.clone())
+            .cut(Cut::Factor(2.0))
+            .guarantees_minimal());
+        assert!(!SynthesisConfig::best(m).guarantees_minimal());
+    }
+
+    #[test]
+    fn best_config_needs_distance_table() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        assert!(SynthesisConfig::best(m.clone()).needs_distance_table());
+        assert!(!SynthesisConfig::new(m).needs_distance_table());
+    }
+}

@@ -1,0 +1,390 @@
+//! Per-assignment optimal-distance precomputation.
+//!
+//! Before the main search starts, the paper (§3.1, third heuristic; §3.2;
+//! §3.3) precomputes, for every *single* register assignment, the length of
+//! the shortest instruction sequence that sorts it. The space of single
+//! assignments is tiny (`(n+1)^(n+m) · 3` flag configurations), so this is a
+//! quick fixed-point computation. The table serves three purposes:
+//!
+//! * the admissible `MaxRemaining` search heuristic — the maximum per-
+//!   assignment distance in a state lower-bounds the remaining program
+//!   length;
+//! * the §3.3 viability check — a state whose `g + max distance` exceeds the
+//!   length budget can be pruned without losing optimality;
+//! * the §3.2 action restriction — only instructions that start an optimal
+//!   completion for *some* assignment of the state are explored.
+
+use sortsynth_isa::{Instr, Machine, MachineState, Reg};
+
+use crate::state::StateSet;
+
+/// Distance value meaning "cannot be sorted" (a value was erased).
+pub const UNSORTABLE: u16 = u16::MAX;
+
+/// A bitset over action indices (supports up to 256 actions, which covers
+/// every machine this workspace constructs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ActionSet([u64; 4]);
+
+impl ActionSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        ActionSet::default()
+    }
+
+    /// Inserts action index `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Whether action index `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Set union, in place.
+    pub fn union_with(&mut self, other: &ActionSet) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Number of actions in the set.
+    pub fn len(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+}
+
+/// Precomputed per-assignment shortest sorting distances (and optionally the
+/// optimal first moves) for a [`Machine`].
+///
+/// # Examples
+///
+/// ```
+/// use sortsynth_isa::{IsaMode, Machine};
+/// use sortsynth_search::DistanceTable;
+///
+/// let machine = Machine::new(2, 1, IsaMode::Cmov);
+/// let table = DistanceTable::build(&machine, false);
+/// // The sorted assignment is at distance 0; the swapped one is fixed by a
+/// // 3-mov rotation through the scratch register (no comparison needed —
+/// // the concrete values are known).
+/// assert_eq!(table.dist(machine.initial_state(&[1, 2])), 0);
+/// assert_eq!(table.dist(machine.initial_state(&[2, 1])), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceTable {
+    machine: Machine,
+    actions: Vec<Instr>,
+    dist: Vec<u16>,
+    first_moves: Option<Vec<ActionSet>>,
+    /// Radix for value digits: `n + 1` (values `0..=n`).
+    radix: usize,
+    /// Stride between flag planes: `radix^(n+m)`.
+    flag_stride: usize,
+    /// Largest finite distance in the table.
+    max_finite: u16,
+}
+
+impl DistanceTable {
+    /// Builds the table by backward induction from the sorted assignments.
+    ///
+    /// With `with_first_moves`, additionally records for every assignment the
+    /// set of actions that start *some* shortest sorting sequence (the §3.2
+    /// "optimal instructions" guide). This roughly doubles memory.
+    pub fn build(machine: &Machine, with_first_moves: bool) -> Self {
+        let actions = machine.actions();
+        assert!(actions.len() <= 256, "ActionSet supports at most 256 actions");
+        let regs = machine.num_regs() as usize;
+        let radix = machine.n() as usize + 1;
+        let flag_stride = radix.pow(regs as u32);
+        let total = 3 * flag_stride;
+
+        let mut dist = vec![UNSORTABLE; total];
+        // Seed: every assignment whose value registers read 1..=n is sorted.
+        let mut frontier: Vec<u32> = Vec::new();
+        for idx in 0..total {
+            let st = decode(machine, radix, flag_stride, idx);
+            if machine.is_sorted(st) {
+                dist[idx] = 0;
+                frontier.push(idx as u32);
+            }
+        }
+
+        // Backward induction: a state has distance d+1 if some action leads
+        // to a distance-d state. We iterate over the undecided states each
+        // round; the per-assignment space is small enough that this
+        // O(rounds · states · actions) sweep finishes in milliseconds for
+        // n ≤ 5.
+        let mut undecided: Vec<u32> = (0..total as u32)
+            .filter(|&i| dist[i as usize] == UNSORTABLE)
+            .collect();
+        let mut d: u16 = 0;
+        let mut max_finite = 0;
+        while !undecided.is_empty() {
+            let mut still = Vec::with_capacity(undecided.len());
+            let mut progressed = false;
+            for &idx in &undecided {
+                let st = decode(machine, radix, flag_stride, idx as usize);
+                let reaches_d = actions.iter().any(|&a| {
+                    let succ = encode(machine, radix, flag_stride, st.step(a));
+                    dist[succ] == d
+                });
+                if reaches_d {
+                    dist[idx as usize] = d + 1;
+                    max_finite = d + 1;
+                    progressed = true;
+                } else {
+                    still.push(idx);
+                }
+            }
+            undecided = still;
+            if !progressed {
+                break; // the rest are unsortable (erased values)
+            }
+            d += 1;
+        }
+
+        let first_moves = with_first_moves.then(|| {
+            let mut moves = vec![ActionSet::empty(); total];
+            for idx in 0..total {
+                let here = dist[idx];
+                if here == 0 || here == UNSORTABLE {
+                    continue;
+                }
+                let st = decode(machine, radix, flag_stride, idx);
+                for (ai, &a) in actions.iter().enumerate() {
+                    let succ = encode(machine, radix, flag_stride, st.step(a));
+                    if dist[succ] == here - 1 {
+                        moves[idx].insert(ai);
+                    }
+                }
+            }
+            moves
+        });
+
+        DistanceTable {
+            machine: machine.clone(),
+            actions,
+            dist,
+            first_moves,
+            radix,
+            flag_stride,
+            max_finite,
+        }
+    }
+
+    /// The action list the table indexes into (identical to
+    /// [`Machine::actions`]).
+    pub fn actions(&self) -> &[Instr] {
+        &self.actions
+    }
+
+    /// Shortest number of instructions sorting `assign`, or [`UNSORTABLE`].
+    pub fn dist(&self, assign: MachineState) -> u16 {
+        self.dist[encode(&self.machine, self.radix, self.flag_stride, assign)]
+    }
+
+    /// The largest finite distance of any assignment — a lower bound on no
+    /// program, but a useful diagnostic.
+    pub fn max_finite_dist(&self) -> u16 {
+        self.max_finite
+    }
+
+    /// Admissible heuristic for a search state: the maximum per-assignment
+    /// distance (§3.1). Returns [`UNSORTABLE`] if any assignment is
+    /// unsortable.
+    pub fn max_dist(&self, set: &StateSet) -> u16 {
+        let mut worst = 0;
+        for &a in set.assignments() {
+            let d = self.dist(a);
+            if d == UNSORTABLE {
+                return UNSORTABLE;
+            }
+            worst = worst.max(d);
+        }
+        worst
+    }
+
+    /// The §3.2 action guide: the union, over all assignments of `set`, of
+    /// the actions starting a shortest sorting sequence for that assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built without first moves.
+    pub fn optimal_first_moves(&self, set: &StateSet) -> ActionSet {
+        let moves = self
+            .first_moves
+            .as_ref()
+            .expect("DistanceTable built without first moves");
+        let mut out = ActionSet::empty();
+        for &a in set.assignments() {
+            out.union_with(&moves[encode(&self.machine, self.radix, self.flag_stride, a)]);
+        }
+        out
+    }
+
+    /// Whether first moves were recorded at build time.
+    pub fn has_first_moves(&self) -> bool {
+        self.first_moves.is_some()
+    }
+}
+
+fn flag_code(st: MachineState) -> usize {
+    match (st.lt_flag(), st.gt_flag()) {
+        (false, false) => 0,
+        (true, false) => 1,
+        (false, true) => 2,
+        (true, true) => unreachable!("cmp never sets both flags"),
+    }
+}
+
+fn encode(machine: &Machine, radix: usize, flag_stride: usize, st: MachineState) -> usize {
+    let mut idx = 0usize;
+    for r in (0..machine.num_regs()).rev() {
+        let v = st.reg(Reg::new(r)) as usize;
+        debug_assert!(v < radix);
+        idx = idx * radix + v;
+    }
+    flag_code(st) * flag_stride + idx
+}
+
+fn decode(machine: &Machine, radix: usize, flag_stride: usize, idx: usize) -> MachineState {
+    let flags = idx / flag_stride;
+    let mut rest = idx % flag_stride;
+    let mut st = MachineState::default();
+    for r in 0..machine.num_regs() {
+        st.set_reg(Reg::new(r), (rest % radix) as u8);
+        rest /= radix;
+    }
+    st.set_flags(flags == 1, flags == 2);
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let radix = 4;
+        let stride = radix_pow(radix, 4);
+        for idx in 0..3 * stride {
+            let st = decode(&m, radix, stride, idx);
+            assert_eq!(encode(&m, radix, stride, st), idx);
+        }
+    }
+
+    fn radix_pow(radix: usize, e: u32) -> usize {
+        radix.pow(e)
+    }
+
+    #[test]
+    fn sorted_assignment_has_distance_zero() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let t = DistanceTable::build(&m, false);
+        assert_eq!(t.dist(m.initial_state(&[1, 2, 3])), 0);
+    }
+
+    #[test]
+    fn single_swap_needs_three_instructions_cmov() {
+        // For a single *concrete* assignment the values are known, so no
+        // comparison is needed: a transposition is a 3-mov rotation through
+        // the scratch register. (This is why the per-assignment distance is
+        // only a lower bound for the oblivious sorting kernel, which needs a
+        // 4-instruction compare-and-swap.)
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let t = DistanceTable::build(&m, false);
+        assert_eq!(t.dist(m.initial_state(&[2, 1])), 3);
+    }
+
+    #[test]
+    fn single_swap_needs_three_instructions_minmax() {
+        let m = Machine::new(2, 1, IsaMode::MinMax);
+        let t = DistanceTable::build(&m, false);
+        assert_eq!(t.dist(m.initial_state(&[2, 1])), 3);
+    }
+
+    #[test]
+    fn erased_assignment_is_unsortable() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let t = DistanceTable::build(&m, false);
+        // r = [1, 1], s = 0: the value 2 is gone.
+        let st = MachineState::from_values(&[1, 1, 0]);
+        assert_eq!(t.dist(st), UNSORTABLE);
+    }
+
+    #[test]
+    fn scratch_can_rescue_values() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let t = DistanceTable::build(&m, false);
+        // r = [1, 1], s = 2: one mov fixes it.
+        let st = MachineState::from_values(&[1, 1, 2]);
+        assert_eq!(t.dist(st), 1);
+    }
+
+    #[test]
+    fn max_dist_over_state_set() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let t = DistanceTable::build(&m, false);
+        let set = StateSet::initial(&m);
+        assert_eq!(t.max_dist(&set), 3);
+    }
+
+    #[test]
+    fn optimal_first_moves_decrease_distance() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let t = DistanceTable::build(&m, true);
+        let set = StateSet::initial(&m);
+        let moves = t.optimal_first_moves(&set);
+        assert!(!moves.is_empty());
+        // Every allowed move keeps the state sortable and at least one
+        // strictly decreases the unsorted assignment's distance.
+        let unsorted = m.initial_state(&[2, 1]);
+        let mut improved = false;
+        for (ai, &a) in t.actions().iter().enumerate() {
+            if moves.contains(ai) && t.dist(unsorted.step(a)) == 2 {
+                improved = true;
+            }
+        }
+        assert!(improved);
+    }
+
+    #[test]
+    fn action_set_basics() {
+        let mut s = ActionSet::empty();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(130);
+        assert!(s.contains(0) && s.contains(130) && !s.contains(64));
+        assert_eq!(s.len(), 2);
+        let mut t = ActionSet::empty();
+        t.insert(64);
+        t.union_with(&s);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn distances_are_consistent_one_step() {
+        // Triangle inequality / Bellman consistency: dist(s) <= dist(succ)+1.
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let t = DistanceTable::build(&m, false);
+        for perm in sortsynth_isa::permutations(3) {
+            let st = m.initial_state(&perm);
+            let d = t.dist(st);
+            for &a in t.actions() {
+                let ds = t.dist(st.step(a));
+                if ds != UNSORTABLE {
+                    assert!(d <= ds + 1, "inconsistent distance at {perm:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,749 @@
+//! The enumerative synthesis engine: layered (Dijkstra) and A* search with
+//! deduplication, viability checks, and cuts (§3 of the paper).
+
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+use sortsynth_isa::{Instr, Program};
+
+use crate::config::{Strategy, SynthesisConfig};
+use crate::distance::{DistanceTable, UNSORTABLE};
+use crate::heuristics::heuristic_value;
+use crate::state::StateSet;
+
+/// How a synthesis run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A solution was found (first-solution mode).
+    Solved,
+    /// Every minimal-length solution reachable under the configuration was
+    /// collected (all-solutions mode).
+    SolvedAll,
+    /// The reachable space within `max_len` was exhausted without finding a
+    /// solution. Under an optimality-preserving configuration
+    /// ([`SynthesisConfig::guarantees_minimal`]) this *proves* that no
+    /// program of length ≤ `max_len` exists.
+    Exhausted,
+    /// The state budget ([`SynthesisConfig::node_limit`]) was hit.
+    NodeLimit,
+    /// The wall-clock budget ([`SynthesisConfig::time_limit`]) was hit.
+    TimeLimit,
+}
+
+/// One sample of search progress, for regenerating the paper's Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSample {
+    /// Seconds since the search started.
+    pub elapsed_secs: f64,
+    /// Open (not yet expanded) states at the time of the sample.
+    pub open_states: u64,
+    /// Goal states found so far.
+    pub solutions: u64,
+}
+
+/// Counters and timings for one synthesis run.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// States produced by applying an instruction (before any pruning).
+    pub generated: u64,
+    /// States whose successors were explored.
+    pub expanded: u64,
+    /// Successors dropped because an equivalent state was already known
+    /// (§3.6).
+    pub dedup_hits: u64,
+    /// Successors dropped by the viability checks (§3.3).
+    pub viability_pruned: u64,
+    /// Successors dropped by the cut (§3.5).
+    pub cut_pruned: u64,
+    /// Unique states kept (nodes in the solution DAG).
+    pub states_kept: u64,
+    /// Time spent building the per-assignment distance table.
+    pub distance_build: Duration,
+    /// Total wall-clock time of the search (excluding table build).
+    pub search_time: Duration,
+    /// Progress samples (empty unless `progress_every > 0`).
+    pub progress: Vec<ProgressSample>,
+}
+
+/// A node of the solution DAG: a unique canonical state, with every
+/// minimal-length (parent, instruction) edge that produced it.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Primary parent (`u32::MAX` for the root).
+    parent: u32,
+    /// Action index on the primary parent edge.
+    instr: u8,
+    /// Additional same-length parents (populated in all-solutions mode).
+    more_parents: Vec<(u32, u8)>,
+    /// Program length at which this state is reached.
+    len: u16,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// The deduplicated search DAG with its goal nodes; every root-to-goal path
+/// is a distinct minimal-length sorting kernel.
+#[derive(Debug, Clone)]
+pub struct SolutionDag {
+    nodes: Vec<Node>,
+    goals: Vec<u32>,
+    actions: Vec<Instr>,
+}
+
+impl SolutionDag {
+    /// The action list that edge indices refer to.
+    pub fn actions(&self) -> &[Instr] {
+        &self.actions
+    }
+
+    /// Number of goal *states* (distinct final register-assignment sets).
+    pub fn goal_states(&self) -> usize {
+        self.goals.len()
+    }
+
+    /// Total number of distinct solution programs: root-to-goal paths.
+    ///
+    /// Computed by dynamic programming over the DAG, so it is exact even
+    /// when the count (2 233 360 for n = 4 in the paper) is far too large to
+    /// enumerate.
+    pub fn count_solutions(&self) -> u64 {
+        if self.goals.is_empty() {
+            return 0;
+        }
+        let mut order: Vec<u32> = (0..self.nodes.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| self.nodes[i as usize].len);
+        let mut count = vec![0u64; self.nodes.len()];
+        for &i in &order {
+            let node = &self.nodes[i as usize];
+            if node.parent == NO_PARENT {
+                count[i as usize] = 1;
+                continue;
+            }
+            let mut c = count[node.parent as usize];
+            for &(p, _) in &node.more_parents {
+                c = c.saturating_add(count[p as usize]);
+            }
+            count[i as usize] = c;
+        }
+        self.goals
+            .iter()
+            .fold(0u64, |acc, &g| acc.saturating_add(count[g as usize]))
+    }
+
+    /// Extracts up to `limit` distinct solution programs.
+    pub fn programs(&self, limit: usize) -> Vec<Program> {
+        let mut out = Vec::new();
+        for &goal in &self.goals {
+            if out.len() >= limit {
+                break;
+            }
+            let mut suffix = Vec::new();
+            self.walk(goal, &mut suffix, limit, &mut out);
+        }
+        out
+    }
+
+    /// The first solution program, if any.
+    pub fn first_program(&self) -> Option<Program> {
+        self.programs(1).into_iter().next()
+    }
+
+    fn walk(&self, node_idx: u32, suffix: &mut Vec<Instr>, limit: usize, out: &mut Vec<Program>) {
+        if out.len() >= limit {
+            return;
+        }
+        let node = &self.nodes[node_idx as usize];
+        if node.parent == NO_PARENT {
+            let mut prog: Program = suffix.clone();
+            prog.reverse();
+            out.push(prog);
+            return;
+        }
+        let mut edges = vec![(node.parent, node.instr)];
+        edges.extend_from_slice(&node.more_parents);
+        for (parent, ai) in edges {
+            if out.len() >= limit {
+                return;
+            }
+            suffix.push(self.actions[ai as usize]);
+            self.walk(parent, suffix, limit, out);
+            suffix.pop();
+        }
+    }
+}
+
+/// The result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The deduplicated solution DAG.
+    pub dag: SolutionDag,
+    /// Length of the found solutions, if any.
+    pub found_len: Option<u32>,
+    /// Whether the configuration guarantees `found_len` is minimal.
+    pub minimal_certified: bool,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Counters and timings.
+    pub stats: SearchStats,
+}
+
+impl SynthesisResult {
+    /// The first solution, if any.
+    pub fn first_program(&self) -> Option<Program> {
+        self.dag.first_program()
+    }
+
+    /// Total number of distinct solutions in the DAG.
+    pub fn solution_count(&self) -> u64 {
+        self.dag.count_solutions()
+    }
+}
+
+/// Runs the enumerative synthesis described by `cfg`.
+///
+/// This is the main entry point of the crate; see [`SynthesisConfig`] for
+/// the knobs and the crate docs for a guided example.
+pub fn synthesize(cfg: &SynthesisConfig) -> SynthesisResult {
+    Engine::new(cfg).run()
+}
+
+/// What became of one generated successor.
+enum Gen {
+    Goal(u32),
+    Fresh(u32),
+    Pruned,
+}
+
+/// A successor produced by expansion, before dedup/bookkeeping. In parallel
+/// layered mode these are produced by worker threads and merged serially.
+struct Candidate {
+    parent: u32,
+    ai: u8,
+    succ: StateSet,
+    perm: u32,
+    goal: bool,
+}
+
+struct Engine<'a> {
+    cfg: &'a SynthesisConfig,
+    actions: Vec<Instr>,
+    table: Option<DistanceTable>,
+    nodes: Vec<Node>,
+    visited: HashMap<u128, u32>,
+    /// Minimum permutation count seen among kept states of each length.
+    min_perm: Vec<u32>,
+    goals: Vec<u32>,
+    /// Inclusive length bound (dynamic: shrinks when solutions are found in
+    /// all-solutions mode).
+    bound: u32,
+    stats: SearchStats,
+    start: Instant,
+    deadline: Option<Instant>,
+    /// Fresh states queued by [`Engine::merge`] for the caller to pick up:
+    /// the next layer in layered mode, heap pushes in A* mode.
+    pending_frontier: Vec<(StateSet, u32, u32)>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SynthesisConfig) -> Self {
+        let mut stats = SearchStats::default();
+        let table = if cfg.needs_distance_table() {
+            let t0 = Instant::now();
+            let table = DistanceTable::build(&cfg.machine, cfg.optimal_instrs_only);
+            stats.distance_build = t0.elapsed();
+            Some(table)
+        } else {
+            None
+        };
+        let start = Instant::now();
+        Engine {
+            actions: cfg.machine.actions(),
+            table,
+            nodes: Vec::new(),
+            visited: HashMap::new(),
+            min_perm: Vec::new(),
+            goals: Vec::new(),
+            bound: cfg.max_len.unwrap_or(u32::MAX),
+            stats,
+            start,
+            deadline: cfg.time_limit.map(|d| start + d),
+            pending_frontier: Vec::new(),
+            cfg,
+        }
+    }
+
+    fn run(mut self) -> SynthesisResult {
+        let init = StateSet::initial(&self.cfg.machine);
+        let init_perm = init.perm_count(&self.cfg.machine);
+        self.nodes.push(Node {
+            parent: NO_PARENT,
+            instr: 0,
+            more_parents: Vec::new(),
+            len: 0,
+        });
+        self.visited.insert(init.key(), 0);
+        self.note_min_perm(0, init_perm);
+        self.stats.states_kept = 1;
+
+        let outcome = if init.is_goal(&self.cfg.machine) {
+            self.goals.push(0);
+            Outcome::Solved
+        } else {
+            match self.cfg.strategy {
+                Strategy::Layered { threads } => self.run_layered(init, init_perm, threads),
+                Strategy::AStar { .. } => self.run_astar(init, init_perm),
+            }
+        };
+
+        self.stats.search_time = self.start.elapsed();
+        let found_len = self
+            .goals
+            .first()
+            .map(|&g| self.nodes[g as usize].len as u32);
+        SynthesisResult {
+            minimal_certified: found_len.is_some() && self.cfg.guarantees_minimal(),
+            dag: SolutionDag {
+                nodes: self.nodes,
+                goals: self.goals,
+                actions: self.actions,
+            },
+            found_len,
+            outcome,
+            stats: self.stats,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Layered (Dijkstra) search: process all programs of length g before
+    // any of length g + 1 (§3.1). First solution is minimal.
+    // ------------------------------------------------------------------
+    fn run_layered(&mut self, init: StateSet, init_perm: u32, threads: usize) -> Outcome {
+        let mut frontier: Vec<(StateSet, u32, u32)> = vec![(init, 0, init_perm)];
+        let mut g = 0u32;
+        loop {
+            if g >= self.bound || frontier.is_empty() {
+                return if self.goals.is_empty() {
+                    Outcome::Exhausted
+                } else {
+                    Outcome::SolvedAll
+                };
+            }
+            let cut_threshold = self.cut_threshold_for(g);
+            if threads > 1 && frontier.len() >= 2 * threads {
+                let candidates = self.expand_layer_parallel(&frontier, g, cut_threshold, threads);
+                for cand in candidates {
+                    match self.merge(cand, g + 1) {
+                        // Layer order makes the first goal minimal-length.
+                        Gen::Goal(_) if !self.cfg.all_solutions => return Outcome::Solved,
+                        Gen::Goal(_) => self.bound = self.bound.min(g + 1),
+                        Gen::Fresh(_) | Gen::Pruned => {}
+                    }
+                }
+            } else {
+                // Serial: merge each state's successors immediately, so
+                // goals (and progress samples) accumulate through the layer
+                // instead of appearing all at once at its end.
+                let mut candidates = Vec::new();
+                for (state, node, _perm) in &frontier {
+                    self.stats.expanded += 1;
+                    self.expand_into(state, *node, g, cut_threshold, &mut candidates);
+                    for cand in candidates.drain(..) {
+                        match self.merge(cand, g + 1) {
+                            Gen::Goal(_) if !self.cfg.all_solutions => return Outcome::Solved,
+                            Gen::Goal(_) => self.bound = self.bound.min(g + 1),
+                            Gen::Fresh(_) | Gen::Pruned => {}
+                        }
+                    }
+                    self.sample_progress(self.pending_frontier.len() as u64);
+                    if self.over_limits() {
+                        return self.limit_outcome();
+                    }
+                }
+            }
+            let next = std::mem::take(&mut self.pending_frontier);
+            if self.over_limits() {
+                return self.limit_outcome();
+            }
+            frontier = next;
+            g += 1;
+        }
+    }
+
+    fn expand_layer_parallel(
+        &mut self,
+        frontier: &[(StateSet, u32, u32)],
+        g: u32,
+        cut_threshold: Option<u32>,
+        threads: usize,
+    ) -> Vec<Candidate> {
+        let chunk = frontier.len().div_ceil(threads);
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in frontier.chunks(chunk) {
+                let eng = &*self;
+                handles.push(scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut local = WorkerCounters::default();
+                    for (state, node, _perm) in part {
+                        eng.expand_worker(state, *node, g, cut_threshold, &mut out, &mut local);
+                    }
+                    (out, local)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("thread scope failed");
+
+        let mut merged = Vec::new();
+        for (cands, counters) in results {
+            self.stats.expanded += counters.expanded;
+            self.stats.generated += counters.generated;
+            self.stats.viability_pruned += counters.viability_pruned;
+            self.stats.cut_pruned += counters.cut_pruned;
+            merged.extend(cands);
+        }
+        merged
+    }
+
+    // ------------------------------------------------------------------
+    // A* / best-first search ordered by f = g + h (§3.1).
+    // ------------------------------------------------------------------
+    fn run_astar(&mut self, init: StateSet, init_perm: u32) -> Outcome {
+        let heuristic = match self.cfg.strategy {
+            Strategy::AStar { heuristic } => heuristic,
+            Strategy::Layered { .. } => unreachable!("run_astar called for layered strategy"),
+        };
+        let mut heap: BinaryHeap<OpenEntry> = BinaryHeap::new();
+        let h0 = heuristic_value(
+            heuristic,
+            &init,
+            init_perm,
+            &self.cfg.machine,
+            self.table.as_ref(),
+        );
+        heap.push(OpenEntry {
+            f: h0 as u64,
+            g: 0,
+            node: 0,
+            state: init,
+        });
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        while let Some(entry) = heap.pop() {
+            // Goals are queued with f = g and accepted when *popped*, the
+            // standard A* discipline: every open state that could lead to a
+            // shorter kernel (f < g_goal) is expanded first.
+            if entry.state.is_goal(&self.cfg.machine) {
+                return Outcome::Solved;
+            }
+            if entry.g >= self.bound {
+                continue;
+            }
+            // Skip stale entries: the state was re-reached at a shorter
+            // length after this entry was pushed.
+            if self.nodes[entry.node as usize].len as u32 != entry.g {
+                continue;
+            }
+            self.stats.expanded += 1;
+            let cut_threshold = self.cut_threshold_for(entry.g);
+            candidates.clear();
+            self.expand_into(&entry.state, entry.node, entry.g, cut_threshold, &mut candidates);
+            for cand in candidates.drain(..) {
+                let perm = cand.perm;
+                let goal_state = cand.goal.then(|| cand.succ.clone());
+                match self.merge(cand, entry.g + 1) {
+                    Gen::Goal(idx) => {
+                        self.bound = self.bound.min(entry.g + 1);
+                        if !self.cfg.all_solutions {
+                            heap.push(OpenEntry {
+                                f: (entry.g + 1) as u64,
+                                g: entry.g + 1,
+                                node: idx,
+                                state: goal_state.expect("goal candidates carry their state"),
+                            });
+                        }
+                    }
+                    Gen::Fresh(idx) => {
+                        let (state, _node, _perm) = self
+                            .pending_frontier
+                            .pop()
+                            .expect("fresh node queued a frontier entry");
+                        let h = heuristic_value(
+                            heuristic,
+                            &state,
+                            perm,
+                            &self.cfg.machine,
+                            self.table.as_ref(),
+                        );
+                        heap.push(OpenEntry {
+                            f: (entry.g + 1) as u64 + h as u64,
+                            g: entry.g + 1,
+                            node: idx,
+                            state,
+                        });
+                    }
+                    Gen::Pruned => {}
+                }
+            }
+            if self.over_limits() {
+                return self.limit_outcome();
+            }
+            self.sample_progress(heap.len() as u64);
+        }
+        if self.goals.is_empty() {
+            Outcome::Exhausted
+        } else {
+            Outcome::SolvedAll
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared successor generation and bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Expands `state` (serial path): applies every permitted action and
+    /// collects surviving candidates.
+    fn expand_into(
+        &mut self,
+        state: &StateSet,
+        node: u32,
+        g: u32,
+        cut_threshold: Option<u32>,
+        out: &mut Vec<Candidate>,
+    ) {
+        let mut counters = WorkerCounters::default();
+        counters.expanded = 0; // counted by callers
+        self.expand_worker(state, node, g, cut_threshold, out, &mut counters);
+        self.stats.generated += counters.generated;
+        self.stats.viability_pruned += counters.viability_pruned;
+        self.stats.cut_pruned += counters.cut_pruned;
+    }
+
+    /// The thread-safe part of expansion: instruction selection (§3.2),
+    /// viability (§3.3), goal detection (§3.4), and the cut (§3.5).
+    /// Deduplication (§3.6) happens later, in [`Engine::merge`].
+    fn expand_worker(
+        &self,
+        state: &StateSet,
+        node: u32,
+        g: u32,
+        cut_threshold: Option<u32>,
+        out: &mut Vec<Candidate>,
+        counters: &mut WorkerCounters,
+    ) {
+        counters.expanded += 1;
+        let allowed = if self.cfg.optimal_instrs_only {
+            Some(
+                self.table
+                    .as_ref()
+                    .expect("optimal_instrs_only requires the distance table")
+                    .optimal_first_moves(state),
+            )
+        } else {
+            None
+        };
+        let machine = &self.cfg.machine;
+        for (ai, &instr) in self.actions.iter().enumerate() {
+            if let Some(set) = &allowed {
+                // `cmp` is always permitted: a shortest program for a single
+                // concrete assignment never compares (the values are known,
+                // so comparing wastes an instruction), which means the
+                // per-assignment guide can by construction never propose a
+                // `cmp` — yet every correct sorting kernel needs them.
+                // Restrict only the register-writing instructions.
+                if instr.op != sortsynth_isa::Op::Cmp && !set.contains(ai) {
+                    continue;
+                }
+            }
+            let succ = state.apply(instr);
+            counters.generated += 1;
+
+            // Viability (§3.3): erased values can never be sorted again; a
+            // state whose worst per-assignment distance overshoots the
+            // remaining budget cannot finish in time.
+            if let Some(table) = &self.table {
+                let d = table.max_dist(&succ);
+                if d == UNSORTABLE {
+                    counters.viability_pruned += 1;
+                    continue;
+                }
+                if self.cfg.budget_viability
+                    && self.bound != u32::MAX
+                    && g + 1 + d as u32 > self.bound
+                {
+                    counters.viability_pruned += 1;
+                    continue;
+                }
+            } else if succ.has_erased_value(machine) {
+                counters.viability_pruned += 1;
+                continue;
+            }
+
+            let goal = succ.is_goal(machine);
+            let perm = succ.perm_count(machine);
+            if !goal {
+                if let Some(threshold) = cut_threshold {
+                    if perm > threshold {
+                        counters.cut_pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            out.push(Candidate {
+                parent: node,
+                ai: ai as u8,
+                succ,
+                perm,
+                goal,
+            });
+        }
+    }
+
+    /// Deduplicates a surviving candidate (§3.6) and threads it into the
+    /// node arena; fresh non-goal states are queued on the pending frontier
+    /// for the caller to pick up.
+    fn merge(&mut self, cand: Candidate, g_succ: u32) -> Gen {
+        let key = cand.succ.key();
+        if let Some(&existing) = self.visited.get(&key) {
+            let existing_len = self.nodes[existing as usize].len as u32;
+            if existing_len < g_succ {
+                self.stats.dedup_hits += 1;
+                return Gen::Pruned;
+            }
+            if existing_len == g_succ {
+                if self.cfg.all_solutions {
+                    self.nodes[existing as usize]
+                        .more_parents
+                        .push((cand.parent, cand.ai));
+                }
+                self.stats.dedup_hits += 1;
+                return Gen::Pruned;
+            }
+            // Shorter path to a known state (possible under inadmissible
+            // A* ordering): re-parent and treat as fresh.
+            let node = &mut self.nodes[existing as usize];
+            node.parent = cand.parent;
+            node.instr = cand.ai;
+            node.len = g_succ as u16;
+            node.more_parents.clear();
+            if cand.goal {
+                return Gen::Goal(existing);
+            }
+            self.note_min_perm(g_succ, cand.perm);
+            self.pending_frontier.push((cand.succ, existing, cand.perm));
+            return Gen::Fresh(existing);
+        }
+
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            parent: cand.parent,
+            instr: cand.ai,
+            more_parents: Vec::new(),
+            len: g_succ as u16,
+        });
+        self.visited.insert(key, idx);
+        self.stats.states_kept += 1;
+        if cand.goal {
+            self.goals.push(idx);
+            return Gen::Goal(idx);
+        }
+        self.note_min_perm(g_succ, cand.perm);
+        self.pending_frontier.push((cand.succ, idx, cand.perm));
+        Gen::Fresh(idx)
+    }
+
+    fn note_min_perm(&mut self, len: u32, perm: u32) {
+        let len = len as usize;
+        if self.min_perm.len() <= len {
+            self.min_perm.resize(len + 1, u32::MAX);
+        }
+        if perm < self.min_perm[len] {
+            self.min_perm[len] = perm;
+        }
+    }
+
+    /// Cut threshold for states of length `g + 1`, derived from the best
+    /// permutation count at length `g` (§3.5).
+    fn cut_threshold_for(&self, g: u32) -> Option<u32> {
+        let cut = self.cfg.cut?;
+        let min_prev = *self.min_perm.get(g as usize)?;
+        (min_prev != u32::MAX).then(|| cut.threshold(min_prev))
+    }
+
+    fn over_limits(&self) -> bool {
+        if let Some(limit) = self.cfg.node_limit {
+            if self.stats.generated >= limit {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            // Time checks are cheap relative to state expansion; check every
+            // call.
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn limit_outcome(&self) -> Outcome {
+        if let Some(limit) = self.cfg.node_limit {
+            if self.stats.generated >= limit {
+                return Outcome::NodeLimit;
+            }
+        }
+        Outcome::TimeLimit
+    }
+
+    fn sample_progress(&mut self, open: u64) {
+        if self.cfg.progress_every == 0 {
+            return;
+        }
+        if self.stats.expanded.is_multiple_of(self.cfg.progress_every) {
+            self.stats.progress.push(ProgressSample {
+                elapsed_secs: self.start.elapsed().as_secs_f64(),
+                open_states: open,
+                solutions: self.goals.len() as u64,
+            });
+        }
+    }
+
+}
+
+#[derive(Default)]
+struct WorkerCounters {
+    expanded: u64,
+    generated: u64,
+    viability_pruned: u64,
+    cut_pruned: u64,
+}
+
+/// Open-list entry for A*: ordered so that the smallest `f` (then `g`, then
+/// node id) is popped first from the max-heap.
+struct OpenEntry {
+    f: u64,
+    g: u32,
+    node: u32,
+    state: StateSet,
+}
+
+impl PartialEq for OpenEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.f, self.g, self.node) == (other.f, other.g, other.node)
+    }
+}
+impl Eq for OpenEntry {}
+impl PartialOrd for OpenEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest f first.
+        (other.f, other.g, other.node).cmp(&(self.f, self.g, self.node))
+    }
+}

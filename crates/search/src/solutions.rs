@@ -1,0 +1,152 @@
+//! Solution-space analysis: command signatures, scoring, and the §5.3
+//! stratified sampling strategy.
+
+use std::collections::BTreeMap;
+
+use sortsynth_isa::{sampling_score, Instr, Op, Program};
+
+/// The *command combination* of a program: how often each opcode occurs.
+///
+/// The paper observes (§5.1) that of the 5602 optimal n = 3 kernels only 23
+/// are distinct "regarding their command combination", i.e. modulo
+/// instruction order and register renaming; the opcode multiset is the
+/// canonical representative used for that count.
+///
+/// Order: `(mov, cmp, cmovl, cmovg, min, max)`.
+pub fn command_signature(prog: &[Instr]) -> [u32; 6] {
+    let mut sig = [0u32; 6];
+    for instr in prog {
+        let slot = match instr.op {
+            Op::Mov => 0,
+            Op::Cmp => 1,
+            Op::Cmovl => 2,
+            Op::Cmovg => 3,
+            Op::Min => 4,
+            Op::Max => 5,
+        };
+        sig[slot] += 1;
+    }
+    sig
+}
+
+/// Number of distinct [`command_signature`]s among `progs`.
+pub fn distinct_command_signatures<'a>(progs: impl IntoIterator<Item = &'a Program>) -> usize {
+    let mut seen = std::collections::BTreeSet::new();
+    for p in progs {
+        seen.insert(command_signature(p));
+    }
+    seen.len()
+}
+
+/// Groups programs by their §5.3 sampling score
+/// (`weighted instruction cost + critical path`), ascending.
+///
+/// The paper reports scores `{55, 58, 61, 64, 67, 70}` for the n = 4
+/// solution space and samples only from the two lowest strata.
+pub fn score_strata(progs: Vec<Program>) -> BTreeMap<u32, Vec<Program>> {
+    let mut strata: BTreeMap<u32, Vec<Program>> = BTreeMap::new();
+    for p in progs {
+        strata.entry(sampling_score(&p)).or_default().push(p);
+    }
+    strata
+}
+
+/// The §5.3 sampling strategy: take up to `per_stratum` programs from each
+/// of the `strata_count` lowest-score strata. Deterministic: programs are
+/// taken evenly spaced within each stratum, so the sample covers the
+/// stratum rather than its prefix.
+pub fn sample_lowest_strata(
+    progs: Vec<Program>,
+    strata_count: usize,
+    per_stratum: usize,
+) -> Vec<Program> {
+    let strata = score_strata(progs);
+    let mut out = Vec::new();
+    for (_score, group) in strata.into_iter().take(strata_count) {
+        if group.len() <= per_stratum {
+            out.extend(group);
+        } else {
+            let step = group.len() as f64 / per_stratum as f64;
+            let mut taken = 0;
+            let mut cursor = 0.0f64;
+            let mut group = group;
+            // Evenly spaced indices; collected back-to-front so we can
+            // swap_remove without disturbing earlier picks.
+            let mut indices: Vec<usize> = Vec::with_capacity(per_stratum);
+            while taken < per_stratum {
+                indices.push(cursor as usize);
+                cursor += step;
+                taken += 1;
+            }
+            for &i in indices.iter().rev() {
+                out.push(group.swap_remove(i.min(group.len() - 1)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::{IsaMode, Machine};
+
+    fn parse(m: &Machine, text: &str) -> Program {
+        m.parse_program(text).unwrap()
+    }
+
+    #[test]
+    fn signature_counts_opcodes() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let p = parse(&m, "mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1");
+        assert_eq!(command_signature(&p), [1, 1, 0, 2, 0, 0]);
+    }
+
+    #[test]
+    fn distinct_signatures_merge_renamings() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        // Same opcode multiset, different registers/order.
+        let a = parse(&m, "mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1");
+        let b = parse(&m, "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1");
+        let c = parse(&m, "cmp r1 r2; mov s1 r2; cmovg r2 r1; cmovg r1 s1");
+        let d = parse(&m, "mov s1 r2; cmp r1 r2; cmovl r2 r1; cmovg r1 s1");
+        assert_eq!(distinct_command_signatures([&a, &b, &c].into_iter()), 1);
+        assert_eq!(distinct_command_signatures([&a, &d].into_iter()), 2);
+    }
+
+    #[test]
+    fn strata_are_ascending_and_partition() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let progs = vec![
+            parse(&m, "mov s1 r2"),
+            parse(&m, "cmp r1 r2; cmovl r1 r2"),
+            parse(&m, "mov s1 r2; mov s1 r1"),
+        ];
+        let strata = score_strata(progs.clone());
+        let total: usize = strata.values().map(Vec::len).sum();
+        assert_eq!(total, progs.len());
+        let keys: Vec<u32> = strata.keys().copied().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn sampling_respects_limits() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        // Ten score-2 programs (single mov variants) and one score-8 one.
+        let mut progs = Vec::new();
+        for _ in 0..10 {
+            progs.push(parse(&m, "mov s1 r2"));
+        }
+        progs.push(parse(&m, "cmp r1 r2; cmovl r1 r2"));
+        let sample = sample_lowest_strata(progs, 1, 4);
+        assert_eq!(sample.len(), 4);
+        assert!(sample.iter().all(|p| p.len() == 1));
+
+        // Asking for more than a stratum holds returns the whole stratum.
+        let m2 = Machine::new(2, 1, IsaMode::Cmov);
+        let progs = vec![parse(&m2, "mov s1 r2")];
+        assert_eq!(sample_lowest_strata(progs, 2, 100).len(), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Canonical search states: sets of register assignments.
+//!
+//! A search state represents a partial program by its *effect*: the set of
+//! register assignments obtained by running the partial program on every
+//! input permutation (§3 of the paper). Two partial programs with the same
+//! effect are interchangeable, so states are canonicalized (assignments
+//! sorted lexicographically and deduplicated, §3.6) and hashed for
+//! deduplication.
+
+use sortsynth_isa::{Instr, Machine, MachineState};
+
+/// A canonicalized set of register assignments — one search state.
+///
+/// Invariant: `assigns` is sorted ascending by packed bits and contains no
+/// duplicates. [`StateSet::initial`] and [`StateSet::apply`] maintain this.
+///
+/// # Examples
+///
+/// ```
+/// use sortsynth_isa::{IsaMode, Machine};
+/// use sortsynth_search::StateSet;
+///
+/// let machine = Machine::new(3, 1, IsaMode::Cmov);
+/// let init = StateSet::initial(&machine);
+/// assert_eq!(init.assign_count(), 6);
+/// assert_eq!(init.perm_count(&machine), 6);
+/// assert!(!init.is_goal(&machine));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateSet {
+    assigns: Box<[MachineState]>,
+}
+
+impl StateSet {
+    /// The initial state: one register assignment per input permutation of
+    /// `1..=n` (§3, "the initial state consists of register assignments for
+    /// each possible permutation").
+    pub fn initial(machine: &Machine) -> Self {
+        Self::from_assignments(machine.initial_states())
+    }
+
+    /// Builds a canonical state from arbitrary assignments (sorts + dedups).
+    pub fn from_assignments(mut assigns: Vec<MachineState>) -> Self {
+        assigns.sort_unstable();
+        assigns.dedup();
+        StateSet {
+            assigns: assigns.into_boxed_slice(),
+        }
+    }
+
+    /// The canonical assignments, sorted ascending.
+    pub fn assignments(&self) -> &[MachineState] {
+        &self.assigns
+    }
+
+    /// Number of distinct register assignments (§3.1's second heuristic:
+    /// includes scratch registers and flags).
+    pub fn assign_count(&self) -> u32 {
+        self.assigns.len() as u32
+    }
+
+    /// Number of distinct *permutations* remaining: distinct projections of
+    /// the assignments onto the value registers `r1..rn` (§3.1's first and
+    /// §3.5's cut heuristic). Scratch registers and flags are ignored.
+    pub fn perm_count(&self, machine: &Machine) -> u32 {
+        let mask = value_reg_mask(machine);
+        let mut projections: Vec<u64> = self.assigns.iter().map(|a| a.bits() & mask).collect();
+        projections.sort_unstable();
+        projections.dedup();
+        projections.len() as u32
+    }
+
+    /// Executes `instr` on every assignment and re-canonicalizes.
+    pub fn apply(&self, instr: Instr) -> StateSet {
+        let assigns: Vec<MachineState> = self.assigns.iter().map(|a| a.step(instr)).collect();
+        Self::from_assignments(assigns)
+    }
+
+    /// Whether every assignment is sorted — the final-state test (§3.4).
+    pub fn is_goal(&self, machine: &Machine) -> bool {
+        self.assigns.iter().all(|&a| machine.is_sorted(a))
+    }
+
+    /// Whether some assignment has irrecoverably erased one of the values
+    /// `1..=n` (§3.3): such a state can never be completed to a correct
+    /// program.
+    pub fn has_erased_value(&self, machine: &Machine) -> bool {
+        self.assigns.iter().any(|a| assignment_erased(machine, *a))
+    }
+
+    /// A 128-bit content hash for deduplication (§3.6). Collision probability
+    /// over even billions of states is negligible.
+    pub fn key(&self) -> u128 {
+        // Two independent FxHash-style accumulators with distinct odd
+        // multipliers, combined into 128 bits.
+        const K1: u64 = 0x517c_c1b7_2722_0a95;
+        const K2: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut h1: u64 = 0x243f_6a88_85a3_08d3;
+        let mut h2: u64 = 0x1319_8a2e_0370_7344;
+        for a in self.assigns.iter() {
+            let x = a.bits();
+            h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
+            h2 = (h2.rotate_left(7) ^ x).wrapping_mul(K2);
+        }
+        h1 ^= (self.assigns.len() as u64);
+        ((h1 as u128) << 64) | h2 as u128
+    }
+}
+
+/// Bitmask selecting the value registers `r1..rn` of a packed state (drops
+/// scratch registers and flags).
+fn value_reg_mask(machine: &Machine) -> u64 {
+    let bits = 4 * machine.n() as u32;
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Whether `assign` is missing one of the values `1..=n` across *all*
+/// registers (value erased ⇒ unsortable).
+pub(crate) fn assignment_erased(machine: &Machine, assign: MachineState) -> bool {
+    let mut present = 0u16;
+    for r in machine.regs() {
+        present |= 1 << assign.reg(r);
+    }
+    let needed: u16 = ((1u16 << machine.n()) - 1) << 1; // bits 1..=n
+    present & needed != needed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::{IsaMode, Op, Reg};
+
+    fn machine3() -> Machine {
+        Machine::new(3, 1, IsaMode::Cmov)
+    }
+
+    fn instr(op: Op, dst: u8, src: u8) -> Instr {
+        Instr::new(op, Reg::new(dst), Reg::new(src))
+    }
+
+    #[test]
+    fn initial_counts() {
+        let m = machine3();
+        let s = StateSet::initial(&m);
+        assert_eq!(s.assign_count(), 6);
+        assert_eq!(s.perm_count(&m), 6);
+        assert!(!s.is_goal(&m));
+        assert!(!s.has_erased_value(&m));
+    }
+
+    #[test]
+    fn canonicalization_sorts_and_dedups() {
+        let m = machine3();
+        let a = m.initial_state(&[1, 2, 3]);
+        let b = m.initial_state(&[2, 1, 3]);
+        let s1 = StateSet::from_assignments(vec![b, a, a]);
+        let s2 = StateSet::from_assignments(vec![a, b]);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.key(), s2.key());
+        assert_eq!(s1.assign_count(), 2);
+    }
+
+    #[test]
+    fn apply_reduces_permutations() {
+        // The paper's §3.5 example: a compare-and-swap of r1/r2 halves the
+        // distinct permutations of the 3-element initial state projections.
+        let m = machine3();
+        let s = StateSet::initial(&m);
+        let cas = [
+            instr(Op::Mov, 3, 1),
+            instr(Op::Cmp, 0, 1),
+            instr(Op::Cmovg, 1, 0),
+            instr(Op::Cmovg, 0, 3),
+        ];
+        let after = cas.iter().fold(s, |st, &i| st.apply(i));
+        assert_eq!(after.perm_count(&m), 3); // r1 <= r2 holds in all
+        assert!(!after.has_erased_value(&m));
+    }
+
+    #[test]
+    fn goal_detection() {
+        let m = machine3();
+        let sorted = m.initial_state(&[1, 2, 3]);
+        let mut other = sorted;
+        other.set_reg(Reg::new(3), 2);
+        other.set_flags(true, false);
+        let s = StateSet::from_assignments(vec![sorted, other]);
+        assert!(s.is_goal(&m));
+    }
+
+    #[test]
+    fn erasure_detection() {
+        let m = machine3();
+        let s = StateSet::initial(&m);
+        // mov r1 r2 erases r1's value in every assignment (scratch is 0).
+        let after = s.apply(instr(Op::Mov, 0, 1));
+        assert!(after.has_erased_value(&m));
+        // mov s1 r2 erases nothing (scratch held no needed value).
+        let after = s.apply(instr(Op::Mov, 3, 1));
+        assert!(!after.has_erased_value(&m));
+    }
+
+    #[test]
+    fn perm_count_ignores_scratch_and_flags() {
+        let m = machine3();
+        let a = m.initial_state(&[1, 2, 3]);
+        let mut b = a;
+        b.set_reg(Reg::new(3), 3);
+        b.set_flags(false, true);
+        let s = StateSet::from_assignments(vec![a, b]);
+        assert_eq!(s.assign_count(), 2);
+        assert_eq!(s.perm_count(&m), 1);
+    }
+
+    #[test]
+    fn keys_differ_for_different_states() {
+        let m = machine3();
+        let s = StateSet::initial(&m);
+        let t = s.apply(instr(Op::Cmp, 0, 1));
+        assert_ne!(s.key(), t.key());
+    }
+}

@@ -1,0 +1,157 @@
+//! Behavioral tests of the search engine through its public API: outcomes,
+//! bounds, statistics, and solution-DAG invariants.
+
+use std::time::Duration;
+
+use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_search::{
+    synthesize, Cut, Heuristic, Outcome, Strategy, SynthesisConfig,
+};
+
+fn m2() -> Machine {
+    Machine::new(2, 1, IsaMode::Cmov)
+}
+
+#[test]
+fn too_small_length_bound_exhausts() {
+    let result = synthesize(&SynthesisConfig::new(m2()).budget_viability(true).max_len(3));
+    assert_eq!(result.outcome, Outcome::Exhausted);
+    assert_eq!(result.found_len, None);
+    assert!(result.first_program().is_none());
+    assert_eq!(result.solution_count(), 0);
+}
+
+#[test]
+fn exact_length_bound_still_finds_the_kernel() {
+    let result = synthesize(&SynthesisConfig::new(m2()).budget_viability(true).max_len(4));
+    assert_eq!(result.found_len, Some(4));
+    assert!(result.minimal_certified);
+}
+
+#[test]
+fn zero_time_limit_reports_time_limit() {
+    let result = synthesize(
+        &SynthesisConfig::new(Machine::new(3, 1, IsaMode::Cmov))
+            .time_limit(Duration::ZERO),
+    );
+    assert_eq!(result.outcome, Outcome::TimeLimit);
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let result = synthesize(&SynthesisConfig::best(Machine::new(3, 1, IsaMode::Cmov)));
+    let s = &result.stats;
+    assert!(s.generated >= s.states_kept);
+    assert!(s.expanded <= s.states_kept, "only kept states are expanded");
+    // Every generated successor is accounted for exactly once: pruned by
+    // viability or the cut, deduplicated, or kept as a fresh node (the root
+    // is kept but never generated).
+    assert_eq!(
+        s.generated,
+        s.viability_pruned + s.cut_pruned + s.dedup_hits + (s.states_kept - 1),
+        "pruning counters partition the generated states"
+    );
+    assert!(s.distance_build > Duration::ZERO, "best config builds the table");
+}
+
+#[test]
+fn minmax_all_solutions_are_distinct_and_correct() {
+    let machine = Machine::new(2, 1, IsaMode::MinMax);
+    let result = synthesize(
+        &SynthesisConfig::new(machine.clone())
+            .budget_viability(true)
+            .all_solutions(true)
+            .max_len(3),
+    );
+    assert_eq!(result.outcome, Outcome::SolvedAll);
+    let programs = result.dag.programs(usize::MAX);
+    assert_eq!(programs.len() as u64, result.solution_count());
+    assert!(!programs.is_empty());
+    for prog in &programs {
+        assert_eq!(prog.len(), 3);
+        assert!(machine.is_correct(prog));
+    }
+    let mut unique = programs.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), programs.len());
+}
+
+#[test]
+fn program_extraction_respects_the_limit() {
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let result = synthesize(
+        &SynthesisConfig::new(machine)
+            .budget_viability(true)
+            .cut(Cut::Factor(1.0))
+            .all_solutions(true)
+            .max_len(11),
+    );
+    let total = result.solution_count();
+    assert!(total > 10);
+    assert_eq!(result.dag.programs(7).len(), 7);
+    assert_eq!(result.dag.programs(usize::MAX).len() as u64, total);
+    assert_eq!(result.dag.programs(0).len(), 0);
+}
+
+#[test]
+fn additive_cut_behaves_like_a_loose_factor() {
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let strict = synthesize(
+        &SynthesisConfig::new(machine.clone())
+            .budget_viability(true)
+            .cut(Cut::Factor(1.0))
+            .all_solutions(true)
+            .max_len(11),
+    );
+    let additive = synthesize(
+        &SynthesisConfig::new(machine)
+            .budget_viability(true)
+            .cut(Cut::Additive(2))
+            .all_solutions(true)
+            .max_len(11),
+    );
+    assert!(additive.solution_count() >= strict.solution_count());
+}
+
+#[test]
+fn astar_with_admissible_heuristic_certifies_minimality() {
+    let result = synthesize(
+        &SynthesisConfig::new(m2()).strategy(Strategy::AStar {
+            heuristic: Heuristic::MaxRemaining,
+        }),
+    );
+    assert_eq!(result.found_len, Some(4));
+    assert!(result.minimal_certified);
+}
+
+#[test]
+fn every_extracted_program_has_the_reported_length() {
+    let machine = Machine::new(3, 1, IsaMode::MinMax);
+    let result = synthesize(
+        &SynthesisConfig::new(machine.clone())
+            .budget_viability(true)
+            .all_solutions(true)
+            .max_len(8),
+    );
+    assert_eq!(result.found_len, Some(8));
+    for prog in result.dag.programs(200) {
+        assert_eq!(prog.len(), 8);
+        assert!(machine.is_correct(&prog));
+    }
+}
+
+#[test]
+fn goal_states_have_multiple_parents_in_all_solutions_mode() {
+    // The DAG must carry more programs than goal states (many programs per
+    // final state).
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let result = synthesize(
+        &SynthesisConfig::new(machine)
+            .budget_viability(true)
+            .cut(Cut::Factor(1.0))
+            .all_solutions(true)
+            .max_len(11),
+    );
+    assert!(result.solution_count() > result.dag.goal_states() as u64);
+}

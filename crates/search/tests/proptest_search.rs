@@ -1,0 +1,115 @@
+//! Property-based tests for search states and the distance table.
+
+use proptest::prelude::*;
+use sortsynth_isa::{IsaMode, Machine, MachineState};
+use sortsynth_search::{DistanceTable, StateSet, UNSORTABLE};
+
+fn machine() -> Machine {
+    Machine::new(3, 1, IsaMode::Cmov)
+}
+
+/// Arbitrary single register assignment for the n = 3, m = 1 machine:
+/// values in 0..=3 plus a legal flag combination.
+fn arb_assignment() -> impl Strategy<Value = MachineState> {
+    (
+        prop::collection::vec(0u8..=3, 4),
+        prop_oneof![Just((false, false)), Just((true, false)), Just((false, true))],
+    )
+        .prop_map(|(vals, (lt, gt))| {
+            let mut st = MachineState::from_values(&vals);
+            st.set_flags(lt, gt);
+            st
+        })
+}
+
+proptest! {
+    /// Canonicalization is order-insensitive and idempotent.
+    #[test]
+    fn canonicalization_is_order_insensitive(
+        mut assigns in prop::collection::vec(arb_assignment(), 1..12),
+    ) {
+        let a = StateSet::from_assignments(assigns.clone());
+        assigns.reverse();
+        let b = StateSet::from_assignments(assigns.clone());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.key(), b.key());
+        let again = StateSet::from_assignments(a.assignments().to_vec());
+        prop_assert_eq!(a, again);
+    }
+
+    /// Applying an instruction is a function, so the number of distinct
+    /// assignments can never increase. (The *permutation* count is NOT
+    /// monotone — a conditional move can split two assignments that
+    /// differed only in their flags — so the correct upper bound for it is
+    /// the predecessor's assignment count.)
+    #[test]
+    fn counts_are_monotone_under_apply(
+        assigns in prop::collection::vec(arb_assignment(), 1..12),
+        action_idx in 0usize..64,
+    ) {
+        let m = machine();
+        let actions = m.actions();
+        let instr = actions[action_idx % actions.len()];
+        let state = StateSet::from_assignments(assigns);
+        let next = state.apply(instr);
+        prop_assert!(next.assign_count() <= state.assign_count());
+        prop_assert!(next.perm_count(&m) <= state.assign_count());
+        prop_assert!(next.perm_count(&m) <= next.assign_count());
+    }
+
+    /// The distance table satisfies the Bellman consistency property over
+    /// arbitrary assignments: one step changes the distance by at most one
+    /// in each direction (so it is an admissible, consistent heuristic).
+    #[test]
+    fn distance_table_is_consistent(assign in arb_assignment(), action_idx in 0usize..64) {
+        let m = machine();
+        let table = DistanceTable::build(&m, false);
+        let actions = m.actions();
+        let instr = actions[action_idx % actions.len()];
+        let d = table.dist(assign);
+        let ds = table.dist(assign.step(instr));
+        if d == UNSORTABLE {
+            // An erased state can never become sortable again.
+            prop_assert_eq!(ds, UNSORTABLE);
+        } else if ds != UNSORTABLE {
+            prop_assert!(d <= ds + 1, "d {d} vs succ {ds}");
+        }
+    }
+
+    /// Zero distance iff the assignment is sorted.
+    #[test]
+    fn distance_zero_iff_sorted(assign in arb_assignment()) {
+        let m = machine();
+        let table = DistanceTable::build(&m, false);
+        prop_assert_eq!(table.dist(assign) == 0, m.is_sorted(assign));
+    }
+
+    /// `max_dist` over a set is the max of the members' distances.
+    #[test]
+    fn max_dist_is_the_maximum(assigns in prop::collection::vec(arb_assignment(), 1..8)) {
+        let m = machine();
+        let table = DistanceTable::build(&m, false);
+        let set = StateSet::from_assignments(assigns.clone());
+        let expected = set
+            .assignments()
+            .iter()
+            .map(|&a| table.dist(a))
+            .max()
+            .expect("non-empty");
+        let expected = if set.assignments().iter().any(|&a| table.dist(a) == UNSORTABLE) {
+            UNSORTABLE
+        } else {
+            expected
+        };
+        prop_assert_eq!(table.max_dist(&set), expected);
+    }
+
+    /// Erasure detection agrees with the distance table's unsortability.
+    #[test]
+    fn erasure_iff_unsortable(assign in arb_assignment()) {
+        let m = machine();
+        let table = DistanceTable::build(&m, false);
+        let set = StateSet::from_assignments(vec![assign]);
+        prop_assert_eq!(set.has_erased_value(&m), table.dist(assign) == UNSORTABLE);
+    }
+}

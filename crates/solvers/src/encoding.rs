@@ -1,0 +1,525 @@
+//! CNF encoding of the sorting-kernel synthesis problem (§4).
+//!
+//! The encoding mirrors the paper's SMT/CP formulation: per test case and
+//! timestep, one-hot value variables for every register, boolean flag
+//! variables, instruction-selection variables per timestep, and transition
+//! constraints tying consecutive states together. Goal formulations and the
+//! §4 symmetry/heuristic toggles are selectable, so the CP goal-formulation
+//! table (§5.2) can be regenerated.
+
+use sortsynth_isa::{Instr, Machine, Op, Program, Reg};
+use sortsynth_sat::{Lit, Solver, Var};
+
+/// The §4 / §5.2 goal formulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// `= 123`: the output registers hold `1..=n` in order (only valid when
+    /// every test case is a permutation of `1..=n`).
+    Exact,
+    /// `≤, #123` / `≤, #0123`: ascending output whose value counts match
+    /// the input's; `include_zero` additionally constrains the count of the
+    /// never-occurring value 0 (the paper's surprisingly faster `#0123`).
+    AscendingCounts {
+        /// Constrain the count of value 0 as well.
+        include_zero: bool,
+    },
+    /// `≤, #0123, = 123`: both of the above — the paper's "too much
+    /// information" row.
+    AscendingCountsAndExact,
+}
+
+/// The §4 heuristic / symmetry toggles explored in the CP table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeOptions {
+    /// Goal formulation.
+    pub goal: Goal,
+    /// (I): forbid two consecutive `cmp` instructions.
+    pub no_consecutive_cmps: bool,
+    /// (II): only emit `cmp` with operands in index order (flag symmetry).
+    pub cmp_symmetry: bool,
+    /// Force the first instruction to be a `cmp` (`cmd[1] = Cmp` row).
+    pub first_cmd_cmp: bool,
+    /// Forbid reading a scratch register before it was written
+    /// ("only read initialized" row).
+    pub only_read_initialized: bool,
+}
+
+impl Default for EncodeOptions {
+    /// The paper's best CP setting: `≤, #0123` with heuristics (I) + (II).
+    fn default() -> Self {
+        EncodeOptions {
+            goal: Goal::AscendingCounts { include_zero: true },
+            no_consecutive_cmps: true,
+            cmp_symmetry: true,
+            first_cmd_cmp: false,
+            only_read_initialized: false,
+        }
+    }
+}
+
+/// An encoded instance: the solver plus the variable layout needed to
+/// decode a model back into a [`Program`].
+pub struct Encoded {
+    /// The CNF.
+    pub solver: Solver,
+    /// `instr_vars[t][a]`: instruction `a` selected at step `t`.
+    pub instr_vars: Vec<Vec<Var>>,
+    /// The action list `a` indexes into.
+    pub actions: Vec<Instr>,
+}
+
+impl Encoded {
+    /// Reads the synthesized program out of a satisfying model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver has no model (call after `Sat`).
+    pub fn decode(&self) -> Program {
+        self.instr_vars
+            .iter()
+            .map(|step| {
+                let a = step
+                    .iter()
+                    .position(|&v| self.solver.value(v) == Some(true))
+                    .expect("exactly-one instruction per step in any model");
+                self.actions[a]
+            })
+            .collect()
+    }
+}
+
+/// Builds the CNF for: "there exists a program of exactly `len` instructions
+/// that satisfies `opts.goal` on every test case in `tests`".
+///
+/// Each test case gives the initial values of `r1..rn` (entries in
+/// `1..=n`, duplicates allowed for the arbitrary-input CEGIS variant).
+///
+/// # Panics
+///
+/// Panics if a test case has the wrong length or out-of-range values, or if
+/// [`Goal::Exact`] is combined with a non-permutation test case.
+pub fn encode(machine: &Machine, len: u32, tests: &[Vec<u8>], opts: EncodeOptions) -> Encoded {
+    let n = machine.n() as usize;
+    let regs = machine.num_regs() as usize;
+    let vals = n + 1; // domain 0..=n
+    let mut solver = Solver::new();
+
+    let actions = actions_for(machine, opts);
+
+    // Instruction selection variables.
+    let instr_vars: Vec<Vec<Var>> = (0..len)
+        .map(|_| (0..actions.len()).map(|_| solver.new_var()).collect())
+        .collect();
+    for step in &instr_vars {
+        let lits: Vec<Lit> = step.iter().map(|&v| Lit::pos(v)).collect();
+        solver.add_exactly_one(&lits);
+    }
+
+    if opts.first_cmd_cmp {
+        for (a, instr) in actions.iter().enumerate() {
+            if instr.op != Op::Cmp {
+                solver.add_clause(&[Lit::neg(instr_vars[0][a])]);
+            }
+        }
+    }
+    if opts.no_consecutive_cmps {
+        for t in 0..len.saturating_sub(1) as usize {
+            for (a1, i1) in actions.iter().enumerate() {
+                if i1.op != Op::Cmp {
+                    continue;
+                }
+                for (a2, i2) in actions.iter().enumerate() {
+                    if i2.op == Op::Cmp {
+                        solver.add_clause(&[
+                            Lit::neg(instr_vars[t][a1]),
+                            Lit::neg(instr_vars[t + 1][a2]),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    if opts.only_read_initialized {
+        // A scratch register may be read at step t only if some earlier
+        // instruction wrote it: reading-instruction implies the disjunction
+        // of earlier writes.
+        for t in 0..len as usize {
+            for (a, instr) in actions.iter().enumerate() {
+                let reads_scratch = |r: Reg| r.index() as usize >= n;
+                let reads = (instr.op.reads_dst() && reads_scratch(instr.dst))
+                    || reads_scratch(instr.src);
+                if !reads {
+                    continue;
+                }
+                let target = if reads_scratch(instr.src) {
+                    instr.src
+                } else {
+                    instr.dst
+                };
+                let mut clause = vec![Lit::neg(instr_vars[t][a])];
+                for step in instr_vars.iter().take(t) {
+                    for (a2, instr2) in actions.iter().enumerate() {
+                        if instr2.op.writes_dst() && instr2.dst == target {
+                            clause.push(Lit::pos(step[a2]));
+                        }
+                    }
+                }
+                solver.add_clause(&clause);
+            }
+        }
+    }
+
+    // Per-test-case state variables and transitions.
+    for test in tests {
+        assert_eq!(test.len(), n, "test case length mismatch");
+        assert!(
+            test.iter().all(|&v| v >= 1 && v as usize <= n),
+            "test values must lie in 1..=n"
+        );
+        // x[t][r][v], lt[t], gt[t].
+        let x: Vec<Vec<Vec<Var>>> = (0..=len)
+            .map(|_| {
+                (0..regs)
+                    .map(|_| (0..vals).map(|_| solver.new_var()).collect())
+                    .collect()
+            })
+            .collect();
+        let lt: Vec<Var> = (0..=len).map(|_| solver.new_var()).collect();
+        let gt: Vec<Var> = (0..=len).map(|_| solver.new_var()).collect();
+
+        for t in 0..=len as usize {
+            for r in 0..regs {
+                let lits: Vec<Lit> = x[t][r].iter().map(|&v| Lit::pos(v)).collect();
+                solver.add_exactly_one(&lits);
+            }
+        }
+
+        // Initial state.
+        for r in 0..regs {
+            let v0 = if r < n { test[r] as usize } else { 0 };
+            solver.add_clause(&[Lit::pos(x[0][r][v0])]);
+        }
+        solver.add_clause(&[Lit::neg(lt[0])]);
+        solver.add_clause(&[Lit::neg(gt[0])]);
+
+        // Transitions.
+        for t in 0..len as usize {
+            for (a, instr) in actions.iter().enumerate() {
+                let sel = Lit::neg(instr_vars[t][a]); // ¬selected ∨ …
+                let d = instr.dst.index() as usize;
+                let s = instr.src.index() as usize;
+                // Frame: registers the instruction does not write.
+                for r in 0..regs {
+                    if instr.op.writes_dst() && r == d {
+                        continue;
+                    }
+                    for v in 0..vals {
+                        iff(&mut solver, sel, x[t + 1][r][v], x[t][r][v]);
+                    }
+                }
+                // Frame: flags unless written.
+                if !instr.op.writes_flags() {
+                    iff(&mut solver, sel, lt[t + 1], lt[t]);
+                    iff(&mut solver, sel, gt[t + 1], gt[t]);
+                }
+                match instr.op {
+                    Op::Mov => {
+                        for v in 0..vals {
+                            iff(&mut solver, sel, x[t + 1][d][v], x[t][s][v]);
+                        }
+                    }
+                    Op::Cmp => {
+                        // Flags as a function of the compared values.
+                        for v1 in 0..vals {
+                            for v2 in 0..vals {
+                                let premise = [
+                                    sel,
+                                    Lit::neg(x[t][d][v1]),
+                                    Lit::neg(x[t][s][v2]),
+                                ];
+                                let lt_val = v1 < v2;
+                                let gt_val = v1 > v2;
+                                let mut c1 = premise.to_vec();
+                                c1.push(signed(lt[t + 1], lt_val));
+                                solver.add_clause(&c1);
+                                let mut c2 = premise.to_vec();
+                                c2.push(signed(gt[t + 1], gt_val));
+                                solver.add_clause(&c2);
+                            }
+                        }
+                    }
+                    Op::Cmovl | Op::Cmovg => {
+                        let flag = if instr.op == Op::Cmovl { lt[t] } else { gt[t] };
+                        for v in 0..vals {
+                            // flag set → copy; flag clear → keep.
+                            cond_iff(&mut solver, sel, Lit::neg(flag), x[t + 1][d][v], x[t][s][v]);
+                            cond_iff(&mut solver, sel, Lit::pos(flag), x[t + 1][d][v], x[t][d][v]);
+                        }
+                    }
+                    Op::Min | Op::Max => {
+                        // dst' = min/max(dst, src): for every value pair.
+                        for v1 in 0..vals {
+                            for v2 in 0..vals {
+                                let result = if instr.op == Op::Min {
+                                    v1.min(v2)
+                                } else {
+                                    v1.max(v2)
+                                };
+                                solver.add_clause(&[
+                                    sel,
+                                    Lit::neg(x[t][d][v1]),
+                                    Lit::neg(x[t][s][v2]),
+                                    Lit::pos(x[t + 1][d][result]),
+                                ]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Goal.
+        let last = len as usize;
+        let exact = |solver: &mut Solver| {
+            for (r, _) in (0..n).enumerate() {
+                solver.add_clause(&[Lit::pos(x[last][r][r + 1])]);
+            }
+        };
+        let ascending_counts = |solver: &mut Solver, include_zero: bool| {
+            // Ascending: forbid descending adjacent pairs.
+            for r in 0..n - 1 {
+                for v1 in 0..vals {
+                    for v2 in 0..v1 {
+                        solver.add_clause(&[
+                            Lit::neg(x[last][r][v1]),
+                            Lit::neg(x[last][r + 1][v2]),
+                        ]);
+                    }
+                }
+            }
+            // Counts: each value occurs as often in the output as in the
+            // input.
+            let lo = if include_zero { 0 } else { 1 };
+            for v in lo..vals {
+                let count = test.iter().filter(|&&tv| tv as usize == v).count();
+                let positions: Vec<Var> = (0..n).map(|r| x[last][r][v]).collect();
+                add_count_constraint(solver, &positions, count);
+            }
+        };
+        match opts.goal {
+            Goal::Exact => {
+                assert!(
+                    is_permutation(test, n),
+                    "Goal::Exact needs permutation test cases"
+                );
+                exact(&mut solver);
+            }
+            Goal::AscendingCounts { include_zero } => ascending_counts(&mut solver, include_zero),
+            Goal::AscendingCountsAndExact => {
+                assert!(
+                    is_permutation(test, n),
+                    "Goal::Exact needs permutation test cases"
+                );
+                ascending_counts(&mut solver, true);
+                exact(&mut solver);
+            }
+        }
+    }
+
+    Encoded {
+        solver,
+        instr_vars,
+        actions,
+    }
+}
+
+/// The action list under the §4 symmetry toggles.
+fn actions_for(machine: &Machine, opts: EncodeOptions) -> Vec<Instr> {
+    let mut actions = Vec::new();
+    for &op in machine.mode().ops() {
+        for dst in machine.regs() {
+            for src in machine.regs() {
+                if dst == src {
+                    continue; // self-ops are nonsensical in any formulation
+                }
+                if op == Op::Cmp && opts.cmp_symmetry && dst.index() > src.index() {
+                    continue;
+                }
+                actions.push(Instr::new(op, dst, src));
+            }
+        }
+    }
+    actions
+}
+
+fn is_permutation(test: &[u8], n: usize) -> bool {
+    let mut seen = vec![false; n + 1];
+    for &v in test {
+        if seen[v as usize] {
+            return false;
+        }
+        seen[v as usize] = true;
+    }
+    true
+}
+
+fn signed(var: Var, value: bool) -> Lit {
+    if value {
+        Lit::pos(var)
+    } else {
+        Lit::neg(var)
+    }
+}
+
+/// `premise → (a ↔ b)` as two clauses.
+fn iff(solver: &mut Solver, premise: Lit, a: Var, b: Var) {
+    solver.add_clause(&[premise, Lit::neg(a), Lit::pos(b)]);
+    solver.add_clause(&[premise, Lit::pos(a), Lit::neg(b)]);
+}
+
+/// `premise1 ∨ premise2 ∨ (a ↔ b)` as two clauses (both premises are
+/// already-negated escape literals).
+fn cond_iff(solver: &mut Solver, premise1: Lit, premise2: Lit, a: Var, b: Var) {
+    solver.add_clause(&[premise1, premise2, Lit::neg(a), Lit::pos(b)]);
+    solver.add_clause(&[premise1, premise2, Lit::pos(a), Lit::neg(b)]);
+}
+
+/// Exactly-`k` of `vars` are true, by subset enumeration (fine for the ≤ 6
+/// positions a kernel output has).
+fn add_count_constraint(solver: &mut Solver, vars: &[Var], k: usize) {
+    let n = vars.len();
+    // At most k: every (k+1)-subset contains a false literal.
+    for subset in subsets(n, k + 1) {
+        let clause: Vec<Lit> = subset.iter().map(|&i| Lit::neg(vars[i])).collect();
+        solver.add_clause(&clause);
+    }
+    // At least k: every (n-k+1)-subset contains a true literal.
+    if k > 0 {
+        for subset in subsets(n, n - k + 1) {
+            let clause: Vec<Lit> = subset.iter().map(|&i| Lit::pos(vars[i])).collect();
+            solver.add_clause(&clause);
+        }
+    }
+}
+
+/// All `size`-element subsets of `0..n` (empty when `size > n`).
+fn subsets(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if size > n {
+        return out;
+    }
+    let mut current = Vec::with_capacity(size);
+    fn rec(start: usize, n: usize, size: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == size {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            rec(i + 1, n, size, current, out);
+            current.pop();
+        }
+    }
+    rec(0, n, size, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::{permutations, IsaMode};
+    use sortsynth_sat::SolveResult;
+
+    #[test]
+    fn subsets_enumeration() {
+        assert_eq!(subsets(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(subsets(2, 3), Vec::<Vec<usize>>::new());
+        assert_eq!(subsets(3, 0), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn count_constraint_forces_exact_count() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        add_count_constraint(&mut s, &vars, 2);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let set = vars.iter().filter(|&&v| s.value(v) == Some(true)).count();
+        assert_eq!(set, 2);
+    }
+
+    #[test]
+    fn n2_synthesis_at_length_4_is_sat_and_correct() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let tests = permutations(2);
+        let mut enc = encode(&machine, 4, &tests, EncodeOptions::default());
+        assert_eq!(enc.solver.solve(), SolveResult::Sat);
+        let prog = enc.decode();
+        assert_eq!(prog.len(), 4);
+        assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+    }
+
+    #[test]
+    fn n2_synthesis_at_length_3_is_unsat() {
+        // Matches the enumerative lower bound: no 3-instruction cmov kernel.
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let tests = permutations(2);
+        let mut enc = encode(&machine, 3, &tests, EncodeOptions::default());
+        assert_eq!(enc.solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn n2_minmax_synthesis_at_length_3_is_sat() {
+        let machine = Machine::new(2, 1, IsaMode::MinMax);
+        let tests = permutations(2);
+        let mut enc = encode(&machine, 3, &tests, EncodeOptions::default());
+        assert_eq!(enc.solver.solve(), SolveResult::Sat);
+        let prog = enc.decode();
+        assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+    }
+
+    #[test]
+    fn exact_goal_agrees_with_counts_goal_on_satisfiability() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let tests = permutations(2);
+        for goal in [
+            Goal::Exact,
+            Goal::AscendingCounts { include_zero: false },
+            Goal::AscendingCountsAndExact,
+        ] {
+            let opts = EncodeOptions {
+                goal,
+                ..EncodeOptions::default()
+            };
+            let mut enc = encode(&machine, 4, &tests, opts);
+            assert_eq!(enc.solver.solve(), SolveResult::Sat, "goal {goal:?}");
+            assert!(machine.is_correct(&enc.decode()), "goal {goal:?}");
+        }
+    }
+
+    #[test]
+    fn partial_test_suite_admits_wrong_programs() {
+        // The paper's CP-MiniZinc-Filter observation: with only one test
+        // case the solver happily returns a program that fails the other.
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let tests = vec![vec![1u8, 2]]; // already sorted
+        let mut enc = encode(&machine, 1, &tests, EncodeOptions::default());
+        assert_eq!(enc.solver.solve(), SolveResult::Sat);
+        let prog = enc.decode();
+        assert!(!machine.is_correct(&prog)); // length 1 cannot sort [2, 1]
+    }
+
+    #[test]
+    fn first_cmd_cmp_is_respected() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let tests = permutations(2);
+        let opts = EncodeOptions {
+            first_cmd_cmp: true,
+            ..EncodeOptions::default()
+        };
+        let mut enc = encode(&machine, 4, &tests, opts);
+        assert_eq!(enc.solver.solve(), SolveResult::Sat);
+        let prog = enc.decode();
+        assert_eq!(prog[0].op, Op::Cmp);
+        assert!(machine.is_correct(&prog));
+    }
+}

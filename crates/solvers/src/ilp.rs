@@ -1,0 +1,300 @@
+//! A tiny 0-1 integer-linear-programming solver and the ILP formulation of
+//! kernel synthesis (§4.2, the CP-ILP rows).
+//!
+//! The paper reduces conditional-move transitions to linear constraints with
+//! big-M couplings and reports that no dedicated ILP back-end (Gurobi, CBC)
+//! synthesizes even the n = 3 kernel. We reproduce the approach with a
+//! depth-first branch-and-bound over binary variables with bounds
+//! propagation — deliberately *without* clause learning, which is exactly
+//! what separates the failing ILP solvers from the lazy-clause-generation
+//! solver (Chuffed / our CDCL core) that succeeds.
+
+use std::time::{Duration, Instant};
+
+use sortsynth_isa::{Machine, Program};
+
+use crate::encoding::{encode, EncodeOptions, Encoded};
+use crate::synth::{Budget, SynthOutcome, SynthStats};
+
+/// One linear constraint `Σ coeff_i · x_i ≥ bound` over binary variables.
+#[derive(Debug, Clone)]
+pub struct LinearConstraint {
+    /// `(variable index, coefficient)` pairs.
+    pub terms: Vec<(usize, i32)>,
+    /// Right-hand side.
+    pub bound: i32,
+}
+
+/// A 0-1 ILP instance.
+#[derive(Debug, Clone, Default)]
+pub struct IlpProblem {
+    /// Number of binary variables.
+    pub num_vars: usize,
+    /// The constraints.
+    pub constraints: Vec<LinearConstraint>,
+}
+
+/// Result of [`IlpProblem::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IlpResult {
+    /// A feasible assignment.
+    Feasible(Vec<bool>),
+    /// Proven infeasible.
+    Infeasible,
+    /// Budget expired.
+    Budget,
+}
+
+impl IlpProblem {
+    /// Depth-first branch-and-bound with per-constraint bounds propagation.
+    ///
+    /// At each node, every constraint's attainable maximum is checked
+    /// (prune) and variables whose value is forced are fixed (propagate);
+    /// otherwise the first unfixed variable is branched on.
+    pub fn solve(&self, node_limit: u64, timeout: Option<Duration>) -> IlpResult {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        let mut nodes = 0u64;
+        match self.dfs(&mut assignment, &mut nodes, node_limit, deadline) {
+            Dfs::Feasible => IlpResult::Feasible(
+                assignment.into_iter().map(|v| v.unwrap_or(false)).collect(),
+            ),
+            Dfs::Infeasible => IlpResult::Infeasible,
+            Dfs::Budget => IlpResult::Budget,
+        }
+    }
+
+    fn dfs(
+        &self,
+        assignment: &mut Vec<Option<bool>>,
+        nodes: &mut u64,
+        node_limit: u64,
+        deadline: Option<Instant>,
+    ) -> Dfs {
+        *nodes += 1;
+        if *nodes > node_limit {
+            return Dfs::Budget;
+        }
+        if (*nodes).is_multiple_of(4096) {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Dfs::Budget;
+                }
+            }
+        }
+        // Propagation to a fixed point: prune infeasible constraints, fix
+        // forced variables.
+        let mut fixed_here: Vec<usize> = Vec::new();
+        loop {
+            let mut changed = false;
+            for c in &self.constraints {
+                let mut lo = 0i32; // value with all free vars at their worst
+                let mut hi = 0i32; // value with all free vars at their best
+                for &(v, coeff) in &c.terms {
+                    match assignment[v] {
+                        Some(true) => {
+                            lo += coeff;
+                            hi += coeff;
+                        }
+                        Some(false) => {}
+                        None => {
+                            if coeff > 0 {
+                                hi += coeff;
+                            } else {
+                                lo += coeff;
+                            }
+                        }
+                    }
+                }
+                if hi < c.bound {
+                    // Unreachable bound: undo local fixes and fail.
+                    for &v in &fixed_here {
+                        assignment[v] = None;
+                    }
+                    return Dfs::Infeasible;
+                }
+                if lo >= c.bound {
+                    continue; // already satisfied
+                }
+                // Force any free variable whose wrong polarity would make
+                // the bound unreachable.
+                for &(v, coeff) in &c.terms {
+                    if assignment[v].is_some() {
+                        continue;
+                    }
+                    let without = hi - coeff.abs();
+                    if without < c.bound {
+                        assignment[v] = Some(coeff > 0);
+                        fixed_here.push(v);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Branch.
+        match assignment.iter().position(Option::is_none) {
+            None => Dfs::Feasible,
+            Some(v) => {
+                for value in [true, false] {
+                    assignment[v] = Some(value);
+                    match self.dfs(assignment, nodes, node_limit, deadline) {
+                        Dfs::Feasible => return Dfs::Feasible,
+                        Dfs::Budget => {
+                            // Leave assignment dirty; caller discards it.
+                            return Dfs::Budget;
+                        }
+                        Dfs::Infeasible => {}
+                    }
+                }
+                assignment[v] = None;
+                for &v in &fixed_here {
+                    assignment[v] = None;
+                }
+                Dfs::Infeasible
+            }
+        }
+    }
+}
+
+enum Dfs {
+    Feasible,
+    Infeasible,
+    Budget,
+}
+
+/// Builds the ILP formulation of kernel synthesis by translating the CNF
+/// encoding clause-by-clause (`l1 ∨ … ∨ lk` becomes
+/// `Σ x_pos − Σ x_neg ≥ 1 − |neg|`), the standard big-M-free reduction for
+/// binary variables.
+pub fn encode_ilp(machine: &Machine, len: u32, opts: EncodeOptions) -> (IlpProblem, Encoded) {
+    let tests = sortsynth_isa::permutations(machine.n());
+    let encoded = encode(machine, len, &tests, opts);
+    let mut problem = IlpProblem {
+        num_vars: encoded.solver.num_vars(),
+        constraints: Vec::new(),
+    };
+    for clause in encoded.solver.clauses_for_export() {
+        let mut terms = Vec::with_capacity(clause.len());
+        let mut bound = 1i32;
+        for lit in clause {
+            if lit.is_neg() {
+                terms.push((lit.var().index(), -1));
+                bound -= 1;
+            } else {
+                terms.push((lit.var().index(), 1));
+            }
+        }
+        problem.constraints.push(LinearConstraint { terms, bound });
+    }
+    (problem, encoded)
+}
+
+/// CP-ILP (§4.2): synthesis via the branch-and-bound ILP solver.
+pub fn ilp_synthesize(
+    machine: &Machine,
+    len: u32,
+    opts: EncodeOptions,
+    budget: Budget,
+) -> (SynthOutcome, SynthStats) {
+    let start = Instant::now();
+    let (problem, encoded) = encode_ilp(machine, len, opts);
+    let node_limit = budget.conflicts.unwrap_or(u64::MAX);
+    let outcome = match problem.solve(node_limit, budget.timeout) {
+        IlpResult::Feasible(model) => {
+            let prog: Program = encoded
+                .instr_vars
+                .iter()
+                .map(|step| {
+                    let a = step
+                        .iter()
+                        .position(|&v| model[v.index()])
+                        .expect("exactly-one instruction per step");
+                    encoded.actions[a]
+                })
+                .collect();
+            SynthOutcome::Found(prog)
+        }
+        IlpResult::Infeasible => SynthOutcome::NoProgram,
+        IlpResult::Budget => SynthOutcome::Budget,
+    };
+    (
+        outcome,
+        SynthStats {
+            elapsed: start.elapsed(),
+            iterations: 1,
+            tests_used: sortsynth_isa::factorial(machine.n()) as usize,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    #[test]
+    fn tiny_feasible_ilp() {
+        // x0 + x1 >= 1, -x0 >= 0  →  x1 = 1.
+        let p = IlpProblem {
+            num_vars: 2,
+            constraints: vec![
+                LinearConstraint { terms: vec![(0, 1), (1, 1)], bound: 1 },
+                LinearConstraint { terms: vec![(0, -1)], bound: 0 },
+            ],
+        };
+        match p.solve(1_000, None) {
+            IlpResult::Feasible(model) => {
+                assert!(!model[0]);
+                assert!(model[1]);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_infeasible_ilp() {
+        // x0 >= 1 and -x0 >= 0 conflict.
+        let p = IlpProblem {
+            num_vars: 1,
+            constraints: vec![
+                LinearConstraint { terms: vec![(0, 1)], bound: 1 },
+                LinearConstraint { terms: vec![(0, -1)], bound: 0 },
+            ],
+        };
+        assert_eq!(p.solve(1_000, None), IlpResult::Infeasible);
+    }
+
+    #[test]
+    fn node_budget_reports_budget() {
+        let p = IlpProblem {
+            num_vars: 30,
+            constraints: (0..30)
+                .map(|i| LinearConstraint {
+                    terms: vec![(i, 1), ((i + 1) % 30, 1)],
+                    bound: 1,
+                })
+                .collect(),
+        };
+        assert_eq!(p.solve(1, None), IlpResult::Budget);
+    }
+
+    #[test]
+    fn ilp_synthesizes_n2_kernel() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let (outcome, _) = ilp_synthesize(
+            &machine,
+            4,
+            EncodeOptions::default(),
+            Budget { conflicts: Some(5_000_000), timeout: Some(Duration::from_secs(60)) },
+        );
+        match outcome {
+            SynthOutcome::Found(prog) => assert!(machine.is_correct(&prog)),
+            // A budget result is acceptable behaviour (the paper's ILP rows
+            // all time out) but n = 2 should really finish.
+            other => panic!("expected Found for n = 2, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Solver-based synthesis baselines (§4 of the paper): SMT-Perm, SMT-CEGIS,
+//! the CP goal formulations and heuristic toggles, and a CP-ILP
+//! branch-and-bound — all discharging the same finite-domain encoding
+//! through the workspace's CDCL core ([`sortsynth_sat`]).
+//!
+//! The paper's finding that we reproduce: these classical techniques
+//! synthesize the n = 2 kernel instantly and the n = 3 kernel with effort
+//! (heavily dependent on goal formulation and symmetry breaking, §5.2's CP
+//! table), but none scales to n = 4 — while the learning-free ILP search
+//! does not even manage n = 3.
+//!
+//! # Example
+//!
+//! ```
+//! use sortsynth_isa::{IsaMode, Machine};
+//! use sortsynth_solvers::{smt_perm, Budget, EncodeOptions, SynthOutcome};
+//!
+//! let machine = Machine::new(2, 1, IsaMode::Cmov);
+//! let (outcome, _stats) = smt_perm(&machine, 4, EncodeOptions::default(), Budget::default());
+//! match outcome {
+//!     SynthOutcome::Found(prog) => assert!(machine.is_correct(&prog)),
+//!     other => panic!("n = 2 solves instantly, got {other:?}"),
+//! }
+//! ```
+
+mod encoding;
+mod ilp;
+mod synth;
+
+pub use encoding::{encode, EncodeOptions, Encoded, Goal};
+pub use ilp::{encode_ilp, ilp_synthesize, IlpProblem, IlpResult, LinearConstraint};
+pub use synth::{
+    find_counterexample, smt_cegis, smt_perm, synthesize_minimal, Budget, CegisDomain,
+    SynthOutcome, SynthStats,
+};

@@ -1,0 +1,349 @@
+//! Solver-based synthesis front-ends: SMT-Perm, SMT-CEGIS, and the CP
+//! variants (§4.1, §4.2).
+
+use std::time::{Duration, Instant};
+
+use sortsynth_isa::{Machine, Program, Reg};
+use sortsynth_sat::SolveResult;
+
+use crate::encoding::{encode, EncodeOptions};
+
+/// Resource budget shared by all solver front-ends.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Conflict limit per solver call.
+    pub conflicts: Option<u64>,
+    /// Wall-clock limit for the whole synthesis run.
+    pub timeout: Option<Duration>,
+}
+
+impl Budget {
+    /// A wall-clock-only budget.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Budget {
+            conflicts: None,
+            timeout: Some(timeout),
+        }
+    }
+}
+
+/// Outcome of a solver-based synthesis attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthOutcome {
+    /// A correct program of the requested length.
+    Found(Program),
+    /// Proven: no program of the requested length exists (under the chosen
+    /// symmetry toggles).
+    NoProgram,
+    /// The budget expired first (the paper's "—" table entries).
+    Budget,
+}
+
+/// Statistics for one synthesis run.
+#[derive(Debug, Clone, Default)]
+pub struct SynthStats {
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// CEGIS iterations (1 for one-shot).
+    pub iterations: u32,
+    /// Test cases in the final encoding.
+    pub tests_used: usize,
+}
+
+/// SMT-Perm (§4.1): a single query with *all* `n!` permutations as test
+/// cases. Any model is guaranteed correct.
+pub fn smt_perm(
+    machine: &Machine,
+    len: u32,
+    opts: EncodeOptions,
+    budget: Budget,
+) -> (SynthOutcome, SynthStats) {
+    let start = Instant::now();
+    let tests = sortsynth_isa::permutations(machine.n());
+    let mut enc = encode(machine, len, &tests, opts);
+    let outcome = match enc.solver.solve_budgeted(budget.conflicts, budget.timeout) {
+        SolveResult::Sat => SynthOutcome::Found(enc.decode()),
+        SolveResult::Unsat => SynthOutcome::NoProgram,
+        SolveResult::Unknown => SynthOutcome::Budget,
+    };
+    let stats = SynthStats {
+        elapsed: start.elapsed(),
+        iterations: 1,
+        tests_used: tests.len(),
+    };
+    (outcome, stats)
+}
+
+/// The CEGIS counterexample domain (§5.2's two SMT-CEGIS rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CegisDomain {
+    /// Counterexamples restricted to permutations of `1..=n` (the paper's
+    /// faster variant).
+    Permutations,
+    /// Arbitrary inputs: any tuple over `1..=n`, duplicates allowed.
+    Arbitrary,
+}
+
+/// SMT-CEGIS (§4.1): synthesize against a growing set of counterexamples.
+///
+/// Starts from the single reversed input, asks the encoder for a candidate,
+/// checks the candidate on the full input domain, and adds the first
+/// failing input as a new test case until the candidate verifies.
+pub fn smt_cegis(
+    machine: &Machine,
+    len: u32,
+    domain: CegisDomain,
+    opts: EncodeOptions,
+    budget: Budget,
+) -> (SynthOutcome, SynthStats) {
+    let start = Instant::now();
+    let deadline = budget.timeout.map(|t| start + t);
+    let mut tests: Vec<Vec<u8>> = vec![(1..=machine.n()).rev().collect()];
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        if remaining == Some(Duration::ZERO) {
+            return (
+                SynthOutcome::Budget,
+                SynthStats {
+                    elapsed: start.elapsed(),
+                    iterations,
+                    tests_used: tests.len(),
+                },
+            );
+        }
+        let mut enc = encode(machine, len, &tests, opts);
+        match enc.solver.solve_budgeted(budget.conflicts, remaining) {
+            SolveResult::Unsat => {
+                return (
+                    SynthOutcome::NoProgram,
+                    SynthStats {
+                        elapsed: start.elapsed(),
+                        iterations,
+                        tests_used: tests.len(),
+                    },
+                )
+            }
+            SolveResult::Unknown => {
+                return (
+                    SynthOutcome::Budget,
+                    SynthStats {
+                        elapsed: start.elapsed(),
+                        iterations,
+                        tests_used: tests.len(),
+                    },
+                )
+            }
+            SolveResult::Sat => {
+                let candidate = enc.decode();
+                match find_counterexample(machine, &candidate, domain) {
+                    None => {
+                        return (
+                            SynthOutcome::Found(candidate),
+                            SynthStats {
+                                elapsed: start.elapsed(),
+                                iterations,
+                                tests_used: tests.len(),
+                            },
+                        )
+                    }
+                    Some(cex) => tests.push(cex),
+                }
+            }
+        }
+    }
+}
+
+/// The verification oracle: the first input the candidate fails on.
+///
+/// For [`CegisDomain::Permutations`] the domain is the `n!` permutations;
+/// for [`CegisDomain::Arbitrary`] it is all `n^n` tuples over `1..=n`
+/// (constant-free kernels cannot distinguish larger domains, §2.3).
+pub fn find_counterexample(
+    machine: &Machine,
+    prog: &Program,
+    domain: CegisDomain,
+) -> Option<Vec<u8>> {
+    match domain {
+        CegisDomain::Permutations => machine.counterexamples(prog).into_iter().next(),
+        CegisDomain::Arbitrary => {
+            let n = machine.n() as usize;
+            let mut tuple = vec![1u8; n];
+            loop {
+                if !sorts_tuple(machine, prog, &tuple) {
+                    return Some(tuple);
+                }
+                // Next tuple in odometer order.
+                let mut i = 0;
+                loop {
+                    if i == n {
+                        return None;
+                    }
+                    if tuple[i] < machine.n() {
+                        tuple[i] += 1;
+                        break;
+                    }
+                    tuple[i] = 1;
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Whether `prog` sorts the (possibly duplicate-containing) input `tuple`:
+/// ascending output that is a permutation of the input multiset.
+fn sorts_tuple(machine: &Machine, prog: &Program, tuple: &[u8]) -> bool {
+    let out = machine.run(prog, machine.initial_state(tuple));
+    let n = machine.n();
+    let result: Vec<u8> = (0..n).map(|i| out.reg(Reg::new(i))).collect();
+    let mut expected = tuple.to_vec();
+    expected.sort_unstable();
+    result == expected
+}
+
+/// Iterates `len` upward from `min_len` until a program is found; the first
+/// hit is length-minimal under the chosen toggles (each shorter length was
+/// proven empty).
+pub fn synthesize_minimal(
+    machine: &Machine,
+    min_len: u32,
+    max_len: u32,
+    opts: EncodeOptions,
+    budget: Budget,
+) -> (SynthOutcome, SynthStats) {
+    let start = Instant::now();
+    let deadline = budget.timeout.map(|t| start + t);
+    let mut total_iterations = 0;
+    let mut tests_used = 0;
+    for len in min_len..=max_len {
+        let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        let step_budget = Budget {
+            conflicts: budget.conflicts,
+            timeout: remaining,
+        };
+        let (outcome, stats) = smt_perm(machine, len, opts, step_budget);
+        total_iterations += stats.iterations;
+        tests_used = stats.tests_used;
+        match outcome {
+            SynthOutcome::NoProgram => continue,
+            other => {
+                return (
+                    other,
+                    SynthStats {
+                        elapsed: start.elapsed(),
+                        iterations: total_iterations,
+                        tests_used,
+                    },
+                )
+            }
+        }
+    }
+    (
+        SynthOutcome::NoProgram,
+        SynthStats {
+            elapsed: start.elapsed(),
+            iterations: total_iterations,
+            tests_used,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    fn m2() -> Machine {
+        Machine::new(2, 1, IsaMode::Cmov)
+    }
+
+    #[test]
+    fn smt_perm_finds_n2_kernel() {
+        let (outcome, stats) = smt_perm(&m2(), 4, EncodeOptions::default(), Budget::default());
+        match outcome {
+            SynthOutcome::Found(prog) => assert!(m2().is_correct(&prog)),
+            other => panic!("expected Found, got {other:?}"),
+        }
+        assert_eq!(stats.tests_used, 2);
+    }
+
+    #[test]
+    fn smt_cegis_permutation_domain() {
+        let (outcome, stats) = smt_cegis(
+            &m2(),
+            4,
+            CegisDomain::Permutations,
+            EncodeOptions::default(),
+            Budget::default(),
+        );
+        match outcome {
+            SynthOutcome::Found(prog) => assert!(m2().is_correct(&prog)),
+            other => panic!("expected Found, got {other:?}"),
+        }
+        assert!(stats.iterations >= 1);
+    }
+
+    #[test]
+    fn smt_cegis_arbitrary_domain_handles_duplicates() {
+        let (outcome, _) = smt_cegis(
+            &m2(),
+            4,
+            CegisDomain::Arbitrary,
+            EncodeOptions::default(),
+            Budget::default(),
+        );
+        match outcome {
+            SynthOutcome::Found(prog) => {
+                // Correct on permutations *and* on the duplicate input.
+                assert!(m2().is_correct(&prog));
+                assert!(sorts_tuple(&m2(), &prog, &[2, 2]));
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthesize_minimal_proves_4_is_optimal_for_n2() {
+        let (outcome, _) = synthesize_minimal(
+            &m2(),
+            1,
+            5,
+            EncodeOptions::default(),
+            Budget::default(),
+        );
+        match outcome {
+            SynthOutcome::Found(prog) => assert_eq!(prog.len(), 4),
+            other => panic!("expected Found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_timeout_reports_budget() {
+        let (outcome, _) = smt_perm(
+            &m2(),
+            4,
+            EncodeOptions::default(),
+            Budget::with_timeout(Duration::ZERO),
+        );
+        assert_eq!(outcome, SynthOutcome::Budget);
+    }
+
+    #[test]
+    fn counterexample_oracle_finds_failures() {
+        let machine = m2();
+        let empty: Program = vec![];
+        assert_eq!(
+            find_counterexample(&machine, &empty, CegisDomain::Permutations),
+            Some(vec![2, 1])
+        );
+        let (_, cas) = (0, machine
+            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+            .unwrap());
+        assert_eq!(
+            find_counterexample(&machine, &cas, CegisDomain::Arbitrary),
+            None
+        );
+    }
+}

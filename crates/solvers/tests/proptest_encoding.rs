@@ -1,0 +1,93 @@
+//! Property-based tests for the CNF encoding: any model the solver returns
+//! must describe a program whose concrete execution matches the encoded
+//! semantics, under arbitrary option combinations.
+
+use proptest::prelude::*;
+use sortsynth_isa::{IsaMode, Machine, Reg};
+use sortsynth_sat::SolveResult;
+use sortsynth_solvers::{encode, find_counterexample, CegisDomain, EncodeOptions, Goal};
+
+fn arb_options() -> impl Strategy<Value = EncodeOptions> {
+    (
+        prop_oneof![
+            Just(Goal::Exact),
+            Just(Goal::AscendingCounts { include_zero: true }),
+            Just(Goal::AscendingCounts { include_zero: false }),
+            Just(Goal::AscendingCountsAndExact),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(goal, no_consec, cmp_sym, only_init)| EncodeOptions {
+            goal,
+            no_consecutive_cmps: no_consec,
+            cmp_symmetry: cmp_sym,
+            first_cmd_cmp: false,
+            only_read_initialized: only_init,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the solver returns at the satisfiable length is a genuinely
+    /// correct kernel — the encoding's transition semantics agree with the
+    /// interpreter for every option combination.
+    #[test]
+    fn models_decode_to_correct_kernels(opts in arb_options()) {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let tests = sortsynth_isa::permutations(2);
+        let mut enc = encode(&machine, 4, &tests, opts);
+        // Length 4 is satisfiable under every toggle combination (the
+        // standard CAS has no consecutive cmps and reads scratch only after
+        // writing it).
+        prop_assert_eq!(enc.solver.solve(), SolveResult::Sat);
+        let prog = enc.decode();
+        prop_assert_eq!(prog.len(), 4);
+        prop_assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+    }
+
+    /// Shorter-than-optimal lengths stay unsatisfiable regardless of goal
+    /// formulation (goals never make wrong programs acceptable).
+    #[test]
+    fn length_3_is_unsat_under_every_goal(opts in arb_options()) {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let tests = sortsynth_isa::permutations(2);
+        let mut enc = encode(&machine, 3, &tests, opts);
+        prop_assert_eq!(enc.solver.solve(), SolveResult::Unsat);
+    }
+
+    /// The arbitrary-input counterexample oracle agrees with a direct
+    /// multiset check on random programs.
+    #[test]
+    fn counterexample_oracle_is_sound(
+        ops in prop::collection::vec(0usize..64, 0..8),
+    ) {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let actions = machine.all_instrs();
+        let prog: Vec<_> = ops.iter().map(|&i| actions[i % actions.len()]).collect();
+        match find_counterexample(&machine, &prog, CegisDomain::Arbitrary) {
+            None => {
+                // No counterexample: the program must sort all tuples.
+                for a in 1..=2u8 {
+                    for b in 1..=2u8 {
+                        let out = machine.run(&prog, machine.initial_state(&[a, b]));
+                        let got = [out.reg(Reg::new(0)), out.reg(Reg::new(1))];
+                        let mut want = [a, b];
+                        want.sort_unstable();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            Some(cex) => {
+                // The reported tuple genuinely fails.
+                let out = machine.run(&prog, machine.initial_state(&cex));
+                let got = [out.reg(Reg::new(0)), out.reg(Reg::new(1))];
+                let mut want = [cex[0], cex[1]];
+                want.sort_unstable();
+                prop_assert_ne!(got, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! A stochastic superoptimizer in the style of STOKE (Schkufza et al.),
+//! the paper's §5.2 stochastic-search baseline.
+//!
+//! The search performs Metropolis–Hastings MCMC over fixed-size programs
+//! with *unused* slots: proposal moves mutate an opcode, an operand, swap
+//! two instructions, or toggle a slot between used and unused. The cost
+//! function counts misplaced outputs over a test suite (all permutations or
+//! a random subset — §5.2 tests both) plus a length term, so the sampler
+//! can both synthesize from scratch (cold start) and shorten an existing
+//! kernel (warm start).
+//!
+//! The paper's finding, which this implementation reproduces in the
+//! harness: stochastic search does not synthesize a correct n = 3 kernel
+//! from a cold start, and warm-started optimization fails to reach the
+//! optimal length.
+//!
+//! # Example
+//!
+//! ```
+//! use sortsynth_isa::{IsaMode, Machine};
+//! use sortsynth_stoke::{run, Start, StokeConfig, TestSuite};
+//!
+//! let machine = Machine::new(2, 1, IsaMode::Cmov);
+//! let cfg = StokeConfig {
+//!     machine: machine.clone(),
+//!     start: Start::Cold { slots: 5 },
+//!     iterations: 500_000,
+//!     beta: 1.0,
+//!     seed: 1,
+//!     tests: TestSuite::Full,
+//!     minimize_length: true,
+//! };
+//! let result = run(&cfg);
+//! if let Some(prog) = &result.best_correct {
+//!     assert!(machine.is_correct(prog));
+//! }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sortsynth_isa::{Instr, Machine, MachineState, Program, Reg};
+
+/// Where the Markov chain starts.
+#[derive(Debug, Clone)]
+pub enum Start {
+    /// Random program over `slots` slots (§5.2 `Stoke-Cold`).
+    Cold {
+        /// Number of program slots (used + unused).
+        slots: usize,
+    },
+    /// A given correct program to optimize (§5.2 `Stoke-Warm`).
+    Warm {
+        /// The starting program.
+        prog: Program,
+        /// Extra unused slots appended beyond the program.
+        extra_slots: usize,
+    },
+}
+
+/// Which inputs the cost function evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestSuite {
+    /// All `n!` permutations (sound oracle).
+    Full,
+    /// A fixed random subset of the permutations (the paper also evaluates
+    /// 1000 random subsets; unsound but cheaper per step).
+    RandomSubset(usize),
+}
+
+/// Configuration for one MCMC run.
+#[derive(Debug, Clone)]
+pub struct StokeConfig {
+    /// The target machine.
+    pub machine: Machine,
+    /// Cold or warm start.
+    pub start: Start,
+    /// Proposal steps.
+    pub iterations: u64,
+    /// Inverse temperature for the Metropolis acceptance test.
+    pub beta: f64,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+    /// Test suite used in the cost function.
+    pub tests: TestSuite,
+    /// Add a length term so shorter correct programs win.
+    pub minimize_length: bool,
+}
+
+/// Result of [`run`].
+#[derive(Debug, Clone)]
+pub struct StokeResult {
+    /// The best-cost program seen (compacted: unused slots removed).
+    pub best: Program,
+    /// Its cost.
+    pub best_cost: f64,
+    /// The shortest *verified-correct* program seen, if any (always
+    /// re-checked on the full permutation suite, even when the search cost
+    /// used a subset).
+    pub best_correct: Option<Program>,
+    /// Steps actually executed.
+    pub iterations_run: u64,
+    /// Proposals accepted.
+    pub accepted: u64,
+}
+
+/// A program slot: an instruction or unused.
+type Slot = Option<Instr>;
+
+/// Runs the MCMC sampler.
+pub fn run(cfg: &StokeConfig) -> StokeResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let instrs = cfg.machine.all_instrs();
+    let mut slots: Vec<Slot> = match &cfg.start {
+        Start::Cold { slots } => (0..*slots)
+            .map(|_| {
+                if rng.gen_bool(0.7) {
+                    Some(instrs[rng.gen_range(0..instrs.len())])
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        Start::Warm { prog, extra_slots } => {
+            let mut s: Vec<Slot> = prog.iter().copied().map(Some).collect();
+            s.extend(std::iter::repeat_n(None, *extra_slots));
+            s
+        }
+    };
+
+    let tests = make_tests(&cfg.machine, cfg.tests, &mut rng);
+    let mut cost = cost_of(cfg, &slots, &tests);
+    let mut best = slots.clone();
+    let mut best_cost = cost;
+    let mut best_correct: Option<Program> = None;
+    let mut accepted = 0u64;
+
+    // A warm start may already be correct.
+    consider_correct(cfg, &slots, &mut best_correct);
+
+    for _ in 0..cfg.iterations {
+        let backup = propose(&mut slots, &instrs, &mut rng);
+        let new_cost = cost_of(cfg, &slots, &tests);
+        let accept = new_cost <= cost
+            || rng.gen_bool(((cost - new_cost) * cfg.beta).exp().clamp(0.0, 1.0));
+        if accept {
+            accepted += 1;
+            cost = new_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best = slots.clone();
+                consider_correct(cfg, &slots, &mut best_correct);
+            }
+        } else {
+            undo(&mut slots, backup);
+        }
+    }
+
+    StokeResult {
+        best: compact(&best),
+        best_cost,
+        best_correct,
+        iterations_run: cfg.iterations,
+        accepted,
+    }
+}
+
+/// Records the compacted program if it is genuinely correct (full suite)
+/// and shorter than the incumbent.
+fn consider_correct(cfg: &StokeConfig, slots: &[Slot], best_correct: &mut Option<Program>) {
+    let prog = compact(slots);
+    if cfg.machine.is_correct(&prog) {
+        let better = best_correct
+            .as_ref()
+            .map(|b| prog.len() < b.len())
+            .unwrap_or(true);
+        if better {
+            *best_correct = Some(prog);
+        }
+    }
+}
+
+fn make_tests(machine: &Machine, suite: TestSuite, rng: &mut StdRng) -> Vec<MachineState> {
+    let mut all = machine.initial_states();
+    match suite {
+        TestSuite::Full => all,
+        TestSuite::RandomSubset(k) => {
+            // Fisher–Yates prefix shuffle.
+            let len = all.len();
+            for i in 0..k.min(len) {
+                let j = rng.gen_range(i..len);
+                all.swap(i, j);
+            }
+            all.truncate(k.min(len));
+            all
+        }
+    }
+}
+
+/// STOKE-style cost: misplaced output positions summed over the tests, plus
+/// (optionally) the used-slot count scaled small enough that correctness
+/// always dominates.
+fn cost_of(cfg: &StokeConfig, slots: &[Slot], tests: &[MachineState]) -> f64 {
+    let machine = &cfg.machine;
+    let n = machine.n();
+    let mut wrong = 0u32;
+    for &test in tests {
+        let mut st = test;
+        for slot in slots.iter().flatten() {
+            st.exec(*slot);
+        }
+        for i in 0..n {
+            if st.reg(Reg::new(i)) != i + 1 {
+                wrong += 1;
+            }
+        }
+    }
+    let mut cost = wrong as f64;
+    if cfg.minimize_length {
+        let used = slots.iter().flatten().count();
+        cost += used as f64 / (slots.len() as f64 + 1.0);
+    }
+    cost
+}
+
+/// One random proposal; returns the undo record.
+fn propose(slots: &mut [Slot], instrs: &[Instr], rng: &mut StdRng) -> Undo {
+    let i = rng.gen_range(0..slots.len());
+    match rng.gen_range(0..4) {
+        // Replace the slot with a random instruction.
+        0 => {
+            let old = slots[i];
+            slots[i] = Some(instrs[rng.gen_range(0..instrs.len())]);
+            Undo::Slot(i, old)
+        }
+        // Toggle used/unused.
+        1 => {
+            let old = slots[i];
+            slots[i] = match old {
+                Some(_) => None,
+                None => Some(instrs[rng.gen_range(0..instrs.len())]),
+            };
+            Undo::Slot(i, old)
+        }
+        // Mutate one operand.
+        2 => {
+            let old = slots[i];
+            if let Some(mut instr) = old {
+                let regs = instrs
+                    .iter()
+                    .map(|x| x.dst.index().max(x.src.index()))
+                    .max()
+                    .unwrap_or(0)
+                    + 1;
+                let r = Reg::new(rng.gen_range(0..regs));
+                if rng.gen_bool(0.5) {
+                    instr.dst = r;
+                } else {
+                    instr.src = r;
+                }
+                slots[i] = Some(instr);
+            }
+            Undo::Slot(i, old)
+        }
+        // Swap two slots.
+        _ => {
+            let j = rng.gen_range(0..slots.len());
+            slots.swap(i, j);
+            Undo::Swap(i, j)
+        }
+    }
+}
+
+fn undo(slots: &mut [Slot], backup: Undo) {
+    match backup {
+        Undo::Slot(i, old) => slots[i] = old,
+        Undo::Swap(i, j) => slots.swap(i, j),
+    }
+}
+
+enum Undo {
+    Slot(usize, Slot),
+    Swap(usize, usize),
+}
+
+/// Drops unused slots.
+fn compact(slots: &[Slot]) -> Program {
+    slots.iter().flatten().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    fn m2() -> Machine {
+        Machine::new(2, 1, IsaMode::Cmov)
+    }
+
+    fn cas2(machine: &Machine) -> Program {
+        machine
+            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+            .unwrap()
+    }
+
+    #[test]
+    fn warm_start_keeps_a_correct_program() {
+        let machine = m2();
+        let cfg = StokeConfig {
+            machine: machine.clone(),
+            start: Start::Warm {
+                prog: cas2(&machine),
+                extra_slots: 2,
+            },
+            iterations: 10_000,
+            beta: 2.0,
+            seed: 3,
+            tests: TestSuite::Full,
+            minimize_length: true,
+        };
+        let result = run(&cfg);
+        let best = result.best_correct.expect("warm start is itself correct");
+        assert!(machine.is_correct(&best));
+        assert!(best.len() <= 4 + 2);
+    }
+
+    #[test]
+    fn cold_start_synthesizes_the_n2_kernel() {
+        // The n = 2 space is small enough for MCMC to hit a correct kernel.
+        let machine = m2();
+        let cfg = StokeConfig {
+            machine: machine.clone(),
+            start: Start::Cold { slots: 5 },
+            iterations: 2_000_000,
+            beta: 1.0,
+            seed: 7,
+            tests: TestSuite::Full,
+            minimize_length: false,
+        };
+        let result = run(&cfg);
+        let best = result
+            .best_correct
+            .expect("n = 2 cold start finds a kernel within the budget");
+        assert!(machine.is_correct(&best));
+    }
+
+    #[test]
+    fn subset_suite_costs_are_cheaper_but_unsound() {
+        // With a single test case the zero-cost program need not be correct;
+        // best_correct is still verified on the full suite.
+        let machine = m2();
+        let cfg = StokeConfig {
+            machine: machine.clone(),
+            start: Start::Cold { slots: 4 },
+            iterations: 50_000,
+            beta: 1.0,
+            seed: 11,
+            tests: TestSuite::RandomSubset(1),
+            minimize_length: false,
+        };
+        let result = run(&cfg);
+        if let Some(p) = result.best_correct {
+            assert!(machine.is_correct(&p));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_a_seed() {
+        let machine = m2();
+        let cfg = StokeConfig {
+            machine,
+            start: Start::Cold { slots: 5 },
+            iterations: 20_000,
+            beta: 1.0,
+            seed: 42,
+            tests: TestSuite::Full,
+            minimize_length: true,
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.accepted, b.accepted);
+        assert!((a.best_cost - b.best_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compact_drops_unused_slots() {
+        let machine = m2();
+        let prog = cas2(&machine);
+        let slots: Vec<Slot> = vec![Some(prog[0]), None, Some(prog[1]), None];
+        assert_eq!(compact(&slots), vec![prog[0], prog[1]]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Exact t-distributed stochastic neighbor embedding (t-SNE).
+//!
+//! The paper's Figure 2 visualizes the n = 3 solution sets under different
+//! cut factors with t-SNE. This crate implements the exact (O(N²))
+//! algorithm of van der Maaten & Hinton: Gaussian input affinities with
+//! per-point bandwidths calibrated to a target perplexity by binary search,
+//! Student-t output affinities, and gradient descent with momentum and
+//! early exaggeration.
+//!
+//! # Example
+//!
+//! ```
+//! use sortsynth_tsne::{Tsne, TsneConfig};
+//!
+//! // Two tight clusters far apart stay apart in the embedding.
+//! let mut points = Vec::new();
+//! for i in 0..10 {
+//!     points.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+//!     points.push(vec![100.0 + 0.01 * i as f64, 0.0]);
+//! }
+//! let embedding = Tsne::new(TsneConfig { perplexity: 5.0, ..TsneConfig::default() })
+//!     .embed(&points);
+//! assert_eq!(embedding.len(), points.len());
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters for [`Tsne`].
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbor count); the paper's artifact
+    /// uses 50 for the 5602-solution plot.
+    pub perplexity: f64,
+    /// Gradient-descent iterations (the artifact uses 300).
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum after the early-exaggeration phase.
+    pub momentum: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 30.0,
+            iterations: 300,
+            // Conservative: large rates make small embeddings (tens of
+            // points) diverge; hundreds-of-points runs converge fine too,
+            // just set a higher rate explicitly if needed.
+            learning_rate: 10.0,
+            momentum: 0.8,
+            exaggeration: 4.0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The t-SNE embedder.
+#[derive(Debug, Clone, Default)]
+pub struct Tsne {
+    config: TsneConfig,
+}
+
+impl Tsne {
+    /// Creates an embedder with the given configuration.
+    pub fn new(config: TsneConfig) -> Self {
+        Tsne { config }
+    }
+
+    /// Embeds `points` (rows of equal dimension) into 2-D.
+    ///
+    /// Returns one `[x, y]` per input row. Degenerate inputs (fewer than
+    /// two points) embed at the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent dimensions.
+    pub fn embed(&self, points: &[Vec<f64>]) -> Vec<[f64; 2]> {
+        let n = points.len();
+        if n < 2 {
+            return vec![[0.0, 0.0]; n];
+        }
+        let dim = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "all rows must have the same dimension"
+        );
+
+        let p = joint_affinities(points, self.config.perplexity);
+
+        // Random initial layout.
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut y: Vec<[f64; 2]> = (0..n)
+            .map(|_| [rng.gen_range(-1e-2..1e-2), rng.gen_range(-1e-2..1e-2)])
+            .collect();
+        let mut velocity = vec![[0.0f64; 2]; n];
+
+        let exaggerate_until = self.config.iterations / 4;
+        for iter in 0..self.config.iterations {
+            let exaggeration = if iter < exaggerate_until {
+                self.config.exaggeration
+            } else {
+                1.0
+            };
+            let momentum = if iter < exaggerate_until {
+                0.5
+            } else {
+                self.config.momentum
+            };
+
+            // Student-t output affinities (unnormalized) and their sum.
+            let mut q_num = vec![0.0f64; n * n];
+            let mut q_sum = 0.0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let dx = y[i][0] - y[j][0];
+                    let dy = y[i][1] - y[j][1];
+                    let num = 1.0 / (1.0 + dx * dx + dy * dy);
+                    q_num[i * n + j] = num;
+                    q_num[j * n + i] = num;
+                    q_sum += 2.0 * num;
+                }
+            }
+            let q_sum = q_sum.max(1e-12);
+
+            // Gradient: 4 Σ_j (p_ij·e − q_ij) num_ij (y_i − y_j).
+            let mut grad = vec![[0.0f64; 2]; n];
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let num = q_num[i * n + j];
+                    let q = (num / q_sum).max(1e-12);
+                    let mult = (p[i * n + j] * exaggeration - q) * num;
+                    grad[i][0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                    grad[i][1] += 4.0 * mult * (y[i][1] - y[j][1]);
+                }
+            }
+
+            for i in 0..n {
+                for d in 0..2 {
+                    velocity[i][d] =
+                        momentum * velocity[i][d] - self.config.learning_rate * grad[i][d];
+                    y[i][d] += velocity[i][d];
+                }
+            }
+            center(&mut y);
+        }
+        y
+    }
+
+    /// KL divergence of the final embedding (diagnostic; lower is better).
+    pub fn kl_divergence(&self, points: &[Vec<f64>], embedding: &[[f64; 2]]) -> f64 {
+        let n = points.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let p = joint_affinities(points, self.config.perplexity);
+        let mut q_num = vec![0.0f64; n * n];
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = embedding[i][0] - embedding[j][0];
+                let dy = embedding[i][1] - embedding[j][1];
+                let num = 1.0 / (1.0 + dx * dx + dy * dy);
+                q_num[i * n + j] = num;
+                q_num[j * n + i] = num;
+                q_sum += 2.0 * num;
+            }
+        }
+        let mut kl = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let pij = p[i * n + j];
+                if pij > 1e-12 {
+                    let qij = (q_num[i * n + j] / q_sum).max(1e-12);
+                    kl += pij * (pij / qij).ln();
+                }
+            }
+        }
+        kl
+    }
+}
+
+/// Symmetrized input affinities `p_ij` with perplexity-calibrated
+/// per-point bandwidths.
+fn joint_affinities(points: &[Vec<f64>], perplexity: f64) -> Vec<f64> {
+    let n = points.len();
+    let target_entropy = perplexity.max(1.01).ln();
+
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        // Binary search beta = 1/(2σ²) for the target entropy.
+        let mut beta = 1.0f64;
+        let (mut lo, mut hi) = (0.0f64, f64::INFINITY);
+        let mut row = vec![0.0f64; n];
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                row[j] = if i == j {
+                    0.0
+                } else {
+                    (-beta * d2[i * n + j]).exp()
+                };
+                sum += row[j];
+            }
+            let sum = sum.max(1e-300);
+            // Shannon entropy of the row distribution.
+            let mut entropy = 0.0;
+            for &r in row.iter() {
+                if r > 0.0 {
+                    let pr = r / sum;
+                    entropy -= pr * pr.ln();
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let sum: f64 = row.iter().sum::<f64>().max(1e-300);
+        for j in 0..n {
+            p[i * n + j] = row[j] / sum;
+        }
+    }
+
+    // Symmetrize and normalize over all pairs.
+    let mut joint = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    for i in 0..n {
+        joint[i * n + i] = 0.0;
+    }
+    joint
+}
+
+fn center(y: &mut [[f64; 2]]) {
+    let n = y.len() as f64;
+    let cx = y.iter().map(|p| p[0]).sum::<f64>() / n;
+    let cy = y.iter().map(|p| p[1]).sum::<f64>() / n;
+    for p in y.iter_mut() {
+        p[0] -= cx;
+        p[1] -= cy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters() -> Vec<Vec<f64>> {
+        let mut points = Vec::new();
+        for i in 0..12 {
+            points.push(vec![i as f64 * 0.01, 0.0, 0.0]);
+            points.push(vec![50.0 + i as f64 * 0.01, 3.0, 1.0]);
+        }
+        points
+    }
+
+    fn centroid(points: &[[f64; 2]]) -> [f64; 2] {
+        let n = points.len() as f64;
+        [
+            points.iter().map(|p| p[0]).sum::<f64>() / n,
+            points.iter().map(|p| p[1]).sum::<f64>() / n,
+        ]
+    }
+
+    #[test]
+    fn separated_clusters_stay_separated() {
+        let points = two_clusters();
+        let tsne = Tsne::new(TsneConfig {
+            perplexity: 5.0,
+            iterations: 250,
+            ..TsneConfig::default()
+        });
+        let y = tsne.embed(&points);
+        let a: Vec<[f64; 2]> = y.iter().step_by(2).copied().collect();
+        let b: Vec<[f64; 2]> = y.iter().skip(1).step_by(2).copied().collect();
+        let ca = centroid(&a);
+        let cb = centroid(&b);
+        let between = ((ca[0] - cb[0]).powi(2) + (ca[1] - cb[1]).powi(2)).sqrt();
+        // Intra-cluster spread must be smaller than the inter-cluster gap.
+        let spread = a
+            .iter()
+            .map(|p| ((p[0] - ca[0]).powi(2) + (p[1] - ca[1]).powi(2)).sqrt())
+            .fold(0.0f64, f64::max);
+        assert!(
+            between > 2.0 * spread,
+            "between {between}, spread {spread}"
+        );
+    }
+
+    #[test]
+    fn embedding_is_centered_and_deterministic() {
+        let points = two_clusters();
+        let tsne = Tsne::new(TsneConfig {
+            perplexity: 5.0,
+            iterations: 50,
+            ..TsneConfig::default()
+        });
+        let y1 = tsne.embed(&points);
+        let y2 = tsne.embed(&points);
+        assert_eq!(y1, y2);
+        let c = centroid(&y1);
+        assert!(c[0].abs() < 1e-6 && c[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let tsne = Tsne::new(TsneConfig::default());
+        assert!(tsne.embed(&[]).is_empty());
+        assert_eq!(tsne.embed(&[vec![1.0, 2.0]]), vec![[0.0, 0.0]]);
+    }
+
+    #[test]
+    fn kl_divergence_improves_with_iterations() {
+        let points = two_clusters();
+        let short = Tsne::new(TsneConfig {
+            perplexity: 5.0,
+            iterations: 5,
+            ..TsneConfig::default()
+        });
+        let long = Tsne::new(TsneConfig {
+            perplexity: 5.0,
+            iterations: 300,
+            ..TsneConfig::default()
+        });
+        let kl_short = short.kl_divergence(&points, &short.embed(&points));
+        let kl_long = long.kl_divergence(&points, &long.embed(&points));
+        assert!(kl_long <= kl_short + 1e-9, "short {kl_short}, long {kl_long}");
+    }
+
+    #[test]
+    fn affinities_are_a_distribution() {
+        let points = two_clusters();
+        let p = joint_affinities(&points, 5.0);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+        let n = points.len();
+        for i in 0..n {
+            assert_eq!(p[i * n + i], 0.0);
+            for j in 0..n {
+                assert!((p[i * n + j] - p[j * n + i]).abs() < 1e-12);
+            }
+        }
+    }
+}

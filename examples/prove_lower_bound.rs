@@ -1,0 +1,46 @@
+//! Certify optimal kernel lengths by exhaustive lower-bound proofs — the
+//! methodology behind the paper's new tight bound for n = 4 (§5.3).
+//!
+//! ```sh
+//! cargo run --release --example prove_lower_bound
+//! ```
+
+use std::time::Instant;
+
+use sortsynth::isa::{IsaMode, Machine};
+use sortsynth::search::{prove_no_solution, prove_optimal_length, BoundVerdict};
+
+fn main() {
+    // n = 2, cmov: the optimum is the 4-instruction compare-and-swap.
+    let m2 = Machine::new(2, 1, IsaMode::Cmov);
+    assert_eq!(prove_optimal_length(&m2, 4, None, None), Some(true));
+    println!("n = 2, cmov: optimal kernel length proven to be 4");
+
+    // n = 3, cmov: the optimum is 11 — the claim AlphaDev spent three days
+    // validating; the exhaustive layered search settles it in seconds.
+    let m3 = Machine::new(3, 1, IsaMode::Cmov);
+    let start = Instant::now();
+    let below = prove_no_solution(&m3, 10, None, None);
+    assert_eq!(below.verdict, BoundVerdict::NoSolution);
+    println!(
+        "n = 3, cmov: no 10-instruction kernel exists ({} states, {:?}) -> 11 is optimal",
+        below.stats.generated,
+        start.elapsed()
+    );
+
+    // min/max ISA: 8 is optimal for n = 3 (one shorter than the sorting
+    // network, §5.4).
+    let mm3 = Machine::new(3, 1, IsaMode::MinMax);
+    assert_eq!(prove_optimal_length(&mm3, 8, None, None), Some(true));
+    println!("n = 3, min/max: optimal kernel length proven to be 8");
+
+    // n = 4: the paper's headline bound (no 19-instruction kernel, so the
+    // length-20 solutions are optimal) took two weeks of compute; here we
+    // only demonstrate the mechanism under a small state budget.
+    let m4 = Machine::new(4, 1, IsaMode::Cmov);
+    let attempt = prove_no_solution(&m4, 19, Some(2_000_000), None);
+    println!(
+        "n = 4, cmov, bound 19 with a 2M-state budget: {:?} (full proof: run without a budget — the paper needed two weeks)",
+        attempt.verdict
+    );
+}

@@ -1,0 +1,50 @@
+//! # sortsynth
+//!
+//! A from-scratch reproduction of Ullrich & Hack, *Synthesis of Sorting
+//! Kernels* (CGO 2025): enumerative A*/Dijkstra synthesis of optimal
+//! branchless sorting kernels, together with every baseline the paper
+//! compares against (SAT/SMT-style solving, CP goal formulations, stochastic
+//! superoptimization, MCTS, classical planning) and the full §5 evaluation
+//! harness (native JIT kernel execution, quicksort/mergesort embeddings,
+//! t-SNE solution-space visualization).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`isa`] | `sortsynth-isa` | machine model, semantics, correctness, cost models |
+//! | [`search`] | `sortsynth-search` | the paper's enumerative synthesis (§3) |
+//! | [`sat`] | `sortsynth-sat` | CDCL SAT solver substrate |
+//! | [`solvers`] | `sortsynth-solvers` | SMT-Perm / SMT-CEGIS / CP encodings (§4) |
+//! | [`stoke`] | `sortsynth-stoke` | stochastic superoptimizer baseline |
+//! | [`mcts`] | `sortsynth-mcts` | MCTS (AlphaDev-style) baseline |
+//! | [`plan`] | `sortsynth-plan` | STRIPS planning substrate + encodings |
+//! | [`tsne`] | `sortsynth-tsne` | exact t-SNE (Figure 2) |
+//! | [`jit`] | `sortsynth-jit` | x86-64 JIT for running kernels natively |
+//! | [`kernels`] | `sortsynth-kernels` | reference kernels, networks, embeddings |
+//!
+//! # Quick start
+//!
+//! ```
+//! use sortsynth::isa::{IsaMode, Machine};
+//! use sortsynth::search::{synthesize, SynthesisConfig};
+//!
+//! // Synthesize a minimal branchless kernel that sorts 3 values.
+//! let machine = Machine::new(3, 1, IsaMode::Cmov);
+//! let result = synthesize(&SynthesisConfig::best(machine.clone()));
+//! let kernel = result.first_program().expect("n = 3 kernels exist");
+//! assert_eq!(kernel.len(), 11); // the paper's optimal length
+//! assert!(machine.is_correct(&kernel));
+//! println!("{}", machine.format_program(&kernel));
+//! ```
+
+pub use sortsynth_isa as isa;
+pub use sortsynth_jit as jit;
+pub use sortsynth_kernels as kernels;
+pub use sortsynth_mcts as mcts;
+pub use sortsynth_plan as plan;
+pub use sortsynth_sat as sat;
+pub use sortsynth_search as search;
+pub use sortsynth_solvers as solvers;
+pub use sortsynth_stoke as stoke;
+pub use sortsynth_tsne as tsne;

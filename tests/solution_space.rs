@@ -1,0 +1,97 @@
+//! Solution-space integration tests: enumeration counts, cut behaviour,
+//! and solution analysis across crates.
+
+use sortsynth::isa::{IsaMode, Machine};
+use sortsynth::search::{
+    command_signature, distinct_command_signatures, sample_lowest_strata, score_strata,
+    synthesize, Cut, Outcome, SynthesisConfig,
+};
+
+fn machine3() -> Machine {
+    Machine::new(3, 1, IsaMode::Cmov)
+}
+
+fn all_solutions(cut: Option<Cut>) -> sortsynth::search::SynthesisResult {
+    let mut cfg = SynthesisConfig::new(machine3())
+        .budget_viability(true)
+        .all_solutions(true)
+        .max_len(11);
+    if let Some(c) = cut {
+        cfg = cfg.cut(c);
+    }
+    synthesize(&cfg)
+}
+
+#[test]
+fn cut_1_keeps_a_correct_subset_of_minimal_solutions() {
+    let result = all_solutions(Some(Cut::Factor(1.0)));
+    assert_eq!(result.outcome, Outcome::SolvedAll);
+    assert_eq!(result.found_len, Some(11));
+    let programs = result.dag.programs(usize::MAX);
+    assert_eq!(programs.len() as u64, result.solution_count());
+    // Our model retains 234 solutions at k = 1 (the paper's model: 222).
+    assert_eq!(programs.len(), 234);
+    let machine = machine3();
+    for prog in &programs {
+        assert_eq!(prog.len(), 11);
+        assert!(machine.is_correct(prog));
+    }
+    // All programs distinct.
+    let mut unique = programs.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), programs.len());
+}
+
+#[test]
+fn larger_cut_factors_keep_more_solutions() {
+    let k1 = all_solutions(Some(Cut::Factor(1.0))).solution_count();
+    let k15 = all_solutions(Some(Cut::Factor(1.5))).solution_count();
+    assert!(k1 < k15, "k=1 {k1} vs k=1.5 {k15}");
+}
+
+/// The full enumeration (5602 solutions, 23 command combinations — both
+/// matching the paper exactly) takes ~1 min in debug builds; run it with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full 5602-solution enumeration; run with --release -- --ignored"]
+fn full_solution_space_matches_the_paper_exactly() {
+    let result = all_solutions(None);
+    assert_eq!(result.solution_count(), 5602);
+    let programs = result.dag.programs(usize::MAX);
+    assert_eq!(distinct_command_signatures(programs.iter()), 23);
+    // k = 2 preserves every solution (Figure 2's headline observation).
+    let k2 = all_solutions(Some(Cut::Factor(2.0)));
+    assert_eq!(k2.solution_count(), 5602);
+}
+
+#[test]
+fn every_solution_uses_exactly_three_comparisons() {
+    // All 23 signatures in the paper have cmp = 3; check on the k = 1
+    // subset.
+    let programs = all_solutions(Some(Cut::Factor(1.0))).dag.programs(usize::MAX);
+    for prog in &programs {
+        let sig = command_signature(prog);
+        assert_eq!(sig[1], 3, "cmp count in {sig:?}");
+    }
+}
+
+#[test]
+fn score_sampling_takes_the_cheapest_strata() {
+    let programs = all_solutions(Some(Cut::Factor(1.0))).dag.programs(usize::MAX);
+    let strata = score_strata(programs.clone());
+    let lowest: Vec<u32> = strata.keys().copied().take(2).collect();
+    let sample = sample_lowest_strata(programs, 2, 5);
+    assert!(!sample.is_empty());
+    for prog in &sample {
+        let score = sortsynth::isa::sampling_score(prog);
+        assert!(lowest.contains(&score), "score {score} not in {lowest:?}");
+    }
+}
+
+#[test]
+fn solution_dag_has_multiple_goal_states() {
+    // Different final scratch/flag contents yield distinct goal states.
+    let result = all_solutions(Some(Cut::Factor(1.0)));
+    assert!(result.dag.goal_states() >= 2);
+}

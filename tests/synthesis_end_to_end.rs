@@ -1,0 +1,99 @@
+//! End-to-end integration: synthesis through execution, across crates.
+
+use sortsynth::isa::{permutations, IsaMode, Machine};
+use sortsynth::jit::JitKernel;
+use sortsynth::kernels::{interpret, mergesort_with, quicksort_with, Kernel};
+use sortsynth::search::{synthesize, SynthesisConfig};
+
+/// Synthesize with the best configuration and sanity-check the result.
+fn best_kernel(machine: &Machine) -> Vec<sortsynth::isa::Instr> {
+    let result = synthesize(&SynthesisConfig::best(machine.clone()));
+    let prog = result.first_program().expect("kernel exists");
+    assert!(machine.is_correct(&prog));
+    prog
+}
+
+#[test]
+fn synthesized_lengths_match_the_paper() {
+    assert_eq!(best_kernel(&Machine::new(2, 1, IsaMode::Cmov)).len(), 4);
+    assert_eq!(best_kernel(&Machine::new(3, 1, IsaMode::Cmov)).len(), 11);
+    assert_eq!(best_kernel(&Machine::new(2, 1, IsaMode::MinMax)).len(), 3);
+    assert_eq!(best_kernel(&Machine::new(3, 1, IsaMode::MinMax)).len(), 8);
+}
+
+#[test]
+fn jit_interpreter_and_packed_semantics_agree_on_synthesized_kernels() {
+    for mode in [IsaMode::Cmov, IsaMode::MinMax] {
+        let machine = Machine::new(3, 1, mode);
+        let prog = best_kernel(&machine);
+        let jit = JitKernel::compile(&machine, &prog);
+        for perm in permutations(3) {
+            // Packed nibble semantics (the search oracle).
+            let packed = machine.run(&prog, machine.initial_state(&perm));
+            let packed_out: Vec<i32> = packed.values(3).iter().map(|&v| v as i32).collect();
+            // Wide interpreter on scaled values.
+            let mut wide: Vec<i32> = perm.iter().map(|&v| v as i32).collect();
+            interpret(&machine, &prog, &mut wide);
+            assert_eq!(wide, packed_out, "{mode:?} {perm:?}");
+            // Native JIT (x86-64 only).
+            if let Ok(jit) = &jit {
+                let mut native: Vec<i32> = perm.iter().map(|&v| v as i32).collect();
+                jit.run(&mut native);
+                assert_eq!(native, packed_out, "{mode:?} {perm:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn synthesized_kernel_drives_quicksort_and_mergesort() {
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let prog = best_kernel(&machine);
+    let kernel = Kernel::from_program("synth3", &machine, prog);
+    // Deterministic pseudo-random arrays, no rand dependency needed.
+    let mut seed = 0x2545f4914f6cdd1du64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed % 20001) as i32 - 10000
+    };
+    for len in [0usize, 1, 2, 3, 7, 100, 2048] {
+        let data: Vec<i32> = (0..len).map(|_| next()).collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let mut q = data.clone();
+        quicksort_with(&kernel, &mut q);
+        assert_eq!(q, expected, "quicksort len {len}");
+        let mut m = data.clone();
+        mergesort_with(&kernel, &mut m);
+        assert_eq!(m, expected, "mergesort len {len}");
+    }
+}
+
+#[test]
+fn kernels_are_correct_on_duplicate_values_too() {
+    // §2.3: constant-free kernels correct on all permutations are correct on
+    // every input — verify the claim empirically over all 3^3 value tuples.
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let prog = best_kernel(&machine);
+    for a in 1..=3u8 {
+        for b in 1..=3u8 {
+            for c in 1..=3u8 {
+                let mut data = vec![a as i32, b as i32, c as i32];
+                let mut expected = data.clone();
+                expected.sort_unstable();
+                interpret(&machine, &prog, &mut data);
+                assert_eq!(data, expected, "input ({a}, {b}, {c})");
+            }
+        }
+    }
+}
+
+#[test]
+fn more_scratch_registers_never_hurt_optimality() {
+    // Extra scratch cannot make the optimal kernel longer.
+    let one = synthesize(&SynthesisConfig::best(Machine::new(2, 1, IsaMode::Cmov)));
+    let two = synthesize(&SynthesisConfig::best(Machine::new(2, 2, IsaMode::Cmov)));
+    assert!(two.found_len.expect("solved") <= one.found_len.expect("solved"));
+}

@@ -1,0 +1,103 @@
+//! Cross-technique agreement: the enumerative search, the SAT-based
+//! solvers, and the planner must agree on optimal kernel lengths, and every
+//! technique's output must pass the same correctness oracle.
+
+use std::time::Duration;
+
+use sortsynth::isa::{IsaMode, Machine};
+use sortsynth::plan::{encode_synthesis, plan_to_program, solve, PlanLimits, PlanStrategy};
+use sortsynth::search::{prove_no_solution, synthesize, BoundVerdict, SynthesisConfig};
+use sortsynth::solvers::{smt_perm, Budget, EncodeOptions, SynthOutcome};
+use sortsynth::stoke::{run as stoke_run, Start, StokeConfig, TestSuite};
+
+fn m2() -> Machine {
+    Machine::new(2, 1, IsaMode::Cmov)
+}
+
+#[test]
+fn enum_sat_and_planner_agree_on_the_n2_optimum() {
+    // Enumerative: optimal length 4.
+    let enumerated = synthesize(&SynthesisConfig::new(m2()).budget_viability(true));
+    assert_eq!(enumerated.found_len, Some(4));
+    assert!(enumerated.minimal_certified);
+
+    // SAT: length 4 satisfiable, length 3 unsatisfiable.
+    let (at4, _) = smt_perm(&m2(), 4, EncodeOptions::default(), Budget::default());
+    assert!(matches!(at4, SynthOutcome::Found(_)));
+    let (at3, _) = smt_perm(&m2(), 3, EncodeOptions::default(), Budget::default());
+    assert_eq!(at3, SynthOutcome::NoProgram);
+
+    // Exhaustive lower bound agrees with the SAT UNSAT result.
+    assert_eq!(
+        prove_no_solution(&m2(), 3, None, None).verdict,
+        BoundVerdict::NoSolution
+    );
+
+    // Planner: blind BFS is length-optimal, so the plan also has 4 steps.
+    let (problem, instrs, _) = encode_synthesis(&m2());
+    let plan = solve(&problem, PlanStrategy::Bfs, PlanLimits::default());
+    let plan = plan.plan.expect("n = 2 plans exist");
+    assert_eq!(plan.len(), 4);
+    assert!(m2().is_correct(&plan_to_program(&plan, &instrs)));
+}
+
+#[test]
+fn sat_solution_passes_the_enumerative_oracle_and_vice_versa() {
+    let machine = m2();
+    let (outcome, _) = smt_perm(&machine, 4, EncodeOptions::default(), Budget::default());
+    let SynthOutcome::Found(sat_prog) = outcome else {
+        panic!("n = 2 solves instantly");
+    };
+    assert!(machine.is_correct(&sat_prog));
+
+    let enum_prog = synthesize(&SynthesisConfig::best(machine.clone()))
+        .first_program()
+        .expect("kernel exists");
+    // The enumerated program satisfies the SAT encoding's semantics too:
+    // re-running it through the machine on every permutation is exactly the
+    // encoded transition relation.
+    assert!(machine.is_correct(&enum_prog));
+}
+
+#[test]
+fn stoke_warm_start_from_enumerated_kernel_stays_optimal() {
+    let machine = m2();
+    let prog = synthesize(&SynthesisConfig::best(machine.clone()))
+        .first_program()
+        .expect("kernel exists");
+    let result = stoke_run(&StokeConfig {
+        machine: machine.clone(),
+        start: Start::Warm {
+            prog,
+            extra_slots: 2,
+        },
+        iterations: 30_000,
+        beta: 2.0,
+        seed: 17,
+        tests: TestSuite::Full,
+        minimize_length: true,
+    });
+    let best = result.best_correct.expect("warm start is correct");
+    // 4 is optimal: MCMC can never verify anything shorter.
+    assert_eq!(best.len(), 4);
+    assert!(machine.is_correct(&best));
+}
+
+#[test]
+fn budgeted_runs_terminate_quickly() {
+    // Every technique must respect a tiny wall-clock budget (the harness
+    // depends on this to render "—" rows instead of hanging).
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let budget = Budget::with_timeout(Duration::from_millis(200));
+    let t = std::time::Instant::now();
+    let (outcome, _) = smt_perm(&machine, 11, EncodeOptions::default(), budget);
+    assert!(
+        t.elapsed() < Duration::from_secs(30),
+        "budget overshoot: {:?}",
+        t.elapsed()
+    );
+    // Either it finished very fast or it reported the budget.
+    if outcome == SynthOutcome::Budget {
+        // expected on most machines
+    }
+}
