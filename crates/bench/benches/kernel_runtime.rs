@@ -6,7 +6,7 @@
 //! on x86-64 and through the interpreter elsewhere.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_isa::IsaMode;
 use sortsynth_kernels::{
     baselines, network_kernel, quicksort_with, reference, standalone_inputs, Kernel,
 };
@@ -110,7 +110,12 @@ fn bench_quicksort_embedding(c: &mut Criterion) {
     let inputs = sortsynth_kernels::embedded_inputs(8, 4096, 0xD1CE);
     let (m, p) = reference::paper_synth_cmov3();
     let enum3 = Kernel::from_program("enum", &m, p);
-    let std3 = Kernel::native(baselines::native3().into_iter().find(|s| s.name == "std").expect("std exists"));
+    let std3 = Kernel::native(
+        baselines::native3()
+            .into_iter()
+            .find(|s| s.name == "std")
+            .expect("std exists"),
+    );
     let mut buf: Vec<i32> = Vec::new();
     for kernel in [&enum3, &std3] {
         group.bench_function(kernel.name(), |b| {

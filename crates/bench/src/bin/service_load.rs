@@ -1,0 +1,6 @@
+//! Service load generator: cold-cache / warm-cache / duplicate-storm
+//! throughput and tail-latency benchmark for the synthesis server.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::service_load::run(&cfg);
+}

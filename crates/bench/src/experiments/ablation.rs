@@ -2,9 +2,7 @@
 //! optimization of §3 in isolation and in combination, at n = 3.
 
 use sortsynth_isa::{IsaMode, Machine};
-use sortsynth_search::{
-    synthesize, Cut, Heuristic, Strategy, SynthesisConfig, SynthesisResult,
-};
+use sortsynth_search::{synthesize, Cut, Heuristic, Strategy, SynthesisConfig, SynthesisResult};
 
 use crate::util::{fmt_duration, time, BenchConfig, Table};
 
@@ -49,7 +47,11 @@ pub fn run(cfg: &BenchConfig) {
     );
 
     // (I): best-first with dedup, no heuristic guidance.
-    run_row(&mut table, "(I) := A*, dedup, no heuristic", astar(Heuristic::None));
+    run_row(
+        &mut table,
+        "(I) := A*, dedup, no heuristic",
+        astar(Heuristic::None),
+    );
     run_row(
         &mut table,
         "(I) + permutation count",
@@ -68,9 +70,17 @@ pub fn run(cfg: &BenchConfig) {
 
     // Cuts on the layered search.
     run_row(&mut table, "(I) + cut with 2", base().cut(Cut::Factor(2.0)));
-    run_row(&mut table, "(I) + cut with 1.5", base().cut(Cut::Factor(1.5)));
+    run_row(
+        &mut table,
+        "(I) + cut with 1.5",
+        base().cut(Cut::Factor(1.5)),
+    );
     run_row(&mut table, "(I) + cut with 1", base().cut(Cut::Factor(1.0)));
-    run_row(&mut table, "(I) + cut with +2", base().cut(Cut::Additive(2)));
+    run_row(
+        &mut table,
+        "(I) + cut with +2",
+        base().cut(Cut::Additive(2)),
+    );
 
     // Action restriction and viability.
     run_row(
@@ -112,5 +122,7 @@ pub fn run(cfg: &BenchConfig) {
 
     table.print();
     table.write_csv(&cfg.ensure_out_dir().join("e09_enum_ablation.csv"));
-    println!("(paper, n = 3: dijkstra 56 s; (I) 219 s; +perm-count 1.7 s; cut-1 325 ms; (III) 97 ms)");
+    println!(
+        "(paper, n = 3: dijkstra 56 s; (I) 219 s; +perm-count 1.7 s; cut-1 325 ms; (III) 97 ms)"
+    );
 }

@@ -4,9 +4,7 @@
 use std::time::Duration;
 
 use sortsynth_isa::{IsaMode, Machine};
-use sortsynth_solvers::{
-    ilp_synthesize, smt_perm, Budget, EncodeOptions, Goal, SynthOutcome,
-};
+use sortsynth_solvers::{ilp_synthesize, smt_perm, Budget, EncodeOptions, Goal, SynthOutcome};
 
 use crate::util::{fmt_duration, BenchConfig, Table};
 
@@ -67,11 +65,21 @@ pub fn run(cfg: &BenchConfig) {
         goal: Goal::Exact,
     };
     let variants: Vec<(&str, &str, EncodeOptions)> = vec![
-        ("= 123", "—", EncodeOptions { goal: Goal::Exact, ..base }),
+        (
+            "= 123",
+            "—",
+            EncodeOptions {
+                goal: Goal::Exact,
+                ..base
+            },
+        ),
         (
             "<=, #0123",
             "—",
-            EncodeOptions { goal: Goal::AscendingCounts { include_zero: true }, ..base },
+            EncodeOptions {
+                goal: Goal::AscendingCounts { include_zero: true },
+                ..base
+            },
         ),
         (
             "<=, #0123",
@@ -125,7 +133,9 @@ pub fn run(cfg: &BenchConfig) {
             "<=, #123",
             "(I) + (II)",
             EncodeOptions {
-                goal: Goal::AscendingCounts { include_zero: false },
+                goal: Goal::AscendingCounts {
+                    include_zero: false,
+                },
                 no_consecutive_cmps: true,
                 cmp_symmetry: true,
                 ..base

@@ -72,7 +72,11 @@ pub fn run(cfg: &BenchConfig) {
     };
     let step = (full.len().max(1)).div_ceil(sample_cap.max(1)).max(1);
     let sample: Vec<&Program> = full.iter().step_by(step).collect();
-    println!("embedding {} of {} solutions (O(N^2) exact t-SNE)", sample.len(), full.len());
+    println!(
+        "embedding {} of {} solutions (O(N^2) exact t-SNE)",
+        sample.len(),
+        full.len()
+    );
 
     let features: Vec<Vec<f64>> = sample.iter().map(|p| featurize(&machine, p)).collect();
     let tsne = Tsne::new(TsneConfig {

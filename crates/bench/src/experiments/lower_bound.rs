@@ -45,7 +45,12 @@ pub fn run(cfg: &BenchConfig) {
         );
         // min/max optima: 8 (n = 3).
         assert_eq!(
-            prove("n = 3, min/max", Machine::new(3, 1, IsaMode::MinMax), 7, None),
+            prove(
+                "n = 3, min/max",
+                Machine::new(3, 1, IsaMode::MinMax),
+                7,
+                None
+            ),
             BoundVerdict::NoSolution
         );
     }

@@ -28,14 +28,17 @@ pub fn run(cfg: &BenchConfig) {
         let mm = Machine::new(n, 1, IsaMode::MinMax);
         // n = 3/4 synthesize in milliseconds; the n = 5 run (≈5 s) uses the
         // checked-in 23-instruction kernel unless asked to resynthesize.
-        let (minmax_prog, synth_cell) = if n <= max_n || (n == 5 && cfg.n5) || n == 5 {
+        let (minmax_prog, synth_cell) = if n <= max_n || n == 5 {
             if n == 5 && !cfg.n5 {
                 let (_, prog) = reference::enum_minmax5();
                 (prog, "checked-in (5.2 s measured)".to_string())
             } else {
                 let (result, t_synth) = time(|| synthesize(&SynthesisConfig::best(mm.clone())));
                 let Some(prog) = result.first_program() else {
-                    println!("n = {n}: min/max synthesis did not finish ({:?})", result.outcome);
+                    println!(
+                        "n = {n}: min/max synthesis did not finish ({:?})",
+                        result.outcome
+                    );
                     continue;
                 };
                 (prog, fmt_duration(t_synth))

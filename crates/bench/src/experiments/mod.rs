@@ -11,6 +11,7 @@ pub mod minmax;
 pub mod planning;
 pub mod runtime;
 pub mod search_space;
+pub mod service_load;
 pub mod smt;
 pub mod stoke_table;
 pub mod synthesis_time;

@@ -29,10 +29,22 @@ pub fn run(cfg: &BenchConfig) {
         let (problem, instrs, _) = encode_synthesis(&machine);
         let strategies: Vec<(&str, PlanStrategy)> = vec![
             ("Plan-Parallel, BFS (blind, optimal)", PlanStrategy::Bfs),
-            ("Plan-Parallel, GBFS + goal-count", PlanStrategy::Gbfs(PlanHeuristic::GoalCount)),
-            ("Plan-Parallel, GBFS + h_add (LAMA-style)", PlanStrategy::Gbfs(PlanHeuristic::HAdd)),
-            ("Plan-Parallel, A* + h_max (admissible)", PlanStrategy::AStar(PlanHeuristic::HMax)),
-            ("Plan-Parallel, A* + h_add", PlanStrategy::AStar(PlanHeuristic::HAdd)),
+            (
+                "Plan-Parallel, GBFS + goal-count",
+                PlanStrategy::Gbfs(PlanHeuristic::GoalCount),
+            ),
+            (
+                "Plan-Parallel, GBFS + h_add (LAMA-style)",
+                PlanStrategy::Gbfs(PlanHeuristic::HAdd),
+            ),
+            (
+                "Plan-Parallel, A* + h_max (admissible)",
+                PlanStrategy::AStar(PlanHeuristic::HMax),
+            ),
+            (
+                "Plan-Parallel, A* + h_add",
+                PlanStrategy::AStar(PlanHeuristic::HAdd),
+            ),
         ];
         for (name, strategy) in strategies {
             let (result, elapsed) = time(|| solve(&problem, strategy, limits));
@@ -60,7 +72,11 @@ pub fn run(cfg: &BenchConfig) {
         let len = optimal_cmov_len(n);
         let (seq_problem, seq_instrs, seq_layout) = encode_synthesis_seq(&machine, len);
         let (result, elapsed) = time(|| {
-            solve(&seq_problem, PlanStrategy::Gbfs(PlanHeuristic::HAdd), limits)
+            solve(
+                &seq_problem,
+                PlanStrategy::Gbfs(PlanHeuristic::HAdd),
+                limits,
+            )
         });
         let cell = match result.outcome {
             PlanOutcome::Solved => {

@@ -8,12 +8,10 @@
 
 use sortsynth_isa::{sampling_score, InstrMix, IsaMode, Machine, Program};
 use sortsynth_kernels::{
-    baselines, embedded_inputs, mergesort_with, network_to_cmov, optimal_network,
-    quicksort_with, reference, standalone_inputs, Kernel,
+    baselines, embedded_inputs, mergesort_with, network_to_cmov, optimal_network, quicksort_with,
+    reference, standalone_inputs, Kernel,
 };
-use sortsynth_search::{
-    sample_lowest_strata, score_strata, synthesize, Cut, SynthesisConfig,
-};
+use sortsynth_search::{sample_lowest_strata, score_strata, synthesize, Cut, SynthesisConfig};
 
 use crate::util::{bench_sort, fmt_duration, BenchConfig, Table};
 
@@ -156,7 +154,10 @@ pub fn run_embedded_n3(cfg: &BenchConfig) {
     let inputs = embedded_inputs(if cfg.quick { 10 } else { 60 }, 20_000, 13);
     let iters = if cfg.quick { 1 } else { 5 };
 
-    for (label, file) in [("quicksort", "e12_runtime_n3_quicksort.csv"), ("mergesort", "e12_runtime_n3_mergesort.csv")] {
+    for (label, file) in [
+        ("quicksort", "e12_runtime_n3_quicksort.csv"),
+        ("mergesort", "e12_runtime_n3_mergesort.csv"),
+    ] {
         let mut rows: Vec<(String, f64)> = Vec::new();
         for c in &list {
             let t = bench_sort(&inputs, iters, |d| {
@@ -181,7 +182,9 @@ pub fn run_embedded_n3(cfg: &BenchConfig) {
         table.write_csv(&cfg.ensure_out_dir().join(file));
         println!();
     }
-    println!("(paper shape: embedding compresses the gaps; cassioneri/enum lead, default/std trail)");
+    println!(
+        "(paper shape: embedding compresses the gaps; cassioneri/enum lead, default/std trail)"
+    );
 }
 
 /// E13: n = 4 standalone + quicksort, with score-stratified sampling of the
@@ -212,8 +215,18 @@ pub fn run_n4(cfg: &BenchConfig) {
 
     let sample_n = if cfg.quick { 10 } else { 60 };
     let sampled = sample_lowest_strata(all.clone(), 2, sample_n / 2);
-    let best = strata.values().next().and_then(|g| g.first()).expect("solutions").clone();
-    let worst = strata.values().last().and_then(|g| g.last()).expect("solutions").clone();
+    let best = strata
+        .values()
+        .next()
+        .and_then(|g| g.first())
+        .expect("solutions")
+        .clone();
+    let worst = strata
+        .values()
+        .last()
+        .and_then(|g| g.last())
+        .expect("solutions")
+        .clone();
 
     let mut list = Vec::new();
     list.push(program_contestant("enum", &machine, best));
@@ -276,8 +289,7 @@ pub fn run_n5(cfg: &BenchConfig) {
     println!("== E14 (§5.3): kernel runtime, n = 5 ==");
     let (machine, enum5) = if cfg.n5 {
         let machine = Machine::new(5, 1, IsaMode::Cmov);
-        let (result, t) =
-            crate::util::time(|| synthesize(&SynthesisConfig::best(machine.clone())));
+        let (result, t) = crate::util::time(|| synthesize(&SynthesisConfig::best(machine.clone())));
         let Some(prog) = result.first_program() else {
             println!("n = 5 synthesis did not finish: {:?}", result.outcome);
             return;
@@ -289,31 +301,34 @@ pub fn run_n5(cfg: &BenchConfig) {
         );
         (machine, prog)
     } else {
-        println!("using the checked-in synthesized kernel (33 instrs; SORTSYNTH_N5=1 re-synthesizes)");
+        println!(
+            "using the checked-in synthesized kernel (33 instrs; SORTSYNTH_N5=1 re-synthesizes)"
+        );
         reference::enum_cmov5()
     };
     assert!(machine.is_correct(&enum5));
 
     let network = network_to_cmov(&machine, &optimal_network(5));
-    let mut list = Vec::new();
-    list.push(program_contestant("enum", &machine, enum5));
-    list.push(program_contestant("alphadev (network reconstruction)", &machine, network));
-    list.push(Contestant {
-        kernel: Kernel::native(sortsynth_kernels::NativeSorter {
-            name: "swap",
-            n: 5,
-            sort: baselines::swap5,
-        }),
-        mix: None,
-    });
-    list.push(Contestant {
-        kernel: Kernel::native(sortsynth_kernels::NativeSorter {
-            name: "std",
-            n: 5,
-            sort: baselines::std_sort5,
-        }),
-        mix: None,
-    });
+    let list = vec![
+        program_contestant("enum", &machine, enum5),
+        program_contestant("alphadev (network reconstruction)", &machine, network),
+        Contestant {
+            kernel: Kernel::native(sortsynth_kernels::NativeSorter {
+                name: "swap",
+                n: 5,
+                sort: baselines::swap5,
+            }),
+            mix: None,
+        },
+        Contestant {
+            kernel: Kernel::native(sortsynth_kernels::NativeSorter {
+                name: "std",
+                n: 5,
+                sort: baselines::std_sort5,
+            }),
+            mix: None,
+        },
+    ];
 
     let inputs = standalone_inputs(5, 1000, 23);
     let mut table = Table::new(&["algorithm", "time", "instrs"]);

@@ -66,7 +66,13 @@ pub fn run(cfg: &BenchConfig) {
     println!(" SORTSYNTH_BUDGET_SECS to watch ours do the same)");
 }
 
-fn push_row(table: &mut Table, name: &str, n: u8, elapsed: &std::time::Duration, outcome: &SynthOutcome) {
+fn push_row(
+    table: &mut Table,
+    name: &str,
+    n: u8,
+    elapsed: &std::time::Duration,
+    outcome: &SynthOutcome,
+) {
     let result = match outcome {
         SynthOutcome::Found(p) => format!("found ({} instrs)", p.len()),
         SynthOutcome::NoProgram => "no program".into(),

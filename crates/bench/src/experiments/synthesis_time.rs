@@ -23,7 +23,10 @@ pub fn run(cfg: &BenchConfig) {
         ours.push(format!(
             "{} (len {})",
             fmt_duration(elapsed),
-            result.found_len.map(|l| l.to_string()).unwrap_or("—".into())
+            result
+                .found_len
+                .map(|l| l.to_string())
+                .unwrap_or("—".into())
         ));
     }
     table.row_strings(vec![

@@ -18,7 +18,12 @@ fn row(table: &mut Table, name: &str, machine: &Machine, prog: &Program) {
         report.critical_path.to_string(),
         format!("{:.2}", report.port_bound),
         format!("{:.2}", report.issue_bound),
-        if report.latency_bound { "latency" } else { "ports/width" }.into(),
+        if report.latency_bound {
+            "latency"
+        } else {
+            "ports/width"
+        }
+        .into(),
     ]);
 }
 

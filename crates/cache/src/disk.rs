@@ -1,0 +1,311 @@
+//! The on-disk kernel log: an append-friendly sequence of checksummed,
+//! self-delimiting entries behind a versioned header.
+//!
+//! # Format
+//!
+//! ```text
+//! header:  "SSKCACHE"  (8 bytes magic)
+//!          version     (u32 LE, currently 1)
+//! entry*:  fingerprint (u64 LE — the KernelQuery fingerprint)
+//!          payload_len (u32 LE)
+//!          checksum    (u64 LE — FNV-1a of the payload bytes)
+//!          payload     (payload_len bytes of canonical CacheEntry JSON)
+//! ```
+//!
+//! Inserts append a single framed entry (one `write_all` + flush), so the
+//! common path never rewrites the file. Recovery reads entries until the
+//! first frame that is short, oversized, checksum-mismatched, or
+//! unparsable, and treats everything from that point on as lost — the
+//! standard write-ahead-log discipline: a torn tail from a crash costs the
+//! tail, never the prefix. [`rewrite_atomic`] (used by compaction and
+//! corruption repair) builds the file aside and renames it into place so
+//! readers never observe a half-written store.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::entry::CacheEntry;
+use crate::query::fnv1a;
+
+/// File magic. Eight bytes so the header is naturally aligned.
+pub const MAGIC: &[u8; 8] = b"SSKCACHE";
+/// Current format version. Bumping it invalidates every existing store.
+pub const VERSION: u32 = 1;
+/// Hard cap on a single entry payload; anything larger is corruption.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+/// Name of the log file inside a cache directory.
+pub const LOG_FILE: &str = "kernels.sskc";
+
+/// What [`load`] found on disk.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Entries recovered intact.
+    pub loaded: u64,
+    /// Bytes of log discarded as corrupt or torn (0 on a clean load).
+    pub lost_bytes: u64,
+    /// Whether a corrupt/torn tail (or a bad header) was encountered.
+    pub rejected_tail: bool,
+    /// Whether the header was missing/foreign/old-version, invalidating the
+    /// whole file.
+    pub invalidated: bool,
+}
+
+/// The log file inside `dir`.
+pub fn log_path(dir: &Path) -> PathBuf {
+    dir.join(LOG_FILE)
+}
+
+fn read_exact_or_eof(file: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(ErrorKind::UnexpectedEof, "torn frame"))
+                }
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Loads every intact entry from the log in `dir`. Missing file is an empty,
+/// clean load. A bad header invalidates the file; a bad entry truncates the
+/// logical log at that entry.
+pub fn load(dir: &Path) -> io::Result<(Vec<CacheEntry>, LoadReport)> {
+    let path = log_path(dir);
+    let mut report = LoadReport::default();
+    let mut file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok((Vec::new(), report)),
+        Err(e) => return Err(e),
+    };
+    let total = file.metadata()?.len();
+
+    let mut header = [0u8; 12];
+    if !matches!(read_exact_or_eof(&mut file, &mut header), Ok(true))
+        || &header[..8] != MAGIC
+        || u32::from_le_bytes(header[8..12].try_into().unwrap()) != VERSION
+    {
+        report.invalidated = true;
+        report.rejected_tail = true;
+        report.lost_bytes = total;
+        return Ok((Vec::new(), report));
+    }
+
+    let mut entries = Vec::new();
+    let mut consumed = header.len() as u64;
+    loop {
+        let mut frame = [0u8; 20];
+        match read_exact_or_eof(&mut file, &mut frame) {
+            Ok(false) => break,
+            Ok(true) => {}
+            Err(_) => {
+                report.rejected_tail = true;
+                break;
+            }
+        }
+        let fingerprint = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(frame[8..12].try_into().unwrap());
+        let checksum = u64::from_le_bytes(frame[12..20].try_into().unwrap());
+        if payload_len > MAX_PAYLOAD {
+            report.rejected_tail = true;
+            break;
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        match read_exact_or_eof(&mut file, &mut payload) {
+            Ok(true) => {}
+            _ => {
+                report.rejected_tail = true;
+                break;
+            }
+        }
+        if fnv1a(&payload) != checksum {
+            report.rejected_tail = true;
+            break;
+        }
+        let entry = match CacheEntry::from_payload(&payload) {
+            Ok(e) => e,
+            Err(_) => {
+                report.rejected_tail = true;
+                break;
+            }
+        };
+        // A frame whose fingerprint disagrees with its own payload is as
+        // corrupt as a bad checksum.
+        if entry.fingerprint() != fingerprint {
+            report.rejected_tail = true;
+            break;
+        }
+        consumed += (frame.len() + payload.len()) as u64;
+        entries.push(entry);
+        report.loaded += 1;
+    }
+    report.lost_bytes = total.saturating_sub(consumed);
+    Ok((entries, report))
+}
+
+fn encode_entry(entry: &CacheEntry, out: &mut Vec<u8>) {
+    let payload = entry.to_payload();
+    out.extend_from_slice(&entry.fingerprint().to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Opens the log for appending, writing a fresh header if the file is new.
+pub fn open_for_append(dir: &Path) -> io::Result<File> {
+    fs::create_dir_all(dir)?;
+    let path = log_path(dir);
+    let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+    if file.metadata()?.len() == 0 {
+        let mut header = Vec::with_capacity(12);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        file.write_all(&header)?;
+        file.flush()?;
+    }
+    Ok(file)
+}
+
+/// Appends one framed entry. The frame is assembled in memory and written
+/// with a single `write_all`, so a crash can tear at most the final frame —
+/// which recovery then drops.
+pub fn append(file: &mut File, entry: &CacheEntry) -> io::Result<()> {
+    let mut buf = Vec::new();
+    encode_entry(entry, &mut buf);
+    file.write_all(&buf)?;
+    file.flush()
+}
+
+/// Rewrites the whole log atomically: serialize to `<log>.tmp`, fsync, then
+/// rename over the live file. Used for compaction and to repair a store
+/// whose tail was rejected.
+pub fn rewrite_atomic<'a>(
+    dir: &Path,
+    entries: impl IntoIterator<Item = &'a CacheEntry>,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let path = log_path(dir);
+    let tmp = path.with_extension("sskc.tmp");
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    for entry in entries {
+        encode_entry(entry, &mut buf);
+    }
+    let mut file = File::create(&tmp)?;
+    file.write_all(&buf)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, &path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::KernelQuery;
+    use sortsynth_isa::{IsaMode, Machine};
+
+    fn entry(n: u8) -> CacheEntry {
+        let machine = Machine::new(n, 1, IsaMode::Cmov);
+        let program = machine.parse_program("mov s1 r1").unwrap();
+        CacheEntry {
+            query: KernelQuery::best(n, 1, IsaMode::Cmov),
+            program,
+            minimal_certified: false,
+            search_millis: 1,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sskc-disk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let dir = tmp_dir("rt");
+        let mut file = open_for_append(&dir).unwrap();
+        append(&mut file, &entry(2)).unwrap();
+        append(&mut file, &entry(3)).unwrap();
+        drop(file);
+        let (entries, report) = load(&dir).unwrap();
+        assert_eq!(entries, vec![entry(2), entry(3)]);
+        assert_eq!(report.loaded, 2);
+        assert!(!report.rejected_tail && report.lost_bytes == 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_keeps_prefix() {
+        let dir = tmp_dir("trunc");
+        let mut file = open_for_append(&dir).unwrap();
+        append(&mut file, &entry(2)).unwrap();
+        append(&mut file, &entry(3)).unwrap();
+        drop(file);
+        let path = log_path(&dir);
+        let len = fs::metadata(&path).unwrap().len();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..len as usize - 5]).unwrap();
+        let (entries, report) = load(&dir).unwrap();
+        assert_eq!(entries, vec![entry(2)]);
+        assert!(report.rejected_tail);
+        assert!(report.lost_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_detected_by_checksum() {
+        let dir = tmp_dir("flip");
+        let mut file = open_for_append(&dir).unwrap();
+        append(&mut file, &entry(2)).unwrap();
+        drop(file);
+        let path = log_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let (entries, report) = load(&dir).unwrap();
+        assert!(entries.is_empty());
+        assert!(report.rejected_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let dir = tmp_dir("ver");
+        let mut file = open_for_append(&dir).unwrap();
+        append(&mut file, &entry(2)).unwrap();
+        drop(file);
+        let path = log_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] = 0xFF; // version LSB
+        fs::write(&path, &bytes).unwrap();
+        let (entries, report) = load(&dir).unwrap();
+        assert!(entries.is_empty());
+        assert!(report.invalidated);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_atomic_replaces_contents() {
+        let dir = tmp_dir("rw");
+        let mut file = open_for_append(&dir).unwrap();
+        append(&mut file, &entry(2)).unwrap();
+        drop(file);
+        rewrite_atomic(&dir, [&entry(3), &entry(4)]).unwrap();
+        let (entries, report) = load(&dir).unwrap();
+        assert_eq!(entries, vec![entry(3), entry(4)]);
+        assert_eq!(report.loaded, 2);
+        assert!(!log_path(&dir).with_extension("sskc.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

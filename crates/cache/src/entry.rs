@@ -1,0 +1,100 @@
+//! Cache entries: a solved query together with its kernel and provenance.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use sortsynth_isa::Program;
+
+use crate::query::KernelQuery;
+
+/// One cached synthesis result.
+///
+/// The entry stores the query it answers (fingerprints are 64-bit, so
+/// lookups verify full query equality rather than trusting the hash), the
+/// kernel itself, and enough provenance to answer "can I trust this length
+/// is minimal" and "what did this cost to compute" without re-running the
+/// search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The query this entry answers.
+    pub query: KernelQuery,
+    /// The synthesized kernel.
+    pub program: Program,
+    /// Whether the producing configuration certifies the length as minimal.
+    pub minimal_certified: bool,
+    /// Wall-clock milliseconds the original search took.
+    pub search_millis: u64,
+}
+
+impl CacheEntry {
+    /// The content fingerprint this entry is stored under.
+    pub fn fingerprint(&self) -> u64 {
+        self.query.fingerprint()
+    }
+
+    /// Serializes to the canonical JSON payload stored on disk.
+    pub fn to_payload(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("value-tree serialization is infallible")
+    }
+
+    /// Parses a disk payload back into an entry, validating the query.
+    pub fn from_payload(bytes: &[u8]) -> Result<Self, Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+impl Serialize for CacheEntry {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("query", self.query.serialize()),
+            ("program", self.program.serialize()),
+            ("minimal_certified", self.minimal_certified.serialize()),
+            ("search_millis", self.search_millis.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for CacheEntry {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(CacheEntry {
+            query: KernelQuery::deserialize(value.required("query")?)?,
+            program: Program::deserialize(value.required("program")?)?,
+            minimal_certified: bool::deserialize(value.required("minimal_certified")?)?,
+            search_millis: u64::deserialize(value.required("search_millis")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::{IsaMode, Machine};
+
+    pub(crate) fn sample_entry() -> CacheEntry {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let program = machine
+            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+            .unwrap();
+        CacheEntry {
+            query: KernelQuery::best(2, 1, IsaMode::Cmov),
+            program,
+            minimal_certified: true,
+            search_millis: 7,
+        }
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let entry = sample_entry();
+        let payload = entry.to_payload();
+        let back = CacheEntry::from_payload(&payload).unwrap();
+        assert_eq!(entry, back);
+        // Canonical (BTreeMap-ordered) JSON: re-encoding is byte-identical.
+        assert_eq!(payload, back.to_payload());
+    }
+
+    #[test]
+    fn corrupt_payload_rejected() {
+        let mut payload = sample_entry().to_payload();
+        payload.truncate(payload.len() / 2);
+        assert!(CacheEntry::from_payload(&payload).is_err());
+    }
+}

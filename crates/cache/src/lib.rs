@@ -1,0 +1,308 @@
+//! Persistent, content-addressed kernel cache.
+//!
+//! Synthesizing a sorting kernel is expensive (seconds to hours as `n`
+//! grows) while the result is tiny (tens of instructions), which makes the
+//! synthesis service's workload ideal for a durable cache. This crate
+//! provides:
+//!
+//! * [`KernelQuery`] — the canonical form of a synthesis request, with a
+//!   64-bit content [fingerprint](KernelQuery::fingerprint) covering exactly
+//!   the inputs that determine the answer (ISA, `n`, scratch count, length
+//!   bound, and the non-optimality-preserving search toggles);
+//! * [`CacheEntry`] — a solved query with its kernel and provenance;
+//! * [`KernelCache`] — a sharded in-memory LRU front over an append-friendly
+//!   on-disk log with per-entry checksums, crash-tolerant recovery, and
+//!   atomic write-then-rename compaction (see [`disk`] for the format).
+//!
+//! ```
+//! use sortsynth_cache::{CacheEntry, KernelCache, KernelQuery};
+//! use sortsynth_isa::{IsaMode, Machine};
+//!
+//! let cache = KernelCache::in_memory(64);
+//! let query = KernelQuery::best(2, 1, IsaMode::Cmov);
+//! assert!(cache.get(&query).is_none());
+//!
+//! let machine = Machine::new(2, 1, IsaMode::Cmov);
+//! let program = machine
+//!     .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+//!     .unwrap();
+//! cache
+//!     .insert(CacheEntry { query: query.clone(), program, minimal_certified: true, search_millis: 5 })
+//!     .unwrap();
+//! assert_eq!(cache.get(&query).unwrap().program.len(), 4);
+//! ```
+
+pub mod disk;
+mod entry;
+mod memory;
+mod query;
+
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+pub use disk::{LoadReport, LOG_FILE, VERSION};
+pub use entry::CacheEntry;
+pub use memory::ShardedLru;
+pub use query::{fnv1a, CutSpec, KernelQuery};
+
+/// Counters describing cache behaviour since open.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the in-memory front.
+    pub memory_hits: u64,
+    /// Lookups answered by scanning the disk log after a memory miss.
+    pub disk_hits: u64,
+    /// Lookups answered by neither.
+    pub misses: u64,
+    /// Entries inserted since open.
+    pub insertions: u64,
+    /// Entries evicted from the memory front (still on disk).
+    pub evictions: u64,
+    /// What recovery found when the store was opened.
+    pub load: LoadReport,
+}
+
+#[derive(Default)]
+struct Counters {
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+}
+
+struct DiskStore {
+    dir: PathBuf,
+    /// Append handle, serialized so concurrent inserts can't interleave
+    /// frames.
+    file: Mutex<File>,
+}
+
+/// The kernel cache: LRU front, optional durable log behind it.
+pub struct KernelCache {
+    lru: ShardedLru,
+    store: Option<DiskStore>,
+    counters: Counters,
+    load: LoadReport,
+}
+
+impl KernelCache {
+    /// A purely in-memory cache holding at most `capacity` entries.
+    pub fn in_memory(capacity: usize) -> Self {
+        KernelCache {
+            lru: ShardedLru::new(capacity),
+            store: None,
+            counters: Counters::default(),
+            load: LoadReport::default(),
+        }
+    }
+
+    /// Opens (creating if needed) the durable cache in `dir`, recovering
+    /// every intact entry into the memory front.
+    ///
+    /// If recovery rejected a corrupt or torn tail, the log is immediately
+    /// compacted (atomic write-then-rename) so the corruption cannot be
+    /// consulted again and subsequent appends don't extend a bad tail.
+    pub fn open(dir: impl AsRef<Path>, capacity: usize) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let (entries, load) = disk::load(&dir)?;
+        if load.rejected_tail {
+            disk::rewrite_atomic(&dir, entries.iter())?;
+        }
+        let lru = ShardedLru::new(capacity);
+        for entry in entries {
+            lru.insert(Arc::new(entry));
+        }
+        let file = disk::open_for_append(&dir)?;
+        Ok(KernelCache {
+            lru,
+            store: Some(DiskStore {
+                dir,
+                file: Mutex::new(file),
+            }),
+            counters: Counters::default(),
+            load,
+        })
+    }
+
+    /// Looks up a query: memory front first, then (on miss, for durable
+    /// caches whose front may have evicted) a disk scan. Disk hits are
+    /// promoted back into the front. Fingerprint collisions are ruled out by
+    /// comparing the stored query for equality.
+    pub fn get(&self, query: &KernelQuery) -> Option<Arc<CacheEntry>> {
+        let fingerprint = query.fingerprint();
+        if let Some(entry) = self.lru.get(fingerprint) {
+            if entry.query == *query {
+                self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry);
+            }
+        }
+        if let Some(store) = &self.store {
+            // Hold the append lock while scanning so a concurrent insert
+            // can't be half-written under the reader.
+            let _guard = store.file.lock();
+            if let Ok((entries, _)) = disk::load(&store.dir) {
+                // Latest write wins: scan from the back.
+                if let Some(entry) = entries.into_iter().rev().find(|e| e.query == *query) {
+                    let entry = Arc::new(entry);
+                    self.lru.insert(Arc::clone(&entry));
+                    self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(entry);
+                }
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts an entry: appended to the log (durable caches) and published
+    /// to the memory front. The entry is visible to other threads' `get` as
+    /// soon as this returns.
+    pub fn insert(&self, entry: CacheEntry) -> io::Result<()> {
+        let entry = Arc::new(entry);
+        if let Some(store) = &self.store {
+            let mut file = store.file.lock();
+            disk::append(&mut file, &entry)?;
+        }
+        self.lru.insert(entry);
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Rewrites the log atomically, deduplicating by fingerprint (latest
+    /// entry wins). No-op for in-memory caches.
+    pub fn compact(&self) -> io::Result<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let mut file = store.file.lock();
+        let (entries, _) = disk::load(&store.dir)?;
+        let mut deduped: Vec<CacheEntry> = Vec::new();
+        for entry in entries {
+            if let Some(slot) = deduped
+                .iter_mut()
+                .find(|e| e.fingerprint() == entry.fingerprint())
+            {
+                *slot = entry;
+            } else {
+                deduped.push(entry);
+            }
+        }
+        disk::rewrite_atomic(&store.dir, deduped.iter())?;
+        *file = disk::open_for_append(&store.dir)?;
+        Ok(())
+    }
+
+    /// Entries resident in the memory front.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the memory front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Behaviour counters since open.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.counters.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            evictions: self.lru.evictions(),
+            load: self.load,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::{IsaMode, Machine};
+
+    fn entry(n: u8) -> CacheEntry {
+        let machine = Machine::new(n, 1, IsaMode::Cmov);
+        CacheEntry {
+            query: KernelQuery::best(n, 1, IsaMode::Cmov),
+            program: machine.parse_program("mov s1 r1; mov r1 r2").unwrap(),
+            minimal_certified: false,
+            search_millis: 3,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sskc-lib-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_memory_hit_miss_counters() {
+        let cache = KernelCache::in_memory(8);
+        let e = entry(3);
+        assert!(cache.get(&e.query).is_none());
+        cache.insert(e.clone()).unwrap();
+        assert!(cache.get(&e.query).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.insertions, 1);
+    }
+
+    #[test]
+    fn durable_cache_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let cache = KernelCache::open(&dir, 8).unwrap();
+            cache.insert(entry(2)).unwrap();
+            cache.insert(entry(3)).unwrap();
+        }
+        let cache = KernelCache::open(&dir, 8).unwrap();
+        assert_eq!(cache.stats().load.loaded, 2);
+        assert_eq!(cache.get(&entry(2).query).unwrap().program.len(), 2);
+        assert!(cache.get(&entry(3).query).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evicted_entries_still_served_from_disk() {
+        let dir = tmp_dir("evict");
+        // Capacity 1 → per-shard capacity 1; entries landing in the same
+        // shard evict each other, but the log keeps both.
+        let cache = KernelCache::open(&dir, 1).unwrap();
+        for n in 2..=9u8 {
+            cache.insert(entry(n)).unwrap();
+        }
+        for n in 2..=9u8 {
+            assert!(cache.get(&entry(n).query).is_some(), "n = {n}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.memory_hits + stats.disk_hits, 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_dedups_and_preserves() {
+        let dir = tmp_dir("compact");
+        let cache = KernelCache::open(&dir, 8).unwrap();
+        cache.insert(entry(2)).unwrap();
+        cache.insert(entry(3)).unwrap();
+        let mut updated = entry(2);
+        updated.search_millis = 99;
+        cache.insert(updated.clone()).unwrap();
+        cache.compact().unwrap();
+        // Post-compaction appends still work.
+        cache.insert(entry(4)).unwrap();
+        drop(cache);
+        let reopened = KernelCache::open(&dir, 8).unwrap();
+        assert_eq!(reopened.stats().load.loaded, 3);
+        assert_eq!(reopened.get(&updated.query).unwrap().search_millis, 99);
+        assert!(reopened.get(&entry(4).query).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,62 @@
+//! The serde wire format round-trips programs losslessly: serialize →
+//! deserialize → byte-identical payload, and the deserialized kernel
+//! behaves identically under the interpreter and the JIT.
+
+use sortsynth_cache::{CacheEntry, KernelQuery};
+use sortsynth_isa::{IsaMode, Machine, Program};
+use sortsynth_jit::JitKernel;
+use sortsynth_search::{synthesize, SynthesisConfig};
+
+fn synthesized(n: u8, scratch: u8, mode: IsaMode) -> (Machine, Program) {
+    let machine = Machine::new(n, scratch, mode);
+    let result = synthesize(&SynthesisConfig::best(machine.clone()));
+    (machine, result.first_program().expect("kernel exists"))
+}
+
+#[test]
+fn entry_payload_round_trip_is_byte_identical() {
+    for (n, mode) in [(2, IsaMode::Cmov), (3, IsaMode::Cmov), (3, IsaMode::MinMax)] {
+        let (machine, program) = synthesized(n, 1, mode);
+        let entry = CacheEntry {
+            query: KernelQuery::best(n, 1, mode),
+            program: program.clone(),
+            minimal_certified: false,
+            search_millis: 42,
+        };
+        let payload = entry.to_payload();
+        let back = CacheEntry::from_payload(&payload).unwrap();
+        assert_eq!(back, entry);
+        assert_eq!(back.to_payload(), payload, "canonical JSON is stable");
+        assert_eq!(
+            machine.format_program(&back.program),
+            machine.format_program(&program)
+        );
+    }
+}
+
+#[test]
+fn deserialized_program_agrees_with_jit() {
+    for (n, mode) in [(3, IsaMode::Cmov), (3, IsaMode::MinMax)] {
+        let (machine, program) = synthesized(n, 1, mode);
+        let json = serde_json::to_string(&program).unwrap();
+        let decoded: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(decoded, program);
+        assert!(
+            machine.is_correct(&decoded),
+            "interpreter accepts the kernel"
+        );
+
+        let jit = JitKernel::compile(&machine, &decoded).expect("JIT compiles");
+        for perm in sortsynth_isa::permutations(n) {
+            // Interpreter result for this permutation...
+            let final_state = machine.run(&decoded, machine.initial_state(&perm));
+            let interp: Vec<i32> = (0..n)
+                .map(|i| final_state.reg(sortsynth_isa::Reg::new(i)) as i32)
+                .collect();
+            // ...matches the JIT running on the same values.
+            let mut data: Vec<i32> = perm.iter().map(|&v| v as i32).collect();
+            jit.run(&mut data);
+            assert_eq!(data, interp, "n={n} mode={mode:?} perm={perm:?}");
+        }
+    }
+}

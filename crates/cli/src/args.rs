@@ -38,17 +38,36 @@ impl fmt::Display for ArgsError {
 
 impl Error for ArgsError {}
 
-/// Options that take a value (everything else is a boolean flag).
+/// Boolean flags (present or absent, no value).
+const FLAGS: &[&str] = &["all", "plain"];
+
+/// Options that take a value.
 const VALUED: &[&str] = &[
-    "n", "scratch", "isa", "max-len", "cut", "limit", "data", "len", "budget-states", "strategy",
+    "n",
+    "scratch",
+    "isa",
+    "max-len",
+    "cut",
+    "limit",
+    "data",
+    "len",
+    "budget-states",
+    "strategy",
+    "timeout",
+    "cache-dir",
+    "addr",
+    "workers",
+    "queue-depth",
+    "cache-capacity",
 ];
 
 /// Parses `args` (without the binary name).
 ///
 /// # Errors
 ///
-/// Returns [`ArgsError`] when no subcommand is present or a valued option
-/// is missing its value.
+/// Returns [`ArgsError`] when no subcommand is present, a valued option is
+/// missing its value, or an option is not recognized (so a typo like
+/// `--maxlen` fails loudly instead of silently running without the bound).
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     let mut command = None;
     let mut options = HashMap::new();
@@ -61,8 +80,10 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                     .next()
                     .ok_or_else(|| ArgsError::new(format!("--{key} needs a value")))?;
                 options.insert(key.to_string(), value.clone());
-            } else {
+            } else if FLAGS.contains(&key) {
                 options.insert(key.to_string(), "true".to_string());
+            } else {
+                return Err(ArgsError::new(format!("unknown option `--{key}`")));
             }
         } else if command.is_none() {
             command = Some(arg.clone());
@@ -165,8 +186,20 @@ mod tests {
                 .unwrap(),
             IsaMode::MinMax
         );
-        assert_eq!(parse(&strings(&["synth"])).unwrap().isa().unwrap(), IsaMode::Cmov);
-        assert!(parse(&strings(&["synth", "--isa", "avx"])).unwrap().isa().is_err());
+        assert_eq!(
+            parse(&strings(&["synth"])).unwrap().isa().unwrap(),
+            IsaMode::Cmov
+        );
+        assert!(parse(&strings(&["synth", "--isa", "avx"]))
+            .unwrap()
+            .isa()
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let err = parse(&strings(&["synth", "--maxlen", "9"])).unwrap_err();
+        assert!(err.to_string().contains("--maxlen"), "{err}");
     }
 
     #[test]

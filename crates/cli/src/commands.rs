@@ -1,26 +1,32 @@
 //! Subcommand implementations.
 
 use std::io::Read as _;
+use std::path::PathBuf;
 use std::time::Duration;
 
-use sortsynth_isa::{
-    analyze, sampling_score, InstrMix, Machine, Program, ThroughputModel,
-};
+use sortsynth_cache::{CacheEntry, CutSpec, KernelCache, KernelQuery};
+use sortsynth_isa::{analyze, sampling_score, InstrMix, Machine, Program, ThroughputModel};
 use sortsynth_jit::JitKernel;
 use sortsynth_kernels::{interpret, Kernel};
 use sortsynth_search::{
-    prove_no_solution, synthesize, BoundVerdict, Cut, SynthesisConfig,
+    prove_no_solution, synthesize, BoundVerdict, Cut, Outcome, SearchBudget, SynthesisConfig,
 };
+use sortsynth_service::{Client, ReplySource, Response, Server, ServiceConfig};
 
 use crate::args::{ArgsError, ParsedArgs};
 
 /// Help text shown on errors and `sortsynth help`.
 pub const USAGE: &str = "usage:
   sortsynth synth   --n N [--scratch M] [--isa cmov|minmax] [--all] [--max-len L] [--cut K]
+                    [--plain] [--timeout SECS] [--cache-dir DIR]
   sortsynth prove   --n N --len L [--budget-states S]
   sortsynth check   <file|-> --n N [--scratch M] [--isa cmov|minmax]
   sortsynth analyze <file|-> --n N [--scratch M] [--isa cmov|minmax]
   sortsynth run     <file|-> --n N [--scratch M] [--isa cmov|minmax] --data V1,V2,...
+  sortsynth serve   [--addr HOST:PORT] [--workers W] [--queue-depth D]
+                    [--cache-dir DIR] [--cache-capacity C] [--timeout SECS]
+  sortsynth client  ping|synth|check|analyze [<file|->] [--addr HOST:PORT]
+                    [--n N ...] [--timeout SECS]
   sortsynth help";
 
 /// Dispatches a parsed command line.
@@ -31,6 +37,8 @@ pub fn dispatch(args: ParsedArgs) -> Result<(), ArgsError> {
         "check" => check(&args),
         "analyze" => analyze_cmd(&args),
         "run" => run(&args),
+        "serve" => serve(&args),
+        "client" => client_cmd(&args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -43,14 +51,55 @@ fn machine_from(args: &ParsedArgs) -> Result<Machine, ArgsError> {
     Ok(Machine::new(args.n()?, args.scratch()?, args.isa()?))
 }
 
+/// The [`KernelQuery`] describing what `synth` (without `--all`) will
+/// search — the cache key for `--cache-dir` and the `client synth` payload.
+fn synth_query(args: &ParsedArgs) -> Result<KernelQuery, ArgsError> {
+    let mut query = KernelQuery::best(args.n()?, args.scratch()?, args.isa()?);
+    if args.flag("plain") {
+        query.optimal_instrs_only = false;
+        query.budget_viability = false;
+        query.cut = None;
+    }
+    query.max_len = args.num::<u32>("max-len")?;
+    if let Some(k) = args.num::<f64>("cut")? {
+        query.cut = Some(CutSpec::Factor {
+            millis: (k * 1000.0).round() as u32,
+        });
+    }
+    Ok(query)
+}
+
+fn open_cache(dir: &str) -> Result<KernelCache, ArgsError> {
+    KernelCache::open(PathBuf::from(dir), 1024)
+        .map_err(|e| ArgsError::new(format!("--cache-dir {dir}: {e}")))
+}
+
 fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
     let machine = machine_from(args)?;
-    let mut cfg = SynthesisConfig::best(machine.clone());
+    let mut cfg = if args.flag("plain") {
+        SynthesisConfig::new(machine.clone())
+    } else {
+        SynthesisConfig::best(machine.clone())
+    };
     if let Some(max_len) = args.num::<u32>("max-len")? {
         cfg = cfg.max_len(max_len);
     }
     if let Some(k) = args.num::<f64>("cut")? {
         cfg = cfg.cut(Cut::Factor(k));
+    }
+    // `--all` enumerates rather than answers one query; the cache keys a
+    // single canonical kernel per query, so the two are mutually exclusive.
+    let cache = match args.options.get("cache-dir") {
+        Some(dir) if !args.flag("all") => Some(open_cache(dir)?),
+        _ => None,
+    };
+    if let Some(cache) = &cache {
+        let query = synth_query(args)?;
+        if let Some(entry) = cache.get(&query) {
+            eprintln!("# length {}, from cache", entry.program.len());
+            print!("{}", machine.format_program(&entry.program));
+            return Ok(());
+        }
     }
     if args.flag("all") {
         // All-solutions needs the optimality-preserving configuration.
@@ -71,12 +120,21 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
             cfg = cfg.cut(Cut::Factor(k));
         }
     }
+    if let Some(secs) = args.num::<f64>("timeout")? {
+        cfg = cfg.search_budget(SearchBudget::with_timeout(Duration::from_secs_f64(secs)));
+    }
     let result = synthesize(&cfg);
     match result.found_len {
-        None => Err(ArgsError::new(format!(
-            "no kernel found (outcome {:?})",
-            result.outcome
-        ))),
+        None => match result.outcome {
+            Outcome::TimeLimit | Outcome::Cancelled => Err(ArgsError::new(format!(
+                "synthesis timed out after {:?} ({} states generated)",
+                result.stats.search_time, result.stats.generated
+            ))),
+            _ => Err(ArgsError::new(format!(
+                "no kernel found (outcome {:?})",
+                result.outcome
+            ))),
+        },
         Some(len) => {
             if args.flag("all") {
                 let count = result.solution_count();
@@ -97,6 +155,15 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
                 );
                 let prog = result.first_program().expect("found_len implies a program");
                 print!("{}", machine.format_program(&prog));
+                if let Some(cache) = &cache {
+                    // A full disk is not a reason to fail the command.
+                    let _ = cache.insert(CacheEntry {
+                        query: synth_query(args)?,
+                        program: prog,
+                        minimal_certified: result.minimal_certified,
+                        search_millis: result.stats.search_time.as_millis() as u64,
+                    });
+                }
             }
             Ok(())
         }
@@ -112,7 +179,11 @@ fn prove(args: &ParsedArgs) -> Result<(), ArgsError> {
     let below = prove_no_solution(&machine, len - 1, budget, Some(Duration::from_secs(3600)));
     match below.verdict {
         BoundVerdict::SolutionExists => {
-            println!("a kernel of length <= {} exists: {} is NOT optimal", len - 1, len);
+            println!(
+                "a kernel of length <= {} exists: {} is NOT optimal",
+                len - 1,
+                len
+            );
         }
         BoundVerdict::Inconclusive => {
             println!(
@@ -193,14 +264,25 @@ fn analyze_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
     );
     println!("score (§5.3) : {}", sampling_score(&prog));
     println!("critical path: {}", report.critical_path);
-    println!("cycles/iter  : {:.2} (predicted, uiCA-style model)", report.cycles_per_iteration);
+    println!(
+        "cycles/iter  : {:.2} (predicted, uiCA-style model)",
+        report.cycles_per_iteration
+    );
     println!(
         "bottleneck   : {}",
-        if report.latency_bound { "dependence chain (latency)" } else { "ports / issue width" }
+        if report.latency_bound {
+            "dependence chain (latency)"
+        } else {
+            "ports / issue width"
+        }
     );
     println!(
         "correct      : {}",
-        if machine.is_correct(&prog) { "yes" } else { "NO" }
+        if machine.is_correct(&prog) {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     Ok(())
 }
@@ -236,4 +318,148 @@ fn run(args: &ParsedArgs) -> Result<(), ArgsError> {
     };
     println!("{data:?}  ({backend})");
     Ok(())
+}
+
+fn serve(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let config = ServiceConfig {
+        addr: args
+            .options
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        workers: args.num::<usize>("workers")?.unwrap_or(4),
+        queue_depth: args.num::<usize>("queue-depth")?.unwrap_or(64),
+        cache_dir: args.options.get("cache-dir").map(PathBuf::from),
+        cache_capacity: args.num::<usize>("cache-capacity")?.unwrap_or(1024),
+        default_timeout: match args.num::<f64>("timeout")? {
+            Some(secs) => Some(Duration::from_secs_f64(secs)),
+            None => Some(Duration::from_secs(30)),
+        },
+    };
+    let server = Server::bind(config).map_err(|e| ArgsError::new(format!("bind: {e}")))?;
+    // Tests (and scripts using port 0) parse this line for the bound port.
+    eprintln!("# sortsynth service listening on {}", server.local_addr());
+    server
+        .run()
+        .map_err(|e| ArgsError::new(format!("serve: {e}")))
+}
+
+/// Reads program text for `client check|analyze` (the *server* parses it).
+fn read_text(source: Option<&String>) -> Result<String, ArgsError> {
+    let source =
+        source.ok_or_else(|| ArgsError::new("expected a program file (or `-` for stdin)"))?;
+    if source == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| ArgsError::new(format!("stdin: {e}")))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(source).map_err(|e| ArgsError::new(format!("{source}: {e}")))
+    }
+}
+
+fn client_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let op = args.positional.first().map(String::as_str).ok_or_else(|| {
+        ArgsError::new("client needs an operation: ping | synth | check | analyze")
+    })?;
+    let mut client = Client::connect(addr.as_str())
+        .map_err(|e| ArgsError::new(format!("connect {addr}: {e}")))?;
+    let response = match op {
+        "ping" => client.ping(),
+        "synth" => {
+            let timeout_ms = args.num::<f64>("timeout")?.map(|s| (s * 1000.0) as u64);
+            client.synth(synth_query(args)?, timeout_ms)
+        }
+        "check" | "analyze" => {
+            let machine = machine_from(args)?;
+            let text = read_text(args.positional.get(1))?;
+            if op == "check" {
+                client.check(machine, text)
+            } else {
+                client.analyze(machine, text)
+            }
+        }
+        other => {
+            return Err(ArgsError::new(format!(
+                "unknown client operation `{other}`"
+            )))
+        }
+    }
+    .map_err(|e| ArgsError::new(format!("request: {e}")))?;
+    render_response(response)
+}
+
+fn render_response(response: Response) -> Result<(), ArgsError> {
+    match response {
+        Response::Pong => {
+            println!("pong");
+            Ok(())
+        }
+        Response::Slept => {
+            println!("slept");
+            Ok(())
+        }
+        Response::Synth(reply) => {
+            let source = match reply.source {
+                ReplySource::Computed => "computed",
+                ReplySource::Cache => "cache",
+                ReplySource::Coalesced => "coalesced",
+            };
+            match reply.program {
+                Some(text) => {
+                    eprintln!(
+                        "# length {}, {source}, search {} ms{}",
+                        reply.found_len.unwrap_or(0),
+                        reply.search_millis,
+                        if reply.minimal_certified {
+                            ", minimal"
+                        } else {
+                            ""
+                        }
+                    );
+                    print!("{text}");
+                    Ok(())
+                }
+                None => Err(ArgsError::new(
+                    "no kernel exists within the requested bound",
+                )),
+            }
+        }
+        Response::Check(reply) => {
+            if reply.correct {
+                println!("OK: kernel is correct");
+                Ok(())
+            } else {
+                println!("INCORRECT: fails {} permutations", reply.counterexamples);
+                Err(ArgsError::new("kernel is incorrect"))
+            }
+        }
+        Response::Analyze(report) => {
+            println!("critical path: {}", report.critical_path);
+            println!("cycles/iter  : {:.2}", report.cycles_per_iteration);
+            println!(
+                "bottleneck   : {}",
+                if report.latency_bound {
+                    "dependence chain (latency)"
+                } else {
+                    "ports / issue width"
+                }
+            );
+            Ok(())
+        }
+        Response::Timeout(t) => Err(ArgsError::new(format!(
+            "server timed out after {} ms ({} states generated{})",
+            t.elapsed_ms,
+            t.generated,
+            if t.cancelled { ", cancelled" } else { "" }
+        ))),
+        Response::Overloaded => Err(ArgsError::new("server overloaded; retry later")),
+        Response::Error { message } => Err(ArgsError::new(format!("server error: {message}"))),
+    }
 }

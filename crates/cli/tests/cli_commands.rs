@@ -15,7 +15,11 @@ fn synth_emits_a_correct_kernel() {
         .expect("binary runs");
     assert!(out.status.success(), "{out:?}");
     let program = String::from_utf8(out.stdout).expect("utf-8");
-    assert_eq!(program.lines().count(), 4, "optimal n = 2 kernel:\n{program}");
+    assert_eq!(
+        program.lines().count(),
+        4,
+        "optimal n = 2 kernel:\n{program}"
+    );
 
     // Feed the synthesized kernel back through `check` via stdin.
     let mut check = sortsynth()
@@ -116,9 +120,144 @@ fn synth_all_enumerates_solutions() {
 
 #[test]
 fn unknown_subcommand_fails_with_usage() {
-    let out = sortsynth().args(["frobnicate"]).output().expect("binary runs");
+    let out = sortsynth()
+        .args(["frobnicate"])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn impossible_query_returns_a_clean_timeout_error() {
+    // n = 4 with a length bound below the lower bound and no pruning aids:
+    // the plain layered search can neither find a kernel nor exhaust the
+    // space quickly, so the --timeout budget is what ends it.
+    let out = sortsynth()
+        .args([
+            "synth",
+            "--n",
+            "4",
+            "--plain",
+            "--max-len",
+            "15",
+            "--timeout",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("timed out"), "{err}");
+}
+
+#[test]
+fn synth_cache_dir_round_trip() {
+    let dir = std::env::temp_dir().join(format!("sortsynth-cli-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_dir = dir.to_str().expect("utf-8 temp path");
+
+    // Cold: synthesizes and persists.
+    let cold = sortsynth()
+        .args(["synth", "--n", "3", "--cache-dir", cache_dir])
+        .output()
+        .expect("binary runs");
+    assert!(cold.status.success(), "{cold:?}");
+    let cold_program = String::from_utf8_lossy(&cold.stdout).to_string();
+    assert_eq!(cold_program.lines().count(), 11, "{cold_program}");
+
+    // Warm: identical program, served from the cache without a search.
+    let warm = sortsynth()
+        .args(["synth", "--n", "3", "--cache-dir", cache_dir])
+        .output()
+        .expect("binary runs");
+    assert!(warm.status.success(), "{warm:?}");
+    assert_eq!(String::from_utf8_lossy(&warm.stdout), cold_program);
+    assert!(String::from_utf8_lossy(&warm.stderr).contains("from cache"));
+
+    // A different query is a miss, not a collision.
+    let other = sortsynth()
+        .args([
+            "synth",
+            "--n",
+            "3",
+            "--max-len",
+            "12",
+            "--cache-dir",
+            cache_dir,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(other.status.success(), "{other:?}");
+    assert!(!String::from_utf8_lossy(&other.stderr).contains("from cache"));
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn serve_and_client_round_trip() {
+    use std::io::{BufRead as _, BufReader};
+
+    let mut server = sortsynth()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn server");
+    // The first stderr line announces the bound address (port 0 → OS pick).
+    let mut banner = String::new();
+    BufReader::new(server.stderr.as_mut().expect("piped stderr"))
+        .read_line(&mut banner)
+        .expect("read banner");
+    let addr = banner
+        .rsplit(' ')
+        .next()
+        .expect("address in banner")
+        .trim()
+        .to_string();
+
+    let ping = sortsynth()
+        .args(["client", "ping", "--addr", &addr])
+        .output()
+        .expect("binary runs");
+    assert!(ping.status.success(), "{ping:?}");
+    assert!(String::from_utf8_lossy(&ping.stdout).contains("pong"));
+
+    let synth = sortsynth()
+        .args([
+            "client",
+            "synth",
+            "--n",
+            "3",
+            "--addr",
+            &addr,
+            "--timeout",
+            "60",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(synth.status.success(), "{synth:?}");
+    let program = String::from_utf8_lossy(&synth.stdout).to_string();
+    assert_eq!(program.lines().count(), 11, "{program}");
+
+    // Round-trip the synthesized kernel through the server-side checker.
+    let mut check = sortsynth()
+        .args(["client", "check", "-", "--n", "3", "--addr", &addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn client check");
+    check
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(program.as_bytes())
+        .expect("write program");
+    let out = check.wait_with_output().expect("check runs");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    server.kill().expect("kill server");
+    let _ = server.wait();
 }
 
 #[test]

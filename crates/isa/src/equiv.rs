@@ -84,8 +84,12 @@ mod tests {
     #[test]
     fn program_is_equivalent_to_itself_and_reorderings() {
         let m = m3();
-        let a = m.parse_program("cmp r1 r2; mov s1 r2; cmovg r2 r1").unwrap();
-        let b = m.parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1").unwrap();
+        let a = m
+            .parse_program("cmp r1 r2; mov s1 r2; cmovg r2 r1")
+            .unwrap();
+        let b = m
+            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1")
+            .unwrap();
         assert!(equivalent(&m, &a, &a));
         assert!(equivalent(&m, &a, &b));
     }
@@ -94,7 +98,9 @@ mod tests {
     fn overwritten_compare_is_redundant() {
         // §3.6: cmp r1 r2; cmp r2 r3 ≡ cmp r2 r3 (first flags overwritten).
         let m = m3();
-        let a = m.parse_program("cmp r1 r2; cmp r2 r3; cmovl r1 r2").unwrap();
+        let a = m
+            .parse_program("cmp r1 r2; cmp r2 r3; cmovl r1 r2")
+            .unwrap();
         let b = m.parse_program("cmp r2 r3; cmovl r1 r2").unwrap();
         assert!(equivalent(&m, &a, &b));
     }
@@ -153,8 +159,8 @@ mod tests {
             .unwrap();
         assert!(sorts_all_zero_one(&m, &stale_flags));
         assert!(!m.is_correct(&stale_flags));
-        let witness = zero_one_counterexample(&m, &stale_flags)
-            .expect("0-1 lemma violation witness exists");
+        let witness =
+            zero_one_counterexample(&m, &stale_flags).expect("0-1 lemma violation witness exists");
         assert_eq!(witness, vec![1, 3, 2]);
 
         // Sanity: the unmutated kernel is correct, so no witness exists.

@@ -12,7 +12,6 @@ use crate::machine::{Machine, Reg};
 /// `Cmp` is the only flag-writing instruction; `Cmovl`/`Cmovg` are the only
 /// flag readers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Op {
     /// `mov dst, src`: unconditionally copy `src` into `dst`.
     Mov,
@@ -79,7 +78,6 @@ impl fmt::Display for Op {
 /// `r1..rn, s1..sm` register file of a [`Machine`]; use
 /// [`Machine::format_instr`] to render them with their `r`/`s` names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Instr {
     /// The opcode.
     pub op: Op,
@@ -222,7 +220,9 @@ impl Machine {
                 "min" | "pminsd" | "pminud" => Op::Min,
                 "max" | "pmaxsd" | "pmaxud" => Op::Max,
                 other => {
-                    return Err(ParseProgramError::new(format!("unknown mnemonic `{other}`")))
+                    return Err(ParseProgramError::new(format!(
+                        "unknown mnemonic `{other}`"
+                    )))
                 }
             };
             if !self.mode().ops().contains(&op) {

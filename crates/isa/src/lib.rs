@@ -41,9 +41,13 @@ pub mod instr;
 pub mod machine;
 pub mod perm;
 pub mod pipeline;
+#[cfg(feature = "serde")]
+mod serde_impls;
 pub mod state;
 
-pub use cost::{critical_path, sampling_score, uica_estimate, weighted_score, CostWeights, InstrMix};
+pub use cost::{
+    critical_path, sampling_score, uica_estimate, weighted_score, CostWeights, InstrMix,
+};
 pub use equiv::{equivalent, sorts_all_zero_one, zero_one_counterexample};
 pub use instr::{Instr, Op, ParseProgramError, Program};
 pub use machine::{IsaMode, Machine, Reg};

@@ -12,7 +12,6 @@ use crate::state::{MachineState, MAX_REGS};
 /// Indices `0..n` are the value registers `r1..rn`; indices `n..n+m` are the
 /// scratch registers `s1..sm`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Reg(u8);
 
 impl Reg {
@@ -35,7 +34,6 @@ impl fmt::Display for Reg {
 
 /// Which of the paper's two instruction sets a [`Machine`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IsaMode {
     /// `mov`/`cmp`/`cmovl`/`cmovg` over general-purpose registers (§2.2).
     Cmov,
@@ -49,6 +47,24 @@ impl IsaMode {
         match self {
             IsaMode::Cmov => &[Op::Mov, Op::Cmp, Op::Cmovl, Op::Cmovg],
             IsaMode::MinMax => &[Op::Mov, Op::Min, Op::Max],
+        }
+    }
+
+    /// The canonical wire name of this mode — the CLI's `--isa` value and
+    /// the serialized representation used by the cache and service layers.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            IsaMode::Cmov => "cmov",
+            IsaMode::MinMax => "minmax",
+        }
+    }
+
+    /// Parses a [`Self::wire_name`].
+    pub fn from_wire_name(name: &str) -> Option<IsaMode> {
+        match name {
+            "cmov" => Some(IsaMode::Cmov),
+            "minmax" => Some(IsaMode::MinMax),
+            _ => None,
         }
     }
 }
@@ -72,7 +88,6 @@ impl IsaMode {
 /// assert_eq!(machine.initial_states().len(), 6); // 3! permutations
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Machine {
     n: u8,
     scratch: u8,

@@ -134,9 +134,9 @@ pub fn simulate_cycles(prog: &[Instr], iterations: u32, model: &ThroughputModel)
                 loop {
                     let idx = busy_at(&mut port_busy, cycle);
                     let mut placed = false;
-                    for p in 0..NUM_PORTS {
-                        if mask & (1 << p) != 0 && port_busy[idx][p] == 0 {
-                            port_busy[idx][p] = 1;
+                    for (p, slot) in port_busy[idx].iter_mut().enumerate() {
+                        if mask & (1 << p) != 0 && *slot == 0 {
+                            *slot = 1;
                             placed = true;
                             break;
                         }
@@ -311,7 +311,9 @@ mod tests {
         ] {
             let prog = machine.parse_program(text).expect("test program parses");
             let report = analyze(&prog, &model);
-            assert!(report.cycles_per_iteration + 1e-9 >= report.port_bound.min(report.issue_bound));
+            assert!(
+                report.cycles_per_iteration + 1e-9 >= report.port_bound.min(report.issue_bound)
+            );
         }
     }
 }

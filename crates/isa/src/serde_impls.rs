@@ -1,0 +1,123 @@
+//! Hand-written `Serialize`/`Deserialize` impls (feature `serde`).
+//!
+//! The vendored `serde` (see `vendor/README.md`) has no proc-macro derive,
+//! so the wire representations are spelled out here. They are also the
+//! stable contract for the kernel cache's on-disk entries and the service
+//! wire protocol, so changes here are format changes:
+//!
+//! * [`Op`] / [`IsaMode`] — lower-case mnemonic strings (`"mov"`, `"cmov"`).
+//! * [`Reg`] — the register-file index as an integer.
+//! * [`Instr`] — `{"op": .., "dst": .., "src": ..}`.
+//! * [`Machine`] — `{"n": .., "scratch": .., "mode": ..}`.
+//! * [`MachineState`] — the packed `u64` bit representation.
+//!
+//! `Program` (= `Vec<Instr>`) serializes through the blanket `Vec` impl.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::instr::{Instr, Op};
+use crate::machine::{IsaMode, Machine, Reg};
+use crate::state::MachineState;
+
+impl Serialize for Op {
+    fn serialize(&self) -> Value {
+        Value::Str(self.mnemonic().to_string())
+    }
+}
+
+impl Deserialize for Op {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let text = String::deserialize(value)?;
+        match text.as_str() {
+            "mov" => Ok(Op::Mov),
+            "cmp" => Ok(Op::Cmp),
+            "cmovl" => Ok(Op::Cmovl),
+            "cmovg" => Ok(Op::Cmovg),
+            "min" => Ok(Op::Min),
+            "max" => Ok(Op::Max),
+            other => Err(Error::new(format!("unknown opcode `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Reg {
+    fn serialize(&self) -> Value {
+        self.index().serialize()
+    }
+}
+
+impl Deserialize for Reg {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        u8::deserialize(value).map(Reg::new)
+    }
+}
+
+impl Serialize for Instr {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("op", self.op.serialize()),
+            ("dst", self.dst.serialize()),
+            ("src", self.src.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Instr {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(Instr {
+            op: Op::deserialize(value.required("op")?)?,
+            dst: Reg::deserialize(value.required("dst")?)?,
+            src: Reg::deserialize(value.required("src")?)?,
+        })
+    }
+}
+
+impl Serialize for IsaMode {
+    fn serialize(&self) -> Value {
+        Value::Str(self.wire_name().to_string())
+    }
+}
+
+impl Deserialize for IsaMode {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let text = String::deserialize(value)?;
+        IsaMode::from_wire_name(&text)
+            .ok_or_else(|| Error::new(format!("unknown ISA mode `{text}`")))
+    }
+}
+
+impl Serialize for Machine {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("n", self.n().serialize()),
+            ("scratch", self.scratch().serialize()),
+            ("mode", self.mode().serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Machine {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let n = u8::deserialize(value.required("n")?)?;
+        let scratch = u8::deserialize(value.required("scratch")?)?;
+        let mode = IsaMode::deserialize(value.required("mode")?)?;
+        if !(2..=14).contains(&n) || n + scratch > crate::state::MAX_REGS {
+            return Err(Error::new(format!(
+                "machine n={n} scratch={scratch} out of range"
+            )));
+        }
+        Ok(Machine::new(n, scratch, mode))
+    }
+}
+
+impl Serialize for MachineState {
+    fn serialize(&self) -> Value {
+        self.bits().serialize()
+    }
+}
+
+impl Deserialize for MachineState {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        u64::deserialize(value).map(MachineState::from_bits)
+    }
+}

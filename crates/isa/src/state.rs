@@ -26,7 +26,6 @@ use crate::machine::Reg;
 /// assert!(!st.lt_flag() && !st.gt_flag());
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineState(u64);
 
 const LT_BIT: u64 = 1 << 60;

@@ -7,7 +7,11 @@ use sortsynth_isa::{
 };
 
 fn arb_machine() -> impl Strategy<Value = Machine> {
-    (2u8..=5, 1u8..=2, prop_oneof![Just(IsaMode::Cmov), Just(IsaMode::MinMax)])
+    (
+        2u8..=5,
+        1u8..=2,
+        prop_oneof![Just(IsaMode::Cmov), Just(IsaMode::MinMax)],
+    )
         .prop_map(|(n, m, mode)| Machine::new(n, m, mode))
 }
 

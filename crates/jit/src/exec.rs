@@ -82,7 +82,13 @@ impl ExecBuf {
         // SAFETY: `ptr..ptr+code.len()` is within the fresh RW mapping.
         unsafe { ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len()) };
         // SAFETY: flipping our own fresh mapping to RX.
-        let rc = unsafe { libc::mprotect(ptr as *mut libc::c_void, len, libc::PROT_READ | libc::PROT_EXEC) };
+        let rc = unsafe {
+            libc::mprotect(
+                ptr as *mut libc::c_void,
+                len,
+                libc::PROT_READ | libc::PROT_EXEC,
+            )
+        };
         if rc != 0 {
             // SAFETY: unmapping the mapping we just created.
             unsafe { libc::munmap(ptr as *mut libc::c_void, len) };

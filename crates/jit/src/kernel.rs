@@ -120,12 +120,12 @@ fn emit(machine: &Machine, prog: &[Instr]) -> Result<Vec<u8>, JitError> {
                 });
             }
             let reg = |r: sortsynth_isa::Reg| pool[r.index() as usize];
-            for i in 0..n {
-                asm.load(pool[i], Gpr::RDI, (4 * i) as i8);
+            for (i, &gpr) in pool.iter().enumerate().take(n) {
+                asm.load(gpr, Gpr::RDI, (4 * i) as i8);
             }
             // Scratch registers start at 0 in the machine model.
-            for i in n..regs {
-                asm.xor_self(pool[i]);
+            for &gpr in pool.iter().take(regs).skip(n) {
+                asm.xor_self(gpr);
             }
             for &instr in prog {
                 let (dst, src) = (reg(instr.dst), reg(instr.src));
@@ -137,8 +137,8 @@ fn emit(machine: &Machine, prog: &[Instr]) -> Result<Vec<u8>, JitError> {
                     Op::Min | Op::Max => unreachable!("checked against the ISA above"),
                 }
             }
-            for i in 0..n {
-                asm.store(Gpr::RDI, (4 * i) as i8, pool[i]);
+            for (i, &gpr) in pool.iter().enumerate().take(n) {
+                asm.store(Gpr::RDI, (4 * i) as i8, gpr);
             }
         }
         IsaMode::MinMax => {
@@ -191,7 +191,14 @@ mod tests {
     fn cas_sorts_two_values() {
         let m = Machine::new(2, 1, IsaMode::Cmov);
         let k = compile(&m, "mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1");
-        for (a, b) in [(1, 2), (2, 1), (5, 5), (-7, 3), (3, -7), (i32::MAX, i32::MIN)] {
+        for (a, b) in [
+            (1, 2),
+            (2, 1),
+            (5, 5),
+            (-7, 3),
+            (3, -7),
+            (i32::MAX, i32::MIN),
+        ] {
             let mut data = [a, b];
             k.run(&mut data);
             assert_eq!(data, [a.min(b), a.max(b)], "input ({a}, {b})");
@@ -260,7 +267,10 @@ mod tests {
     fn too_many_registers_rejected() {
         let m = Machine::new(6, 3, IsaMode::Cmov); // 9 > 8 GPRs
         match JitKernel::compile(&m, &[]) {
-            Err(JitError::TooManyRegisters { needed: 9, available: 8 }) => {}
+            Err(JitError::TooManyRegisters {
+                needed: 9,
+                available: 8,
+            }) => {}
             other => panic!("expected TooManyRegisters, got {other:?}"),
         }
     }

@@ -172,7 +172,17 @@ pub fn mimicry4(d: &mut [i32]) {
 /// `swap`, n = 5: the optimal 9-comparator network on locals.
 pub fn swap5(d: &mut [i32]) {
     let mut v = [d[0], d[1], d[2], d[3], d[4]];
-    for (i, j) in [(0, 1), (3, 4), (2, 4), (2, 3), (1, 4), (0, 3), (0, 2), (1, 3), (1, 2)] {
+    for (i, j) in [
+        (0, 1),
+        (3, 4),
+        (2, 4),
+        (2, 3),
+        (1, 4),
+        (0, 3),
+        (0, 2),
+        (1, 3),
+        (1, 2),
+    ] {
         if v[i] > v[j] {
             v.swap(i, j);
         }
@@ -188,12 +198,36 @@ pub fn std_sort5(d: &mut [i32]) {
 /// The §5.3 n = 3 contestant list.
 pub fn native3() -> Vec<NativeSorter> {
     vec![
-        NativeSorter { name: "cassioneri", n: 3, sort: cassioneri3 },
-        NativeSorter { name: "mimicry", n: 3, sort: mimicry3 },
-        NativeSorter { name: "branchless", n: 3, sort: branchless3 },
-        NativeSorter { name: "default", n: 3, sort: default3 },
-        NativeSorter { name: "swap", n: 3, sort: swap3 },
-        NativeSorter { name: "std", n: 3, sort: std_sort3 },
+        NativeSorter {
+            name: "cassioneri",
+            n: 3,
+            sort: cassioneri3,
+        },
+        NativeSorter {
+            name: "mimicry",
+            n: 3,
+            sort: mimicry3,
+        },
+        NativeSorter {
+            name: "branchless",
+            n: 3,
+            sort: branchless3,
+        },
+        NativeSorter {
+            name: "default",
+            n: 3,
+            sort: default3,
+        },
+        NativeSorter {
+            name: "swap",
+            n: 3,
+            sort: swap3,
+        },
+        NativeSorter {
+            name: "std",
+            n: 3,
+            sort: std_sort3,
+        },
     ]
 }
 
@@ -201,11 +235,31 @@ pub fn native3() -> Vec<NativeSorter> {
 /// the paper's footnote).
 pub fn native4() -> Vec<NativeSorter> {
     vec![
-        NativeSorter { name: "mimicry", n: 4, sort: mimicry4 },
-        NativeSorter { name: "branchless", n: 4, sort: branchless4 },
-        NativeSorter { name: "default", n: 4, sort: default4 },
-        NativeSorter { name: "swap", n: 4, sort: swap4 },
-        NativeSorter { name: "std", n: 4, sort: std_sort4 },
+        NativeSorter {
+            name: "mimicry",
+            n: 4,
+            sort: mimicry4,
+        },
+        NativeSorter {
+            name: "branchless",
+            n: 4,
+            sort: branchless4,
+        },
+        NativeSorter {
+            name: "default",
+            n: 4,
+            sort: default4,
+        },
+        NativeSorter {
+            name: "swap",
+            n: 4,
+            sort: swap4,
+        },
+        NativeSorter {
+            name: "std",
+            n: 4,
+            sort: std_sort4,
+        },
     ]
 }
 

@@ -153,10 +153,10 @@ mod tests {
     fn handles_adversarial_patterns() {
         let kernel = kernel3();
         for pattern in [
-            vec![5i32; 100],                         // all equal
-            (0..100).collect::<Vec<i32>>(),          // sorted
-            (0..100).rev().collect::<Vec<i32>>(),    // reversed
-            (0..50).chain((0..50).rev()).collect(),  // organ pipe
+            vec![5i32; 100],                        // all equal
+            (0..100).collect::<Vec<i32>>(),         // sorted
+            (0..100).rev().collect::<Vec<i32>>(),   // reversed
+            (0..50).chain((0..50).rev()).collect(), // organ pipe
         ] {
             let mut expected = pattern.clone();
             expected.sort_unstable();

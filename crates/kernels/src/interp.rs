@@ -117,8 +117,7 @@ mod tests {
             packed = m.run(&prog, packed);
             let mut wide: Vec<i32> = perm.iter().map(|&v| v as i32).collect();
             interpret(&m, &prog, &mut wide);
-            let packed_vals: Vec<i32> =
-                packed.values(3).into_iter().map(|v| v as i32).collect();
+            let packed_vals: Vec<i32> = packed.values(3).into_iter().map(|v| v as i32).collect();
             assert_eq!(wide, packed_vals, "perm {perm:?}");
         }
     }

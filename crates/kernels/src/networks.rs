@@ -108,12 +108,22 @@ pub fn optimal_network(n: u8) -> Vec<Comparator> {
 /// Panics if `machine` is not a cmov machine with at least one scratch
 /// register, or a comparator is out of range.
 pub fn network_to_cmov(machine: &Machine, network: &[Comparator]) -> Program {
-    assert_eq!(machine.mode(), IsaMode::Cmov, "cmov pattern needs the cmov ISA");
-    assert!(machine.scratch() >= 1, "compare-and-swap needs a scratch register");
+    assert_eq!(
+        machine.mode(),
+        IsaMode::Cmov,
+        "cmov pattern needs the cmov ISA"
+    );
+    assert!(
+        machine.scratch() >= 1,
+        "compare-and-swap needs a scratch register"
+    );
     let scratch = Reg::new(machine.n());
     let mut prog = Program::new();
     for &(i, j) in network {
-        assert!(i < j && j < machine.n(), "comparator ({i}, {j}) out of range");
+        assert!(
+            i < j && j < machine.n(),
+            "comparator ({i}, {j}) out of range"
+        );
         let (lo, hi) = (Reg::new(i), Reg::new(j));
         prog.push(Instr::new(Op::Mov, scratch, lo));
         prog.push(Instr::new(Op::Cmp, lo, hi));
@@ -144,11 +154,17 @@ pub fn network_to_minmax(machine: &Machine, network: &[Comparator]) -> Program {
         IsaMode::MinMax,
         "min/max pattern needs the min/max ISA"
     );
-    assert!(machine.scratch() >= 1, "compare-and-swap needs a scratch register");
+    assert!(
+        machine.scratch() >= 1,
+        "compare-and-swap needs a scratch register"
+    );
     let scratch = Reg::new(machine.n());
     let mut prog = Program::new();
     for &(i, j) in network {
-        assert!(i < j && j < machine.n(), "comparator ({i}, {j}) out of range");
+        assert!(
+            i < j && j < machine.n(),
+            "comparator ({i}, {j}) out of range"
+        );
         let (lo, hi) = (Reg::new(i), Reg::new(j));
         prog.push(Instr::new(Op::Mov, scratch, lo));
         prog.push(Instr::new(Op::Min, lo, hi));

@@ -44,8 +44,7 @@ mod tests {
         assert_eq!(inputs.len(), 50);
         assert!(inputs.iter().all(|a| (1..=2000).contains(&a.len())));
         // Lengths actually vary.
-        let distinct: std::collections::HashSet<usize> =
-            inputs.iter().map(Vec::len).collect();
+        let distinct: std::collections::HashSet<usize> = inputs.iter().map(Vec::len).collect();
         assert!(distinct.len() > 10);
     }
 

@@ -66,7 +66,8 @@ pub fn encode_synthesis(machine: &Machine) -> (Problem, Vec<Instr>, Layout) {
     let mut init = Vec::new();
     for (p, perm) in perms.iter().enumerate() {
         for r in 0..regs {
-            let v = if r < n { perm[r] as usize } else { 0 };
+            // Scratch registers (r >= n) start zeroed.
+            let v = perm.get(r).map_or(0, |&pv| pv as usize);
             init.push(layout.x(p, r, v));
         }
         let (_, not_lt, _, not_gt) = layout.flags(p);
@@ -117,15 +118,9 @@ fn encode_action(machine: &Machine, layout: &Layout, instr: Instr) -> Action {
                     for v2 in 0..vals {
                         let when = vec![layout.x(p, d, v1), layout.x(p, s, v2)];
                         let (add, del) = match v1.cmp(&v2) {
-                            std::cmp::Ordering::Less => {
-                                (vec![lt, not_gt], vec![not_lt, gt])
-                            }
-                            std::cmp::Ordering::Greater => {
-                                (vec![gt, not_lt], vec![not_gt, lt])
-                            }
-                            std::cmp::Ordering::Equal => {
-                                (vec![not_lt, not_gt], vec![lt, gt])
-                            }
+                            std::cmp::Ordering::Less => (vec![lt, not_gt], vec![not_lt, gt]),
+                            std::cmp::Ordering::Greater => (vec![gt, not_lt], vec![not_gt, lt]),
+                            std::cmp::Ordering::Equal => (vec![not_lt, not_gt], vec![lt, gt]),
                         };
                         effects.push(ConditionalEffect { when, add, del });
                     }
@@ -134,13 +129,7 @@ fn encode_action(machine: &Machine, layout: &Layout, instr: Instr) -> Action {
             Op::Cmovl | Op::Cmovg => {
                 let flag = if instr.op == Op::Cmovl { lt } else { gt };
                 for v in 0..vals {
-                    effects.push(write_effect(
-                        layout,
-                        p,
-                        d,
-                        v,
-                        vec![flag, layout.x(p, s, v)],
-                    ));
+                    effects.push(write_effect(layout, p, d, v, vec![flag, layout.x(p, s, v)]));
                 }
             }
             Op::Min | Op::Max => {
@@ -172,7 +161,13 @@ fn encode_action(machine: &Machine, layout: &Layout, instr: Instr) -> Action {
 
 /// Effect: under `when`, register `(p, d)` becomes `v` (add the value fact,
 /// delete all others).
-fn write_effect(layout: &Layout, p: usize, d: usize, v: usize, when: Vec<Fact>) -> ConditionalEffect {
+fn write_effect(
+    layout: &Layout,
+    p: usize,
+    d: usize,
+    v: usize,
+    when: Vec<Fact>,
+) -> ConditionalEffect {
     write_effect_with(layout, p, d, v, when)
 }
 
@@ -233,7 +228,12 @@ mod tests {
             .unwrap();
         let plan: Vec<usize> = kernel
             .iter()
-            .map(|i| instrs.iter().position(|j| j == i).expect("kernel uses canonical actions"))
+            .map(|i| {
+                instrs
+                    .iter()
+                    .position(|j| j == i)
+                    .expect("kernel uses canonical actions")
+            })
             .collect();
         assert!(problem.validate(&plan));
     }
@@ -247,7 +247,11 @@ mod tests {
         let plan = result.plan.expect("solved");
         assert_eq!(plan.len(), 4, "BFS finds the optimal plan length");
         let prog = plan_to_program(&plan, &instrs);
-        assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+        assert!(
+            machine.is_correct(&prog),
+            "{}",
+            machine.format_program(&prog)
+        );
     }
 
     #[test]

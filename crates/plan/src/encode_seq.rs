@@ -126,7 +126,7 @@ pub fn encode_synthesis_seq(machine: &Machine, len: u32) -> (Problem, Vec<Instr>
     let init_regs = |p: usize| -> (Vec<Fact>, Vec<Fact>) {
         let mut add = Vec::new();
         for r in 0..layout.regs {
-            let v = if r < n { perms[p][r] as usize } else { 0 };
+            let v = perms[p].get(r).map_or(0, |&pv| pv as usize);
             add.push(layout.x(r, v));
         }
         add.push(not_lt);
@@ -134,7 +134,7 @@ pub fn encode_synthesis_seq(machine: &Machine, len: u32) -> (Problem, Vec<Instr>
         // Delete every other register-value fact (harmless if absent).
         let mut del = Vec::new();
         for r in 0..layout.regs {
-            let v_keep = if r < n { perms[p][r] as usize } else { 0 };
+            let v_keep = perms[p].get(r).map_or(0, |&pv| pv as usize);
             for v in 0..layout.vals {
                 if v != v_keep {
                     del.push(layout.x(r, v));
@@ -157,7 +157,11 @@ pub fn encode_synthesis_seq(machine: &Machine, len: u32) -> (Problem, Vec<Instr>
         actions.push(Action {
             name: "switch-to-replay".into(),
             pre: vec![layout.cursor(layout.len)],
-            effects: vec![ConditionalEffect { when: vec![], add, del }],
+            effects: vec![ConditionalEffect {
+                when: vec![],
+                add,
+                del,
+            }],
         });
     }
 
@@ -207,7 +211,11 @@ pub fn encode_synthesis_seq(machine: &Machine, len: u32) -> (Problem, Vec<Instr>
                 Op::Min | Op::Max => {
                     for v1 in 0..layout.vals {
                         for v2 in 0..layout.vals {
-                            let result = if instr.op == Op::Min { v1.min(v2) } else { v1.max(v2) };
+                            let result = if instr.op == Op::Min {
+                                v1.min(v2)
+                            } else {
+                                v1.max(v2)
+                            };
                             effects.push(write(result, vec![layout.x(d, v1), layout.x(s, v2)]));
                         }
                     }
@@ -240,7 +248,11 @@ pub fn encode_synthesis_seq(machine: &Machine, len: u32) -> (Problem, Vec<Instr>
         actions.push(Action {
             name: format!("finish perm {p}"),
             pre,
-            effects: vec![ConditionalEffect { when: vec![], add, del }],
+            effects: vec![ConditionalEffect {
+                when: vec![],
+                add,
+                del,
+            }],
         });
     }
 
@@ -353,7 +365,9 @@ mod tests {
                 let exec = problem
                     .actions
                     .iter()
-                    .position(|act| act.name == format!("exec[{t}] {}", machine.format_instr(*instr)))
+                    .position(|act| {
+                        act.name == format!("exec[{t}] {}", machine.format_instr(*instr))
+                    })
                     .expect("exec action exists");
                 let _ = a;
                 plan.push(exec);
@@ -365,7 +379,10 @@ mod tests {
                 .expect("finish exists");
             plan.push(finish);
         }
-        assert!(problem.validate(&plan), "hand-built Plan-Seq plan validates");
+        assert!(
+            problem.validate(&plan),
+            "hand-built Plan-Seq plan validates"
+        );
     }
 
     #[test]
@@ -384,6 +401,10 @@ mod tests {
         let plan = result.plan.expect("solved");
         let prog = seq_plan_program(&plan, &problem, &instrs, &layout);
         assert_eq!(prog.len(), 4);
-        assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+        assert!(
+            machine.is_correct(&prog),
+            "{}",
+            machine.format_program(&prog)
+        );
     }
 }

@@ -65,6 +65,10 @@ pub struct PlanLimits {
     pub timeout: Option<Duration>,
 }
 
+/// A search node: the state, the parent link `(node index, action index)`,
+/// and the g-cost (plan depth).
+type SearchNode = (State, Option<(u32, usize)>, u32);
+
 /// Solves `problem` with the given strategy.
 pub fn solve(problem: &Problem, strategy: PlanStrategy, limits: PlanLimits) -> PlanResult {
     let start = Instant::now();
@@ -74,7 +78,7 @@ pub fn solve(problem: &Problem, strategy: PlanStrategy, limits: PlanLimits) -> P
     let mut expanded = 0u64;
     let mut generated = 1u64;
     // parent map: state -> (parent state index, action)
-    let mut nodes: Vec<(State, Option<(u32, usize)>, u32)> = vec![(init.clone(), None, 0)];
+    let mut nodes: Vec<SearchNode> = vec![(init.clone(), None, 0)];
     let mut seen: HashMap<State, u32> = HashMap::new();
     seen.insert(init.clone(), 0);
 
@@ -204,7 +208,7 @@ fn priority(strategy: PlanStrategy, g: u32, h: f64) -> u64 {
     }
 }
 
-fn extract_plan(nodes: &[(State, Option<(u32, usize)>, u32)], mut idx: u32) -> Vec<usize> {
+fn extract_plan(nodes: &[SearchNode], mut idx: u32) -> Vec<usize> {
     let mut plan = Vec::new();
     while let Some((parent, action)) = nodes[idx as usize].1 {
         plan.push(action);

@@ -253,7 +253,10 @@ mod tests {
         };
         let s1 = p.apply(&p.initial_state(), &p.actions[0]);
         assert!(s1.holds(Fact(1)));
-        assert!(!s1.holds(Fact(2)), "conditions must not see this action's adds");
+        assert!(
+            !s1.holds(Fact(2)),
+            "conditions must not see this action's adds"
+        );
     }
 
     #[test]

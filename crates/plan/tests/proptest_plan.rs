@@ -3,16 +3,19 @@
 
 use proptest::prelude::*;
 use sortsynth_plan::{
-    solve, Action, ConditionalEffect, Fact, PlanHeuristic, PlanLimits, PlanOutcome,
-    PlanStrategy, Problem,
+    solve, Action, ConditionalEffect, Fact, PlanHeuristic, PlanLimits, PlanOutcome, PlanStrategy,
+    Problem,
 };
 
 /// Random small STRIPS problems: a token-passing graph where action
 /// `(i → j)` moves the token from node i to node j along randomly chosen
 /// edges. Always solvable iff the goal node is reachable.
 fn arb_problem() -> impl Strategy<Value = Problem> {
-    (2usize..8, prop::collection::vec((0usize..8, 0usize..8), 1..20)).prop_map(
-        |(nodes, edges)| {
+    (
+        2usize..8,
+        prop::collection::vec((0usize..8, 0usize..8), 1..20),
+    )
+        .prop_map(|(nodes, edges)| {
             let actions = edges
                 .into_iter()
                 .map(|(from, to)| (from % nodes, to % nodes))
@@ -33,8 +36,7 @@ fn arb_problem() -> impl Strategy<Value = Problem> {
                 goal: vec![Fact((nodes - 1) as u32)],
                 actions,
             }
-        },
-    )
+        })
 }
 
 proptest! {

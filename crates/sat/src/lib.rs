@@ -103,10 +103,10 @@ mod tests {
             let clause: Vec<Lit> = pigeon.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&clause);
         }
-        for hole in 0..3 {
-            for i in 0..4 {
-                for j in (i + 1)..4 {
-                    s.add_clause(&[Lit::neg(p[i][hole]), Lit::neg(p[j][hole])]);
+        for (i, pi) in p.iter().enumerate() {
+            for pj in &p[i + 1..] {
+                for (&a, &b) in pi.iter().zip(pj) {
+                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
                 }
             }
         }
@@ -122,10 +122,10 @@ mod tests {
             let clause: Vec<Lit> = pigeon.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&clause);
         }
-        for hole in 0..6 {
-            for i in 0..7 {
-                for j in (i + 1)..7 {
-                    s.add_clause(&[Lit::neg(p[i][hole]), Lit::neg(p[j][hole])]);
+        for (i, pi) in p.iter().enumerate() {
+            for pj in &p[i + 1..] {
+                for (&a, &b) in pi.iter().zip(pj) {
+                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
                 }
             }
         }
@@ -155,17 +155,22 @@ mod tests {
             }
             // Brute force over 2^6 assignments.
             let brute_sat = (0u32..1 << num_vars).any(|bits| {
-                clauses.iter().all(|c| {
-                    c.iter()
-                        .any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos)
-                })
+                clauses
+                    .iter()
+                    .all(|c| c.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos))
             });
             let mut s = Solver::new();
             let vars = lits(&mut s, num_vars);
             for c in &clauses {
                 let lits: Vec<Lit> = c
                     .iter()
-                    .map(|&(v, pos)| if pos { Lit::pos(vars[v]) } else { Lit::neg(vars[v]) })
+                    .map(|&(v, pos)| {
+                        if pos {
+                            Lit::pos(vars[v])
+                        } else {
+                            Lit::neg(vars[v])
+                        }
+                    })
                     .collect();
                 s.add_clause(&lits);
             }
@@ -179,9 +184,7 @@ mod tests {
             if got == SolveResult::Sat {
                 // The returned model must actually satisfy every clause.
                 for c in &clauses {
-                    assert!(c
-                        .iter()
-                        .any(|&(v, pos)| s.value(vars[v]) == Some(pos)));
+                    assert!(c.iter().any(|&(v, pos)| s.value(vars[v]) == Some(pos)));
                 }
             }
         }

@@ -1,0 +1,144 @@
+//! Cooperative search budgets: absolute deadlines and external cancellation.
+//!
+//! A [`SearchBudget`] is threaded into the engine through
+//! [`crate::SynthesisConfig::search_budget`] and is checked at the engine's
+//! existing limit points (per expansion in the serial paths, per layer in
+//! parallel layered mode). It complements the relative
+//! [`crate::SynthesisConfig::time_limit`]:
+//!
+//! * a budget carries an **absolute** deadline, so a service can derive it
+//!   once from a request's arrival time and hand it down through queueing
+//!   delays without the clock restarting when the search starts, and
+//! * a budget can be **cancelled from another thread** via its
+//!   [`CancelHandle`], which is how a request server revokes work whose
+//!   client has gone away.
+//!
+//! Expiry and cancellation are cooperative: the engine returns with
+//! [`crate::Outcome::TimeLimit`] or [`crate::Outcome::Cancelled`] and the
+//! partial [`crate::SearchStats`] collected so far; no thread is killed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A deadline and/or cancellation token bounding one synthesis run.
+///
+/// Cloning shares the underlying cancellation flag: cancelling through a
+/// [`CancelHandle`] stops every search running under a clone of this budget.
+#[derive(Debug, Clone, Default)]
+pub struct SearchBudget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+/// Remote control for a [`SearchBudget`]: lets another thread request that
+/// the search stop at its next limit check.
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+impl SearchBudget {
+    /// A budget that never expires and cannot be cancelled.
+    pub fn unlimited() -> Self {
+        SearchBudget::default()
+    }
+
+    /// A budget expiring at an absolute instant.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        SearchBudget {
+            deadline: Some(deadline),
+            cancel: None,
+        }
+    }
+
+    /// A budget expiring `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Attaches a cancellation flag, returning the handle that trips it.
+    pub fn cancellable(mut self) -> (Self, CancelHandle) {
+        let flag = Arc::new(AtomicBool::new(false));
+        self.cancel = Some(Arc::clone(&flag));
+        (self, CancelHandle { flag })
+    }
+
+    /// The absolute deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time remaining until the deadline (`None` when no deadline is set,
+    /// zero once expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether cancellation has been requested through a [`CancelHandle`].
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn is_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether the search should stop (expired or cancelled).
+    pub fn is_exhausted(&self) -> bool {
+        self.is_cancelled() || self.is_expired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let budget = SearchBudget::unlimited();
+        assert!(!budget.is_exhausted());
+        assert!(budget.deadline().is_none());
+        assert!(budget.remaining().is_none());
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let budget = SearchBudget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(budget.is_expired());
+        assert!(budget.is_exhausted());
+        assert_eq!(budget.remaining(), Some(Duration::ZERO));
+
+        let future = SearchBudget::with_timeout(Duration::from_secs(3600));
+        assert!(!future.is_expired());
+        assert!(future.remaining().unwrap() > Duration::from_secs(3599));
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let (budget, handle) = SearchBudget::unlimited().cancellable();
+        let clone = budget.clone();
+        assert!(!budget.is_cancelled());
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        assert!(budget.is_cancelled());
+        assert!(clone.is_cancelled());
+        assert!(clone.is_exhausted());
+    }
+}

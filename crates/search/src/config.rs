@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use sortsynth_isa::Machine;
 
+use crate::budget::SearchBudget;
+
 /// Open-state selection strategy (§3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
@@ -116,6 +118,10 @@ pub struct SynthesisConfig {
     pub node_limit: Option<u64>,
     /// Abort after this much wall-clock time.
     pub time_limit: Option<Duration>,
+    /// Cooperative deadline/cancellation budget (see [`SearchBudget`]).
+    /// Unlike `time_limit`, its deadline is absolute and it can be revoked
+    /// from another thread mid-search.
+    pub budget: SearchBudget,
     /// Record a progress sample every this many generated states
     /// (0 disables; used to regenerate the paper's Figure 1).
     pub progress_every: u64,
@@ -136,6 +142,7 @@ impl SynthesisConfig {
             all_solutions: false,
             node_limit: None,
             time_limit: None,
+            budget: SearchBudget::unlimited(),
             progress_every: 0,
         }
     }
@@ -205,6 +212,13 @@ impl SynthesisConfig {
     /// Aborts the search after `limit` wall-clock time.
     pub fn time_limit(mut self, limit: Duration) -> Self {
         self.time_limit = Some(limit);
+        self
+    }
+
+    /// Bounds the search with a cooperative [`SearchBudget`] (absolute
+    /// deadline and/or external cancellation).
+    pub fn search_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
         self
     }
 

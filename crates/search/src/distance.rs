@@ -92,6 +92,14 @@ pub struct DistanceTable {
 }
 
 impl DistanceTable {
+    /// Whether `machine` is within the table's representable limits
+    /// ([`ActionSet`] holds at most 256 action indices). Machines with many
+    /// scratch registers exceed this; callers should fall back to searching
+    /// without the table rather than calling [`DistanceTable::build`].
+    pub fn supports(machine: &Machine) -> bool {
+        machine.actions().len() <= 256
+    }
+
     /// Builds the table by backward induction from the sorted assignments.
     ///
     /// With `with_first_moves`, additionally records for every assignment the
@@ -99,7 +107,10 @@ impl DistanceTable {
     /// "optimal instructions" guide). This roughly doubles memory.
     pub fn build(machine: &Machine, with_first_moves: bool) -> Self {
         let actions = machine.actions();
-        assert!(actions.len() <= 256, "ActionSet supports at most 256 actions");
+        assert!(
+            actions.len() <= 256,
+            "ActionSet supports at most 256 actions"
+        );
         let regs = machine.num_regs() as usize;
         let radix = machine.n() as usize + 1;
         let flag_stride = radix.pow(regs as u32);
@@ -108,10 +119,10 @@ impl DistanceTable {
         let mut dist = vec![UNSORTABLE; total];
         // Seed: every assignment whose value registers read 1..=n is sorted.
         let mut frontier: Vec<u32> = Vec::new();
-        for idx in 0..total {
+        for (idx, d) in dist.iter_mut().enumerate() {
             let st = decode(machine, radix, flag_stride, idx);
             if machine.is_sorted(st) {
-                dist[idx] = 0;
+                *d = 0;
                 frontier.push(idx as u32);
             }
         }

@@ -26,8 +26,11 @@ pub enum Outcome {
     Exhausted,
     /// The state budget ([`SynthesisConfig::node_limit`]) was hit.
     NodeLimit,
-    /// The wall-clock budget ([`SynthesisConfig::time_limit`]) was hit.
+    /// The wall-clock budget ([`SynthesisConfig::time_limit`] or the
+    /// [`crate::SearchBudget`] deadline) was hit.
     TimeLimit,
+    /// The run's [`crate::SearchBudget`] was cancelled from another thread.
+    Cancelled,
 }
 
 /// One sample of search progress, for regenerating the paper's Figure 1.
@@ -247,7 +250,10 @@ struct Engine<'a> {
 impl<'a> Engine<'a> {
     fn new(cfg: &'a SynthesisConfig) -> Self {
         let mut stats = SearchStats::default();
-        let table = if cfg.needs_distance_table() {
+        // Machines with many scratch registers overflow the table's action
+        // bitset; they search without the distance-based aids instead of
+        // panicking.
+        let table = if cfg.needs_distance_table() && DistanceTable::supports(&cfg.machine) {
             let t0 = Instant::now();
             let table = DistanceTable::build(&cfg.machine, cfg.optimal_instrs_only);
             stats.distance_build = t0.elapsed();
@@ -256,6 +262,12 @@ impl<'a> Engine<'a> {
             None
         };
         let start = Instant::now();
+        // Effective deadline: the earlier of the relative time limit and the
+        // budget's absolute deadline.
+        let deadline = match (cfg.time_limit.map(|d| start + d), cfg.budget.deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         Engine {
             actions: cfg.machine.actions(),
             table,
@@ -266,7 +278,7 @@ impl<'a> Engine<'a> {
             bound: cfg.max_len.unwrap_or(u32::MAX),
             stats,
             start,
-            deadline: cfg.time_limit.map(|d| start + d),
+            deadline,
             pending_frontier: Vec::new(),
             cfg,
         }
@@ -450,7 +462,13 @@ impl<'a> Engine<'a> {
             self.stats.expanded += 1;
             let cut_threshold = self.cut_threshold_for(entry.g);
             candidates.clear();
-            self.expand_into(&entry.state, entry.node, entry.g, cut_threshold, &mut candidates);
+            self.expand_into(
+                &entry.state,
+                entry.node,
+                entry.g,
+                cut_threshold,
+                &mut candidates,
+            );
             for cand in candidates.drain(..) {
                 let perm = cand.perm;
                 let goal_state = cand.goal.then(|| cand.succ.clone());
@@ -514,8 +532,8 @@ impl<'a> Engine<'a> {
         cut_threshold: Option<u32>,
         out: &mut Vec<Candidate>,
     ) {
+        // `expanded` stays 0 here; it is counted by callers.
         let mut counters = WorkerCounters::default();
-        counters.expanded = 0; // counted by callers
         self.expand_worker(state, node, g, cut_threshold, out, &mut counters);
         self.stats.generated += counters.generated;
         self.stats.viability_pruned += counters.viability_pruned;
@@ -535,15 +553,9 @@ impl<'a> Engine<'a> {
         counters: &mut WorkerCounters,
     ) {
         counters.expanded += 1;
-        let allowed = if self.cfg.optimal_instrs_only {
-            Some(
-                self.table
-                    .as_ref()
-                    .expect("optimal_instrs_only requires the distance table")
-                    .optimal_first_moves(state),
-            )
-        } else {
-            None
+        let allowed = match &self.table {
+            Some(table) if self.cfg.optimal_instrs_only => Some(table.optimal_first_moves(state)),
+            _ => None,
         };
         let machine = &self.cfg.machine;
         for (ai, &instr) in self.actions.iter().enumerate() {
@@ -679,6 +691,9 @@ impl<'a> Engine<'a> {
                 return true;
             }
         }
+        if self.cfg.budget.is_cancelled() {
+            return true;
+        }
         if let Some(deadline) = self.deadline {
             // Time checks are cheap relative to state expansion; check every
             // call.
@@ -695,6 +710,9 @@ impl<'a> Engine<'a> {
                 return Outcome::NodeLimit;
             }
         }
+        if self.cfg.budget.is_cancelled() {
+            return Outcome::Cancelled;
+        }
         Outcome::TimeLimit
     }
 
@@ -710,7 +728,6 @@ impl<'a> Engine<'a> {
             });
         }
     }
-
 }
 
 #[derive(Default)]

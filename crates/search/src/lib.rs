@@ -38,6 +38,7 @@
 //! assert!(machine.is_correct(&kernel));
 //! ```
 
+mod budget;
 mod config;
 mod distance;
 mod engine;
@@ -46,11 +47,10 @@ mod lower_bound;
 mod solutions;
 mod state;
 
+pub use budget::{CancelHandle, SearchBudget};
 pub use config::{Cut, Heuristic, Strategy, SynthesisConfig};
 pub use distance::{ActionSet, DistanceTable, UNSORTABLE};
-pub use engine::{
-    synthesize, Outcome, ProgressSample, SearchStats, SolutionDag, SynthesisResult,
-};
+pub use engine::{synthesize, Outcome, ProgressSample, SearchStats, SolutionDag, SynthesisResult};
 pub use heuristics::heuristic_value;
 pub use lower_bound::{prove_no_solution, prove_optimal_length, BoundVerdict, LowerBoundResult};
 pub use solutions::{
@@ -74,7 +74,11 @@ mod tests {
         );
         let prog = result.first_program().expect("solution");
         assert_eq!(prog.len() as u32, expected_len);
-        assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+        assert!(
+            machine.is_correct(&prog),
+            "{}",
+            machine.format_program(&prog)
+        );
     }
 
     #[test]

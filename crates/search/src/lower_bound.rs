@@ -63,7 +63,7 @@ pub fn prove_no_solution(
     let verdict = match result.outcome {
         Outcome::Exhausted => BoundVerdict::NoSolution,
         Outcome::Solved | Outcome::SolvedAll => BoundVerdict::SolutionExists,
-        Outcome::NodeLimit | Outcome::TimeLimit => BoundVerdict::Inconclusive,
+        Outcome::NodeLimit | Outcome::TimeLimit | Outcome::Cancelled => BoundVerdict::Inconclusive,
     };
     LowerBoundResult {
         bound,
@@ -98,7 +98,7 @@ pub fn prove_optimal_length(
     match at.outcome {
         Outcome::Solved | Outcome::SolvedAll => Some(true),
         Outcome::Exhausted => Some(false),
-        Outcome::NodeLimit | Outcome::TimeLimit => None,
+        Outcome::NodeLimit | Outcome::TimeLimit | Outcome::Cancelled => None,
     }
 }
 

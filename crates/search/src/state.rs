@@ -102,7 +102,7 @@ impl StateSet {
             h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
             h2 = (h2.rotate_left(7) ^ x).wrapping_mul(K2);
         }
-        h1 ^= (self.assigns.len() as u64);
+        h1 ^= self.assigns.len() as u64;
         ((h1 as u128) << 64) | h2 as u128
     }
 }

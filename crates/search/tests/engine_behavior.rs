@@ -4,9 +4,7 @@
 use std::time::Duration;
 
 use sortsynth_isa::{IsaMode, Machine};
-use sortsynth_search::{
-    synthesize, Cut, Heuristic, Outcome, Strategy, SynthesisConfig,
-};
+use sortsynth_search::{synthesize, Cut, Heuristic, Outcome, Strategy, SynthesisConfig};
 
 fn m2() -> Machine {
     Machine::new(2, 1, IsaMode::Cmov)
@@ -31,8 +29,7 @@ fn exact_length_bound_still_finds_the_kernel() {
 #[test]
 fn zero_time_limit_reports_time_limit() {
     let result = synthesize(
-        &SynthesisConfig::new(Machine::new(3, 1, IsaMode::Cmov))
-            .time_limit(Duration::ZERO),
+        &SynthesisConfig::new(Machine::new(3, 1, IsaMode::Cmov)).time_limit(Duration::ZERO),
     );
     assert_eq!(result.outcome, Outcome::TimeLimit);
 }
@@ -51,7 +48,10 @@ fn stats_are_internally_consistent() {
         s.viability_pruned + s.cut_pruned + s.dedup_hits + (s.states_kept - 1),
         "pruning counters partition the generated states"
     );
-    assert!(s.distance_build > Duration::ZERO, "best config builds the table");
+    assert!(
+        s.distance_build > Duration::ZERO,
+        "best config builds the table"
+    );
 }
 
 #[test]
@@ -116,11 +116,9 @@ fn additive_cut_behaves_like_a_loose_factor() {
 
 #[test]
 fn astar_with_admissible_heuristic_certifies_minimality() {
-    let result = synthesize(
-        &SynthesisConfig::new(m2()).strategy(Strategy::AStar {
-            heuristic: Heuristic::MaxRemaining,
-        }),
-    );
+    let result = synthesize(&SynthesisConfig::new(m2()).strategy(Strategy::AStar {
+        heuristic: Heuristic::MaxRemaining,
+    }));
     assert_eq!(result.found_len, Some(4));
     assert!(result.minimal_certified);
 }
@@ -154,4 +152,21 @@ fn goal_states_have_multiple_parents_in_all_solutions_mode() {
             .max_len(11),
     );
     assert!(result.solution_count() > result.dag.goal_states() as u64);
+}
+
+#[test]
+fn oversized_machine_searches_without_the_distance_table() {
+    // 10 registers put the action count past the distance table's 256-action
+    // bitset; the distance-based aids must be skipped, not panic. The CAS
+    // still needs 4 instructions, so a bound of 3 exhausts.
+    let machine = Machine::new(2, 8, IsaMode::Cmov);
+    assert!(!sortsynth_search::DistanceTable::supports(&machine));
+    let result = synthesize(
+        &SynthesisConfig::new(machine)
+            .optimal_instrs_only(true)
+            .budget_viability(true)
+            .max_len(3),
+    );
+    assert_eq!(result.outcome, Outcome::Exhausted);
+    assert_eq!(result.found_len, None);
 }

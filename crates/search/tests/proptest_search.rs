@@ -13,7 +13,11 @@ fn machine() -> Machine {
 fn arb_assignment() -> impl Strategy<Value = MachineState> {
     (
         prop::collection::vec(0u8..=3, 4),
-        prop_oneof![Just((false, false)), Just((true, false)), Just((false, true))],
+        prop_oneof![
+            Just((false, false)),
+            Just((true, false)),
+            Just((false, true))
+        ],
     )
         .prop_map(|(vals, (lt, gt))| {
             let mut st = MachineState::from_values(&vals);

@@ -1,0 +1,57 @@
+//! A blocking client for the synthesis service.
+
+use std::io::{self, ErrorKind};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sortsynth_cache::KernelQuery;
+use sortsynth_isa::Machine;
+
+use crate::proto::{read_message, write_message, Request, Response};
+
+/// One connection to a synthesis server. Requests are pipelined strictly:
+/// each call writes one request frame and blocks for its response frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Caps how long a single response is awaited (`None` = forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and awaits its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_message(&mut self.stream, request)?;
+        read_message::<Response>(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(ErrorKind::UnexpectedEof, "server closed connection"))
+    }
+
+    /// Health check.
+    pub fn ping(&mut self) -> io::Result<Response> {
+        self.request(&Request::Ping)
+    }
+
+    /// Synthesizes (or fetches) the kernel for `query`.
+    pub fn synth(&mut self, query: KernelQuery, timeout_ms: Option<u64>) -> io::Result<Response> {
+        self.request(&Request::Synth { query, timeout_ms })
+    }
+
+    /// Checks a program's correctness.
+    pub fn check(&mut self, machine: Machine, program: String) -> io::Result<Response> {
+        self.request(&Request::Check { machine, program })
+    }
+
+    /// Requests static throughput analysis of a program.
+    pub fn analyze(&mut self, machine: Machine, program: String) -> io::Result<Response> {
+        self.request(&Request::Analyze { machine, program })
+    }
+}

@@ -1,0 +1,49 @@
+//! The kernel-synthesis service: a concurrent TCP server (and matching
+//! client) in front of the enumerative search engine.
+//!
+//! Synthesizing a sorting kernel is seconds-to-hours of search for a
+//! few-dozen-instruction answer, so the serving problem is dominated by
+//! three concerns, each owned by one module:
+//!
+//! * [`proto`] — a length-prefixed JSON wire protocol for `synth` / `check`
+//!   / `analyze` requests;
+//! * [`singleflight`] — concurrent identical queries coalesce onto a single
+//!   search; combined with the persistent [`sortsynth_cache::KernelCache`],
+//!   a cold query is searched exactly once no matter how many clients race;
+//! * [`server`] — a worker pool behind a *bounded* admission queue
+//!   (overload is shed explicitly, not queued indefinitely), with
+//!   per-request deadlines that propagate into the engine as a cooperative
+//!   [`sortsynth_search::SearchBudget`] — an expired request returns partial
+//!   search diagnostics instead of hanging a worker.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use sortsynth_cache::KernelQuery;
+//! use sortsynth_isa::IsaMode;
+//! use sortsynth_service::{Client, Server, ServiceConfig};
+//!
+//! let server = Server::bind(ServiceConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServiceConfig::default()
+//! })?;
+//! let handle = server.spawn();
+//!
+//! let mut client = Client::connect(handle.addr())?;
+//! let response = client.synth(KernelQuery::best(3, 1, IsaMode::Cmov), Some(5_000))?;
+//! println!("{response:?}");
+//! handle.shutdown()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod singleflight;
+
+pub use client::Client;
+pub use proto::{
+    AnalyzeReply, CheckReply, ReplySource, Request, Response, SynthReply, TimeoutReply,
+};
+pub use server::{Server, ServerHandle, ServiceConfig};
+pub use singleflight::{LeaderToken, Role, SingleFlight};

@@ -1,0 +1,470 @@
+//! The wire protocol: length-prefixed JSON frames and the typed
+//! request/response vocabulary.
+//!
+//! # Framing
+//!
+//! Every message is one frame: a `u32` big-endian payload length followed by
+//! that many bytes of UTF-8 JSON. Frames above [`MAX_FRAME`] bytes are a
+//! protocol error — the limit bounds per-connection memory and makes a
+//! desynchronized stream fail fast instead of allocating garbage lengths.
+//!
+//! # Messages
+//!
+//! Requests carry an `"op"` tag (`ping`, `synth`, `check`, `analyze`,
+//! `sleep`); responses carry a `"type"` tag. See [`Request`] and
+//! [`Response`] for the shapes. The `sleep` op exists for load testing: it
+//! occupies a worker for a bounded time without doing search work, which is
+//! how the admission-control tests make overload deterministic.
+
+use std::io::{self, ErrorKind, Read, Write};
+
+use serde::{Deserialize, Error, Serialize, Value};
+use sortsynth_cache::KernelQuery;
+use sortsynth_isa::Machine;
+
+/// Hard cap on one frame's payload (1 MiB).
+pub const MAX_FRAME: u32 = 1 << 20;
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+/// Writes one frame.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(ErrorKind::InvalidInput, "frame too large"));
+    }
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer closed the connection between messages).
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match reader.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "torn frame header",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Serializes a message and writes it as one frame.
+pub fn write_message(writer: &mut impl Write, message: &impl Serialize) -> io::Result<()> {
+    let payload = serde_json::to_vec(message).expect("value-tree serialization is infallible");
+    write_frame(writer, &payload)
+}
+
+/// Reads one frame and parses it as `T`. `Ok(None)` on clean EOF.
+pub fn read_message<T: Deserialize>(reader: &mut impl Read) -> io::Result<Option<T>> {
+    let Some(payload) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    serde_json::from_slice(&payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, format!("bad message: {e}")))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Health check; answered with [`Response::Pong`].
+    Ping,
+    /// Synthesize (or fetch from cache) the kernel for `query`.
+    Synth {
+        /// The canonical query.
+        query: KernelQuery,
+        /// Per-request deadline in milliseconds, measured from admission.
+        /// `None` uses the server's default.
+        timeout_ms: Option<u64>,
+    },
+    /// Check a program's correctness on the full permutation suite.
+    Check {
+        /// The machine to check against.
+        machine: Machine,
+        /// The program, in `Machine::parse_program` syntax.
+        program: String,
+    },
+    /// Static pipeline-throughput analysis of a program.
+    Analyze {
+        /// The machine the program targets.
+        machine: Machine,
+        /// The program, in `Machine::parse_program` syntax.
+        program: String,
+    },
+    /// Occupy a worker for `ms` milliseconds (diagnostic; capped server-side).
+    Sleep {
+        /// How long to hold the worker.
+        ms: u64,
+    },
+}
+
+/// Where a synth answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplySource {
+    /// This request ran the search.
+    Computed,
+    /// Served from the kernel cache.
+    Cache,
+    /// Coalesced onto another in-flight identical request (single-flight).
+    Coalesced,
+}
+
+impl ReplySource {
+    fn wire_name(self) -> &'static str {
+        match self {
+            ReplySource::Computed => "computed",
+            ReplySource::Cache => "cache",
+            ReplySource::Coalesced => "coalesced",
+        }
+    }
+
+    fn from_wire_name(name: &str) -> Option<Self> {
+        match name {
+            "computed" => Some(ReplySource::Computed),
+            "cache" => Some(ReplySource::Cache),
+            "coalesced" => Some(ReplySource::Coalesced),
+            _ => None,
+        }
+    }
+}
+
+/// A completed synthesis answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthReply {
+    /// The kernel in `Machine::parse_program` syntax, or `None` if the
+    /// search proved no program exists within the query's length bound.
+    pub program: Option<String>,
+    /// Length of the kernel, if one was found.
+    pub found_len: Option<u32>,
+    /// Whether the search configuration certifies minimality.
+    pub minimal_certified: bool,
+    /// Provenance of this answer.
+    pub source: ReplySource,
+    /// Wall-clock milliseconds of the producing search (0 for cache hits
+    /// would lie, so cache hits report the *original* search time).
+    pub search_millis: u64,
+}
+
+/// Diagnostics returned when a request's deadline expired mid-search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutReply {
+    /// States generated before the budget expired.
+    pub generated: u64,
+    /// States expanded before the budget expired.
+    pub expanded: u64,
+    /// Wall-clock milliseconds spent searching.
+    pub elapsed_ms: u64,
+    /// `true` if the budget was cancelled rather than timing out.
+    pub cancelled: bool,
+}
+
+/// A correctness-check answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckReply {
+    /// Whether the program sorts every permutation.
+    pub correct: bool,
+    /// Number of failing permutations.
+    pub counterexamples: u64,
+}
+
+/// A pipeline-analysis answer (mirrors `sortsynth_isa::PipelineReport`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeReply {
+    /// Steady-state cycles per kernel iteration.
+    pub cycles_per_iteration: f64,
+    /// Latency-weighted critical path (cycles).
+    pub critical_path: u32,
+    /// Port-pressure bound.
+    pub port_bound: f64,
+    /// Issue-width bound.
+    pub issue_bound: f64,
+    /// Whether latency (not ports/issue) limits throughput.
+    pub latency_bound: bool,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Synth`] when the search finished.
+    Synth(SynthReply),
+    /// Reply to [`Request::Check`].
+    Check(CheckReply),
+    /// Reply to [`Request::Analyze`].
+    Analyze(AnalyzeReply),
+    /// The request's deadline expired; partial diagnostics attached.
+    Timeout(TimeoutReply),
+    /// The admission queue was full; retry later.
+    Overloaded,
+    /// Reply to [`Request::Sleep`].
+    Slept,
+    /// The request was malformed or failed.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Serialize for Request {
+    fn serialize(&self) -> Value {
+        match self {
+            Request::Ping => Value::map([("op", s("ping"))]),
+            Request::Synth { query, timeout_ms } => Value::map([
+                ("op", s("synth")),
+                ("query", query.serialize()),
+                ("timeout_ms", timeout_ms.serialize()),
+            ]),
+            Request::Check { machine, program } => Value::map([
+                ("op", s("check")),
+                ("machine", machine.serialize()),
+                ("program", program.serialize()),
+            ]),
+            Request::Analyze { machine, program } => Value::map([
+                ("op", s("analyze")),
+                ("machine", machine.serialize()),
+                ("program", program.serialize()),
+            ]),
+            Request::Sleep { ms } => Value::map([("op", s("sleep")), ("ms", ms.serialize())]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let op = String::deserialize(value.required("op")?)?;
+        match op.as_str() {
+            "ping" => Ok(Request::Ping),
+            "synth" => Ok(Request::Synth {
+                query: KernelQuery::deserialize(value.required("query")?)?,
+                timeout_ms: match value.get("timeout_ms") {
+                    None => None,
+                    Some(v) => Option::<u64>::deserialize(v)?,
+                },
+            }),
+            "check" => Ok(Request::Check {
+                machine: Machine::deserialize(value.required("machine")?)?,
+                program: String::deserialize(value.required("program")?)?,
+            }),
+            "analyze" => Ok(Request::Analyze {
+                machine: Machine::deserialize(value.required("machine")?)?,
+                program: String::deserialize(value.required("program")?)?,
+            }),
+            "sleep" => Ok(Request::Sleep {
+                ms: u64::deserialize(value.required("ms")?)?,
+            }),
+            other => Err(Error::new(format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn serialize(&self) -> Value {
+        match self {
+            Response::Pong => Value::map([("type", s("pong"))]),
+            Response::Synth(reply) => Value::map([
+                ("type", s("synth")),
+                ("program", reply.program.serialize()),
+                ("found_len", reply.found_len.serialize()),
+                ("minimal_certified", reply.minimal_certified.serialize()),
+                ("source", s(reply.source.wire_name())),
+                ("search_millis", reply.search_millis.serialize()),
+            ]),
+            Response::Check(reply) => Value::map([
+                ("type", s("check")),
+                ("correct", reply.correct.serialize()),
+                ("counterexamples", reply.counterexamples.serialize()),
+            ]),
+            Response::Analyze(reply) => Value::map([
+                ("type", s("analyze")),
+                (
+                    "cycles_per_iteration",
+                    reply.cycles_per_iteration.serialize(),
+                ),
+                ("critical_path", reply.critical_path.serialize()),
+                ("port_bound", reply.port_bound.serialize()),
+                ("issue_bound", reply.issue_bound.serialize()),
+                ("latency_bound", reply.latency_bound.serialize()),
+            ]),
+            Response::Timeout(reply) => Value::map([
+                ("type", s("timeout")),
+                ("generated", reply.generated.serialize()),
+                ("expanded", reply.expanded.serialize()),
+                ("elapsed_ms", reply.elapsed_ms.serialize()),
+                ("cancelled", reply.cancelled.serialize()),
+            ]),
+            Response::Overloaded => Value::map([("type", s("overloaded"))]),
+            Response::Slept => Value::map([("type", s("slept"))]),
+            Response::Error { message } => {
+                Value::map([("type", s("error")), ("message", message.serialize())])
+            }
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let tag = String::deserialize(value.required("type")?)?;
+        match tag.as_str() {
+            "pong" => Ok(Response::Pong),
+            "synth" => {
+                let source_name = String::deserialize(value.required("source")?)?;
+                let source = ReplySource::from_wire_name(&source_name)
+                    .ok_or_else(|| Error::new(format!("unknown source `{source_name}`")))?;
+                Ok(Response::Synth(SynthReply {
+                    program: Option::<String>::deserialize(value.required("program")?)?,
+                    found_len: Option::<u32>::deserialize(value.required("found_len")?)?,
+                    minimal_certified: bool::deserialize(value.required("minimal_certified")?)?,
+                    source,
+                    search_millis: u64::deserialize(value.required("search_millis")?)?,
+                }))
+            }
+            "check" => Ok(Response::Check(CheckReply {
+                correct: bool::deserialize(value.required("correct")?)?,
+                counterexamples: u64::deserialize(value.required("counterexamples")?)?,
+            })),
+            "analyze" => Ok(Response::Analyze(AnalyzeReply {
+                cycles_per_iteration: f64::deserialize(value.required("cycles_per_iteration")?)?,
+                critical_path: u32::deserialize(value.required("critical_path")?)?,
+                port_bound: f64::deserialize(value.required("port_bound")?)?,
+                issue_bound: f64::deserialize(value.required("issue_bound")?)?,
+                latency_bound: bool::deserialize(value.required("latency_bound")?)?,
+            })),
+            "timeout" => Ok(Response::Timeout(TimeoutReply {
+                generated: u64::deserialize(value.required("generated")?)?,
+                expanded: u64::deserialize(value.required("expanded")?)?,
+                elapsed_ms: u64::deserialize(value.required("elapsed_ms")?)?,
+                cancelled: bool::deserialize(value.required("cancelled")?)?,
+            })),
+            "overloaded" => Ok(Response::Overloaded),
+            "slept" => Ok(Response::Slept),
+            "error" => Ok(Response::Error {
+                message: String::deserialize(value.required("message")?)?,
+            }),
+            other => Err(Error::new(format!("unknown response type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    fn round_trip<T>(value: &T) -> T
+    where
+        T: Serialize + Deserialize,
+    {
+        serde_json::from_str(&serde_json::to_string(value).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let requests = [
+            Request::Ping,
+            Request::Synth {
+                query: KernelQuery::best(3, 1, IsaMode::Cmov),
+                timeout_ms: Some(500),
+            },
+            Request::Synth {
+                query: KernelQuery::best(2, 1, IsaMode::MinMax),
+                timeout_ms: None,
+            },
+            Request::Check {
+                machine: Machine::new(2, 1, IsaMode::Cmov),
+                program: "mov s1 r2".into(),
+            },
+            Request::Analyze {
+                machine: Machine::new(3, 1, IsaMode::MinMax),
+                program: "min r1 r2".into(),
+            },
+            Request::Sleep { ms: 25 },
+        ];
+        for req in &requests {
+            assert_eq!(&round_trip(req), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let responses = [
+            Response::Pong,
+            Response::Synth(SynthReply {
+                program: Some("mov s1 r2".into()),
+                found_len: Some(1),
+                minimal_certified: true,
+                source: ReplySource::Cache,
+                search_millis: 12,
+            }),
+            Response::Synth(SynthReply {
+                program: None,
+                found_len: None,
+                minimal_certified: false,
+                source: ReplySource::Computed,
+                search_millis: 3,
+            }),
+            Response::Check(CheckReply {
+                correct: false,
+                counterexamples: 2,
+            }),
+            Response::Analyze(AnalyzeReply {
+                cycles_per_iteration: 3.5,
+                critical_path: 7,
+                port_bound: 1.25,
+                issue_bound: 0.75,
+                latency_bound: true,
+            }),
+            Response::Timeout(TimeoutReply {
+                generated: 1000,
+                expanded: 40,
+                elapsed_ms: 200,
+                cancelled: false,
+            }),
+            Response::Overloaded,
+            Response::Slept,
+            Response::Error {
+                message: "bad".into(),
+            },
+        ];
+        for resp in &responses {
+            assert_eq!(&round_trip(resp), resp);
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_and_rejects_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        let huge = (MAX_FRAME + 1).to_be_bytes();
+        let mut cursor = &huge[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

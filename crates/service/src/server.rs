@@ -1,0 +1,457 @@
+//! The synthesis server: acceptor, bounded admission queue, worker pool,
+//! cache + single-flight synth pipeline, and deadline propagation.
+//!
+//! # Architecture
+//!
+//! ```text
+//! acceptor ──> connection thread (one per client)
+//!                │  read frame, parse request
+//!                │  try_send ──────────────┐ bounded queue (admission)
+//!                │    └─ Full → Overloaded │
+//!                ▼                         ▼
+//!              write response  <──  worker pool (N threads)
+//!                                     │ synth: cache → single-flight → search
+//!                                     │ deadline → SearchBudget → Timeout reply
+//!                                     └ check/analyze/sleep: direct
+//! ```
+//!
+//! Admission control is a `try_send` into a bounded crossbeam channel: when
+//! the queue is full the connection thread answers [`Response::Overloaded`]
+//! immediately instead of letting latency grow without bound. Deadlines are
+//! stamped at admission, so time spent queued counts against the request —
+//! a request that waits out its deadline in the queue is answered with
+//! [`Response::Timeout`] without ever reaching the engine.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use sortsynth_cache::{CacheEntry, CutSpec, KernelCache, KernelQuery};
+use sortsynth_isa::{analyze, Machine, ThroughputModel};
+use sortsynth_search::{synthesize, Cut, Outcome, SearchBudget, SynthesisConfig};
+
+use crate::proto::{
+    read_message, write_message, AnalyzeReply, CheckReply, ReplySource, Request, Response,
+    SynthReply, TimeoutReply,
+};
+use crate::singleflight::{Role, SingleFlight};
+
+/// Upper bound honoured for `Request::Sleep` (keeps the diagnostic op from
+/// wedging a worker).
+const MAX_SLEEP_MS: u64 = 10_000;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission-queue depth; requests beyond it are shed with
+    /// [`Response::Overloaded`].
+    pub queue_depth: usize,
+    /// Durable cache directory; `None` keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Capacity of the in-memory cache front.
+    pub cache_capacity: usize,
+    /// Deadline applied to synth requests that don't carry their own.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache_dir: None,
+            cache_capacity: 1024,
+            default_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    request: Request,
+    /// Deadline stamped at admission (queue wait counts).
+    deadline: Option<Instant>,
+    reply: Sender<Response>,
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    cache: KernelCache,
+    flights: SingleFlight<Response>,
+    jobs: Sender<Job>,
+    searches_started: AtomicU64,
+    shutdown: AtomicBool,
+    default_timeout: Option<Duration>,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Control handle for a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<io::Result<()>>,
+}
+
+impl Server {
+    /// Binds the listener, opens the cache, and starts the worker pool.
+    /// The server does not accept connections until [`Server::run`] (or
+    /// [`Server::spawn`]).
+    pub fn bind(config: ServiceConfig) -> io::Result<Server> {
+        let listener =
+            TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable addr")
+            })?)?;
+        let addr = listener.local_addr()?;
+        let cache = match &config.cache_dir {
+            Some(dir) => KernelCache::open(dir, config.cache_capacity)?,
+            None => KernelCache::in_memory(config.cache_capacity),
+        };
+        let (jobs_tx, jobs_rx) = channel::bounded::<Job>(config.queue_depth.max(1));
+        let shared = Arc::new(Shared {
+            cache,
+            flights: SingleFlight::new(),
+            jobs: jobs_tx,
+            searches_started: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            default_timeout: config.default_timeout,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = jobs_rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sortsynth-worker-{i}"))
+                    .spawn(move || worker_loop(rx, shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts connections until shut down. Blocks the calling thread.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            shared,
+            workers,
+            ..
+        } = self;
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name("sortsynth-conn".to_string())
+                        .spawn(move || handle_connection(stream, shared))
+                        .expect("spawn connection thread");
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread and returns a control
+    /// handle.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        let acceptor = std::thread::Builder::new()
+            .name("sortsynth-acceptor".to_string())
+            .spawn(move || self.run())
+            .expect("spawn acceptor");
+        ServerHandle {
+            addr,
+            shared,
+            acceptor,
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of synthesis searches actually started (cache hits and
+    /// coalesced requests excluded) — the observable the single-flight
+    /// tests assert on.
+    pub fn searches_started(&self) -> u64 {
+        self.shared.searches_started.load(Ordering::SeqCst)
+    }
+
+    /// Cache statistics snapshot.
+    pub fn cache_stats(&self) -> sortsynth_cache::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Stops accepting, drains the workers, and joins the acceptor.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.acceptor.join().expect("acceptor panicked")
+    }
+}
+
+fn worker_loop(jobs: Receiver<Job>, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match jobs.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => {
+                // A panicking handler (engine bug, pathological query) must
+                // not take the worker down with it: answer with an error and
+                // move on to the next request. An unwinding search leader
+                // drops its flight token, which releases any followers.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute(&shared, &job)
+                }))
+                .unwrap_or_else(|payload| Response::Error {
+                    message: format!("request handler panicked: {}", panic_message(&payload)),
+                });
+                // The connection may have gone away; that's its problem.
+                let _ = job.reply.send(response);
+            }
+            Err(channel::RecvTimeoutError::Timeout) => continue,
+            Err(channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let request = match read_message::<Request>(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean close
+            Err(e) => {
+                let _ = write_message(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let deadline = admission_deadline(&shared, &request);
+        let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
+        let job = Job {
+            request,
+            deadline,
+            reply: reply_tx,
+        };
+        let response = match shared.jobs.try_send(job) {
+            Ok(()) => reply_rx.recv().unwrap_or_else(|_| Response::Error {
+                message: "worker dropped the request".to_string(),
+            }),
+            Err(TrySendError::Full(_)) => Response::Overloaded,
+            Err(TrySendError::Disconnected(_)) => Response::Error {
+                message: "server shutting down".to_string(),
+            },
+        };
+        if write_message(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Deadline stamped when the request is admitted: synth requests honour
+/// their own `timeout_ms`, falling back to the server default.
+fn admission_deadline(shared: &Shared, request: &Request) -> Option<Instant> {
+    match request {
+        Request::Synth { timeout_ms, .. } => timeout_ms
+            .map(Duration::from_millis)
+            .or(shared.default_timeout)
+            .map(|t| Instant::now() + t),
+        _ => None,
+    }
+}
+
+fn execute(shared: &Shared, job: &Job) -> Response {
+    match &job.request {
+        Request::Ping => Response::Pong,
+        Request::Sleep { ms } => {
+            std::thread::sleep(Duration::from_millis((*ms).min(MAX_SLEEP_MS)));
+            Response::Slept
+        }
+        Request::Check { machine, program } => match machine.parse_program(program) {
+            Ok(prog) => Response::Check(CheckReply {
+                correct: machine.is_correct(&prog),
+                counterexamples: machine.counterexamples(&prog).len() as u64,
+            }),
+            Err(e) => Response::Error {
+                message: format!("parse error: {e}"),
+            },
+        },
+        Request::Analyze { machine, program } => match machine.parse_program(program) {
+            Ok(prog) => {
+                let report = analyze(&prog, &ThroughputModel::default());
+                Response::Analyze(AnalyzeReply {
+                    cycles_per_iteration: report.cycles_per_iteration,
+                    critical_path: report.critical_path,
+                    port_bound: report.port_bound,
+                    issue_bound: report.issue_bound,
+                    latency_bound: report.latency_bound,
+                })
+            }
+            Err(e) => Response::Error {
+                message: format!("parse error: {e}"),
+            },
+        },
+        Request::Synth { query, .. } => handle_synth(shared, query, job.deadline),
+    }
+}
+
+fn handle_synth(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -> Response {
+    // Deadline may already have expired in the queue.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Response::Timeout(TimeoutReply {
+            generated: 0,
+            expanded: 0,
+            elapsed_ms: 0,
+            cancelled: false,
+        });
+    }
+    if let Some(entry) = shared.cache.get(query) {
+        return entry_reply(&entry, ReplySource::Cache);
+    }
+    match shared.flights.join(query.fingerprint()) {
+        Role::Follower(Some(response)) => mark_coalesced(response),
+        Role::Follower(None) => Response::Error {
+            message: "coalesced search was abandoned".to_string(),
+        },
+        Role::Leader(token) => {
+            shared.searches_started.fetch_add(1, Ordering::SeqCst);
+            let response = run_search(shared, query, deadline);
+            // `run_search` has already published any solution to the cache,
+            // so completing the flight here preserves the
+            // exactly-one-search invariant (see the singleflight docs).
+            token.complete(response.clone());
+            response
+        }
+    }
+}
+
+/// Builds the engine configuration the query describes and runs it.
+fn run_search(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -> Response {
+    let machine: Machine = query.machine();
+    let mut cfg = SynthesisConfig::new(machine);
+    cfg.optimal_instrs_only = query.optimal_instrs_only;
+    cfg.budget_viability = query.budget_viability;
+    cfg.max_len = query.max_len;
+    cfg.cut = query.cut.map(|cut| match cut {
+        CutSpec::Factor { millis } => Cut::Factor(millis as f64 / 1000.0),
+        CutSpec::Additive { add } => Cut::Additive(add),
+    });
+    if let Some(deadline) = deadline {
+        cfg.budget = SearchBudget::with_deadline(deadline);
+    }
+
+    let result = synthesize(&cfg);
+    match result.outcome {
+        Outcome::Solved | Outcome::SolvedAll | Outcome::Exhausted => {
+            match result.first_program() {
+                Some(program) => {
+                    let entry = CacheEntry {
+                        query: query.clone(),
+                        program,
+                        minimal_certified: result.minimal_certified,
+                        search_millis: result.stats.search_time.as_millis() as u64,
+                    };
+                    // A full disk is not a reason to withhold the answer; the
+                    // entry still lands in the memory front.
+                    let _ = shared.cache.insert(entry.clone());
+                    entry_reply(&entry, ReplySource::Computed)
+                }
+                None => Response::Synth(SynthReply {
+                    program: None,
+                    found_len: None,
+                    minimal_certified: false,
+                    source: ReplySource::Computed,
+                    search_millis: result.stats.search_time.as_millis() as u64,
+                }),
+            }
+        }
+        Outcome::TimeLimit | Outcome::Cancelled => Response::Timeout(TimeoutReply {
+            generated: result.stats.generated,
+            expanded: result.stats.expanded,
+            elapsed_ms: result.stats.search_time.as_millis() as u64,
+            cancelled: result.outcome == Outcome::Cancelled,
+        }),
+        Outcome::NodeLimit => Response::Error {
+            message: "search hit an unexpected node limit".to_string(),
+        },
+    }
+}
+
+fn entry_reply(entry: &CacheEntry, source: ReplySource) -> Response {
+    Response::Synth(SynthReply {
+        program: Some(entry.query.machine().format_program(&entry.program)),
+        found_len: Some(entry.program.len() as u32),
+        minimal_certified: entry.minimal_certified,
+        source,
+        search_millis: entry.search_millis,
+    })
+}
+
+fn mark_coalesced(response: Response) -> Response {
+    match response {
+        Response::Synth(mut reply) => {
+            reply.source = ReplySource::Coalesced;
+            Response::Synth(reply)
+        }
+        other => other,
+    }
+}

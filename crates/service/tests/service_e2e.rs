@@ -1,0 +1,338 @@
+//! End-to-end service tests: cold/warm round trips over a real TCP socket,
+//! cache persistence across server restarts, single-flight coalescing, load
+//! shedding, and deadline propagation.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sortsynth_cache::KernelQuery;
+use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_service::{
+    Client, ReplySource, Request, Response, Server, ServerHandle, ServiceConfig,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sortsynth-svc-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(config: ServiceConfig) -> ServerHandle {
+    Server::bind(config).expect("bind").spawn()
+}
+
+fn local_config() -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServiceConfig::default()
+    }
+}
+
+/// A query whose search space is astronomically larger than any test budget:
+/// n = 4 with no pruning aids and a length bound below nothing reachable
+/// quickly — guaranteed to consume whatever deadline it is given.
+fn slow_query() -> KernelQuery {
+    KernelQuery {
+        n: 4,
+        scratch: 1,
+        mode: IsaMode::Cmov,
+        max_len: Some(15),
+        optimal_instrs_only: false,
+        budget_viability: false,
+        cut: None,
+    }
+}
+
+#[test]
+fn synth_round_trip_cold_warm_and_persistent() {
+    let dir = tmp_dir("roundtrip");
+    let query = KernelQuery::best(3, 1, IsaMode::Cmov);
+
+    let handle = start(ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..local_config()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    assert_eq!(client.ping().unwrap(), Response::Pong);
+
+    // Cold: the search runs and the kernel comes back minimal (§5.3: 11
+    // instructions for n = 3).
+    let Response::Synth(cold) = client.synth(query.clone(), Some(60_000)).unwrap() else {
+        panic!("expected synth reply");
+    };
+    assert_eq!(cold.source, ReplySource::Computed);
+    assert_eq!(cold.found_len, Some(11));
+    let program_text = cold.program.clone().expect("kernel text");
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let program = machine.parse_program(&program_text).unwrap();
+    assert!(machine.is_correct(&program));
+
+    // Warm: identical query is a cache hit with the identical kernel.
+    let Response::Synth(warm) = client.synth(query.clone(), Some(60_000)).unwrap() else {
+        panic!("expected synth reply");
+    };
+    assert_eq!(warm.source, ReplySource::Cache);
+    assert_eq!(warm.program.as_deref(), Some(program_text.as_str()));
+    assert_eq!(handle.searches_started(), 1);
+    handle.shutdown().unwrap();
+
+    // Restart over the same directory: the kernel is served from the
+    // recovered log without any search.
+    let handle = start(ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..local_config()
+    });
+    assert_eq!(handle.cache_stats().load.loaded, 1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let Response::Synth(persisted) = client.synth(query, Some(60_000)).unwrap() else {
+        panic!("expected synth reply");
+    };
+    assert_eq!(persisted.source, ReplySource::Cache);
+    assert_eq!(persisted.program.as_deref(), Some(program_text.as_str()));
+    assert_eq!(handle.searches_started(), 0);
+    handle.shutdown().unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn check_and_analyze_ops() {
+    let handle = start(local_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let machine = Machine::new(2, 1, IsaMode::Cmov);
+    let cas = "mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1".to_string();
+
+    let Response::Check(good) = client.check(machine.clone(), cas.clone()).unwrap() else {
+        panic!("expected check reply");
+    };
+    assert!(good.correct);
+    assert_eq!(good.counterexamples, 0);
+
+    let Response::Check(bad) = client.check(machine.clone(), "mov r1 r2".into()).unwrap() else {
+        panic!("expected check reply");
+    };
+    assert!(!bad.correct);
+    assert_eq!(bad.counterexamples, 2);
+
+    let Response::Analyze(report) = client.analyze(machine.clone(), cas).unwrap() else {
+        panic!("expected analyze reply");
+    };
+    assert!(report.cycles_per_iteration > 0.0);
+    assert!(report.critical_path > 0);
+
+    // Malformed program text is an error, not a dead connection.
+    let Response::Error { .. } = client.check(machine, "frobnicate r1 r2".into()).unwrap() else {
+        panic!("expected error reply");
+    };
+    assert_eq!(client.ping().unwrap(), Response::Pong);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_identical_requests_run_exactly_one_search() {
+    let handle = start(ServiceConfig {
+        workers: 8,
+        ..local_config()
+    });
+    let addr = handle.addr();
+    // A query distinct from every other test's so the cache is cold.
+    let query = KernelQuery::best(3, 2, IsaMode::Cmov);
+
+    const CLIENTS: usize = 8;
+    let replies = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let query = query.clone();
+                scope.spawn(move |_| {
+                    let mut client = Client::connect(addr).unwrap();
+                    client.synth(query, Some(60_000)).unwrap()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    })
+    .unwrap();
+
+    let mut programs = Vec::new();
+    for reply in &replies {
+        let Response::Synth(synth) = reply else {
+            panic!("expected synth reply, got {reply:?}");
+        };
+        programs.push(synth.program.clone().expect("kernel"));
+    }
+    programs.sort();
+    programs.dedup();
+    assert_eq!(programs.len(), 1, "all clients see the same kernel");
+    assert_eq!(
+        handle.searches_started(),
+        1,
+        "N identical concurrent requests must coalesce to one search"
+    );
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn expired_deadline_returns_timeout_and_worker_survives() {
+    let handle = start(ServiceConfig {
+        workers: 2,
+        ..local_config()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let Response::Timeout(timeout) = client.synth(slow_query(), Some(300)).unwrap() else {
+        panic!("expected timeout");
+    };
+    // Partial diagnostics: the search did run and report progress.
+    assert!(timeout.generated > 0);
+    assert!(timeout.elapsed_ms <= 5_000);
+    assert!(!timeout.cancelled);
+
+    // The worker that timed out is alive and can complete real work.
+    assert_eq!(client.ping().unwrap(), Response::Pong);
+    let Response::Synth(reply) = client
+        .synth(KernelQuery::best(2, 1, IsaMode::Cmov), Some(60_000))
+        .unwrap()
+    else {
+        panic!("expected synth reply");
+    };
+    assert_eq!(reply.found_len, Some(4));
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn full_admission_queue_sheds_load() {
+    let handle = start(ServiceConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..local_config()
+    });
+    let addr = handle.addr();
+
+    let outcome = crossbeam::thread::scope(|scope| {
+        // Occupy the only worker.
+        let busy = scope.spawn(move |_| {
+            let mut client = Client::connect(addr).unwrap();
+            client.request(&Request::Sleep { ms: 800 }).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        // Fill the queue's single slot.
+        let queued = scope.spawn(move |_| {
+            let mut client = Client::connect(addr).unwrap();
+            client.request(&Request::Sleep { ms: 100 }).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        // Worker busy + queue full → this one must be shed immediately.
+        let mut client = Client::connect(addr).unwrap();
+        let shed = client.ping().unwrap();
+        (busy.join().unwrap(), queued.join().unwrap(), shed)
+    })
+    .unwrap();
+
+    assert_eq!(outcome.0, Response::Slept);
+    assert_eq!(outcome.1, Response::Slept);
+    assert_eq!(outcome.2, Response::Overloaded);
+
+    // Load shedding is not a failure state: once the backlog drains, the
+    // server answers again.
+    let mut client = Client::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(900));
+    assert_eq!(client.ping().unwrap(), Response::Pong);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn queries_with_different_toggles_are_distinct_cache_keys() {
+    let handle = start(local_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let best = KernelQuery::best(2, 1, IsaMode::Cmov);
+    let plain = KernelQuery {
+        optimal_instrs_only: false,
+        budget_viability: false,
+        cut: None,
+        ..best.clone()
+    };
+    let Response::Synth(a) = client.synth(best, Some(60_000)).unwrap() else {
+        panic!("expected synth reply");
+    };
+    let Response::Synth(b) = client.synth(plain, Some(60_000)).unwrap() else {
+        panic!("expected synth reply");
+    };
+    assert_eq!(a.source, ReplySource::Computed);
+    assert_eq!(
+        b.source,
+        ReplySource::Computed,
+        "distinct key, distinct search"
+    );
+    assert_eq!(handle.searches_started(), 2);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn exhausted_bound_reports_no_program() {
+    let handle = start(local_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // No 2-instruction kernel sorts n = 2 (the CAS needs 4): the layered
+    // search exhausts the bound and says so.
+    let query = KernelQuery {
+        max_len: Some(2),
+        optimal_instrs_only: false,
+        budget_viability: true,
+        cut: None,
+        ..KernelQuery::best(2, 1, IsaMode::Cmov)
+    };
+    let Response::Synth(reply) = client.synth(query, Some(60_000)).unwrap() else {
+        panic!("expected synth reply");
+    };
+    assert_eq!(reply.program, None);
+    assert_eq!(reply.found_len, None);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn coalesced_source_is_reported() {
+    // Directly exercise the follower path: a slow search with several
+    // concurrent identical requests — at least one of them must have
+    // joined the in-flight search rather than leading it or hitting the
+    // cache (searches_started == 1 while no cache entry existed at launch
+    // time for any of them, since all were admitted before completion).
+    let handle = start(ServiceConfig {
+        workers: 4,
+        ..local_config()
+    });
+    let addr = handle.addr();
+    let query = KernelQuery::best(3, 1, IsaMode::MinMax);
+    let sources = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let query = query.clone();
+                scope.spawn(move |_| {
+                    let mut client = Client::connect(addr).unwrap();
+                    match client.synth(query, Some(60_000)).unwrap() {
+                        Response::Synth(reply) => reply.source,
+                        other => panic!("unexpected {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    })
+    .unwrap();
+    assert_eq!(handle.searches_started(), 1);
+    assert_eq!(
+        sources
+            .iter()
+            .filter(|s| **s == ReplySource::Computed)
+            .count(),
+        1,
+        "exactly one request computed; the rest coalesced or hit the cache"
+    );
+    handle.shutdown().unwrap();
+}

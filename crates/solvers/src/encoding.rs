@@ -146,8 +146,8 @@ pub fn encode(machine: &Machine, len: u32, tests: &[Vec<u8>], opts: EncodeOption
         for t in 0..len as usize {
             for (a, instr) in actions.iter().enumerate() {
                 let reads_scratch = |r: Reg| r.index() as usize >= n;
-                let reads = (instr.op.reads_dst() && reads_scratch(instr.dst))
-                    || reads_scratch(instr.src);
+                let reads =
+                    (instr.op.reads_dst() && reads_scratch(instr.dst)) || reads_scratch(instr.src);
                 if !reads {
                     continue;
                 }
@@ -187,9 +187,9 @@ pub fn encode(machine: &Machine, len: u32, tests: &[Vec<u8>], opts: EncodeOption
         let lt: Vec<Var> = (0..=len).map(|_| solver.new_var()).collect();
         let gt: Vec<Var> = (0..=len).map(|_| solver.new_var()).collect();
 
-        for t in 0..=len as usize {
-            for r in 0..regs {
-                let lits: Vec<Lit> = x[t][r].iter().map(|&v| Lit::pos(v)).collect();
+        for xt in &x {
+            for xr in xt {
+                let lits: Vec<Lit> = xr.iter().map(|&v| Lit::pos(v)).collect();
                 solver.add_exactly_one(&lits);
             }
         }
@@ -209,12 +209,12 @@ pub fn encode(machine: &Machine, len: u32, tests: &[Vec<u8>], opts: EncodeOption
                 let d = instr.dst.index() as usize;
                 let s = instr.src.index() as usize;
                 // Frame: registers the instruction does not write.
-                for r in 0..regs {
+                for (r, (next_r, cur_r)) in x[t + 1].iter().zip(&x[t]).enumerate() {
                     if instr.op.writes_dst() && r == d {
                         continue;
                     }
-                    for v in 0..vals {
-                        iff(&mut solver, sel, x[t + 1][r][v], x[t][r][v]);
+                    for (&nv, &cv) in next_r.iter().zip(cur_r) {
+                        iff(&mut solver, sel, nv, cv);
                     }
                 }
                 // Frame: flags unless written.
@@ -224,19 +224,15 @@ pub fn encode(machine: &Machine, len: u32, tests: &[Vec<u8>], opts: EncodeOption
                 }
                 match instr.op {
                     Op::Mov => {
-                        for v in 0..vals {
-                            iff(&mut solver, sel, x[t + 1][d][v], x[t][s][v]);
+                        for (&nv, &sv) in x[t + 1][d].iter().zip(&x[t][s]) {
+                            iff(&mut solver, sel, nv, sv);
                         }
                     }
                     Op::Cmp => {
                         // Flags as a function of the compared values.
                         for v1 in 0..vals {
                             for v2 in 0..vals {
-                                let premise = [
-                                    sel,
-                                    Lit::neg(x[t][d][v1]),
-                                    Lit::neg(x[t][s][v2]),
-                                ];
+                                let premise = [sel, Lit::neg(x[t][d][v1]), Lit::neg(x[t][s][v2])];
                                 let lt_val = v1 < v2;
                                 let gt_val = v1 > v2;
                                 let mut c1 = premise.to_vec();
@@ -250,10 +246,10 @@ pub fn encode(machine: &Machine, len: u32, tests: &[Vec<u8>], opts: EncodeOption
                     }
                     Op::Cmovl | Op::Cmovg => {
                         let flag = if instr.op == Op::Cmovl { lt[t] } else { gt[t] };
-                        for v in 0..vals {
+                        for ((&nv, &sv), &dv) in x[t + 1][d].iter().zip(&x[t][s]).zip(&x[t][d]) {
                             // flag set → copy; flag clear → keep.
-                            cond_iff(&mut solver, sel, Lit::neg(flag), x[t + 1][d][v], x[t][s][v]);
-                            cond_iff(&mut solver, sel, Lit::pos(flag), x[t + 1][d][v], x[t][d][v]);
+                            cond_iff(&mut solver, sel, Lit::neg(flag), nv, sv);
+                            cond_iff(&mut solver, sel, Lit::pos(flag), nv, dv);
                         }
                     }
                     Op::Min | Op::Max => {
@@ -290,16 +286,17 @@ pub fn encode(machine: &Machine, len: u32, tests: &[Vec<u8>], opts: EncodeOption
             for r in 0..n - 1 {
                 for v1 in 0..vals {
                     for v2 in 0..v1 {
-                        solver.add_clause(&[
-                            Lit::neg(x[last][r][v1]),
-                            Lit::neg(x[last][r + 1][v2]),
-                        ]);
+                        solver
+                            .add_clause(&[Lit::neg(x[last][r][v1]), Lit::neg(x[last][r + 1][v2])]);
                     }
                 }
             }
             // Counts: each value occurs as often in the output as in the
             // input.
             let lo = if include_zero { 0 } else { 1 };
+            // `v` also selects the value plane of `x`, so a range loop is
+            // the clear spelling here.
+            #[allow(clippy::needless_range_loop)]
             for v in lo..vals {
                 let count = test.iter().filter(|&&tv| tv as usize == v).count();
                 let positions: Vec<Var> = (0..n).map(|r| x[last][r][v]).collect();
@@ -409,7 +406,13 @@ fn subsets(n: usize, size: usize) -> Vec<Vec<usize>> {
         return out;
     }
     let mut current = Vec::with_capacity(size);
-    fn rec(start: usize, n: usize, size: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        start: usize,
+        n: usize,
+        size: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == size {
             out.push(current.clone());
             return;
@@ -455,7 +458,11 @@ mod tests {
         assert_eq!(enc.solver.solve(), SolveResult::Sat);
         let prog = enc.decode();
         assert_eq!(prog.len(), 4);
-        assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+        assert!(
+            machine.is_correct(&prog),
+            "{}",
+            machine.format_program(&prog)
+        );
     }
 
     #[test]
@@ -474,7 +481,11 @@ mod tests {
         let mut enc = encode(&machine, 3, &tests, EncodeOptions::default());
         assert_eq!(enc.solver.solve(), SolveResult::Sat);
         let prog = enc.decode();
-        assert!(machine.is_correct(&prog), "{}", machine.format_program(&prog));
+        assert!(
+            machine.is_correct(&prog),
+            "{}",
+            machine.format_program(&prog)
+        );
     }
 
     #[test]
@@ -483,7 +494,9 @@ mod tests {
         let tests = permutations(2);
         for goal in [
             Goal::Exact,
-            Goal::AscendingCounts { include_zero: false },
+            Goal::AscendingCounts {
+                include_zero: false,
+            },
             Goal::AscendingCountsAndExact,
         ] {
             let opts = EncodeOptions {

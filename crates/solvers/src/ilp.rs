@@ -56,9 +56,9 @@ impl IlpProblem {
         let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
         let mut nodes = 0u64;
         match self.dfs(&mut assignment, &mut nodes, node_limit, deadline) {
-            Dfs::Feasible => IlpResult::Feasible(
-                assignment.into_iter().map(|v| v.unwrap_or(false)).collect(),
-            ),
+            Dfs::Feasible => {
+                IlpResult::Feasible(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+            }
             Dfs::Infeasible => IlpResult::Infeasible,
             Dfs::Budget => IlpResult::Budget,
         }
@@ -241,8 +241,14 @@ mod tests {
         let p = IlpProblem {
             num_vars: 2,
             constraints: vec![
-                LinearConstraint { terms: vec![(0, 1), (1, 1)], bound: 1 },
-                LinearConstraint { terms: vec![(0, -1)], bound: 0 },
+                LinearConstraint {
+                    terms: vec![(0, 1), (1, 1)],
+                    bound: 1,
+                },
+                LinearConstraint {
+                    terms: vec![(0, -1)],
+                    bound: 0,
+                },
             ],
         };
         match p.solve(1_000, None) {
@@ -260,8 +266,14 @@ mod tests {
         let p = IlpProblem {
             num_vars: 1,
             constraints: vec![
-                LinearConstraint { terms: vec![(0, 1)], bound: 1 },
-                LinearConstraint { terms: vec![(0, -1)], bound: 0 },
+                LinearConstraint {
+                    terms: vec![(0, 1)],
+                    bound: 1,
+                },
+                LinearConstraint {
+                    terms: vec![(0, -1)],
+                    bound: 0,
+                },
             ],
         };
         assert_eq!(p.solve(1_000, None), IlpResult::Infeasible);
@@ -288,7 +300,10 @@ mod tests {
             &machine,
             4,
             EncodeOptions::default(),
-            Budget { conflicts: Some(5_000_000), timeout: Some(Duration::from_secs(60)) },
+            Budget {
+                conflicts: Some(5_000_000),
+                timeout: Some(Duration::from_secs(60)),
+            },
         );
         match outcome {
             SynthOutcome::Found(prog) => assert!(machine.is_correct(&prog)),

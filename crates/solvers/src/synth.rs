@@ -306,13 +306,8 @@ mod tests {
 
     #[test]
     fn synthesize_minimal_proves_4_is_optimal_for_n2() {
-        let (outcome, _) = synthesize_minimal(
-            &m2(),
-            1,
-            5,
-            EncodeOptions::default(),
-            Budget::default(),
-        );
+        let (outcome, _) =
+            synthesize_minimal(&m2(), 1, 5, EncodeOptions::default(), Budget::default());
         match outcome {
             SynthOutcome::Found(prog) => assert_eq!(prog.len(), 4),
             other => panic!("expected Found, got {other:?}"),
@@ -338,9 +333,12 @@ mod tests {
             find_counterexample(&machine, &empty, CegisDomain::Permutations),
             Some(vec![2, 1])
         );
-        let (_, cas) = (0, machine
-            .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
-            .unwrap());
+        let (_, cas) = (
+            0,
+            machine
+                .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
+                .unwrap(),
+        );
         assert_eq!(
             find_counterexample(&machine, &cas, CegisDomain::Arbitrary),
             None

@@ -12,7 +12,9 @@ fn arb_options() -> impl Strategy<Value = EncodeOptions> {
         prop_oneof![
             Just(Goal::Exact),
             Just(Goal::AscendingCounts { include_zero: true }),
-            Just(Goal::AscendingCounts { include_zero: false }),
+            Just(Goal::AscendingCounts {
+                include_zero: false
+            }),
             Just(Goal::AscendingCountsAndExact),
         ],
         any::<bool>(),

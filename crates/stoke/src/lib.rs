@@ -140,8 +140,8 @@ pub fn run(cfg: &StokeConfig) -> StokeResult {
     for _ in 0..cfg.iterations {
         let backup = propose(&mut slots, &instrs, &mut rng);
         let new_cost = cost_of(cfg, &slots, &tests);
-        let accept = new_cost <= cost
-            || rng.gen_bool(((cost - new_cost) * cfg.beta).exp().clamp(0.0, 1.0));
+        let accept =
+            new_cost <= cost || rng.gen_bool(((cost - new_cost) * cfg.beta).exp().clamp(0.0, 1.0));
         if accept {
             accepted += 1;
             cost = new_cost;

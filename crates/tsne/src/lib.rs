@@ -238,7 +238,11 @@ fn joint_affinities(points: &[Vec<f64>], perplexity: f64) -> Vec<f64> {
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+                beta = if hi.is_finite() {
+                    (beta + hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -313,10 +317,7 @@ mod tests {
             .iter()
             .map(|p| ((p[0] - ca[0]).powi(2) + (p[1] - ca[1]).powi(2)).sqrt())
             .fold(0.0f64, f64::max);
-        assert!(
-            between > 2.0 * spread,
-            "between {between}, spread {spread}"
-        );
+        assert!(between > 2.0 * spread, "between {between}, spread {spread}");
     }
 
     #[test]
@@ -356,7 +357,10 @@ mod tests {
         });
         let kl_short = short.kl_divergence(&points, &short.embed(&points));
         let kl_long = long.kl_divergence(&points, &long.embed(&points));
-        assert!(kl_long <= kl_short + 1e-9, "short {kl_short}, long {kl_long}");
+        assert!(
+            kl_long <= kl_short + 1e-9,
+            "short {kl_short}, long {kl_long}"
+        );
     }
 
     #[test]

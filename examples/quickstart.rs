@@ -38,7 +38,15 @@ fn main() {
     assert_eq!(data, [-42, 365, 1729]);
     println!(
         "executed {} (backend: {})",
-        if runner.is_native() { "natively" } else { "interpreted" },
-        if runner.is_native() { "JIT" } else { "portable interpreter" },
+        if runner.is_native() {
+            "natively"
+        } else {
+            "interpreted"
+        },
+        if runner.is_native() {
+            "JIT"
+        } else {
+            "portable interpreter"
+        },
     );
 }

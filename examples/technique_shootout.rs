@@ -17,7 +17,10 @@ use sortsynth::stoke::{run as stoke_run, Start, StokeConfig, TestSuite};
 
 fn report(name: &str, start: Instant, found: Option<usize>) {
     match found {
-        Some(len) => println!("{name:<28} {:>10.2?}   kernel of {len} instructions", start.elapsed()),
+        Some(len) => println!(
+            "{name:<28} {:>10.2?}   kernel of {len} instructions",
+            start.elapsed()
+        ),
         None => println!("{name:<28} {:>10.2?}   — no kernel", start.elapsed()),
     }
 }
@@ -29,7 +32,11 @@ fn main() {
     // 1. Enumerative search (the paper's contribution).
     let t = Instant::now();
     let result = synthesize(&SynthesisConfig::best(machine.clone()));
-    report("enumerative (best config)", t, result.first_program().map(|p| p.len()));
+    report(
+        "enumerative (best config)",
+        t,
+        result.first_program().map(|p| p.len()),
+    );
 
     // 2. SMT one-shot over all permutations.
     let t = Instant::now();
@@ -58,7 +65,9 @@ fn main() {
     report(
         "planning (BFS)",
         t,
-        plan.plan.as_ref().map(|p| plan_to_program(p, &instrs).len()),
+        plan.plan
+            .as_ref()
+            .map(|p| plan_to_program(p, &instrs).len()),
     );
 
     // 5. Stochastic superoptimization (STOKE-style MCMC).
@@ -72,7 +81,11 @@ fn main() {
         tests: TestSuite::Full,
         minimize_length: true,
     });
-    report("stochastic (STOKE, cold)", t, stoke.best_correct.map(|p| p.len()));
+    report(
+        "stochastic (STOKE, cold)",
+        t,
+        stoke.best_correct.map(|p| p.len()),
+    );
 
     // 6. Monte-Carlo tree search (AlphaDev's search skeleton).
     let t = Instant::now();

@@ -3,8 +3,8 @@
 
 use sortsynth::isa::{IsaMode, Machine};
 use sortsynth::search::{
-    command_signature, distinct_command_signatures, sample_lowest_strata, score_strata,
-    synthesize, Cut, Outcome, SynthesisConfig,
+    command_signature, distinct_command_signatures, sample_lowest_strata, score_strata, synthesize,
+    Cut, Outcome, SynthesisConfig,
 };
 
 fn machine3() -> Machine {
@@ -69,7 +69,9 @@ fn full_solution_space_matches_the_paper_exactly() {
 fn every_solution_uses_exactly_three_comparisons() {
     // All 23 signatures in the paper have cmp = 3; check on the k = 1
     // subset.
-    let programs = all_solutions(Some(Cut::Factor(1.0))).dag.programs(usize::MAX);
+    let programs = all_solutions(Some(Cut::Factor(1.0)))
+        .dag
+        .programs(usize::MAX);
     for prog in &programs {
         let sig = command_signature(prog);
         assert_eq!(sig[1], 3, "cmp count in {sig:?}");
@@ -78,7 +80,9 @@ fn every_solution_uses_exactly_three_comparisons() {
 
 #[test]
 fn score_sampling_takes_the_cheapest_strata() {
-    let programs = all_solutions(Some(Cut::Factor(1.0))).dag.programs(usize::MAX);
+    let programs = all_solutions(Some(Cut::Factor(1.0)))
+        .dag
+        .programs(usize::MAX);
     let strata = score_strata(programs.clone());
     let lowest: Vec<u32> = strata.keys().copied().take(2).collect();
     let sample = sample_lowest_strata(programs, 2, 5);

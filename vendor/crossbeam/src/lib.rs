@@ -1,0 +1,411 @@
+#![allow(clippy::all)] // API-compatible stub crate; idiomatic-lint noise is not useful here.
+//! Vendored `crossbeam`-compatible subset for offline builds.
+//!
+//! Provides the two pieces the workspace uses:
+//!
+//! * [`thread::scope`] — scoped spawning with crossbeam's closure and
+//!   `Result` shapes, implemented over `std::thread::scope` (stable since
+//!   Rust 1.63, which made the crossbeam original largely redundant).
+//! * [`channel`] — MPMC bounded/unbounded channels built on a
+//!   `Mutex<VecDeque>` + `Condvar` core: `try_send` never blocks on a full
+//!   bounded channel (the service layer's load-shedding primitive), receivers
+//!   are cloneable, and `recv` returns `Err` once the channel is closed and
+//!   drained.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to spawned closures, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the panic
+        /// payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (unused by
+        /// most callers, kept for crossbeam signature compatibility).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the caller.
+    ///
+    /// Returns `Ok` with the closure's value; panics in spawned threads
+    /// propagate out of `std::thread::scope` (crossbeam instead reported
+    /// them in the `Result` — all workspace callers `.expect()` either way).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<ChannelState<T>>,
+        /// Signalled when an item arrives or all senders disconnect.
+        readable: Condvar,
+        /// Signalled when space frees up or all receivers disconnect.
+        writable: Condvar,
+    }
+
+    struct ChannelState<T> {
+        items: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; cloneable (MPMC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed and
+    /// drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` items.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChannelState {
+                items: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, ChannelState<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(item));
+                }
+                let full = state.capacity.is_some_and(|cap| state.items.len() >= cap);
+                if !full {
+                    state.items.push_back(item);
+                    drop(state);
+                    self.shared.readable.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .writable
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Sends without blocking; a full bounded channel returns
+        /// [`TrySendError::Full`] immediately.
+        pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(item));
+            }
+            if state.capacity.is_some_and(|cap| state.items.len() >= cap) {
+                return Err(TrySendError::Full(item));
+            }
+            state.items.push_back(item);
+            drop(state);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until an item arrives or the channel closes.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .readable
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Receives with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .readable
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.lock();
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.writable.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of queued items (racy snapshot, for metrics only).
+        pub fn len(&self) -> usize {
+            self.shared.lock().items.len()
+        }
+
+        /// Whether the queue is empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_send_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_try_send_sheds_when_full() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn recv_timeout_expires() {
+            let (tx, rx) = bounded::<i32>(1);
+            let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = bounded(4);
+            let rx2 = rx.clone();
+            let consumer = std::thread::spawn(move || {
+                let mut sum = 0;
+                while let Ok(v) = rx2.recv() {
+                    sum += v;
+                }
+                sum
+            });
+            let consumer2 = std::thread::spawn(move || {
+                let mut sum = 0;
+                while let Ok(v) = rx.recv() {
+                    sum += v;
+                }
+                sum
+            });
+            for i in 1..=100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total = consumer.join().unwrap() + consumer2.join().unwrap();
+            assert_eq!(total, 5050);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_with_results() {
+        let data = vec![1, 2, 3, 4];
+        let sum = super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<i32>()));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker ok"))
+                .sum::<i32>()
+        })
+        .expect("scope ok");
+        assert_eq!(sum, 10);
+    }
+}

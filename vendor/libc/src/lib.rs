@@ -1,0 +1,37 @@
+#![allow(clippy::all)] // API-compatible stub crate; idiomatic-lint noise is not useful here.
+//! Vendored minimal `libc` surface for offline builds.
+//!
+//! The build container has no access to crates.io, so this crate declares
+//! exactly the raw bindings the workspace uses (the JIT's `mmap`/`mprotect`/
+//! `munmap` calls) against the system C library. Linux-only, matching the
+//! values in `<sys/mman.h>` for every architecture the workspace targets.
+
+#![allow(non_camel_case_types)]
+
+pub use core::ffi::c_void;
+
+pub type c_int = i32;
+pub type size_t = usize;
+pub type off_t = i64;
+
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const PROT_EXEC: c_int = 4;
+
+pub const MAP_PRIVATE: c_int = 0x02;
+pub const MAP_ANONYMOUS: c_int = 0x20;
+
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+}

@@ -1,0 +1,590 @@
+#![allow(clippy::all)] // API-compatible stub crate; idiomatic-lint noise is not useful here.
+//! Vendored property-testing harness for offline builds.
+//!
+//! Implements the `proptest` API surface the workspace's test suites use:
+//! the [`Strategy`] combinators (`prop_map`, `prop_flat_map`, tuples,
+//! ranges, `Just`, `prop_oneof!`, `prop::collection::vec`, `any`), the
+//! [`proptest!`] test macro, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Two deliberate simplifications against the real crate:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   seed; re-running reproduces it exactly (generation is deterministic
+//!   per test name and case number), but no minimal counterexample search.
+//! * **Panic-based assertions.** `prop_assert*` panics like `assert*`
+//!   instead of routing a `TestCaseError` back through a runner.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::Rng as __Rng;
+
+/// The generator handed to strategies: a seeded PRNG.
+pub type TestRng = StdRng;
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the heavier differential suites
+        // (SAT brute-force, JIT equivalence) fast while still exploring.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Result of one generated case's body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestOutcome {
+    Pass,
+    /// The body rejected the inputs via `prop_assume!`.
+    Reject,
+}
+
+/// Deterministic per-case RNG: seeded from the test's identity and case
+/// index, so failures reproduce without stored seeds.
+pub fn test_rng(test_name: &str, case: u64) -> TestRng {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and samples the
+    /// result (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 samples in a row",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn StrategyObject<T>>,
+}
+
+trait StrategyObject<T> {
+    fn generate_obj(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> StrategyObject<S::Value> for S {
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_obj(rng)
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies (backs [`prop_oneof!`]).
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        use rand::Rng as _;
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical "arbitrary value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        use rand::Rng as _;
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::RngCore as _;
+                // Bias towards boundary values, which find edge-case bugs
+                // far more often than uniform sampling.
+                let roll = rng.next_u64();
+                match roll % 8 {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of `T`: `any::<bool>()`, `any::<i32>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for `Vec`s of `element` with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                use rand::Rng as _;
+                let len = rng.gen_range(self.size.min..=self.size.max);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Inclusive length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub min: usize,
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        SizeRange {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// Everything a proptest-style test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice between listed strategies (all of one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($strategy),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Rejects the current case, retrying with fresh inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::TestOutcome::Reject;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut passed: u32 = 0;
+                let mut rejected: u64 = 0;
+                let mut case: u64 = 0;
+                while passed < config.cases {
+                    case += 1;
+                    assert!(
+                        rejected < config.cases as u64 * 16 + 1024,
+                        "prop_assume! rejected too many cases in {}",
+                        stringify!($name),
+                    );
+                    let mut rng = $crate::test_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome = (move || {
+                        $body
+                        $crate::TestOutcome::Pass
+                    })();
+                    match outcome {
+                        $crate::TestOutcome::Pass => passed += 1,
+                        $crate::TestOutcome::Reject => rejected += 1,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_generate_in_bounds(x in 3u8..=9, y in 0usize..5) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(
+            (len, items) in (1usize..8).prop_flat_map(|len| {
+                (Just(len), prop::collection::vec(0u32..100, len))
+            }),
+        ) {
+            prop_assert_eq!(items.len(), len);
+        }
+
+        #[test]
+        fn custom_strategy_functions_work(e in arb_even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_just_pick_listed_values(
+            v in prop_oneof![Just(1u8), Just(3u8), Just(5u8)],
+            b in any::<bool>(),
+        ) {
+            prop_assert!(v == 1 || v == 3 || v == 5);
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+
+        #[test]
+        fn mut_bindings_are_supported(mut xs in prop::collection::vec(0i32..100, 0..20)) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_attribute_is_accepted(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = prop::collection::vec(0u32..1_000_000, 5..10);
+        let a = s.generate(&mut super::test_rng("t", 3));
+        let b = s.generate(&mut super::test_rng("t", 3));
+        let c = s.generate(&mut super::test_rng("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn filter_retries_until_predicate_holds() {
+        let s = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        for case in 0..50 {
+            assert_eq!(s.generate(&mut super::test_rng("f", case)) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn boxed_strategies_erase_types() {
+        let s: BoxedStrategy<u32> = (0u32..5).prop_map(|x| x * 10).boxed();
+        let v = s.generate(&mut super::test_rng("b", 1));
+        assert!(v % 10 == 0 && v < 50);
+    }
+}

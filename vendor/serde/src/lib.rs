@@ -1,0 +1,289 @@
+#![allow(clippy::all)] // API-compatible stub crate; idiomatic-lint noise is not useful here.
+//! Vendored serialization core for offline builds.
+//!
+//! The real `serde` is a visitor-based zero-copy framework driven by proc
+//! macros; neither is available in this container. This stand-in keeps the
+//! two trait names the workspace programs against — [`Serialize`] and
+//! [`Deserialize`] — but routes them through an owned, JSON-shaped
+//! [`Value`] tree. Downstream crates hand-write their impls (a few lines
+//! per type) instead of deriving them, and `serde_json` (also vendored)
+//! prints/parses the `Value` tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integers; everything that fits losslessly lands here.
+    Int(i64),
+    /// Unsigned integers above `i64::MAX`.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key-ordered map (deterministic output).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds a map value from `(key, value)` pairs.
+    pub fn map(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.get(key),
+            _ => None,
+        }
+    }
+
+    /// A map entry that must exist.
+    pub fn required(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::new(format!("missing field `{key}`")))
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let wide: i128 = match value {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(Error::new(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::new(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let wide = *self as u128;
+                if wide <= i64::MAX as u128 {
+                    Value::Int(wide as i64)
+                } else {
+                    Value::UInt(wide as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let wide: i128 = match value {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(Error::new(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::new(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(Error::new(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::new(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u8::deserialize(&42u8.serialize()), Ok(42));
+        assert_eq!(i64::deserialize(&(-3i64).serialize()), Ok(-3));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u32>::deserialize(&vec![1u32, 2, 3].serialize()),
+            Ok(vec![1, 2, 3])
+        );
+        assert_eq!(Option::<u8>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::deserialize(&Value::Int(7)), Ok(Some(7)));
+    }
+
+    #[test]
+    fn narrowing_is_checked() {
+        assert!(u8::deserialize(&Value::Int(300)).is_err());
+        assert!(u8::deserialize(&Value::Int(-1)).is_err());
+        assert!(i8::deserialize(&Value::UInt(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn large_u64_uses_uint() {
+        let v = u64::MAX.serialize();
+        assert_eq!(v, Value::UInt(u64::MAX));
+        assert_eq!(u64::deserialize(&v), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn map_helpers() {
+        let v = Value::map([("a", Value::Int(1)), ("b", Value::Bool(false))]);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert!(v.required("missing").is_err());
+    }
+}
