@@ -1,0 +1,7 @@
+//! E-V: static-verification cost by strategy (network certificate vs 0-1
+//! run vs exhaustive permutations), plus DCE-reducibility of minimal
+//! kernels.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::verify_cost::run(&cfg);
+}

@@ -16,6 +16,7 @@ pub mod smt;
 pub mod stoke_table;
 pub mod synthesis_time;
 pub mod throughput;
+pub mod verify_cost;
 
 use crate::util::BenchConfig;
 
@@ -52,6 +53,8 @@ pub fn run_all(cfg: &BenchConfig) {
     minmax::run(cfg);
     println!();
     throughput::run(cfg);
+    println!();
+    verify_cost::run(cfg);
     println!();
     lower_bound::run(cfg);
 }

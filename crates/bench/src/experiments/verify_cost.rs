@@ -1,0 +1,127 @@
+//! E-V: cost of statically verifying a kernel, by strategy.
+//!
+//! The verifier has three ways to establish (or refute) correctness, with
+//! very different costs:
+//!
+//! 1. **network certificate** — recognize the program as a comparator
+//!    network and check the network on all `2^n` 0-1 vectors (comparator
+//!    simulation, no machine semantics);
+//! 2. **0-1 run** — execute the full program on all `2^n` 0-1 inputs
+//!    (sound certificate for min/max kernels, necessary-only for cmov);
+//! 3. **exhaustive permutations** — the ground-truth oracle, `n!` full
+//!    program runs.
+//!
+//! This experiment times all three on the library's sorting-network kernels
+//! for n = 2..5 in both ISA modes, and then measures how often dead-code
+//! elimination can shrink an *enumerated minimal* kernel (it never should:
+//! a kernel with a removable instruction is not minimal).
+
+use sortsynth_isa::{factorial, IsaMode};
+use sortsynth_kernels::network_kernel;
+use sortsynth_search::{synthesize, Cut, SynthesisConfig};
+use sortsynth_verify::{dce, network, zero_one};
+
+use crate::util::{fmt_duration, time, BenchConfig, Table};
+
+fn mode_name(mode: IsaMode) -> &'static str {
+    match mode {
+        IsaMode::Cmov => "cmov",
+        IsaMode::MinMax => "minmax",
+    }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &BenchConfig) {
+    println!("== E-V: verification cost by strategy ==");
+    let reps: u32 = if cfg.quick { 20 } else { 200 };
+    let max_n = if cfg.quick { 3 } else { 5 };
+    let mut table = Table::new(&[
+        "n",
+        "isa",
+        "instrs",
+        "network cert",
+        "0-1 run",
+        "exhaustive perms",
+    ]);
+    for mode in [IsaMode::Cmov, IsaMode::MinMax] {
+        for n in 2..=max_n {
+            let (machine, prog) = network_kernel(n, mode);
+            let (net, t_net) = time(|| {
+                let mut last = None;
+                for _ in 0..reps {
+                    let comparators =
+                        network::extract_network(&machine, &prog).expect("network kernel");
+                    last = Some(network::network_witness(machine.n(), &comparators));
+                }
+                last.expect("reps > 0")
+            });
+            assert!(net.is_none(), "network kernels sort");
+            let (zo, t_zo) = time(|| {
+                let mut last = None;
+                for _ in 0..reps {
+                    last = Some(zero_one::zero_one_witness(&machine, &prog));
+                }
+                last.expect("reps > 0")
+            });
+            assert!(zo.is_none(), "network kernels pass 0-1");
+            let (correct, t_perm) = time(|| {
+                let mut ok = true;
+                for _ in 0..reps {
+                    ok &= machine.is_correct(&prog);
+                }
+                ok
+            });
+            assert!(correct);
+            table.row_strings(vec![
+                n.to_string(),
+                mode_name(mode).to_string(),
+                prog.len().to_string(),
+                fmt_duration(t_net / reps),
+                fmt_duration(t_zo / reps),
+                fmt_duration(t_perm / reps),
+            ]);
+        }
+    }
+    table.print();
+    table.write_csv(&cfg.ensure_out_dir().join("ev_verify_cost.csv"));
+    println!("(2^n vs n! inputs: the certificate paths stay cheap where the oracle blows up)");
+
+    println!("\n== E-V2: DCE-reducibility of enumerated minimal kernels ==");
+    let mut reducible = Table::new(&["n", "isa", "solutions checked", "dce-reducible"]);
+    let sample = if cfg.quick { 50 } else { 500 };
+    for mode in [IsaMode::Cmov, IsaMode::MinMax] {
+        for n in 2..=3u8 {
+            let machine = sortsynth_isa::Machine::new(n, 1, mode);
+            let probe = synthesize(&SynthesisConfig::best(machine.clone()));
+            let len = probe.found_len.expect("kernels exist for n <= 3");
+            let result = synthesize(
+                &SynthesisConfig::new(machine.clone())
+                    .budget_viability(true)
+                    .cut(Cut::Factor(1.0))
+                    .all_solutions(true)
+                    .max_len(len),
+            );
+            let programs = result.dag.programs(sample);
+            let shrunk = programs
+                .iter()
+                .filter(|p| dce(&machine, p).len() < p.len())
+                .count();
+            reducible.row_strings(vec![
+                n.to_string(),
+                mode_name(mode).to_string(),
+                programs.len().to_string(),
+                shrunk.to_string(),
+            ]);
+            assert_eq!(
+                shrunk, 0,
+                "a minimal-length kernel carried dead code (n={n} {mode:?})"
+            );
+        }
+    }
+    reducible.print();
+    reducible.write_csv(&cfg.ensure_out_dir().join("ev2_dce_reducible.csv"));
+    println!(
+        "(factorial({max_n}) = {}; minimal kernels carry no dead code)",
+        factorial(max_n)
+    );
+}

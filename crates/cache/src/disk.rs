@@ -49,6 +49,11 @@ pub struct LoadReport {
     /// Whether the header was missing/foreign/old-version, invalidating the
     /// whole file.
     pub invalidated: bool,
+    /// Intact frames refused by the static-verification gate on open
+    /// (malformed for their own query's machine, or refuted on a 0-1
+    /// input). Set by [`crate::KernelCache::open`], not by [`load`] — the
+    /// disk layer only validates framing.
+    pub verify_rejected: u64,
 }
 
 /// The log file inside `dir`.

@@ -14,6 +14,15 @@
 //!   on-disk log with per-entry checksums, crash-tolerant recovery, and
 //!   atomic write-then-rename compaction (see [`disk`] for the format).
 //!
+//! Every kernel passes the static-verification gate
+//! ([`sortsynth_verify::gate`]) before it can enter the cache: inserts,
+//! recovery on open, and disk-scan promotions all refuse programs that are
+//! malformed for their query's machine or refuted on a 0-1 input. The gate
+//! never rejects a correct kernel (the 0-1 check is necessary for
+//! correctness on both ISAs), so a cache that only ever held genuine
+//! synthesis results behaves identically — the gate exists to stop a
+//! corrupted or hand-edited store from serving wrong kernels forever.
+//!
 //! ```
 //! use sortsynth_cache::{CacheEntry, KernelCache, KernelQuery};
 //! use sortsynth_isa::{IsaMode, Machine};
@@ -63,6 +72,11 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted from the memory front (still on disk).
     pub evictions: u64,
+    /// Entries refused by the static-verification gate since open
+    /// (rejected inserts plus disk hits that failed re-verification).
+    /// Open-time rejections are reported separately in
+    /// [`LoadReport::verify_rejected`].
+    pub verify_rejected: u64,
     /// What recovery found when the store was opened.
     pub load: LoadReport,
 }
@@ -73,6 +87,20 @@ struct Counters {
     disk_hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
+    verify_rejected: AtomicU64,
+}
+
+/// Why the static-verification gate refused an entry.
+fn gate_error(entry: &CacheEntry) -> Option<String> {
+    if !entry.query.is_valid() {
+        return Some(format!(
+            "query n={} scratch={} out of range",
+            entry.query.n, entry.query.scratch
+        ));
+    }
+    sortsynth_verify::gate(&entry.query.machine(), &entry.program)
+        .err()
+        .map(|e| e.to_string())
 }
 
 struct DiskStore {
@@ -107,10 +135,15 @@ impl KernelCache {
     /// If recovery rejected a corrupt or torn tail, the log is immediately
     /// compacted (atomic write-then-rename) so the corruption cannot be
     /// consulted again and subsequent appends don't extend a bad tail.
+    /// Intact frames whose kernels fail the static-verification gate are
+    /// dropped the same way (counted in [`LoadReport::verify_rejected`]).
     pub fn open(dir: impl AsRef<Path>, capacity: usize) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let (entries, load) = disk::load(&dir)?;
-        if load.rejected_tail {
+        let (mut entries, mut load) = disk::load(&dir)?;
+        let intact = entries.len();
+        entries.retain(|e| gate_error(e).is_none());
+        load.verify_rejected = (intact - entries.len()) as u64;
+        if load.rejected_tail || load.verify_rejected > 0 {
             disk::rewrite_atomic(&dir, entries.iter())?;
         }
         let lru = ShardedLru::new(capacity);
@@ -148,10 +181,17 @@ impl KernelCache {
             if let Ok((entries, _)) = disk::load(&store.dir) {
                 // Latest write wins: scan from the back.
                 if let Some(entry) = entries.into_iter().rev().find(|e| e.query == *query) {
-                    let entry = Arc::new(entry);
-                    self.lru.insert(Arc::clone(&entry));
-                    self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
-                    return Some(entry);
+                    // Re-verify before promotion: the log may have been
+                    // modified behind the append handle.
+                    if gate_error(&entry).is_none() {
+                        let entry = Arc::new(entry);
+                        self.lru.insert(Arc::clone(&entry));
+                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(entry);
+                    }
+                    self.counters
+                        .verify_rejected
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -162,7 +202,22 @@ impl KernelCache {
     /// Inserts an entry: appended to the log (durable caches) and published
     /// to the memory front. The entry is visible to other threads' `get` as
     /// soon as this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] (without touching the log)
+    /// when the kernel fails the static-verification gate: malformed for
+    /// the query's machine, or refuted by a 0-1 input.
     pub fn insert(&self, entry: CacheEntry) -> io::Result<()> {
+        if let Some(why) = gate_error(&entry) {
+            self.counters
+                .verify_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("kernel refused by verification gate: {why}"),
+            ));
+        }
         let entry = Arc::new(entry);
         if let Some(store) = &self.store {
             let mut file = store.file.lock();
@@ -215,6 +270,7 @@ impl KernelCache {
             misses: self.counters.misses.load(Ordering::Relaxed),
             insertions: self.counters.insertions.load(Ordering::Relaxed),
             evictions: self.lru.evictions(),
+            verify_rejected: self.counters.verify_rejected.load(Ordering::Relaxed),
             load: self.load,
         }
     }
@@ -225,7 +281,29 @@ mod tests {
     use super::*;
     use sortsynth_isa::{IsaMode, Machine};
 
+    /// A correct (bubble-network, not minimal) kernel for each `n`, so test
+    /// entries pass the verification gate.
     fn entry(n: u8) -> CacheEntry {
+        let machine = Machine::new(n, 1, IsaMode::Cmov);
+        let mut blocks = Vec::new();
+        for pass in 0..n - 1 {
+            for u in 1..n - pass {
+                let v = u + 1;
+                blocks.push(format!(
+                    "mov s1 r{u}; cmp r{u} r{v}; cmovg r{u} r{v}; cmovg r{v} s1"
+                ));
+            }
+        }
+        CacheEntry {
+            query: KernelQuery::best(n, 1, IsaMode::Cmov),
+            program: machine.parse_program(&blocks.join("; ")).unwrap(),
+            minimal_certified: false,
+            search_millis: 3,
+        }
+    }
+
+    /// An entry whose kernel does not sort (refuted by the 0-1 gate).
+    fn bogus_entry(n: u8) -> CacheEntry {
         let machine = Machine::new(n, 1, IsaMode::Cmov);
         CacheEntry {
             query: KernelQuery::best(n, 1, IsaMode::Cmov),
@@ -264,8 +342,47 @@ mod tests {
         }
         let cache = KernelCache::open(&dir, 8).unwrap();
         assert_eq!(cache.stats().load.loaded, 2);
-        assert_eq!(cache.get(&entry(2).query).unwrap().program.len(), 2);
+        assert_eq!(cache.get(&entry(2).query).unwrap().program.len(), 4);
         assert!(cache.get(&entry(3).query).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn insert_refuses_kernels_that_fail_the_gate() {
+        let cache = KernelCache::in_memory(8);
+        let bogus = bogus_entry(2);
+        let err = cache.insert(bogus.clone()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(cache.get(&bogus.query).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.verify_rejected, 1);
+    }
+
+    #[test]
+    fn recovery_drops_refuted_entries_and_repairs_the_log() {
+        let dir = tmp_dir("gate");
+        {
+            let cache = KernelCache::open(&dir, 8).unwrap();
+            cache.insert(entry(2)).unwrap();
+        }
+        // Smuggle a refuted kernel past the gate by appending at the disk
+        // layer directly (as a corrupted or hand-edited store would).
+        {
+            let mut file = disk::open_for_append(&dir).unwrap();
+            disk::append(&mut file, &bogus_entry(3)).unwrap();
+        }
+        let cache = KernelCache::open(&dir, 8).unwrap();
+        let load = cache.stats().load;
+        assert_eq!(load.loaded, 2, "both frames were intact on disk");
+        assert_eq!(load.verify_rejected, 1);
+        assert!(cache.get(&entry(2).query).is_some());
+        assert!(cache.get(&bogus_entry(3).query).is_none());
+        drop(cache);
+        // The rejected frame was compacted away, so the next open is clean.
+        let reopened = KernelCache::open(&dir, 8).unwrap();
+        assert_eq!(reopened.stats().load.loaded, 1);
+        assert_eq!(reopened.stats().load.verify_rejected, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

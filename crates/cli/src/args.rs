@@ -39,7 +39,7 @@ impl fmt::Display for ArgsError {
 impl Error for ArgsError {}
 
 /// Boolean flags (present or absent, no value).
-const FLAGS: &[&str] = &["all", "plain"];
+const FLAGS: &[&str] = &["all", "plain", "json", "fix", "dead-write-cut"];
 
 /// Options that take a value.
 const VALUED: &[&str] = &[

@@ -12,16 +12,18 @@ use sortsynth_search::{
     prove_no_solution, synthesize, BoundVerdict, Cut, Outcome, SearchBudget, SynthesisConfig,
 };
 use sortsynth_service::{Client, ReplySource, Response, Server, ServiceConfig};
+use sortsynth_verify::{dce, verify, Verdict};
 
 use crate::args::{ArgsError, ParsedArgs};
 
 /// Help text shown on errors and `sortsynth help`.
 pub const USAGE: &str = "usage:
   sortsynth synth   --n N [--scratch M] [--isa cmov|minmax] [--all] [--max-len L] [--cut K]
-                    [--plain] [--timeout SECS] [--cache-dir DIR]
+                    [--plain] [--dead-write-cut] [--timeout SECS] [--cache-dir DIR]
   sortsynth prove   --n N --len L [--budget-states S]
   sortsynth check   <file|-> --n N [--scratch M] [--isa cmov|minmax]
   sortsynth analyze <file|-> --n N [--scratch M] [--isa cmov|minmax]
+  sortsynth lint    <file|-> --n N [--scratch M] [--isa cmov|minmax] [--json|--plain] [--fix]
   sortsynth run     <file|-> --n N [--scratch M] [--isa cmov|minmax] --data V1,V2,...
   sortsynth serve   [--addr HOST:PORT] [--workers W] [--queue-depth D]
                     [--cache-dir DIR] [--cache-capacity C] [--timeout SECS]
@@ -36,6 +38,7 @@ pub fn dispatch(args: ParsedArgs) -> Result<(), ArgsError> {
         "prove" => prove(&args),
         "check" => check(&args),
         "analyze" => analyze_cmd(&args),
+        "lint" => lint(&args),
         "run" => run(&args),
         "serve" => serve(&args),
         "client" => client_cmd(&args),
@@ -120,10 +123,24 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
             cfg = cfg.cut(Cut::Factor(k));
         }
     }
+    if args.flag("dead-write-cut") {
+        cfg = cfg.dead_write_cut(true);
+    }
     if let Some(secs) = args.num::<f64>("timeout")? {
         cfg = cfg.search_budget(SearchBudget::with_timeout(Duration::from_secs_f64(secs)));
     }
     let result = synthesize(&cfg);
+    if result.stats.distance_table_skipped {
+        eprintln!(
+            "# note: machine too large for the distance table; searched with degraded pruning"
+        );
+    }
+    if result.stats.dead_write_pruned > 0 {
+        eprintln!(
+            "# dead-write cut pruned {} successors",
+            result.stats.dead_write_pruned
+        );
+    }
     match result.found_len {
         None => match result.outcome {
             Outcome::TimeLimit | Outcome::Cancelled => Err(ArgsError::new(format!(
@@ -287,6 +304,62 @@ fn analyze_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
     Ok(())
 }
 
+/// `sortsynth lint`: run the static analyzer over a kernel and report the
+/// verdict plus the lint catalog's diagnostics. Exits nonzero when any
+/// diagnostic has error severity or the kernel is refuted outright.
+fn lint(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let machine = machine_from(args)?;
+    let prog = read_program(args, &machine)?;
+    let report = verify(&machine, &prog);
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("value-tree serialization is infallible")
+        );
+    } else if args.flag("fix") {
+        // `--fix` prints the dead-code-eliminated program instead of
+        // diagnosing it; the summary goes to stderr so the output can be
+        // piped straight back into `check`/`lint`.
+        let slim = dce(&machine, &prog);
+        eprintln!(
+            "# dead-code elimination: {} -> {} instructions",
+            prog.len(),
+            slim.len()
+        );
+        print!("{}", machine.format_program(&slim));
+    } else {
+        if !args.flag("plain") {
+            println!("verdict: {}", report.verdict.wire_name());
+            match &report.verdict {
+                Verdict::RefutedZeroOne { witness } => {
+                    println!("witness: {witness:?} is not sorted by this kernel");
+                }
+                Verdict::TieUnsafe { witness } => {
+                    println!("witness: tied input {witness:?} is not sorted by this kernel");
+                }
+                _ => {}
+            }
+            if report.dce_len < report.len {
+                println!(
+                    "dce    : {} of {} instructions are removable",
+                    report.len - report.dce_len,
+                    report.len
+                );
+            }
+        }
+        for diagnostic in &report.diagnostics {
+            println!("{diagnostic}");
+        }
+    }
+    if report.has_errors() {
+        return Err(ArgsError::new("lint found error-severity diagnostics"));
+    }
+    if report.verdict.refuted() {
+        return Err(ArgsError::new("kernel is refuted by a 0-1 counterexample"));
+    }
+    Ok(())
+}
+
 fn run(args: &ParsedArgs) -> Result<(), ArgsError> {
     let machine = machine_from(args)?;
     let prog = read_program(args, &machine)?;
@@ -411,6 +484,9 @@ fn render_response(response: Response) -> Result<(), ArgsError> {
                 ReplySource::Cache => "cache",
                 ReplySource::Coalesced => "coalesced",
             };
+            if reply.distance_table_skipped {
+                eprintln!("# note: machine too large for the distance table; server searched with degraded pruning");
+            }
             match reply.program {
                 Some(text) => {
                     eprintln!(
@@ -451,6 +527,18 @@ fn render_response(response: Response) -> Result<(), ArgsError> {
                     "ports / issue width"
                 }
             );
+            println!("verdict      : {}", report.verdict);
+            for lint in &report.lints {
+                match lint.index {
+                    Some(i) => {
+                        println!("{}[{}] at {i}: {}", lint.severity, lint.kind, lint.message)
+                    }
+                    None => println!("{}[{}]: {}", lint.severity, lint.kind, lint.message),
+                }
+            }
+            if report.lints.iter().any(|l| l.severity == "error") {
+                return Err(ArgsError::new("analysis found error-severity lints"));
+            }
             Ok(())
         }
         Response::Timeout(t) => Err(ArgsError::new(format!(

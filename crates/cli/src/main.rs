@@ -6,6 +6,7 @@
 //! sortsynth prove   --n 3 --len 11 [--budget-states N]
 //! sortsynth check   <file|-> --n 3          # verify a kernel program
 //! sortsynth analyze <file|-> --n 3          # cost & pipeline analysis
+//! sortsynth lint    <file|-> --n 3          # static analysis & lint report
 //! sortsynth run     <file|-> --n 3 --data 3,1,2
 //! sortsynth serve   [--addr 127.0.0.1:7878] [--workers 4] [--cache-dir DIR]
 //! sortsynth client  ping|synth|check|analyze [--addr 127.0.0.1:7878]

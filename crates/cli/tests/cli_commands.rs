@@ -97,6 +97,70 @@ fn analyze_reports_cost_model() {
     assert!(text.contains("correct      : yes"));
 }
 
+/// The paper's §2.3 stale-flags kernel: passes every 0-1 input but fails
+/// [1, 3, 2]. The linter must flag it statically.
+const STALE_2_3: &[u8] = b"mov s1 r1\ncmp r1 r2\ncmovg r1 r2\ncmovg r2 s1\nmov s1 r3\ncmp r2 r3\ncmovg r3 r2\ncmovg r2 s1\ncmovg r2 r1\ncmovg r1 s1\n";
+
+fn lint_with_stdin(extra: &[&str], program: &[u8]) -> std::process::Output {
+    let mut args = vec!["lint", "-"];
+    args.extend_from_slice(extra);
+    let mut lint = sortsynth()
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lint");
+    lint.stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(program)
+        .expect("write program");
+    lint.wait_with_output().expect("lint runs")
+}
+
+#[test]
+fn lint_flags_the_stale_flags_kernel_statically() {
+    let out = lint_with_stdin(&["--n", "3"], STALE_2_3);
+    assert!(!out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("dead-conditional-write"), "{text}");
+    assert!(text.contains("passed-zero-one"), "{text}");
+}
+
+#[test]
+fn lint_certifies_a_correct_network() {
+    let out = lint_with_stdin(
+        &["--n", "2"],
+        b"mov s1 r2\ncmp r1 r2\ncmovg r2 r1\ncmovg r1 s1\n",
+    );
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("certified-network"));
+}
+
+#[test]
+fn lint_json_is_machine_readable() {
+    let out = lint_with_stdin(&["--n", "3", "--json"], STALE_2_3);
+    assert!(!out.status.success(), "error severity still exits nonzero");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(text.contains("\"verdict\""), "{text}");
+    assert!(text.contains("dead-conditional-write"), "{text}");
+}
+
+#[test]
+fn lint_fix_prints_the_minimized_program() {
+    // A correct CAS padded with a dead scratch write: --fix strips it.
+    let out = lint_with_stdin(
+        &["--n", "2", "--scratch", "2", "--fix"],
+        b"mov s1 r2\ncmp r1 r2\ncmovg r2 r1\ncmovg r1 s1\nmov s2 r1\n",
+    );
+    assert!(out.status.success(), "{out:?}");
+    let fixed = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(fixed.lines().count(), 4, "{fixed}");
+    assert!(!fixed.contains("s2"), "{fixed}");
+}
+
 #[test]
 fn prove_certifies_the_n2_bound() {
     let out = sortsynth()

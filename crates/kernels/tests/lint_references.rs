@@ -1,0 +1,103 @@
+//! Lints every hand-written baseline kernel: a regression here means either
+//! a reference program rotted or the analyzer started flagging correct code.
+
+use sortsynth_isa::IsaMode;
+use sortsynth_kernels::{network_kernel, reference};
+use sortsynth_verify::{verify, Verdict};
+
+#[test]
+fn reference_kernels_are_lint_clean() {
+    for (name, machine, prog) in [
+        ("paper_synth_cmov3", reference::paper_synth_cmov3()),
+        ("paper_synth_minmax3", reference::paper_synth_minmax3()),
+        ("alphadev_cmov3", reference::alphadev_cmov3()),
+        ("enum_worst_cmov3", reference::enum_worst_cmov3()),
+        ("enum_minmax3", reference::enum_minmax3()),
+        ("enum_cmov5", reference::enum_cmov5()),
+        ("enum_minmax4", reference::enum_minmax4()),
+        ("enum_minmax5", reference::enum_minmax5()),
+        ("enum_minmax6", reference::enum_minmax6()),
+    ]
+    .map(|(name, (machine, prog))| (name, machine, prog))
+    {
+        let report = verify(&machine, &prog);
+        assert!(
+            !report.has_errors(),
+            "{name}: error-severity lint on a baseline kernel:\n{:#?}",
+            report.diagnostics
+        );
+        assert!(
+            !report.verdict.refuted(),
+            "{name}: baseline kernel refuted: {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn minmax_references_are_certified() {
+    // Min/max programs are determined by their 0-1 behaviour, so a correct
+    // min/max reference must earn a certificate, not just "passed".
+    for (name, (machine, prog)) in [
+        ("paper_synth_minmax3", reference::paper_synth_minmax3()),
+        ("enum_minmax3", reference::enum_minmax3()),
+        ("enum_minmax4", reference::enum_minmax4()),
+        ("enum_minmax5", reference::enum_minmax5()),
+        ("enum_minmax6", reference::enum_minmax6()),
+    ] {
+        let report = verify(&machine, &prog);
+        assert!(
+            report.verdict.certified(),
+            "{name}: expected a certificate, got {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn alphadev_sort3_is_tie_unsafe_but_admitted() {
+    // AlphaDev's sort3 sorts every permutation but mis-sorts the tied input
+    // [1, 1, 0] — the analyzer must say so without calling it incorrect,
+    // and the cache gate must still admit it.
+    let (machine, prog) = reference::alphadev_cmov3();
+    assert!(machine.is_correct(&prog));
+    let report = verify(&machine, &prog);
+    assert!(
+        matches!(report.verdict, Verdict::TieUnsafe { .. }),
+        "{:?}",
+        report.verdict
+    );
+    assert!(sortsynth_verify::gate(&machine, &prog).is_ok());
+}
+
+#[test]
+fn cmov3_reference_set_survives_analysis() {
+    for (name, machine, prog) in reference::cmov3_references() {
+        let report = verify(&machine, &prog);
+        assert!(!report.has_errors(), "{name}: {:#?}", report.diagnostics);
+        assert!(!report.verdict.refuted(), "{name}: {:?}", report.verdict);
+    }
+}
+
+#[test]
+fn generated_networks_earn_the_network_certificate() {
+    for mode in [IsaMode::Cmov, IsaMode::MinMax] {
+        for n in 2..=8u8 {
+            let (machine, prog) = network_kernel(n, mode);
+            let report = verify(&machine, &prog);
+            assert_eq!(
+                report.verdict,
+                Verdict::CertifiedNetwork,
+                "n={n} {mode:?}: {:#?}",
+                report.diagnostics
+            );
+            assert!(
+                !report.has_errors(),
+                "n={n} {mode:?}: {:#?}",
+                report.diagnostics
+            );
+            // A generated network has no removable instruction.
+            assert_eq!(report.dce_len, report.len, "n={n} {mode:?}");
+        }
+    }
+}

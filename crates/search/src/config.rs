@@ -108,6 +108,15 @@ pub struct SynthesisConfig {
     /// Restrict expansion to the §3.2 precomputed optimal first
     /// instructions.
     pub optimal_instrs_only: bool,
+    /// Skip successors whose new instruction makes the parent edge's
+    /// instruction dead (a dead-write cut from the static analyzer's
+    /// liveness rules): appending `cmp` directly after `cmp` kills the
+    /// first compare's flags, and `mov dst, _` directly after a write to
+    /// `dst` that it does not read kills that write. The pruned program is
+    /// observationally equal to a one-instruction-shorter program the
+    /// layered search has already expanded, so no minimal-length solution
+    /// is lost.
+    pub dead_write_cut: bool,
     /// Hard upper bound on program length (inclusive). Used both as a search
     /// budget and, by the lower-bound prover, as the exhaustion depth.
     pub max_len: Option<u32>,
@@ -138,6 +147,7 @@ impl SynthesisConfig {
             cut: None,
             budget_viability: false,
             optimal_instrs_only: false,
+            dead_write_cut: false,
             max_len: None,
             all_solutions: false,
             node_limit: None,
@@ -187,6 +197,12 @@ impl SynthesisConfig {
     /// Enables/disables the optimal-first-instruction restriction.
     pub fn optimal_instrs_only(mut self, on: bool) -> Self {
         self.optimal_instrs_only = on;
+        self
+    }
+
+    /// Enables/disables the liveness-based dead-write successor cut.
+    pub fn dead_write_cut(mut self, on: bool) -> Self {
+        self.dead_write_cut = on;
         self
     }
 

@@ -4,7 +4,7 @@
 use std::collections::{BinaryHeap, HashMap};
 use std::time::{Duration, Instant};
 
-use sortsynth_isa::{Instr, Program};
+use sortsynth_isa::{Instr, Op, Program};
 
 use crate::config::{Strategy, SynthesisConfig};
 use crate::distance::{DistanceTable, UNSORTABLE};
@@ -58,8 +58,17 @@ pub struct SearchStats {
     pub viability_pruned: u64,
     /// Successors dropped by the cut (§3.5).
     pub cut_pruned: u64,
+    /// Successors skipped by the liveness-based dead-write cut
+    /// ([`SynthesisConfig::dead_write_cut`]): the appended instruction would
+    /// have made the parent edge's instruction dead.
+    pub dead_write_pruned: u64,
     /// Unique states kept (nodes in the solution DAG).
     pub states_kept: u64,
+    /// The configuration asked for the distance table, but the machine has
+    /// too many actions for [`DistanceTable::supports`]: the search ran with
+    /// degraded pruning (no viability budget, no optimal-first-instruction
+    /// restriction, no `MaxRemaining` heuristic).
+    pub distance_table_skipped: bool,
     /// Time spent building the per-assignment distance table.
     pub distance_build: Duration,
     /// Total wall-clock time of the search (excluding table build).
@@ -259,6 +268,10 @@ impl<'a> Engine<'a> {
             stats.distance_build = t0.elapsed();
             Some(table)
         } else {
+            // Record the degraded-pruning fallback instead of silently
+            // searching without the distance-based aids.
+            stats.distance_table_skipped =
+                cfg.needs_distance_table() && !DistanceTable::supports(&cfg.machine);
             None
         };
         let start = Instant::now();
@@ -415,6 +428,7 @@ impl<'a> Engine<'a> {
             self.stats.generated += counters.generated;
             self.stats.viability_pruned += counters.viability_pruned;
             self.stats.cut_pruned += counters.cut_pruned;
+            self.stats.dead_write_pruned += counters.dead_write_pruned;
             merged.extend(cands);
         }
         merged
@@ -538,6 +552,7 @@ impl<'a> Engine<'a> {
         self.stats.generated += counters.generated;
         self.stats.viability_pruned += counters.viability_pruned;
         self.stats.cut_pruned += counters.cut_pruned;
+        self.stats.dead_write_pruned += counters.dead_write_pruned;
     }
 
     /// The thread-safe part of expansion: instruction selection (§3.2),
@@ -557,6 +572,16 @@ impl<'a> Engine<'a> {
             Some(table) if self.cfg.optimal_instrs_only => Some(table.optimal_first_moves(state)),
             _ => None,
         };
+        // The instruction on the parent edge, for the dead-write cut: a
+        // successor whose new instruction erases that instruction's effect
+        // (cmp overwriting an unread cmp, mov killing an unread write)
+        // equals a state already reachable one layer earlier.
+        let prev_instr = if self.cfg.dead_write_cut {
+            let n = &self.nodes[node as usize];
+            (n.parent != NO_PARENT).then(|| self.actions[n.instr as usize])
+        } else {
+            None
+        };
         let machine = &self.cfg.machine;
         for (ai, &instr) in self.actions.iter().enumerate() {
             if let Some(set) = &allowed {
@@ -567,6 +592,17 @@ impl<'a> Engine<'a> {
                 // `cmp` — yet every correct sorting kernel needs them.
                 // Restrict only the register-writing instructions.
                 if instr.op != sortsynth_isa::Op::Cmp && !set.contains(ai) {
+                    continue;
+                }
+            }
+            if let Some(prev) = prev_instr {
+                let kills_prev = (prev.op == Op::Cmp && instr.op == Op::Cmp)
+                    || (prev.op != Op::Cmp
+                        && instr.op == Op::Mov
+                        && instr.dst == prev.dst
+                        && instr.src != prev.dst);
+                if kills_prev {
+                    counters.dead_write_pruned += 1;
                     continue;
                 }
             }
@@ -736,6 +772,7 @@ struct WorkerCounters {
     generated: u64,
     viability_pruned: u64,
     cut_pruned: u64,
+    dead_write_pruned: u64,
 }
 
 /// Open-list entry for A*: ordered so that the smallest `f` (then `g`, then

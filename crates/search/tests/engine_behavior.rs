@@ -169,4 +169,52 @@ fn oversized_machine_searches_without_the_distance_table() {
     );
     assert_eq!(result.outcome, Outcome::Exhausted);
     assert_eq!(result.found_len, None);
+    // The silent fallback is surfaced in the stats instead of being
+    // inferable only from a missing `distance_build` time.
+    assert!(result.stats.distance_table_skipped);
+}
+
+#[test]
+fn distance_table_skipped_is_false_when_the_table_is_built_or_unneeded() {
+    let best = synthesize(&SynthesisConfig::best(Machine::new(2, 1, IsaMode::Cmov)));
+    assert!(!best.stats.distance_table_skipped);
+    // A plain config never asks for the table, even on an oversized machine.
+    let plain = synthesize(&SynthesisConfig::new(Machine::new(2, 8, IsaMode::Cmov)).max_len(2));
+    assert!(!plain.stats.distance_table_skipped);
+}
+
+#[test]
+fn dead_write_cut_preserves_optimal_cost() {
+    // Acceptance criterion: enabling the liveness-based dead-write cut must
+    // not change the optimal kernel length for n = 2..3 in either ISA mode.
+    // With no other cut active the pruned states provably equal states one
+    // layer shorter, so this also holds with a minimality guarantee.
+    for mode in [IsaMode::Cmov, IsaMode::MinMax] {
+        for n in 2..=3u8 {
+            let machine = Machine::new(n, 1, mode);
+            let base = synthesize(&SynthesisConfig::new(machine.clone()).budget_viability(true));
+            let cut = synthesize(
+                &SynthesisConfig::new(machine.clone())
+                    .budget_viability(true)
+                    .dead_write_cut(true),
+            );
+            assert_eq!(
+                base.found_len, cut.found_len,
+                "dead-write cut changed optimal cost for n={n} {mode:?}"
+            );
+            assert_eq!(base.stats.dead_write_pruned, 0);
+            assert!(
+                cut.stats.dead_write_pruned > 0,
+                "cut never fired for n={n} {mode:?}"
+            );
+            assert!(cut.stats.generated < base.stats.generated);
+            let kernel = cut.first_program().expect("kernel found");
+            assert!(machine.is_correct(&kernel));
+
+            // Same invariance under the paper's best configuration.
+            let best = synthesize(&SynthesisConfig::best(machine.clone()));
+            let best_cut = synthesize(&SynthesisConfig::best(machine).dead_write_cut(true));
+            assert_eq!(best.found_len, best_cut.found_len);
+        }
+    }
 }

@@ -43,7 +43,7 @@ pub mod singleflight;
 
 pub use client::Client;
 pub use proto::{
-    AnalyzeReply, CheckReply, ReplySource, Request, Response, SynthReply, TimeoutReply,
+    AnalyzeReply, CheckReply, LintReply, ReplySource, Request, Response, SynthReply, TimeoutReply,
 };
 pub use server::{Server, ServerHandle, ServiceConfig};
 pub use singleflight::{LeaderToken, Role, SingleFlight};

@@ -165,6 +165,10 @@ pub struct SynthReply {
     /// Wall-clock milliseconds of the producing search (0 for cache hits
     /// would lie, so cache hits report the *original* search time).
     pub search_millis: u64,
+    /// The producing search needed the distance table but the machine was
+    /// too large to build it, so the search ran with degraded pruning.
+    /// Always `false` for cache/coalesced answers (no search ran).
+    pub distance_table_skipped: bool,
 }
 
 /// Diagnostics returned when a request's deadline expired mid-search.
@@ -189,7 +193,21 @@ pub struct CheckReply {
     pub counterexamples: u64,
 }
 
-/// A pipeline-analysis answer (mirrors `sortsynth_isa::PipelineReport`).
+/// One static-analysis diagnostic (mirrors `sortsynth_verify::Diagnostic`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReply {
+    /// Kebab-case lint kind (e.g. `dead-write`).
+    pub kind: String,
+    /// `error`, `warning`, or `info`.
+    pub severity: String,
+    /// Instruction index the diagnostic anchors to, if any.
+    pub index: Option<u64>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A pipeline-analysis answer (mirrors `sortsynth_isa::PipelineReport`),
+/// extended with the static verifier's verdict and lint report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalyzeReply {
     /// Steady-state cycles per kernel iteration.
@@ -202,6 +220,11 @@ pub struct AnalyzeReply {
     pub issue_bound: f64,
     /// Whether latency (not ports/issue) limits throughput.
     pub latency_bound: bool,
+    /// The static verifier's verdict (`sortsynth_verify::Verdict` wire
+    /// name, e.g. `certified-network` or `refuted-zero-one`).
+    pub verdict: String,
+    /// Structured lint report, sorted by instruction index.
+    pub lints: Vec<LintReply>,
 }
 
 /// A server response.
@@ -280,6 +303,28 @@ impl Deserialize for Request {
     }
 }
 
+impl Serialize for LintReply {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("kind", self.kind.serialize()),
+            ("severity", self.severity.serialize()),
+            ("index", self.index.serialize()),
+            ("message", self.message.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for LintReply {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(LintReply {
+            kind: String::deserialize(value.required("kind")?)?,
+            severity: String::deserialize(value.required("severity")?)?,
+            index: Option::<u64>::deserialize(value.required("index")?)?,
+            message: String::deserialize(value.required("message")?)?,
+        })
+    }
+}
+
 impl Serialize for Response {
     fn serialize(&self) -> Value {
         match self {
@@ -291,6 +336,10 @@ impl Serialize for Response {
                 ("minimal_certified", reply.minimal_certified.serialize()),
                 ("source", s(reply.source.wire_name())),
                 ("search_millis", reply.search_millis.serialize()),
+                (
+                    "distance_table_skipped",
+                    reply.distance_table_skipped.serialize(),
+                ),
             ]),
             Response::Check(reply) => Value::map([
                 ("type", s("check")),
@@ -307,6 +356,8 @@ impl Serialize for Response {
                 ("port_bound", reply.port_bound.serialize()),
                 ("issue_bound", reply.issue_bound.serialize()),
                 ("latency_bound", reply.latency_bound.serialize()),
+                ("verdict", reply.verdict.serialize()),
+                ("lints", reply.lints.serialize()),
             ]),
             Response::Timeout(reply) => Value::map([
                 ("type", s("timeout")),
@@ -339,6 +390,9 @@ impl Deserialize for Response {
                     minimal_certified: bool::deserialize(value.required("minimal_certified")?)?,
                     source,
                     search_millis: u64::deserialize(value.required("search_millis")?)?,
+                    distance_table_skipped: bool::deserialize(
+                        value.required("distance_table_skipped")?,
+                    )?,
                 }))
             }
             "check" => Ok(Response::Check(CheckReply {
@@ -351,6 +405,8 @@ impl Deserialize for Response {
                 port_bound: f64::deserialize(value.required("port_bound")?)?,
                 issue_bound: f64::deserialize(value.required("issue_bound")?)?,
                 latency_bound: bool::deserialize(value.required("latency_bound")?)?,
+                verdict: String::deserialize(value.required("verdict")?)?,
+                lints: Vec::<LintReply>::deserialize(value.required("lints")?)?,
             })),
             "timeout" => Ok(Response::Timeout(TimeoutReply {
                 generated: u64::deserialize(value.required("generated")?)?,
@@ -417,6 +473,7 @@ mod tests {
                 minimal_certified: true,
                 source: ReplySource::Cache,
                 search_millis: 12,
+                distance_table_skipped: false,
             }),
             Response::Synth(SynthReply {
                 program: None,
@@ -424,6 +481,7 @@ mod tests {
                 minimal_certified: false,
                 source: ReplySource::Computed,
                 search_millis: 3,
+                distance_table_skipped: true,
             }),
             Response::Check(CheckReply {
                 correct: false,
@@ -435,6 +493,30 @@ mod tests {
                 port_bound: 1.25,
                 issue_bound: 0.75,
                 latency_bound: true,
+                verdict: "passed-zero-one".into(),
+                lints: vec![
+                    LintReply {
+                        kind: "dead-write".into(),
+                        severity: "warning".into(),
+                        index: Some(3),
+                        message: "value of r1 is never read".into(),
+                    },
+                    LintReply {
+                        kind: "unused-scratch".into(),
+                        severity: "info".into(),
+                        index: None,
+                        message: "scratch register s2 is never used".into(),
+                    },
+                ],
+            }),
+            Response::Analyze(AnalyzeReply {
+                cycles_per_iteration: 2.0,
+                critical_path: 4,
+                port_bound: 1.0,
+                issue_bound: 0.5,
+                latency_bound: false,
+                verdict: "certified-network".into(),
+                lints: Vec::new(),
             }),
             Response::Timeout(TimeoutReply {
                 generated: 1000,

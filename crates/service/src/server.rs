@@ -36,8 +36,8 @@ use sortsynth_isa::{analyze, Machine, ThroughputModel};
 use sortsynth_search::{synthesize, Cut, Outcome, SearchBudget, SynthesisConfig};
 
 use crate::proto::{
-    read_message, write_message, AnalyzeReply, CheckReply, ReplySource, Request, Response,
-    SynthReply, TimeoutReply,
+    read_message, write_message, AnalyzeReply, CheckReply, LintReply, ReplySource, Request,
+    Response, SynthReply, TimeoutReply,
 };
 use crate::singleflight::{Role, SingleFlight};
 
@@ -338,12 +338,24 @@ fn execute(shared: &Shared, job: &Job) -> Response {
         Request::Analyze { machine, program } => match machine.parse_program(program) {
             Ok(prog) => {
                 let report = analyze(&prog, &ThroughputModel::default());
+                let verified = sortsynth_verify::verify(machine, &prog);
                 Response::Analyze(AnalyzeReply {
                     cycles_per_iteration: report.cycles_per_iteration,
                     critical_path: report.critical_path,
                     port_bound: report.port_bound,
                     issue_bound: report.issue_bound,
                     latency_bound: report.latency_bound,
+                    verdict: verified.verdict.wire_name().to_string(),
+                    lints: verified
+                        .diagnostics
+                        .iter()
+                        .map(|d| LintReply {
+                            kind: d.kind.name().to_string(),
+                            severity: d.severity().name().to_string(),
+                            index: d.index.map(|i| i as u64),
+                            message: d.message.clone(),
+                        })
+                        .collect(),
                 })
             }
             Err(e) => Response::Error {
@@ -413,7 +425,11 @@ fn run_search(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -
                     // A full disk is not a reason to withhold the answer; the
                     // entry still lands in the memory front.
                     let _ = shared.cache.insert(entry.clone());
-                    entry_reply(&entry, ReplySource::Computed)
+                    let mut response = entry_reply(&entry, ReplySource::Computed);
+                    if let Response::Synth(reply) = &mut response {
+                        reply.distance_table_skipped = result.stats.distance_table_skipped;
+                    }
+                    response
                 }
                 None => Response::Synth(SynthReply {
                     program: None,
@@ -421,6 +437,7 @@ fn run_search(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -
                     minimal_certified: false,
                     source: ReplySource::Computed,
                     search_millis: result.stats.search_time.as_millis() as u64,
+                    distance_table_skipped: result.stats.distance_table_skipped,
                 }),
             }
         }
@@ -443,6 +460,7 @@ fn entry_reply(entry: &CacheEntry, source: ReplySource) -> Response {
         minimal_certified: entry.minimal_certified,
         source,
         search_millis: entry.search_millis,
+        distance_table_skipped: false,
     })
 }
 

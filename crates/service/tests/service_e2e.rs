@@ -120,6 +120,25 @@ fn check_and_analyze_ops() {
     };
     assert!(report.cycles_per_iteration > 0.0);
     assert!(report.critical_path > 0);
+    // The CAS is a one-comparator network: the verifier certifies it and
+    // has nothing to complain about.
+    assert_eq!(report.verdict, "certified-network");
+    assert!(report.lints.is_empty());
+
+    // A kernel with a dead write draws a structured lint.
+    let Response::Analyze(linted) = client
+        .analyze(
+            machine.clone(),
+            "mov s1 r1; mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1".into(),
+        )
+        .unwrap()
+    else {
+        panic!("expected analyze reply");
+    };
+    assert!(linted
+        .lints
+        .iter()
+        .any(|l| l.kind == "write-after-write" && l.index == Some(0)));
 
     // Malformed program text is an error, not a dead connection.
     let Response::Error { .. } = client.check(machine, "frobnicate r1 r2".into()).unwrap() else {

@@ -1,0 +1,68 @@
+//! A tiny abstract interpreter for straight-line kernel programs.
+//!
+//! Straight-line code needs no fixpoint: an abstract run is a single fold of
+//! the domain's transfer function over the instruction sequence. The value of
+//! the framework is the shared shape — a domain packages an entry state and a
+//! transfer function, and every analysis (the 0-1 collecting domain in
+//! [`crate::zero_one`], the flag-taint domain in [`crate::flags`]) plugs into
+//! the same driver instead of re-implementing the walk.
+
+use sortsynth_isa::{Instr, Machine};
+
+/// An abstract domain: an entry state plus a transfer function.
+///
+/// `State` is the domain's abstract element. Diagnosing domains accumulate
+/// findings inside their state; proving domains carry the abstraction of all
+/// reachable concrete states.
+pub trait AbstractDomain {
+    /// The abstract state threaded through the program.
+    type State;
+
+    /// The abstract state before the first instruction.
+    fn entry(&self, machine: &Machine) -> Self::State;
+
+    /// The effect of executing `instr` (at position `index`) on `state`.
+    fn transfer(&self, machine: &Machine, state: &mut Self::State, instr: Instr, index: usize);
+}
+
+/// Runs `domain` over `prog` and returns the abstract state at program exit.
+pub fn interpret<D: AbstractDomain>(domain: &D, machine: &Machine, prog: &[Instr]) -> D::State {
+    let mut state = domain.entry(machine);
+    for (index, &instr) in prog.iter().enumerate() {
+        domain.transfer(machine, &mut state, instr, index);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    /// A trivial counting domain: the abstract state is the number of
+    /// instructions seen.
+    struct Count;
+
+    impl AbstractDomain for Count {
+        type State = usize;
+
+        fn entry(&self, _machine: &Machine) -> usize {
+            0
+        }
+
+        fn transfer(&self, _machine: &Machine, state: &mut usize, _instr: Instr, index: usize) {
+            assert_eq!(*state, index);
+            *state += 1;
+        }
+    }
+
+    #[test]
+    fn interpret_folds_in_order() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let prog = m
+            .parse_program("mov s1 r1; cmp r1 r2; cmovg r1 r2")
+            .unwrap();
+        assert_eq!(interpret(&Count, &m, &prog), 3);
+        assert_eq!(interpret(&Count, &m, &[]), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Backward def-use/liveness dataflow over registers **and** flags.
+//!
+//! The analysis treats the `lt`/`gt` comparison flags as two extra dataflow
+//! locations next to the register file. This is what makes flag-level bugs
+//! (an unread `cmp`, a `cmovg` whose guard nobody established) visible to a
+//! classical liveness pass: a `cmp` *defines* `lt` and `gt`, a `cmovl`/`cmovg`
+//! *uses* one of them, and the usual backward equations do the rest.
+//!
+//! Conditional moves get the standard partial-definition treatment: a `cmov`
+//! writes its destination only when the guard flag is set, so the old value
+//! can survive — the destination is therefore both a *use* and a *def*, and
+//! the def never kills liveness (the use regenerates it immediately).
+
+use sortsynth_isa::{Instr, Machine, Op, Reg};
+
+/// Bit index of the `lt` flag in a [`LocSet`].
+const LT_BIT: u32 = 16;
+/// Bit index of the `gt` flag in a [`LocSet`].
+const GT_BIT: u32 = 17;
+
+/// A set of dataflow locations: register-file indices `0..16` plus the two
+/// comparison flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LocSet(u32);
+
+impl LocSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        LocSet(0)
+    }
+
+    /// The singleton set holding register `r`.
+    pub fn reg(r: Reg) -> Self {
+        LocSet(1 << r.index())
+    }
+
+    /// The singleton set holding the `lt` flag.
+    pub const fn lt() -> Self {
+        LocSet(1 << LT_BIT)
+    }
+
+    /// The singleton set holding the `gt` flag.
+    pub const fn gt() -> Self {
+        LocSet(1 << GT_BIT)
+    }
+
+    /// Both flags.
+    pub const fn flags() -> Self {
+        LocSet(1 << LT_BIT | 1 << GT_BIT)
+    }
+
+    /// Set union.
+    pub fn union(self, other: LocSet) -> Self {
+        LocSet(self.0 | other.0)
+    }
+
+    /// Set difference.
+    pub fn minus(self, other: LocSet) -> Self {
+        LocSet(self.0 & !other.0)
+    }
+
+    /// Whether the two sets share any location.
+    pub fn intersects(self, other: LocSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether register `r` is in the set.
+    pub fn contains_reg(self, r: Reg) -> bool {
+        self.intersects(LocSet::reg(r))
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The locations `instr` reads.
+pub fn uses(instr: Instr) -> LocSet {
+    let src = LocSet::reg(instr.src);
+    let dst = LocSet::reg(instr.dst);
+    match instr.op {
+        Op::Mov => src,
+        Op::Cmp => dst.union(src),
+        // The guard flag plus the conditionally surviving old destination.
+        Op::Cmovl => src.union(dst).union(LocSet::lt()),
+        Op::Cmovg => src.union(dst).union(LocSet::gt()),
+        Op::Min | Op::Max => dst.union(src),
+    }
+}
+
+/// The locations `instr` writes (possibly conditionally, for `cmov`).
+pub fn defs(instr: Instr) -> LocSet {
+    match instr.op {
+        Op::Cmp => LocSet::flags(),
+        _ => LocSet::reg(instr.dst),
+    }
+}
+
+/// Per-instruction liveness for one straight-line program.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live_after[i]`: locations live immediately after instruction `i`.
+    live_after: Vec<LocSet>,
+    /// Locations live at program entry.
+    entry: LocSet,
+}
+
+/// Runs the backward liveness analysis. At exit exactly the value registers
+/// `r1..rn` are live (scratch registers and flags are dead at kernel exit,
+/// matching the §3.6 observational-equivalence notion).
+pub fn liveness(machine: &Machine, prog: &[Instr]) -> Liveness {
+    let mut live = LocSet::empty();
+    for i in 0..machine.n() {
+        live = live.union(LocSet::reg(Reg::new(i)));
+    }
+    let mut live_after = vec![LocSet::empty(); prog.len()];
+    for (i, &instr) in prog.iter().enumerate().rev() {
+        live_after[i] = live;
+        live = live.minus(defs(instr)).union(uses(instr));
+    }
+    Liveness {
+        live_after,
+        entry: live,
+    }
+}
+
+impl Liveness {
+    /// Locations live immediately after instruction `i`.
+    pub fn live_after(&self, i: usize) -> LocSet {
+        self.live_after[i]
+    }
+
+    /// Locations live at program entry.
+    pub fn entry(&self) -> LocSet {
+        self.entry
+    }
+
+    /// Whether instruction `i` of `prog` is dead: nothing it writes is live
+    /// afterwards, so removing it cannot change the observable result.
+    ///
+    /// Self-operand instructions other than `cmp` (e.g. `mov r1 r1`,
+    /// `min r1 r1`, `cmovg r1 r1`) are no-ops and dead regardless of
+    /// liveness. `cmp r r` is *not* a no-op — it clears both flags — so it
+    /// only dies through flag liveness like any other compare.
+    pub fn is_dead(&self, prog: &[Instr], i: usize) -> bool {
+        let instr = prog[i];
+        if instr.op != Op::Cmp && instr.dst == instr.src {
+            return true;
+        }
+        !defs(instr).intersects(self.live_after[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    fn m3() -> Machine {
+        Machine::new(3, 1, IsaMode::Cmov)
+    }
+
+    #[test]
+    fn flags_are_locations() {
+        let m = m3();
+        let prog = m.parse_program("cmp r1 r2; cmovg r2 r1").unwrap();
+        let lv = liveness(&m, &prog);
+        // The cmp's gt flag is read by the cmovg, so flags are live after it.
+        assert!(lv.live_after(0).intersects(LocSet::gt()));
+        assert!(!lv.is_dead(&prog, 0));
+        // Without the reader the cmp is dead.
+        let prog = m.parse_program("cmp r1 r2").unwrap();
+        let lv = liveness(&m, &prog);
+        assert!(lv.is_dead(&prog, 0));
+    }
+
+    #[test]
+    fn scratch_writes_die_at_exit() {
+        let m = m3();
+        let prog = m.parse_program("mov s1 r1").unwrap();
+        let lv = liveness(&m, &prog);
+        assert!(lv.is_dead(&prog, 0));
+        // A later reader keeps it alive.
+        let prog = m.parse_program("mov s1 r1; mov r1 s1").unwrap();
+        let lv = liveness(&m, &prog);
+        assert!(!lv.is_dead(&prog, 0));
+    }
+
+    #[test]
+    fn cmov_destination_is_a_use() {
+        let m = m3();
+        // The cmov may keep r1's old value, so the mov writing r1 is live.
+        let prog = m
+            .parse_program("mov r1 r2; cmp r2 r3; cmovg r1 r3")
+            .unwrap();
+        let lv = liveness(&m, &prog);
+        assert!(!lv.is_dead(&prog, 0));
+        // An unconditional overwrite kills it.
+        let prog = m.parse_program("mov r1 r2; mov r1 r3").unwrap();
+        let lv = liveness(&m, &prog);
+        assert!(lv.is_dead(&prog, 0));
+        assert!(!lv.is_dead(&prog, 1));
+    }
+
+    #[test]
+    fn value_registers_live_at_entry_and_exit() {
+        let m = m3();
+        let lv = liveness(&m, &[]);
+        for i in 0..3 {
+            assert!(lv.entry().contains_reg(Reg::new(i)));
+        }
+        assert!(!lv.entry().contains_reg(Reg::new(3)));
+    }
+
+    #[test]
+    fn self_ops_are_dead() {
+        let m = Machine::new(2, 1, IsaMode::MinMax);
+        let prog = vec![
+            Instr::new(Op::Mov, Reg::new(0), Reg::new(0)),
+            Instr::new(Op::Min, Reg::new(1), Reg::new(1)),
+        ];
+        let lv = liveness(&m, &prog);
+        assert!(lv.is_dead(&prog, 0));
+        assert!(lv.is_dead(&prog, 1));
+    }
+}

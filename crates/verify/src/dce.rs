@@ -1,0 +1,73 @@
+//! Liveness-driven dead-code elimination.
+//!
+//! Deletes instructions whose definitions are dead under the backward
+//! liveness analysis of [`crate::dataflow`], iterating to a fixpoint so that
+//! chains (`mov s1 r1` feeding only another dead write) collapse fully.
+//! Every deleted instruction writes only locations provably unread before
+//! being overwritten or reaching exit, so the result is observationally
+//! equivalent to the input on all inputs — the property tests check this
+//! against the ISA's `equivalent` oracle.
+
+use sortsynth_isa::{Instr, Machine};
+
+use crate::dataflow::liveness;
+
+/// Returns `prog` with all liveness-dead instructions removed.
+pub fn dce(machine: &Machine, prog: &[Instr]) -> Vec<Instr> {
+    let mut prog = prog.to_vec();
+    loop {
+        let lv = liveness(machine, &prog);
+        let kept: Vec<Instr> = prog
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !lv.is_dead(&prog, i))
+            .map(|(_, &instr)| instr)
+            .collect();
+        if kept.len() == prog.len() {
+            return prog;
+        }
+        prog = kept;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::{equivalent, IsaMode, Machine};
+
+    #[test]
+    fn removes_dead_chains() {
+        let m = Machine::new(2, 2, IsaMode::Cmov);
+        // s2 <- r1 is read only by the dead write s1 <- s2: both go.
+        let prog = m
+            .parse_program("mov s2 r1; mov s1 s2; cmp r1 r2; cmovg r1 r2")
+            .unwrap();
+        let out = dce(&m, &prog);
+        assert_eq!(out.len(), 2);
+        assert!(equivalent(&m, &prog, &out));
+    }
+
+    #[test]
+    fn keeps_minimal_kernels_intact() {
+        let m = Machine::new(3, 1, IsaMode::MinMax);
+        let prog = m
+            .parse_program(
+                "mov s1 r1; min r1 r2; max r2 s1; \
+                 mov s1 r2; min r2 r3; max r3 s1; \
+                 mov s1 r1; min r1 r2; max r2 s1",
+            )
+            .unwrap();
+        assert_eq!(dce(&m, &prog), prog);
+    }
+
+    #[test]
+    fn dead_cmp_is_removed() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let prog = m
+            .parse_program("cmp r1 r2; cmp r1 r2; cmovg r2 r1")
+            .unwrap();
+        let out = dce(&m, &prog);
+        assert_eq!(out.len(), 2);
+        assert!(equivalent(&m, &prog, &out));
+    }
+}

@@ -1,0 +1,273 @@
+//! The flag-taint domain for cmp/cmov kernels.
+//!
+//! Flags on this machine are persistent state: a `cmp` starts a *flag epoch*
+//! and every later `cmovl`/`cmovg` reads whatever epoch happens to be
+//! current. The §2.3 counterexample exploits exactly this — delete one `cmp`
+//! and the following conditional block silently consumes the previous
+//! epoch's flags while still passing every 0-1 test.
+//!
+//! The domain tracks, per epoch: which registers the guard actually compared,
+//! whether a `mov` has since overwritten one of them (a *stale* guard), and
+//! the set of conditional writes whose value has not been observed yet. Two
+//! same-guard conditional writes to the same destination with no intervening
+//! read make the first one dead — under the guard the second overwrites it,
+//! and against the guard neither fires. That structural signature is
+//! precisely what truncating the §2.3 kernel produces, so the bug class is
+//! caught statically, with no permutation running.
+
+use sortsynth_isa::{Instr, Machine, Op, Reg};
+
+use crate::absint::{interpret, AbstractDomain};
+use crate::{Diagnostic, LintKind};
+
+/// A conditional write whose value has not been read yet.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    dst: Reg,
+    guard: Op,
+    index: usize,
+}
+
+/// One flag epoch: the live `cmp` and everything that happened under it.
+#[derive(Debug, Clone)]
+struct Epoch {
+    cmp_index: usize,
+    a: Reg,
+    b: Reg,
+    /// A compared register unconditionally overwritten since the `cmp`
+    /// (register, overwriting index) — makes later guard reads suspicious.
+    clobbered: Option<(Reg, usize)>,
+    pending: Vec<Pending>,
+}
+
+/// Abstract state: the current epoch (none before the first `cmp`) plus the
+/// diagnostics accumulated so far.
+#[derive(Debug, Clone, Default)]
+pub struct FlagState {
+    epoch: Option<Epoch>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl FlagState {
+    fn observe(&mut self, reg: Reg) {
+        if let Some(epoch) = &mut self.epoch {
+            epoch.pending.retain(|p| p.dst != reg);
+        }
+    }
+
+    fn drop_pending(&mut self, reg: Reg) {
+        if let Some(epoch) = &mut self.epoch {
+            epoch.pending.retain(|p| p.dst != reg);
+        }
+    }
+}
+
+/// The flag-taint abstract domain. Only meaningful for the cmov ISA; on
+/// min/max programs every transfer is a no-op that observes operands.
+pub struct FlagTaintDomain;
+
+impl AbstractDomain for FlagTaintDomain {
+    type State = FlagState;
+
+    fn entry(&self, _machine: &Machine) -> FlagState {
+        // Flags are unset in the initial machine state: no epoch yet.
+        FlagState::default()
+    }
+
+    fn transfer(&self, machine: &Machine, state: &mut FlagState, instr: Instr, index: usize) {
+        match instr.op {
+            Op::Mov => {
+                state.observe(instr.src);
+                state.drop_pending(instr.dst);
+                if let Some(epoch) = &mut state.epoch {
+                    if instr.dst == epoch.a || instr.dst == epoch.b {
+                        epoch.clobbered = Some((instr.dst, index));
+                    }
+                }
+            }
+            Op::Cmp => {
+                state.observe(instr.dst);
+                state.observe(instr.src);
+                // A new epoch; surviving pending writes are conservatively
+                // assumed observable later.
+                state.epoch = Some(Epoch {
+                    cmp_index: index,
+                    a: instr.dst,
+                    b: instr.src,
+                    clobbered: None,
+                    pending: Vec::new(),
+                });
+            }
+            Op::Cmovl | Op::Cmovg => {
+                let Some(epoch) = &mut state.epoch else {
+                    state.diagnostics.push(Diagnostic::at(
+                        LintKind::CmovWithoutCmp,
+                        index,
+                        format!(
+                            "{} at {index} reads a flag but no cmp has executed",
+                            instr.op
+                        ),
+                    ));
+                    return;
+                };
+                if let Some((reg, mov_index)) = epoch.clobbered.take() {
+                    let cmp_index = epoch.cmp_index;
+                    state.diagnostics.push(Diagnostic::at(
+                        LintKind::StaleFlagRead,
+                        index,
+                        format!(
+                            "{} at {index} reads flags of cmp at {cmp_index}, but {} was \
+                             overwritten by the mov at {mov_index}",
+                            instr.op,
+                            machine.reg_name(reg),
+                        ),
+                    ));
+                }
+                state.observe(instr.src);
+                let epoch = state.epoch.as_mut().expect("epoch checked above");
+                match epoch.pending.iter().position(|p| p.dst == instr.dst) {
+                    Some(pos) if epoch.pending[pos].guard == instr.op => {
+                        // Same destination, same guard, value never read:
+                        // the earlier write can be deleted.
+                        let prev = epoch.pending[pos].index;
+                        state.diagnostics.push(Diagnostic::at(
+                            LintKind::DeadConditionalWrite,
+                            prev,
+                            format!(
+                                "conditional write to {} at {prev} is overwritten by the {} at \
+                                 {index} under the same guard with no intervening read",
+                                machine.reg_name(instr.dst),
+                                instr.op,
+                            ),
+                        ));
+                        epoch.pending[pos] = Pending {
+                            dst: instr.dst,
+                            guard: instr.op,
+                            index,
+                        };
+                    }
+                    Some(pos) => {
+                        // Opposite guard: the old value survives whenever
+                        // this cmov does not fire, so it counts as observed.
+                        epoch.pending.remove(pos);
+                        epoch.pending.push(Pending {
+                            dst: instr.dst,
+                            guard: instr.op,
+                            index,
+                        });
+                    }
+                    None => epoch.pending.push(Pending {
+                        dst: instr.dst,
+                        guard: instr.op,
+                        index,
+                    }),
+                }
+            }
+            Op::Min | Op::Max => {
+                state.observe(instr.src);
+                state.observe(instr.dst);
+                state.drop_pending(instr.dst);
+            }
+        }
+    }
+}
+
+/// Runs the flag-taint domain and returns its diagnostics. Min/max programs
+/// have no flags, so the result is empty by construction for that ISA.
+pub fn flag_lints(machine: &Machine, prog: &[Instr]) -> Vec<Diagnostic> {
+    interpret(&FlagTaintDomain, machine, prog).diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    fn m3() -> Machine {
+        Machine::new(3, 1, IsaMode::Cmov)
+    }
+
+    #[test]
+    fn section_2_3_stale_kernel_is_flagged_statically() {
+        // The exact program from equiv.rs: passes all 0-1 inputs, fails on
+        // [1, 3, 2]. Instruction 7's conditional write dies under the same
+        // gt guard at instruction 8 — the static signature of the deleted
+        // cmp.
+        let m = m3();
+        let stale = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmovg r2 r1; cmovg r1 s1",
+            )
+            .unwrap();
+        let diags = flag_lints(&m, &stale);
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == LintKind::DeadConditionalWrite)
+            .collect();
+        assert_eq!(dead.len(), 1, "{diags:?}");
+        assert_eq!(dead[0].index, Some(7));
+    }
+
+    #[test]
+    fn the_correct_kernel_is_clean() {
+        let m = m3();
+        let full = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmp r1 r2; cmovg r2 r1; cmovg r1 s1",
+            )
+            .unwrap();
+        assert!(m.is_correct(&full));
+        assert!(flag_lints(&m, &full).is_empty());
+    }
+
+    #[test]
+    fn cmov_before_any_cmp_is_an_error() {
+        let m = m3();
+        let prog = m.parse_program("cmovg r1 r2; cmp r1 r2").unwrap();
+        let diags = flag_lints(&m, &prog);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, LintKind::CmovWithoutCmp);
+        assert_eq!(diags[0].index, Some(0));
+    }
+
+    #[test]
+    fn mov_clobbering_a_compared_register_taints_later_reads() {
+        let m = m3();
+        let prog = m
+            .parse_program("cmp r1 r2; mov r1 r3; cmovg r1 r2")
+            .unwrap();
+        let diags = flag_lints(&m, &prog);
+        assert!(
+            diags.iter().any(|d| d.kind == LintKind::StaleFlagRead),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn opposite_guards_are_not_dead() {
+        // cmovl then cmovg on the same destination: on equal inputs neither
+        // fires, otherwise exactly one does — the first write is observable.
+        let m = m3();
+        let prog = m
+            .parse_program("cmp r1 r2; cmovl r3 r1; cmovg r3 r2")
+            .unwrap();
+        assert!(flag_lints(&m, &prog).is_empty());
+    }
+
+    #[test]
+    fn standard_cas_blocks_are_clean() {
+        let m = m3();
+        let network = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r2; cmp r2 r3; cmovg r2 r3; cmovg r3 s1; \
+                 mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1",
+            )
+            .unwrap();
+        assert!(flag_lints(&m, &network).is_empty());
+    }
+}

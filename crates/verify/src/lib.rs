@@ -1,0 +1,835 @@
+//! Static analysis for synthesized sorting kernels.
+//!
+//! The paper's correctness story is exhaustive permutation testing, plus the
+//! §2.3 observation that 0-1 testing alone is unsound for cmp/cmov programs.
+//! This crate adds the complementary static story:
+//!
+//! - [`dataflow`]: backward def-use/liveness over registers *and* flags.
+//! - [`absint`]: a tiny abstract interpreter; [`zero_one`] instantiates it
+//!   with the 0-1 collecting domain (a sound sortedness proof for min/max
+//!   kernels, a necessary check for cmov kernels), [`flags`] with a
+//!   flag-taint domain that catches the §2.3 stale-flag bug class
+//!   statically.
+//! - [`network`]: comparator-network extraction; a whole-program network
+//!   that sorts all 2^n boolean vectors is certified correct on all inputs.
+//! - [`dce`]: liveness-driven dead-code elimination.
+//!
+//! [`verify`] bundles everything into a [`Report`] — a [`Verdict`] plus a
+//! catalog of structured [`Diagnostic`]s — and [`gate`] is the cheap
+//! malformed/0-1 admission check used by the kernel cache.
+
+pub mod absint;
+pub mod dataflow;
+mod dce;
+pub mod flags;
+pub mod network;
+pub mod zero_one;
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Serialize, Value};
+use sortsynth_isa::{Instr, IsaMode, Machine, Op};
+
+pub use dce::dce;
+pub use network::{extract_network, network_witness, Comparator};
+pub use zero_one::zero_one_witness;
+
+use dataflow::{defs, liveness, Liveness, LocSet};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/canonicalization notes; never affects correctness.
+    Info,
+    /// Removable or suspicious code; the kernel may still be correct.
+    Warning,
+    /// The program is malformed or almost certainly wrong.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name for wire formats and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The lint catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// Instruction outside the machine's ISA or register out of range.
+    Malformed,
+    /// A `cmov` executes before any `cmp` has set the flags.
+    CmovWithoutCmp,
+    /// A conditional write killed by a same-guard write with no read in
+    /// between — the static signature of the §2.3 stale-flag bug.
+    DeadConditionalWrite,
+    /// A register write that is never read before being overwritten or
+    /// reaching exit.
+    DeadWrite,
+    /// A dead write specifically killed by a later unconditional write.
+    WriteAfterWrite,
+    /// A `cmp` whose flags are never read.
+    UnreadFlags,
+    /// A flag read after an operand of the guarding `cmp` was overwritten.
+    StaleFlagRead,
+    /// A `mov` that copies a value already in place.
+    RedundantMov,
+    /// A `cmp` outside the enumerator's canonical `dst < src` operand order.
+    NonCanonicalCompare,
+    /// A scratch register the machine provides but the program never touches.
+    UnusedScratch,
+    /// A cmp/cmov program that fails a *tied* 0-1 input. Strict-comparison
+    /// tie-breaking is not monotone, so this does not refute correctness on
+    /// the paper's duplicate-free permutation domain — but the kernel is not
+    /// a total sorting function.
+    TieUnsafe,
+}
+
+impl LintKind {
+    /// Stable kebab-case name for wire formats and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::Malformed => "malformed",
+            LintKind::CmovWithoutCmp => "cmov-without-cmp",
+            LintKind::DeadConditionalWrite => "dead-conditional-write",
+            LintKind::DeadWrite => "dead-write",
+            LintKind::WriteAfterWrite => "write-after-write",
+            LintKind::UnreadFlags => "unread-flags",
+            LintKind::StaleFlagRead => "stale-flag-read",
+            LintKind::RedundantMov => "redundant-mov",
+            LintKind::NonCanonicalCompare => "non-canonical-compare",
+            LintKind::UnusedScratch => "unused-scratch",
+            LintKind::TieUnsafe => "tie-unsafe",
+        }
+    }
+
+    /// The fixed severity of this lint kind.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintKind::Malformed | LintKind::CmovWithoutCmp | LintKind::DeadConditionalWrite => {
+                Severity::Error
+            }
+            LintKind::DeadWrite
+            | LintKind::WriteAfterWrite
+            | LintKind::UnreadFlags
+            | LintKind::StaleFlagRead
+            | LintKind::RedundantMov
+            | LintKind::TieUnsafe => Severity::Warning,
+            LintKind::NonCanonicalCompare | LintKind::UnusedScratch => Severity::Info,
+        }
+    }
+}
+
+/// One structured finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub kind: LintKind,
+    /// The instruction it anchors to (`None` for whole-program findings).
+    pub index: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A finding anchored at instruction `index`.
+    pub fn at(kind: LintKind, index: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            kind,
+            index: Some(index),
+            message: message.into(),
+        }
+    }
+
+    /// A whole-program finding.
+    pub fn program(kind: LintKind, message: impl Into<String>) -> Self {
+        Diagnostic {
+            kind,
+            index: None,
+            message: message.into(),
+        }
+    }
+
+    /// The severity inherited from the lint kind.
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(
+                f,
+                "{}[{}] at {}: {}",
+                self.severity().name(),
+                self.kind.name(),
+                i,
+                self.message
+            ),
+            None => write!(
+                f,
+                "{}[{}]: {}",
+                self.severity().name(),
+                self.kind.name(),
+                self.message
+            ),
+        }
+    }
+}
+
+/// What the analyzer can say about sortedness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The whole program is a comparator network that sorts all 0-1
+    /// vectors: **proved correct on every input** (0-1 principle for
+    /// networks; both ISAs).
+    CertifiedNetwork,
+    /// Every 0-1 vector sorts and the program is min/max-mode: **proved
+    /// correct on every input** (min/max programs are lattice polynomials,
+    /// determined by their 0-1 behaviour).
+    CertifiedZeroOne,
+    /// Every 0-1 vector sorts, but the program is free-form cmp/cmov, where
+    /// the 0-1 lemma is only necessary (§2.3): *not* a proof.
+    PassedZeroOne,
+    /// An input the program fails to sort that also transfers to the
+    /// paper's duplicate-free permutation domain: **proved incorrect**.
+    /// Sound in three cases: the program is a comparator network (exact
+    /// min/max semantics, monotone), the ISA is min/max mode (likewise
+    /// monotone), or the witness itself has no ties.
+    RefutedZeroOne {
+        /// The failing {0,1}^n input.
+        witness: Vec<u8>,
+    },
+    /// A cmp/cmov program that sorts every duplicate-free input tested but
+    /// fails a *tied* 0-1 vector. Strict-comparison tie-breaking is not
+    /// monotone, so the failure does not project back to a permutation:
+    /// correctness on the paper's test domain is **undetermined**, but the
+    /// kernel provably mis-sorts inputs with equal keys.
+    TieUnsafe {
+        /// The failing tied {0,1}^n input.
+        witness: Vec<u8>,
+    },
+    /// The program is malformed; no semantic analysis ran.
+    Unchecked,
+}
+
+impl Verdict {
+    /// Stable kebab-case name for wire formats and CLI output.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Verdict::CertifiedNetwork => "certified-network",
+            Verdict::CertifiedZeroOne => "certified-zero-one",
+            Verdict::PassedZeroOne => "passed-zero-one",
+            Verdict::RefutedZeroOne { .. } => "refuted-zero-one",
+            Verdict::TieUnsafe { .. } => "tie-unsafe",
+            Verdict::Unchecked => "unchecked",
+        }
+    }
+
+    /// Whether this verdict proves the program sorts every input.
+    pub fn certified(&self) -> bool {
+        matches!(self, Verdict::CertifiedNetwork | Verdict::CertifiedZeroOne)
+    }
+
+    /// Whether this verdict proves the program incorrect.
+    pub fn refuted(&self) -> bool {
+        matches!(self, Verdict::RefutedZeroOne { .. })
+    }
+}
+
+/// The full analysis result for one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Sortedness verdict.
+    pub verdict: Verdict,
+    /// The extracted comparator network, when the whole program is one.
+    pub network: Option<Vec<Comparator>>,
+    /// All findings, ordered by instruction index.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Program length in instructions.
+    pub len: usize,
+    /// Length after dead-code elimination (`< len` means removable code).
+    pub dce_len: usize,
+}
+
+impl Report {
+    /// Whether any error-severity finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity() == Severity::Error)
+    }
+}
+
+/// Runs the whole analysis pipeline over `prog`.
+pub fn verify(machine: &Machine, prog: &[Instr]) -> Report {
+    let bad = malformed(machine, prog);
+    if !bad.is_empty() {
+        // Semantic passes assume a well-formed program (out-of-range
+        // registers would corrupt the packed state); stop here.
+        return Report {
+            verdict: Verdict::Unchecked,
+            network: None,
+            diagnostics: bad,
+            len: prog.len(),
+            dce_len: prog.len(),
+        };
+    }
+
+    let lv = liveness(machine, prog);
+    let mut diagnostics = liveness_lints(machine, prog, &lv);
+    diagnostics.extend(redundant_movs(machine, prog, &lv));
+    diagnostics.extend(style_lints(machine, prog));
+    diagnostics.extend(flags::flag_lints(machine, prog));
+
+    let network = extract_network(machine, prog);
+    let verdict = match &network {
+        // A recognized network computes exact min/max per comparator (ties
+        // included), so a network refutation is sound on every domain.
+        Some(net) => match network_witness(machine.n(), net) {
+            None => Verdict::CertifiedNetwork,
+            Some(witness) => Verdict::RefutedZeroOne { witness },
+        },
+        None => match zero_one_witness(machine, prog) {
+            Some(witness) if refutation_transfers(machine.mode(), &witness) => {
+                Verdict::RefutedZeroOne { witness }
+            }
+            Some(witness) => Verdict::TieUnsafe { witness },
+            None => match machine.mode() {
+                IsaMode::MinMax => Verdict::CertifiedZeroOne,
+                IsaMode::Cmov => Verdict::PassedZeroOne,
+            },
+        },
+    };
+    if let Verdict::TieUnsafe { witness } = &verdict {
+        diagnostics.push(Diagnostic::program(
+            LintKind::TieUnsafe,
+            format!(
+                "fails tied 0-1 input {witness:?}; correct on distinct keys at most \
+                 (strict comparisons are not monotone, so this is not a refutation)"
+            ),
+        ));
+    }
+    diagnostics.sort_by_key(|d| (d.index.unwrap_or(usize::MAX), d.kind.name()));
+
+    Report {
+        verdict,
+        network,
+        dce_len: dce(machine, prog).len(),
+        diagnostics,
+        len: prog.len(),
+    }
+}
+
+/// Whether a failing 0-1 input refutes correctness on the duplicate-free
+/// permutation domain the paper tests. Min/max programs are monotone, so
+/// any 0-1 failure projects back to a failing permutation; for cmp/cmov the
+/// projection argument needs a tie-free witness (order-isomorphic to a
+/// permutation, on which a comparison-based program behaves identically).
+fn refutation_transfers(mode: IsaMode, witness: &[u8]) -> bool {
+    if mode == IsaMode::MinMax {
+        return true;
+    }
+    let mut sorted = witness.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).all(|w| w[0] != w[1])
+}
+
+/// Why [`gate`] rejected a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateError {
+    /// Not a valid program for the machine.
+    Malformed(String),
+    /// Fails to sort the contained input — provably not a sorting kernel.
+    /// The witness is a 0-1 vector when the cheap static paths decided, or
+    /// a permutation of `1..=n` when the exhaustive fallback did.
+    Refuted(Vec<u8>),
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Malformed(msg) => write!(f, "malformed kernel: {msg}"),
+            GateError::Refuted(witness) => {
+                write!(f, "kernel fails to sort input {witness:?}")
+            }
+        }
+    }
+}
+
+impl Error for GateError {}
+
+/// The admission check for cached/served kernels. Never rejects a kernel
+/// that sorts every permutation (the paper's correctness bar), and never
+/// admits one that does not.
+///
+/// Cheap static paths decide almost always: malformed programs are
+/// rejected outright; a recognized comparator network is decided by its
+/// 0-1 network certificate; otherwise the 0-1 run decides whenever its
+/// answer transfers to the permutation domain (clean run, min/max mode, or
+/// a tie-free witness). The one inconclusive case — a cmp/cmov program
+/// whose only 0-1 failures are on tied inputs, which a permutation-correct
+/// kernel like AlphaDev's sort3 can legitimately produce — falls back to
+/// the exhaustive permutation oracle.
+pub fn gate(machine: &Machine, prog: &[Instr]) -> Result<(), GateError> {
+    if let Some(d) = malformed(machine, prog).into_iter().next() {
+        return Err(GateError::Malformed(d.message));
+    }
+    if let Some(net) = extract_network(machine, prog) {
+        return match network_witness(machine.n(), &net) {
+            Some(witness) => Err(GateError::Refuted(witness)),
+            None => Ok(()),
+        };
+    }
+    match zero_one_witness(machine, prog) {
+        None => Ok(()),
+        Some(witness) if refutation_transfers(machine.mode(), &witness) => {
+            Err(GateError::Refuted(witness))
+        }
+        Some(_) => match machine.counterexamples(prog).into_iter().next() {
+            Some(witness) => Err(GateError::Refuted(witness)),
+            None => Ok(()),
+        },
+    }
+}
+
+/// Structural validity: every op in the machine's ISA, every register in
+/// range.
+fn malformed(machine: &Machine, prog: &[Instr]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, instr) in prog.iter().enumerate() {
+        if !machine.mode().ops().contains(&instr.op) {
+            out.push(Diagnostic::at(
+                LintKind::Malformed,
+                i,
+                format!(
+                    "`{}` is not in the {} instruction set",
+                    instr.op,
+                    machine.mode().wire_name()
+                ),
+            ));
+        } else if instr.dst.index() >= machine.num_regs() || instr.src.index() >= machine.num_regs()
+        {
+            out.push(Diagnostic::at(
+                LintKind::Malformed,
+                i,
+                format!(
+                    "register index out of range (dst {}, src {}, machine has {})",
+                    instr.dst.index(),
+                    instr.src.index(),
+                    machine.num_regs()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Dead-instruction findings from the liveness pass.
+fn liveness_lints(machine: &Machine, prog: &[Instr], lv: &Liveness) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, &instr) in prog.iter().enumerate() {
+        if !lv.is_dead(prog, i) {
+            continue;
+        }
+        let rendered = machine.format_instr(instr);
+        if instr.op == Op::Cmp {
+            out.push(Diagnostic::at(
+                LintKind::UnreadFlags,
+                i,
+                format!("flags set by `{rendered}` are never read"),
+            ));
+        } else if instr.dst == instr.src {
+            let kind = if instr.op == Op::Mov {
+                LintKind::RedundantMov
+            } else {
+                LintKind::DeadWrite
+            };
+            out.push(Diagnostic::at(
+                kind,
+                i,
+                format!("`{rendered}` is a self-operand no-op"),
+            ));
+        } else {
+            // A dead write is only *killed* by a later non-reading
+            // overwrite, which on this ISA is exactly `mov dst, _`; any
+            // other reference would have kept it live.
+            let killed = prog[i + 1..]
+                .iter()
+                .any(|later| later.op == Op::Mov && later.dst == instr.dst);
+            let kind = if killed {
+                LintKind::WriteAfterWrite
+            } else {
+                LintKind::DeadWrite
+            };
+            let target = machine.reg_name(instr.dst);
+            let why = if killed {
+                "overwritten before any read"
+            } else {
+                "never read before exit"
+            };
+            out.push(Diagnostic::at(
+                kind,
+                i,
+                format!("`{rendered}` writes {target} but the value is {why}"),
+            ));
+        }
+    }
+    out
+}
+
+/// Live `mov`s that copy a value already in place.
+fn redundant_movs(machine: &Machine, prog: &[Instr], lv: &Liveness) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, &instr) in prog.iter().enumerate() {
+        if instr.op != Op::Mov || instr.dst == instr.src || lv.is_dead(prog, i) {
+            continue;
+        }
+        let pair = LocSet::reg(instr.dst).union(LocSet::reg(instr.src));
+        // Walk backwards to the most recent write touching either register:
+        // if it is the same copy (either direction), dst == src already
+        // holds here and this mov does nothing.
+        for j in (0..i).rev() {
+            if !defs(prog[j]).intersects(pair) {
+                continue;
+            }
+            let same_copy = prog[j].op == Op::Mov
+                && ((prog[j].dst, prog[j].src) == (instr.dst, instr.src)
+                    || (prog[j].dst, prog[j].src) == (instr.src, instr.dst));
+            if same_copy {
+                out.push(Diagnostic::at(
+                    LintKind::RedundantMov,
+                    i,
+                    format!(
+                        "`{}` copies a value already moved at {j}",
+                        machine.format_instr(instr)
+                    ),
+                ));
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// Canonical-form and machine-shape notes.
+fn style_lints(machine: &Machine, prog: &[Instr]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, &instr) in prog.iter().enumerate() {
+        if instr.op == Op::Cmp && instr.dst.index() >= instr.src.index() {
+            out.push(Diagnostic::at(
+                LintKind::NonCanonicalCompare,
+                i,
+                format!(
+                    "`{}` is outside the enumerator's canonical dst < src operand order",
+                    machine.format_instr(instr)
+                ),
+            ));
+        }
+    }
+    for s in machine.n()..machine.num_regs() {
+        let reg = sortsynth_isa::Reg::new(s);
+        let touched = prog.iter().any(|i| i.dst == reg || i.src == reg);
+        if !touched {
+            out.push(Diagnostic::program(
+                LintKind::UnusedScratch,
+                format!(
+                    "scratch register {} is available but never used",
+                    machine.reg_name(reg)
+                ),
+            ));
+        }
+    }
+    out
+}
+
+impl Serialize for Severity {
+    fn serialize(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Serialize for Diagnostic {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("kind", Value::Str(self.kind.name().to_string())),
+            ("severity", self.severity().serialize()),
+            (
+                "index",
+                match self.index {
+                    Some(i) => Value::Int(i as i64),
+                    None => Value::Null,
+                },
+            ),
+            ("message", Value::Str(self.message.clone())),
+        ])
+    }
+}
+
+impl Serialize for Comparator {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![
+            Value::Int(self.min as i64),
+            Value::Int(self.max as i64),
+        ])
+    }
+}
+
+impl Serialize for Report {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("verdict", Value::Str(self.verdict.wire_name().to_string())),
+            (
+                "witness",
+                match &self.verdict {
+                    Verdict::RefutedZeroOne { witness } | Verdict::TieUnsafe { witness } => {
+                        Value::Seq(witness.iter().map(|&v| Value::Int(v as i64)).collect())
+                    }
+                    _ => Value::Null,
+                },
+            ),
+            (
+                "network",
+                match &self.network {
+                    Some(net) => Value::Seq(net.iter().map(|c| c.serialize()).collect()),
+                    None => Value::Null,
+                },
+            ),
+            ("len", Value::Int(self.len as i64)),
+            ("dce_len", Value::Int(self.dce_len as i64)),
+            (
+                "diagnostics",
+                Value::Seq(self.diagnostics.iter().map(|d| d.serialize()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::Reg;
+
+    fn cmov3() -> Machine {
+        Machine::new(3, 1, IsaMode::Cmov)
+    }
+
+    const STALE_2_3: &str = "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                             mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                             cmovg r2 r1; cmovg r1 s1";
+
+    #[test]
+    fn stale_flags_program_is_flagged_without_permutations() {
+        // Acceptance criterion: the §2.3 kernel draws an error-severity
+        // diagnostic even though it passes every 0-1 vector.
+        let m = cmov3();
+        let prog = m.parse_program(STALE_2_3).unwrap();
+        let report = verify(&m, &prog);
+        assert!(report.has_errors(), "{:?}", report.diagnostics);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::DeadConditionalWrite && d.index == Some(7)));
+        // And the 0-1 verdict alone would have let it through.
+        assert_eq!(report.verdict, Verdict::PassedZeroOne);
+        assert!(!report.verdict.certified());
+    }
+
+    #[test]
+    fn minmax_network_is_certified() {
+        // Acceptance criterion: a known-correct n = 3 min/max network is
+        // certified via the network path.
+        let m = Machine::new(3, 1, IsaMode::MinMax);
+        let prog = m
+            .parse_program(
+                "mov s1 r1; min r1 r2; max r2 s1; \
+                 mov s1 r2; min r2 r3; max r3 s1; \
+                 mov s1 r1; min r1 r2; max r2 s1",
+            )
+            .unwrap();
+        let report = verify(&m, &prog);
+        assert_eq!(report.verdict, Verdict::CertifiedNetwork);
+        assert!(report.verdict.certified());
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        assert_eq!(report.network.as_ref().map(Vec::len), Some(3));
+        assert_eq!(report.dce_len, report.len);
+    }
+
+    #[test]
+    fn free_form_minmax_still_certifies_via_zero_one() {
+        // Not in network shape (no scratch round-trip) but min/max-mode, so
+        // a clean 0-1 run is still a proof.
+        let m = Machine::new(2, 1, IsaMode::MinMax);
+        let prog = m.parse_program("mov s1 r1; min r1 r2; max r2 s1").unwrap();
+        assert_eq!(verify(&m, &prog).verdict, Verdict::CertifiedNetwork);
+        // Same semantics with an interleaved unrelated copy, so the block
+        // matcher fails: falls back to the 0-1 certificate.
+        let m2 = Machine::new(2, 2, IsaMode::MinMax);
+        let prog = m2
+            .parse_program("mov s1 r1; mov s2 r2; min r1 r2; max r2 s1")
+            .unwrap();
+        let report = verify(&m2, &prog);
+        assert_eq!(report.verdict, Verdict::CertifiedZeroOne);
+    }
+
+    #[test]
+    fn wrong_programs_are_refuted_with_a_witness() {
+        // n = 2: the failing 0-1 input is tie-free, so the static verdict
+        // is a sound refutation.
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        let prog = m.parse_program("mov r1 r2").unwrap();
+        let report = verify(&m, &prog);
+        let Verdict::RefutedZeroOne { witness } = &report.verdict else {
+            panic!("expected refutation, got {:?}", report.verdict);
+        };
+        assert_eq!(witness.len(), 2);
+        assert!(report.verdict.refuted());
+    }
+
+    #[test]
+    fn tied_witnesses_on_cmov_programs_are_not_refutations() {
+        // n = 3: every 0-1 vector has tied entries, so the same garbage
+        // program only earns the tie-unsafe verdict statically — but the
+        // gate's exhaustive fallback still keeps it out of the cache.
+        let m = cmov3();
+        let prog = m.parse_program("mov r1 r2").unwrap();
+        let report = verify(&m, &prog);
+        let Verdict::TieUnsafe { witness } = &report.verdict else {
+            panic!("expected tie-unsafe, got {:?}", report.verdict);
+        };
+        assert_eq!(witness.len(), 3);
+        assert!(!report.verdict.refuted());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::TieUnsafe));
+        let Err(GateError::Refuted(perm)) = gate(&m, &prog) else {
+            panic!("gate must fall back to the permutation oracle");
+        };
+        assert_eq!(perm.len(), 3);
+    }
+
+    #[test]
+    fn malformed_programs_are_unchecked() {
+        let m = cmov3();
+        let prog = vec![Instr::new(Op::Min, Reg::new(0), Reg::new(1))];
+        let report = verify(&m, &prog);
+        assert_eq!(report.verdict, Verdict::Unchecked);
+        assert!(report.has_errors());
+        let prog = vec![Instr::new(Op::Mov, Reg::new(12), Reg::new(0))];
+        let report = verify(&m, &prog);
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.kind == LintKind::Malformed));
+    }
+
+    #[test]
+    fn gate_admits_correct_and_rejects_garbage() {
+        let m = cmov3();
+        let good = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmp r1 r2; cmovg r2 r1; cmovg r1 s1",
+            )
+            .unwrap();
+        assert_eq!(gate(&m, &good), Ok(()));
+        let garbage = m.parse_program("mov r1 r2; mov r2 r3").unwrap();
+        assert!(matches!(gate(&m, &garbage), Err(GateError::Refuted(_))));
+        let foreign = vec![Instr::new(Op::Max, Reg::new(0), Reg::new(1))];
+        assert!(matches!(gate(&m, &foreign), Err(GateError::Malformed(_))));
+        // The gate never rejects the §2.3 program (it passes 0-1) — that is
+        // exactly the lemma's blind spot; `verify` is the stronger check.
+        let stale = m.parse_program(STALE_2_3).unwrap();
+        assert_eq!(gate(&m, &stale), Ok(()));
+    }
+
+    #[test]
+    fn lint_catalog_examples() {
+        let m = cmov3();
+        // Dead write: the scratch copy is never read.
+        let prog = m
+            .parse_program("mov s1 r1; cmp r1 r2; cmovg r2 r1")
+            .unwrap();
+        let report = verify(&m, &prog);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::DeadWrite && d.index == Some(0)));
+        // Write-after-write.
+        let prog = m.parse_program("mov s1 r1; mov s1 r2; mov r1 s1").unwrap();
+        let report = verify(&m, &prog);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::WriteAfterWrite && d.index == Some(0)));
+        // Unread flags.
+        let prog = m
+            .parse_program("cmp r1 r2; cmp r1 r3; cmovg r3 r1")
+            .unwrap();
+        let report = verify(&m, &prog);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::UnreadFlags && d.index == Some(0)));
+        // Redundant mov (copy-back of an unmodified value).
+        let prog = m
+            .parse_program("mov s1 r1; mov r1 s1; cmp r1 r2; cmovg r2 r1")
+            .unwrap();
+        let report = verify(&m, &prog);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == LintKind::RedundantMov && d.index == Some(1)),
+            "{:?}",
+            report.diagnostics
+        );
+        // Non-canonical compare + unused scratch.
+        let prog = m.parse_program("cmp r2 r1; cmovl r1 r2").unwrap();
+        let report = verify(&m, &prog);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::NonCanonicalCompare && d.index == Some(0)));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::UnusedScratch && d.index.is_none()));
+    }
+
+    #[test]
+    fn dce_length_reported() {
+        let m = cmov3();
+        let prog = m
+            .parse_program("mov s1 r1; cmp r1 r2; cmovg r2 r1; mov s1 r3")
+            .unwrap();
+        let report = verify(&m, &prog);
+        assert_eq!(report.len, 4);
+        assert_eq!(report.dce_len, 2);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let m = cmov3();
+        let prog = m.parse_program(STALE_2_3).unwrap();
+        let report = verify(&m, &prog);
+        let value = report.serialize();
+        assert_eq!(
+            value.required("verdict").ok().cloned(),
+            Some(Value::Str("passed-zero-one".to_string()))
+        );
+        let Some(Value::Seq(diags)) = value.get("diagnostics") else {
+            panic!("diagnostics should serialize as a sequence");
+        };
+        assert_eq!(diags.len(), report.diagnostics.len());
+    }
+}

@@ -1,0 +1,287 @@
+//! Comparator-network extraction and the network sortedness certificate.
+//!
+//! Both ISAs express a compare-and-exchange on registers `(u, v)` — "put
+//! min(u, v) in u and max(u, v) in v" — as a short fixed idiom through one
+//! scratch register:
+//!
+//! - cmov, 4 instructions: `mov t u; cmp u v; cmovg u v; cmovg v t` (or the
+//!   mirrored save-the-other-side form, or `cmovl` with the swapped compare)
+//! - min/max, 3 instructions: `mov t u; min u v; max v t` (or the mirrored
+//!   `max`-first form)
+//!
+//! When an entire program is a concatenation of such blocks its semantics
+//! *on every input* equals the comparator network's — each block's scratch
+//! and flags are produced and consumed inside the block. The 0-1 principle
+//! holds unconditionally for comparator networks, so simulating the 2^n
+//! boolean vectors through the extracted network certifies the program
+//! sorts all inputs. This is the strongest and cheapest certificate the
+//! analyzer can issue.
+
+use sortsynth_isa::{Instr, Machine, Op, Reg};
+
+/// A compare-and-exchange: after it, `min` holds the smaller value and
+/// `max` the larger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparator {
+    /// Value-register index receiving the minimum.
+    pub min: u8,
+    /// Value-register index receiving the maximum.
+    pub max: u8,
+}
+
+/// Tries to read `prog` as a whole-program comparator network. Returns the
+/// comparator sequence when every instruction belongs to a recognized
+/// compare-and-exchange block, `None` otherwise.
+pub fn extract_network(machine: &Machine, prog: &[Instr]) -> Option<Vec<Comparator>> {
+    if prog.is_empty() {
+        // The empty program is the empty network (sorts only n where every
+        // input is already sorted — i.e. never, for n >= 2; the certificate
+        // check below will refute it).
+        return Some(Vec::new());
+    }
+    let mut comparators = Vec::new();
+    let mut i = 0;
+    while i < prog.len() {
+        let cmov = prog
+            .get(i..i + 4)
+            .and_then(|block| match_cmov_block(machine, block));
+        let minmax = prog
+            .get(i..i + 3)
+            .and_then(|block| match_minmax_block(machine, block));
+        if let Some(c) = cmov {
+            comparators.push(c);
+            i += 4;
+        } else if let Some(c) = minmax {
+            comparators.push(c);
+            i += 3;
+        } else {
+            return None;
+        }
+    }
+    Some(comparators)
+}
+
+/// Whether `t` can serve as the block-local scratch for exchanging `u`, `v`:
+/// distinct from both and not a value register (a value register's content
+/// would be destroyed by the save).
+fn valid_block(machine: &Machine, u: Reg, v: Reg, t: Reg) -> bool {
+    u != v
+        && t != u
+        && t != v
+        && u.index() < machine.n()
+        && v.index() < machine.n()
+        && t.index() >= machine.n()
+}
+
+/// Matches the 4-instruction cmov compare-and-exchange.
+fn match_cmov_block(machine: &Machine, block: &[Instr]) -> Option<Comparator> {
+    let [save, cmp, k1, k2] = block else {
+        return None;
+    };
+    if save.op != Op::Mov || cmp.op != Op::Cmp {
+        return None;
+    }
+    if k1.op != k2.op || !matches!(k1.op, Op::Cmovl | Op::Cmovg) {
+        return None;
+    }
+    // Normalize the guard to "u > v": gt reads the compare as written,
+    // lt swaps the operands.
+    let (u, v) = match k1.op {
+        Op::Cmovg => (cmp.dst, cmp.src),
+        Op::Cmovl => (cmp.src, cmp.dst),
+        _ => unreachable!(),
+    };
+    let t = save.dst;
+    if !valid_block(machine, u, v, t) {
+        return None;
+    }
+    // Form A saves u (the max side): u <- v, v <- old u.
+    let form_a = save.src == u && (k1.dst, k1.src) == (u, v) && (k2.dst, k2.src) == (v, t);
+    // Form B saves v (the min side): v <- u, u <- old v.
+    let form_b = save.src == v && (k1.dst, k1.src) == (v, u) && (k2.dst, k2.src) == (u, t);
+    if form_a || form_b {
+        Some(Comparator {
+            min: u.index(),
+            max: v.index(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Matches the 3-instruction min/max compare-and-exchange.
+fn match_minmax_block(machine: &Machine, block: &[Instr]) -> Option<Comparator> {
+    let [save, first, second] = block else {
+        return None;
+    };
+    if save.op != Op::Mov {
+        return None;
+    }
+    // The save preserves the register the first lattice op overwrites; the
+    // second op rebuilds the complementary value from the saved copy.
+    let complement = matches!(
+        (first.op, second.op),
+        (Op::Min, Op::Max) | (Op::Max, Op::Min)
+    );
+    let t = save.dst;
+    let a = first.dst;
+    let b = first.src;
+    if !complement
+        || save.src != a
+        || second.dst != b
+        || second.src != t
+        || !valid_block(machine, a, b, t)
+    {
+        return None;
+    }
+    // min a b: a gets the minimum, so the comparator is (a, b); max a b
+    // mirrors it.
+    match first.op {
+        Op::Min => Some(Comparator {
+            min: a.index(),
+            max: b.index(),
+        }),
+        Op::Max => Some(Comparator {
+            min: b.index(),
+            max: a.index(),
+        }),
+        _ => unreachable!(),
+    }
+}
+
+/// Simulates the network on every {0,1}^n vector. Returns the first input
+/// it fails to sort, or `None` when the network sorts all of them — which,
+/// by the 0-1 principle for comparator networks, proves it sorts every
+/// input.
+pub fn network_witness(n: u8, comparators: &[Comparator]) -> Option<Vec<u8>> {
+    (0u32..1 << n)
+        .map(|bits| -> Vec<u8> { (0..n).map(|i| ((bits >> i) & 1) as u8).collect() })
+        .find(|input| {
+            let mut vals = input.clone();
+            for c in comparators {
+                let (lo, hi) = (c.min as usize, c.max as usize);
+                if vals[lo] > vals[hi] {
+                    vals.swap(lo, hi);
+                }
+            }
+            vals.windows(2).any(|w| w[0] > w[1])
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    #[test]
+    fn extracts_the_canonical_cmov_network() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let prog = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r2; cmp r2 r3; cmovg r2 r3; cmovg r3 s1; \
+                 mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1",
+            )
+            .unwrap();
+        let net = extract_network(&m, &prog).expect("network");
+        assert_eq!(
+            net,
+            vec![
+                Comparator { min: 0, max: 1 },
+                Comparator { min: 1, max: 2 },
+                Comparator { min: 0, max: 1 },
+            ]
+        );
+        assert_eq!(network_witness(3, &net), None);
+        assert!(m.is_correct(&prog));
+    }
+
+    #[test]
+    fn extracts_the_minmax_network() {
+        let m = Machine::new(3, 1, IsaMode::MinMax);
+        let prog = m
+            .parse_program(
+                "mov s1 r1; min r1 r2; max r2 s1; \
+                 mov s1 r2; min r2 r3; max r3 s1; \
+                 mov s1 r1; min r1 r2; max r2 s1",
+            )
+            .unwrap();
+        let net = extract_network(&m, &prog).expect("network");
+        assert_eq!(
+            net,
+            vec![
+                Comparator { min: 0, max: 1 },
+                Comparator { min: 1, max: 2 },
+                Comparator { min: 0, max: 1 },
+            ]
+        );
+        assert_eq!(network_witness(3, &net), None);
+    }
+
+    #[test]
+    fn mirrored_and_lt_forms_are_recognized() {
+        let m = Machine::new(2, 1, IsaMode::Cmov);
+        // Form B with a cmovl guard: save the min side, compare swapped.
+        let prog = m
+            .parse_program("mov s1 r2; cmp r2 r1; cmovl r2 r1; cmovl r1 s1")
+            .unwrap();
+        let net = extract_network(&m, &prog).expect("network");
+        assert_eq!(net, vec![Comparator { min: 0, max: 1 }]);
+        assert!(m.is_correct(&prog));
+
+        let m = Machine::new(2, 1, IsaMode::MinMax);
+        // Max-first form.
+        let prog = m.parse_program("mov s1 r2; max r2 r1; min r1 s1").unwrap();
+        let net = extract_network(&m, &prog).expect("network");
+        assert_eq!(net, vec![Comparator { min: 0, max: 1 }]);
+        assert!(m.is_correct(&prog));
+    }
+
+    #[test]
+    fn incomplete_networks_certify_nothing() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        // Missing the final comparator: still a network, but it fails 0-1.
+        let prog = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r2; cmp r2 r3; cmovg r2 r3; cmovg r3 s1",
+            )
+            .unwrap();
+        let net = extract_network(&m, &prog).expect("network");
+        let witness = network_witness(3, &net).expect("refutation");
+        assert!(!m.is_sorted(m.run(&prog, m.initial_state(&witness))) || !m.is_correct(&prog));
+    }
+
+    #[test]
+    fn free_form_programs_are_not_networks() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        // The §2.3 stale-flag kernel shares flags across blocks — the block
+        // matcher must reject it.
+        let stale = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmovg r2 r1; cmovg r1 s1",
+            )
+            .unwrap();
+        assert_eq!(extract_network(&m, &stale), None);
+        // A paper-style 11-instruction synthesized kernel is correct but not
+        // in network shape either.
+        let synth = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmp r1 r2; cmovg r2 r1; cmovg r1 s1",
+            )
+            .unwrap();
+        assert_eq!(extract_network(&m, &synth), None);
+    }
+
+    #[test]
+    fn scratch_discipline_is_enforced() {
+        // A "network" that routes through a value register is not one.
+        let m = Machine::new(3, 0, IsaMode::MinMax);
+        let prog = m.parse_program("mov r3 r1; min r1 r2; max r2 r3").unwrap();
+        assert_eq!(extract_network(&m, &prog), None);
+    }
+}

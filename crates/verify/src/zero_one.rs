@@ -1,0 +1,110 @@
+//! The 0-1 collecting domain.
+//!
+//! The abstract element is the set of machine states reachable from the 2^n
+//! inputs drawn from {0,1}^n — a finite under-approximation of the full input
+//! space tracked *exactly* (every element is a concrete state, transferred by
+//! concrete execution). Two readings of the exit state:
+//!
+//! - **min/max mode**: every instruction computes a lattice polynomial
+//!   (composition of `min`/`max`/copy), and lattice polynomials over a
+//!   distributive lattice are determined by their values on {0,1}^n. Sorting
+//!   all 0-1 vectors therefore *proves* the kernel sorts every input — the
+//!   0-1 lemma applies soundly, and the exit state is a certificate.
+//! - **cmp/cmov mode**: flags are persistent state that `cmov` can consume
+//!   long after the `cmp` that set them, so a program need not be monotone
+//!   and the lemma cuts in *neither* direction. A clean 0-1 run upgrades to
+//!   nothing (§2.3's stale-flag kernel passes every 0-1 vector yet fails on
+//!   `[1, 3, 2]`), and a failure on a *tied* 0-1 vector does not refute
+//!   correctness on the paper's duplicate-free permutation domain either:
+//!   AlphaDev's sort3 sorts every permutation yet sends `[1, 1, 0]` to
+//!   `[0, 1, 0]`. Only a tie-free witness transfers.
+
+use sortsynth_isa::{Instr, Machine, Reg};
+
+use crate::absint::{interpret, AbstractDomain};
+
+/// One tracked 0-1 input and the machine state it has reached.
+#[derive(Debug, Clone)]
+pub struct ZeroOneRun {
+    /// The original {0,1}^n input vector.
+    pub input: Vec<u8>,
+    /// The state after the instructions executed so far.
+    pub state: sortsynth_isa::MachineState,
+}
+
+/// The 0-1 collecting domain: runs all 2^n 0-1 inputs in lockstep.
+pub struct ZeroOneDomain;
+
+impl AbstractDomain for ZeroOneDomain {
+    type State = Vec<ZeroOneRun>;
+
+    fn entry(&self, machine: &Machine) -> Self::State {
+        let n = machine.n();
+        (0u32..1 << n)
+            .map(|bits| {
+                let input: Vec<u8> = (0..n).map(|i| ((bits >> i) & 1) as u8).collect();
+                ZeroOneRun {
+                    state: machine.initial_state(&input),
+                    input,
+                }
+            })
+            .collect()
+    }
+
+    fn transfer(&self, _machine: &Machine, state: &mut Self::State, instr: Instr, _index: usize) {
+        for run in state.iter_mut() {
+            run.state.exec(instr);
+        }
+    }
+}
+
+/// Runs the 0-1 domain over `prog` and returns the first 0-1 input the
+/// program fails to sort, or `None` when every 0-1 vector ends up sorted.
+pub fn zero_one_witness(machine: &Machine, prog: &[Instr]) -> Option<Vec<u8>> {
+    let exit = interpret(&ZeroOneDomain, machine, prog);
+    let n = machine.n();
+    exit.into_iter()
+        .find(|run| {
+            let result: Vec<u8> = (0..n).map(|i| run.state.reg(Reg::new(i))).collect();
+            let mut expected = run.input.clone();
+            expected.sort_unstable();
+            result != expected
+        })
+        .map(|run| run.input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::{sorts_all_zero_one, IsaMode};
+
+    #[test]
+    fn witness_agrees_with_isa_oracle() {
+        let m = Machine::new(2, 1, IsaMode::MinMax);
+        let good = m.parse_program("mov s1 r1; min r1 r2; max r2 s1").unwrap();
+        assert_eq!(zero_one_witness(&m, &good), None);
+        assert!(sorts_all_zero_one(&m, &good));
+
+        let bad = m.parse_program("mov r1 r2").unwrap();
+        let witness = zero_one_witness(&m, &bad).expect("refutation");
+        assert!(!sorts_all_zero_one(&m, &bad));
+        // The witness really is a failing 0-1 input.
+        let out = m.run(&bad, m.initial_state(&witness));
+        assert!(!m.is_sorted(m.run(&bad, m.initial_state(&[2, 1]))) || !m.is_sorted(out));
+    }
+
+    #[test]
+    fn stale_flags_program_passes_zero_one() {
+        // §2.3: the 0-1 domain alone cannot refute the stale-flag kernel.
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let stale = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                 cmovg r2 r1; cmovg r1 s1",
+            )
+            .unwrap();
+        assert_eq!(zero_one_witness(&m, &stale), None);
+        assert!(!m.is_correct(&stale));
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests: the analyzer never contradicts ground truth.
+//!
+//! Four families, both ISA modes, n = 2..4:
+//!
+//! - certificates imply `Machine::is_correct`, refutations carry an input
+//!   the machine oracle confirms failing;
+//! - dead-code elimination is semantics-preserving (checked against the
+//!   ISA's `equivalent` oracle) and idempotent;
+//! - every removability lint (dead write, write-after-write, redundant mov,
+//!   unread flags, dead conditional write) points at an instruction whose
+//!   deletion leaves an equivalent program;
+//! - randomly generated comparator networks round-trip through rendering
+//!   and extraction, and are certified exactly when they are correct.
+
+use proptest::prelude::*;
+use sortsynth_isa::{equivalent, Instr, IsaMode, Machine, Op, Program, Reg};
+use sortsynth_verify::{dce, gate, verify, Comparator, LintKind, Verdict};
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    (
+        2u8..=4,
+        1u8..=2,
+        prop_oneof![Just(IsaMode::Cmov), Just(IsaMode::MinMax)],
+    )
+        .prop_map(|(n, s, mode)| Machine::new(n, s, mode))
+}
+
+fn arb_program(machine: Machine, max_len: usize) -> impl Strategy<Value = Program> {
+    let instrs = machine.all_instrs();
+    prop::collection::vec((0..instrs.len()).prop_map(move |i| instrs[i]), 0..max_len)
+}
+
+fn machine_and_program(max_len: usize) -> impl Strategy<Value = (Machine, Program)> {
+    arb_machine().prop_flat_map(move |m| {
+        let mc = m.clone();
+        arb_program(mc, max_len).prop_map(move |p| (m.clone(), p))
+    })
+}
+
+/// A comparator spec: exchanged registers plus block-shape choices
+/// (mirrored save side, guard polarity / op order).
+type CompSpec = (u8, u8, bool, bool);
+
+fn network_cases() -> impl Strategy<Value = (Machine, Vec<CompSpec>)> {
+    arb_machine().prop_flat_map(|m| {
+        let n = m.n();
+        let comp = (0..n, 0..n, any::<bool>(), any::<bool>())
+            .prop_filter("distinct registers", |(u, v, _, _)| u != v);
+        (Just(m), prop::collection::vec(comp, 0..7))
+    })
+}
+
+/// Renders comparator specs as the ISA's compare-and-exchange blocks,
+/// exercising every recognized block shape.
+fn render_network(machine: &Machine, specs: &[CompSpec]) -> (Program, Vec<Comparator>) {
+    let t = Reg::new(machine.n());
+    let mut prog = Vec::new();
+    let mut comps = Vec::new();
+    for &(u, v, mirrored, alt) in specs {
+        let (u, v) = (Reg::new(u), Reg::new(v));
+        match machine.mode() {
+            IsaMode::Cmov => {
+                // `alt` picks the guard polarity, `mirrored` which side the
+                // scratch copy saves.
+                let (cmp, k) = if alt {
+                    (Instr::new(Op::Cmp, v, u), Op::Cmovl)
+                } else {
+                    (Instr::new(Op::Cmp, u, v), Op::Cmovg)
+                };
+                if mirrored {
+                    prog.extend([
+                        Instr::new(Op::Mov, t, v),
+                        cmp,
+                        Instr::new(k, v, u),
+                        Instr::new(k, u, t),
+                    ]);
+                } else {
+                    prog.extend([
+                        Instr::new(Op::Mov, t, u),
+                        cmp,
+                        Instr::new(k, u, v),
+                        Instr::new(k, v, t),
+                    ]);
+                }
+            }
+            IsaMode::MinMax => {
+                if mirrored {
+                    prog.extend([
+                        Instr::new(Op::Mov, t, v),
+                        Instr::new(Op::Max, v, u),
+                        Instr::new(Op::Min, u, t),
+                    ]);
+                } else {
+                    prog.extend([
+                        Instr::new(Op::Mov, t, u),
+                        Instr::new(Op::Min, u, v),
+                        Instr::new(Op::Max, v, t),
+                    ]);
+                }
+            }
+        }
+        comps.push(Comparator {
+            min: u.index(),
+            max: v.index(),
+        });
+    }
+    (prog, comps)
+}
+
+proptest! {
+    #[test]
+    fn certificates_and_refutations_match_ground_truth(
+        (machine, prog) in machine_and_program(24),
+    ) {
+        let report = verify(&machine, &prog);
+        if report.verdict.certified() {
+            prop_assert!(
+                machine.is_correct(&prog),
+                "certified an incorrect program: {:?}",
+                report.verdict
+            );
+        }
+        if let Verdict::RefutedZeroOne { witness } = &report.verdict {
+            let out = machine.run(&prog, machine.initial_state(witness));
+            let result: Vec<u8> = (0..machine.n()).map(|i| out.reg(Reg::new(i))).collect();
+            let mut expected = witness.clone();
+            expected.sort_unstable();
+            prop_assert_ne!(result, expected);
+        }
+    }
+
+    #[test]
+    fn dce_is_semantics_preserving((machine, prog) in machine_and_program(24)) {
+        let slim = dce(&machine, &prog);
+        prop_assert!(slim.len() <= prog.len());
+        prop_assert!(equivalent(&machine, &prog, &slim));
+        prop_assert_eq!(dce(&machine, &slim), slim.clone());
+    }
+
+    #[test]
+    fn removability_lints_point_at_removable_instructions(
+        (machine, prog) in machine_and_program(20),
+    ) {
+        let report = verify(&machine, &prog);
+        for d in &report.diagnostics {
+            let removable = matches!(
+                d.kind,
+                LintKind::DeadWrite
+                    | LintKind::WriteAfterWrite
+                    | LintKind::RedundantMov
+                    | LintKind::UnreadFlags
+                    | LintKind::DeadConditionalWrite
+            );
+            if let (true, Some(i)) = (removable, d.index) {
+                let mut without = prog.clone();
+                without.remove(i);
+                prop_assert!(
+                    equivalent(&machine, &prog, &without),
+                    "removing the target of `{d}` changed program semantics"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn networks_round_trip((machine, specs) in network_cases()) {
+        let (prog, comps) = render_network(&machine, &specs);
+        let report = verify(&machine, &prog);
+        prop_assert_eq!(report.network.clone(), Some(comps));
+        if machine.is_correct(&prog) {
+            prop_assert_eq!(report.verdict.clone(), Verdict::CertifiedNetwork);
+            prop_assert!(gate(&machine, &prog).is_ok());
+        } else {
+            prop_assert!(report.verdict.refuted(), "verdict {:?}", report.verdict);
+            prop_assert!(gate(&machine, &prog).is_err());
+        }
+        // Well-formed networks never draw error-severity lints.
+        prop_assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    }
+}
+
+/// The cache gate must never reject a correct kernel. Exhaustive evidence
+/// at n = 2: every permutation-correct program over the full instruction
+/// alphabet (length <= 3) passes the 0-1 gate.
+#[test]
+fn gate_admits_every_correct_program_exhaustively_n2() {
+    for mode in [IsaMode::Cmov, IsaMode::MinMax] {
+        let machine = Machine::new(2, 1, mode);
+        let actions = machine.all_instrs();
+        let k = actions.len();
+        for len in 0..=3u32 {
+            for idx in 0..k.pow(len) {
+                let mut prog = Vec::with_capacity(len as usize);
+                let mut x = idx;
+                for _ in 0..len {
+                    prog.push(actions[x % k]);
+                    x /= k;
+                }
+                if machine.is_correct(&prog) {
+                    assert_eq!(
+                        gate(&machine, &prog),
+                        Ok(()),
+                        "gate rejected a correct kernel: {}",
+                        machine.format_program(&prog)
+                    );
+                }
+            }
+        }
+    }
+}

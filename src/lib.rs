@@ -22,6 +22,7 @@
 //! | [`tsne`] | `sortsynth-tsne` | exact t-SNE (Figure 2) |
 //! | [`jit`] | `sortsynth-jit` | x86-64 JIT for running kernels natively |
 //! | [`kernels`] | `sortsynth-kernels` | reference kernels, networks, embeddings |
+//! | [`verify`] | `sortsynth-verify` | static analysis: liveness, abstract domains, lints |
 //!
 //! # Quick start
 //!
@@ -48,3 +49,4 @@ pub use sortsynth_search as search;
 pub use sortsynth_solvers as solvers;
 pub use sortsynth_stoke as stoke;
 pub use sortsynth_tsne as tsne;
+pub use sortsynth_verify as verify;
