@@ -13,13 +13,15 @@
 //! effectiveness measure).
 
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sortsynth_cache::{CutSpec, KernelQuery};
 use sortsynth_isa::IsaMode;
+use sortsynth_obs::RingBuffer;
 use sortsynth_service::{Client, Response, Server, ServerHandle, ServiceConfig};
 
-use crate::util::{fmt_duration, BenchConfig, Table};
+use crate::util::{fmt_duration, write_bench_json, BenchConfig, Table};
 
 /// Latency percentile over an already-sorted sample.
 fn percentile(sorted: &[Duration], pct: f64) -> Duration {
@@ -124,6 +126,7 @@ pub fn run(cfg: &BenchConfig) {
         cache_dir: None,
         cache_capacity: 4096,
         default_timeout: Some(Duration::from_secs(120)),
+        self_report: None,
     })
     .expect("bind service")
     .spawn();
@@ -148,7 +151,7 @@ pub fn run(cfg: &BenchConfig) {
     // Warm cache: one already-computed query, repeated. Zero new searches.
     let warm_query = KernelQuery::best(3, 1, IsaMode::Cmov);
     let before = handle.searches_started();
-    let warm: Vec<KernelQuery> = vec![warm_query; if cfg.quick { 64 } else { 512 }];
+    let warm: Vec<KernelQuery> = vec![warm_query.clone(); if cfg.quick { 64 } else { 512 }];
     let (latencies, elapsed) = run_workload(addr, 4, &warm);
     report_row(
         &mut table,
@@ -176,7 +179,47 @@ pub fn run(cfg: &BenchConfig) {
         storm_searches,
     );
 
+    // Instrumentation overhead: replay the warm-cache workload with tracing
+    // fully active (a live ring-buffer subscriber receiving every span and
+    // event) and again with it disabled. Warm-cache is the worst case for
+    // overhead — requests are microseconds of cache lookup, so fixed
+    // per-request instrumentation cost is maximally visible. Each mode takes
+    // the best of three runs (after an untimed warmup) so scheduler noise
+    // doesn't masquerade as instrumentation cost.
+    let probe: Vec<KernelQuery> = vec![warm_query; if cfg.quick { 512 } else { 2048 }];
+    let best_rps = |addr, probe: &[KernelQuery]| {
+        let _ = run_workload(addr, 4, probe);
+        (0..3)
+            .map(|_| {
+                let (lats, elapsed) = run_workload(addr, 4, probe);
+                lats.len() as f64 / elapsed.as_secs_f64()
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let ring = Arc::new(RingBuffer::new(65536));
+    let sub = sortsynth_obs::add_subscriber(ring);
+    sortsynth_obs::set_enabled(true);
+    let rps_on = best_rps(addr, &probe);
+    sortsynth_obs::set_enabled(false);
+    sortsynth_obs::remove_subscriber(sub);
+    let rps_off = best_rps(addr, &probe);
+    let overhead_pct = (rps_off / rps_on - 1.0) * 100.0;
+
     handle.shutdown().expect("shutdown");
     table.print();
+    println!(
+        "obs overhead (warm cache): {rps_on:.0} req/s traced vs {rps_off:.0} req/s untraced \
+         ({overhead_pct:+.1}% throughput cost)"
+    );
     table.write_csv(&cfg.ensure_out_dir().join("service_load.csv"));
+    write_bench_json(
+        "service_load",
+        &format!(
+            "{{\"experiment\":\"service_load\",\"rows\":{},\
+             \"obs_overhead\":{{\"warm_requests\":{},\"req_per_s_obs_on\":{rps_on:.1},\
+             \"req_per_s_obs_off\":{rps_off:.1},\"overhead_pct\":{overhead_pct:.2}}}}}\n",
+            table.rows_json(),
+            probe.len(),
+        ),
+    );
 }

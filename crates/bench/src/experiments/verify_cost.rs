@@ -21,7 +21,7 @@ use sortsynth_kernels::network_kernel;
 use sortsynth_search::{synthesize, Cut, SynthesisConfig};
 use sortsynth_verify::{dce, network, zero_one};
 
-use crate::util::{fmt_duration, time, BenchConfig, Table};
+use crate::util::{fmt_duration, time, write_bench_json, BenchConfig, Table};
 
 fn mode_name(mode: IsaMode) -> &'static str {
     match mode {
@@ -120,6 +120,14 @@ pub fn run(cfg: &BenchConfig) {
     }
     reducible.print();
     reducible.write_csv(&cfg.ensure_out_dir().join("ev2_dce_reducible.csv"));
+    write_bench_json(
+        "verify_cost",
+        &format!(
+            "{{\"experiment\":\"verify_cost\",\"verify_cost\":{},\"dce_reducible\":{}}}\n",
+            table.rows_json(),
+            reducible.rows_json(),
+        ),
+    );
     println!(
         "(factorial({max_n}) = {}; minimal kernels carry no dead code)",
         factorial(max_n)

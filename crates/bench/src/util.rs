@@ -161,6 +161,63 @@ impl Table {
         fs::write(path, out).expect("write CSV artifact");
         println!("  -> wrote {}", path.display());
     }
+
+    /// Renders the rows as a JSON array of objects keyed by header. Cells
+    /// that parse as numbers are emitted bare; everything else is quoted.
+    pub fn rows_json(&self) -> String {
+        let mut out = String::from("[");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (c, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                if c > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(header));
+                out.push(':');
+                // Integers and plain floats pass through as JSON numbers;
+                // annotated cells ("97.0 ms") stay strings.
+                if cell.parse::<f64>().is_ok() {
+                    out.push_str(cell);
+                } else {
+                    out.push_str(&json_string(cell));
+                }
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// A JSON string literal with the mandatory escapes.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes `BENCH_<name>.json` at the repository root (the stable artifact
+/// location CI uploads from), with `body` as the document.
+pub fn write_bench_json(name: &str, body: &str) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join(format!("BENCH_{name}.json"));
+    fs::write(&path, body).expect("write BENCH json artifact");
+    println!("  -> wrote {}", path.display());
 }
 
 /// Benchmarks a sorting routine over a workload: total wall-clock for

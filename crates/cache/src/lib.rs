@@ -53,6 +53,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use sortsynth_obs::names;
 
 pub use disk::{LoadReport, LOG_FILE, VERSION};
 pub use entry::CacheEntry;
@@ -88,6 +89,13 @@ struct Counters {
     misses: AtomicU64,
     insertions: AtomicU64,
     verify_rejected: AtomicU64,
+}
+
+/// Mirrors one cache counter increment into the process-wide metrics
+/// registry (so `sortsynth serve` exposes live cache efficacy without
+/// polling [`KernelCache::stats`]).
+fn obs_inc(name: &str, help: &str) {
+    sortsynth_obs::registry().counter(name, help).inc();
 }
 
 /// Why the static-verification gate refused an entry.
@@ -171,6 +179,7 @@ impl KernelCache {
         if let Some(entry) = self.lru.get(fingerprint) {
             if entry.query == *query {
                 self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+                obs_inc(names::CACHE_MEMORY_HITS_TOTAL, "In-memory cache hits.");
                 return Some(entry);
             }
         }
@@ -178,25 +187,56 @@ impl KernelCache {
             // Hold the append lock while scanning so a concurrent insert
             // can't be half-written under the reader.
             let _guard = store.file.lock();
-            if let Ok((entries, _)) = disk::load(&store.dir) {
+            let scan_start = std::time::Instant::now();
+            let scanned = disk::load(&store.dir);
+            names::cache_disk_promotion_seconds().observe_duration(scan_start.elapsed());
+            if let Ok((entries, _)) = scanned {
                 // Latest write wins: scan from the back.
                 if let Some(entry) = entries.into_iter().rev().find(|e| e.query == *query) {
                     // Re-verify before promotion: the log may have been
                     // modified behind the append handle.
                     if gate_error(&entry).is_none() {
                         let entry = Arc::new(entry);
+                        let evicted_before = self.lru.evictions();
                         self.lru.insert(Arc::clone(&entry));
+                        self.note_evictions(evicted_before);
                         self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        obs_inc(
+                            names::CACHE_DISK_HITS_TOTAL,
+                            "Disk-log hits promoted into memory.",
+                        );
                         return Some(entry);
                     }
                     self.counters
                         .verify_rejected
                         .fetch_add(1, Ordering::Relaxed);
+                    obs_inc(
+                        names::CACHE_VERIFY_REJECTED_TOTAL,
+                        "Disk entries rejected by the verification gate.",
+                    );
                 }
             }
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        obs_inc(
+            names::CACHE_MISSES_TOTAL,
+            "Lookups that missed both cache tiers.",
+        );
         None
+    }
+
+    /// Publishes LRU evictions that happened since `before` to the metrics
+    /// registry (the local total lives in [`ShardedLru`] itself).
+    fn note_evictions(&self, before: u64) {
+        let evicted = self.lru.evictions() - before;
+        if evicted > 0 {
+            sortsynth_obs::registry()
+                .counter(
+                    names::CACHE_EVICTIONS_TOTAL,
+                    "Entries evicted from the in-memory LRU.",
+                )
+                .add(evicted);
+        }
     }
 
     /// Inserts an entry: appended to the log (durable caches) and published
@@ -213,6 +253,10 @@ impl KernelCache {
             self.counters
                 .verify_rejected
                 .fetch_add(1, Ordering::Relaxed);
+            obs_inc(
+                names::CACHE_VERIFY_REJECTED_TOTAL,
+                "Disk entries rejected by the verification gate.",
+            );
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("kernel refused by verification gate: {why}"),
@@ -223,8 +267,11 @@ impl KernelCache {
             let mut file = store.file.lock();
             disk::append(&mut file, &entry)?;
         }
+        let evicted_before = self.lru.evictions();
         self.lru.insert(entry);
+        self.note_evictions(evicted_before);
         self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        obs_inc(names::CACHE_INSERTIONS_TOTAL, "Cache entries inserted.");
         Ok(())
     }
 

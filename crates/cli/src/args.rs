@@ -39,7 +39,7 @@ impl fmt::Display for ArgsError {
 impl Error for ArgsError {}
 
 /// Boolean flags (present or absent, no value).
-const FLAGS: &[&str] = &["all", "plain", "json", "fix", "dead-write-cut"];
+const FLAGS: &[&str] = &["all", "plain", "json", "fix", "dead-write-cut", "metrics"];
 
 /// Options that take a value.
 const VALUED: &[&str] = &[
@@ -59,6 +59,8 @@ const VALUED: &[&str] = &[
     "workers",
     "queue-depth",
     "cache-capacity",
+    "trace",
+    "log-level",
 ];
 
 /// Parses `args` (without the binary name).

@@ -8,6 +8,7 @@ use sortsynth_cache::{CacheEntry, CutSpec, KernelCache, KernelQuery};
 use sortsynth_isa::{analyze, sampling_score, InstrMix, Machine, Program, ThroughputModel};
 use sortsynth_jit::JitKernel;
 use sortsynth_kernels::{interpret, Kernel};
+use sortsynth_obs::{info, warn};
 use sortsynth_search::{
     prove_no_solution, synthesize, BoundVerdict, Cut, Outcome, SearchBudget, SynthesisConfig,
 };
@@ -26,10 +27,15 @@ pub const USAGE: &str = "usage:
   sortsynth lint    <file|-> --n N [--scratch M] [--isa cmov|minmax] [--json|--plain] [--fix]
   sortsynth run     <file|-> --n N [--scratch M] [--isa cmov|minmax] --data V1,V2,...
   sortsynth serve   [--addr HOST:PORT] [--workers W] [--queue-depth D]
-                    [--cache-dir DIR] [--cache-capacity C] [--timeout SECS]
-  sortsynth client  ping|synth|check|analyze [<file|->] [--addr HOST:PORT]
+                    [--cache-dir DIR] [--cache-capacity C] [--timeout SECS] [--metrics]
+  sortsynth client  ping|synth|check|analyze|metrics|stats [<file|->] [--addr HOST:PORT]
                     [--n N ...] [--timeout SECS]
-  sortsynth help";
+  sortsynth stats   [--addr HOST:PORT]
+  sortsynth help
+
+global flags (any subcommand):
+  --log-level error|warn|info|debug|trace   diagnostic verbosity (default info)
+  --trace FILE                              write a JSONL span/event log";
 
 /// Dispatches a parsed command line.
 pub fn dispatch(args: ParsedArgs) -> Result<(), ArgsError> {
@@ -42,6 +48,7 @@ pub fn dispatch(args: ParsedArgs) -> Result<(), ArgsError> {
         "run" => run(&args),
         "serve" => serve(&args),
         "client" => client_cmd(&args),
+        "stats" => stats_cmd(&args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -99,7 +106,7 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
     if let Some(cache) = &cache {
         let query = synth_query(args)?;
         if let Some(entry) = cache.get(&query) {
-            eprintln!("# length {}, from cache", entry.program.len());
+            info!("# length {}, from cache", entry.program.len());
             print!("{}", machine.format_program(&entry.program));
             return Ok(());
         }
@@ -131,12 +138,10 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
     }
     let result = synthesize(&cfg);
     if result.stats.distance_table_skipped {
-        eprintln!(
-            "# note: machine too large for the distance table; searched with degraded pruning"
-        );
+        warn!("# note: machine too large for the distance table; searched with degraded pruning");
     }
     if result.stats.dead_write_pruned > 0 {
-        eprintln!(
+        info!(
             "# dead-write cut pruned {} successors",
             result.stats.dead_write_pruned
         );
@@ -155,7 +160,7 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
         Some(len) => {
             if args.flag("all") {
                 let count = result.solution_count();
-                eprintln!(
+                info!(
                     "# {count} kernels of length {len} ({} states, {:?})",
                     result.stats.generated, result.stats.search_time
                 );
@@ -166,7 +171,7 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
                     println!();
                 }
             } else {
-                eprintln!(
+                info!(
                     "# length {len}, {} states explored in {:?}",
                     result.stats.generated, result.stats.search_time
                 );
@@ -321,7 +326,7 @@ fn lint(args: &ParsedArgs) -> Result<(), ArgsError> {
         // diagnosing it; the summary goes to stderr so the output can be
         // piped straight back into `check`/`lint`.
         let slim = dce(&machine, &prog);
-        eprintln!(
+        info!(
             "# dead-code elimination: {} -> {} instructions",
             prog.len(),
             slim.len()
@@ -408,10 +413,13 @@ fn serve(args: &ParsedArgs) -> Result<(), ArgsError> {
             Some(secs) => Some(Duration::from_secs_f64(secs)),
             None => Some(Duration::from_secs(30)),
         },
+        // `--metrics` turns on periodic self-reporting of the live gauges;
+        // the `metrics`/`stats` protocol verbs are always available.
+        self_report: args.flag("metrics").then(|| Duration::from_secs(10)),
     };
     let server = Server::bind(config).map_err(|e| ArgsError::new(format!("bind: {e}")))?;
     // Tests (and scripts using port 0) parse this line for the bound port.
-    eprintln!("# sortsynth service listening on {}", server.local_addr());
+    info!("# sortsynth service listening on {}", server.local_addr());
     server
         .run()
         .map_err(|e| ArgsError::new(format!("serve: {e}")))
@@ -439,12 +447,16 @@ fn client_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let op = args.positional.first().map(String::as_str).ok_or_else(|| {
-        ArgsError::new("client needs an operation: ping | synth | check | analyze")
+        ArgsError::new(
+            "client needs an operation: ping | synth | check | analyze | metrics | stats",
+        )
     })?;
     let mut client = Client::connect(addr.as_str())
         .map_err(|e| ArgsError::new(format!("connect {addr}: {e}")))?;
     let response = match op {
         "ping" => client.ping(),
+        "metrics" => client.metrics(),
+        "stats" => client.stats(),
         "synth" => {
             let timeout_ms = args.num::<f64>("timeout")?.map(|s| (s * 1000.0) as u64);
             client.synth(synth_query(args)?, timeout_ms)
@@ -468,6 +480,21 @@ fn client_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
     render_response(response)
 }
 
+/// `sortsynth stats`: query a running server for its live counters.
+fn stats_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut client = Client::connect(addr.as_str())
+        .map_err(|e| ArgsError::new(format!("connect {addr}: {e}")))?;
+    let response = client
+        .stats()
+        .map_err(|e| ArgsError::new(format!("request: {e}")))?;
+    render_response(response)
+}
+
 fn render_response(response: Response) -> Result<(), ArgsError> {
     match response {
         Response::Pong => {
@@ -485,11 +512,11 @@ fn render_response(response: Response) -> Result<(), ArgsError> {
                 ReplySource::Coalesced => "coalesced",
             };
             if reply.distance_table_skipped {
-                eprintln!("# note: machine too large for the distance table; server searched with degraded pruning");
+                warn!("# note: machine too large for the distance table; server searched with degraded pruning");
             }
             match reply.program {
                 Some(text) => {
-                    eprintln!(
+                    info!(
                         "# length {}, {source}, search {} ms{}",
                         reply.found_len.unwrap_or(0),
                         reply.search_millis,
@@ -539,6 +566,30 @@ fn render_response(response: Response) -> Result<(), ArgsError> {
             if report.lints.iter().any(|l| l.severity == "error") {
                 return Err(ArgsError::new("analysis found error-severity lints"));
             }
+            Ok(())
+        }
+        Response::Metrics { text } => {
+            print!("{text}");
+            Ok(())
+        }
+        Response::Stats(s) => {
+            println!(
+                "uptime                 : {:.1} s",
+                s.uptime_ms as f64 / 1000.0
+            );
+            println!("queue depth            : {}", s.queue_depth);
+            println!("inflight               : {}", s.inflight);
+            println!("requests total         : {}", s.requests_total);
+            println!("requests shed          : {}", s.shed_total);
+            println!("worker panics          : {}", s.worker_panics);
+            println!("searches started       : {}", s.searches_started);
+            println!("singleflight coalesced : {}", s.singleflight_coalesced);
+            println!("cache memory hits      : {}", s.cache_memory_hits);
+            println!("cache disk hits        : {}", s.cache_disk_hits);
+            println!("cache misses           : {}", s.cache_misses);
+            println!("cache insertions       : {}", s.cache_insertions);
+            println!("cache evictions        : {}", s.cache_evictions);
+            println!("cache verify rejected  : {}", s.cache_verify_rejected);
             Ok(())
         }
         Response::Timeout(t) => Err(ArgsError::new(format!(

@@ -8,23 +8,68 @@
 //! sortsynth analyze <file|-> --n 3          # cost & pipeline analysis
 //! sortsynth lint    <file|-> --n 3          # static analysis & lint report
 //! sortsynth run     <file|-> --n 3 --data 3,1,2
-//! sortsynth serve   [--addr 127.0.0.1:7878] [--workers 4] [--cache-dir DIR]
-//! sortsynth client  ping|synth|check|analyze [--addr 127.0.0.1:7878]
+//! sortsynth serve   [--addr 127.0.0.1:7878] [--workers 4] [--cache-dir DIR] [--metrics]
+//! sortsynth client  ping|synth|check|analyze|metrics|stats [--addr 127.0.0.1:7878]
+//! sortsynth stats   [--addr 127.0.0.1:7878]
 //! ```
+//!
+//! Global flags: `--log-level error|warn|info|debug|trace` governs all
+//! diagnostic output; `--trace FILE` writes a JSONL event log of every span
+//! and progress event the run emits.
 
 mod args;
 mod commands;
 
 use std::process::ExitCode;
+use std::sync::Arc;
+
+use sortsynth_obs::{error, Level};
+
+/// Applies the global `--log-level` and `--trace` options. Returns the trace
+/// subscriber (if any) so `main` can flush it after the command finishes.
+fn init_observability(
+    parsed: &args::ParsedArgs,
+) -> Result<Option<Arc<sortsynth_obs::FileSubscriber>>, args::ArgsError> {
+    if let Some(level) = parsed.options.get("log-level") {
+        match Level::parse(level) {
+            Some(level) => sortsynth_obs::set_log_level(level),
+            None => {
+                return Err(args::ArgsError::new(format!(
+                    "--log-level: `{level}` is not one of error|warn|info|debug|trace"
+                )))
+            }
+        }
+    }
+    match parsed.options.get("trace") {
+        None => Ok(None),
+        Some(path) => {
+            let subscriber = Arc::new(
+                sortsynth_obs::FileSubscriber::create(path)
+                    .map_err(|e| args::ArgsError::new(format!("--trace {path}: {e}")))?,
+            );
+            sortsynth_obs::add_subscriber(subscriber.clone());
+            sortsynth_obs::set_enabled(true);
+            Ok(Some(subscriber))
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&raw).and_then(commands::dispatch) {
+    let outcome = args::parse(&raw).and_then(|parsed| {
+        let trace = init_observability(&parsed)?;
+        let result = commands::dispatch(parsed);
+        if let Some(trace) = trace {
+            let _ = trace.flush();
+        }
+        result
+    });
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
-            eprintln!("sortsynth: {err}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
+            error!("sortsynth: {err}");
+            error!("");
+            error!("{}", commands::USAGE);
             ExitCode::FAILURE
         }
     }

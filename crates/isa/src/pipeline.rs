@@ -190,13 +190,22 @@ pub fn analyze(prog: &[Instr], model: &ThroughputModel) -> PipelineReport {
         .fold(0.0f64, f64::max);
     let issue_bound = total_slots as f64 / model.issue_width as f64;
 
-    PipelineReport {
+    let report = PipelineReport {
         cycles_per_iteration,
         critical_path,
         port_bound,
         issue_bound,
         latency_bound: cycles_per_iteration > port_bound.max(issue_bound) + 0.25,
-    }
+    };
+    sortsynth_obs::debug!(
+        "# pipeline: {} instrs, {:.2} cyc/iter (critical path {}, port bound {:.2}, issue bound {:.2})",
+        prog.len(),
+        report.cycles_per_iteration,
+        report.critical_path,
+        report.port_bound,
+        report.issue_bound
+    );
+    report
 }
 
 #[cfg(test)]

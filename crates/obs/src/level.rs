@@ -1,0 +1,129 @@
+//! Leveled logging: a process-wide severity filter feeding stderr and,
+//! when tracing is active, the structured event stream.
+//!
+//! Messages are printed **verbatim** — no timestamp or level prefix — so
+//! converting an existing `eprintln!` to `info!` cannot break anything that
+//! parses the output (the service's `# sortsynth service listening on …`
+//! line, for instance). Severity and target still reach structured
+//! consumers through the mirrored trace event.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::trace::{self, Event, EventKind, FieldValue};
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed.
+    Error = 0,
+    /// Something suspicious; the operation continues.
+    Warn = 1,
+    /// High-level progress (the default).
+    Info = 2,
+    /// Detail useful when debugging a subsystem.
+    Debug = 3,
+    /// Very fine-grained detail.
+    Trace = 4,
+}
+
+impl Level {
+    /// Lower-case name (`"info"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a case-insensitive level name.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-wide log level; messages above it are dropped.
+pub fn set_log_level(level: Level) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn log_level() -> Level {
+    Level::from_u8(LOG_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a message at `level` would currently be emitted.
+pub fn log_enabled(level: Level) -> bool {
+    level <= log_level()
+}
+
+/// Emits an already-formatted log message: prints it verbatim to stderr and
+/// mirrors it into the trace stream when a subscriber is listening. Called
+/// by the logging macros after the level check; prefer those at call sites.
+pub fn log_emit(level: Level, target: &'static str, message: &str) {
+    eprintln!("{message}");
+    if trace::enabled() {
+        trace::emit(Event {
+            micros: trace::now_micros(),
+            kind: EventKind::Log,
+            level,
+            name: "log",
+            span: None,
+            parent: None,
+            fields: vec![("target", FieldValue::Str(target.to_string()))],
+            message: Some(message.to_string()),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_names_round_trip() {
+        for lvl in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(lvl.name()), Some(lvl));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn level_filter_orders_severities() {
+        let prev = log_level();
+        set_log_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Trace));
+        set_log_level(prev);
+    }
+}

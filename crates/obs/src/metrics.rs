@@ -1,0 +1,340 @@
+//! The metrics registry: lock-free counters, gauges, and fixed-bucket
+//! histograms with Prometheus text exposition.
+//!
+//! Registration (name → metric handle) takes a mutex once; every update
+//! after that is a relaxed atomic operation on a shared handle, so the hot
+//! paths of the service and the search engine never contend on the
+//! registry itself.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram with fixed, cumulative-at-render buckets. Observations are
+/// in seconds (the Prometheus convention for latency metrics); the sum is
+/// kept in integer microseconds so updates stay a single atomic add.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds (seconds), strictly increasing; an implicit `+Inf`
+    /// bucket follows.
+    bounds: Vec<f64>,
+    /// Non-cumulative observation counts per bucket (`bounds.len() + 1`).
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+/// Default latency buckets: 100 µs to 60 s, roughly ×2.5 apart — wide
+/// enough for both a warm cache hit and an hour-long search's first slice.
+pub const LATENCY_BUCKETS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0, 30.0, 60.0,
+];
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation, in seconds.
+    pub fn observe(&self, secs: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add((secs * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    /// Records one observation from a [`Duration`].
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, in seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+}
+
+/// One registered metric family.
+enum Family {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Family {
+    fn kind(&self) -> &'static str {
+        match self {
+            Family::Counter(_) => "counter",
+            Family::Gauge(_) => "gauge",
+            Family::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metric families.
+///
+/// Names follow the Prometheus conventions: `snake_case`, `_total` suffix
+/// for counters, `_seconds` for latency histograms. Re-registering an
+/// existing name returns the existing handle (help text from the first
+/// registration wins); registering the same name as a different metric kind
+/// panics — that is a programming error, not a runtime condition.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, (String, Family)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Family,
+        pick: impl Fn(&Family) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        let (_, family) = families
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), make()));
+        pick(family)
+            .unwrap_or_else(|| panic!("metric `{name}` already registered as a {}", family.kind()))
+    }
+
+    /// Gets or creates a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            help,
+            || Family::Counter(Arc::new(Counter::default())),
+            |f| match f {
+                Family::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            help,
+            || Family::Gauge(Arc::new(Gauge::default())),
+            |f| match f {
+                Family::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates a histogram with the given bucket upper bounds
+    /// (seconds). The bounds of the first registration win.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            help,
+            || Family::Histogram(Arc::new(Histogram::new(bounds))),
+            |f| match f {
+                Family::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Reads a counter's current value (0 if the name is unregistered or
+    /// not a counter) — convenient for tests asserting on deltas.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let families = self.families.lock().expect("registry poisoned");
+        match families.get(name) {
+            Some((_, Family::Counter(c))) => c.value(),
+            _ => 0,
+        }
+    }
+
+    /// Reads a gauge's current value (0 if unregistered or not a gauge).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        let families = self.families.lock().expect("registry poisoned");
+        match families.get(name) {
+            Some((_, Family::Gauge(g))) => g.value(),
+            _ => 0,
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers, cumulative
+    /// `_bucket{le="…"}` series plus `_sum`/`_count` for histograms.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for (name, (help, family)) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind());
+            match family {
+                Family::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.value());
+                }
+                Family::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.value());
+                }
+                Family::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, bound) in h.bounds.iter().enumerate() {
+                        cumulative += h.buckets[i].load(Ordering::Relaxed);
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                    cumulative += h.buckets[h.bounds.len()].load(Ordering::Relaxed);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide default registry every sortsynth crate publishes to.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("t_requests_total", "Requests.");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(reg.counter_value("t_requests_total"), 5);
+        // Re-registration returns the same handle.
+        reg.counter("t_requests_total", "ignored").inc();
+        assert_eq!(c.value(), 6);
+
+        let g = reg.gauge("t_depth", "Depth.");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.value(), 1);
+        g.set(-3);
+        assert_eq!(reg.gauge_value("t_depth"), -3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_seconds", "Latency.", &[0.01, 0.1, 1.0]);
+        h.observe(0.005); // ≤ 0.01
+        h.observe(0.05); // ≤ 0.1
+        h.observe(0.05);
+        h.observe(5.0); // +Inf
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 5.105).abs() < 1e-3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("t_seconds_bucket{le=\"0.01\"} 1"));
+        assert!(text.contains("t_seconds_bucket{le=\"0.1\"} 3"));
+        assert!(text.contains("t_seconds_bucket{le=\"1\"} 3"));
+        assert!(text.contains("t_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("t_seconds_count 4"));
+    }
+
+    #[test]
+    fn exposition_has_help_and_type_headers() {
+        let reg = Registry::new();
+        reg.counter("t_a_total", "Help for a.");
+        reg.gauge("t_b", "Help for b.");
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# HELP t_a_total Help for a.\n# TYPE t_a_total counter\nt_a_total 0\n")
+        );
+        assert!(text.contains("# TYPE t_b gauge"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("t_x", "x");
+        reg.gauge("t_x", "x");
+    }
+}

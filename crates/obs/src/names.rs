@@ -1,0 +1,215 @@
+//! Well-known metric names shared across the sortsynth crates.
+//!
+//! Instrumented code gets handles via `registry().counter(NAME, HELP)`; the
+//! service calls [`register_well_known`] at startup so the exposition always
+//! contains every family — a scraper sees `sortsynth_requests_total 0`
+//! rather than a missing series before the first request arrives.
+
+use std::sync::Arc;
+
+use crate::metrics::{registry, Histogram, LATENCY_BUCKETS};
+
+// --- request / service ---
+/// Requests accepted into the admission queue.
+pub const REQUESTS_TOTAL: &str = "sortsynth_requests_total";
+/// Requests shed because the admission queue was full.
+pub const REQUESTS_SHED_TOTAL: &str = "sortsynth_requests_shed_total";
+/// End-to-end request latency (queue wait + execution), seconds.
+pub const REQUEST_SECONDS: &str = "sortsynth_request_seconds";
+/// Jobs currently waiting in the admission queue.
+pub const QUEUE_DEPTH: &str = "sortsynth_queue_depth";
+/// Jobs currently executing on workers.
+pub const INFLIGHT_REQUESTS: &str = "sortsynth_inflight_requests";
+/// Worker panics caught and converted to error replies.
+pub const WORKER_PANICS_TOTAL: &str = "sortsynth_worker_panics_total";
+/// Requests that joined an identical in-flight search instead of starting
+/// their own.
+pub const SINGLEFLIGHT_COALESCED_TOTAL: &str = "sortsynth_singleflight_coalesced_total";
+/// Searches started by single-flight leaders.
+pub const SEARCHES_STARTED_TOTAL: &str = "sortsynth_searches_started_total";
+
+// --- cache ---
+/// In-memory cache hits.
+pub const CACHE_MEMORY_HITS_TOTAL: &str = "sortsynth_cache_memory_hits_total";
+/// Disk-log hits promoted into memory.
+pub const CACHE_DISK_HITS_TOTAL: &str = "sortsynth_cache_disk_hits_total";
+/// Lookups that missed both tiers.
+pub const CACHE_MISSES_TOTAL: &str = "sortsynth_cache_misses_total";
+/// Entries inserted.
+pub const CACHE_INSERTIONS_TOTAL: &str = "sortsynth_cache_insertions_total";
+/// Entries evicted from the in-memory LRU.
+pub const CACHE_EVICTIONS_TOTAL: &str = "sortsynth_cache_evictions_total";
+/// Disk entries rejected by the verification gate.
+pub const CACHE_VERIFY_REJECTED_TOTAL: &str = "sortsynth_cache_verify_rejected_total";
+/// Latency of disk-log scans on a memory miss, seconds.
+pub const CACHE_DISK_PROMOTION_SECONDS: &str = "sortsynth_cache_disk_promotion_seconds";
+
+// --- search ---
+/// Search engine runs completed (any outcome).
+pub const SEARCH_RUNS_TOTAL: &str = "sortsynth_search_runs_total";
+/// States expanded across all searches.
+pub const SEARCH_EXPANDED_TOTAL: &str = "sortsynth_search_expanded_total";
+/// States generated across all searches.
+pub const SEARCH_GENERATED_TOTAL: &str = "sortsynth_search_generated_total";
+/// Searches that ended in `Outcome::Cancelled`.
+pub const SEARCH_CANCELLED_TOTAL: &str = "sortsynth_search_cancelled_total";
+/// States pruned by the dead-write cut.
+pub const SEARCH_DEAD_WRITE_PRUNED_TOTAL: &str = "sortsynth_search_dead_write_pruned_total";
+/// Heuristic lookups that skipped the distance table.
+pub const SEARCH_DISTANCE_TABLE_SKIPPED_TOTAL: &str =
+    "sortsynth_search_distance_table_skipped_total";
+/// States pruned by cost-bound cuts.
+pub const SEARCH_CUT_PRUNED_TOTAL: &str = "sortsynth_search_cut_pruned_total";
+/// States pruned by the viability filter.
+pub const SEARCH_VIABILITY_PRUNED_TOTAL: &str = "sortsynth_search_viability_pruned_total";
+/// Duplicate states dropped by the closed set.
+pub const SEARCH_DEDUP_HITS_TOTAL: &str = "sortsynth_search_dedup_hits_total";
+
+// --- SAT / CEGIS ---
+/// CDCL conflicts across all solver runs.
+pub const SAT_CONFLICTS_TOTAL: &str = "sortsynth_sat_conflicts_total";
+/// CDCL restarts across all solver runs.
+pub const SAT_RESTARTS_TOTAL: &str = "sortsynth_sat_restarts_total";
+/// Clauses learned across all solver runs.
+pub const SAT_LEARNED_CLAUSES_TOTAL: &str = "sortsynth_sat_learned_clauses_total";
+/// CEGIS refinement iterations across all synthesis calls.
+pub const CEGIS_ITERATIONS_TOTAL: &str = "sortsynth_cegis_iterations_total";
+
+/// The end-to-end request latency histogram (registered on first use).
+pub fn request_seconds() -> Arc<Histogram> {
+    registry().histogram(
+        REQUEST_SECONDS,
+        "End-to-end request latency in seconds.",
+        LATENCY_BUCKETS,
+    )
+}
+
+/// The disk-promotion latency histogram (registered on first use).
+pub fn cache_disk_promotion_seconds() -> Arc<Histogram> {
+    registry().histogram(
+        CACHE_DISK_PROMOTION_SECONDS,
+        "Disk-log scan latency on memory miss, in seconds.",
+        LATENCY_BUCKETS,
+    )
+}
+
+/// Registers every well-known family in the default registry so the
+/// Prometheus exposition is complete from the first scrape. Idempotent.
+pub fn register_well_known() {
+    let r = registry();
+    r.counter(
+        REQUESTS_TOTAL,
+        "Requests accepted into the admission queue.",
+    );
+    r.counter(
+        REQUESTS_SHED_TOTAL,
+        "Requests shed because the admission queue was full.",
+    );
+    request_seconds();
+    r.gauge(
+        QUEUE_DEPTH,
+        "Jobs currently waiting in the admission queue.",
+    );
+    r.gauge(INFLIGHT_REQUESTS, "Jobs currently executing on workers.");
+    r.counter(
+        WORKER_PANICS_TOTAL,
+        "Worker panics caught and converted to error replies.",
+    );
+    r.counter(
+        SINGLEFLIGHT_COALESCED_TOTAL,
+        "Requests coalesced onto an identical in-flight search.",
+    );
+    r.counter(
+        SEARCHES_STARTED_TOTAL,
+        "Searches started by single-flight leaders.",
+    );
+
+    r.counter(CACHE_MEMORY_HITS_TOTAL, "In-memory cache hits.");
+    r.counter(CACHE_DISK_HITS_TOTAL, "Disk-log hits promoted into memory.");
+    r.counter(CACHE_MISSES_TOTAL, "Lookups that missed both cache tiers.");
+    r.counter(CACHE_INSERTIONS_TOTAL, "Cache entries inserted.");
+    r.counter(
+        CACHE_EVICTIONS_TOTAL,
+        "Entries evicted from the in-memory LRU.",
+    );
+    r.counter(
+        CACHE_VERIFY_REJECTED_TOTAL,
+        "Disk entries rejected by the verification gate.",
+    );
+    cache_disk_promotion_seconds();
+
+    r.counter(
+        SEARCH_RUNS_TOTAL,
+        "Search engine runs completed (any outcome).",
+    );
+    r.counter(
+        SEARCH_EXPANDED_TOTAL,
+        "States expanded across all searches.",
+    );
+    r.counter(
+        SEARCH_GENERATED_TOTAL,
+        "States generated across all searches.",
+    );
+    r.counter(
+        SEARCH_CANCELLED_TOTAL,
+        "Searches cancelled via SearchBudget.",
+    );
+    r.counter(
+        SEARCH_DEAD_WRITE_PRUNED_TOTAL,
+        "States pruned by the dead-write cut.",
+    );
+    r.counter(
+        SEARCH_DISTANCE_TABLE_SKIPPED_TOTAL,
+        "Heuristic lookups that skipped the distance table.",
+    );
+    r.counter(SEARCH_CUT_PRUNED_TOTAL, "States pruned by cost-bound cuts.");
+    r.counter(
+        SEARCH_VIABILITY_PRUNED_TOTAL,
+        "States pruned by the viability filter.",
+    );
+    r.counter(
+        SEARCH_DEDUP_HITS_TOTAL,
+        "Duplicate states dropped by the closed set.",
+    );
+
+    r.counter(
+        SAT_CONFLICTS_TOTAL,
+        "CDCL conflicts across all solver runs.",
+    );
+    r.counter(SAT_RESTARTS_TOTAL, "CDCL restarts across all solver runs.");
+    r.counter(
+        SAT_LEARNED_CLAUSES_TOTAL,
+        "Clauses learned across all solver runs.",
+    );
+    r.counter(
+        CEGIS_ITERATIONS_TOTAL,
+        "CEGIS refinement iterations across all synthesis calls.",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_families_appear_in_exposition() {
+        register_well_known();
+        register_well_known(); // idempotent
+        let text = registry().render_prometheus();
+        for name in [
+            REQUESTS_TOTAL,
+            REQUEST_SECONDS,
+            QUEUE_DEPTH,
+            CACHE_MISSES_TOTAL,
+            SEARCH_EXPANDED_TOTAL,
+            SEARCH_CANCELLED_TOTAL,
+            SAT_CONFLICTS_TOTAL,
+            CEGIS_ITERATIONS_TOTAL,
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "missing family {name}"
+            );
+        }
+    }
+}

@@ -94,6 +94,7 @@ pub struct Solver {
     /// Set when an added clause is vacuously unsatisfiable.
     unsat: bool,
     conflicts: u64,
+    restarts: u64,
 }
 
 impl Solver {
@@ -141,6 +142,11 @@ impl Solver {
     /// Total conflicts encountered across solve calls.
     pub fn conflicts(&self) -> u64 {
         self.conflicts
+    }
+
+    /// Total restarts performed across solve calls.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
     }
 
     /// Creates a fresh variable.
@@ -257,6 +263,7 @@ impl Solver {
                 Some(result) => return result,
                 None => {
                     // Restart: keep learnt clauses, reset to root level.
+                    self.restarts += 1;
                     self.backtrack(0);
                 }
             }

@@ -5,6 +5,7 @@ use std::time::Duration;
 use sortsynth_isa::Machine;
 
 use crate::budget::SearchBudget;
+use crate::progress::ProgressHook;
 
 /// Open-state selection strategy (§3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,8 +133,15 @@ pub struct SynthesisConfig {
     /// from another thread mid-search.
     pub budget: SearchBudget,
     /// Record a progress sample every this many generated states
-    /// (0 disables; used to regenerate the paper's Figure 1).
+    /// (0 disables; used to regenerate the paper's Figure 1). Also sets the
+    /// throttle for [`SynthesisConfig::progress_hook`] delivery and
+    /// `search_progress` trace events (default throttle when 0: every 4096
+    /// expansions).
     pub progress_every: u64,
+    /// Optional live-progress callback, invoked on the throttle above and
+    /// once more with a `finished` snapshot when the run ends (any outcome,
+    /// including cancellation).
+    pub progress_hook: Option<ProgressHook>,
 }
 
 impl SynthesisConfig {
@@ -154,6 +162,7 @@ impl SynthesisConfig {
             time_limit: None,
             budget: SearchBudget::unlimited(),
             progress_every: 0,
+            progress_hook: None,
         }
     }
 
@@ -242,6 +251,13 @@ impl SynthesisConfig {
     /// states.
     pub fn progress_every(mut self, every: u64) -> Self {
         self.progress_every = every;
+        self
+    }
+
+    /// Installs a live-progress callback (see
+    /// [`SynthesisConfig::progress_hook`]).
+    pub fn progress_hook(mut self, hook: ProgressHook) -> Self {
+        self.progress_hook = Some(hook);
         self
     }
 

@@ -6,10 +6,17 @@ use std::time::{Duration, Instant};
 
 use sortsynth_isa::{Instr, Op, Program};
 
+use sortsynth_obs::{names, FieldValue, Level};
+
 use crate::config::{Strategy, SynthesisConfig};
 use crate::distance::{DistanceTable, UNSORTABLE};
 use crate::heuristics::heuristic_value;
+use crate::progress::SearchProgress;
 use crate::state::StateSet;
+
+/// Default progress-emission throttle (expansions between snapshots) when
+/// [`SynthesisConfig::progress_every`] is 0.
+const DEFAULT_PROGRESS_EVERY: u64 = 4096;
 
 /// How a synthesis run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -254,6 +261,11 @@ struct Engine<'a> {
     /// Fresh states queued by [`Engine::merge`] for the caller to pick up:
     /// the next layer in layered mode, heap pushes in A* mode.
     pending_frontier: Vec<(StateSet, u32, u32)>,
+    /// Current frontier bound for progress snapshots: the layer depth in
+    /// layered mode, the last popped `f` in A* mode.
+    current_f: Option<u64>,
+    /// Expansion count at the last delivered progress snapshot.
+    last_progress_expanded: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -293,6 +305,8 @@ impl<'a> Engine<'a> {
             start,
             deadline,
             pending_frontier: Vec::new(),
+            current_f: None,
+            last_progress_expanded: 0,
             cfg,
         }
     }
@@ -321,6 +335,11 @@ impl<'a> Engine<'a> {
         };
 
         self.stats.search_time = self.start.elapsed();
+        // Every run — solved, exhausted, limited, or cancelled — flushes one
+        // final snapshot (so consumers always see the closing counters) and
+        // publishes its totals to the process-wide metrics registry.
+        self.emit_progress(self.pending_frontier.len() as u64, Some(outcome));
+        self.publish_metrics(outcome);
         let found_len = self
             .goals
             .first()
@@ -353,6 +372,7 @@ impl<'a> Engine<'a> {
                     Outcome::SolvedAll
                 };
             }
+            self.current_f = Some(g as u64);
             let cut_threshold = self.cut_threshold_for(g);
             if threads > 1 && frontier.len() >= 2 * threads {
                 let candidates = self.expand_layer_parallel(&frontier, g, cut_threshold, threads);
@@ -364,6 +384,7 @@ impl<'a> Engine<'a> {
                         Gen::Fresh(_) | Gen::Pruned => {}
                     }
                 }
+                self.tick_progress(self.pending_frontier.len() as u64);
             } else {
                 // Serial: merge each state's successors immediately, so
                 // goals (and progress samples) accumulate through the layer
@@ -459,6 +480,7 @@ impl<'a> Engine<'a> {
 
         let mut candidates: Vec<Candidate> = Vec::new();
         while let Some(entry) = heap.pop() {
+            self.current_f = Some(entry.f);
             // Goals are queued with f = g and accepted when *popped*, the
             // standard A* discipline: every open state that could lead to a
             // shorter kernel (f < g_goal) is expanded first.
@@ -753,15 +775,141 @@ impl<'a> Engine<'a> {
     }
 
     fn sample_progress(&mut self, open: u64) {
-        if self.cfg.progress_every == 0 {
-            return;
-        }
-        if self.stats.expanded.is_multiple_of(self.cfg.progress_every) {
+        if self.cfg.progress_every != 0
+            && self.stats.expanded.is_multiple_of(self.cfg.progress_every)
+        {
             self.stats.progress.push(ProgressSample {
                 elapsed_secs: self.start.elapsed().as_secs_f64(),
                 open_states: open,
                 solutions: self.goals.len() as u64,
             });
+        }
+        self.tick_progress(open);
+    }
+
+    /// Throttled mid-search snapshot delivery: at most one snapshot per
+    /// `progress_every` expansions (default [`DEFAULT_PROGRESS_EVERY`]).
+    fn tick_progress(&mut self, open: u64) {
+        if self.cfg.progress_hook.is_none() && !sortsynth_obs::enabled() {
+            return;
+        }
+        let every = if self.cfg.progress_every > 0 {
+            self.cfg.progress_every
+        } else {
+            DEFAULT_PROGRESS_EVERY
+        };
+        if self.stats.expanded - self.last_progress_expanded < every {
+            return;
+        }
+        self.emit_progress(open, None);
+    }
+
+    /// Builds one [`SearchProgress`] snapshot and delivers it to the hook
+    /// and (when tracing is active) the structured event stream.
+    fn emit_progress(&mut self, open: u64, outcome: Option<Outcome>) {
+        if self.cfg.progress_hook.is_none() && !sortsynth_obs::enabled() {
+            return;
+        }
+        self.last_progress_expanded = self.stats.expanded;
+        let snapshot = SearchProgress {
+            elapsed: self.start.elapsed(),
+            expanded: self.stats.expanded,
+            generated: self.stats.generated,
+            open,
+            f_bound: self.current_f,
+            viability_pruned: self.stats.viability_pruned,
+            cut_pruned: self.stats.cut_pruned,
+            dedup_hits: self.stats.dedup_hits,
+            dead_write_pruned: self.stats.dead_write_pruned,
+            distance_table_skipped: self.stats.distance_table_skipped,
+            finished: outcome.is_some(),
+            outcome,
+        };
+        if let Some(hook) = &self.cfg.progress_hook {
+            hook.call(&snapshot);
+        }
+        if sortsynth_obs::enabled() {
+            let mut fields = vec![
+                ("expanded", FieldValue::U64(snapshot.expanded)),
+                ("generated", FieldValue::U64(snapshot.generated)),
+                ("open", FieldValue::U64(snapshot.open)),
+                (
+                    "viability_pruned",
+                    FieldValue::U64(snapshot.viability_pruned),
+                ),
+                ("cut_pruned", FieldValue::U64(snapshot.cut_pruned)),
+                ("dedup_hits", FieldValue::U64(snapshot.dedup_hits)),
+                (
+                    "dead_write_pruned",
+                    FieldValue::U64(snapshot.dead_write_pruned),
+                ),
+                (
+                    "distance_table_skipped",
+                    FieldValue::Bool(snapshot.distance_table_skipped),
+                ),
+                ("finished", FieldValue::Bool(snapshot.finished)),
+            ];
+            if let Some(f) = snapshot.f_bound {
+                fields.push(("f_bound", FieldValue::U64(f)));
+            }
+            if let Some(outcome) = snapshot.outcome {
+                fields.push(("outcome", FieldValue::Str(format!("{outcome:?}"))));
+            }
+            sortsynth_obs::trace::event(Level::Debug, "search_progress", &fields);
+        }
+    }
+
+    /// Adds this run's totals to the process-wide metric families.
+    fn publish_metrics(&self, outcome: Outcome) {
+        let r = sortsynth_obs::registry();
+        r.counter(
+            names::SEARCH_RUNS_TOTAL,
+            "Search engine runs completed (any outcome).",
+        )
+        .inc();
+        r.counter(
+            names::SEARCH_EXPANDED_TOTAL,
+            "States expanded across all searches.",
+        )
+        .add(self.stats.expanded);
+        r.counter(
+            names::SEARCH_GENERATED_TOTAL,
+            "States generated across all searches.",
+        )
+        .add(self.stats.generated);
+        r.counter(
+            names::SEARCH_VIABILITY_PRUNED_TOTAL,
+            "States pruned by the viability filter.",
+        )
+        .add(self.stats.viability_pruned);
+        r.counter(
+            names::SEARCH_CUT_PRUNED_TOTAL,
+            "States pruned by cost-bound cuts.",
+        )
+        .add(self.stats.cut_pruned);
+        r.counter(
+            names::SEARCH_DEAD_WRITE_PRUNED_TOTAL,
+            "States pruned by the dead-write cut.",
+        )
+        .add(self.stats.dead_write_pruned);
+        r.counter(
+            names::SEARCH_DEDUP_HITS_TOTAL,
+            "Duplicate states dropped by the closed set.",
+        )
+        .add(self.stats.dedup_hits);
+        if self.stats.distance_table_skipped {
+            r.counter(
+                names::SEARCH_DISTANCE_TABLE_SKIPPED_TOTAL,
+                "Heuristic lookups that skipped the distance table.",
+            )
+            .inc();
+        }
+        if outcome == Outcome::Cancelled {
+            r.counter(
+                names::SEARCH_CANCELLED_TOTAL,
+                "Searches cancelled via SearchBudget.",
+            )
+            .inc();
         }
     }
 }

@@ -44,6 +44,7 @@ mod distance;
 mod engine;
 mod heuristics;
 mod lower_bound;
+mod progress;
 mod solutions;
 mod state;
 
@@ -53,6 +54,7 @@ pub use distance::{ActionSet, DistanceTable, UNSORTABLE};
 pub use engine::{synthesize, Outcome, ProgressSample, SearchStats, SolutionDag, SynthesisResult};
 pub use heuristics::heuristic_value;
 pub use lower_bound::{prove_no_solution, prove_optimal_length, BoundVerdict, LowerBoundResult};
+pub use progress::{ProgressHook, SearchProgress};
 pub use solutions::{
     command_signature, distinct_command_signatures, sample_lowest_strata, score_strata,
 };

@@ -1,0 +1,107 @@
+//! Live search progress: a throttled callback hook plus structured trace
+//! events, so a running search can be watched without waiting for
+//! [`crate::SearchStats`] at the end.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::Outcome;
+
+/// A snapshot of a running (or just-finished) search, delivered to the
+/// [`ProgressHook`] and mirrored as a `search_progress` trace event.
+///
+/// Emission is throttled by expansion count (see
+/// [`crate::SynthesisConfig::progress_every`]); a final snapshot with
+/// `finished = true` is always delivered regardless of the throttle — even
+/// for cancelled searches — so the last event's `expanded` always equals the
+/// run's [`crate::SearchStats::expanded`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchProgress {
+    /// Wall-clock time since the search started.
+    pub elapsed: Duration,
+    /// States whose successors have been explored so far.
+    pub expanded: u64,
+    /// States produced by applying instructions so far.
+    pub generated: u64,
+    /// Open (not yet expanded) states at the time of the snapshot.
+    pub open: u64,
+    /// Current frontier bound: the layer depth in layered mode, the `f`
+    /// value of the most recently popped entry in A* mode. `None` before
+    /// the first expansion.
+    pub f_bound: Option<u64>,
+    /// Successors dropped by the viability checks so far.
+    pub viability_pruned: u64,
+    /// Successors dropped by the permutation-count cut so far.
+    pub cut_pruned: u64,
+    /// Successors dropped as duplicates so far.
+    pub dedup_hits: u64,
+    /// Successors skipped by the dead-write cut so far.
+    pub dead_write_pruned: u64,
+    /// Whether this run fell back to degraded pruning because the machine
+    /// exceeds the distance table's limits.
+    pub distance_table_skipped: bool,
+    /// `true` exactly once, on the final snapshot of the run.
+    pub finished: bool,
+    /// How the run ended; only set when `finished`.
+    pub outcome: Option<Outcome>,
+}
+
+/// A callback receiving [`SearchProgress`] snapshots mid-search.
+///
+/// Wrapped in an `Arc` so [`crate::SynthesisConfig`] stays `Clone`; the
+/// manual [`Debug`] keeps the config's derive working over the closure.
+#[derive(Clone)]
+pub struct ProgressHook(Arc<dyn Fn(&SearchProgress) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&SearchProgress) + Send + Sync + 'static) -> Self {
+        ProgressHook(Arc::new(f))
+    }
+
+    /// Delivers one snapshot.
+    pub fn call(&self, progress: &SearchProgress) {
+        (self.0)(progress);
+    }
+}
+
+impl fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn hook_is_callable_and_cloneable() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let hook = ProgressHook::new(move |p| {
+            assert!(p.finished);
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        let snapshot = SearchProgress {
+            elapsed: Duration::ZERO,
+            expanded: 0,
+            generated: 0,
+            open: 0,
+            f_bound: None,
+            viability_pruned: 0,
+            cut_pruned: 0,
+            dedup_hits: 0,
+            dead_write_pruned: 0,
+            distance_table_skipped: false,
+            finished: true,
+            outcome: Some(Outcome::Exhausted),
+        };
+        hook.clone().call(&snapshot);
+        hook.call(&snapshot);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(format!("{hook:?}"), "ProgressHook(..)");
+    }
+}

@@ -218,3 +218,53 @@ fn dead_write_cut_preserves_optimal_cost() {
         }
     }
 }
+
+#[test]
+fn cancelled_search_flushes_final_progress_and_counts_cancellation() {
+    use std::sync::{Arc, Mutex};
+
+    use sortsynth_search::{ProgressHook, SearchBudget, SearchProgress};
+
+    let cancelled_before =
+        sortsynth_obs::registry().counter_value(sortsynth_obs::names::SEARCH_CANCELLED_TOTAL);
+
+    // A search space far beyond any test budget (no pruning aids, generous
+    // length bound), cancelled from another thread mid-flight.
+    let machine = Machine::new(4, 1, IsaMode::Cmov);
+    let (budget, cancel) = SearchBudget::unlimited().cancellable();
+    let snapshots: Arc<Mutex<Vec<SearchProgress>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&snapshots);
+    let config = SynthesisConfig::new(machine)
+        .max_len(15)
+        .search_budget(budget)
+        .progress_every(1024)
+        .progress_hook(ProgressHook::new(move |p: &SearchProgress| {
+            sink.lock().unwrap().push(*p);
+        }));
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        cancel.cancel();
+    });
+    let result = synthesize(&config);
+    canceller.join().unwrap();
+    assert_eq!(result.outcome, Outcome::Cancelled);
+
+    // The final progress snapshot is flushed even though the search was
+    // aborted: exactly one `finished` event, carrying the cancelled outcome
+    // and the engine's definitive expansion count.
+    let snapshots = snapshots.lock().unwrap();
+    let finished: Vec<_> = snapshots.iter().filter(|p| p.finished).collect();
+    assert_eq!(finished.len(), 1, "exactly one final snapshot");
+    let last = snapshots.last().expect("at least the final snapshot");
+    assert!(last.finished, "final snapshot comes last");
+    assert_eq!(last.outcome, Some(Outcome::Cancelled));
+    assert_eq!(last.expanded, result.stats.expanded);
+    assert_eq!(last.generated, result.stats.generated);
+
+    assert_eq!(
+        sortsynth_obs::registry().counter_value(sortsynth_obs::names::SEARCH_CANCELLED_TOTAL)
+            - cancelled_before,
+        1,
+        "cancellation must increment search_cancelled_total"
+    );
+}

@@ -54,4 +54,14 @@ impl Client {
     pub fn analyze(&mut self, machine: Machine, program: String) -> io::Result<Response> {
         self.request(&Request::Analyze { machine, program })
     }
+
+    /// Fetches the server's Prometheus metrics exposition.
+    pub fn metrics(&mut self) -> io::Result<Response> {
+        self.request(&Request::Metrics)
+    }
+
+    /// Fetches the server's live counters and gauges.
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.request(&Request::Stats)
+    }
 }

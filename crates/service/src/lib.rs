@@ -43,7 +43,8 @@ pub mod singleflight;
 
 pub use client::Client;
 pub use proto::{
-    AnalyzeReply, CheckReply, LintReply, ReplySource, Request, Response, SynthReply, TimeoutReply,
+    AnalyzeReply, CheckReply, LintReply, ReplySource, Request, Response, StatsReply, SynthReply,
+    TimeoutReply,
 };
 pub use server::{Server, ServerHandle, ServiceConfig};
 pub use singleflight::{LeaderToken, Role, SingleFlight};

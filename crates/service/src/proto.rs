@@ -118,6 +118,13 @@ pub enum Request {
         /// How long to hold the worker.
         ms: u64,
     },
+    /// Fetch the full Prometheus text exposition. Answered inline by the
+    /// connection thread (bypassing the admission queue) so observability
+    /// keeps working while the server is overloaded.
+    Metrics,
+    /// Fetch a compact live-gauges snapshot ([`StatsReply`]). Also answered
+    /// inline.
+    Stats,
 }
 
 /// Where a synth answer came from.
@@ -184,6 +191,40 @@ pub struct TimeoutReply {
     pub cancelled: bool,
 }
 
+/// A live-gauges snapshot of the running server (reply to
+/// [`Request::Stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Milliseconds since the server was bound.
+    pub uptime_ms: u64,
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: i64,
+    /// Jobs currently executing on workers.
+    pub inflight: i64,
+    /// Requests accepted into the admission queue since start.
+    pub requests_total: u64,
+    /// Requests shed with [`Response::Overloaded`] since start.
+    pub shed_total: u64,
+    /// Worker panics caught and converted to error replies.
+    pub worker_panics: u64,
+    /// Searches actually started (cache hits and coalesced excluded).
+    pub searches_started: u64,
+    /// Requests coalesced onto an identical in-flight search.
+    pub singleflight_coalesced: u64,
+    /// In-memory cache hits.
+    pub cache_memory_hits: u64,
+    /// Disk-log hits promoted into memory.
+    pub cache_disk_hits: u64,
+    /// Lookups that missed both cache tiers.
+    pub cache_misses: u64,
+    /// Cache entries inserted.
+    pub cache_insertions: u64,
+    /// Entries evicted from the in-memory LRU front.
+    pub cache_evictions: u64,
+    /// Entries refused by the static-verification gate.
+    pub cache_verify_rejected: u64,
+}
+
 /// A correctness-check answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckReply {
@@ -244,6 +285,13 @@ pub enum Response {
     Overloaded,
     /// Reply to [`Request::Sleep`].
     Slept,
+    /// Reply to [`Request::Metrics`]: the Prometheus text exposition.
+    Metrics {
+        /// The rendered exposition (format 0.0.4).
+        text: String,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats(StatsReply),
     /// The request was malformed or failed.
     Error {
         /// Human-readable reason.
@@ -271,6 +319,8 @@ impl Serialize for Request {
                 ("program", program.serialize()),
             ]),
             Request::Sleep { ms } => Value::map([("op", s("sleep")), ("ms", ms.serialize())]),
+            Request::Metrics => Value::map([("op", s("metrics"))]),
+            Request::Stats => Value::map([("op", s("stats"))]),
         }
     }
 }
@@ -298,6 +348,8 @@ impl Deserialize for Request {
             "sleep" => Ok(Request::Sleep {
                 ms: u64::deserialize(value.required("ms")?)?,
             }),
+            "metrics" => Ok(Request::Metrics),
+            "stats" => Ok(Request::Stats),
             other => Err(Error::new(format!("unknown op `{other}`"))),
         }
     }
@@ -368,6 +420,32 @@ impl Serialize for Response {
             ]),
             Response::Overloaded => Value::map([("type", s("overloaded"))]),
             Response::Slept => Value::map([("type", s("slept"))]),
+            Response::Metrics { text } => {
+                Value::map([("type", s("metrics")), ("text", text.serialize())])
+            }
+            Response::Stats(reply) => Value::map([
+                ("type", s("stats")),
+                ("uptime_ms", reply.uptime_ms.serialize()),
+                ("queue_depth", reply.queue_depth.serialize()),
+                ("inflight", reply.inflight.serialize()),
+                ("requests_total", reply.requests_total.serialize()),
+                ("shed_total", reply.shed_total.serialize()),
+                ("worker_panics", reply.worker_panics.serialize()),
+                ("searches_started", reply.searches_started.serialize()),
+                (
+                    "singleflight_coalesced",
+                    reply.singleflight_coalesced.serialize(),
+                ),
+                ("cache_memory_hits", reply.cache_memory_hits.serialize()),
+                ("cache_disk_hits", reply.cache_disk_hits.serialize()),
+                ("cache_misses", reply.cache_misses.serialize()),
+                ("cache_insertions", reply.cache_insertions.serialize()),
+                ("cache_evictions", reply.cache_evictions.serialize()),
+                (
+                    "cache_verify_rejected",
+                    reply.cache_verify_rejected.serialize(),
+                ),
+            ]),
             Response::Error { message } => {
                 Value::map([("type", s("error")), ("message", message.serialize())])
             }
@@ -416,6 +494,27 @@ impl Deserialize for Response {
             })),
             "overloaded" => Ok(Response::Overloaded),
             "slept" => Ok(Response::Slept),
+            "metrics" => Ok(Response::Metrics {
+                text: String::deserialize(value.required("text")?)?,
+            }),
+            "stats" => Ok(Response::Stats(StatsReply {
+                uptime_ms: u64::deserialize(value.required("uptime_ms")?)?,
+                queue_depth: i64::deserialize(value.required("queue_depth")?)?,
+                inflight: i64::deserialize(value.required("inflight")?)?,
+                requests_total: u64::deserialize(value.required("requests_total")?)?,
+                shed_total: u64::deserialize(value.required("shed_total")?)?,
+                worker_panics: u64::deserialize(value.required("worker_panics")?)?,
+                searches_started: u64::deserialize(value.required("searches_started")?)?,
+                singleflight_coalesced: u64::deserialize(
+                    value.required("singleflight_coalesced")?,
+                )?,
+                cache_memory_hits: u64::deserialize(value.required("cache_memory_hits")?)?,
+                cache_disk_hits: u64::deserialize(value.required("cache_disk_hits")?)?,
+                cache_misses: u64::deserialize(value.required("cache_misses")?)?,
+                cache_insertions: u64::deserialize(value.required("cache_insertions")?)?,
+                cache_evictions: u64::deserialize(value.required("cache_evictions")?)?,
+                cache_verify_rejected: u64::deserialize(value.required("cache_verify_rejected")?)?,
+            })),
             "error" => Ok(Response::Error {
                 message: String::deserialize(value.required("message")?)?,
             }),
@@ -457,6 +556,8 @@ mod tests {
                 program: "min r1 r2".into(),
             },
             Request::Sleep { ms: 25 },
+            Request::Metrics,
+            Request::Stats,
         ];
         for req in &requests {
             assert_eq!(&round_trip(req), req);
@@ -526,6 +627,26 @@ mod tests {
             }),
             Response::Overloaded,
             Response::Slept,
+            Response::Metrics {
+                text: "# TYPE sortsynth_requests_total counter\nsortsynth_requests_total 3\n"
+                    .into(),
+            },
+            Response::Stats(StatsReply {
+                uptime_ms: 1234,
+                queue_depth: 2,
+                inflight: 1,
+                requests_total: 10,
+                shed_total: 3,
+                worker_panics: 0,
+                searches_started: 4,
+                singleflight_coalesced: 2,
+                cache_memory_hits: 5,
+                cache_disk_hits: 1,
+                cache_misses: 4,
+                cache_insertions: 4,
+                cache_evictions: 0,
+                cache_verify_rejected: 0,
+            }),
             Response::Error {
                 message: "bad".into(),
             },

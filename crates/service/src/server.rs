@@ -25,7 +25,7 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,11 +33,12 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use sortsynth_cache::{CacheEntry, CutSpec, KernelCache, KernelQuery};
 use sortsynth_isa::{analyze, Machine, ThroughputModel};
+use sortsynth_obs::{names, FieldValue, Span};
 use sortsynth_search::{synthesize, Cut, Outcome, SearchBudget, SynthesisConfig};
 
 use crate::proto::{
     read_message, write_message, AnalyzeReply, CheckReply, LintReply, ReplySource, Request,
-    Response, SynthReply, TimeoutReply,
+    Response, StatsReply, SynthReply, TimeoutReply,
 };
 use crate::singleflight::{Role, SingleFlight};
 
@@ -61,6 +62,10 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Deadline applied to synth requests that don't carry their own.
     pub default_timeout: Option<Duration>,
+    /// When set, a background thread logs a one-line load summary (queue
+    /// depth, inflight, shed, cache hit counts) at this interval. Enabled by
+    /// `sortsynth serve --metrics`.
+    pub self_report: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +77,7 @@ impl Default for ServiceConfig {
             cache_dir: None,
             cache_capacity: 1024,
             default_timeout: Some(Duration::from_secs(30)),
+            self_report: None,
         }
     }
 }
@@ -82,6 +88,9 @@ struct Job {
     /// Deadline stamped at admission (queue wait counts).
     deadline: Option<Instant>,
     reply: Sender<Response>,
+    /// The connection's per-request span, so worker-side child spans keep
+    /// their parent link across the queue boundary.
+    span_id: u64,
 }
 
 /// State shared by the acceptor, connection threads, and workers.
@@ -92,6 +101,39 @@ struct Shared {
     searches_started: AtomicU64,
     shutdown: AtomicBool,
     default_timeout: Option<Duration>,
+    started: Instant,
+    /// Per-server live gauges/counters backing [`Request::Stats`]. The
+    /// process-wide metrics registry is updated at the same sites, but these
+    /// stay correct even when several servers share one process (tests).
+    requests_total: AtomicU64,
+    shed_total: AtomicU64,
+    worker_panics: AtomicU64,
+    coalesced: AtomicU64,
+    queue_depth: AtomicI64,
+    inflight: AtomicI64,
+}
+
+impl Shared {
+    /// Builds the [`Request::Stats`] snapshot.
+    fn stats_reply(&self) -> StatsReply {
+        let cache = self.cache.stats();
+        StatsReply {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            searches_started: self.searches_started.load(Ordering::SeqCst),
+            singleflight_coalesced: self.coalesced.load(Ordering::Relaxed),
+            cache_memory_hits: cache.memory_hits,
+            cache_disk_hits: cache.disk_hits,
+            cache_misses: cache.misses,
+            cache_insertions: cache.insertions,
+            cache_evictions: cache.evictions,
+            cache_verify_rejected: cache.verify_rejected,
+        }
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -123,6 +165,9 @@ impl Server {
             Some(dir) => KernelCache::open(dir, config.cache_capacity)?,
             None => KernelCache::in_memory(config.cache_capacity),
         };
+        // Pre-register every metric family so the first `metrics` reply is
+        // complete even before any request has touched a counter.
+        names::register_well_known();
         let (jobs_tx, jobs_rx) = channel::bounded::<Job>(config.queue_depth.max(1));
         let shared = Arc::new(Shared {
             cache,
@@ -131,8 +176,15 @@ impl Server {
             searches_started: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             default_timeout: config.default_timeout,
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            queue_depth: AtomicI64::new(0),
+            inflight: AtomicI64::new(0),
         });
-        let workers = (0..config.workers.max(1))
+        let mut workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
                 let rx = jobs_rx.clone();
                 let shared = Arc::clone(&shared);
@@ -142,6 +194,15 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
+        if let Some(interval) = config.self_report {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("sortsynth-reporter".to_string())
+                    .spawn(move || self_report_loop(shared, interval))
+                    .expect("spawn reporter"),
+            );
+        }
         Ok(Server {
             listener,
             addr,
@@ -236,6 +297,20 @@ fn worker_loop(jobs: Receiver<Job>, shared: Arc<Shared>) {
         }
         match jobs.recv_timeout(Duration::from_millis(50)) {
             Ok(job) => {
+                shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                sortsynth_obs::registry()
+                    .gauge(
+                        names::QUEUE_DEPTH,
+                        "Jobs currently waiting in the admission queue.",
+                    )
+                    .dec();
+                shared.inflight.fetch_add(1, Ordering::Relaxed);
+                let inflight = sortsynth_obs::registry().gauge(
+                    names::INFLIGHT_REQUESTS,
+                    "Jobs currently executing on workers.",
+                );
+                inflight.inc();
+                let execute_span = Span::child_of(job.span_id, "execute");
                 // A panicking handler (engine bug, pathological query) must
                 // not take the worker down with it: answer with an error and
                 // move on to the next request. An unwinding search leader
@@ -243,15 +318,87 @@ fn worker_loop(jobs: Receiver<Job>, shared: Arc<Shared>) {
                 let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     execute(&shared, &job)
                 }))
-                .unwrap_or_else(|payload| Response::Error {
-                    message: format!("request handler panicked: {}", panic_message(&payload)),
+                .unwrap_or_else(|payload| {
+                    shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    sortsynth_obs::registry()
+                        .counter(
+                            names::WORKER_PANICS_TOTAL,
+                            "Worker panics caught and converted to error replies.",
+                        )
+                        .inc();
+                    Response::Error {
+                        message: format!("request handler panicked: {}", panic_message(&payload)),
+                    }
                 });
+                drop(execute_span);
+                shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                inflight.dec();
                 // The connection may have gone away; that's its problem.
                 let _ = job.reply.send(response);
             }
             Err(channel::RecvTimeoutError::Timeout) => continue,
             Err(channel::RecvTimeoutError::Disconnected) => return,
         }
+    }
+}
+
+/// Wire tag of a request, for span fields.
+fn op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Synth { .. } => "synth",
+        Request::Check { .. } => "check",
+        Request::Analyze { .. } => "analyze",
+        Request::Sleep { .. } => "sleep",
+        Request::Metrics => "metrics",
+        Request::Stats => "stats",
+    }
+}
+
+/// Wire tag of a response, for span fields.
+fn response_name(response: &Response) -> &'static str {
+    match response {
+        Response::Pong => "pong",
+        Response::Synth(_) => "synth",
+        Response::Check(_) => "check",
+        Response::Analyze(_) => "analyze",
+        Response::Timeout(_) => "timeout",
+        Response::Overloaded => "overloaded",
+        Response::Slept => "slept",
+        Response::Metrics { .. } => "metrics",
+        Response::Stats(_) => "stats",
+        Response::Error { .. } => "error",
+    }
+}
+
+/// Periodic self-reporting: one summary log line per interval, until
+/// shutdown. The line carries the same gauges as [`Request::Stats`].
+fn self_report_loop(shared: Arc<Shared>, interval: Duration) {
+    let interval = interval.max(Duration::from_millis(100));
+    let mut last = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        if last.elapsed() < interval {
+            continue;
+        }
+        last = Instant::now();
+        let stats = shared.stats_reply();
+        sortsynth_obs::info!(
+            "# sortsynth stats uptime_ms={} queue={} inflight={} requests={} shed={} panics={} searches={} coalesced={} cache_hits={} cache_misses={}",
+            stats.uptime_ms,
+            stats.queue_depth,
+            stats.inflight,
+            stats.requests_total,
+            stats.shed_total,
+            stats.worker_panics,
+            stats.searches_started,
+            stats.singleflight_coalesced,
+            stats.cache_memory_hits + stats.cache_disk_hits,
+            stats.cache_misses,
+        );
     }
 }
 
@@ -285,22 +432,82 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 return;
             }
         };
+        // Observability verbs are answered inline, bypassing the admission
+        // queue: a scrape must keep working precisely when the server is
+        // overloaded and sheds everything else.
+        match &request {
+            Request::Metrics => {
+                let response = Response::Metrics {
+                    text: sortsynth_obs::registry().render_prometheus(),
+                };
+                if write_message(&mut writer, &response).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Request::Stats => {
+                let response = Response::Stats(shared.stats_reply());
+                if write_message(&mut writer, &response).is_err() {
+                    return;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let span = Span::root_with("request", &[("op", FieldValue::Static(op_name(&request)))]);
+        let accepted = Instant::now();
         let deadline = admission_deadline(&shared, &request);
         let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
         let job = Job {
             request,
             deadline,
             reply: reply_tx,
+            span_id: span.id(),
         };
         let response = match shared.jobs.try_send(job) {
-            Ok(()) => reply_rx.recv().unwrap_or_else(|_| Response::Error {
-                message: "worker dropped the request".to_string(),
-            }),
-            Err(TrySendError::Full(_)) => Response::Overloaded,
+            Ok(()) => {
+                shared.requests_total.fetch_add(1, Ordering::Relaxed);
+                shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+                let registry = sortsynth_obs::registry();
+                registry
+                    .counter(
+                        names::REQUESTS_TOTAL,
+                        "Requests accepted into the admission queue.",
+                    )
+                    .inc();
+                registry
+                    .gauge(
+                        names::QUEUE_DEPTH,
+                        "Jobs currently waiting in the admission queue.",
+                    )
+                    .inc();
+                // Admission is implied by the request span itself; only the
+                // shed path gets an explicit marker event.
+                reply_rx.recv().unwrap_or_else(|_| Response::Error {
+                    message: "worker dropped the request".to_string(),
+                })
+            }
+            Err(TrySendError::Full(_)) => {
+                shared.shed_total.fetch_add(1, Ordering::Relaxed);
+                sortsynth_obs::registry()
+                    .counter(
+                        names::REQUESTS_SHED_TOTAL,
+                        "Requests shed because the admission queue was full.",
+                    )
+                    .inc();
+                span.event("shed", &[]);
+                Response::Overloaded
+            }
             Err(TrySendError::Disconnected(_)) => Response::Error {
                 message: "server shutting down".to_string(),
             },
         };
+        names::request_seconds().observe_duration(accepted.elapsed());
+        span.event(
+            "reply",
+            &[("type", FieldValue::Static(response_name(&response)))],
+        );
+        drop(span);
         if write_message(&mut writer, &response).is_err() {
             return;
         }
@@ -362,11 +569,22 @@ fn execute(shared: &Shared, job: &Job) -> Response {
                 message: format!("parse error: {e}"),
             },
         },
-        Request::Synth { query, .. } => handle_synth(shared, query, job.deadline),
+        Request::Synth { query, .. } => handle_synth(shared, query, job.deadline, job.span_id),
+        // Metrics/stats are answered inline by the connection thread and
+        // never enqueued; answer anyway so the protocol stays total.
+        Request::Metrics => Response::Metrics {
+            text: sortsynth_obs::registry().render_prometheus(),
+        },
+        Request::Stats => Response::Stats(shared.stats_reply()),
     }
 }
 
-fn handle_synth(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -> Response {
+fn handle_synth(
+    shared: &Shared,
+    query: &KernelQuery,
+    deadline: Option<Instant>,
+    span_id: u64,
+) -> Response {
     // Deadline may already have expired in the queue.
     if deadline.is_some_and(|d| Instant::now() >= d) {
         return Response::Timeout(TimeoutReply {
@@ -380,13 +598,37 @@ fn handle_synth(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>)
         return entry_reply(&entry, ReplySource::Cache);
     }
     match shared.flights.join(query.fingerprint()) {
-        Role::Follower(Some(response)) => mark_coalesced(response),
+        Role::Follower(Some(response)) => {
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            sortsynth_obs::registry()
+                .counter(
+                    names::SINGLEFLIGHT_COALESCED_TOTAL,
+                    "Requests coalesced onto an identical in-flight search.",
+                )
+                .inc();
+            mark_coalesced(response)
+        }
         Role::Follower(None) => Response::Error {
             message: "coalesced search was abandoned".to_string(),
         },
         Role::Leader(token) => {
             shared.searches_started.fetch_add(1, Ordering::SeqCst);
+            sortsynth_obs::registry()
+                .counter(
+                    names::SEARCHES_STARTED_TOTAL,
+                    "Searches started by single-flight leaders.",
+                )
+                .inc();
+            let search_span = Span::child_of(span_id, "search");
+            search_span.event(
+                "query",
+                &[(
+                    "fingerprint",
+                    FieldValue::Str(format!("{:016x}", query.fingerprint())),
+                )],
+            );
             let response = run_search(shared, query, deadline);
+            drop(search_span);
             // `run_search` has already published any solution to the cache,
             // so completing the flight here preserves the
             // exactly-one-search invariant (see the singleflight docs).

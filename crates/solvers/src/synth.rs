@@ -4,9 +4,47 @@
 use std::time::{Duration, Instant};
 
 use sortsynth_isa::{Machine, Program, Reg};
-use sortsynth_sat::SolveResult;
+use sortsynth_obs::{names, FieldValue, Level};
+use sortsynth_sat::{SolveResult, Solver};
 
 use crate::encoding::{encode, EncodeOptions};
+
+/// Publishes one solver call's CDCL totals to the process-wide metrics and,
+/// when tracing is active, emits a per-iteration `cegis_iteration` event.
+/// The SAT core itself stays dependency-free; this front-end is the one
+/// place its counters meet the observability layer.
+fn report_solver_round(solver: &Solver, iteration: u32, tests: usize, result: SolveResult) {
+    let r = sortsynth_obs::registry();
+    r.counter(
+        names::SAT_CONFLICTS_TOTAL,
+        "CDCL conflicts across all solver runs.",
+    )
+    .add(solver.conflicts());
+    r.counter(
+        names::SAT_RESTARTS_TOTAL,
+        "CDCL restarts across all solver runs.",
+    )
+    .add(solver.restarts());
+    r.counter(
+        names::SAT_LEARNED_CLAUSES_TOTAL,
+        "Clauses learned across all solver runs.",
+    )
+    .add(solver.num_learnt() as u64);
+    if sortsynth_obs::enabled() {
+        sortsynth_obs::trace::event(
+            Level::Debug,
+            "cegis_iteration",
+            &[
+                ("iteration", FieldValue::U64(iteration as u64)),
+                ("tests", FieldValue::U64(tests as u64)),
+                ("conflicts", FieldValue::U64(solver.conflicts())),
+                ("restarts", FieldValue::U64(solver.restarts())),
+                ("learned", FieldValue::U64(solver.num_learnt() as u64)),
+                ("result", FieldValue::Str(format!("{result:?}"))),
+            ],
+        );
+    }
+}
 
 /// Resource budget shared by all solver front-ends.
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,7 +99,9 @@ pub fn smt_perm(
     let start = Instant::now();
     let tests = sortsynth_isa::permutations(machine.n());
     let mut enc = encode(machine, len, &tests, opts);
-    let outcome = match enc.solver.solve_budgeted(budget.conflicts, budget.timeout) {
+    let result = enc.solver.solve_budgeted(budget.conflicts, budget.timeout);
+    report_solver_round(&enc.solver, 1, tests.len(), result);
+    let outcome = match result {
         SolveResult::Sat => SynthOutcome::Found(enc.decode()),
         SolveResult::Unsat => SynthOutcome::NoProgram,
         SolveResult::Unknown => SynthOutcome::Budget,
@@ -114,7 +154,15 @@ pub fn smt_cegis(
             );
         }
         let mut enc = encode(machine, len, &tests, opts);
-        match enc.solver.solve_budgeted(budget.conflicts, remaining) {
+        let result = enc.solver.solve_budgeted(budget.conflicts, remaining);
+        report_solver_round(&enc.solver, iterations, tests.len(), result);
+        sortsynth_obs::registry()
+            .counter(
+                names::CEGIS_ITERATIONS_TOTAL,
+                "CEGIS refinement iterations across all synthesis calls.",
+            )
+            .inc();
+        match result {
             SolveResult::Unsat => {
                 return (
                     SynthOutcome::NoProgram,
