@@ -43,7 +43,7 @@ pub fn run(cfg: &BenchConfig) {
     run_row(
         &mut table,
         "dijkstra, parallel (4 threads)",
-        base().strategy(Strategy::Layered { threads: 4 }),
+        base().threads(4),
     );
 
     // (I): best-first with dedup, no heuristic guidance.

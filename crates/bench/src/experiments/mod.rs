@@ -8,6 +8,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod lower_bound;
 pub mod minmax;
+pub mod parallel_speedup;
 pub mod planning;
 pub mod runtime;
 pub mod search_space;
@@ -51,6 +52,8 @@ pub fn run_all(cfg: &BenchConfig) {
     runtime::run_n5(cfg);
     println!();
     minmax::run(cfg);
+    println!();
+    parallel_speedup::run(cfg);
     println!();
     throughput::run(cfg);
     println!();

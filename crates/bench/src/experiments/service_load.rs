@@ -126,6 +126,7 @@ pub fn run(cfg: &BenchConfig) {
         cache_dir: None,
         cache_capacity: 4096,
         default_timeout: Some(Duration::from_secs(120)),
+        search_threads: 1,
         self_report: None,
     })
     .expect("bind service")

@@ -59,6 +59,8 @@ const VALUED: &[&str] = &[
     "workers",
     "queue-depth",
     "cache-capacity",
+    "threads",
+    "search-threads",
     "trace",
     "log-level",
 ];

@@ -21,6 +21,7 @@ use crate::args::{ArgsError, ParsedArgs};
 pub const USAGE: &str = "usage:
   sortsynth synth   --n N [--scratch M] [--isa cmov|minmax] [--all] [--max-len L] [--cut K]
                     [--plain] [--dead-write-cut] [--timeout SECS] [--cache-dir DIR]
+                    [--threads T]                 T search threads (0 = all cores; default 1)
   sortsynth prove   --n N --len L [--budget-states S]
   sortsynth check   <file|-> --n N [--scratch M] [--isa cmov|minmax]
   sortsynth analyze <file|-> --n N [--scratch M] [--isa cmov|minmax]
@@ -28,6 +29,7 @@ pub const USAGE: &str = "usage:
   sortsynth run     <file|-> --n N [--scratch M] [--isa cmov|minmax] --data V1,V2,...
   sortsynth serve   [--addr HOST:PORT] [--workers W] [--queue-depth D]
                     [--cache-dir DIR] [--cache-capacity C] [--timeout SECS] [--metrics]
+                    [--search-threads T]          engine threads per synth job (default 1)
   sortsynth client  ping|synth|check|analyze|metrics|stats [<file|->] [--addr HOST:PORT]
                     [--n N ...] [--timeout SECS]
   sortsynth stats   [--addr HOST:PORT]
@@ -132,6 +134,11 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
     }
     if args.flag("dead-write-cut") {
         cfg = cfg.dead_write_cut(true);
+    }
+    if let Some(threads) = args.num::<usize>("threads")? {
+        // All-solutions enumeration always runs sequentially (the full DAG
+        // needs ordered parent edges); the engine ignores `threads` there.
+        cfg = cfg.threads(threads);
     }
     if let Some(secs) = args.num::<f64>("timeout")? {
         cfg = cfg.search_budget(SearchBudget::with_timeout(Duration::from_secs_f64(secs)));
@@ -413,6 +420,7 @@ fn serve(args: &ParsedArgs) -> Result<(), ArgsError> {
             Some(secs) => Some(Duration::from_secs_f64(secs)),
             None => Some(Duration::from_secs(30)),
         },
+        search_threads: args.num::<usize>("search-threads")?.unwrap_or(1),
         // `--metrics` turns on periodic self-reporting of the live gauges;
         // the `metrics`/`stats` protocol verbs are always available.
         self_report: args.flag("metrics").then(|| Duration::from_secs(10)),

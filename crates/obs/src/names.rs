@@ -64,6 +64,12 @@ pub const SEARCH_CUT_PRUNED_TOTAL: &str = "sortsynth_search_cut_pruned_total";
 pub const SEARCH_VIABILITY_PRUNED_TOTAL: &str = "sortsynth_search_viability_pruned_total";
 /// Duplicate states dropped by the closed set.
 pub const SEARCH_DEDUP_HITS_TOTAL: &str = "sortsynth_search_dedup_hits_total";
+/// Search runs executed by the sharded parallel engine.
+pub const SEARCH_PARALLEL_RUNS_TOTAL: &str = "sortsynth_search_parallel_runs_total";
+/// Successors routed across shard boundaries in parallel searches.
+pub const SEARCH_ROUTED_TOTAL: &str = "sortsynth_search_routed_total";
+/// Open entries stolen by idle parallel workers.
+pub const SEARCH_STEALS_TOTAL: &str = "sortsynth_search_steals_total";
 
 // --- SAT / CEGIS ---
 /// CDCL conflicts across all solver runs.
@@ -170,6 +176,18 @@ pub fn register_well_known() {
     r.counter(
         SEARCH_DEDUP_HITS_TOTAL,
         "Duplicate states dropped by the closed set.",
+    );
+    r.counter(
+        SEARCH_PARALLEL_RUNS_TOTAL,
+        "Search runs executed by the sharded parallel engine.",
+    );
+    r.counter(
+        SEARCH_ROUTED_TOTAL,
+        "Successors routed across shard boundaries.",
+    );
+    r.counter(
+        SEARCH_STEALS_TOTAL,
+        "Open entries stolen by idle parallel workers.",
     );
 
     r.counter(

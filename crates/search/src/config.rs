@@ -8,16 +8,18 @@ use crate::budget::SearchBudget;
 use crate::progress::ProgressHook;
 
 /// Open-state selection strategy (§3.1).
+///
+/// Orthogonal to [`SynthesisConfig::threads`]: either strategy can run on
+/// one thread (exact sequential expansion order) or many (the sharded
+/// HDA*-style engine in [`crate::synthesize`]'s parallel mode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// Dijkstra-style layered enumeration: all programs of length ℓ are
     /// processed before length ℓ+1, so the first solution is guaranteed to
-    /// be of minimal length. `threads > 1` expands each layer in parallel
-    /// (the paper's "dijkstra, parallel" ablation row).
-    Layered {
-        /// Number of worker threads for layer expansion (1 = serial).
-        threads: usize,
-    },
+    /// be of minimal length. In parallel mode this becomes parallel
+    /// uniform-cost search (`f = g`) — the paper's "dijkstra, parallel"
+    /// ablation row.
+    Layered,
     /// Best-first search ordered by `g + h` for the chosen heuristic.
     AStar {
         /// The guiding heuristic.
@@ -142,6 +144,21 @@ pub struct SynthesisConfig {
     /// once more with a `finished` snapshot when the run ends (any outcome,
     /// including cancellation).
     pub progress_hook: Option<ProgressHook>,
+    /// Search worker threads. `1` (the default) preserves today's exact
+    /// sequential expansion order — bit-for-bit reproducible stats and DAG.
+    /// `0` means "auto": use [`std::thread::available_parallelism`]. Any
+    /// other value runs the sharded parallel engine with that many workers
+    /// (see the crate docs' "Parallel search" section). All-solutions mode
+    /// always runs sequentially: the full solution DAG needs globally
+    /// ordered parent edges.
+    pub threads: usize,
+    /// Test-only determinism harness: when set, every parallel worker
+    /// derives an RNG from this seed and injects random yields/sleeps
+    /// between expansions, perturbing thread interleavings so stress tests
+    /// can shake out schedule-dependent bugs. Ignored by the sequential
+    /// engine.
+    #[doc(hidden)]
+    pub perturb_seed: Option<u64>,
 }
 
 impl SynthesisConfig {
@@ -151,7 +168,7 @@ impl SynthesisConfig {
     pub fn new(machine: Machine) -> Self {
         SynthesisConfig {
             machine,
-            strategy: Strategy::Layered { threads: 1 },
+            strategy: Strategy::Layered,
             cut: None,
             budget_viability: false,
             optimal_instrs_only: false,
@@ -163,6 +180,8 @@ impl SynthesisConfig {
             budget: SearchBudget::unlimited(),
             progress_every: 0,
             progress_hook: None,
+            threads: 1,
+            perturb_seed: None,
         }
     }
 
@@ -261,6 +280,32 @@ impl SynthesisConfig {
         self
     }
 
+    /// Sets the worker-thread count: `1` = exact sequential order, `0` =
+    /// all available cores, otherwise that many parallel workers.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Installs the test-only interleaving perturbation seed (see
+    /// [`SynthesisConfig::perturb_seed`]).
+    #[doc(hidden)]
+    pub fn perturb_seed(mut self, seed: u64) -> Self {
+        self.perturb_seed = Some(seed);
+        self
+    }
+
+    /// The resolved worker count: `threads`, with `0` mapped to
+    /// [`std::thread::available_parallelism`].
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
     /// Whether this configuration guarantees that returned solutions have
     /// minimal length: layered search or admissible A*, with no cut and no
     /// optimal-instruction restriction (§3.2/§3.5 are explicitly
@@ -268,7 +313,7 @@ impl SynthesisConfig {
     /// experiments, they retain minimal-length solutions).
     pub fn guarantees_minimal(&self) -> bool {
         let strategy_ok = match self.strategy {
-            Strategy::Layered { .. } => true,
+            Strategy::Layered => true,
             Strategy::AStar { heuristic } => heuristic.is_admissible(),
         };
         strategy_ok && self.cut.is_none() && !self.optimal_instrs_only

@@ -44,6 +44,7 @@ mod distance;
 mod engine;
 mod heuristics;
 mod lower_bound;
+mod parallel;
 mod progress;
 mod solutions;
 mod state;
@@ -51,7 +52,9 @@ mod state;
 pub use budget::{CancelHandle, SearchBudget};
 pub use config::{Cut, Heuristic, Strategy, SynthesisConfig};
 pub use distance::{ActionSet, DistanceTable, UNSORTABLE};
-pub use engine::{synthesize, Outcome, ProgressSample, SearchStats, SolutionDag, SynthesisResult};
+pub use engine::{
+    synthesize, Outcome, ProgressSample, SearchStats, ShardStats, SolutionDag, SynthesisResult,
+};
 pub use heuristics::heuristic_value;
 pub use lower_bound::{prove_no_solution, prove_optimal_length, BoundVerdict, LowerBoundResult};
 pub use progress::{ProgressHook, SearchProgress};
@@ -188,9 +191,9 @@ mod tests {
     fn parallel_layered_agrees_with_serial() {
         let m = Machine::new(2, 2, IsaMode::Cmov);
         let serial = synthesize(&SynthesisConfig::new(m.clone()));
-        let parallel =
-            synthesize(&SynthesisConfig::new(m.clone()).strategy(Strategy::Layered { threads: 4 }));
+        let parallel = synthesize(&SynthesisConfig::new(m.clone()).threads(4));
         assert_eq!(serial.found_len, parallel.found_len);
+        assert_eq!(parallel.stats.shards.len(), 4);
     }
 
     #[test]

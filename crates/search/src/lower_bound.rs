@@ -52,7 +52,7 @@ pub fn prove_no_solution(
     time_limit: Option<Duration>,
 ) -> LowerBoundResult {
     let mut cfg = SynthesisConfig::new(machine.clone())
-        .strategy(Strategy::Layered { threads: 1 })
+        .strategy(Strategy::Layered)
         .budget_viability(true)
         .max_len(bound);
     cfg.node_limit = node_limit;

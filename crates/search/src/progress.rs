@@ -72,6 +72,52 @@ impl fmt::Debug for ProgressHook {
     }
 }
 
+/// Whether snapshot delivery would reach any consumer: skip building
+/// snapshots entirely when neither a hook nor tracing is active.
+pub(crate) fn delivery_active(hook: Option<&ProgressHook>) -> bool {
+    hook.is_some() || sortsynth_obs::enabled()
+}
+
+/// Delivers one snapshot to the hook (if any) and, when tracing is active,
+/// mirrors it as a `search_progress` trace event. Shared by the sequential
+/// engine and the parallel coordinator/workers.
+pub(crate) fn deliver(hook: Option<&ProgressHook>, snapshot: &SearchProgress) {
+    use sortsynth_obs::{FieldValue, Level};
+
+    if let Some(hook) = hook {
+        hook.call(snapshot);
+    }
+    if sortsynth_obs::enabled() {
+        let mut fields = vec![
+            ("expanded", FieldValue::U64(snapshot.expanded)),
+            ("generated", FieldValue::U64(snapshot.generated)),
+            ("open", FieldValue::U64(snapshot.open)),
+            (
+                "viability_pruned",
+                FieldValue::U64(snapshot.viability_pruned),
+            ),
+            ("cut_pruned", FieldValue::U64(snapshot.cut_pruned)),
+            ("dedup_hits", FieldValue::U64(snapshot.dedup_hits)),
+            (
+                "dead_write_pruned",
+                FieldValue::U64(snapshot.dead_write_pruned),
+            ),
+            (
+                "distance_table_skipped",
+                FieldValue::Bool(snapshot.distance_table_skipped),
+            ),
+            ("finished", FieldValue::Bool(snapshot.finished)),
+        ];
+        if let Some(f) = snapshot.f_bound {
+            fields.push(("f_bound", FieldValue::U64(f)));
+        }
+        if let Some(outcome) = snapshot.outcome {
+            fields.push(("outcome", FieldValue::Str(format!("{outcome:?}"))));
+        }
+        sortsynth_obs::trace::event(Level::Debug, "search_progress", &fields);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -62,6 +62,17 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Deadline applied to synth requests that don't carry their own.
     pub default_timeout: Option<Duration>,
+    /// Search-engine threads per synth request (`1` = sequential engine,
+    /// `0` = all available cores). Interplay with admission control: up to
+    /// `workers` synth jobs execute at once, each using up to
+    /// `search_threads` engine threads, so the process can run
+    /// `workers × search_threads` search threads at peak. Size the two
+    /// knobs together — e.g. on an 8-core box prefer `workers = 2,
+    /// search_threads = 4` for latency, or `workers = 8,
+    /// search_threads = 1` for throughput. The thread count never changes
+    /// an answer (only how fast it arrives), so it is deliberately not part
+    /// of the cache fingerprint.
+    pub search_threads: usize,
     /// When set, a background thread logs a one-line load summary (queue
     /// depth, inflight, shed, cache hit counts) at this interval. Enabled by
     /// `sortsynth serve --metrics`.
@@ -77,6 +88,7 @@ impl Default for ServiceConfig {
             cache_dir: None,
             cache_capacity: 1024,
             default_timeout: Some(Duration::from_secs(30)),
+            search_threads: 1,
             self_report: None,
         }
     }
@@ -101,6 +113,7 @@ struct Shared {
     searches_started: AtomicU64,
     shutdown: AtomicBool,
     default_timeout: Option<Duration>,
+    search_threads: usize,
     started: Instant,
     /// Per-server live gauges/counters backing [`Request::Stats`]. The
     /// process-wide metrics registry is updated at the same sites, but these
@@ -176,6 +189,7 @@ impl Server {
             searches_started: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             default_timeout: config.default_timeout,
+            search_threads: config.search_threads,
             started: Instant::now(),
             requests_total: AtomicU64::new(0),
             shed_total: AtomicU64::new(0),
@@ -642,6 +656,7 @@ fn handle_synth(
 fn run_search(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -> Response {
     let machine: Machine = query.machine();
     let mut cfg = SynthesisConfig::new(machine);
+    cfg.threads = shared.search_threads;
     cfg.optimal_instrs_only = query.optimal_instrs_only;
     cfg.budget_viability = query.budget_viability;
     cfg.max_len = query.max_len;
