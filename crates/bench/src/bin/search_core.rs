@@ -1,0 +1,6 @@
+//! Sequential search-core throughput benchmark: nodes/sec, interner and
+//! arena counters, peak RSS. Emits `BENCH_search_core.json`.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::search_core::run(&cfg);
+}

@@ -11,6 +11,7 @@ pub mod minmax;
 pub mod parallel_speedup;
 pub mod planning;
 pub mod runtime;
+pub mod search_core;
 pub mod search_space;
 pub mod service_load;
 pub mod smt;
@@ -54,6 +55,8 @@ pub fn run_all(cfg: &BenchConfig) {
     minmax::run(cfg);
     println!();
     parallel_speedup::run(cfg);
+    println!();
+    search_core::run(cfg);
     println!();
     throughput::run(cfg);
     println!();

@@ -1,0 +1,166 @@
+//! Search-core throughput: nodes expanded per second by the *sequential*
+//! engine on the headline syntheses, plus the memory-layout counters of the
+//! arena-backed core (interned states, arena bytes). Emits
+//! `BENCH_search_core.json` with a delta against the pre-rework engine.
+//!
+//! Unlike `parallel_speedup` (which measures scaling across threads), this
+//! experiment pins the single-thread hot loop: nodes/sec is the paper's
+//! product (§3 — enumerative A\* wins by engineering the inner loop), so
+//! regressions here are regressions in the headline result.
+
+use std::time::Duration;
+
+use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_search::{synthesize, SearchStats, SynthesisConfig};
+
+use crate::util::{fmt_duration, peak_rss_kb, time, write_bench_json, BenchConfig, Table};
+
+/// Single-thread nodes/sec of the pre-rework engine (per-successor `Vec` +
+/// `Box` allocation, SipHash closed set, per-expansion `perm_count` sorts)
+/// on this repository's 1-vCPU reference container, n = 4 cmp/cmov, best
+/// config, best of 3. The committed `BENCH_search_core.json` records the
+/// current engine's multiple of this number; on other hosts the printed
+/// delta is informational (absolute throughput scales with the machine).
+pub const PRECHANGE_N4_CMOV_NODES_PER_SEC: f64 = 116_659.0;
+
+/// Same reference measurement for the n = 3 cmp/cmov row (the `perf-smoke`
+/// CI job's quick-mode headline).
+pub const PRECHANGE_N3_CMOV_NODES_PER_SEC: f64 = 439_268.0;
+
+/// Best run (by wall-clock) over `iters` synthesis runs.
+fn best_run(iters: usize, cfg: &SynthesisConfig) -> (Option<u32>, SearchStats, Duration) {
+    let mut best: Option<(Option<u32>, SearchStats, Duration)> = None;
+    for _ in 0..iters {
+        let (result, elapsed) = time(|| synthesize(cfg));
+        if best.as_ref().is_none_or(|(_, _, t)| elapsed < *t) {
+            best = Some((result.found_len, result.stats, elapsed));
+        }
+    }
+    best.expect("at least one iteration")
+}
+
+fn nodes_per_sec(stats: &SearchStats, elapsed: Duration) -> f64 {
+    // Expansion throughput over the whole run (table build included): the
+    // end-to-end number a service request actually experiences.
+    stats.expanded as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &BenchConfig) {
+    println!("== search-core throughput (sequential engine hot loop) ==");
+    let iters = if cfg.quick { 1 } else { 3 };
+    println!("best of {iters} run(s) per row; threads = 1 throughout");
+
+    // Small machines first: peak RSS readings are cumulative (VmHWM), so
+    // the big n = 4 rows must come last to be attributable.
+    let mut machines = vec![
+        ("cmov", Machine::new(3, 1, IsaMode::Cmov)),
+        ("minmax", Machine::new(3, 1, IsaMode::MinMax)),
+    ];
+    if !cfg.quick {
+        machines.push(("minmax", Machine::new(4, 1, IsaMode::MinMax)));
+        machines.push(("cmov", Machine::new(4, 1, IsaMode::Cmov)));
+    }
+
+    let mut table = Table::new(&[
+        "isa",
+        "n",
+        "len",
+        "time",
+        "expanded",
+        "nodes/sec",
+        "interned",
+        "arena",
+        "peak rss",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut headline: Option<(&'static str, f64, f64)> = None;
+
+    for (isa, machine) in machines {
+        let synth_cfg = SynthesisConfig::best(machine.clone());
+        let (len, stats, elapsed) = best_run(iters, &synth_cfg);
+        let len = len.unwrap_or_else(|| panic!("n={} {isa}: no kernel found", machine.n()));
+        let nps = nodes_per_sec(&stats, elapsed);
+        let rss_kb = peak_rss_kb().unwrap_or(0);
+        if isa == "cmov" && (machine.n() == 4 || (cfg.quick && machine.n() == 3)) {
+            let reference = if machine.n() == 4 {
+                PRECHANGE_N4_CMOV_NODES_PER_SEC
+            } else {
+                PRECHANGE_N3_CMOV_NODES_PER_SEC
+            };
+            headline = Some((isa, nps, nps / reference));
+        }
+        table.row_strings(vec![
+            isa.into(),
+            machine.n().to_string(),
+            len.to_string(),
+            fmt_duration(elapsed),
+            stats.expanded.to_string(),
+            format!("{nps:.0}"),
+            stats.interned_states.to_string(),
+            format!("{} KiB", stats.arena_bytes / 1024),
+            format!("{rss_kb} kB"),
+        ]);
+        json_rows.push(format!(
+            "{{\"isa\":\"{isa}\",\"n\":{},\"threads\":1,\"len\":{len},\
+             \"millis\":{:.3},\"expanded\":{},\"generated\":{},\
+             \"viability_pruned\":{},\"cut_pruned\":{},\"dedup_hits\":{},\
+             \"nodes_per_sec\":{nps:.1},\"interned_states\":{},\
+             \"arena_bytes\":{},\"scratch_reused\":{},\"peak_rss_kb\":{rss_kb}}}",
+            machine.n(),
+            elapsed.as_secs_f64() * 1e3,
+            stats.expanded,
+            stats.generated,
+            stats.viability_pruned,
+            stats.cut_pruned,
+            stats.dedup_hits,
+            stats.interned_states,
+            stats.arena_bytes,
+            stats.scratch_reused,
+        ));
+    }
+
+    table.print();
+
+    let (speedup_json, enforce) = match headline {
+        Some((_, nps, multiple)) => {
+            println!(
+                "headline nodes/sec: {nps:.0} ({multiple:.2}x the committed pre-rework \
+                 reference; informational off the reference container)"
+            );
+            (
+                format!(
+                    ",\"headline_nodes_per_sec\":{nps:.1},\
+                     \"speedup_vs_prechange\":{multiple:.3},\
+                     \"prechange_reference_nodes_per_sec\":{:.1}",
+                    if cfg.quick {
+                        PRECHANGE_N3_CMOV_NODES_PER_SEC
+                    } else {
+                        PRECHANGE_N4_CMOV_NODES_PER_SEC
+                    }
+                ),
+                multiple,
+            )
+        }
+        None => (String::new(), f64::INFINITY),
+    };
+    // The >=2x acceptance gate is asserted only where the reference number
+    // is meaningful: the container that produced it (opt-in via env).
+    if std::env::var("SORTSYNTH_ENFORCE_BASELINE").as_deref() == Ok("1") {
+        assert!(
+            enforce >= 2.0,
+            "expected >=2x nodes/sec vs the pre-rework engine, got {enforce:.2}x"
+        );
+    }
+
+    table.write_csv(&cfg.ensure_out_dir().join("search_core.csv"));
+    write_bench_json(
+        "search_core",
+        &format!(
+            "{{\"experiment\":\"search_core\",\"quick\":{},\"iters\":{iters}{speedup_json},\
+             \"rows\":[{}]}}\n",
+            cfg.quick,
+            json_rows.join(",")
+        ),
+    );
+}

@@ -220,6 +220,16 @@ pub fn write_bench_json(name: &str, body: &str) {
     println!("  -> wrote {}", path.display());
 }
 
+/// Peak resident-set size of this process so far, in kilobytes, from
+/// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs.
+/// Monotone over the process lifetime, so per-phase readings are cumulative
+/// peaks — order the big workloads last.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Benchmarks a sorting routine over a workload: total wall-clock for
 /// `iters` passes over all inputs (each pass copies the input first, like
 /// the paper's Google-benchmark loops).

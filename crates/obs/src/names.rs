@@ -70,6 +70,12 @@ pub const SEARCH_PARALLEL_RUNS_TOTAL: &str = "sortsynth_search_parallel_runs_tot
 pub const SEARCH_ROUTED_TOTAL: &str = "sortsynth_search_routed_total";
 /// Open entries stolen by idle parallel workers.
 pub const SEARCH_STEALS_TOTAL: &str = "sortsynth_search_steals_total";
+/// Unique canonical states interned into search arenas.
+pub const SEARCH_INTERNED_STATES_TOTAL: &str = "sortsynth_search_interned_states_total";
+/// Expansions served entirely from already-reserved scratch capacity.
+pub const SEARCH_SCRATCH_REUSED_TOTAL: &str = "sortsynth_search_scratch_reused_total";
+/// Bytes of assignment storage held by the last run's state arena(s).
+pub const SEARCH_ARENA_BYTES: &str = "sortsynth_search_arena_bytes";
 
 // --- SAT / CEGIS ---
 /// CDCL conflicts across all solver runs.
@@ -188,6 +194,18 @@ pub fn register_well_known() {
     r.counter(
         SEARCH_STEALS_TOTAL,
         "Open entries stolen by idle parallel workers.",
+    );
+    r.counter(
+        SEARCH_INTERNED_STATES_TOTAL,
+        "Unique canonical states interned into search arenas.",
+    );
+    r.counter(
+        SEARCH_SCRATCH_REUSED_TOTAL,
+        "Expansions served from already-reserved scratch capacity.",
+    );
+    r.gauge(
+        SEARCH_ARENA_BYTES,
+        "Assignment bytes held by the last run's state arena(s).",
     );
 
     r.counter(

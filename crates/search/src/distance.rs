@@ -89,7 +89,20 @@ pub struct DistanceTable {
     flag_stride: usize,
     /// Largest finite distance in the table.
     max_finite: u16,
+    /// Successor distances, action-major: `succ_dist[ai * total + enc]` is
+    /// `dist(step(decode(enc), actions[ai]))`. Lets the expansion loop
+    /// viability-check a candidate from the *parent's* encodings — no
+    /// stepping, no per-successor encode — and is small enough to stay
+    /// cache-resident (n = 4, m = 1 cmp/cmov: 66 actions × 9 375 encodings
+    /// ≈ 1.2 MiB). `None` when the product exceeds
+    /// [`SUCC_DIST_MAX_ENTRIES`].
+    succ_dist: Option<Vec<u16>>,
 }
+
+/// Cap on `actions × encodings` for the successor-distance table (u16
+/// entries, so 32 MiB). Covers every machine through n = 5, m = 1; beyond
+/// that the expansion loop falls back to per-successor lookups.
+const SUCC_DIST_MAX_ENTRIES: usize = 1 << 24;
 
 impl DistanceTable {
     /// Whether `machine` is within the table's representable limits
@@ -179,6 +192,17 @@ impl DistanceTable {
             moves
         });
 
+        let succ_dist = (actions.len() * total <= SUCC_DIST_MAX_ENTRIES).then(|| {
+            let mut t = vec![UNSORTABLE; actions.len() * total];
+            for idx in 0..total {
+                let st = decode(machine, radix, flag_stride, idx);
+                for (ai, &a) in actions.iter().enumerate() {
+                    t[ai * total + idx] = dist[encode(machine, radix, flag_stride, st.step(a))];
+                }
+            }
+            t
+        });
+
         DistanceTable {
             machine: machine.clone(),
             actions,
@@ -187,6 +211,7 @@ impl DistanceTable {
             radix,
             flag_stride,
             max_finite,
+            succ_dist,
         }
     }
 
@@ -211,8 +236,16 @@ impl DistanceTable {
     /// distance (§3.1). Returns [`UNSORTABLE`] if any assignment is
     /// unsortable.
     pub fn max_dist(&self, set: &StateSet) -> u16 {
+        self.max_dist_slice(set.assignments())
+    }
+
+    /// [`DistanceTable::max_dist`] over a raw assignment slice — the
+    /// expansion hot loop evaluates successors while they still live in the
+    /// shared scratch buffer, before (and usually instead of) building a
+    /// `StateSet`.
+    pub fn max_dist_slice(&self, assigns: &[MachineState]) -> u16 {
         let mut worst = 0;
-        for &a in set.assignments() {
+        for &a in assigns {
             let d = self.dist(a);
             if d == UNSORTABLE {
                 return UNSORTABLE;
@@ -229,12 +262,18 @@ impl DistanceTable {
     ///
     /// Panics if the table was built without first moves.
     pub fn optimal_first_moves(&self, set: &StateSet) -> ActionSet {
+        self.optimal_first_moves_slice(set.assignments())
+    }
+
+    /// [`DistanceTable::optimal_first_moves`] over a raw assignment slice
+    /// (same panic contract).
+    pub fn optimal_first_moves_slice(&self, assigns: &[MachineState]) -> ActionSet {
         let moves = self
             .first_moves
             .as_ref()
             .expect("DistanceTable built without first moves");
         let mut out = ActionSet::empty();
-        for &a in set.assignments() {
+        for &a in assigns {
             out.union_with(&moves[encode(&self.machine, self.radix, self.flag_stride, a)]);
         }
         out
@@ -243,6 +282,45 @@ impl DistanceTable {
     /// Whether first moves were recorded at build time.
     pub fn has_first_moves(&self) -> bool {
         self.first_moves.is_some()
+    }
+
+    /// Whether the successor-distance table was built (see
+    /// [`DistanceTable::succ_max_dist`]).
+    pub fn has_succ_dist(&self) -> bool {
+        self.succ_dist.is_some()
+    }
+
+    /// The table encoding of one assignment, for use with
+    /// [`DistanceTable::succ_max_dist`]. Computed once per *expanded* state
+    /// and reused across its whole action sweep.
+    pub fn encode_assign(&self, assign: MachineState) -> u32 {
+        encode(&self.machine, self.radix, self.flag_stride, assign) as u32
+    }
+
+    /// `max_dist` of the successor reached by action `ai` from the parent
+    /// whose assignment encodings are `enc` — without materializing the
+    /// successor. Returns [`UNSORTABLE`] as soon as any assignment's
+    /// successor is unsortable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built without successor distances
+    /// ([`DistanceTable::has_succ_dist`]).
+    pub fn succ_max_dist(&self, ai: usize, enc: &[u32]) -> u16 {
+        let table = self
+            .succ_dist
+            .as_ref()
+            .expect("DistanceTable built without successor distances");
+        let row = &table[ai * (3 * self.flag_stride)..(ai + 1) * (3 * self.flag_stride)];
+        let mut worst = 0;
+        for &e in enc {
+            let d = row[e as usize];
+            if d == UNSORTABLE {
+                return UNSORTABLE;
+            }
+            worst = worst.max(d);
+        }
+        worst
     }
 }
 
@@ -290,6 +368,27 @@ mod tests {
         for idx in 0..3 * stride {
             let st = decode(&m, radix, stride, idx);
             assert_eq!(encode(&m, radix, stride, st), idx);
+        }
+    }
+
+    /// The successor-distance table must agree with stepping and looking
+    /// up directly, for every assignment and every action.
+    #[test]
+    fn succ_dist_agrees_with_direct_lookup() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let table = DistanceTable::build(&m, false);
+        assert!(table.has_succ_dist());
+        let stride = radix_pow(4, 4);
+        for idx in 0..3 * stride {
+            let st = decode(&m, 4, stride, idx);
+            let enc = [table.encode_assign(st)];
+            for (ai, &a) in table.actions().iter().enumerate() {
+                assert_eq!(
+                    table.succ_max_dist(ai, &enc),
+                    table.dist(st.step(a)),
+                    "idx {idx} action {ai}"
+                );
+            }
         }
     }
 

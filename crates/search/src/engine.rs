@@ -1,18 +1,22 @@
 //! The enumerative synthesis engine: layered (Dijkstra) and A* search with
 //! deduplication, viability checks, and cuts (§3 of the paper).
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
-use sortsynth_isa::{Instr, Op, Program};
+use sortsynth_isa::{Instr, MachineState, Op, Program};
 
 use sortsynth_obs::names;
 
 use crate::config::{Strategy, SynthesisConfig};
 use crate::distance::{DistanceTable, UNSORTABLE};
-use crate::heuristics::heuristic_value;
+use crate::heuristics::heuristic_from_meta;
+use crate::intern::StateArena;
 use crate::progress::SearchProgress;
-use crate::state::StateSet;
+use crate::state::{
+    assignment_erased, canonicalize_tail, key_of, perm_count_slice, value_reg_mask, ProjScratch,
+    StateSet,
+};
 
 /// Default progress-emission throttle (expansions between snapshots) when
 /// [`SynthesisConfig::progress_every`] is 0.
@@ -82,6 +86,19 @@ pub struct SearchStats {
     pub search_time: Duration,
     /// Progress samples (empty unless `progress_every > 0`).
     pub progress: Vec<ProgressSample>,
+    /// Unique canonical states interned into the arena (sequential: equals
+    /// [`SearchStats::states_kept`]; parallel: summed over the per-shard
+    /// arenas).
+    pub interned_states: u64,
+    /// Bytes of assignment storage held by the state arena(s) at the end of
+    /// the run (contiguous `MachineState` spans, excluding per-state
+    /// metadata).
+    pub arena_bytes: u64,
+    /// Expansions whose scratch buffers were served entirely from already-
+    /// reserved capacity — the steady-state, allocation-free path. The
+    /// complement (`expanded - scratch_reused`) counts the warm-up
+    /// expansions that grew a scratch or arena buffer.
+    pub scratch_reused: u64,
     /// Parallel mode only: successors routed across shard boundaries (a
     /// successor whose owning shard is the generating worker's own is merged
     /// in place and not counted here).
@@ -137,6 +154,9 @@ pub struct ShardStats {
     pub routed: u64,
     /// Open entries this worker stole from other workers' queues.
     pub steals: u64,
+    /// Expansions this worker served entirely from already-reserved scratch
+    /// capacity (see [`SearchStats::scratch_reused`]).
+    pub scratch_reused: u64,
 }
 
 /// A node of the solution DAG: a unique canonical state, with every
@@ -145,10 +165,11 @@ pub struct ShardStats {
 struct Node {
     /// Primary parent (`u32::MAX` for the root).
     parent: u32,
-    /// Action index on the primary parent edge.
-    instr: u8,
+    /// Action index on the primary parent edge. `u16` because large
+    /// machines exceed 256 actions (n = 2 with 8 scratch has 315).
+    instr: u16,
     /// Additional same-length parents (populated in all-solutions mode).
-    more_parents: Vec<(u32, u8)>,
+    more_parents: Vec<(u32, u16)>,
     /// Program length at which this state is reached.
     len: u16,
 }
@@ -170,7 +191,7 @@ impl SolutionDag {
     /// indices; an empty path means the initial state itself is the goal.
     /// Used by the parallel engine, whose first-solution mode tracks a
     /// single incumbent path instead of the full parent DAG.
-    pub(crate) fn from_path(actions: Vec<Instr>, path: Option<&[u8]>) -> SolutionDag {
+    pub(crate) fn from_path(actions: Vec<Instr>, path: Option<&[u16]>) -> SolutionDag {
         let mut nodes = vec![Node {
             parent: NO_PARENT,
             instr: 0,
@@ -350,26 +371,73 @@ enum Gen {
     Pruned,
 }
 
-/// A successor produced by expansion, before dedup/bookkeeping.
-struct Candidate {
-    parent: u32,
-    ai: u8,
-    succ: StateSet,
-    perm: u32,
-    goal: bool,
-}
-
-/// A successor as produced by the shared expansion core, before it is tied
-/// to any particular bookkeeping scheme (node arena or shard routing).
-pub(crate) struct Successor {
-    /// Index of the applied action in the machine's action list.
-    pub ai: u8,
-    /// The successor state.
-    pub succ: StateSet,
-    /// Its permutation count (for cuts and heuristics).
+/// One successor surviving expansion, described by its span in the shared
+/// scratch buffer ([`SuccessorBuf`]) plus every fact computed while it was
+/// generated. The owner-side merge ([`Engine::merge`] or a parallel shard)
+/// consumes these without touching the assignments again — beyond one
+/// `memcpy` of the span into the arena for fresh states.
+pub(crate) struct SuccMeta {
+    /// Index of the applied action in the machine's action list. `u16`
+    /// because large machines exceed 256 actions.
+    pub ai: u16,
+    /// Span start in [`SuccessorBuf::assigns`].
+    pub offset: u32,
+    /// Span length (canonical assignment count).
+    pub len: u32,
+    /// Content hash of the span ([`crate::state::key_of`]).
+    pub key: u128,
+    /// Permutation count (for cuts and heuristics).
     pub perm: u32,
+    /// Max per-assignment distance (0 when the run has no table).
+    pub max_dist: u16,
     /// Whether every assignment in the successor is sorted.
     pub goal: bool,
+}
+
+/// Reusable successor storage: all survivors of one expansion, their
+/// assignments concatenated in `assigns` and described by `metas`. Cleared
+/// — never shrunk — between expansions, so the steady state writes into
+/// already-reserved memory.
+#[derive(Default)]
+pub(crate) struct SuccessorBuf {
+    pub assigns: Vec<MachineState>,
+    pub metas: Vec<SuccMeta>,
+}
+
+impl SuccessorBuf {
+    pub fn clear(&mut self) {
+        self.assigns.clear();
+        self.metas.clear();
+    }
+
+    /// The assignment span of one successor.
+    pub fn assigns_of(&self, m: &SuccMeta) -> &[MachineState] {
+        &self.assigns[m.offset as usize..(m.offset + m.len) as usize]
+    }
+}
+
+/// Per-worker expansion scratch: the successor buffer, the projection
+/// scratch used for permutation counting, and the parent's distance-table
+/// encodings (filled once per expansion, shared by the whole action sweep).
+#[derive(Default)]
+pub(crate) struct ExpandScratch {
+    pub buf: SuccessorBuf,
+    proj: ProjScratch,
+    enc: Vec<u32>,
+}
+
+impl ExpandScratch {
+    /// Reserved capacities, for [`SearchStats::scratch_reused`]: an
+    /// expansion that leaves the signature unchanged allocated nothing
+    /// here.
+    pub fn capacity_signature(&self) -> (usize, usize, usize, usize) {
+        (
+            self.buf.assigns.capacity(),
+            self.buf.metas.capacity(),
+            self.proj.capacity(),
+            self.enc.capacity(),
+        )
+    }
 }
 
 /// The read-only inputs of state expansion, shared between the sequential
@@ -388,20 +456,28 @@ impl ExpandCtx<'_> {
     /// the instruction on the edge that produced `state` (used by the
     /// dead-write cut; ignored when the cut is off), `bound` the caller's
     /// current inclusive length bound.
+    ///
+    /// `state` is a raw canonical assignment slice (arena-resident or
+    /// copied scratch); survivors land in `scratch.buf` as spans plus
+    /// cached facts, so the whole expansion allocates nothing once the
+    /// scratch has grown to steady state.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn expand(
         &self,
-        state: &StateSet,
+        state: &[MachineState],
         prev_instr: Option<Instr>,
         g: u32,
         bound: u32,
         cut_threshold: Option<u32>,
-        out: &mut Vec<Successor>,
+        scratch: &mut ExpandScratch,
         counters: &mut WorkerCounters,
     ) {
         counters.expanded += 1;
+        scratch.buf.clear();
         let allowed = match self.table {
-            Some(table) if self.cfg.optimal_instrs_only => Some(table.optimal_first_moves(state)),
+            Some(table) if self.cfg.optimal_instrs_only => {
+                Some(table.optimal_first_moves_slice(state))
+            }
             _ => None,
         };
         // A successor whose new instruction erases the parent edge's effect
@@ -413,6 +489,17 @@ impl ExpandCtx<'_> {
             None
         };
         let machine = &self.cfg.machine;
+        let mask = value_reg_mask(machine);
+        // Successor-distance fast path: with the parent's encodings in hand
+        // a candidate's viability check is one table row scan — unsortable
+        // and over-budget successors are pruned without ever being stepped.
+        let succ_table = self.table.filter(|t| t.has_succ_dist());
+        if let Some(table) = succ_table {
+            scratch.enc.clear();
+            scratch
+                .enc
+                .extend(state.iter().map(|&a| table.encode_assign(a)));
+        }
         for (ai, &instr) in self.actions.iter().enumerate() {
             if let Some(set) = &allowed {
                 // `cmp` is always permitted: a shortest program for a single
@@ -436,41 +523,99 @@ impl ExpandCtx<'_> {
                     continue;
                 }
             }
-            let succ = state.apply(instr);
             counters.generated += 1;
 
             // Viability (§3.3): erased values can never be sorted again; a
             // state whose worst per-assignment distance overshoots the
-            // remaining budget cannot finish in time.
-            if let Some(table) = self.table {
-                let d = table.max_dist(&succ);
-                if d == UNSORTABLE {
+            // remaining budget cannot finish in time. With the
+            // successor-distance table the check runs off the *parent's*
+            // encodings, so a pruned candidate is never stepped at all.
+            // Zero distance iff sorted, so `d == 0` doubles as the §3.4
+            // goal check for free.
+            let mut max_dist = 0u16;
+            let mut goal = false;
+            let mut checked = false;
+            if let Some(table) = succ_table {
+                let d = table.succ_max_dist(ai, &scratch.enc);
+                if d == UNSORTABLE
+                    || (self.cfg.budget_viability && bound != u32::MAX && g + 1 + d as u32 > bound)
+                {
                     counters.viability_pruned += 1;
                     continue;
                 }
-                if self.cfg.budget_viability && bound != u32::MAX && g + 1 + d as u32 > bound {
-                    counters.viability_pruned += 1;
-                    continue;
-                }
-            } else if succ.has_erased_value(machine) {
-                counters.viability_pruned += 1;
-                continue;
+                max_dist = d;
+                goal = d == 0;
+                checked = true;
             }
 
-            let goal = succ.is_goal(machine);
-            let perm = succ.perm_count(machine);
+            // Apply into the shared buffer; a pruned successor is truncated
+            // away again, so survivors stay densely packed. Goal,
+            // permutation count, and the cut are all insensitive to order
+            // and duplicates, so they run on the *raw* stepped span — the
+            // canonicalizing sort (the hottest single operation in the
+            // engine) is paid only by candidates that survive every filter.
+            let start = scratch.buf.assigns.len();
+            scratch
+                .buf
+                .assigns
+                .extend(state.iter().map(|a| a.step(instr)));
+            if checked {
+                debug_assert_eq!(
+                    max_dist,
+                    self.table
+                        .expect("checked implies table")
+                        .max_dist_slice(&scratch.buf.assigns[start..]),
+                    "successor-distance table disagrees with direct lookup"
+                );
+            } else if let Some(table) = self.table {
+                // Fallback for machines whose successor table exceeded the
+                // build cap: per-successor lookups on the stepped span.
+                let d = table.max_dist_slice(&scratch.buf.assigns[start..]);
+                if d == UNSORTABLE
+                    || (self.cfg.budget_viability && bound != u32::MAX && g + 1 + d as u32 > bound)
+                {
+                    counters.viability_pruned += 1;
+                    scratch.buf.assigns.truncate(start);
+                    continue;
+                }
+                max_dist = d;
+                goal = d == 0;
+            } else {
+                if scratch.buf.assigns[start..]
+                    .iter()
+                    .any(|&a| assignment_erased(machine, a))
+                {
+                    counters.viability_pruned += 1;
+                    scratch.buf.assigns.truncate(start);
+                    continue;
+                }
+                goal = scratch.buf.assigns[start..]
+                    .iter()
+                    .all(|&a| machine.is_sorted(a));
+            }
+
+            let perm = {
+                let (head, proj) = (&scratch.buf.assigns[start..], &mut scratch.proj);
+                perm_count_slice(head, mask, proj)
+            };
             if !goal {
                 if let Some(threshold) = cut_threshold {
                     if perm > threshold {
                         counters.cut_pruned += 1;
+                        scratch.buf.assigns.truncate(start);
                         continue;
                     }
                 }
             }
-            out.push(Successor {
-                ai: ai as u8,
-                succ,
+            canonicalize_tail(&mut scratch.buf.assigns, start);
+            let span = &scratch.buf.assigns[start..];
+            scratch.buf.metas.push(SuccMeta {
+                ai: ai as u16,
+                offset: start as u32,
+                len: span.len() as u32,
+                key: key_of(span),
                 perm,
+                max_dist,
                 goal,
             });
         }
@@ -481,8 +626,10 @@ struct Engine<'a> {
     cfg: &'a SynthesisConfig,
     actions: Vec<Instr>,
     table: Option<DistanceTable>,
+    /// The interned states. Node ids and arena ids coincide: exactly the
+    /// kept states are interned, in the same order `nodes` grows.
+    arena: StateArena,
     nodes: Vec<Node>,
-    visited: HashMap<u128, u32>,
     /// Minimum permutation count seen among kept states of each length.
     min_perm: Vec<u32>,
     goals: Vec<u32>,
@@ -492,16 +639,16 @@ struct Engine<'a> {
     stats: SearchStats,
     start: Instant,
     deadline: Option<Instant>,
-    /// Fresh states queued by [`Engine::merge`] for the caller to pick up:
-    /// the next layer in layered mode, heap pushes in A* mode.
-    pending_frontier: Vec<(StateSet, u32, u32)>,
+    /// Fresh node ids queued by [`Engine::merge`] for the caller to pick
+    /// up: the next layer in layered mode, heap pushes in A* mode.
+    pending_frontier: Vec<u32>,
     /// Current frontier bound for progress snapshots: the layer depth in
     /// layered mode, the last popped `f` in A* mode.
     current_f: Option<u64>,
     /// Expansion count at the last delivered progress snapshot.
     last_progress_expanded: u64,
-    /// Reused buffer for [`ExpandCtx::expand`] output.
-    scratch: Vec<Successor>,
+    /// Reused expansion buffers ([`ExpandCtx::expand`] output).
+    scratch: ExpandScratch,
 }
 
 impl<'a> Engine<'a> {
@@ -515,11 +662,14 @@ impl<'a> Engine<'a> {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        let actions = cfg.machine.actions();
+        // Edge records store action indices as `u16`.
+        assert!(actions.len() <= u16::MAX as usize + 1);
         Engine {
-            actions: cfg.machine.actions(),
+            actions,
             table,
+            arena: StateArena::new(),
             nodes: Vec::new(),
-            visited: HashMap::new(),
             min_perm: Vec::new(),
             goals: Vec::new(),
             bound: cfg.max_len.unwrap_or(u32::MAX),
@@ -529,35 +679,47 @@ impl<'a> Engine<'a> {
             pending_frontier: Vec::new(),
             current_f: None,
             last_progress_expanded: 0,
-            scratch: Vec::new(),
+            scratch: ExpandScratch::default(),
             cfg,
         }
     }
 
     fn run(mut self) -> SynthesisResult {
-        let init = StateSet::initial(&self.cfg.machine);
-        let init_perm = init.perm_count(&self.cfg.machine);
+        let cfg = self.cfg;
+        let init = StateSet::initial(&cfg.machine);
+        let init_perm = init.perm_count(&cfg.machine);
+        let init_dist = self.table.as_ref().map_or(0, |t| t.max_dist(&init));
+        let init_goal = init.is_goal(&cfg.machine);
+        let root = self.arena.insert_new(
+            init.key(),
+            init.assignments(),
+            init_perm,
+            init_dist,
+            init_goal,
+        );
+        debug_assert_eq!(root, 0);
         self.nodes.push(Node {
             parent: NO_PARENT,
             instr: 0,
             more_parents: Vec::new(),
             len: 0,
         });
-        self.visited.insert(init.key(), 0);
         self.note_min_perm(0, init_perm);
         self.stats.states_kept = 1;
 
-        let outcome = if init.is_goal(&self.cfg.machine) {
+        let outcome = if init_goal {
             self.goals.push(0);
             Outcome::Solved
         } else {
             match self.cfg.strategy {
-                Strategy::Layered => self.run_layered(init, init_perm),
-                Strategy::AStar { .. } => self.run_astar(init, init_perm),
+                Strategy::Layered => self.run_layered(),
+                Strategy::AStar { .. } => self.run_astar(),
             }
         };
 
         self.stats.search_time = self.start.elapsed();
+        self.stats.interned_states = self.arena.len() as u64;
+        self.stats.arena_bytes = self.arena.assign_bytes();
         // Every run — solved, exhausted, limited, or cancelled — flushes one
         // final snapshot (so consumers always see the closing counters) and
         // publishes its totals to the process-wide metrics registry.
@@ -584,8 +746,8 @@ impl<'a> Engine<'a> {
     // Layered (Dijkstra) search: process all programs of length g before
     // any of length g + 1 (§3.1). First solution is minimal.
     // ------------------------------------------------------------------
-    fn run_layered(&mut self, init: StateSet, init_perm: u32) -> Outcome {
-        let mut frontier: Vec<(StateSet, u32, u32)> = vec![(init, 0, init_perm)];
+    fn run_layered(&mut self) -> Outcome {
+        let mut frontier: Vec<u32> = vec![0];
         let mut g = 0u32;
         loop {
             if g >= self.bound || frontier.is_empty() {
@@ -600,18 +762,20 @@ impl<'a> Engine<'a> {
             // Merge each state's successors immediately, so goals (and
             // progress samples) accumulate through the layer instead of
             // appearing all at once at its end.
-            let mut candidates = Vec::new();
-            for (state, node, _perm) in &frontier {
-                self.stats.expanded += 1;
-                self.expand_into(state, *node, g, cut_threshold, &mut candidates);
-                for cand in candidates.drain(..) {
-                    match self.merge(cand, g + 1) {
+            for &node in &frontier {
+                self.expand_node(node, g, cut_threshold);
+                // Detach the successor buffer so merging (which grows the
+                // arena) can't alias it; the move is two pointer swaps.
+                let buf = std::mem::take(&mut self.scratch.buf);
+                for m in &buf.metas {
+                    match self.merge(node, m, buf.assigns_of(m), g + 1) {
                         // Layer order makes the first goal minimal-length.
                         Gen::Goal(_) if !self.cfg.all_solutions => return Outcome::Solved,
                         Gen::Goal(_) => self.bound = self.bound.min(g + 1),
                         Gen::Fresh(_) | Gen::Pruned => {}
                     }
                 }
+                self.scratch.buf = buf;
                 self.sample_progress(self.pending_frontier.len() as u64);
                 if self.over_limits() {
                     return self.limit_outcome();
@@ -629,33 +793,25 @@ impl<'a> Engine<'a> {
     // ------------------------------------------------------------------
     // A* / best-first search ordered by f = g + h (§3.1).
     // ------------------------------------------------------------------
-    fn run_astar(&mut self, init: StateSet, init_perm: u32) -> Outcome {
+    fn run_astar(&mut self) -> Outcome {
         let heuristic = match self.cfg.strategy {
             Strategy::AStar { heuristic } => heuristic,
             Strategy::Layered => unreachable!("run_astar called for layered strategy"),
         };
         let mut heap: BinaryHeap<OpenEntry> = BinaryHeap::new();
-        let h0 = heuristic_value(
-            heuristic,
-            &init,
-            init_perm,
-            &self.cfg.machine,
-            self.table.as_ref(),
-        );
+        let m0 = *self.arena.meta(0);
         heap.push(OpenEntry {
-            f: h0 as u64,
+            f: heuristic_from_meta(heuristic, m0.perm, m0.assign_count(), m0.max_dist) as u64,
             g: 0,
             node: 0,
-            state: init,
         });
 
-        let mut candidates: Vec<Candidate> = Vec::new();
         while let Some(entry) = heap.pop() {
             self.current_f = Some(entry.f);
             // Goals are queued with f = g and accepted when *popped*, the
             // standard A* discipline: every open state that could lead to a
             // shorter kernel (f < g_goal) is expanded first.
-            if entry.state.is_goal(&self.cfg.machine) {
+            if self.arena.meta(entry.node).goal {
                 return Outcome::Solved;
             }
             if entry.g >= self.bound {
@@ -666,20 +822,11 @@ impl<'a> Engine<'a> {
             if self.nodes[entry.node as usize].len as u32 != entry.g {
                 continue;
             }
-            self.stats.expanded += 1;
             let cut_threshold = self.cut_threshold_for(entry.g);
-            candidates.clear();
-            self.expand_into(
-                &entry.state,
-                entry.node,
-                entry.g,
-                cut_threshold,
-                &mut candidates,
-            );
-            for cand in candidates.drain(..) {
-                let perm = cand.perm;
-                let goal_state = cand.goal.then(|| cand.succ.clone());
-                match self.merge(cand, entry.g + 1) {
+            self.expand_node(entry.node, entry.g, cut_threshold);
+            let buf = std::mem::take(&mut self.scratch.buf);
+            for m in &buf.metas {
+                match self.merge(entry.node, m, buf.assigns_of(m), entry.g + 1) {
                     Gen::Goal(idx) => {
                         self.bound = self.bound.min(entry.g + 1);
                         if !self.cfg.all_solutions {
@@ -687,32 +834,32 @@ impl<'a> Engine<'a> {
                                 f: (entry.g + 1) as u64,
                                 g: entry.g + 1,
                                 node: idx,
-                                state: goal_state.expect("goal candidates carry their state"),
                             });
                         }
                     }
                     Gen::Fresh(idx) => {
-                        let (state, _node, _perm) = self
+                        let queued = self
                             .pending_frontier
                             .pop()
                             .expect("fresh node queued a frontier entry");
-                        let h = heuristic_value(
+                        debug_assert_eq!(queued, idx);
+                        let meta = self.arena.meta(idx);
+                        let h = heuristic_from_meta(
                             heuristic,
-                            &state,
-                            perm,
-                            &self.cfg.machine,
-                            self.table.as_ref(),
+                            meta.perm,
+                            meta.assign_count(),
+                            meta.max_dist,
                         );
                         heap.push(OpenEntry {
                             f: (entry.g + 1) as u64 + h as u64,
                             g: entry.g + 1,
                             node: idx,
-                            state,
                         });
                     }
                     Gen::Pruned => {}
                 }
             }
+            self.scratch.buf = buf;
             if self.over_limits() {
                 return self.limit_outcome();
             }
@@ -729,58 +876,46 @@ impl<'a> Engine<'a> {
     // Shared successor generation and bookkeeping
     // ------------------------------------------------------------------
 
-    /// Expands `state` (serial path): applies every permitted action and
-    /// collects surviving candidates.
-    fn expand_into(
-        &mut self,
-        state: &StateSet,
-        node: u32,
-        g: u32,
-        cut_threshold: Option<u32>,
-        out: &mut Vec<Candidate>,
-    ) {
+    /// Expands `node` in place: runs the shared expansion core over the
+    /// arena-resident state, folds the pruning counters into the run stats,
+    /// and leaves survivors in `self.scratch.buf`.
+    fn expand_node(&mut self, node: u32, g: u32, cut_threshold: Option<u32>) {
         // The instruction on the parent edge, for the dead-write cut.
         let prev_instr = {
             let n = &self.nodes[node as usize];
             (n.parent != NO_PARENT).then(|| self.actions[n.instr as usize])
         };
-        let mut scratch = std::mem::take(&mut self.scratch);
-        // `expanded` stays 0 here; it is counted by callers.
         let mut counters = WorkerCounters::default();
+        let before = self.scratch.capacity_signature();
         let ctx = ExpandCtx {
             cfg: self.cfg,
             actions: &self.actions,
             table: self.table.as_ref(),
         };
         ctx.expand(
-            state,
+            self.arena.assignments(node),
             prev_instr,
             g,
             self.bound,
             cut_threshold,
-            &mut scratch,
+            &mut self.scratch,
             &mut counters,
         );
-        out.extend(scratch.drain(..).map(|s| Candidate {
-            parent: node,
-            ai: s.ai,
-            succ: s.succ,
-            perm: s.perm,
-            goal: s.goal,
-        }));
-        self.scratch = scratch;
+        if self.scratch.capacity_signature() == before {
+            self.stats.scratch_reused += 1;
+        }
+        self.stats.expanded += counters.expanded;
         self.stats.generated += counters.generated;
         self.stats.viability_pruned += counters.viability_pruned;
         self.stats.cut_pruned += counters.cut_pruned;
         self.stats.dead_write_pruned += counters.dead_write_pruned;
     }
 
-    /// Deduplicates a surviving candidate (§3.6) and threads it into the
-    /// node arena; fresh non-goal states are queued on the pending frontier
-    /// for the caller to pick up.
-    fn merge(&mut self, cand: Candidate, g_succ: u32) -> Gen {
-        let key = cand.succ.key();
-        if let Some(&existing) = self.visited.get(&key) {
+    /// Deduplicates a surviving successor (§3.6) against the interner and
+    /// threads it into the node arena; fresh non-goal states are queued on
+    /// the pending frontier for the caller to pick up.
+    fn merge(&mut self, parent: u32, m: &SuccMeta, assigns: &[MachineState], g_succ: u32) -> Gen {
+        if let Some(existing) = self.arena.get(m.key) {
             let existing_len = self.nodes[existing as usize].len as u32;
             if existing_len < g_succ {
                 self.stats.dedup_hits += 1;
@@ -790,7 +925,7 @@ impl<'a> Engine<'a> {
                 if self.cfg.all_solutions {
                     self.nodes[existing as usize]
                         .more_parents
-                        .push((cand.parent, cand.ai));
+                        .push((parent, m.ai));
                 }
                 self.stats.dedup_hits += 1;
                 return Gen::Pruned;
@@ -798,33 +933,35 @@ impl<'a> Engine<'a> {
             // Shorter path to a known state (possible under inadmissible
             // A* ordering): re-parent and treat as fresh.
             let node = &mut self.nodes[existing as usize];
-            node.parent = cand.parent;
-            node.instr = cand.ai;
+            node.parent = parent;
+            node.instr = m.ai;
             node.len = g_succ as u16;
             node.more_parents.clear();
-            if cand.goal {
+            if m.goal {
                 return Gen::Goal(existing);
             }
-            self.note_min_perm(g_succ, cand.perm);
-            self.pending_frontier.push((cand.succ, existing, cand.perm));
+            self.note_min_perm(g_succ, m.perm);
+            self.pending_frontier.push(existing);
             return Gen::Fresh(existing);
         }
 
-        let idx = self.nodes.len() as u32;
+        let idx = self
+            .arena
+            .insert_new(m.key, assigns, m.perm, m.max_dist, m.goal);
+        debug_assert_eq!(idx as usize, self.nodes.len());
         self.nodes.push(Node {
-            parent: cand.parent,
-            instr: cand.ai,
+            parent,
+            instr: m.ai,
             more_parents: Vec::new(),
             len: g_succ as u16,
         });
-        self.visited.insert(key, idx);
         self.stats.states_kept += 1;
-        if cand.goal {
+        if m.goal {
             self.goals.push(idx);
             return Gen::Goal(idx);
         }
-        self.note_min_perm(g_succ, cand.perm);
-        self.pending_frontier.push((cand.succ, idx, cand.perm));
+        self.note_min_perm(g_succ, m.perm);
+        self.pending_frontier.push(idx);
         Gen::Fresh(idx)
     }
 
@@ -971,6 +1108,21 @@ pub(crate) fn publish_search_metrics(stats: &SearchStats, outcome: Outcome) {
         "Duplicate states dropped by the closed set.",
     )
     .add(stats.dedup_hits);
+    r.counter(
+        names::SEARCH_INTERNED_STATES_TOTAL,
+        "Unique canonical states interned into search arenas.",
+    )
+    .add(stats.interned_states);
+    r.counter(
+        names::SEARCH_SCRATCH_REUSED_TOTAL,
+        "Expansions served from already-reserved scratch capacity.",
+    )
+    .add(stats.scratch_reused);
+    r.gauge(
+        names::SEARCH_ARENA_BYTES,
+        "Assignment bytes held by the last run's state arena(s).",
+    )
+    .set(stats.arena_bytes as i64);
     if stats.distance_table_skipped {
         r.counter(
             names::SEARCH_DISTANCE_TABLE_SKIPPED_TOTAL,
@@ -1021,7 +1173,6 @@ struct OpenEntry {
     f: u64,
     g: u32,
     node: u32,
-    state: StateSet,
 }
 
 impl PartialEq for OpenEntry {

@@ -35,6 +35,25 @@ pub fn heuristic_value(
     }
 }
 
+/// [`heuristic_value`] from facts cached at intern time
+/// ([`crate::intern::StateMeta`]): no state walk, no table lookup — three
+/// field reads. `max_dist` is `0` when the run has no distance table, so
+/// `MaxRemaining` degrades to uniform cost there (the documented
+/// table-skip behavior; see [`crate::SearchStats::distance_table_skipped`]).
+pub(crate) fn heuristic_from_meta(
+    heuristic: Heuristic,
+    perm: u32,
+    assign_count: u32,
+    max_dist: u16,
+) -> u32 {
+    match heuristic {
+        Heuristic::None => 0,
+        Heuristic::PermCount => perm,
+        Heuristic::AssignCount => assign_count,
+        Heuristic::MaxRemaining => max_dist as u32,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,247 @@
+//! Arena-backed state interning: canonical states as dense `u32` ids.
+//!
+//! The engines used to carry every state as its own heap object
+//! (`Box<[MachineState]>`) and key every bookkeeping structure by the full
+//! 128-bit content hash. The arena replaces that layout with three dense
+//! structures:
+//!
+//! * one contiguous `Vec<MachineState>` holding every kept state's
+//!   assignments back to back (a state is an `(offset, len)` span);
+//! * a `Vec<StateMeta>` of per-state facts — span, permutation count,
+//!   max per-assignment distance, goal flag — computed **once** when the
+//!   state is interned, so heuristics and goal checks become field reads;
+//! * an identity-hashed `key → id` map that doubles as the closed set.
+//!
+//! Ids are dense and allocation stops once the backing vectors reach their
+//! high-water mark, so the steady-state cost of keeping a state is a
+//! `memcpy` of its span plus one map insert. The sequential engine owns one
+//! arena; each parallel shard owns its own (single-writer, behind the
+//! shard's existing lock), so interning never takes a global lock.
+
+use sortsynth_isa::MachineState;
+
+use crate::hashers::KeyMap;
+
+/// Per-state facts cached at intern time. Everything the hot loop needs
+/// after interning — heuristic inputs, goal flag, the span — without
+/// touching the assignments again.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StateMeta {
+    /// Span start in the arena's assignment store.
+    offset: u32,
+    /// Number of assignments (also §3.1's `AssignCount` heuristic).
+    len: u32,
+    /// Distinct value-register projections (§3.1/§3.5's permutation count).
+    pub perm: u32,
+    /// Maximum per-assignment sorting distance ([`crate::DistanceTable`]),
+    /// `0` when the run has no table — the `MaxRemaining` heuristic then
+    /// degrades to uniform cost, matching the documented table-skip
+    /// behavior.
+    pub max_dist: u16,
+    /// Whether every assignment is sorted (§3.4).
+    pub goal: bool,
+}
+
+impl StateMeta {
+    /// §3.1's second heuristic: the number of distinct assignments.
+    pub fn assign_count(&self) -> u32 {
+        self.len
+    }
+}
+
+/// The interner. See the module docs for the layout.
+#[derive(Default)]
+pub(crate) struct StateArena {
+    assigns: Vec<MachineState>,
+    metas: Vec<StateMeta>,
+    ids: KeyMap<u32>,
+}
+
+impl StateArena {
+    pub fn new() -> Self {
+        StateArena::default()
+    }
+
+    /// Looks up the id interned for `key`, if any.
+    #[inline]
+    pub fn get(&self, key: u128) -> Option<u32> {
+        self.ids.get(&key).copied()
+    }
+
+    /// Interns a state known to be absent (callers check [`StateArena::get`]
+    /// first) and returns its dense id.
+    pub fn insert_new(
+        &mut self,
+        key: u128,
+        assigns: &[MachineState],
+        perm: u32,
+        max_dist: u16,
+        goal: bool,
+    ) -> u32 {
+        let offset = u32::try_from(self.assigns.len()).expect("state arena span overflow");
+        self.assigns.extend_from_slice(assigns);
+        let id = u32::try_from(self.metas.len()).expect("state arena id overflow");
+        self.metas.push(StateMeta {
+            offset,
+            len: assigns.len() as u32,
+            perm,
+            max_dist,
+            goal,
+        });
+        let previous = self.ids.insert(key, id);
+        debug_assert!(previous.is_none(), "intern of an already-interned key");
+        id
+    }
+
+    /// The canonical assignments of state `id`.
+    #[inline]
+    pub fn assignments(&self, id: u32) -> &[MachineState] {
+        let m = &self.metas[id as usize];
+        &self.assigns[m.offset as usize..(m.offset + m.len) as usize]
+    }
+
+    /// The cached facts of state `id`.
+    #[inline]
+    pub fn meta(&self, id: u32) -> &StateMeta {
+        &self.metas[id as usize]
+    }
+
+    /// Number of interned states.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Bytes of assignment storage currently reserved (the arena's dominant
+    /// memory term; per-state metadata is excluded by definition of
+    /// [`crate::SearchStats::arena_bytes`]).
+    pub fn assign_bytes(&self) -> u64 {
+        (self.assigns.capacity() * std::mem::size_of::<MachineState>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{key_of, StateSet};
+    use sortsynth_isa::{IsaMode, Machine};
+
+    #[test]
+    fn intern_round_trip() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let set = StateSet::initial(&m);
+        let mut arena = StateArena::new();
+        assert_eq!(arena.get(set.key()), None);
+        let id = arena.insert_new(set.key(), set.assignments(), 6, 4, false);
+        assert_eq!(arena.get(set.key()), Some(id));
+        assert_eq!(arena.assignments(id), set.assignments());
+        let meta = arena.meta(id);
+        assert_eq!((meta.perm, meta.assign_count()), (6, 6));
+        assert_eq!(meta.max_dist, 4);
+        assert!(!meta.goal);
+        assert_eq!(arena.len(), 1);
+        assert!(arena.assign_bytes() >= 6 * 8);
+    }
+
+    /// Satellite property: interner id equality must coincide with
+    /// [`StateSet`] equality — distinct canonical states get distinct ids,
+    /// and re-deriving a state (different instruction order, same effect)
+    /// maps to the same id via the same key.
+    #[test]
+    fn id_equality_matches_state_equality() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let init = StateSet::initial(&m);
+        let mut arena = StateArena::new();
+        let mut seen: Vec<(StateSet, u32)> = Vec::new();
+        let mut frontier = vec![init];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for state in frontier {
+                let key = key_of(state.assignments());
+                assert_eq!(key, state.key(), "slice key matches StateSet::key");
+                let id = match arena.get(key) {
+                    Some(id) => id,
+                    None => {
+                        let id = arena.insert_new(key, state.assignments(), 0, 0, false);
+                        for a in m.actions() {
+                            next.push(state.apply(a));
+                        }
+                        id
+                    }
+                };
+                for (other, other_id) in &seen {
+                    assert_eq!(
+                        id == *other_id,
+                        state == *other,
+                        "id equality must match state equality"
+                    );
+                }
+                if seen.iter().all(|(_, i)| *i != id) {
+                    seen.push((state, id));
+                }
+            }
+            frontier = next;
+        }
+        assert!(arena.len() > 10, "walk interned a real population");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use sortsynth_isa::MachineState;
+
+        /// Random single assignment for the n = 3, m = 1 machine.
+        fn arb_assignment() -> impl Strategy<Value = MachineState> {
+            (
+                prop::collection::vec(0u8..=3, 4),
+                prop_oneof![
+                    Just((false, false)),
+                    Just((true, false)),
+                    Just((false, true))
+                ],
+            )
+                .prop_map(|(vals, (lt, gt))| {
+                    let mut st = MachineState::from_values(&vals);
+                    st.set_flags(lt, gt);
+                    st
+                })
+        }
+
+        proptest! {
+            /// Satellite property over *random* sets: get-or-insert through
+            /// the arena assigns equal ids exactly to equal `StateSet`s.
+            #[test]
+            fn random_sets_intern_to_matching_ids(
+                sets in prop::collection::vec(
+                    prop::collection::vec(arb_assignment(), 1..10),
+                    2..8,
+                ),
+            ) {
+                let sets: Vec<StateSet> = sets
+                    .into_iter()
+                    .map(StateSet::from_assignments)
+                    .collect();
+                let mut arena = StateArena::new();
+                let ids: Vec<u32> = sets
+                    .iter()
+                    .map(|s| match arena.get(s.key()) {
+                        Some(id) => id,
+                        None => arena.insert_new(s.key(), s.assignments(), 0, 0, false),
+                    })
+                    .collect();
+                for i in 0..sets.len() {
+                    for j in 0..sets.len() {
+                        prop_assert_eq!(
+                            ids[i] == ids[j],
+                            sets[i] == sets[j],
+                            "id equality must match state equality"
+                        );
+                        prop_assert_eq!(
+                            arena.assignments(ids[i]) == sets[i].assignments(),
+                            true
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

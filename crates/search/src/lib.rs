@@ -42,8 +42,11 @@ mod budget;
 mod config;
 mod distance;
 mod engine;
+mod hashers;
 mod heuristics;
+mod intern;
 mod lower_bound;
+mod netsort;
 mod parallel;
 mod progress;
 mod solutions;

@@ -1,0 +1,185 @@
+//! Fixed-size sorting networks for the canonicalization hot path.
+//!
+//! Canonicalizing a successor (sorting its register assignments, §3.6) is
+//! the single hottest sort in the engine: it runs once per generated state,
+//! on slices that are almost always tiny (≤ n! assignments; 24 for n = 4).
+//! A general comparison sort pays branch mispredictions and dispatch
+//! overhead exactly where the input is smallest. For lengths ≤ 32 we
+//! instead run a Batcher odd-even merge network padded to the next power of
+//! two with a max sentinel: a straight line of branch-free
+//! compare-exchanges, no recursion, no allocator, and a comparator schedule
+//! the branch predictor learns perfectly.
+
+/// Largest slice the network path handles; longer slices fall back to
+/// `sort_unstable`.
+pub(crate) const NETSORT_MAX: usize = 32;
+
+/// Comparator schedule of the Batcher odd-even merge sort for a
+/// power-of-two `n` (the classic iterative formulation).
+fn batcher_pairs(n: usize) -> Vec<(u8, u8)> {
+    debug_assert!(n.is_power_of_two() && n <= NETSORT_MAX);
+    let mut pairs = Vec::new();
+    let mut p = 1;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < n {
+                for i in 0..k.min(n - j - k) {
+                    if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                        pairs.push(((i + j) as u8, (i + j + k) as u8));
+                    }
+                }
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    pairs
+}
+
+/// The five network tiers (sizes 2, 4, 8, 16, 32), built once per process.
+fn tiers() -> &'static [Vec<(u8, u8)>; 5] {
+    static TIERS: std::sync::OnceLock<[Vec<(u8, u8)>; 5]> = std::sync::OnceLock::new();
+    TIERS.get_or_init(|| {
+        [
+            batcher_pairs(2),
+            batcher_pairs(4),
+            batcher_pairs(8),
+            batcher_pairs(16),
+            batcher_pairs(32),
+        ]
+    })
+}
+
+/// Sorts `v` (length ≤ [`NETSORT_MAX`]) through the smallest network tier
+/// that fits, padding with `pad`. `pad` must compare `>=` every element so
+/// the sentinels sink past the real data.
+pub(crate) fn sort_small<T: Copy + Ord>(v: &mut [T], pad: T) {
+    let len = v.len();
+    debug_assert!(len <= NETSORT_MAX);
+    if len < 2 {
+        return;
+    }
+    let size = len.next_power_of_two();
+    let mut buf = [pad; NETSORT_MAX];
+    buf[..len].copy_from_slice(v);
+    let tier = &tiers()[size.trailing_zeros() as usize - 1];
+    for &(i, j) in tier.iter() {
+        let (a, b) = (buf[i as usize], buf[j as usize]);
+        // Branch-free compare-exchange: both arms compile to conditional
+        // moves (min/max), never a branch on data.
+        let swap = b < a;
+        buf[i as usize] = if swap { b } else { a };
+        buf[j as usize] = if swap { a } else { b };
+    }
+    v.copy_from_slice(&buf[..len]);
+}
+
+/// Largest slice the network path is *profitable* for. Above 8 elements
+/// the padded tier grows faster than the data: a 24-element span pads to
+/// the 32-wide tier's 191 compare-exchanges, while insertion sort on the
+/// same span — which in the canonicalization path is one instruction away
+/// from an already-sorted parent, so nearly sorted — does ~1 comparison
+/// per element. Measured on the n = 4 cmp/cmov headline search, insertion
+/// above this threshold is the difference between the arena engine
+/// regressing and beating the pre-rework baseline (see EXPERIMENTS.md E-M).
+const NETWORK_PROFIT_MAX: usize = 8;
+
+/// Plain insertion sort: branchy, but O(n + inversions) on the
+/// nearly-sorted successor spans the engine feeds it.
+fn insertion_sort<T: Copy + Ord>(v: &mut [T]) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && x < v[j - 1] {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+/// Sorts a slice of any length: network tier while padding stays cheap,
+/// insertion sort through [`NETSORT_MAX`], `sort_unstable` beyond.
+pub(crate) fn sort_by_size<T: Copy + Ord>(v: &mut [T], pad: T) {
+    if v.len() <= NETWORK_PROFIT_MAX {
+        sort_small(v, pad);
+    } else if v.len() <= NETSORT_MAX {
+        insertion_sort(v);
+    } else {
+        v.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1 principle: a comparator network sorts every input iff it sorts
+    /// every 0-1 vector. Exhaustive for the tiers small enough to sweep.
+    #[test]
+    fn zero_one_principle_exhaustive_through_16() {
+        for size in [2usize, 4, 8, 16] {
+            for bits in 0u32..(1 << size) {
+                let mut v: Vec<u64> = (0..size).map(|i| u64::from(bits >> i & 1)).collect();
+                sort_small(&mut v, u64::MAX);
+                assert!(
+                    v.windows(2).all(|w| w[0] <= w[1]),
+                    "size {size} bits {bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sort_unstable_on_random_inputs() {
+        // xorshift; covers every length 0..=32 including the padded tiers.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for len in 0..=NETSORT_MAX {
+            for _ in 0..200 {
+                let mut v: Vec<u64> = (0..len).map(|_| next() % 64).collect();
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort_small(&mut v, u64::MAX);
+                assert_eq!(v, expect, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_by_size_falls_back_past_the_largest_tier() {
+        let mut v: Vec<u64> = (0..100).rev().collect();
+        sort_by_size(&mut v, u64::MAX);
+        assert_eq!(v, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sort_by_size_agrees_across_all_regimes() {
+        // Exercises the network (<=8), insertion (9..=32), and fallback
+        // (>32) regimes against sort_unstable.
+        let mut x = 0xA076_1D64_78BD_642Fu64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for len in [0, 1, 5, 8, 9, 17, 24, 32, 33, 70] {
+            for _ in 0..100 {
+                let mut v: Vec<u64> = (0..len).map(|_| next() % 32).collect();
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort_by_size(&mut v, u64::MAX);
+                assert_eq!(v, expect, "len {len}");
+            }
+        }
+    }
+}

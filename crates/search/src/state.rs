@@ -41,8 +41,7 @@ impl StateSet {
 
     /// Builds a canonical state from arbitrary assignments (sorts + dedups).
     pub fn from_assignments(mut assigns: Vec<MachineState>) -> Self {
-        assigns.sort_unstable();
-        assigns.dedup();
+        canonicalize_tail(&mut assigns, 0);
         StateSet {
             assigns: assigns.into_boxed_slice(),
         }
@@ -63,11 +62,8 @@ impl StateSet {
     /// the assignments onto the value registers `r1..rn` (§3.1's first and
     /// §3.5's cut heuristic). Scratch registers and flags are ignored.
     pub fn perm_count(&self, machine: &Machine) -> u32 {
-        let mask = value_reg_mask(machine);
-        let mut projections: Vec<u64> = self.assigns.iter().map(|a| a.bits() & mask).collect();
-        projections.sort_unstable();
-        projections.dedup();
-        projections.len() as u32
+        let mut scratch = ProjScratch::default();
+        perm_count_slice(&self.assigns, value_reg_mask(machine), &mut scratch)
     }
 
     /// Executes `instr` on every assignment and re-canonicalizes.
@@ -91,25 +87,103 @@ impl StateSet {
     /// A 128-bit content hash for deduplication (§3.6). Collision probability
     /// over even billions of states is negligible.
     pub fn key(&self) -> u128 {
-        // Two independent FxHash-style accumulators with distinct odd
-        // multipliers, combined into 128 bits.
-        const K1: u64 = 0x517c_c1b7_2722_0a95;
-        const K2: u64 = 0x9e37_79b9_7f4a_7c15;
-        let mut h1: u64 = 0x243f_6a88_85a3_08d3;
-        let mut h2: u64 = 0x1319_8a2e_0370_7344;
-        for a in self.assigns.iter() {
-            let x = a.bits();
-            h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
-            h2 = (h2.rotate_left(7) ^ x).wrapping_mul(K2);
+        key_of(&self.assigns)
+    }
+}
+
+/// The [`StateSet::key`] content hash over a canonical assignment slice.
+/// Shared with the expansion hot loop, which hashes successors in the
+/// scratch buffer before they become `StateSet`s (if they ever do).
+pub(crate) fn key_of(assigns: &[MachineState]) -> u128 {
+    // Two independent FxHash-style accumulators with distinct odd
+    // multipliers, combined into 128 bits.
+    const K1: u64 = 0x517c_c1b7_2722_0a95;
+    const K2: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h1: u64 = 0x243f_6a88_85a3_08d3;
+    let mut h2: u64 = 0x1319_8a2e_0370_7344;
+    for a in assigns {
+        let x = a.bits();
+        h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
+        h2 = (h2.rotate_left(7) ^ x).wrapping_mul(K2);
+    }
+    h1 ^= assigns.len() as u64;
+    ((h1 as u128) << 64) | h2 as u128
+}
+
+/// Canonicalizes `v[start..]` in place (sorts ascending, removes adjacent
+/// duplicates, truncates). `start == 0` canonicalizes the whole vector; the
+/// expansion loop uses nonzero `start` to canonicalize each successor's
+/// span inside one shared scratch buffer.
+pub(crate) fn canonicalize_tail(v: &mut Vec<MachineState>, start: usize) {
+    crate::netsort::sort_by_size(&mut v[start..], MachineState::from_bits(u64::MAX));
+    let mut w = start;
+    for r in start..v.len() {
+        if w == start || v[r] != v[w - 1] {
+            v[w] = v[r];
+            w += 1;
         }
-        h1 ^= self.assigns.len() as u64;
-        ((h1 as u128) << 64) | h2 as u128
+    }
+    v.truncate(w);
+}
+
+/// Reusable scratch for [`perm_count_slice`]. The bitmap half serves masks
+/// that fit 16 bits (machines through n = 4): 8 KiB of lazily-allocated
+/// words, reset after each count by zeroing only the touched words, so a
+/// count costs one test-and-set per assignment instead of a sort. Wider
+/// masks fall back to the sort-and-dedup path over `proj`.
+#[derive(Default)]
+pub(crate) struct ProjScratch {
+    proj: Vec<u64>,
+    words: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl ProjScratch {
+    /// Combined reserved capacity, for the scratch-reuse counter.
+    pub fn capacity(&self) -> usize {
+        self.proj.capacity() + self.words.len() + self.touched.capacity()
+    }
+}
+
+/// Counts distinct `mask`-projections of `assigns` using `scratch` (the
+/// permutation count when `mask` covers the value registers).
+pub(crate) fn perm_count_slice(
+    assigns: &[MachineState],
+    mask: u64,
+    scratch: &mut ProjScratch,
+) -> u32 {
+    if mask <= u16::MAX as u64 {
+        if scratch.words.is_empty() {
+            scratch.words.resize(1 << 10, 0);
+        }
+        let mut count = 0u32;
+        for a in assigns {
+            let v = (a.bits() & mask) as usize;
+            let (w, b) = (v >> 6, v & 63);
+            let word = &mut scratch.words[w];
+            if *word == 0 {
+                scratch.touched.push(w as u32);
+            }
+            count += u32::from(*word >> b & 1 == 0);
+            *word |= 1 << b;
+        }
+        for w in scratch.touched.drain(..) {
+            scratch.words[w as usize] = 0;
+        }
+        count
+    } else {
+        let proj = &mut scratch.proj;
+        proj.clear();
+        proj.extend(assigns.iter().map(|a| a.bits() & mask));
+        crate::netsort::sort_by_size(proj, u64::MAX);
+        proj.dedup();
+        proj.len() as u32
     }
 }
 
 /// Bitmask selecting the value registers `r1..rn` of a packed state (drops
 /// scratch registers and flags).
-fn value_reg_mask(machine: &Machine) -> u64 {
+pub(crate) fn value_reg_mask(machine: &Machine) -> u64 {
     let bits = 4 * machine.n() as u32;
     if bits >= 64 {
         u64::MAX

@@ -275,8 +275,16 @@ fn cancelled_parallel_search_joins_workers_and_flushes_once() {
         "cancellation took {elapsed:?}"
     );
     // All four workers joined before `synthesize` returned: thread count is
-    // back to (at most) where it started, canceller aside.
-    let threads_after = live_threads();
+    // back to (at most) where it started, canceller aside. /proc/self/task
+    // can briefly list a task whose join already completed (the kernel
+    // removes the entry asynchronously), so poll for the count to settle
+    // instead of sampling once.
+    let mut threads_after = live_threads();
+    let settle = Instant::now();
+    while threads_after > threads_before && settle.elapsed() < Duration::from_secs(2) {
+        std::thread::sleep(Duration::from_millis(10));
+        threads_after = live_threads();
+    }
     assert!(
         threads_after <= threads_before,
         "worker threads leaked: {threads_before} before, {threads_after} after"

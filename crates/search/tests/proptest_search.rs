@@ -108,6 +108,21 @@ proptest! {
         prop_assert_eq!(table.max_dist(&set), expected);
     }
 
+    /// Collision smoke test for `key()`: the engines dedup by the 128-bit
+    /// content key alone and never re-compare assignments, so over random
+    /// canonical sets key equality must coincide with set equality. (The
+    /// forward direction — equal sets hash equal — is determinism; the
+    /// interesting direction is the absence of observed collisions.)
+    #[test]
+    fn key_equality_matches_set_equality(
+        a in prop::collection::vec(arb_assignment(), 1..12),
+        b in prop::collection::vec(arb_assignment(), 1..12),
+    ) {
+        let sa = StateSet::from_assignments(a);
+        let sb = StateSet::from_assignments(b);
+        prop_assert_eq!(sa.key() == sb.key(), sa == sb);
+    }
+
     /// Erasure detection agrees with the distance table's unsortability.
     #[test]
     fn erasure_iff_unsortable(assign in arb_assignment()) {
