@@ -1,0 +1,8 @@
+//! Portfolio race benchmark: every backend raced first-win on the small
+//! kernel queries, then re-raced under the learned dispatch policy, with
+//! the winner's length asserted against the sequential optimum. Emits
+//! `BENCH_portfolio.json`.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::portfolio::run(&cfg);
+}

@@ -32,7 +32,7 @@ pub fn run(cfg: &BenchConfig) {
     println!("== E6a (§5.2): CP back-ends, n = {n} ==");
     let mut backends = Table::new(&["approach", "time", "result", "note"]);
     // Lazy-clause-generation (our CDCL core) — the Chuffed stand-in.
-    let (outcome, stats) = smt_perm(&machine, len, EncodeOptions::default(), budget);
+    let (outcome, stats) = smt_perm(&machine, len, EncodeOptions::default(), budget.clone());
     backends.row_strings(vec![
         "CP (lazy clause generation)".into(),
         fmt_duration(stats.elapsed),
@@ -44,6 +44,7 @@ pub fn run(cfg: &BenchConfig) {
     let ilp_budget = Budget {
         conflicts: None,
         timeout: Some(budget.timeout.expect("budget set") / 2),
+        ..Budget::default()
     };
     let (outcome, stats) = ilp_synthesize(&machine, len, EncodeOptions::default(), ilp_budget);
     backends.row_strings(vec![
@@ -63,6 +64,7 @@ pub fn run(cfg: &BenchConfig) {
         first_cmd_cmp: false,
         only_read_initialized: false,
         goal: Goal::Exact,
+        ..EncodeOptions::default()
     };
     let variants: Vec<(&str, &str, EncodeOptions)> = vec![
         (
@@ -165,7 +167,7 @@ pub fn run(cfg: &BenchConfig) {
         ),
     ];
     for (goal, heuristics, opts) in variants {
-        let (outcome, stats) = smt_perm(&machine, len, opts, budget);
+        let (outcome, stats) = smt_perm(&machine, len, opts, budget.clone());
         table.row_strings(vec![
             goal.into(),
             heuristics.into(),

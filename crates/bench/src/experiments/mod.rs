@@ -10,6 +10,7 @@ pub mod lower_bound;
 pub mod minmax;
 pub mod parallel_speedup;
 pub mod planning;
+pub mod portfolio;
 pub mod runtime;
 pub mod search_core;
 pub mod search_space;
@@ -55,6 +56,8 @@ pub fn run_all(cfg: &BenchConfig) {
     minmax::run(cfg);
     println!();
     parallel_speedup::run(cfg);
+    println!();
+    portfolio::run(cfg);
     println!();
     search_core::run(cfg);
     println!();

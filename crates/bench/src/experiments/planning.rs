@@ -21,6 +21,7 @@ pub fn run(cfg: &BenchConfig) {
         } else {
             cfg.budget
         }),
+        ..PlanLimits::default()
     };
 
     let max_n = if cfg.quick { 2 } else { 3 };
@@ -47,7 +48,7 @@ pub fn run(cfg: &BenchConfig) {
             ),
         ];
         for (name, strategy) in strategies {
-            let (result, elapsed) = time(|| solve(&problem, strategy, limits));
+            let (result, elapsed) = time(|| solve(&problem, strategy, limits.clone()));
             let cell = match result.outcome {
                 PlanOutcome::Solved => {
                     let plan = result.plan.as_ref().expect("solved");
@@ -75,7 +76,7 @@ pub fn run(cfg: &BenchConfig) {
             solve(
                 &seq_problem,
                 PlanStrategy::Gbfs(PlanHeuristic::HAdd),
-                limits,
+                limits.clone(),
             )
         });
         let cell = match result.outcome {

@@ -128,6 +128,7 @@ pub fn run(cfg: &BenchConfig) {
         default_timeout: Some(Duration::from_secs(120)),
         search_threads: 1,
         self_report: None,
+        portfolio: None,
     })
     .expect("bind service")
     .spawn();

@@ -26,7 +26,7 @@ pub fn run(cfg: &BenchConfig) {
         let machine = Machine::new(n, 1, IsaMode::Cmov);
         let len = optimal_cmov_len(n);
 
-        let (outcome, stats) = smt_perm(&machine, len, EncodeOptions::default(), budget);
+        let (outcome, stats) = smt_perm(&machine, len, EncodeOptions::default(), budget.clone());
         push_row(&mut table, "SMT-Perm", n, &stats.elapsed, &outcome);
 
         let (outcome, stats) = smt_cegis(
@@ -34,7 +34,7 @@ pub fn run(cfg: &BenchConfig) {
             len,
             CegisDomain::Arbitrary,
             EncodeOptions::default(),
-            budget,
+            budget.clone(),
         );
         push_row(
             &mut table,
@@ -49,7 +49,7 @@ pub fn run(cfg: &BenchConfig) {
             len,
             CegisDomain::Permutations,
             EncodeOptions::default(),
-            budget,
+            budget.clone(),
         );
         push_row(
             &mut table,

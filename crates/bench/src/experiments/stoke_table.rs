@@ -3,6 +3,7 @@
 
 use sortsynth_isa::{IsaMode, Machine};
 use sortsynth_kernels::{network_to_cmov, optimal_network};
+use sortsynth_search::SearchBudget;
 use sortsynth_stoke::{run as stoke_run, Start, StokeConfig, TestSuite};
 
 use crate::util::{fmt_duration, time, BenchConfig, Table};
@@ -26,6 +27,7 @@ pub fn run(cfg: &BenchConfig) {
                 seed: 1,
                 tests: TestSuite::Full,
                 minimize_length: true,
+                budget: SearchBudget::unlimited(),
             },
             "permutation test suite",
         ),
@@ -39,6 +41,7 @@ pub fn run(cfg: &BenchConfig) {
                 seed: 2,
                 tests: TestSuite::RandomSubset(3),
                 minimize_length: true,
+                budget: SearchBudget::unlimited(),
             },
             "random test suite",
         ),
@@ -55,6 +58,7 @@ pub fn run(cfg: &BenchConfig) {
                 seed: 3,
                 tests: TestSuite::Full,
                 minimize_length: true,
+                budget: SearchBudget::unlimited(),
             },
             "sorting-network start (12 instrs; optimum is 11)",
         ),

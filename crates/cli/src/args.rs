@@ -39,7 +39,15 @@ impl fmt::Display for ArgsError {
 impl Error for ArgsError {}
 
 /// Boolean flags (present or absent, no value).
-const FLAGS: &[&str] = &["all", "plain", "json", "fix", "dead-write-cut", "metrics"];
+const FLAGS: &[&str] = &[
+    "all",
+    "plain",
+    "json",
+    "fix",
+    "dead-write-cut",
+    "metrics",
+    "portfolio",
+];
 
 /// Options that take a value.
 const VALUED: &[&str] = &[
@@ -61,6 +69,7 @@ const VALUED: &[&str] = &[
     "cache-capacity",
     "threads",
     "search-threads",
+    "backend",
     "trace",
     "log-level",
 ];

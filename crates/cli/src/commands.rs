@@ -9,6 +9,9 @@ use sortsynth_isa::{analyze, sampling_score, InstrMix, Machine, Program, Through
 use sortsynth_jit::JitKernel;
 use sortsynth_kernels::{interpret, Kernel};
 use sortsynth_obs::{info, warn};
+use sortsynth_portfolio::{
+    backend_for, BackendKind, BackendStatus, DispatchPolicy, Portfolio, POLICY_FILE,
+};
 use sortsynth_search::{
     prove_no_solution, synthesize, BoundVerdict, Cut, Outcome, SearchBudget, SynthesisConfig,
 };
@@ -22,6 +25,8 @@ pub const USAGE: &str = "usage:
   sortsynth synth   --n N [--scratch M] [--isa cmov|minmax] [--all] [--max-len L] [--cut K]
                     [--plain] [--dead-write-cut] [--timeout SECS] [--cache-dir DIR]
                     [--threads T]                 T search threads (0 = all cores; default 1)
+                    [--backend B]                 astar|astar-par|cegis|smt-min|mcts|stoke|plan,
+                                                  or `portfolio` to race them all first-win
   sortsynth prove   --n N --len L [--budget-states S]
   sortsynth check   <file|-> --n N [--scratch M] [--isa cmov|minmax]
   sortsynth analyze <file|-> --n N [--scratch M] [--isa cmov|minmax]
@@ -30,8 +35,9 @@ pub const USAGE: &str = "usage:
   sortsynth serve   [--addr HOST:PORT] [--workers W] [--queue-depth D]
                     [--cache-dir DIR] [--cache-capacity C] [--timeout SECS] [--metrics]
                     [--search-threads T]          engine threads per synth job (default 1)
+                    [--portfolio]                 race all backends for unrouted synth requests
   sortsynth client  ping|synth|check|analyze|metrics|stats [<file|->] [--addr HOST:PORT]
-                    [--n N ...] [--timeout SECS]
+                    [--n N ...] [--timeout SECS] [--backend B]
   sortsynth stats   [--addr HOST:PORT]
   sortsynth help
 
@@ -87,6 +93,14 @@ fn open_cache(dir: &str) -> Result<KernelCache, ArgsError> {
 }
 
 fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
+    if let Some(name) = args.options.get("backend") {
+        if args.flag("all") {
+            return Err(ArgsError::new(
+                "--backend answers one query; it cannot enumerate with --all",
+            ));
+        }
+        return synth_backend(args, name);
+    }
     let machine = machine_from(args)?;
     let mut cfg = if args.flag("plain") {
         SynthesisConfig::new(machine.clone())
@@ -197,6 +211,129 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
             Ok(())
         }
     }
+}
+
+/// `sortsynth synth --backend B`: run one named backend in process, or
+/// `portfolio` to race every backend first-win behind the verify gate.
+fn synth_backend(args: &ParsedArgs, name: &str) -> Result<(), ArgsError> {
+    let machine = machine_from(args)?;
+    let query = synth_query(args)?;
+    let budget = match args.num::<f64>("timeout")? {
+        Some(secs) => SearchBudget::with_timeout(Duration::from_secs_f64(secs)),
+        None => SearchBudget::unlimited(),
+    };
+    let cache = args
+        .options
+        .get("cache-dir")
+        .map(|dir| open_cache(dir))
+        .transpose()?;
+    if let Some(cache) = &cache {
+        if let Some(entry) = cache.get(&query) {
+            info!("# length {}, from cache", entry.program.len());
+            print!("{}", machine.format_program(&entry.program));
+            return Ok(());
+        }
+    }
+    let (program, minimal_certified, search_millis) = if name == "portfolio" {
+        // Same learned dispatch table as the server: load it from the cache
+        // directory when one is given, record this race back into it.
+        let policy_path = args
+            .options
+            .get("cache-dir")
+            .map(|dir| PathBuf::from(dir).join(POLICY_FILE));
+        let mut policy = policy_path
+            .as_deref()
+            .map(DispatchPolicy::load)
+            .unwrap_or_default();
+        let report = Portfolio::all().run(&query, &budget, Some(&policy));
+        policy.record(&query, &report);
+        if let Some(path) = &policy_path {
+            let _ = policy.save(path);
+        }
+        match (report.winner, report.program) {
+            (Some(winner), Some(program)) => {
+                info!(
+                    "# length {}, won by {} ({} of {} arms reported{}) in {:?}",
+                    program.len(),
+                    winner.name(),
+                    report.outcomes.len(),
+                    BackendKind::ALL.len(),
+                    if report.widened { ", widened" } else { "" },
+                    report.elapsed
+                );
+                (
+                    program,
+                    report.minimal_certified,
+                    report.elapsed.as_millis() as u64,
+                )
+            }
+            _ if budget.is_exhausted() => {
+                return Err(ArgsError::new(format!(
+                    "portfolio timed out after {:?} without a verified winner",
+                    report.elapsed
+                )))
+            }
+            _ => return Err(ArgsError::new("no kernel found by any backend")),
+        }
+    } else {
+        let kind = BackendKind::parse(name).ok_or_else(|| {
+            ArgsError::new(format!(
+                "unknown backend `{name}` (expected portfolio or one of: {})",
+                BackendKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        let out = backend_for(kind).run(&query, &budget, None);
+        match out.status {
+            BackendStatus::Found {
+                program,
+                minimal_certified,
+            } => {
+                sortsynth_verify::gate(&machine, &program).map_err(|e| {
+                    ArgsError::new(format!(
+                        "backend `{name}` produced a program the verifier refused: {e}"
+                    ))
+                })?;
+                info!(
+                    "# length {}, backend {name}{} in {:?}",
+                    program.len(),
+                    if minimal_certified { ", minimal" } else { "" },
+                    out.elapsed
+                );
+                (program, minimal_certified, out.elapsed.as_millis() as u64)
+            }
+            BackendStatus::NoProgram => {
+                return Err(ArgsError::new(format!(
+                    "backend `{name}` proved no kernel exists within the bound"
+                )))
+            }
+            BackendStatus::Budget => {
+                return Err(ArgsError::new(format!(
+                    "backend `{name}` timed out after {:?}",
+                    out.elapsed
+                )))
+            }
+            BackendStatus::Unsupported => {
+                return Err(ArgsError::new(format!(
+                    "backend `{name}` does not support this query"
+                )))
+            }
+        }
+    };
+    print!("{}", machine.format_program(&program));
+    if let Some(cache) = &cache {
+        // A full disk is not a reason to fail the command.
+        let _ = cache.insert(CacheEntry {
+            query,
+            program,
+            minimal_certified,
+            search_millis,
+        });
+    }
+    Ok(())
 }
 
 fn prove(args: &ParsedArgs) -> Result<(), ArgsError> {
@@ -424,6 +561,9 @@ fn serve(args: &ParsedArgs) -> Result<(), ArgsError> {
         // `--metrics` turns on periodic self-reporting of the live gauges;
         // the `metrics`/`stats` protocol verbs are always available.
         self_report: args.flag("metrics").then(|| Duration::from_secs(10)),
+        // `--portfolio` races every backend for synth requests that don't
+        // name one (an empty roster means "all arms" to the server).
+        portfolio: args.flag("portfolio").then(Vec::new),
     };
     let server = Server::bind(config).map_err(|e| ArgsError::new(format!("bind: {e}")))?;
     // Tests (and scripts using port 0) parse this line for the bound port.
@@ -467,7 +607,8 @@ fn client_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
         "stats" => client.stats(),
         "synth" => {
             let timeout_ms = args.num::<f64>("timeout")?.map(|s| (s * 1000.0) as u64);
-            client.synth(synth_query(args)?, timeout_ms)
+            let backend = args.options.get("backend").cloned();
+            client.synth_with(synth_query(args)?, timeout_ms, backend)
         }
         "check" | "analyze" => {
             let machine = machine_from(args)?;
@@ -525,13 +666,17 @@ fn render_response(response: Response) -> Result<(), ArgsError> {
             match reply.program {
                 Some(text) => {
                     info!(
-                        "# length {}, {source}, search {} ms{}",
+                        "# length {}, {source}, search {} ms{}{}",
                         reply.found_len.unwrap_or(0),
                         reply.search_millis,
                         if reply.minimal_certified {
                             ", minimal"
                         } else {
                             ""
+                        },
+                        match &reply.backend {
+                            Some(backend) => format!(", backend {backend}"),
+                            None => String::new(),
                         }
                     );
                     print!("{text}");
@@ -598,6 +743,23 @@ fn render_response(response: Response) -> Result<(), ArgsError> {
             println!("cache insertions       : {}", s.cache_insertions);
             println!("cache evictions        : {}", s.cache_evictions);
             println!("cache verify rejected  : {}", s.cache_verify_rejected);
+            println!("portfolio races        : {}", s.portfolio_races);
+            println!("portfolio wins         : {}", s.portfolio_wins);
+            println!("portfolio widened      : {}", s.portfolio_widened);
+            if !s.portfolio.is_empty() {
+                println!("dispatch table (shape backend wins losses cancelled millis):");
+                for row in &s.portfolio {
+                    println!(
+                        "  {:<12} {:<10} {:>5} {:>6} {:>9} {:>7}",
+                        row.shape,
+                        row.backend,
+                        row.wins,
+                        row.losses,
+                        row.cancelled,
+                        row.total_millis
+                    );
+                }
+            }
             Ok(())
         }
         Response::Timeout(t) => Err(ArgsError::new(format!(

@@ -27,6 +27,7 @@
 //!     iterations: 20_000,
 //!     exploration: 1.4,
 //!     seed: 1,
+//!     budget: Default::default(),
 //! });
 //! if let Some(prog) = &result.best_program {
 //!     assert!(machine.is_correct(prog));
@@ -36,7 +37,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sortsynth_isa::{Instr, Machine, Program};
-use sortsynth_search::StateSet;
+use sortsynth_search::{SearchBudget, StateSet};
 
 /// Configuration for one MCTS run.
 #[derive(Debug, Clone)]
@@ -51,6 +52,9 @@ pub struct MctsConfig {
     pub exploration: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Cooperative budget: polled once per iteration, so a portfolio race
+    /// (or a request deadline) stops the run at the next iteration boundary.
+    pub budget: SearchBudget,
 }
 
 /// Result of [`run`].
@@ -58,7 +62,8 @@ pub struct MctsConfig {
 pub struct MctsResult {
     /// The shortest correct program discovered, if any.
     pub best_program: Option<Program>,
-    /// Iterations executed.
+    /// Iterations executed (lower than configured when the budget stopped
+    /// the run early).
     pub iterations_run: u64,
     /// Tree nodes allocated.
     pub nodes: usize,
@@ -94,7 +99,12 @@ pub fn run(cfg: &MctsConfig) -> MctsResult {
     let mut best: Option<Program> = None;
     let mut successful = 0u64;
 
+    let mut iterations_run = 0u64;
     for _ in 0..cfg.iterations {
+        if cfg.budget.is_exhausted() {
+            break;
+        }
+        iterations_run += 1;
         // Selection: walk down fully-expanded nodes by UCT.
         let mut path = vec![0u32];
         let mut current = 0u32;
@@ -207,7 +217,7 @@ pub fn run(cfg: &MctsConfig) -> MctsResult {
 
     MctsResult {
         best_program: best,
-        iterations_run: cfg.iterations,
+        iterations_run,
         nodes: nodes.len(),
         successful_rollouts: successful,
     }
@@ -251,6 +261,7 @@ mod tests {
             iterations: 50_000,
             exploration: 1.4,
             seed: 5,
+            budget: SearchBudget::unlimited(),
         });
         let prog = result.best_program.expect("n = 2 is in easy reach of MCTS");
         assert!(machine.is_correct(&prog));
@@ -268,9 +279,26 @@ mod tests {
             iterations: 20_000,
             exploration: 1.4,
             seed: 6,
+            budget: SearchBudget::unlimited(),
         });
         assert!(result.best_program.is_none());
         assert_eq!(result.successful_rollouts, 0);
+    }
+
+    #[test]
+    fn cancelled_budget_stops_immediately() {
+        let machine = Machine::new(2, 1, IsaMode::Cmov);
+        let (budget, handle) = SearchBudget::unlimited().cancellable();
+        handle.cancel();
+        let result = run(&MctsConfig {
+            machine,
+            max_len: 6,
+            iterations: 1_000_000,
+            exploration: 1.4,
+            seed: 5,
+            budget,
+        });
+        assert_eq!(result.iterations_run, 0);
     }
 
     #[test]
@@ -282,6 +310,7 @@ mod tests {
             iterations: 5_000,
             exploration: 1.4,
             seed: 9,
+            budget: SearchBudget::unlimited(),
         };
         let a = run(&cfg);
         let b = run(&cfg);

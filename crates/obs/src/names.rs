@@ -77,6 +77,23 @@ pub const SEARCH_SCRATCH_REUSED_TOTAL: &str = "sortsynth_search_scratch_reused_t
 /// Bytes of assignment storage held by the last run's state arena(s).
 pub const SEARCH_ARENA_BYTES: &str = "sortsynth_search_arena_bytes";
 
+// --- portfolio ---
+/// Portfolio races executed (one per query reaching the executor).
+pub const PORTFOLIO_RACES_TOTAL: &str = "sortsynth_portfolio_races_total";
+/// Races that produced a verify-gated winner.
+pub const PORTFOLIO_WIN_TOTAL: &str = "sortsynth_portfolio_win_total";
+/// Arms that completed with a solution but lost the race (or were
+/// out-raced before finishing verification).
+pub const PORTFOLIO_LOSS_TOTAL: &str = "sortsynth_portfolio_loss_total";
+/// Arms stopped early by race cancellation.
+pub const PORTFOLIO_CANCELLED_TOTAL: &str = "sortsynth_portfolio_cancelled_total";
+/// Candidate winners rejected by the static verification gate.
+pub const PORTFOLIO_VERIFY_REJECTED_TOTAL: &str = "sortsynth_portfolio_verify_rejected_total";
+/// Races whose first (policy-ranked) wave missed and widened to the rest.
+pub const PORTFOLIO_WIDENED_TOTAL: &str = "sortsynth_portfolio_widened_total";
+/// Time from race start to the first verified solution, seconds.
+pub const PORTFOLIO_TTFS_SECONDS: &str = "sortsynth_portfolio_ttfs_seconds";
+
 // --- SAT / CEGIS ---
 /// CDCL conflicts across all solver runs.
 pub const SAT_CONFLICTS_TOTAL: &str = "sortsynth_sat_conflicts_total";
@@ -92,6 +109,15 @@ pub fn request_seconds() -> Arc<Histogram> {
     registry().histogram(
         REQUEST_SECONDS,
         "End-to-end request latency in seconds.",
+        LATENCY_BUCKETS,
+    )
+}
+
+/// The time-to-first-verified-solution histogram (registered on first use).
+pub fn portfolio_ttfs_seconds() -> Arc<Histogram> {
+    registry().histogram(
+        PORTFOLIO_TTFS_SECONDS,
+        "Time from race start to the first verified solution, in seconds.",
         LATENCY_BUCKETS,
     )
 }
@@ -207,6 +233,32 @@ pub fn register_well_known() {
         SEARCH_ARENA_BYTES,
         "Assignment bytes held by the last run's state arena(s).",
     );
+
+    r.counter(
+        PORTFOLIO_RACES_TOTAL,
+        "Portfolio races executed (one per query reaching the executor).",
+    );
+    r.counter(
+        PORTFOLIO_WIN_TOTAL,
+        "Races that produced a verify-gated winner.",
+    );
+    r.counter(
+        PORTFOLIO_LOSS_TOTAL,
+        "Arms that completed a solution but lost the race.",
+    );
+    r.counter(
+        PORTFOLIO_CANCELLED_TOTAL,
+        "Arms stopped early by race cancellation.",
+    );
+    r.counter(
+        PORTFOLIO_VERIFY_REJECTED_TOTAL,
+        "Candidate winners rejected by the static verification gate.",
+    );
+    r.counter(
+        PORTFOLIO_WIDENED_TOTAL,
+        "Races whose first wave missed and widened to the remaining arms.",
+    );
+    portfolio_ttfs_seconds();
 
     r.counter(
         SAT_CONFLICTS_TOTAL,

@@ -395,6 +395,7 @@ mod tests {
             PlanLimits {
                 max_nodes: Some(5_000_000),
                 timeout: Some(std::time::Duration::from_secs(120)),
+                ..PlanLimits::default()
             },
         );
         assert_eq!(result.outcome, PlanOutcome::Solved, "stats: {result:?}");

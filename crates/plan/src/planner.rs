@@ -5,6 +5,8 @@
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
+use sortsynth_search::SearchBudget;
+
 use crate::strips::{Problem, State};
 
 /// Delete-relaxation heuristics.
@@ -57,12 +59,16 @@ pub struct PlanResult {
 }
 
 /// Search budgets.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PlanLimits {
     /// Maximum generated states.
     pub max_nodes: Option<u64>,
     /// Wall-clock limit.
     pub timeout: Option<Duration>,
+    /// Cooperative budget, polled once per expansion: a portfolio race (or
+    /// a request deadline) stops the planner at the next expansion instead
+    /// of waiting out the node budget.
+    pub budget: SearchBudget,
 }
 
 /// A search node: the state, the parent link `(node index, action index)`,
@@ -193,6 +199,15 @@ pub fn solve(problem: &Problem, strategy: PlanStrategy, limits: PlanLimits) -> P
                     elapsed: start.elapsed(),
                 };
             }
+        }
+        if limits.budget.is_exhausted() {
+            return PlanResult {
+                plan: None,
+                outcome: PlanOutcome::Budget,
+                expanded,
+                generated,
+                elapsed: start.elapsed(),
+            };
         }
     }
 }
@@ -335,10 +350,27 @@ mod tests {
             PlanStrategy::Bfs,
             PlanLimits {
                 max_nodes: Some(3),
-                timeout: None,
+                ..PlanLimits::default()
             },
         );
         assert_eq!(r.outcome, PlanOutcome::Budget);
+    }
+
+    #[test]
+    fn cancelled_budget_reports_budget() {
+        let p = chain(20);
+        let (budget, handle) = SearchBudget::unlimited().cancellable();
+        handle.cancel();
+        let r = solve(
+            &p,
+            PlanStrategy::Bfs,
+            PlanLimits {
+                budget,
+                ..PlanLimits::default()
+            },
+        );
+        assert_eq!(r.outcome, PlanOutcome::Budget);
+        assert!(r.expanded <= 1, "cancellation is seen at the first check");
     }
 
     #[test]

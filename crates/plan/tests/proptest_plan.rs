@@ -46,22 +46,22 @@ proptest! {
     fn planners_agree_on_random_token_graphs(problem in arb_problem()) {
         let limits = PlanLimits {
             max_nodes: Some(100_000),
-            timeout: None,
+            ..PlanLimits::default()
         };
-        let bfs = solve(&problem, PlanStrategy::Bfs, limits);
+        let bfs = solve(&problem, PlanStrategy::Bfs, limits.clone());
         match bfs.outcome {
             PlanOutcome::Solved => {
                 let bfs_plan = bfs.plan.expect("solved");
                 prop_assert!(problem.validate(&bfs_plan));
                 // Admissible A* finds an equally short plan.
-                let astar = solve(&problem, PlanStrategy::AStar(PlanHeuristic::HMax), limits);
+                let astar = solve(&problem, PlanStrategy::AStar(PlanHeuristic::HMax), limits.clone());
                 prop_assert_eq!(astar.outcome, PlanOutcome::Solved);
                 let astar_plan = astar.plan.expect("solved");
                 prop_assert!(problem.validate(&astar_plan));
                 prop_assert_eq!(astar_plan.len(), bfs_plan.len());
                 // Greedy searches still find *a* valid plan.
                 for h in [PlanHeuristic::GoalCount, PlanHeuristic::HAdd] {
-                    let gbfs = solve(&problem, PlanStrategy::Gbfs(h), limits);
+                    let gbfs = solve(&problem, PlanStrategy::Gbfs(h), limits.clone());
                     prop_assert_eq!(gbfs.outcome, PlanOutcome::Solved);
                     prop_assert!(problem.validate(&gbfs.plan.expect("solved")));
                 }
@@ -72,7 +72,7 @@ proptest! {
                     PlanStrategy::Gbfs(PlanHeuristic::HAdd),
                     PlanStrategy::AStar(PlanHeuristic::HMax),
                 ] {
-                    let r = solve(&problem, strategy, limits);
+                    let r = solve(&problem, strategy, limits.clone());
                     prop_assert_eq!(r.outcome, PlanOutcome::Unsolvable);
                 }
             }
@@ -83,8 +83,8 @@ proptest! {
     /// Validation rejects corrupted plans.
     #[test]
     fn validation_rejects_random_suffix_corruption(problem in arb_problem(), junk in 0usize..100) {
-        let limits = PlanLimits { max_nodes: Some(100_000), timeout: None };
-        let bfs = solve(&problem, PlanStrategy::Bfs, limits);
+        let limits = PlanLimits { max_nodes: Some(100_000), ..PlanLimits::default() };
+        let bfs = solve(&problem, PlanStrategy::Bfs, limits.clone());
         if let (PlanOutcome::Solved, Some(mut plan)) = (bfs.outcome, bfs.plan) {
             // An out-of-range action index never validates.
             plan.push(problem.actions.len() + junk);

@@ -1,4 +1,8 @@
-//! The CDCL core: watched literals, VSIDS, 1-UIP learning, Luby restarts.
+//! The CDCL core: watched literals, VSIDS, 1-UIP learning, Luby restarts,
+//! and phase saving (with externally seedable polarities for warm starts).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A boolean variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -76,8 +80,17 @@ pub struct Solver {
     watches: Vec<Vec<u32>>,
     /// Assignment per variable: 0 = false, 1 = true, 2 = unassigned.
     assign: Vec<u8>,
-    /// Saved phase per variable for phase-saving.
+    /// Saved phase per variable for phase-saving: the last polarity each
+    /// variable was assigned, kept across backtracking and restarts so
+    /// post-restart decisions revisit the same part of the search space.
+    /// Seedable from outside via [`Solver::set_phase`] (warm starts).
     phase: Vec<u8>,
+    /// Set to disable phase saving: decisions then use the static polarity
+    /// left in `phase` (ablation toggle; default off = saving enabled).
+    phase_saving_off: bool,
+    /// External stop flags, polled cooperatively during search; any set flag
+    /// makes the current solve call return [`SolveResult::Unknown`].
+    stop_flags: Vec<Arc<AtomicBool>>,
     /// Decision level per variable.
     level: Vec<u32>,
     /// Reason clause per variable (`u32::MAX` for decisions).
@@ -147,6 +160,35 @@ impl Solver {
     /// Total restarts performed across solve calls.
     pub fn restarts(&self) -> u64 {
         self.restarts
+    }
+
+    /// Enables or disables phase saving (enabled by default). With it
+    /// disabled, decision polarities fall back to whatever static values
+    /// `phase` holds (all-false unless seeded via [`Solver::set_phase`]).
+    pub fn set_phase_saving(&mut self, on: bool) {
+        self.phase_saving_off = !on;
+    }
+
+    /// Seeds the decision polarity of `var`, e.g. from a model of a related
+    /// instance (CEGIS warm starts). Purely heuristic: affects which branch
+    /// is tried first, never soundness.
+    pub fn set_phase(&mut self, var: Var, value: bool) {
+        self.phase[var.index()] = value as u8;
+    }
+
+    /// Installs external stop flags. The solver polls them cooperatively
+    /// (each decision and each conflict); once any is set, the running solve
+    /// call returns [`SolveResult::Unknown`] at the next poll. The solver
+    /// stays reusable afterwards (assignments are reset to root level).
+    pub fn set_stop_flags(&mut self, flags: Vec<Arc<AtomicBool>>) {
+        self.stop_flags = flags;
+    }
+
+    /// Whether any installed stop flag is set.
+    fn should_stop(&self) -> bool {
+        self.stop_flags
+            .iter()
+            .any(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// Creates a fresh variable.
@@ -250,7 +292,7 @@ impl Solver {
         if self.unsat {
             return SolveResult::Unsat;
         }
-        if timeout == Some(std::time::Duration::ZERO) {
+        if timeout == Some(std::time::Duration::ZERO) || self.should_stop() {
             return SolveResult::Unknown;
         }
         let deadline = timeout.map(|t| std::time::Instant::now() + t);
@@ -260,6 +302,12 @@ impl Solver {
             let budget = 64 * luby(restart_round);
             restart_round += 1;
             match self.search(budget) {
+                // A stop-flag interrupt surfaces as Unknown mid-tree; reset
+                // to root level so the solver stays reusable.
+                Some(SolveResult::Unknown) => {
+                    self.backtrack(0);
+                    return SolveResult::Unknown;
+                }
                 Some(result) => return result,
                 None => {
                     // Restart: keep learnt clauses, reset to root level.
@@ -314,10 +362,16 @@ impl Solver {
                 self.backtrack(backjump);
                 self.learn(learnt);
                 self.decay_activity();
+                if self.should_stop() {
+                    return Some(SolveResult::Unknown);
+                }
                 if conflicts_here >= conflict_budget {
                     return None;
                 }
             } else {
+                if self.should_stop() {
+                    return Some(SolveResult::Unknown);
+                }
                 match self.pick_branch_var() {
                     None => return Some(SolveResult::Sat),
                     Some(var) => {
@@ -414,7 +468,9 @@ impl Solver {
             None => {
                 let v = lit.var().index();
                 self.assign[v] = (!lit.is_neg()) as u8;
-                self.phase[v] = self.assign[v];
+                if !self.phase_saving_off {
+                    self.phase[v] = self.assign[v];
+                }
                 self.level[v] = self.trail_lim.len() as u32;
                 self.reason[v] = reason;
                 self.trail.push(lit);
@@ -601,6 +657,59 @@ mod tests {
         }
         assert_eq!(s.solve(), SolveResult::Sat);
         assert!(s.num_learnt() <= s.num_clauses());
+    }
+
+    #[test]
+    fn pre_set_stop_flag_interrupts_solve() {
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+        for i in 0..5 {
+            s.add_clause(&[Lit::pos(v[i]), Lit::pos(v[i + 1])]);
+            s.add_clause(&[Lit::neg(v[i]), Lit::neg(v[i + 1])]);
+        }
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_stop_flags(vec![Arc::clone(&flag)]);
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Clearing the flag makes the solver usable again.
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn phase_seeding_steers_the_first_model() {
+        // An unconstrained variable is decided with its seeded polarity.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.set_phase(a, true);
+        s.set_phase(b, true);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+
+        let mut s2 = Solver::new();
+        let a2 = s2.new_var();
+        let b2 = s2.new_var();
+        s2.add_clause(&[Lit::pos(a2), Lit::pos(b2)]);
+        // Default polarity is false: the first decision assigns a2 = false,
+        // propagating b2 = true.
+        assert_eq!(s2.solve(), SolveResult::Sat);
+        assert_eq!(s2.value(a2), Some(false));
+        assert_eq!(s2.value(b2), Some(true));
+    }
+
+    #[test]
+    fn phase_saving_toggle_preserves_answers() {
+        for on in [true, false] {
+            let mut s = Solver::new();
+            let v: Vec<Var> = (0..5).map(|_| s.new_var()).collect();
+            s.set_phase_saving(on);
+            for i in 0..4 {
+                s.add_clause(&[Lit::pos(v[i]), Lit::pos(v[i + 1])]);
+                s.add_clause(&[Lit::neg(v[i]), Lit::neg(v[i + 1])]);
+            }
+            assert_eq!(s.solve(), SolveResult::Sat);
+        }
     }
 
     #[test]

@@ -23,12 +23,18 @@ use std::time::{Duration, Instant};
 
 /// A deadline and/or cancellation token bounding one synthesis run.
 ///
-/// Cloning shares the underlying cancellation flag: cancelling through a
+/// Cloning shares the underlying cancellation flags: cancelling through a
 /// [`CancelHandle`] stops every search running under a clone of this budget.
+///
+/// Budgets *chain*: calling [`SearchBudget::cancellable`] on a budget that
+/// already carries a flag adds a second one, and the budget trips when
+/// *either* is set. This is how the portfolio executor derives per-race
+/// budgets from a request budget — the service can still revoke the whole
+/// request, while the race separately cancels losing arms.
 #[derive(Debug, Clone, Default)]
 pub struct SearchBudget {
     deadline: Option<Instant>,
-    cancel: Option<Arc<AtomicBool>>,
+    cancel: Vec<Arc<AtomicBool>>,
 }
 
 /// Remote control for a [`SearchBudget`]: lets another thread request that
@@ -60,7 +66,7 @@ impl SearchBudget {
     pub fn with_deadline(deadline: Instant) -> Self {
         SearchBudget {
             deadline: Some(deadline),
-            cancel: None,
+            cancel: Vec::new(),
         }
     }
 
@@ -69,11 +75,21 @@ impl SearchBudget {
         Self::with_deadline(Instant::now() + timeout)
     }
 
-    /// Attaches a cancellation flag, returning the handle that trips it.
+    /// Attaches a fresh cancellation flag, returning the handle that trips
+    /// it. Any flags already attached stay live: the budget is exhausted
+    /// when *any* of them is set, so derived budgets still honour their
+    /// parent's cancellation.
     pub fn cancellable(mut self) -> (Self, CancelHandle) {
         let flag = Arc::new(AtomicBool::new(false));
-        self.cancel = Some(Arc::clone(&flag));
+        self.cancel.push(Arc::clone(&flag));
         (self, CancelHandle { flag })
+    }
+
+    /// The raw cancellation flags, for cooperative engines outside this
+    /// crate (e.g. the SAT core) that poll stop flags directly rather than
+    /// threading a `SearchBudget` through their API.
+    pub fn stop_flags(&self) -> Vec<Arc<AtomicBool>> {
+        self.cancel.clone()
     }
 
     /// The absolute deadline, if one is set.
@@ -88,11 +104,10 @@ impl SearchBudget {
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
-    /// Whether cancellation has been requested through a [`CancelHandle`].
+    /// Whether cancellation has been requested through any attached
+    /// [`CancelHandle`].
     pub fn is_cancelled(&self) -> bool {
-        self.cancel
-            .as_ref()
-            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+        self.cancel.iter().any(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// Whether the deadline has passed.
@@ -128,6 +143,23 @@ mod tests {
         let future = SearchBudget::with_timeout(Duration::from_secs(3600));
         assert!(!future.is_expired());
         assert!(future.remaining().unwrap() > Duration::from_secs(3599));
+    }
+
+    #[test]
+    fn chained_flags_both_cancel() {
+        // A child budget derived from an already-cancellable parent trips on
+        // either handle (service-revokes-request vs race-cancels-arm).
+        let (parent, outer) = SearchBudget::unlimited().cancellable();
+        let (child, inner) = parent.clone().cancellable();
+        assert_eq!(child.stop_flags().len(), 2);
+        assert!(!child.is_cancelled());
+        inner.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "inner flag is child-only");
+
+        let (child2, _inner2) = parent.clone().cancellable();
+        outer.cancel();
+        assert!(child2.is_cancelled(), "parent flag propagates to children");
     }
 
     #[test]

@@ -40,9 +40,25 @@ impl Client {
         self.request(&Request::Ping)
     }
 
-    /// Synthesizes (or fetches) the kernel for `query`.
+    /// Synthesizes (or fetches) the kernel for `query` on the server's
+    /// default route.
     pub fn synth(&mut self, query: KernelQuery, timeout_ms: Option<u64>) -> io::Result<Response> {
-        self.request(&Request::Synth { query, timeout_ms })
+        self.synth_with(query, timeout_ms, None)
+    }
+
+    /// Synthesizes with an explicit route: a backend name (`astar`,
+    /// `cegis`, …), `portfolio` to race, or `None` for the server default.
+    pub fn synth_with(
+        &mut self,
+        query: KernelQuery,
+        timeout_ms: Option<u64>,
+        backend: Option<String>,
+    ) -> io::Result<Response> {
+        self.request(&Request::Synth {
+            query,
+            timeout_ms,
+            backend,
+        })
     }
 
     /// Checks a program's correctness.

@@ -98,6 +98,12 @@ pub enum Request {
         /// Per-request deadline in milliseconds, measured from admission.
         /// `None` uses the server's default.
         timeout_ms: Option<u64>,
+        /// Synthesis route: a backend name (`astar`, `cegis`, …),
+        /// `portfolio` to race the configured set, or `None` for the
+        /// server's default route. Routing is advisory — the cache stays
+        /// keyed by the query alone, so a cached answer is served
+        /// regardless of the requested backend.
+        backend: Option<String>,
     },
     /// Check a program's correctness on the full permutation suite.
     Check {
@@ -176,6 +182,11 @@ pub struct SynthReply {
     /// too large to build it, so the search ran with degraded pruning.
     /// Always `false` for cache/coalesced answers (no search ran).
     pub distance_table_skipped: bool,
+    /// The backend that produced this answer (`astar`, `cegis`, …) when
+    /// the request was routed through the backend dispatch layer; the
+    /// portfolio winner's name for `portfolio` routes. `None` for the
+    /// default engine path and for cache hits.
+    pub backend: Option<String>,
 }
 
 /// Diagnostics returned when a request's deadline expired mid-search.
@@ -191,9 +202,27 @@ pub struct TimeoutReply {
     pub cancelled: bool,
 }
 
+/// One row of the learned portfolio dispatch table: how an arm has fared
+/// on a query shape (mirrors `sortsynth_portfolio::PolicyRow`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioRowReply {
+    /// The query shape, canonically `n/scratch/mode` (e.g. `3/1/cmov`).
+    pub shape: String,
+    /// The backend's kebab-case name (e.g. `astar-par`).
+    pub backend: String,
+    /// Races this arm won for the shape.
+    pub wins: u64,
+    /// Races this arm completed without winning.
+    pub losses: u64,
+    /// Races this arm was cancelled in.
+    pub cancelled: u64,
+    /// Total wall-clock milliseconds this arm spent on the shape.
+    pub total_millis: u64,
+}
+
 /// A live-gauges snapshot of the running server (reply to
 /// [`Request::Stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReply {
     /// Milliseconds since the server was bound.
     pub uptime_ms: u64,
@@ -223,6 +252,14 @@ pub struct StatsReply {
     pub cache_evictions: u64,
     /// Entries refused by the static-verification gate.
     pub cache_verify_rejected: u64,
+    /// Portfolio races executed since start.
+    pub portfolio_races: u64,
+    /// Races that produced a verify-gated winner.
+    pub portfolio_wins: u64,
+    /// Races whose first wave missed and widened to the remaining arms.
+    pub portfolio_widened: u64,
+    /// The learned dispatch table, one row per (shape, backend) pair.
+    pub portfolio: Vec<PortfolioRowReply>,
 }
 
 /// A correctness-check answer.
@@ -303,10 +340,15 @@ impl Serialize for Request {
     fn serialize(&self) -> Value {
         match self {
             Request::Ping => Value::map([("op", s("ping"))]),
-            Request::Synth { query, timeout_ms } => Value::map([
+            Request::Synth {
+                query,
+                timeout_ms,
+                backend,
+            } => Value::map([
                 ("op", s("synth")),
                 ("query", query.serialize()),
                 ("timeout_ms", timeout_ms.serialize()),
+                ("backend", backend.serialize()),
             ]),
             Request::Check { machine, program } => Value::map([
                 ("op", s("check")),
@@ -335,6 +377,10 @@ impl Deserialize for Request {
                 timeout_ms: match value.get("timeout_ms") {
                     None => None,
                     Some(v) => Option::<u64>::deserialize(v)?,
+                },
+                backend: match value.get("backend") {
+                    None => None,
+                    Some(v) => Option::<String>::deserialize(v)?,
                 },
             }),
             "check" => Ok(Request::Check {
@@ -377,6 +423,32 @@ impl Deserialize for LintReply {
     }
 }
 
+impl Serialize for PortfolioRowReply {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("shape", self.shape.serialize()),
+            ("backend", self.backend.serialize()),
+            ("wins", self.wins.serialize()),
+            ("losses", self.losses.serialize()),
+            ("cancelled", self.cancelled.serialize()),
+            ("total_millis", self.total_millis.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for PortfolioRowReply {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(PortfolioRowReply {
+            shape: String::deserialize(value.required("shape")?)?,
+            backend: String::deserialize(value.required("backend")?)?,
+            wins: u64::deserialize(value.required("wins")?)?,
+            losses: u64::deserialize(value.required("losses")?)?,
+            cancelled: u64::deserialize(value.required("cancelled")?)?,
+            total_millis: u64::deserialize(value.required("total_millis")?)?,
+        })
+    }
+}
+
 impl Serialize for Response {
     fn serialize(&self) -> Value {
         match self {
@@ -392,6 +464,7 @@ impl Serialize for Response {
                     "distance_table_skipped",
                     reply.distance_table_skipped.serialize(),
                 ),
+                ("backend", reply.backend.serialize()),
             ]),
             Response::Check(reply) => Value::map([
                 ("type", s("check")),
@@ -445,6 +518,10 @@ impl Serialize for Response {
                     "cache_verify_rejected",
                     reply.cache_verify_rejected.serialize(),
                 ),
+                ("portfolio_races", reply.portfolio_races.serialize()),
+                ("portfolio_wins", reply.portfolio_wins.serialize()),
+                ("portfolio_widened", reply.portfolio_widened.serialize()),
+                ("portfolio", reply.portfolio.serialize()),
             ]),
             Response::Error { message } => {
                 Value::map([("type", s("error")), ("message", message.serialize())])
@@ -471,6 +548,10 @@ impl Deserialize for Response {
                     distance_table_skipped: bool::deserialize(
                         value.required("distance_table_skipped")?,
                     )?,
+                    backend: match value.get("backend") {
+                        None => None,
+                        Some(v) => Option::<String>::deserialize(v)?,
+                    },
                 }))
             }
             "check" => Ok(Response::Check(CheckReply {
@@ -514,6 +595,22 @@ impl Deserialize for Response {
                 cache_insertions: u64::deserialize(value.required("cache_insertions")?)?,
                 cache_evictions: u64::deserialize(value.required("cache_evictions")?)?,
                 cache_verify_rejected: u64::deserialize(value.required("cache_verify_rejected")?)?,
+                portfolio_races: match value.get("portfolio_races") {
+                    None => 0,
+                    Some(v) => u64::deserialize(v)?,
+                },
+                portfolio_wins: match value.get("portfolio_wins") {
+                    None => 0,
+                    Some(v) => u64::deserialize(v)?,
+                },
+                portfolio_widened: match value.get("portfolio_widened") {
+                    None => 0,
+                    Some(v) => u64::deserialize(v)?,
+                },
+                portfolio: match value.get("portfolio") {
+                    None => Vec::new(),
+                    Some(v) => Vec::<PortfolioRowReply>::deserialize(v)?,
+                },
             })),
             "error" => Ok(Response::Error {
                 message: String::deserialize(value.required("message")?)?,
@@ -542,10 +639,12 @@ mod tests {
             Request::Synth {
                 query: KernelQuery::best(3, 1, IsaMode::Cmov),
                 timeout_ms: Some(500),
+                backend: Some("portfolio".into()),
             },
             Request::Synth {
                 query: KernelQuery::best(2, 1, IsaMode::MinMax),
                 timeout_ms: None,
+                backend: None,
             },
             Request::Check {
                 machine: Machine::new(2, 1, IsaMode::Cmov),
@@ -575,6 +674,7 @@ mod tests {
                 source: ReplySource::Cache,
                 search_millis: 12,
                 distance_table_skipped: false,
+                backend: None,
             }),
             Response::Synth(SynthReply {
                 program: None,
@@ -583,6 +683,7 @@ mod tests {
                 source: ReplySource::Computed,
                 search_millis: 3,
                 distance_table_skipped: true,
+                backend: Some("astar".into()),
             }),
             Response::Check(CheckReply {
                 correct: false,
@@ -646,6 +747,17 @@ mod tests {
                 cache_insertions: 4,
                 cache_evictions: 0,
                 cache_verify_rejected: 0,
+                portfolio_races: 3,
+                portfolio_wins: 2,
+                portfolio_widened: 1,
+                portfolio: vec![PortfolioRowReply {
+                    shape: "3/1/cmov".into(),
+                    backend: "astar".into(),
+                    wins: 2,
+                    losses: 0,
+                    cancelled: 1,
+                    total_millis: 40,
+                }],
             }),
             Response::Error {
                 message: "bad".into(),
@@ -654,6 +766,34 @@ mod tests {
         for resp in &responses {
             assert_eq!(&round_trip(resp), resp);
         }
+    }
+
+    #[test]
+    fn legacy_frames_without_new_fields_still_parse() {
+        // Pre-portfolio peers omit `backend` and the portfolio stats
+        // fields entirely; both sides must keep accepting those frames.
+        let req: Request = serde_json::from_str(
+            r#"{"op":"synth","query":{"n":2,"scratch":1,"mode":"cmov","max_len":null,
+                "optimal_instrs_only":true,"budget_viability":true,"cut":null}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req,
+            Request::Synth {
+                timeout_ms: None,
+                backend: None,
+                ..
+            }
+        ));
+        let resp: Response = serde_json::from_str(
+            r#"{"type":"synth","program":null,"found_len":null,"minimal_certified":false,
+                "source":"computed","search_millis":1,"distance_table_skipped":false}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            resp,
+            Response::Synth(SynthReply { backend: None, .. })
+        ));
     }
 
     #[test]

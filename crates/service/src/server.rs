@@ -26,19 +26,22 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-use sortsynth_cache::{CacheEntry, CutSpec, KernelCache, KernelQuery};
+use sortsynth_cache::{fnv1a, CacheEntry, CutSpec, KernelCache, KernelQuery};
 use sortsynth_isa::{analyze, Machine, ThroughputModel};
 use sortsynth_obs::{names, FieldValue, Span};
+use sortsynth_portfolio::{
+    backend_for, BackendKind, BackendStatus, DispatchPolicy, Portfolio, POLICY_FILE,
+};
 use sortsynth_search::{synthesize, Cut, Outcome, SearchBudget, SynthesisConfig};
 
 use crate::proto::{
-    read_message, write_message, AnalyzeReply, CheckReply, LintReply, ReplySource, Request,
-    Response, StatsReply, SynthReply, TimeoutReply,
+    read_message, write_message, AnalyzeReply, CheckReply, LintReply, PortfolioRowReply,
+    ReplySource, Request, Response, StatsReply, SynthReply, TimeoutReply,
 };
 use crate::singleflight::{Role, SingleFlight};
 
@@ -77,6 +80,12 @@ pub struct ServiceConfig {
     /// depth, inflight, shed, cache hit counts) at this interval. Enabled by
     /// `sortsynth serve --metrics`.
     pub self_report: Option<Duration>,
+    /// Default synthesis route for synth requests that don't name a
+    /// backend. `None` keeps the classic engine path; `Some(names)` races
+    /// that backend set through the portfolio executor (an empty list means
+    /// every known backend). Requests carrying an explicit `backend`
+    /// override this. Enabled by `sortsynth serve --portfolio`.
+    pub portfolio: Option<Vec<String>>,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +99,7 @@ impl Default for ServiceConfig {
             default_timeout: Some(Duration::from_secs(30)),
             search_threads: 1,
             self_report: None,
+            portfolio: None,
         }
     }
 }
@@ -124,6 +134,16 @@ struct Shared {
     coalesced: AtomicU64,
     queue_depth: AtomicI64,
     inflight: AtomicI64,
+    /// Default portfolio roster for unrouted synth requests (`None` = the
+    /// classic engine path).
+    portfolio_route: Option<Vec<BackendKind>>,
+    /// The learned dispatch table, shared by every race and persisted to
+    /// `policy_path` after each update.
+    policy: Mutex<DispatchPolicy>,
+    policy_path: Option<PathBuf>,
+    portfolio_races: AtomicU64,
+    portfolio_wins: AtomicU64,
+    portfolio_widened: AtomicU64,
 }
 
 impl Shared {
@@ -145,6 +165,24 @@ impl Shared {
             cache_insertions: cache.insertions,
             cache_evictions: cache.evictions,
             cache_verify_rejected: cache.verify_rejected,
+            portfolio_races: self.portfolio_races.load(Ordering::Relaxed),
+            portfolio_wins: self.portfolio_wins.load(Ordering::Relaxed),
+            portfolio_widened: self.portfolio_widened.load(Ordering::Relaxed),
+            portfolio: self
+                .policy
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .rows()
+                .into_iter()
+                .map(|row| PortfolioRowReply {
+                    shape: row.shape,
+                    backend: row.backend,
+                    wins: row.wins,
+                    losses: row.losses,
+                    cancelled: row.cancelled,
+                    total_millis: row.total_millis,
+                })
+                .collect(),
         }
     }
 }
@@ -178,6 +216,32 @@ impl Server {
             Some(dir) => KernelCache::open(dir, config.cache_capacity)?,
             None => KernelCache::in_memory(config.cache_capacity),
         };
+        let portfolio_route = match &config.portfolio {
+            None => None,
+            Some(names) if names.is_empty() => Some(BackendKind::ALL.to_vec()),
+            Some(names) => {
+                let mut kinds = Vec::new();
+                for name in names {
+                    let kind = BackendKind::parse(name).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("unknown portfolio backend `{name}`"),
+                        )
+                    })?;
+                    if !kinds.contains(&kind) {
+                        kinds.push(kind);
+                    }
+                }
+                Some(kinds)
+            }
+        };
+        // The dispatch table lives next to the durable cache so a restarted
+        // server keeps its routing knowledge; memory-only servers start cold.
+        let policy_path = config.cache_dir.as_ref().map(|dir| dir.join(POLICY_FILE));
+        let policy = match &policy_path {
+            Some(path) => DispatchPolicy::load(path),
+            None => DispatchPolicy::new(),
+        };
         // Pre-register every metric family so the first `metrics` reply is
         // complete even before any request has touched a counter.
         names::register_well_known();
@@ -197,6 +261,12 @@ impl Server {
             coalesced: AtomicU64::new(0),
             queue_depth: AtomicI64::new(0),
             inflight: AtomicI64::new(0),
+            portfolio_route,
+            policy: Mutex::new(policy),
+            policy_path,
+            portfolio_races: AtomicU64::new(0),
+            portfolio_wins: AtomicU64::new(0),
+            portfolio_widened: AtomicU64::new(0),
         });
         let mut workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
@@ -583,7 +653,9 @@ fn execute(shared: &Shared, job: &Job) -> Response {
                 message: format!("parse error: {e}"),
             },
         },
-        Request::Synth { query, .. } => handle_synth(shared, query, job.deadline, job.span_id),
+        Request::Synth { query, backend, .. } => {
+            handle_synth(shared, query, backend.as_deref(), job.deadline, job.span_id)
+        }
         // Metrics/stats are answered inline by the connection thread and
         // never enqueued; answer anyway so the protocol stays total.
         Request::Metrics => Response::Metrics {
@@ -593,9 +665,56 @@ fn execute(shared: &Shared, job: &Job) -> Response {
     }
 }
 
+/// How a synth request is executed.
+enum SynthRoute {
+    /// The classic single-engine A* path.
+    Engine,
+    /// One named backend through its portfolio adapter.
+    Single(BackendKind),
+    /// A first-win race over this roster.
+    Race(Vec<BackendKind>),
+}
+
+impl SynthRoute {
+    /// Resolves the request's `backend` field against the server default.
+    /// The error is the message for a `Response::Error` (kept as a bare
+    /// `String` so the `Err` variant stays small).
+    fn resolve(shared: &Shared, backend: Option<&str>) -> Result<SynthRoute, String> {
+        match backend {
+            None => Ok(match &shared.portfolio_route {
+                Some(kinds) => SynthRoute::Race(kinds.clone()),
+                None => SynthRoute::Engine,
+            }),
+            Some("portfolio") => Ok(SynthRoute::Race(
+                shared
+                    .portfolio_route
+                    .clone()
+                    .unwrap_or_else(|| BackendKind::ALL.to_vec()),
+            )),
+            Some(name) => match BackendKind::parse(name) {
+                Some(kind) => Ok(SynthRoute::Single(kind)),
+                None => Err(format!("unknown backend `{name}`")),
+            },
+        }
+    }
+
+    /// Single-flight key: routes that can produce different answers (or do
+    /// different amounts of work) must not coalesce with each other, so the
+    /// route perturbs the query fingerprint. The classic path keeps the
+    /// bare fingerprint for wire compatibility with older clients.
+    fn flight_key(&self, query: &KernelQuery) -> u64 {
+        match self {
+            SynthRoute::Engine => query.fingerprint(),
+            SynthRoute::Single(kind) => query.fingerprint() ^ fnv1a(kind.name().as_bytes()),
+            SynthRoute::Race(_) => query.fingerprint() ^ fnv1a(b"portfolio"),
+        }
+    }
+}
+
 fn handle_synth(
     shared: &Shared,
     query: &KernelQuery,
+    backend: Option<&str>,
     deadline: Option<Instant>,
     span_id: u64,
 ) -> Response {
@@ -611,7 +730,11 @@ fn handle_synth(
     if let Some(entry) = shared.cache.get(query) {
         return entry_reply(&entry, ReplySource::Cache);
     }
-    match shared.flights.join(query.fingerprint()) {
+    let route = match SynthRoute::resolve(shared, backend) {
+        Ok(route) => route,
+        Err(message) => return Response::Error { message },
+    };
+    match shared.flights.join(route.flight_key(query)) {
         Role::Follower(Some(response)) => {
             shared.coalesced.fetch_add(1, Ordering::Relaxed);
             sortsynth_obs::registry()
@@ -641,7 +764,11 @@ fn handle_synth(
                     FieldValue::Str(format!("{:016x}", query.fingerprint())),
                 )],
             );
-            let response = run_search(shared, query, deadline);
+            let response = match &route {
+                SynthRoute::Engine => run_search(shared, query, deadline),
+                SynthRoute::Single(kind) => run_single(shared, query, *kind, deadline),
+                SynthRoute::Race(kinds) => run_race(shared, query, kinds, deadline),
+            };
             drop(search_span);
             // `run_search` has already published any solution to the cache,
             // so completing the flight here preserves the
@@ -695,6 +822,7 @@ fn run_search(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -
                     source: ReplySource::Computed,
                     search_millis: result.stats.search_time.as_millis() as u64,
                     distance_table_skipped: result.stats.distance_table_skipped,
+                    backend: None,
                 }),
             }
         }
@@ -710,6 +838,145 @@ fn run_search(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -
     }
 }
 
+/// The request deadline as a cooperative backend budget.
+fn backend_budget(deadline: Option<Instant>) -> SearchBudget {
+    match deadline {
+        Some(deadline) => SearchBudget::with_deadline(deadline),
+        None => SearchBudget::unlimited(),
+    }
+}
+
+/// Runs one named backend through its portfolio adapter.
+fn run_single(
+    shared: &Shared,
+    query: &KernelQuery,
+    kind: BackendKind,
+    deadline: Option<Instant>,
+) -> Response {
+    let out = backend_for(kind).run(query, &backend_budget(deadline), None);
+    let elapsed_ms = out.elapsed.as_millis() as u64;
+    match out.status {
+        BackendStatus::Found {
+            program,
+            minimal_certified,
+        } => {
+            // Stochastic arms bypass the race's verify gate on this path,
+            // so gate here: an unverifiable program must never be served
+            // (or cached) as an answer.
+            if let Err(e) = sortsynth_verify::gate(&query.machine(), &program) {
+                return Response::Error {
+                    message: format!("backend `{}` produced a rejected program: {e}", kind.name()),
+                };
+            }
+            let entry = CacheEntry {
+                query: query.clone(),
+                program,
+                minimal_certified,
+                search_millis: elapsed_ms,
+            };
+            let _ = shared.cache.insert(entry.clone());
+            with_backend(
+                entry_reply(&entry, ReplySource::Computed),
+                Some(kind.name().to_string()),
+            )
+        }
+        BackendStatus::NoProgram => with_backend(
+            Response::Synth(SynthReply {
+                program: None,
+                found_len: None,
+                minimal_certified: false,
+                source: ReplySource::Computed,
+                search_millis: elapsed_ms,
+                distance_table_skipped: false,
+                backend: None,
+            }),
+            Some(kind.name().to_string()),
+        ),
+        BackendStatus::Budget => Response::Timeout(TimeoutReply {
+            generated: 0,
+            expanded: 0,
+            elapsed_ms,
+            cancelled: false,
+        }),
+        BackendStatus::Unsupported => Response::Error {
+            message: format!("backend `{}` does not support this query", kind.name()),
+        },
+    }
+}
+
+/// Races `kinds` through the portfolio executor, records the outcome into
+/// the learned dispatch policy, and persists the table.
+fn run_race(
+    shared: &Shared,
+    query: &KernelQuery,
+    kinds: &[BackendKind],
+    deadline: Option<Instant>,
+) -> Response {
+    let budget = backend_budget(deadline);
+    // Race against a snapshot so arms never block on the policy lock.
+    let snapshot = shared
+        .policy
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let report = Portfolio::from_kinds(kinds).run(query, &budget, Some(&snapshot));
+    shared.portfolio_races.fetch_add(1, Ordering::Relaxed);
+    if report.widened {
+        shared.portfolio_widened.fetch_add(1, Ordering::Relaxed);
+    }
+    {
+        let mut policy = shared.policy.lock().unwrap_or_else(|e| e.into_inner());
+        policy.record(query, &report);
+        if let Some(path) = &shared.policy_path {
+            // Persistence is best-effort: a full disk must not fail the
+            // request whose answer is already in hand.
+            let _ = policy.save(path);
+        }
+    }
+    let elapsed_ms = report.elapsed.as_millis() as u64;
+    match (report.winner, report.program) {
+        (Some(winner), Some(program)) => {
+            shared.portfolio_wins.fetch_add(1, Ordering::Relaxed);
+            let entry = CacheEntry {
+                query: query.clone(),
+                program,
+                minimal_certified: report.minimal_certified,
+                search_millis: elapsed_ms,
+            };
+            let _ = shared.cache.insert(entry.clone());
+            with_backend(
+                entry_reply(&entry, ReplySource::Computed),
+                Some(winner.name().to_string()),
+            )
+        }
+        _ if budget.is_exhausted() => Response::Timeout(TimeoutReply {
+            generated: 0,
+            expanded: 0,
+            elapsed_ms,
+            cancelled: false,
+        }),
+        // Every arm completed without a program: a genuine (exact-arm)
+        // no-program answer for the query's bounds.
+        _ => Response::Synth(SynthReply {
+            program: None,
+            found_len: None,
+            minimal_certified: false,
+            source: ReplySource::Computed,
+            search_millis: elapsed_ms,
+            distance_table_skipped: false,
+            backend: None,
+        }),
+    }
+}
+
+/// Stamps the producing backend onto a synth reply.
+fn with_backend(mut response: Response, backend: Option<String>) -> Response {
+    if let Response::Synth(reply) = &mut response {
+        reply.backend = backend;
+    }
+    response
+}
+
 fn entry_reply(entry: &CacheEntry, source: ReplySource) -> Response {
     Response::Synth(SynthReply {
         program: Some(entry.query.machine().format_program(&entry.program)),
@@ -718,6 +985,7 @@ fn entry_reply(entry: &CacheEntry, source: ReplySource) -> Response {
         source,
         search_millis: entry.search_millis,
         distance_table_skipped: false,
+        backend: None,
     })
 }
 

@@ -355,3 +355,97 @@ fn coalesced_source_is_reported() {
     );
     handle.shutdown().unwrap();
 }
+
+#[test]
+fn portfolio_route_races_persists_policy_and_reports_the_winner() {
+    let dir = tmp_dir("portfolio");
+    let handle = start(ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..local_config()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Explicit portfolio route: a verified winner with the known-optimal
+    // n = 3 length, and the reply names the producing backend.
+    let query = KernelQuery::best(3, 1, IsaMode::Cmov);
+    let Response::Synth(reply) = client
+        .synth_with(query.clone(), Some(120_000), Some("portfolio".into()))
+        .unwrap()
+    else {
+        panic!("expected synth reply");
+    };
+    assert_eq!(reply.source, ReplySource::Computed);
+    assert_eq!(reply.found_len, Some(11));
+    let winner = reply.backend.clone().expect("winner backend name");
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let program = machine
+        .parse_program(reply.program.as_deref().unwrap())
+        .unwrap();
+    assert!(machine.is_correct(&program));
+
+    // The race's answer landed in the query-keyed cache: a plain request
+    // for the same query is a cache hit, not another race.
+    let Response::Synth(warm) = client.synth(query.clone(), Some(60_000)).unwrap() else {
+        panic!("expected synth reply");
+    };
+    assert_eq!(warm.source, ReplySource::Cache);
+    assert_eq!(warm.backend, None, "cache hits carry no backend");
+
+    // Stats expose the race counters and the learned dispatch table, and
+    // the table row for the winner records its win.
+    let Response::Stats(stats) = client.stats().unwrap() else {
+        panic!("expected stats reply");
+    };
+    assert_eq!(stats.portfolio_races, 1);
+    assert_eq!(stats.portfolio_wins, 1);
+    let row = stats
+        .portfolio
+        .iter()
+        .find(|r| r.shape == "3/1/cmov" && r.backend == winner)
+        .expect("dispatch row for the winner");
+    assert_eq!(row.wins, 1);
+
+    // The policy persisted next to the cache.
+    assert!(dir.join("portfolio_policy.json").exists());
+
+    // A single named backend answers with its own name; an unknown one is
+    // a protocol error, not a crash.
+    let single = KernelQuery::best(2, 1, IsaMode::Cmov);
+    let Response::Synth(reply) = client
+        .synth_with(single.clone(), Some(60_000), Some("astar".into()))
+        .unwrap()
+    else {
+        panic!("expected synth reply");
+    };
+    assert_eq!(reply.found_len, Some(4));
+    assert_eq!(reply.backend.as_deref(), Some("astar"));
+    // (An uncached query — routing is resolved only after the cache miss.)
+    match client
+        .synth_with(
+            KernelQuery::best(2, 1, IsaMode::MinMax),
+            Some(60_000),
+            Some("z3".into()),
+        )
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("unknown backend"), "{message}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown().unwrap();
+
+    // A restarted server reloads the learned table from disk.
+    let handle = start(ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..local_config()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let Response::Stats(stats) = client.stats().unwrap() else {
+        panic!("expected stats reply");
+    };
+    assert!(
+        stats.portfolio.iter().any(|r| r.shape == "3/1/cmov"),
+        "dispatch table survives restart"
+    );
+    handle.shutdown().unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+}

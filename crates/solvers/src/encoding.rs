@@ -42,6 +42,11 @@ pub struct EncodeOptions {
     /// Forbid reading a scratch register before it was written
     /// ("only read initialized" row).
     pub only_read_initialized: bool,
+    /// Enable CDCL phase saving, and (in CEGIS) warm-start each
+    /// iteration's decision polarities from the previous candidate model.
+    /// Purely heuristic — never changes answers, only solve effort. On by
+    /// default; the off position exists as an ablation toggle.
+    pub phase_saving: bool,
 }
 
 impl Default for EncodeOptions {
@@ -53,6 +58,7 @@ impl Default for EncodeOptions {
             cmp_symmetry: true,
             first_cmd_cmp: false,
             only_read_initialized: false,
+            phase_saving: true,
         }
     }
 }
@@ -103,6 +109,7 @@ pub fn encode(machine: &Machine, len: u32, tests: &[Vec<u8>], opts: EncodeOption
     let regs = machine.num_regs() as usize;
     let vals = n + 1; // domain 0..=n
     let mut solver = Solver::new();
+    solver.set_phase_saving(opts.phase_saving);
 
     let actions = actions_for(machine, opts);
 

@@ -226,6 +226,7 @@ pub fn ilp_synthesize(
             elapsed: start.elapsed(),
             iterations: 1,
             tests_used: sortsynth_isa::factorial(machine.n()) as usize,
+            conflicts: 0,
         },
     )
 }
@@ -303,6 +304,7 @@ mod tests {
             Budget {
                 conflicts: Some(5_000_000),
                 timeout: Some(Duration::from_secs(60)),
+                ..Budget::default()
             },
         );
         match outcome {

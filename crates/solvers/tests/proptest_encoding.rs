@@ -27,6 +27,7 @@ fn arb_options() -> impl Strategy<Value = EncodeOptions> {
             cmp_symmetry: cmp_sym,
             first_cmd_cmp: false,
             only_read_initialized: only_init,
+            phase_saving: true,
         })
 }
 

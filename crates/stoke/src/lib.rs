@@ -29,6 +29,7 @@
 //!     seed: 1,
 //!     tests: TestSuite::Full,
 //!     minimize_length: true,
+//!     budget: Default::default(),
 //! };
 //! let result = run(&cfg);
 //! if let Some(prog) = &result.best_correct {
@@ -39,6 +40,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sortsynth_isa::{Instr, Machine, MachineState, Program, Reg};
+use sortsynth_search::SearchBudget;
 
 /// Where the Markov chain starts.
 #[derive(Debug, Clone)]
@@ -84,6 +86,10 @@ pub struct StokeConfig {
     pub tests: TestSuite,
     /// Add a length term so shorter correct programs win.
     pub minimize_length: bool,
+    /// Cooperative budget, polled every few hundred proposals: a portfolio
+    /// race (or a deadline) stops the chain at the next poll instead of
+    /// waiting out the full iteration count.
+    pub budget: SearchBudget,
 }
 
 /// Result of [`run`].
@@ -97,7 +103,8 @@ pub struct StokeResult {
     /// re-checked on the full permutation suite, even when the search cost
     /// used a subset).
     pub best_correct: Option<Program>,
-    /// Steps actually executed.
+    /// Steps actually executed (lower than configured when the budget
+    /// stopped the chain early).
     pub iterations_run: u64,
     /// Proposals accepted.
     pub accepted: u64,
@@ -137,7 +144,14 @@ pub fn run(cfg: &StokeConfig) -> StokeResult {
     // A warm start may already be correct.
     consider_correct(cfg, &slots, &mut best_correct);
 
-    for _ in 0..cfg.iterations {
+    let mut iterations_run = 0u64;
+    for i in 0..cfg.iterations {
+        // MCMC steps are cheap; amortize the budget poll (an Instant::now
+        // plus a few atomic loads) over 256 of them.
+        if i & 0xFF == 0 && cfg.budget.is_exhausted() {
+            break;
+        }
+        iterations_run += 1;
         let backup = propose(&mut slots, &instrs, &mut rng);
         let new_cost = cost_of(cfg, &slots, &tests);
         let accept =
@@ -159,7 +173,7 @@ pub fn run(cfg: &StokeConfig) -> StokeResult {
         best: compact(&best),
         best_cost,
         best_correct,
-        iterations_run: cfg.iterations,
+        iterations_run,
         accepted,
     }
 }
@@ -316,6 +330,7 @@ mod tests {
             seed: 3,
             tests: TestSuite::Full,
             minimize_length: true,
+            budget: SearchBudget::unlimited(),
         };
         let result = run(&cfg);
         let best = result.best_correct.expect("warm start is itself correct");
@@ -335,6 +350,7 @@ mod tests {
             seed: 7,
             tests: TestSuite::Full,
             minimize_length: false,
+            budget: SearchBudget::unlimited(),
         };
         let result = run(&cfg);
         let best = result
@@ -356,6 +372,7 @@ mod tests {
             seed: 11,
             tests: TestSuite::RandomSubset(1),
             minimize_length: false,
+            budget: SearchBudget::unlimited(),
         };
         let result = run(&cfg);
         if let Some(p) = result.best_correct {
@@ -374,12 +391,32 @@ mod tests {
             seed: 42,
             tests: TestSuite::Full,
             minimize_length: true,
+            budget: SearchBudget::unlimited(),
         };
         let a = run(&cfg);
         let b = run(&cfg);
         assert_eq!(a.best, b.best);
         assert_eq!(a.accepted, b.accepted);
         assert!((a.best_cost - b.best_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancelled_budget_stops_the_chain_early() {
+        let machine = m2();
+        let (budget, handle) = SearchBudget::unlimited().cancellable();
+        handle.cancel();
+        let cfg = StokeConfig {
+            machine,
+            start: Start::Cold { slots: 5 },
+            iterations: 10_000_000,
+            beta: 1.0,
+            seed: 7,
+            tests: TestSuite::Full,
+            minimize_length: false,
+            budget,
+        };
+        let result = run(&cfg);
+        assert_eq!(result.iterations_run, 0, "pre-cancelled chain never steps");
     }
 
     #[test]

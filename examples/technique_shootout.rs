@@ -80,6 +80,7 @@ fn main() {
         seed: 7,
         tests: TestSuite::Full,
         minimize_length: true,
+        budget: Default::default(),
     });
     report(
         "stochastic (STOKE, cold)",
@@ -95,6 +96,7 @@ fn main() {
         iterations: 100_000,
         exploration: 1.4,
         seed: 11,
+        budget: Default::default(),
     });
     report("MCTS (unlearned)", t, mcts.best_program.map(|p| p.len()));
 

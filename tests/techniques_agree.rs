@@ -76,6 +76,7 @@ fn stoke_warm_start_from_enumerated_kernel_stays_optimal() {
         seed: 17,
         tests: TestSuite::Full,
         minimize_length: true,
+        budget: Default::default(),
     });
     let best = result.best_correct.expect("warm start is correct");
     // 4 is optimal: MCMC can never verify anything shorter.
