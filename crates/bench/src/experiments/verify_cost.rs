@@ -1,6 +1,6 @@
 //! E-V: cost of statically verifying a kernel, by strategy.
 //!
-//! The verifier has three ways to establish (or refute) correctness, with
+//! The verifier has four ways to establish (or refute) correctness, with
 //! very different costs:
 //!
 //! 1. **network certificate** — recognize the program as a comparator
@@ -8,18 +8,25 @@
 //!    simulation, no machine semantics);
 //! 2. **0-1 run** — execute the full program on all `2^n` 0-1 inputs
 //!    (sound certificate for min/max kernels, necessary-only for cmov);
-//! 3. **exhaustive permutations** — the ground-truth oracle, `n!` full
+//! 3. **symbolic value flow** — walk the order-class tree and discharge
+//!    every class (exact perm-certificate for either ISA, the only static
+//!    proof available to tie-unsafe cmp/cmov kernels);
+//! 4. **exhaustive permutations** — the ground-truth oracle, `n!` full
 //!    program runs.
 //!
-//! This experiment times all three on the library's sorting-network kernels
-//! for n = 2..5 in both ISA modes, and then measures how often dead-code
-//! elimination can shrink an *enumerated minimal* kernel (it never should:
-//! a kernel with a removable instruction is not minimal).
+//! This experiment times all four on the library's sorting-network kernels
+//! for n = 2..5 in both ISA modes (E-V); times the symbolic certificate
+//! against the oracle on the tie-unsafe reference kernels and on stitched
+//! n = 6/8 compositions, where [`sortsynth_verify::valueflow::verify_stitched`]
+//! replaces `n!` executions with per-block proofs plus `2^n` model
+//! evaluations (E-V3); and then measures how often dead-code elimination can
+//! shrink an *enumerated minimal* kernel (it never should: a kernel with a
+//! removable instruction is not minimal) (E-V2).
 
-use sortsynth_isa::{factorial, IsaMode};
-use sortsynth_kernels::network_kernel;
+use sortsynth_isa::{factorial, IsaMode, Machine, Program};
+use sortsynth_kernels::{network_kernel, reference, stitched_window3_kernel};
 use sortsynth_search::{synthesize, Cut, SynthesisConfig};
-use sortsynth_verify::{dce, network, zero_one};
+use sortsynth_verify::{dce, network, valueflow, zero_one, BlockSpec};
 
 use crate::util::{fmt_duration, time, write_bench_json, BenchConfig, Table};
 
@@ -28,6 +35,50 @@ fn mode_name(mode: IsaMode) -> &'static str {
         IsaMode::Cmov => "cmov",
         IsaMode::MinMax => "minmax",
     }
+}
+
+/// Mean wall-clock of `reps` runs of `f`, with the result of the last run.
+fn time_reps<T>(reps: u32, mut f: impl FnMut() -> T) -> (T, std::time::Duration) {
+    let (value, total) = time(|| {
+        let mut last = None;
+        for _ in 0..reps {
+            last = Some(f());
+        }
+        last.expect("reps > 0")
+    });
+    (value, total / reps)
+}
+
+/// One E-V3 differential row: symbolic (or stitched) proof vs the `n!`
+/// oracle on the same program. Returns the speedup multiple.
+#[allow(clippy::too_many_arguments)]
+fn symbolic_vs_oracle_row(
+    table: &mut Table,
+    label: &str,
+    machine: &Machine,
+    prog: &Program,
+    blocks: Option<&[BlockSpec]>,
+    reps: u32,
+    path: &str,
+) -> f64 {
+    let (certified, t_sym) = time_reps(reps, || match blocks {
+        Some(blocks) => valueflow::verify_stitched(machine, prog, blocks).is_ok(),
+        None => valueflow::analyze(machine, prog).certified(),
+    });
+    assert!(certified, "{label}: static proof failed");
+    let (correct, t_perm) = time_reps(reps, || machine.is_correct(prog));
+    assert!(correct, "{label}: oracle refutes a reference kernel");
+    let speedup = t_perm.as_secs_f64() / t_sym.as_secs_f64().max(1e-12);
+    table.row_strings(vec![
+        machine.n().to_string(),
+        label.to_string(),
+        prog.len().to_string(),
+        path.to_string(),
+        fmt_duration(t_sym),
+        fmt_duration(t_perm),
+        format!("{speedup:.1}"),
+    ]);
+    speedup
 }
 
 /// Runs the experiment.
@@ -41,50 +92,124 @@ pub fn run(cfg: &BenchConfig) {
         "instrs",
         "network cert",
         "0-1 run",
+        "symbolic",
         "exhaustive perms",
     ]);
     for mode in [IsaMode::Cmov, IsaMode::MinMax] {
         for n in 2..=max_n {
             let (machine, prog) = network_kernel(n, mode);
-            let (net, t_net) = time(|| {
-                let mut last = None;
-                for _ in 0..reps {
-                    let comparators =
-                        network::extract_network(&machine, &prog).expect("network kernel");
-                    last = Some(network::network_witness(machine.n(), &comparators));
-                }
-                last.expect("reps > 0")
+            let (net, t_net) = time_reps(reps, || {
+                let comparators =
+                    network::extract_network(&machine, &prog).expect("network kernel");
+                network::network_witness(machine.n(), &comparators)
             });
             assert!(net.is_none(), "network kernels sort");
-            let (zo, t_zo) = time(|| {
-                let mut last = None;
-                for _ in 0..reps {
-                    last = Some(zero_one::zero_one_witness(&machine, &prog));
-                }
-                last.expect("reps > 0")
-            });
+            let (zo, t_zo) = time_reps(reps, || zero_one::zero_one_witness(&machine, &prog));
             assert!(zo.is_none(), "network kernels pass 0-1");
-            let (correct, t_perm) = time(|| {
-                let mut ok = true;
-                for _ in 0..reps {
-                    ok &= machine.is_correct(&prog);
-                }
-                ok
-            });
+            let (sym, t_sym) = time_reps(reps, || valueflow::analyze(&machine, &prog));
+            assert!(sym.certified(), "network kernels earn a perm-certificate");
+            let (correct, t_perm) = time_reps(reps, || machine.is_correct(&prog));
             assert!(correct);
             table.row_strings(vec![
                 n.to_string(),
                 mode_name(mode).to_string(),
                 prog.len().to_string(),
-                fmt_duration(t_net / reps),
-                fmt_duration(t_zo / reps),
-                fmt_duration(t_perm / reps),
+                fmt_duration(t_net),
+                fmt_duration(t_zo),
+                fmt_duration(t_sym),
+                fmt_duration(t_perm),
             ]);
         }
     }
     table.print();
     table.write_csv(&cfg.ensure_out_dir().join("ev_verify_cost.csv"));
     println!("(2^n vs n! inputs: the certificate paths stay cheap where the oracle blows up)");
+
+    println!("\n== E-V3: symbolic certificates vs the n! oracle ==");
+    // Tie-unsafe kernels are where the symbolic walk earns its keep: no
+    // network shape, 0-1 inconclusive (necessary-only for cmp/cmov), so
+    // before this analyzer the gate had no choice but the oracle. The
+    // monolithic walk shares class-tree prefixes but is still Θ(n!·len) —
+    // a constant-factor win. The *composed* rows are the asymptotic win:
+    // per-block proofs plus 2^n model evaluations instead of n! runs.
+    let reps_comp: u32 = if cfg.quick { 5 } else { 50 };
+    let mut diff = Table::new(&[
+        "n",
+        "kernel",
+        "instrs",
+        "proof",
+        "symbolic",
+        "n! oracle",
+        "speedup",
+    ]);
+    {
+        let (machine, prog) = reference::alphadev_cmov3();
+        symbolic_vs_oracle_row(
+            &mut diff,
+            "alphadev3 (tie-unsafe)",
+            &machine,
+            &prog,
+            None,
+            reps,
+            "monolithic",
+        );
+    }
+    let tie5_speedup = {
+        let (machine, prog) = reference::tie_unsafe5();
+        symbolic_vs_oracle_row(
+            &mut diff,
+            "tie_unsafe5 (tie-unsafe)",
+            &machine,
+            &prog,
+            None,
+            reps,
+            "monolithic",
+        )
+    };
+    let mut composed_min_speedup = f64::INFINITY;
+    for mode in [IsaMode::Cmov, IsaMode::MinMax] {
+        for n in [6u8, 8] {
+            let (machine, prog, tiles) = stitched_window3_kernel(n, mode);
+            let blocks: Vec<BlockSpec> = tiles
+                .into_iter()
+                .map(|(start, end, sorts)| BlockSpec { start, end, sorts })
+                .collect();
+            let label = format!("stitched windows ({})", mode_name(mode));
+            let speedup = symbolic_vs_oracle_row(
+                &mut diff,
+                &label,
+                &machine,
+                &prog,
+                Some(&blocks),
+                reps_comp,
+                "composed",
+            );
+            composed_min_speedup = composed_min_speedup.min(speedup);
+        }
+    }
+    diff.print();
+    diff.write_csv(&cfg.ensure_out_dir().join("ev3_symbolic_vs_oracle.csv"));
+    println!(
+        "(tie_unsafe5 monolithic speedup {tie5_speedup:.1}x, composed min \
+         {composed_min_speedup:.1}x; the composed path is where the n! term disappears)"
+    );
+    // Acceptance gate, opt-in on the reference container: the symbolic
+    // proof must beat the oracle on the tie-unsafe n = 5 kernel (both are
+    // Θ(n!·len), so the monolithic margin is a constant factor — ~2x on the
+    // reference container, gated at 1.5x for noise), and composition must
+    // deliver the ≥10x asymptotic separation the monolithic walk cannot.
+    if std::env::var("SORTSYNTH_ENFORCE_BASELINE").as_deref() == Ok("1") {
+        assert!(
+            tie5_speedup >= 1.5,
+            "symbolic perm-certificate must beat the n! oracle on tie_unsafe5, \
+             got {tie5_speedup:.2}x"
+        );
+        assert!(
+            composed_min_speedup >= 10.0,
+            "composed certificates must beat the n! oracle >=10x, got \
+             {composed_min_speedup:.2}x"
+        );
+    }
 
     println!("\n== E-V2: DCE-reducibility of enumerated minimal kernels ==");
     let mut reducible = Table::new(&["n", "isa", "solutions checked", "dce-reducible"]);
@@ -123,8 +248,13 @@ pub fn run(cfg: &BenchConfig) {
     write_bench_json(
         "verify_cost",
         &format!(
-            "{{\"experiment\":\"verify_cost\",\"verify_cost\":{},\"dce_reducible\":{}}}\n",
+            "{{\"experiment\":\"verify_cost\",\"verify_cost\":{},\
+             \"symbolic_vs_oracle\":{},\
+             \"tie_unsafe5_speedup\":{tie5_speedup:.2},\
+             \"composed_min_speedup\":{composed_min_speedup:.2},\
+             \"dce_reducible\":{}}}\n",
             table.rows_json(),
+            diff.rows_json(),
             reducible.rows_json(),
         ),
     );

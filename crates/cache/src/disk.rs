@@ -54,6 +54,10 @@ pub struct LoadReport {
     /// input). Set by [`crate::KernelCache::open`], not by [`load`] — the
     /// disk layer only validates framing.
     pub verify_rejected: u64,
+    /// Intact frames whose gate stamp round-tripped valid, letting recovery
+    /// skip gate re-analysis. Set by [`crate::KernelCache::open`], not by
+    /// [`load`].
+    pub verify_skipped: u64,
 }
 
 /// The log file inside `dir`.
@@ -226,6 +230,7 @@ mod tests {
             program,
             minimal_certified: false,
             search_millis: 1,
+            gate_checksum: None,
         }
     }
 

@@ -36,7 +36,7 @@
 //!     .parse_program("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1")
 //!     .unwrap();
 //! cache
-//!     .insert(CacheEntry { query: query.clone(), program, minimal_certified: true, search_millis: 5 })
+//!     .insert(CacheEntry { query: query.clone(), program, minimal_certified: true, search_millis: 5, gate_checksum: None })
 //!     .unwrap();
 //! assert_eq!(cache.get(&query).unwrap().program.len(), 4);
 //! ```
@@ -78,6 +78,10 @@ pub struct CacheStats {
     /// Open-time rejections are reported separately in
     /// [`LoadReport::verify_rejected`].
     pub verify_rejected: u64,
+    /// Disk-hit promotions that skipped gate re-analysis because the record
+    /// round-tripped with a valid gate stamp. Open-time skips are reported
+    /// separately in [`LoadReport::verify_skipped`].
+    pub verify_skipped: u64,
     /// What recovery found when the store was opened.
     pub load: LoadReport,
 }
@@ -89,6 +93,7 @@ struct Counters {
     misses: AtomicU64,
     insertions: AtomicU64,
     verify_rejected: AtomicU64,
+    verify_skipped: AtomicU64,
 }
 
 /// Mirrors one cache counter increment into the process-wide metrics
@@ -149,8 +154,28 @@ impl KernelCache {
         let dir = dir.as_ref().to_path_buf();
         let (mut entries, mut load) = disk::load(&dir)?;
         let intact = entries.len();
-        entries.retain(|e| gate_error(e).is_none());
+        // A record whose gate stamp round-trips intact has already passed
+        // this gate version for these exact bytes — the frame checksum rules
+        // out torn writes and the stamp rules out hand edits, so re-running
+        // the analysis would only reproduce the recorded verdict.
+        let mut skipped = 0u64;
+        entries.retain(|e| {
+            if e.gate_stamp_valid() {
+                skipped += 1;
+                return true;
+            }
+            gate_error(e).is_none()
+        });
         load.verify_rejected = (intact - entries.len()) as u64;
+        load.verify_skipped = skipped;
+        if skipped > 0 {
+            sortsynth_obs::registry()
+                .counter(
+                    names::VERIFY_GATE_SKIPPED_TOTAL,
+                    "Gate re-analyses skipped via a valid gate stamp.",
+                )
+                .add(skipped);
+        }
         if load.rejected_tail || load.verify_rejected > 0 {
             disk::rewrite_atomic(&dir, entries.iter())?;
         }
@@ -194,8 +219,17 @@ impl KernelCache {
                 // Latest write wins: scan from the back.
                 if let Some(entry) = entries.into_iter().rev().find(|e| e.query == *query) {
                     // Re-verify before promotion: the log may have been
-                    // modified behind the append handle.
-                    if gate_error(&entry).is_none() {
+                    // modified behind the append handle. A record whose gate
+                    // stamp still matches its bytes needs no re-analysis.
+                    let stamped = entry.gate_stamp_valid();
+                    if stamped {
+                        self.counters.verify_skipped.fetch_add(1, Ordering::Relaxed);
+                        obs_inc(
+                            names::VERIFY_GATE_SKIPPED_TOTAL,
+                            "Gate re-analyses skipped via a valid gate stamp.",
+                        );
+                    }
+                    if stamped || gate_error(&entry).is_none() {
                         let entry = Arc::new(entry);
                         let evicted_before = self.lru.evictions();
                         self.lru.insert(Arc::clone(&entry));
@@ -248,7 +282,9 @@ impl KernelCache {
     /// Returns [`io::ErrorKind::InvalidData`] (without touching the log)
     /// when the kernel fails the static-verification gate: malformed for
     /// the query's machine, or refuted by a 0-1 input.
-    pub fn insert(&self, entry: CacheEntry) -> io::Result<()> {
+    pub fn insert(&self, mut entry: CacheEntry) -> io::Result<()> {
+        // Inserts always run the gate — a caller-provided stamp is never
+        // trusted as proof; only this cache stamps what it verified itself.
         if let Some(why) = gate_error(&entry) {
             self.counters
                 .verify_rejected
@@ -262,6 +298,7 @@ impl KernelCache {
                 format!("kernel refused by verification gate: {why}"),
             ));
         }
+        entry.stamp_gate();
         let entry = Arc::new(entry);
         if let Some(store) = &self.store {
             let mut file = store.file.lock();
@@ -318,6 +355,7 @@ impl KernelCache {
             insertions: self.counters.insertions.load(Ordering::Relaxed),
             evictions: self.lru.evictions(),
             verify_rejected: self.counters.verify_rejected.load(Ordering::Relaxed),
+            verify_skipped: self.counters.verify_skipped.load(Ordering::Relaxed),
             load: self.load,
         }
     }
@@ -346,6 +384,7 @@ mod tests {
             program: machine.parse_program(&blocks.join("; ")).unwrap(),
             minimal_certified: false,
             search_millis: 3,
+            gate_checksum: None,
         }
     }
 
@@ -357,6 +396,7 @@ mod tests {
             program: machine.parse_program("mov s1 r1; mov r1 r2").unwrap(),
             minimal_certified: false,
             search_millis: 3,
+            gate_checksum: None,
         }
     }
 

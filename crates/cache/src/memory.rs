@@ -120,6 +120,7 @@ mod tests {
             program: machine.parse_program("mov s1 r1").unwrap(),
             minimal_certified: false,
             search_millis: 0,
+            gate_checksum: None,
         })
     }
 

@@ -24,6 +24,7 @@ fn synthesize_entry(query: &KernelQuery) -> CacheEntry {
         program: result.first_program().expect("n=3 kernel exists"),
         minimal_certified: result.minimal_certified,
         search_millis: result.stats.search_time.as_millis() as u64,
+        gate_checksum: None,
     }
 }
 

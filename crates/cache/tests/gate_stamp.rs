@@ -1,0 +1,122 @@
+//! Gate-stamp skip: a record that round-trips with a valid checksum skips
+//! gate re-analysis on recovery, while unstamped or stale records are
+//! re-gated exactly as before. The stamp is a staleness guard, not a
+//! substitute for the gate — any content drift invalidates it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use sortsynth_cache::{disk, CacheEntry, KernelCache, KernelQuery};
+use sortsynth_isa::IsaMode;
+use sortsynth_obs::{names, registry};
+use sortsynth_search::{synthesize, SynthesisConfig};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sskc-stamp-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A correct, freshly synthesized (and therefore unstamped) n=3 entry.
+fn solved_entry(query: &KernelQuery) -> CacheEntry {
+    let cfg = SynthesisConfig::best(query.machine());
+    let result = synthesize(&cfg);
+    CacheEntry {
+        query: query.clone(),
+        program: result.first_program().expect("n=3 kernel exists"),
+        minimal_certified: result.minimal_certified,
+        search_millis: 3,
+        gate_checksum: None,
+    }
+}
+
+#[test]
+fn stamped_records_skip_the_gate_on_reopen() {
+    let dir = tmp_dir("skip");
+    let query = KernelQuery::best(3, 1, IsaMode::Cmov);
+
+    // Insert re-gates and stamps regardless of what the caller provides.
+    {
+        let cache = KernelCache::open(&dir, 8).unwrap();
+        let entry = solved_entry(&query);
+        assert!(entry.gate_checksum.is_none());
+        cache.insert(entry).unwrap();
+        assert_eq!(
+            cache.stats().load.verify_skipped,
+            0,
+            "cold open has no stamps"
+        );
+    }
+
+    // The persisted record carries a valid stamp, so recovery skips the gate.
+    let before = registry().counter_value(names::VERIFY_GATE_SKIPPED_TOTAL);
+    let cache = KernelCache::open(&dir, 8).unwrap();
+    let load = cache.stats().load;
+    assert_eq!(load.loaded, 1);
+    assert_eq!(load.verify_skipped, 1);
+    assert_eq!(load.verify_rejected, 0);
+    assert_eq!(
+        registry().counter_value(names::VERIFY_GATE_SKIPPED_TOTAL),
+        before + 1,
+        "the skip must be visible in the metrics registry"
+    );
+    let served = cache.get(&query).expect("stamped entry is served");
+    assert!(query.machine().is_correct(&served.program));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unstamped_records_are_regated_not_refused() {
+    let dir = tmp_dir("unstamped");
+    let query = KernelQuery::best(3, 1, IsaMode::Cmov);
+
+    // Hand-append a correct but unstamped record at the disk layer,
+    // bypassing insert's stamping — the shape of a pre-stamp store.
+    let entry = solved_entry(&query);
+    let mut file = disk::open_for_append(&dir).unwrap();
+    disk::append(&mut file, &entry).unwrap();
+    drop(file);
+
+    let cache = KernelCache::open(&dir, 8).unwrap();
+    let load = cache.stats().load;
+    assert_eq!(load.loaded, 1);
+    assert_eq!(load.verify_skipped, 0, "no stamp, no skip");
+    assert_eq!(load.verify_rejected, 0, "the gate itself still passes it");
+    assert!(cache.get(&query).is_some());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_stale_stamp_is_ignored_and_the_gate_still_rejects() {
+    let dir = tmp_dir("stale");
+    let query = KernelQuery::best(3, 1, IsaMode::Cmov);
+
+    // Steal the stamp from a genuine record, then swap in a program that
+    // does not sort: the stamp no longer matches the content, so recovery
+    // must fall back to the gate — which refutes the program.
+    let genuine = {
+        let cache = KernelCache::open(&dir, 8).unwrap();
+        cache.insert(solved_entry(&query)).unwrap();
+        cache.get(&query).unwrap()
+    };
+    assert!(genuine.gate_checksum.is_some());
+    let mut forged = (*genuine).clone();
+    forged.program = query.machine().parse_program("mov s1 r1").unwrap();
+    let _ = fs::remove_dir_all(&dir);
+    let mut file = disk::open_for_append(&dir).unwrap();
+    disk::append(&mut file, &forged).unwrap();
+    drop(file);
+
+    let cache = KernelCache::open(&dir, 8).unwrap();
+    let load = cache.stats().load;
+    assert_eq!(
+        load.verify_skipped, 0,
+        "a stale stamp must not skip the gate"
+    );
+    assert_eq!(
+        load.verify_rejected, 1,
+        "the re-run gate rejects the program"
+    );
+    assert!(cache.get(&query).is_none());
+    fs::remove_dir_all(&dir).unwrap();
+}

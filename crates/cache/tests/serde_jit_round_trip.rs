@@ -22,6 +22,7 @@ fn entry_payload_round_trip_is_byte_identical() {
             program: program.clone(),
             minimal_certified: false,
             search_millis: 42,
+            gate_checksum: None,
         };
         let payload = entry.to_payload();
         let back = CacheEntry::from_payload(&payload).unwrap();

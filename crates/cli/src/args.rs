@@ -45,6 +45,7 @@ const FLAGS: &[&str] = &[
     "json",
     "fix",
     "dead-write-cut",
+    "value-flow-cut",
     "metrics",
     "portfolio",
 ];

@@ -23,7 +23,8 @@ use crate::args::{ArgsError, ParsedArgs};
 /// Help text shown on errors and `sortsynth help`.
 pub const USAGE: &str = "usage:
   sortsynth synth   --n N [--scratch M] [--isa cmov|minmax] [--all] [--max-len L] [--cut K]
-                    [--plain] [--dead-write-cut] [--timeout SECS] [--cache-dir DIR]
+                    [--plain] [--dead-write-cut] [--value-flow-cut]
+                    [--timeout SECS] [--cache-dir DIR]
                     [--threads T]                 T search threads (0 = all cores; default 1)
                     [--backend B]                 astar|astar-par|cegis|smt-min|mcts|stoke|plan,
                                                   or `portfolio` to race them all first-win
@@ -149,6 +150,9 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
     if args.flag("dead-write-cut") {
         cfg = cfg.dead_write_cut(true);
     }
+    if args.flag("value-flow-cut") {
+        cfg = cfg.value_flow_cut(true);
+    }
     if let Some(threads) = args.num::<usize>("threads")? {
         // All-solutions enumeration always runs sequentially (the full DAG
         // needs ordered parent edges); the engine ignores `threads` there.
@@ -165,6 +169,12 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
         info!(
             "# dead-write cut pruned {} successors",
             result.stats.dead_write_pruned
+        );
+    }
+    if result.stats.value_flow_pruned > 0 {
+        info!(
+            "# value-flow cut pruned {} successors",
+            result.stats.value_flow_pruned
         );
     }
     match result.found_len {
@@ -205,6 +215,7 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
                         program: prog,
                         minimal_certified: result.minimal_certified,
                         search_millis: result.stats.search_time.as_millis() as u64,
+                        gate_checksum: None,
                     });
                 }
             }
@@ -331,6 +342,7 @@ fn synth_backend(args: &ParsedArgs, name: &str) -> Result<(), ArgsError> {
             program,
             minimal_certified,
             search_millis,
+            gate_checksum: None,
         });
     }
     Ok(())
@@ -480,6 +492,12 @@ fn lint(args: &ParsedArgs) -> Result<(), ArgsError> {
         if !args.flag("plain") {
             println!("verdict: {}", report.verdict.wire_name());
             match &report.verdict {
+                Verdict::CertifiedPermutations { classes } => {
+                    println!("classes: {classes} order classes discharged symbolically");
+                }
+                Verdict::RefutedPermutation { witness } => {
+                    println!("witness: permutation {witness:?} is not sorted by this kernel");
+                }
                 Verdict::RefutedZeroOne { witness } => {
                     println!("witness: {witness:?} is not sorted by this kernel");
                 }
@@ -743,6 +761,7 @@ fn render_response(response: Response) -> Result<(), ArgsError> {
             println!("cache insertions       : {}", s.cache_insertions);
             println!("cache evictions        : {}", s.cache_evictions);
             println!("cache verify rejected  : {}", s.cache_verify_rejected);
+            println!("cache verify skipped   : {}", s.cache_verify_skipped);
             println!("portfolio races        : {}", s.portfolio_races);
             println!("portfolio wins         : {}", s.portfolio_wins);
             println!("portfolio widened      : {}", s.portfolio_widened);

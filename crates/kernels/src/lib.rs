@@ -29,6 +29,9 @@ pub mod testdata;
 pub use baselines::NativeSorter;
 pub use embed::{mergesort_with, quicksort_with};
 pub use interp::{interpret, IntRegs};
-pub use networks::{network_kernel, network_to_cmov, network_to_minmax, optimal_network};
+pub use networks::{
+    network_kernel, network_to_cmov, network_to_minmax, optimal_network, stitched_window3_kernel,
+    StitchedBlock,
+};
 pub use runner::Kernel;
 pub use testdata::{embedded_inputs, standalone_inputs};

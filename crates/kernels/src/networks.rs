@@ -185,6 +185,61 @@ pub fn network_kernel(n: u8, mode: IsaMode) -> (Machine, Program) {
     (machine, prog)
 }
 
+/// One block of a stitched kernel: the instruction span `start..end` fully
+/// sorts the listed value registers (ascending in list order) and touches
+/// nothing else but scratch it initialises itself.
+pub type StitchedBlock = (usize, usize, Vec<Reg>);
+
+/// A sorting kernel for `n` values assembled from sliding 3-register
+/// window-sorting blocks (ROADMAP item 5's stitched construction): windows
+/// `(i, i+1, i+2)` for `i = 0..top-2`, with `top` shrinking from `n` to 3 —
+/// a bubble pass per carry. Each window is a full n=3 sorter (the optimal
+/// 3-network instantiated on the window's registers), so every block meets
+/// the composition contract of `sortsynth_verify::verify_stitched`.
+///
+/// Returns the machine, the kernel, and the block tiling.
+///
+/// # Panics
+///
+/// Panics for `n < 3` or `n > 14`.
+pub fn stitched_window3_kernel(n: u8, mode: IsaMode) -> (Machine, Program, Vec<StitchedBlock>) {
+    assert!(n >= 3, "window-3 stitching needs at least three values");
+    let machine = Machine::new(n, 1, mode);
+    let net3 = optimal_network(3);
+    let per_cas = match mode {
+        IsaMode::Cmov => 4,
+        IsaMode::MinMax => 3,
+    };
+    let block_len = per_cas * net3.len();
+    let mut prog = Program::new();
+    let mut blocks = Vec::new();
+    let scratch = Reg::new(n);
+    for top in (3..=n).rev() {
+        for i in 0..=top - 3 {
+            let window: Vec<Reg> = (i..i + 3).map(Reg::new).collect();
+            let start = prog.len();
+            for &(a, b) in &net3 {
+                let (lo, hi) = (window[a as usize], window[b as usize]);
+                prog.push(Instr::new(Op::Mov, scratch, lo));
+                match mode {
+                    IsaMode::Cmov => {
+                        prog.push(Instr::new(Op::Cmp, lo, hi));
+                        prog.push(Instr::new(Op::Cmovg, lo, hi));
+                        prog.push(Instr::new(Op::Cmovg, hi, scratch));
+                    }
+                    IsaMode::MinMax => {
+                        prog.push(Instr::new(Op::Min, lo, hi));
+                        prog.push(Instr::new(Op::Max, hi, scratch));
+                    }
+                }
+            }
+            debug_assert_eq!(prog.len(), start + block_len);
+            blocks.push((start, prog.len(), window));
+        }
+    }
+    (machine, prog, blocks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -269,6 +269,38 @@ pub fn enum_minmax6() -> (Machine, Program) {
     )
 }
 
+/// A deliberately tie-unsafe n = 5 cmov kernel: AlphaDev's sort3 on
+/// `r1..r3` followed by the full optimal 5-network. Perm-correct (the
+/// network re-sorts everything), but the AlphaDev prefix mangles the
+/// multiset on tied inputs like `[1, 1, 0, …]`, which no suffix can repair
+/// — so every 0-1 failure is tied and the 0-1 pipeline cannot decide it.
+/// This is the gate's worst case below the stitched sizes: symbolic
+/// certificate vs. `5!` oracle (the `verify_cost` E-V3 row).
+pub fn tie_unsafe5() -> (Machine, Program) {
+    let machine = Machine::new(5, 1, IsaMode::Cmov);
+    let (_, prefix) = alphadev_cmov3();
+    let mut prog: Program = prefix
+        .iter()
+        .map(|i| {
+            // The 3-machine's scratch s1 is index 3; remap it to the
+            // 5-machine's scratch (index 5). Value registers coincide.
+            let remap = |r: sortsynth_isa::Reg| {
+                if r.index() == 3 {
+                    sortsynth_isa::Reg::new(5)
+                } else {
+                    r
+                }
+            };
+            sortsynth_isa::Instr::new(i.op, remap(i.dst), remap(i.src))
+        })
+        .collect();
+    prog.extend(crate::networks::network_to_cmov(
+        &machine,
+        &crate::networks::optimal_network(5),
+    ));
+    (machine, prog)
+}
+
 /// Every named cmov reference kernel for n = 3, `(name, machine, program)`.
 pub fn cmov3_references() -> Vec<(&'static str, Machine, Program)> {
     let mut out = Vec::new();
@@ -299,6 +331,7 @@ mod tests {
             ("enum_minmax4", enum_minmax4()),
             ("enum_minmax5", enum_minmax5()),
             ("enum_minmax6", enum_minmax6()),
+            ("tie_unsafe5", tie_unsafe5()),
         ]
         .map(|(n, (m, p))| (n, m, p))
         {
@@ -308,6 +341,27 @@ mod tests {
                 machine.format_program(&prog)
             );
         }
+    }
+
+    #[test]
+    fn tie_unsafe5_fails_a_tied_input() {
+        // Perm-correct (asserted above) but provably not a total sorting
+        // function: the AlphaDev prefix destroys the multiset of a tied
+        // input, which the network suffix cannot restore.
+        let (machine, prog) = tie_unsafe5();
+        let mut state = sortsynth_isa::MachineState::from_values(&[1, 1, 0, 0, 0, 0]);
+        for &i in &prog {
+            state.exec(i);
+        }
+        let out: Vec<u8> = (0..5)
+            .map(|i| state.reg(sortsynth_isa::Reg::new(i)))
+            .collect();
+        assert_ne!(
+            out,
+            vec![0, 0, 0, 1, 1],
+            "{}",
+            machine.format_program(&prog)
+        );
     }
 
     #[test]

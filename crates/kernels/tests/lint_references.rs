@@ -55,19 +55,47 @@ fn minmax_references_are_certified() {
 }
 
 #[test]
-fn alphadev_sort3_is_tie_unsafe_but_admitted() {
+fn alphadev_sort3_is_perm_certified_without_the_oracle() {
     // AlphaDev's sort3 sorts every permutation but mis-sorts the tied input
-    // [1, 1, 0] — the analyzer must say so without calling it incorrect,
-    // and the cache gate must still admit it.
+    // [1, 1, 0] — the tie-unsafe class the 0-1 pipeline cannot decide. The
+    // symbolic value-flow certificate proves it perm-correct with zero
+    // exhaustive-oracle invocations, and the gate admits it on the symbolic
+    // path while the lint report still records the tied failure.
     let (machine, prog) = reference::alphadev_cmov3();
     assert!(machine.is_correct(&prog));
     let report = verify(&machine, &prog);
     assert!(
-        matches!(report.verdict, Verdict::TieUnsafe { .. }),
+        matches!(
+            report.verdict,
+            Verdict::CertifiedPermutations { classes: 6 }
+        ),
         "{:?}",
         report.verdict
     );
-    assert!(sortsynth_verify::gate(&machine, &prog).is_ok());
+    assert!(report.verdict.perm_certified());
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.kind == sortsynth_verify::LintKind::TieUnsafe));
+
+    // No other test in this binary calls the gate, so the global counters
+    // are a faithful per-call delta here.
+    let registry = sortsynth_obs::registry();
+    let oracle_before = registry.counter_value(sortsynth_obs::names::VERIFY_ORACLE_TOTAL);
+    let symbolic_before =
+        registry.counter_value(sortsynth_obs::names::VERIFY_SYMBOLIC_CERTIFIED_TOTAL);
+    let (result, path) = sortsynth_verify::gate_detail(&machine, &prog);
+    assert_eq!(result, Ok(()));
+    assert_eq!(path, sortsynth_verify::GatePath::Symbolic);
+    assert_eq!(
+        registry.counter_value(sortsynth_obs::names::VERIFY_ORACLE_TOTAL),
+        oracle_before,
+        "the permutation oracle must not run"
+    );
+    assert_eq!(
+        registry.counter_value(sortsynth_obs::names::VERIFY_SYMBOLIC_CERTIFIED_TOTAL),
+        symbolic_before + 1
+    );
 }
 
 #[test]

@@ -44,6 +44,20 @@ pub const CACHE_VERIFY_REJECTED_TOTAL: &str = "sortsynth_cache_verify_rejected_t
 /// Latency of disk-log scans on a memory miss, seconds.
 pub const CACHE_DISK_PROMOTION_SECONDS: &str = "sortsynth_cache_disk_promotion_seconds";
 
+// --- verification ---
+/// Gate admissions decided by a symbolic permutation certificate.
+pub const VERIFY_SYMBOLIC_CERTIFIED_TOTAL: &str = "sortsynth_verify_symbolic_certified_total";
+/// Gate rejections decided by a symbolic permutation refutation.
+pub const VERIFY_SYMBOLIC_REFUTED_TOTAL: &str = "sortsynth_verify_symbolic_refuted_total";
+/// Symbolic analyses that exceeded their budget inside the gate.
+pub const VERIFY_SYMBOLIC_BAILOUT_TOTAL: &str = "sortsynth_verify_symbolic_bailout_total";
+/// Gate decisions that fell back to the exhaustive permutation oracle.
+pub const VERIFY_ORACLE_TOTAL: &str = "sortsynth_verify_oracle_total";
+/// Cache recoveries that skipped re-verification via a valid checksum stamp.
+pub const VERIFY_GATE_SKIPPED_TOTAL: &str = "sortsynth_verify_gate_skipped_total";
+/// End-to-end gate latency, seconds.
+pub const VERIFY_GATE_SECONDS: &str = "sortsynth_verify_gate_seconds";
+
 // --- search ---
 /// Search engine runs completed (any outcome).
 pub const SEARCH_RUNS_TOTAL: &str = "sortsynth_search_runs_total";
@@ -55,6 +69,8 @@ pub const SEARCH_GENERATED_TOTAL: &str = "sortsynth_search_generated_total";
 pub const SEARCH_CANCELLED_TOTAL: &str = "sortsynth_search_cancelled_total";
 /// States pruned by the dead-write cut.
 pub const SEARCH_DEAD_WRITE_PRUNED_TOTAL: &str = "sortsynth_search_dead_write_pruned_total";
+/// States pruned by the value-flow cut.
+pub const SEARCH_VALUE_FLOW_PRUNED_TOTAL: &str = "sortsynth_search_value_flow_pruned_total";
 /// Heuristic lookups that skipped the distance table.
 pub const SEARCH_DISTANCE_TABLE_SKIPPED_TOTAL: &str =
     "sortsynth_search_distance_table_skipped_total";
@@ -131,6 +147,15 @@ pub fn cache_disk_promotion_seconds() -> Arc<Histogram> {
     )
 }
 
+/// The verification-gate latency histogram (registered on first use).
+pub fn verify_gate_seconds() -> Arc<Histogram> {
+    registry().histogram(
+        VERIFY_GATE_SECONDS,
+        "End-to-end verification-gate latency in seconds.",
+        LATENCY_BUCKETS,
+    )
+}
+
 /// Registers every well-known family in the default registry so the
 /// Prometheus exposition is complete from the first scrape. Idempotent.
 pub fn register_well_known() {
@@ -177,6 +202,28 @@ pub fn register_well_known() {
     cache_disk_promotion_seconds();
 
     r.counter(
+        VERIFY_SYMBOLIC_CERTIFIED_TOTAL,
+        "Gate admissions decided by a symbolic permutation certificate.",
+    );
+    r.counter(
+        VERIFY_SYMBOLIC_REFUTED_TOTAL,
+        "Gate rejections decided by a symbolic permutation refutation.",
+    );
+    r.counter(
+        VERIFY_SYMBOLIC_BAILOUT_TOTAL,
+        "Symbolic analyses that exceeded their budget inside the gate.",
+    );
+    r.counter(
+        VERIFY_ORACLE_TOTAL,
+        "Gate decisions that fell back to the exhaustive permutation oracle.",
+    );
+    r.counter(
+        VERIFY_GATE_SKIPPED_TOTAL,
+        "Cache recoveries that skipped re-verification via a valid checksum stamp.",
+    );
+    verify_gate_seconds();
+
+    r.counter(
         SEARCH_RUNS_TOTAL,
         "Search engine runs completed (any outcome).",
     );
@@ -195,6 +242,10 @@ pub fn register_well_known() {
     r.counter(
         SEARCH_DEAD_WRITE_PRUNED_TOTAL,
         "States pruned by the dead-write cut.",
+    );
+    r.counter(
+        SEARCH_VALUE_FLOW_PRUNED_TOTAL,
+        "States pruned by the value-flow cut.",
     );
     r.counter(
         SEARCH_DISTANCE_TABLE_SKIPPED_TOTAL,
@@ -289,7 +340,12 @@ mod tests {
             REQUEST_SECONDS,
             QUEUE_DEPTH,
             CACHE_MISSES_TOTAL,
+            VERIFY_SYMBOLIC_CERTIFIED_TOTAL,
+            VERIFY_ORACLE_TOTAL,
+            VERIFY_GATE_SKIPPED_TOTAL,
+            VERIFY_GATE_SECONDS,
             SEARCH_EXPANDED_TOTAL,
+            SEARCH_VALUE_FLOW_PRUNED_TOTAL,
             SEARCH_CANCELLED_TOTAL,
             SAT_CONFLICTS_TOTAL,
             CEGIS_ITERATIONS_TOTAL,

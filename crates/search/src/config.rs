@@ -120,6 +120,18 @@ pub struct SynthesisConfig {
     /// layered search has already expanded, so no minimal-length solution
     /// is lost.
     pub dead_write_cut: bool,
+    /// Skip successors the symbolic value-flow analyzer proves redundant: a
+    /// new instruction that cannot change any reachable register assignment
+    /// (a `mov`/`min`/`max`/`cmov` whose destination already holds the
+    /// selected value in every parent assignment, a `cmp` that recomputes the
+    /// current flags) yields a state identical to its parent, which the
+    /// search has already expanded at a shorter length — so the prune is
+    /// lossless. When the run is not collecting all solutions and not
+    /// restricted to optimal first instructions, the cut additionally drops
+    /// conditional moves whose condition holds in every parent assignment
+    /// (the successor equals the one reached by the unconditional `mov` with
+    /// the same operands, which is generated alongside it).
+    pub value_flow_cut: bool,
     /// Hard upper bound on program length (inclusive). Used both as a search
     /// budget and, by the lower-bound prover, as the exhaustion depth.
     pub max_len: Option<u32>,
@@ -173,6 +185,7 @@ impl SynthesisConfig {
             budget_viability: false,
             optimal_instrs_only: false,
             dead_write_cut: false,
+            value_flow_cut: false,
             max_len: None,
             all_solutions: false,
             node_limit: None,
@@ -231,6 +244,12 @@ impl SynthesisConfig {
     /// Enables/disables the liveness-based dead-write successor cut.
     pub fn dead_write_cut(mut self, on: bool) -> Self {
         self.dead_write_cut = on;
+        self
+    }
+
+    /// Enables/disables the symbolic value-flow successor cut.
+    pub fn value_flow_cut(mut self, on: bool) -> Self {
+        self.value_flow_cut = on;
         self
     }
 

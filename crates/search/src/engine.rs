@@ -73,6 +73,11 @@ pub struct SearchStats {
     /// ([`SynthesisConfig::dead_write_cut`]): the appended instruction would
     /// have made the parent edge's instruction dead.
     pub dead_write_pruned: u64,
+    /// Successors skipped by the symbolic value-flow cut
+    /// ([`SynthesisConfig::value_flow_cut`]): the appended instruction was
+    /// proven effect-free on every assignment of the parent state (or
+    /// subsumed by the plain `mov` generated alongside it).
+    pub value_flow_pruned: u64,
     /// Unique states kept (nodes in the solution DAG).
     pub states_kept: u64,
     /// The configuration asked for the distance table, but the machine has
@@ -131,6 +136,8 @@ pub struct ShardStats {
     pub cut_pruned: u64,
     /// Successors skipped by the dead-write cut on this worker.
     pub dead_write_pruned: u64,
+    /// Successors skipped by the value-flow cut on this worker.
+    pub value_flow_pruned: u64,
     /// Candidates this shard received (routed or merged in place) and
     /// disposed of as the owner of their keys.
     pub merged: u64,
@@ -490,6 +497,12 @@ impl ExpandCtx<'_> {
         };
         let machine = &self.cfg.machine;
         let mask = value_reg_mask(machine);
+        // The sibling-subsumption half of the value-flow cut drops edges
+        // whose successor duplicates the plain `mov` successor generated in
+        // this same sweep — only safe when the full action set is on the
+        // table and the caller does not want every minimal program.
+        let vf_subsume =
+            self.cfg.value_flow_cut && !self.cfg.all_solutions && !self.cfg.optimal_instrs_only;
         // Successor-distance fast path: with the parent's encodings in hand
         // a candidate's viability check is one table row scan — unsortable
         // and over-budget successors are pruned without ever being stepped.
@@ -522,6 +535,10 @@ impl ExpandCtx<'_> {
                     counters.dead_write_pruned += 1;
                     continue;
                 }
+            }
+            if self.cfg.value_flow_cut && value_flow_redundant(state, instr, vf_subsume) {
+                counters.value_flow_pruned += 1;
+                continue;
             }
             counters.generated += 1;
 
@@ -909,6 +926,7 @@ impl<'a> Engine<'a> {
         self.stats.viability_pruned += counters.viability_pruned;
         self.stats.cut_pruned += counters.cut_pruned;
         self.stats.dead_write_pruned += counters.dead_write_pruned;
+        self.stats.value_flow_pruned += counters.value_flow_pruned;
     }
 
     /// Deduplicates a surviving successor (§3.6) against the interner and
@@ -1061,6 +1079,7 @@ impl<'a> Engine<'a> {
             cut_pruned: self.stats.cut_pruned,
             dedup_hits: self.stats.dedup_hits,
             dead_write_pruned: self.stats.dead_write_pruned,
+            value_flow_pruned: self.stats.value_flow_pruned,
             distance_table_skipped: self.stats.distance_table_skipped,
             finished: outcome.is_some(),
             outcome,
@@ -1103,6 +1122,11 @@ pub(crate) fn publish_search_metrics(stats: &SearchStats, outcome: Outcome) {
         "States pruned by the dead-write cut.",
     )
     .add(stats.dead_write_pruned);
+    r.counter(
+        names::SEARCH_VALUE_FLOW_PRUNED_TOTAL,
+        "States pruned by the symbolic value-flow cut.",
+    )
+    .add(stats.value_flow_pruned);
     r.counter(
         names::SEARCH_DEDUP_HITS_TOTAL,
         "Duplicate states dropped by the closed set.",
@@ -1165,6 +1189,34 @@ pub(crate) struct WorkerCounters {
     pub viability_pruned: u64,
     pub cut_pruned: u64,
     pub dead_write_pruned: u64,
+    pub value_flow_pruned: u64,
+}
+
+/// Whether the symbolic value-flow cut may discard `instr` as a successor of
+/// `state` without losing any reachable state.
+///
+/// The unconditional half fires when the instruction is effect-free on every
+/// assignment: the successor *is* the parent (same canonical set), which the
+/// search already expanded one layer earlier, so dropping the edge removes
+/// only a guaranteed dedup hit. With `subsume` the cut additionally fires
+/// when the instruction selects the source value in every assignment — the
+/// successor then duplicates the one reached by `mov dst, src`, which the
+/// same action sweep generates (callers must ensure the full action set is
+/// in play and duplicate DAG edges are not wanted).
+fn value_flow_redundant(state: &[MachineState], instr: Instr, subsume: bool) -> bool {
+    if state.iter().all(|&a| a.step(instr) == a) {
+        return true;
+    }
+    if !subsume {
+        return false;
+    }
+    match instr.op {
+        Op::Cmovl => state.iter().all(|&a| a.lt_flag()),
+        Op::Cmovg => state.iter().all(|&a| a.gt_flag()),
+        Op::Min => state.iter().all(|&a| a.reg(instr.src) <= a.reg(instr.dst)),
+        Op::Max => state.iter().all(|&a| a.reg(instr.src) >= a.reg(instr.dst)),
+        _ => false,
+    }
 }
 
 /// Open-list entry for A*: ordered so that the smallest `f` (then `g`, then

@@ -38,6 +38,8 @@ pub struct SearchProgress {
     pub dedup_hits: u64,
     /// Successors skipped by the dead-write cut so far.
     pub dead_write_pruned: u64,
+    /// Successors skipped by the symbolic value-flow cut so far.
+    pub value_flow_pruned: u64,
     /// Whether this run fell back to degraded pruning because the machine
     /// exceeds the distance table's limits.
     pub distance_table_skipped: bool,
@@ -103,6 +105,10 @@ pub(crate) fn deliver(hook: Option<&ProgressHook>, snapshot: &SearchProgress) {
                 FieldValue::U64(snapshot.dead_write_pruned),
             ),
             (
+                "value_flow_pruned",
+                FieldValue::U64(snapshot.value_flow_pruned),
+            ),
+            (
                 "distance_table_skipped",
                 FieldValue::Bool(snapshot.distance_table_skipped),
             ),
@@ -141,6 +147,7 @@ mod tests {
             cut_pruned: 0,
             dedup_hits: 0,
             dead_write_pruned: 0,
+            value_flow_pruned: 0,
             distance_table_skipped: false,
             finished: true,
             outcome: Some(Outcome::Exhausted),

@@ -42,6 +42,10 @@ fn allocations() -> u64 {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "global-allocator counting is not meaningful under miri"
+)]
 fn expansion_path_allocates_o1_amortized() {
     let machine = Machine::new(3, 1, IsaMode::Cmov);
     let cfg = SynthesisConfig::best(machine);

@@ -95,6 +95,7 @@ fn check_result(machine: &Machine, label: &str, threads: usize, result: &Synthes
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "differential equivalence suite is too slow under miri")]
 fn n2_both_isas_full_matrix() {
     for mode in [IsaMode::Cmov, IsaMode::MinMax] {
         let machine = Machine::new(2, 1, mode);
@@ -109,6 +110,7 @@ fn n2_both_isas_full_matrix() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "differential equivalence suite is too slow under miri")]
 fn n3_minmax_full_matrix() {
     let machine = Machine::new(3, 1, IsaMode::MinMax);
     for (label, cfg) in lossless_configs(&machine, 8) {
@@ -117,6 +119,7 @@ fn n3_minmax_full_matrix() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "differential equivalence suite is too slow under miri")]
 fn n3_cmov_table_rows() {
     // The plain n = 3 cmov space is minutes-deep in debug mode (the paper's
     // 56 s Dijkstra row); the distance-table rows finish in seconds and
@@ -138,6 +141,7 @@ fn n3_cmov_table_rows() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "differential equivalence suite is too slow under miri")]
 fn n4_minmax_table_rows() {
     let machine = Machine::new(4, 1, IsaMode::MinMax);
     let cfg = SynthesisConfig::new(machine.clone())
@@ -152,6 +156,7 @@ fn n4_minmax_table_rows() {
 /// equality at every thread count. Run by the CI `parallel-smoke` job with
 /// `--release -- --include-ignored`.
 #[test]
+#[cfg_attr(miri, ignore = "differential equivalence suite is too slow under miri")]
 #[ignore = "minutes in debug mode; CI runs it with --release"]
 fn n4_cmov_best_config_agrees_across_thread_counts() {
     let machine = Machine::new(4, 1, IsaMode::Cmov);
@@ -168,6 +173,7 @@ fn n4_cmov_best_config_agrees_across_thread_counts() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "differential equivalence suite is too slow under miri")]
 fn seeded_stress_is_invariant_under_interleaving_perturbation() {
     // Satellite 2: the same parallel search, 20 times, each run with a
     // different seed for the test-only per-worker yield/sleep injection —
@@ -241,6 +247,7 @@ fn live_threads() -> usize {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "differential equivalence suite is too slow under miri")]
 fn cancelled_parallel_search_joins_workers_and_flushes_once() {
     // Satellite 3: a parallel search cancelled mid-flight returns
     // `Cancelled` promptly, leaves no worker thread behind, and emits the
@@ -299,6 +306,7 @@ fn cancelled_parallel_search_joins_workers_and_flushes_once() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "differential equivalence suite is too slow under miri")]
 fn oversized_machine_synthesizes_in_parallel_without_panic() {
     // Satellite 4 regression: a machine past the distance table's
     // 256-action limit must take the same graceful fallback on the parallel

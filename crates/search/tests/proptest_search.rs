@@ -29,6 +29,7 @@ fn arb_assignment() -> impl Strategy<Value = MachineState> {
 proptest! {
     /// Canonicalization is order-insensitive and idempotent.
     #[test]
+    #[cfg_attr(miri, ignore = "property sweep is too slow under miri")]
     fn canonicalization_is_order_insensitive(
         mut assigns in prop::collection::vec(arb_assignment(), 1..12),
     ) {
@@ -47,6 +48,7 @@ proptest! {
     /// differed only in their flags — so the correct upper bound for it is
     /// the predecessor's assignment count.)
     #[test]
+    #[cfg_attr(miri, ignore = "property sweep is too slow under miri")]
     fn counts_are_monotone_under_apply(
         assigns in prop::collection::vec(arb_assignment(), 1..12),
         action_idx in 0usize..64,
@@ -65,6 +67,7 @@ proptest! {
     /// arbitrary assignments: one step changes the distance by at most one
     /// in each direction (so it is an admissible, consistent heuristic).
     #[test]
+    #[cfg_attr(miri, ignore = "property sweep is too slow under miri")]
     fn distance_table_is_consistent(assign in arb_assignment(), action_idx in 0usize..64) {
         let m = machine();
         let table = DistanceTable::build(&m, false);
@@ -82,6 +85,7 @@ proptest! {
 
     /// Zero distance iff the assignment is sorted.
     #[test]
+    #[cfg_attr(miri, ignore = "property sweep is too slow under miri")]
     fn distance_zero_iff_sorted(assign in arb_assignment()) {
         let m = machine();
         let table = DistanceTable::build(&m, false);
@@ -90,6 +94,7 @@ proptest! {
 
     /// `max_dist` over a set is the max of the members' distances.
     #[test]
+    #[cfg_attr(miri, ignore = "property sweep is too slow under miri")]
     fn max_dist_is_the_maximum(assigns in prop::collection::vec(arb_assignment(), 1..8)) {
         let m = machine();
         let table = DistanceTable::build(&m, false);
@@ -114,6 +119,7 @@ proptest! {
     /// forward direction — equal sets hash equal — is determinism; the
     /// interesting direction is the absence of observed collisions.)
     #[test]
+    #[cfg_attr(miri, ignore = "property sweep is too slow under miri")]
     fn key_equality_matches_set_equality(
         a in prop::collection::vec(arb_assignment(), 1..12),
         b in prop::collection::vec(arb_assignment(), 1..12),
@@ -125,6 +131,7 @@ proptest! {
 
     /// Erasure detection agrees with the distance table's unsortability.
     #[test]
+    #[cfg_attr(miri, ignore = "property sweep is too slow under miri")]
     fn erasure_iff_unsortable(assign in arb_assignment()) {
         let m = machine();
         let table = DistanceTable::build(&m, false);

@@ -1,0 +1,140 @@
+//! Differential matrix for the symbolic value-flow cut: for every row
+//! (machine × configuration × thread count) the search with the cut enabled
+//! must report exactly the same optimal cost as the search without it, and
+//! the synthesized kernels must pass the verify gate. The cut only discards
+//! successors that duplicate an already-reachable state, so cost equality is
+//! a theorem here, not an empirical observation — any divergence is a bug.
+
+use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_search::{synthesize, SynthesisConfig};
+
+/// Runs `cfg` with the cut off and on, sequentially and at each thread
+/// count, asserting cost equality everywhere and that the cut actually
+/// fired when `expect_pruned`.
+fn assert_cut_lossless(
+    machine: &Machine,
+    label: &str,
+    cfg: &SynthesisConfig,
+    threads: &[usize],
+    expect_pruned: bool,
+) {
+    let baseline = synthesize(cfg);
+    let cut = synthesize(&cfg.clone().value_flow_cut(true));
+    assert_eq!(
+        baseline.found_len, cut.found_len,
+        "{label}: value-flow cut changed the sequential optimal cost"
+    );
+    assert_eq!(cut.stats.value_flow_pruned > 0, expect_pruned, "{label}");
+    if expect_pruned {
+        assert!(
+            cut.stats.generated < baseline.stats.generated,
+            "{label}: pruning must shrink the generated count"
+        );
+    }
+    if let Some(prog) = cut.first_program() {
+        sortsynth_verify::gate(machine, &prog)
+            .unwrap_or_else(|e| panic!("{label}: gate rejected kernel: {e:?}"));
+    }
+    for &t in threads {
+        let par = synthesize(&cfg.clone().value_flow_cut(true).threads(t));
+        assert_eq!(
+            baseline.found_len, par.found_len,
+            "{label}: diverged at {t} threads"
+        );
+        let pruned: u64 = par.stats.shards.iter().map(|s| s.value_flow_pruned).sum();
+        assert_eq!(
+            par.stats.value_flow_pruned, pruned,
+            "{label}@{t}: aggregate"
+        );
+        if let Some(prog) = par.first_program() {
+            sortsynth_verify::gate(machine, &prog)
+                .unwrap_or_else(|e| panic!("{label}@{t}: gate rejected kernel: {e:?}"));
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "differential cut matrix is too slow under miri")]
+fn n2_both_isas() {
+    for mode in [IsaMode::Cmov, IsaMode::MinMax] {
+        let machine = Machine::new(2, 1, mode);
+        let bound = match mode {
+            IsaMode::Cmov => 4,
+            IsaMode::MinMax => 3,
+        };
+        let cfg = SynthesisConfig::new(machine.clone()).max_len(bound);
+        assert_cut_lossless(&machine, &format!("n2 {mode:?}"), &cfg, &[2, 4], true);
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "differential cut matrix is too slow under miri")]
+fn n3_minmax() {
+    let machine = Machine::new(3, 1, IsaMode::MinMax);
+    let cfg = SynthesisConfig::new(machine.clone())
+        .budget_viability(true)
+        .max_len(8);
+    assert_cut_lossless(&machine, "n3 MinMax", &cfg, &[4], true);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "differential cut matrix is too slow under miri")]
+fn n3_cmov() {
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let cfg = SynthesisConfig::new(machine.clone())
+        .budget_viability(true)
+        .max_len(11);
+    assert_cut_lossless(&machine, "n3 Cmov", &cfg, &[4], true);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "differential cut matrix is too slow under miri")]
+fn n3_cmov_all_solutions_counts_agree() {
+    // All-solutions mode wants every minimal program, so the cut restricts
+    // itself to the unconditional (state-identical) half — the enumerated
+    // solution count must not change.
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let cfg = SynthesisConfig::new(machine.clone())
+        .budget_viability(true)
+        .all_solutions(true)
+        .max_len(11);
+    let baseline = synthesize(&cfg);
+    let cut = synthesize(&cfg.clone().value_flow_cut(true));
+    assert_eq!(baseline.found_len, cut.found_len);
+    assert_eq!(baseline.solution_count(), cut.solution_count());
+    assert!(cut.stats.value_flow_pruned > 0);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "differential cut matrix is too slow under miri")]
+fn n4_minmax() {
+    let machine = Machine::new(4, 1, IsaMode::MinMax);
+    let cfg = SynthesisConfig::new(machine.clone())
+        .budget_viability(true)
+        .max_len(15);
+    assert_cut_lossless(&machine, "n4 MinMax", &cfg, &[4], true);
+}
+
+/// Release-only completion of the matrix, following the
+/// `parallel_equivalence` precedent: the n = 4 cmov space needs the full
+/// best() configuration to finish in reasonable time. Run by the CI
+/// `parallel-smoke` job with `--release -- --include-ignored`.
+#[test]
+#[cfg_attr(miri, ignore = "differential cut matrix is too slow under miri")]
+#[ignore = "minutes in debug mode; CI runs it with --release"]
+fn n4_cmov_best_config() {
+    let machine = Machine::new(4, 1, IsaMode::Cmov);
+    let cfg = SynthesisConfig::best(machine.clone());
+    let baseline = synthesize(&cfg);
+    assert_eq!(baseline.found_len, Some(20));
+    let cut = synthesize(&cfg.clone().value_flow_cut(true));
+    assert_eq!(cut.found_len, Some(20));
+    // best() restricts to optimal first instructions, so only the
+    // unconditional half of the cut is active — it still fires.
+    assert!(cut.stats.value_flow_pruned > 0);
+    let par = synthesize(&cfg.clone().value_flow_cut(true).threads(4));
+    assert_eq!(par.found_len, Some(20), "diverged at 4 threads");
+    let prog = par.first_program().expect("kernel");
+    sortsynth_verify::gate(&machine, &prog)
+        .unwrap_or_else(|e| panic!("gate rejected n4 kernel at 4 threads: {e:?}"));
+}

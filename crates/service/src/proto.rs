@@ -252,6 +252,8 @@ pub struct StatsReply {
     pub cache_evictions: u64,
     /// Entries refused by the static-verification gate.
     pub cache_verify_rejected: u64,
+    /// Disk promotions that skipped gate re-analysis via a valid gate stamp.
+    pub cache_verify_skipped: u64,
     /// Portfolio races executed since start.
     pub portfolio_races: u64,
     /// Races that produced a verify-gated winner.
@@ -518,6 +520,10 @@ impl Serialize for Response {
                     "cache_verify_rejected",
                     reply.cache_verify_rejected.serialize(),
                 ),
+                (
+                    "cache_verify_skipped",
+                    reply.cache_verify_skipped.serialize(),
+                ),
                 ("portfolio_races", reply.portfolio_races.serialize()),
                 ("portfolio_wins", reply.portfolio_wins.serialize()),
                 ("portfolio_widened", reply.portfolio_widened.serialize()),
@@ -595,6 +601,7 @@ impl Deserialize for Response {
                 cache_insertions: u64::deserialize(value.required("cache_insertions")?)?,
                 cache_evictions: u64::deserialize(value.required("cache_evictions")?)?,
                 cache_verify_rejected: u64::deserialize(value.required("cache_verify_rejected")?)?,
+                cache_verify_skipped: u64::deserialize(value.required("cache_verify_skipped")?)?,
                 portfolio_races: match value.get("portfolio_races") {
                     None => 0,
                     Some(v) => u64::deserialize(v)?,
@@ -747,6 +754,7 @@ mod tests {
                 cache_insertions: 4,
                 cache_evictions: 0,
                 cache_verify_rejected: 0,
+                cache_verify_skipped: 0,
                 portfolio_races: 3,
                 portfolio_wins: 2,
                 portfolio_widened: 1,

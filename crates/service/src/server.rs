@@ -165,6 +165,7 @@ impl Shared {
             cache_insertions: cache.insertions,
             cache_evictions: cache.evictions,
             cache_verify_rejected: cache.verify_rejected,
+            cache_verify_skipped: cache.verify_skipped + cache.load.verify_skipped,
             portfolio_races: self.portfolio_races.load(Ordering::Relaxed),
             portfolio_wins: self.portfolio_wins.load(Ordering::Relaxed),
             portfolio_widened: self.portfolio_widened.load(Ordering::Relaxed),
@@ -805,6 +806,7 @@ fn run_search(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -
                         program,
                         minimal_certified: result.minimal_certified,
                         search_millis: result.stats.search_time.as_millis() as u64,
+                        gate_checksum: None,
                     };
                     // A full disk is not a reason to withhold the answer; the
                     // entry still lands in the memory front.
@@ -873,6 +875,7 @@ fn run_single(
                 program,
                 minimal_certified,
                 search_millis: elapsed_ms,
+                gate_checksum: None,
             };
             let _ = shared.cache.insert(entry.clone());
             with_backend(
@@ -942,6 +945,7 @@ fn run_race(
                 program,
                 minimal_certified: report.minimal_certified,
                 search_millis: elapsed_ms,
+                gate_checksum: None,
             };
             let _ = shared.cache.insert(entry.clone());
             with_backend(

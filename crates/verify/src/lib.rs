@@ -12,27 +12,37 @@
 //!   statically.
 //! - [`network`]: comparator-network extraction; a whole-program network
 //!   that sorts all 2^n boolean vectors is certified correct on all inputs.
+//! - [`valueflow`]: symbolic value-flow analysis — exact
+//!   permutation-correctness certificates ([`PermCertificate`]) that decide
+//!   the cmp/cmov programs the 0-1 pipeline cannot, and compose across
+//!   stitched blocks ([`verify_stitched`]).
 //! - [`dce`]: liveness-driven dead-code elimination.
 //!
 //! [`verify`] bundles everything into a [`Report`] — a [`Verdict`] plus a
-//! catalog of structured [`Diagnostic`]s — and [`gate`] is the cheap
-//! malformed/0-1 admission check used by the kernel cache.
+//! catalog of structured [`Diagnostic`]s — and [`gate`] is the static
+//! admission check used by the kernel cache ([`gate_detail`] additionally
+//! reports which analysis stage decided).
 
 pub mod absint;
 pub mod dataflow;
 mod dce;
 pub mod flags;
 pub mod network;
+pub mod valueflow;
 pub mod zero_one;
 
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use serde::{Serialize, Value};
 use sortsynth_isa::{Instr, IsaMode, Machine, Op};
 
 pub use dce::dce;
 pub use network::{extract_network, network_witness, Comparator};
+pub use valueflow::{
+    analyze as value_flow, verify_stitched, Analysis, BlockSpec, PermCertificate, StitchError,
+};
 pub use zero_one::zero_one_witness;
 
 use dataflow::{defs, liveness, Liveness, LocSet};
@@ -89,6 +99,13 @@ pub enum LintKind {
     /// the paper's duplicate-free permutation domain — but the kernel is not
     /// a total sorting function.
     TieUnsafe,
+    /// The symbolic value-flow analyzer exceeded its budget before
+    /// exhausting the order-class tree: permutation correctness is neither
+    /// proved nor refuted statically.
+    UnprovablePerm,
+    /// A selection instruction (`cmov`/`min`/`max`) that never changes the
+    /// machine state on any input, per the symbolic value-flow analysis.
+    RedundantSelection,
 }
 
 impl LintKind {
@@ -106,6 +123,8 @@ impl LintKind {
             LintKind::NonCanonicalCompare => "non-canonical-compare",
             LintKind::UnusedScratch => "unused-scratch",
             LintKind::TieUnsafe => "tie-unsafe",
+            LintKind::UnprovablePerm => "unprovable-perm",
+            LintKind::RedundantSelection => "redundant-selection",
         }
     }
 
@@ -120,7 +139,9 @@ impl LintKind {
             | LintKind::UnreadFlags
             | LintKind::StaleFlagRead
             | LintKind::RedundantMov
-            | LintKind::TieUnsafe => Severity::Warning,
+            | LintKind::TieUnsafe
+            | LintKind::UnprovablePerm
+            | LintKind::RedundantSelection => Severity::Warning,
             LintKind::NonCanonicalCompare | LintKind::UnusedScratch => Severity::Info,
         }
     }
@@ -196,8 +217,24 @@ pub enum Verdict {
     /// determined by their 0-1 behaviour).
     CertifiedZeroOne,
     /// Every 0-1 vector sorts, but the program is free-form cmp/cmov, where
-    /// the 0-1 lemma is only necessary (§2.3): *not* a proof.
+    /// the 0-1 lemma is only necessary (§2.3): *not* a proof. Only reached
+    /// when the symbolic value-flow analyzer also bailed out.
     PassedZeroOne,
+    /// The symbolic value-flow analyzer discharged every order class:
+    /// **proved correct on every permutation of `1..=n`** (the paper's test
+    /// domain). Says nothing about inputs with tied keys — a separate
+    /// `tie-unsafe` diagnostic records a tied failure when one exists.
+    CertifiedPermutations {
+        /// Order classes discharged (`n!` for a monolithic certificate).
+        classes: u64,
+    },
+    /// The symbolic value-flow analyzer found a permutation of `1..=n` the
+    /// program fails to sort: **proved incorrect** on the paper's test
+    /// domain, with no enumeration of inputs.
+    RefutedPermutation {
+        /// The failing permutation.
+        witness: Vec<u8>,
+    },
     /// An input the program fails to sort that also transfers to the
     /// paper's duplicate-free permutation domain: **proved incorrect**.
     /// Sound in three cases: the program is a comparator network (exact
@@ -227,20 +264,33 @@ impl Verdict {
             Verdict::CertifiedNetwork => "certified-network",
             Verdict::CertifiedZeroOne => "certified-zero-one",
             Verdict::PassedZeroOne => "passed-zero-one",
+            Verdict::CertifiedPermutations { .. } => "certified-perm",
+            Verdict::RefutedPermutation { .. } => "refuted-perm",
             Verdict::RefutedZeroOne { .. } => "refuted-zero-one",
             Verdict::TieUnsafe { .. } => "tie-unsafe",
             Verdict::Unchecked => "unchecked",
         }
     }
 
-    /// Whether this verdict proves the program sorts every input.
+    /// Whether this verdict proves the program sorts every input, tied
+    /// keys included.
     pub fn certified(&self) -> bool {
         matches!(self, Verdict::CertifiedNetwork | Verdict::CertifiedZeroOne)
     }
 
-    /// Whether this verdict proves the program incorrect.
+    /// Whether this verdict proves the program sorts every permutation of
+    /// `1..=n` — the paper's correctness bar. Implied by [`Self::certified`].
+    pub fn perm_certified(&self) -> bool {
+        self.certified() || matches!(self, Verdict::CertifiedPermutations { .. })
+    }
+
+    /// Whether this verdict proves the program incorrect on the paper's
+    /// permutation test domain.
     pub fn refuted(&self) -> bool {
-        matches!(self, Verdict::RefutedZeroOne { .. })
+        matches!(
+            self,
+            Verdict::RefutedZeroOne { .. } | Verdict::RefutedPermutation { .. }
+        )
     }
 }
 
@@ -301,22 +351,17 @@ pub fn verify(machine: &Machine, prog: &[Instr]) -> Report {
             Some(witness) if refutation_transfers(machine.mode(), &witness) => {
                 Verdict::RefutedZeroOne { witness }
             }
-            Some(witness) => Verdict::TieUnsafe { witness },
+            // A tied-only witness on a cmp/cmov program: inconclusive for
+            // the 0-1 pipeline, decided exactly by the symbolic analyzer.
+            Some(witness) => symbolic_verdict(machine, prog, Some(witness), &mut diagnostics),
             None => match machine.mode() {
                 IsaMode::MinMax => Verdict::CertifiedZeroOne,
-                IsaMode::Cmov => Verdict::PassedZeroOne,
+                // A clean 0-1 run proves nothing for cmp/cmov (§2.3); the
+                // symbolic analyzer closes exactly that gap.
+                IsaMode::Cmov => symbolic_verdict(machine, prog, None, &mut diagnostics),
             },
         },
     };
-    if let Verdict::TieUnsafe { witness } = &verdict {
-        diagnostics.push(Diagnostic::program(
-            LintKind::TieUnsafe,
-            format!(
-                "fails tied 0-1 input {witness:?}; correct on distinct keys at most \
-                 (strict comparisons are not monotone, so this is not a refutation)"
-            ),
-        ));
-    }
     diagnostics.sort_by_key(|d| (d.index.unwrap_or(usize::MAX), d.kind.name()));
 
     Report {
@@ -325,6 +370,70 @@ pub fn verify(machine: &Machine, prog: &[Instr]) -> Report {
         dce_len: dce(machine, prog).len(),
         diagnostics,
         len: prog.len(),
+    }
+}
+
+/// Decides a cmp/cmov program the 0-1 pipeline left open (clean run, or a
+/// tied-only witness) with the symbolic value-flow analyzer, attaching the
+/// analysis-derived diagnostics.
+fn symbolic_verdict(
+    machine: &Machine,
+    prog: &[Instr],
+    tied: Option<Vec<u8>>,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Verdict {
+    let vf = valueflow::analyze_with(machine, prog, valueflow::Limits::default());
+    match vf.analysis {
+        Analysis::Certified(cert) => {
+            for i in vf.ineffective {
+                diagnostics.push(Diagnostic::at(
+                    LintKind::RedundantSelection,
+                    i,
+                    format!(
+                        "`{}` never changes the machine state on any input \
+                         (all {} symbolic order classes)",
+                        machine.format_instr(prog[i]),
+                        cert.classes
+                    ),
+                ));
+            }
+            if let Some(witness) = tied {
+                diagnostics.push(Diagnostic::program(
+                    LintKind::TieUnsafe,
+                    format!(
+                        "fails tied 0-1 input {witness:?}; perm-certified, so the kernel \
+                         sorts every duplicate-free input but mis-sorts equal keys"
+                    ),
+                ));
+            }
+            Verdict::CertifiedPermutations {
+                classes: cert.classes,
+            }
+        }
+        Analysis::Refuted { witness, .. } => Verdict::RefutedPermutation { witness },
+        Analysis::Bailout { classes } => {
+            diagnostics.push(Diagnostic::program(
+                LintKind::UnprovablePerm,
+                format!(
+                    "symbolic value-flow analysis exceeded its budget after {classes} \
+                     order classes; permutation correctness undetermined statically"
+                ),
+            ));
+            match tied {
+                Some(witness) => {
+                    diagnostics.push(Diagnostic::program(
+                        LintKind::TieUnsafe,
+                        format!(
+                            "fails tied 0-1 input {witness:?}; correct on distinct keys at \
+                             most (strict comparisons are not monotone, so this is not a \
+                             refutation)"
+                        ),
+                    ));
+                    Verdict::TieUnsafe { witness }
+                }
+                None => Verdict::PassedZeroOne,
+            }
+        }
     }
 }
 
@@ -348,8 +457,9 @@ pub enum GateError {
     /// Not a valid program for the machine.
     Malformed(String),
     /// Fails to sort the contained input — provably not a sorting kernel.
-    /// The witness is a 0-1 vector when the cheap static paths decided, or
-    /// a permutation of `1..=n` when the exhaustive fallback did.
+    /// The witness is a 0-1 vector when the network/0-1 paths decided, or
+    /// a permutation of `1..=n` when the symbolic analyzer (or the oracle
+    /// fallback) did.
     Refuted(Vec<u8>),
 }
 
@@ -366,37 +476,126 @@ impl fmt::Display for GateError {
 
 impl Error for GateError {}
 
+/// Version of the [`gate`] decision procedure. Bump on any change to what
+/// the gate accepts or rejects — consumers that checksum "this program
+/// passed the gate" records (the kernel cache) key their stamps on it, so a
+/// bump forces every stamped record to be re-analyzed.
+pub const GATE_VERSION: u32 = 2;
+
+/// Which analysis stage decided a [`gate_detail`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatePath {
+    /// Rejected before any semantic analysis ran.
+    Malformed,
+    /// Decided by the comparator-network 0-1 certificate.
+    Network,
+    /// Decided by the 0-1 run (clean min/max run, or a transferring
+    /// witness).
+    ZeroOne,
+    /// Decided by the symbolic value-flow analyzer — no input enumeration.
+    Symbolic,
+    /// The symbolic analyzer bailed out; the exhaustive permutation oracle
+    /// decided.
+    Oracle,
+}
+
+impl GatePath {
+    /// Stable lowercase name for logs and test assertions.
+    pub fn name(self) -> &'static str {
+        match self {
+            GatePath::Malformed => "malformed",
+            GatePath::Network => "network",
+            GatePath::ZeroOne => "zero-one",
+            GatePath::Symbolic => "symbolic",
+            GatePath::Oracle => "oracle",
+        }
+    }
+}
+
 /// The admission check for cached/served kernels. Never rejects a kernel
 /// that sorts every permutation (the paper's correctness bar), and never
 /// admits one that does not.
 ///
-/// Cheap static paths decide almost always: malformed programs are
-/// rejected outright; a recognized comparator network is decided by its
-/// 0-1 network certificate; otherwise the 0-1 run decides whenever its
-/// answer transfers to the permutation domain (clean run, min/max mode, or
-/// a tie-free witness). The one inconclusive case — a cmp/cmov program
-/// whose only 0-1 failures are on tied inputs, which a permutation-correct
-/// kernel like AlphaDev's sort3 can legitimately produce — falls back to
-/// the exhaustive permutation oracle.
+/// Static paths decide in order of cost: malformed programs are rejected
+/// outright; a recognized comparator network is decided by its 0-1 network
+/// certificate; the 0-1 run decides whenever its answer transfers to the
+/// permutation domain (min/max mode, or a tie-free witness). Every
+/// remaining cmp/cmov case — a clean 0-1 run, which the §2.3 stale-flag
+/// kernel shows is *not* a proof, or a tied-only witness, which a
+/// permutation-correct kernel like AlphaDev's sort3 legitimately produces —
+/// is decided exactly by the symbolic value-flow analyzer. The exhaustive
+/// permutation oracle only runs if the analyzer exhausts its budget first.
 pub fn gate(machine: &Machine, prog: &[Instr]) -> Result<(), GateError> {
+    gate_detail(machine, prog).0
+}
+
+/// [`gate`] plus the [`GatePath`] that decided. Maintains the
+/// `sortsynth_verify_*` counters and the gate-latency histogram.
+pub fn gate_detail(machine: &Machine, prog: &[Instr]) -> (Result<(), GateError>, GatePath) {
+    let started = Instant::now();
+    let decided = gate_stages(machine, prog);
+    let registry = sortsynth_obs::registry();
+    sortsynth_obs::names::verify_gate_seconds().observe(started.elapsed().as_secs_f64());
+    match decided {
+        (Ok(()), GatePath::Symbolic) => registry
+            .counter(
+                sortsynth_obs::names::VERIFY_SYMBOLIC_CERTIFIED_TOTAL,
+                "Gate admissions decided by a symbolic permutation certificate.",
+            )
+            .inc(),
+        (Err(_), GatePath::Symbolic) => registry
+            .counter(
+                sortsynth_obs::names::VERIFY_SYMBOLIC_REFUTED_TOTAL,
+                "Gate rejections decided by a symbolic permutation refutation.",
+            )
+            .inc(),
+        (_, GatePath::Oracle) => {
+            registry
+                .counter(
+                    sortsynth_obs::names::VERIFY_SYMBOLIC_BAILOUT_TOTAL,
+                    "Symbolic analyses that exceeded their budget inside the gate.",
+                )
+                .inc();
+            registry
+                .counter(
+                    sortsynth_obs::names::VERIFY_ORACLE_TOTAL,
+                    "Gate decisions that fell back to the exhaustive permutation oracle.",
+                )
+                .inc();
+        }
+        _ => {}
+    }
+    decided
+}
+
+fn gate_stages(machine: &Machine, prog: &[Instr]) -> (Result<(), GateError>, GatePath) {
     if let Some(d) = malformed(machine, prog).into_iter().next() {
-        return Err(GateError::Malformed(d.message));
+        return (Err(GateError::Malformed(d.message)), GatePath::Malformed);
     }
     if let Some(net) = extract_network(machine, prog) {
-        return match network_witness(machine.n(), &net) {
+        let result = match network_witness(machine.n(), &net) {
             Some(witness) => Err(GateError::Refuted(witness)),
             None => Ok(()),
         };
+        return (result, GatePath::Network);
     }
     match zero_one_witness(machine, prog) {
-        None => Ok(()),
         Some(witness) if refutation_transfers(machine.mode(), &witness) => {
-            Err(GateError::Refuted(witness))
+            return (Err(GateError::Refuted(witness)), GatePath::ZeroOne)
         }
-        Some(_) => match machine.counterexamples(prog).into_iter().next() {
-            Some(witness) => Err(GateError::Refuted(witness)),
-            None => Ok(()),
-        },
+        None if machine.mode() == IsaMode::MinMax => return (Ok(()), GatePath::ZeroOne),
+        _ => {}
+    }
+    match valueflow::analyze(machine, prog) {
+        Analysis::Certified(_) => (Ok(()), GatePath::Symbolic),
+        Analysis::Refuted { witness, .. } => (Err(GateError::Refuted(witness)), GatePath::Symbolic),
+        Analysis::Bailout { .. } => {
+            let result = match machine.counterexamples(prog).into_iter().next() {
+                Some(witness) => Err(GateError::Refuted(witness)),
+                None => Ok(()),
+            };
+            (result, GatePath::Oracle)
+        }
     }
 }
 
@@ -589,9 +788,18 @@ impl Serialize for Report {
             (
                 "witness",
                 match &self.verdict {
-                    Verdict::RefutedZeroOne { witness } | Verdict::TieUnsafe { witness } => {
+                    Verdict::RefutedZeroOne { witness }
+                    | Verdict::RefutedPermutation { witness }
+                    | Verdict::TieUnsafe { witness } => {
                         Value::Seq(witness.iter().map(|&v| Value::Int(v as i64)).collect())
                     }
+                    _ => Value::Null,
+                },
+            ),
+            (
+                "classes",
+                match &self.verdict {
+                    Verdict::CertifiedPermutations { classes } => Value::Int(*classes as i64),
                     _ => Value::Null,
                 },
             ),
@@ -637,8 +845,14 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.kind == LintKind::DeadConditionalWrite && d.index == Some(7)));
-        // And the 0-1 verdict alone would have let it through.
-        assert_eq!(report.verdict, Verdict::PassedZeroOne);
+        // The 0-1 run alone would have let it through (it passes every 0-1
+        // vector); the symbolic analyzer refutes it outright with a
+        // concrete failing permutation.
+        let Verdict::RefutedPermutation { witness } = &report.verdict else {
+            panic!("expected a symbolic refutation, got {:?}", report.verdict);
+        };
+        assert!(!m.is_sorted(m.run(&prog, m.initial_state(witness))));
+        assert!(report.verdict.refuted());
         assert!(!report.verdict.certified());
     }
 
@@ -695,25 +909,54 @@ mod tests {
 
     #[test]
     fn tied_witnesses_on_cmov_programs_are_not_refutations() {
-        // n = 3: every 0-1 vector has tied entries, so the same garbage
-        // program only earns the tie-unsafe verdict statically — but the
-        // gate's exhaustive fallback still keeps it out of the cache.
+        // n = 3: every 0-1 vector has tied entries, so the 0-1 pipeline
+        // cannot refute the garbage program — the symbolic analyzer decides
+        // it exactly, with a concrete failing permutation and no oracle.
         let m = cmov3();
         let prog = m.parse_program("mov r1 r2").unwrap();
         let report = verify(&m, &prog);
-        let Verdict::TieUnsafe { witness } = &report.verdict else {
-            panic!("expected tie-unsafe, got {:?}", report.verdict);
+        let Verdict::RefutedPermutation { witness } = &report.verdict else {
+            panic!("expected a symbolic refutation, got {:?}", report.verdict);
         };
         assert_eq!(witness.len(), 3);
-        assert!(!report.verdict.refuted());
+        assert!(report.verdict.refuted());
+        let (result, path) = gate_detail(&m, &prog);
+        assert_eq!(path, GatePath::Symbolic);
+        let Err(GateError::Refuted(perm)) = result else {
+            panic!("gate must reject via the symbolic path");
+        };
+        assert_eq!(perm.len(), 3);
+    }
+
+    #[test]
+    fn tie_unsafe_kernels_are_perm_certified_without_the_oracle() {
+        // AlphaDev's sort3: perm-correct but fails tied 0-1 inputs — the
+        // case that used to force the n! oracle. The symbolic certificate
+        // decides it, keeps the tie-unsafe diagnostic, and the gate admits
+        // it on the symbolic path.
+        let m = cmov3();
+        let prog = m
+            .parse_program(
+                "mov s1 r2; cmp r1 r2; cmovg s1 r1; cmovl r2 r1; \
+                 mov r1 r2; cmp r1 r3; cmovl r2 r3; cmovg r1 r3; \
+                 cmp r2 s1; cmovl r3 s1; cmovg r2 s1",
+            )
+            .unwrap();
+        let report = verify(&m, &prog);
+        let Verdict::CertifiedPermutations { classes } = report.verdict else {
+            panic!(
+                "expected a permutation certificate, got {:?}",
+                report.verdict
+            );
+        };
+        assert_eq!(classes, 6);
+        assert!(report.verdict.perm_certified());
+        assert!(!report.verdict.certified());
         assert!(report
             .diagnostics
             .iter()
             .any(|d| d.kind == LintKind::TieUnsafe));
-        let Err(GateError::Refuted(perm)) = gate(&m, &prog) else {
-            panic!("gate must fall back to the permutation oracle");
-        };
-        assert_eq!(perm.len(), 3);
+        assert_eq!(gate_detail(&m, &prog), (Ok(()), GatePath::Symbolic));
     }
 
     #[test]
@@ -746,10 +989,36 @@ mod tests {
         assert!(matches!(gate(&m, &garbage), Err(GateError::Refuted(_))));
         let foreign = vec![Instr::new(Op::Max, Reg::new(0), Reg::new(1))];
         assert!(matches!(gate(&m, &foreign), Err(GateError::Malformed(_))));
-        // The gate never rejects the §2.3 program (it passes 0-1) — that is
-        // exactly the lemma's blind spot; `verify` is the stronger check.
+        // The §2.3 program passes every 0-1 vector — the old gate admitted
+        // it, violating its own contract. The symbolic stage closes that
+        // soundness hole: refuted with a concrete permutation, statically.
         let stale = m.parse_program(STALE_2_3).unwrap();
-        assert_eq!(gate(&m, &stale), Ok(()));
+        let (result, path) = gate_detail(&m, &stale);
+        assert_eq!(path, GatePath::Symbolic);
+        let Err(GateError::Refuted(witness)) = result else {
+            panic!("the stale-flag kernel must be rejected");
+        };
+        assert!(!m.is_sorted(m.run(&stale, m.initial_state(&witness))));
+    }
+
+    #[test]
+    fn gate_paths_for_cheap_static_decisions() {
+        // A recognized network: decided on the network path.
+        let m = cmov3();
+        let net = m
+            .parse_program(
+                "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                 mov s1 r2; cmp r2 r3; cmovg r2 r3; cmovg r3 s1; \
+                 mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1",
+            )
+            .unwrap();
+        assert_eq!(gate_detail(&m, &net), (Ok(()), GatePath::Network));
+        // Clean min/max 0-1 run: decided on the 0-1 path, no symbolic walk.
+        let mm = Machine::new(2, 2, IsaMode::MinMax);
+        let prog = mm
+            .parse_program("mov s1 r1; mov s2 r2; min r1 r2; max r2 s1")
+            .unwrap();
+        assert_eq!(gate_detail(&mm, &prog), (Ok(()), GatePath::ZeroOne));
     }
 
     #[test]
@@ -825,7 +1094,7 @@ mod tests {
         let value = report.serialize();
         assert_eq!(
             value.required("verdict").ok().cloned(),
-            Some(Value::Str("passed-zero-one".to_string()))
+            Some(Value::Str("refuted-perm".to_string()))
         );
         let Some(Value::Seq(diags)) = value.get("diagnostics") else {
             panic!("diagnostics should serialize as a sequence");

@@ -1,0 +1,911 @@
+//! Symbolic value-flow analysis: exact permutation-correctness certificates.
+//!
+//! The 0-1 pipeline in [`crate::zero_one`] is inconclusive on the
+//! `tie-unsafe` class (§2.3): a cmp/cmov kernel can sort every duplicate-free
+//! permutation yet fail tied 0-1 vectors, and a clean 0-1 run over a cmp/cmov
+//! kernel proves nothing. Today's gate falls back to the `n!` permutation
+//! oracle for both cases. This module closes the gap statically.
+//!
+//! # The domain
+//!
+//! Run the program forward over *symbolic* inputs `v_0 .. v_{n-1}` (the
+//! initial contents of the value registers) plus the distinguished constant
+//! `Zero` (initial scratch). On the paper's input domain — permutations of
+//! `1..=n` — the symbolic values are pairwise distinct and all exceed `Zero`,
+//! so the only information a comparison instruction can extract is an
+//! *ordering fact* `t_a < t_b`. The abstract state of one execution path is
+//! therefore
+//!
+//! - a map from registers to selection terms (which symbolic input each
+//!   register currently holds), packed one nibble per register exactly like
+//!   [`sortsynth_isa::MachineState`],
+//! - the concrete flag condition of the last `cmp` on this path, and
+//! - a **guard**: the strict partial order over terms accumulated so far,
+//!   kept transitively closed as a 16×16 bit-matrix.
+//!
+//! `cmp`/`min`/`max` refine the guard: when the guard already decides the
+//! operand order the transfer is deterministic; otherwise the path *splits*
+//! into the `<` and `>` worlds (operands holding distinct symbolic values
+//! can never be equal, so there is no third world). `cmov` never splits —
+//! the flag condition is concrete on each path. Every concrete permutation
+//! input follows exactly one path, so the leaves partition the input space
+//! into *order classes*.
+//!
+//! # The decision procedure
+//!
+//! At a leaf, the output is sorted for **every** input in the class iff each
+//! value register holds a symbolic input (not `Zero`), and the guard implies
+//! `out_0 < out_1 < … < out_{n-1}`. The chain forces the outputs to be `n`
+//! pairwise-distinct terms drawn from `n` inputs, i.e. a permutation of the
+//! inputs in ascending guard order — exactly "position `k` holds the `k`-th
+//! order statistic". If every leaf passes, the program sorts every
+//! permutation: an exact [`PermCertificate`], no enumeration of inputs. If a
+//! leaf fails, any linear extension of its (possibly augmented) guard yields
+//! a concrete failing permutation — an exact refutation witness.
+//!
+//! For a *correct* kernel the class tree has exactly `n!` leaves (each leaf
+//! applies one fixed rearrangement, and correctness forces its guard to
+//! totally order the inputs), so the asymptotics match the oracle — but each
+//! class shares its prefix with its neighbours and the walk is
+//! allocation-free, which is what the `verify_cost` bench measures.
+//!
+//! # Composition
+//!
+//! Certificates compose: a contiguous block that (a) only touches a set of
+//! value registers plus scratch, (b) never reads scratch or flags it did not
+//! itself initialise, and (c) is perm-certified as a standalone kernel over
+//! its touched registers, acts on *every* input as "sort these positions"
+//! (comparison programs are order-isomorphism invariant). A program tiled by
+//! such blocks is a composition of subset-sort operators — monotone, so the
+//! 0-1 principle applies and [`verify_stitched`] decides it with `2^n` model
+//! evaluations instead of `n!` executions: linear in program length, never
+//! enumerating the composed machine's permutations.
+
+use sortsynth_isa::{Instr, IsaMode, Machine, Op, Reg};
+
+/// Term id held by a register nibble: `0..n` are the symbolic inputs
+/// `v_0..v_{n-1}`; [`ZERO`] is the initial scratch constant.
+const ZERO: u8 = 15;
+
+/// Per-register term nibbles, same layout as the packed machine state.
+const NIBBLE: u64 = 0xF;
+
+/// Flag condition of one path: no `cmp` yet (or compared-equal, which the
+/// term domain rules out for distinct terms), or the concrete outcome of the
+/// last `cmp`.
+const FLAG_NONE: u8 = 0;
+const FLAG_LT: u8 = 1;
+const FLAG_GT: u8 = 2;
+
+/// A strict partial order over the 16 term ids, transitively closed.
+/// `rows[a]` bit `b` set means `t_a < t_b`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Guard {
+    rows: [u16; 16],
+}
+
+impl Guard {
+    /// The base facts for an `n`-input machine: `Zero` is below every
+    /// symbolic input (scratch starts at 0, inputs are `1..=n`).
+    fn base(n: u8) -> Self {
+        let mut rows = [0u16; 16];
+        rows[ZERO as usize] = (1u16 << n) - 1;
+        Guard { rows }
+    }
+
+    /// Whether `t_a < t_b` is implied.
+    #[inline]
+    fn lt(&self, a: u8, b: u8) -> bool {
+        self.rows[a as usize] & (1 << b) != 0
+    }
+
+    /// Adds the fact `t_a < t_b`, maintaining transitive closure. The caller
+    /// guarantees consistency (`b < a` must not already hold).
+    fn add(&mut self, a: u8, b: u8) {
+        debug_assert!(!self.lt(b, a), "inconsistent guard fact");
+        let below_b = self.rows[b as usize] | (1 << b);
+        self.rows[a as usize] |= below_b;
+        for row in &mut self.rows {
+            if *row & (1 << a) != 0 {
+                *row |= below_b;
+            }
+        }
+    }
+}
+
+/// One execution path: term assignment, flag condition, guard, and the
+/// instruction index to resume from. 40 bytes, no heap.
+#[derive(Clone, Copy)]
+struct Path {
+    regs: u64,
+    flags: u8,
+    guard: Guard,
+    pc: u32,
+}
+
+#[inline]
+fn term(regs: u64, reg: Reg) -> u8 {
+    ((regs >> (4 * reg.index())) & NIBBLE) as u8
+}
+
+#[inline]
+fn set_term(regs: &mut u64, reg: Reg, t: u8) {
+    let shift = 4 * reg.index();
+    *regs = (*regs & !(NIBBLE << shift)) | ((t as u64) << shift);
+}
+
+/// Resource limits for the class-tree walk.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum completed order classes before bailing out. The tree of a
+    /// correct kernel has exactly `n!` leaves, so the default covers `n ≤ 8`
+    /// directly.
+    pub max_classes: u64,
+    /// Maximum symbolic instruction evaluations before bailing out.
+    pub max_steps: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_classes: 1 << 16,
+            max_steps: 1 << 24,
+        }
+    }
+}
+
+/// An exact static proof that the program sorts every permutation of
+/// `1..=n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermCertificate {
+    /// Order classes discharged (`n!` for a monolithic proof of a correct
+    /// kernel; the 0-1 model evaluations for a composed proof).
+    pub classes: u64,
+    /// Symbolic instruction evaluations performed.
+    pub steps: u64,
+    /// Block summaries composed (`1` for a monolithic proof).
+    pub blocks: u64,
+}
+
+/// Outcome of the symbolic analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Analysis {
+    /// Every order class reaches a sorted final state: the program provably
+    /// sorts every permutation of `1..=n`.
+    Certified(PermCertificate),
+    /// A concrete permutation of `1..=n` the program fails to sort.
+    Refuted {
+        /// The failing input.
+        witness: Vec<u8>,
+        /// Classes completed before the refuting one was found.
+        classes: u64,
+    },
+    /// Resource limits were hit before the class tree was exhausted;
+    /// correctness is undetermined.
+    Bailout {
+        /// Classes completed before bailing out.
+        classes: u64,
+    },
+}
+
+impl Analysis {
+    /// Whether the analysis proved perm-correctness.
+    pub fn certified(&self) -> bool {
+        matches!(self, Analysis::Certified(_))
+    }
+}
+
+/// Full analysis result: the verdict plus per-instruction effect
+/// information for the `redundant-selection` lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueFlow {
+    /// The sortedness verdict.
+    pub analysis: Analysis,
+    /// Indices of selection instructions (`cmovl`/`cmovg`/`min`/`max`) that
+    /// never changed the abstract state on any path. Only populated when the
+    /// walk completed the whole tree (i.e. [`Analysis::Certified`]) — a
+    /// truncated walk can't prove an instruction useless.
+    pub ineffective: Vec<usize>,
+}
+
+/// Symbolic value-flow analysis of `prog` with default [`Limits`].
+///
+/// Requires a well-formed program (in-ISA ops, in-range registers) — run
+/// the malformed check first, as [`crate::verify`] and [`crate::gate`] do.
+pub fn analyze(machine: &Machine, prog: &[Instr]) -> Analysis {
+    analyze_with(machine, prog, Limits::default()).analysis
+}
+
+/// [`analyze`] with explicit limits, also reporting effect information.
+pub fn analyze_with(machine: &Machine, prog: &[Instr], limits: Limits) -> ValueFlow {
+    let n = machine.n();
+    let mut regs = 0u64;
+    for i in 0..machine.num_regs() {
+        set_term(&mut regs, Reg::new(i), if i < n { i } else { ZERO });
+    }
+    let mut stack = vec![Path {
+        regs,
+        flags: FLAG_NONE,
+        guard: Guard::base(n),
+        pc: 0,
+    }];
+    let mut classes = 0u64;
+    let mut steps = 0u64;
+    let mut effective = vec![false; prog.len()];
+
+    while let Some(mut path) = stack.pop() {
+        let mut pc = path.pc as usize;
+        while pc < prog.len() {
+            steps += 1;
+            if steps > limits.max_steps {
+                return bailout(classes);
+            }
+            let instr = prog[pc];
+            let a = term(path.regs, instr.dst);
+            let b = term(path.regs, instr.src);
+            match instr.op {
+                Op::Mov => {
+                    if a != b {
+                        effective[pc] = true;
+                        set_term(&mut path.regs, instr.dst, b);
+                    }
+                }
+                Op::Cmp => {
+                    path.flags = if a == b {
+                        FLAG_NONE
+                    } else if path.guard.lt(a, b) {
+                        FLAG_LT
+                    } else if path.guard.lt(b, a) {
+                        FLAG_GT
+                    } else {
+                        // Unknown order: split into the two worlds. Distinct
+                        // terms hold distinct values, so there is no third.
+                        let mut other = path;
+                        other.guard.add(b, a);
+                        other.flags = FLAG_GT;
+                        other.pc = (pc + 1) as u32;
+                        stack.push(other);
+                        path.guard.add(a, b);
+                        FLAG_LT
+                    };
+                }
+                Op::Cmovl | Op::Cmovg => {
+                    let fires = path.flags
+                        == if instr.op == Op::Cmovl {
+                            FLAG_LT
+                        } else {
+                            FLAG_GT
+                        };
+                    if fires && a != b {
+                        effective[pc] = true;
+                        set_term(&mut path.regs, instr.dst, b);
+                    }
+                }
+                Op::Min | Op::Max => {
+                    // `min` keeps the guard-smaller term in dst; `max` the
+                    // larger. Splits exactly like `cmp` when undecided.
+                    let keep_src_if_lt = instr.op == Op::Max;
+                    if a != b {
+                        let src_wins = if path.guard.lt(a, b) {
+                            keep_src_if_lt
+                        } else if path.guard.lt(b, a) {
+                            !keep_src_if_lt
+                        } else {
+                            let mut other = path;
+                            other.guard.add(b, a);
+                            if keep_src_if_lt {
+                                other.pc = (pc + 1) as u32;
+                            } else {
+                                effective[pc] = true;
+                                set_term(&mut other.regs, instr.dst, b);
+                                other.pc = (pc + 1) as u32;
+                            }
+                            stack.push(other);
+                            path.guard.add(a, b);
+                            keep_src_if_lt
+                        };
+                        if src_wins {
+                            effective[pc] = true;
+                            set_term(&mut path.regs, instr.dst, b);
+                        }
+                    }
+                }
+            }
+            pc += 1;
+        }
+        classes += 1;
+        if classes > limits.max_classes {
+            return bailout(classes - 1);
+        }
+        if let Some(witness) = class_failure(machine, &path) {
+            debug_assert!(
+                !machine.is_sorted(machine.run(prog, machine.initial_state(&witness))),
+                "value-flow refutation witness {witness:?} does not fail"
+            );
+            return ValueFlow {
+                analysis: Analysis::Refuted { witness, classes },
+                ineffective: Vec::new(),
+            };
+        }
+    }
+
+    let ineffective = prog
+        .iter()
+        .enumerate()
+        .filter(|&(i, instr)| {
+            matches!(instr.op, Op::Cmovl | Op::Cmovg | Op::Min | Op::Max) && !effective[i]
+        })
+        .map(|(i, _)| i)
+        .collect();
+    ValueFlow {
+        analysis: Analysis::Certified(PermCertificate {
+            classes,
+            steps,
+            blocks: 1,
+        }),
+        ineffective,
+    }
+}
+
+fn bailout(classes: u64) -> ValueFlow {
+    ValueFlow {
+        analysis: Analysis::Bailout { classes },
+        ineffective: Vec::new(),
+    }
+}
+
+/// Decides one completed class. `None` means every input in the class sorts;
+/// otherwise returns a concrete permutation of `1..=n` in the class that the
+/// program fails to sort.
+fn class_failure(machine: &Machine, path: &Path) -> Option<Vec<u8>> {
+    let n = machine.n();
+    let mut guard = path.guard;
+    for k in 0..n {
+        let out = term(path.regs, Reg::new(k));
+        if out >= n {
+            // A value register ends holding `Zero`: every input fails.
+            return Some(extension(n, &guard));
+        }
+        if k + 1 == n {
+            continue;
+        }
+        let next = term(path.regs, Reg::new(k + 1));
+        if out == next || guard.lt(next, out) {
+            // Duplicate outputs, or provably descending: every input fails.
+            return Some(extension(n, &guard));
+        }
+        if next < n && !guard.lt(out, next) {
+            // Order unproved: the class contains inputs realising
+            // `next < out`, all of which fail. Pin that sub-class.
+            guard.add(next, out);
+            return Some(extension(n, &guard));
+        }
+    }
+    None
+}
+
+/// A concrete permutation consistent with `guard`: topologically sort the
+/// input terms (Kahn, smallest id first) and assign ranks `1..=n`.
+fn extension(n: u8, guard: &Guard) -> Vec<u8> {
+    let mut placed = 0u16;
+    let mut witness = vec![0u8; n as usize];
+    for rank in 1..=n {
+        // The next value goes to an unplaced input with no unplaced input
+        // below it: `rows[v]` lists what v is *below*, so v is minimal iff
+        // no unplaced u has v in its row.
+        let v = (0..n)
+            .find(|&v| {
+                placed & (1 << v) == 0
+                    && (0..n).all(|u| placed & (1 << u) != 0 || u == v || !guard.lt(u, v))
+            })
+            .expect("guard is acyclic");
+        witness[v as usize] = rank;
+        placed |= 1 << v;
+    }
+    witness
+}
+
+/// A contiguous instruction range claimed to sort a set of value registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// First instruction index of the block.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// The value registers the block sorts, ascending into this listed
+    /// order: after the block, `sorts[0] ≤ sorts[1] ≤ …` holding the same
+    /// multiset the registers held before.
+    pub sorts: Vec<Reg>,
+}
+
+/// Why a stitched proof could not be assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StitchError {
+    /// The block tiling or a block's shape is unusable (gap in the tiling,
+    /// out-of-range or duplicate sort registers, writes escaping the block's
+    /// footprint, scratch or flags read before initialisation).
+    BadSpec {
+        /// Index of the offending block.
+        block: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A block's standalone symbolic analysis did not certify it.
+    Unproved {
+        /// Index of the offending block.
+        block: usize,
+        /// The block's analysis outcome.
+        analysis: Analysis,
+    },
+    /// All blocks certified, but their composition provably mis-sorts the
+    /// contained permutation.
+    Refuted {
+        /// A failing permutation of `1..=n`.
+        witness: Vec<u8>,
+    },
+}
+
+/// Proves a whole program correct from per-block certificates.
+///
+/// `blocks` must tile `prog` contiguously. Each block is independently
+/// perm-certified over its own registers (cost `k!` symbolic classes for a
+/// `k`-register block), then the composition is decided as a chain of
+/// subset-sort operators via the 0-1 principle (`2^n` model evaluations) —
+/// never running the composed machine on its `n!` permutations.
+pub fn verify_stitched(
+    machine: &Machine,
+    prog: &[Instr],
+    blocks: &[BlockSpec],
+) -> Result<PermCertificate, StitchError> {
+    let n = machine.n();
+    let mut expected_start = 0usize;
+    let mut cert = PermCertificate {
+        classes: 0,
+        steps: 0,
+        blocks: blocks.len() as u64,
+    };
+    for (bi, block) in blocks.iter().enumerate() {
+        let bad = |reason: String| StitchError::BadSpec { block: bi, reason };
+        if block.start != expected_start {
+            return Err(bad(format!(
+                "block starts at {} but the previous block ended at {expected_start}",
+                block.start
+            )));
+        }
+        if block.end <= block.start || block.end > prog.len() {
+            return Err(bad(format!(
+                "empty or out-of-range instruction span {}..{}",
+                block.start, block.end
+            )));
+        }
+        expected_start = block.end;
+        let summary = summarize_block(machine, prog, block).map_err(|e| match e {
+            BlockError::BadSpec(reason) => bad(reason),
+            BlockError::Unproved(analysis) => StitchError::Unproved {
+                block: bi,
+                analysis,
+            },
+        })?;
+        cert.classes += summary.classes;
+        cert.steps += summary.steps;
+    }
+    if expected_start != prog.len() {
+        return Err(StitchError::BadSpec {
+            block: blocks.len().saturating_sub(1),
+            reason: format!(
+                "blocks cover only {expected_start} of {} instructions",
+                prog.len()
+            ),
+        });
+    }
+
+    // Model check: each block acts as "sort these positions" on every input
+    // (order-isomorphism invariance of comparison programs), so the program
+    // equals a composition of subset-sort operators. Those are monotone, so
+    // sorting all 2^n 0-1 vectors proves sorting on every input.
+    let mut model = vec![0u8; n as usize];
+    for bits in 0..(1u32 << n) {
+        for (i, v) in model.iter_mut().enumerate() {
+            *v = ((bits >> i) & 1) as u8;
+        }
+        for block in blocks {
+            sort_positions(&mut model, &block.sorts);
+        }
+        cert.classes += 1;
+        if model.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StitchError::Refuted {
+                witness: zero_one_to_permutation(n, bits),
+            });
+        }
+    }
+    Ok(cert)
+}
+
+/// Applies "sort these positions ascending" in place.
+fn sort_positions(model: &mut [u8], sorts: &[Reg]) {
+    let mut vals: Vec<u8> = sorts.iter().map(|r| model[r.index() as usize]).collect();
+    vals.sort_unstable();
+    for (r, v) in sorts.iter().zip(vals) {
+        model[r.index() as usize] = v;
+    }
+}
+
+/// Lifts a failing 0-1 vector to a failing permutation: zeros get the low
+/// values (in position order), ones the high values. The subset-sort model
+/// commutes with this monotone relabelling, so the permutation fails at the
+/// same position the 0-1 vector did.
+fn zero_one_to_permutation(n: u8, bits: u32) -> Vec<u8> {
+    let mut witness = vec![0u8; n as usize];
+    let mut next = 1u8;
+    for (i, w) in witness.iter_mut().enumerate() {
+        if bits >> i & 1 == 0 {
+            *w = next;
+            next += 1;
+        }
+    }
+    for (i, w) in witness.iter_mut().enumerate() {
+        if bits >> i & 1 == 1 {
+            *w = next;
+            next += 1;
+        }
+    }
+    witness
+}
+
+enum BlockError {
+    BadSpec(String),
+    Unproved(Analysis),
+}
+
+/// Checks a block's footprint discipline and certifies it standalone on a
+/// sub-machine over its sort registers.
+fn summarize_block(
+    machine: &Machine,
+    prog: &[Instr],
+    block: &BlockSpec,
+) -> Result<PermCertificate, BlockError> {
+    let n = machine.n();
+    let k = block.sorts.len();
+    let bad = |reason: String| Err(BlockError::BadSpec(reason));
+    if k < 2 {
+        return bad("a block must sort at least two registers".into());
+    }
+    let mut rename = [None::<u8>; 16];
+    for (i, r) in block.sorts.iter().enumerate() {
+        if r.index() >= n {
+            return bad(format!("sort register {r} is not a value register"));
+        }
+        if rename[r.index() as usize].is_some() {
+            return bad(format!("duplicate sort register {r}"));
+        }
+        rename[r.index() as usize] = Some(i as u8);
+    }
+
+    // Footprint scan: reads and writes confined to sorts ∪ scratch; scratch
+    // and flags never read before the block itself wrote them (the
+    // sub-machine analysis assumes zeroed scratch and unset flags, which is
+    // only faithful if the block cannot observe what an earlier block left
+    // behind).
+    let mut scratch_written = 0u16;
+    let mut flags_written = false;
+    let mut scratch_count = k as u8;
+    let body = &prog[block.start..block.end];
+    for (off, instr) in body.iter().enumerate() {
+        let idx = block.start + off;
+        let touch = |r: Reg, is_read: bool, scratch_written: &u16| -> Result<(), BlockError> {
+            if r.index() >= n {
+                if is_read && *scratch_written & (1 << (r.index() - n)) == 0 {
+                    return Err(BlockError::BadSpec(format!(
+                        "instruction {idx} reads scratch {r} before the block writes it"
+                    )));
+                }
+                return Ok(());
+            }
+            if rename[r.index() as usize].is_none() {
+                return Err(BlockError::BadSpec(format!(
+                    "instruction {idx} touches {r}, outside the block's sort set"
+                )));
+            }
+            Ok(())
+        };
+        match instr.op {
+            Op::Mov => {
+                touch(instr.src, true, &scratch_written)?;
+                touch(instr.dst, false, &scratch_written)?;
+            }
+            Op::Cmp => {
+                touch(instr.dst, true, &scratch_written)?;
+                touch(instr.src, true, &scratch_written)?;
+                flags_written = true;
+            }
+            Op::Cmovl | Op::Cmovg => {
+                if !flags_written {
+                    return bad(format!(
+                        "instruction {idx} reads flags before the block sets them"
+                    ));
+                }
+                touch(instr.dst, true, &scratch_written)?;
+                touch(instr.src, true, &scratch_written)?;
+            }
+            Op::Min | Op::Max => {
+                touch(instr.dst, true, &scratch_written)?;
+                touch(instr.src, true, &scratch_written)?;
+            }
+        }
+        // Writes: assign fresh sub-machine indices to scratch on first use.
+        if instr.op != Op::Cmp && instr.dst.index() >= n {
+            scratch_written |= 1 << (instr.dst.index() - n);
+            if rename[instr.dst.index() as usize].is_none() {
+                rename[instr.dst.index() as usize] = Some(scratch_count);
+                scratch_count += 1;
+            }
+        }
+    }
+
+    let sub = Machine::new(k as u8, scratch_count - k as u8, machine.mode());
+    let renamed: Vec<Instr> = body
+        .iter()
+        .map(|i| {
+            Instr::new(
+                i.op,
+                Reg::new(rename[i.dst.index() as usize].expect("footprint checked")),
+                Reg::new(rename[i.src.index() as usize].expect("footprint checked")),
+            )
+        })
+        .collect();
+    match analyze(&sub, &renamed) {
+        Analysis::Certified(cert) => Ok(cert),
+        other => Err(BlockError::Unproved(other)),
+    }
+}
+
+/// Builds the block tiling for a kernel assembled from sliding
+/// window-sorting blocks: the instruction counts in `spans` paired with the
+/// register windows in `windows`.
+pub fn window_blocks(spans: &[usize], windows: &[Vec<Reg>]) -> Vec<BlockSpec> {
+    assert_eq!(spans.len(), windows.len());
+    let mut start = 0;
+    spans
+        .iter()
+        .zip(windows)
+        .map(|(&len, w)| {
+            let spec = BlockSpec {
+                start,
+                end: start + len,
+                sorts: w.clone(),
+            };
+            start += len;
+            spec
+        })
+        .collect()
+}
+
+/// Whether the mode's selection instructions make the analysis worthwhile
+/// as a gate stage: for min/max kernels the 0-1 certificate is already
+/// exact, so the symbolic walk only ever runs on cmp/cmov programs.
+pub fn decides(mode: IsaMode) -> bool {
+    mode == IsaMode::Cmov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsynth_isa::IsaMode;
+
+    fn cmov(n: u8, scratch: u8) -> Machine {
+        Machine::new(n, scratch, IsaMode::Cmov)
+    }
+
+    fn minmax(n: u8, scratch: u8) -> Machine {
+        Machine::new(n, scratch, IsaMode::MinMax)
+    }
+
+    /// AlphaDev's sort3 (perm-correct, tie-unsafe): the kernel the 0-1 gate
+    /// cannot decide without the oracle.
+    const ALPHADEV_3: &str = "mov s1 r2; cmp r1 r2; cmovg s1 r1; cmovl r2 r1; \
+                              mov r1 r2; cmp r1 r3; cmovl r2 r3; cmovg r1 r3; \
+                              cmp r2 s1; cmovl r3 s1; cmovg r2 s1";
+
+    /// The §2.3 stale-flag kernel: passes every 0-1 vector but fails the
+    /// permutation [1, 3, 2].
+    const STALE_2_3: &str = "mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; \
+                             mov s1 r3; cmp r2 r3; cmovg r3 r2; cmovg r2 s1; \
+                             cmovg r2 r1; cmovg r1 s1";
+
+    #[test]
+    fn certifies_alphadev_sort3_with_factorial_classes() {
+        let m = cmov(3, 1);
+        let prog = m.parse_program(ALPHADEV_3).unwrap();
+        let Analysis::Certified(cert) = analyze(&m, &prog) else {
+            panic!("alphadev sort3 must certify");
+        };
+        // A correct kernel's class tree has exactly n! leaves.
+        assert_eq!(cert.classes, 6);
+        assert_eq!(cert.blocks, 1);
+    }
+
+    #[test]
+    fn refutes_the_stale_flag_kernel_with_a_concrete_witness() {
+        // This kernel passes every 0-1 vector — the 0-1 pipeline is blind to
+        // it. The symbolic walk finds the failing permutation statically.
+        let m = cmov(3, 1);
+        let prog = m.parse_program(STALE_2_3).unwrap();
+        let Analysis::Refuted { witness, .. } = analyze(&m, &prog) else {
+            panic!("stale-flag kernel must be refuted");
+        };
+        assert!(!m.is_sorted(m.run(&prog, m.initial_state(&witness))));
+    }
+
+    #[test]
+    fn refutes_garbage_and_empty_programs() {
+        let m = cmov(3, 1);
+        let prog = m.parse_program("mov r1 r2").unwrap();
+        let Analysis::Refuted { witness, .. } = analyze(&m, &prog) else {
+            panic!("garbage must be refuted");
+        };
+        assert!(!m.is_sorted(m.run(&prog, m.initial_state(&witness))));
+        let Analysis::Refuted { witness, .. } = analyze(&m, &[]) else {
+            panic!("the empty program must be refuted");
+        };
+        assert!(!m.is_sorted(m.run(&[], m.initial_state(&witness))));
+    }
+
+    #[test]
+    fn certifies_minmax_networks() {
+        let m = minmax(3, 1);
+        let prog = m
+            .parse_program(
+                "mov s1 r1; min r1 r2; max r2 s1; \
+                 mov s1 r2; min r2 r3; max r3 s1; \
+                 mov s1 r1; min r1 r2; max r2 s1",
+            )
+            .unwrap();
+        let Analysis::Certified(cert) = analyze(&m, &prog) else {
+            panic!("minmax network must certify");
+        };
+        assert_eq!(cert.classes, 6);
+    }
+
+    #[test]
+    fn agreement_with_the_oracle_on_all_two_instruction_programs() {
+        // Exhaustive differential check on a small program space.
+        for machine in [cmov(2, 1), minmax(2, 1)] {
+            let actions = machine.actions();
+            for a in &actions {
+                for b in &actions {
+                    let prog = vec![*a, *b];
+                    let correct = machine.is_correct(&prog);
+                    match analyze(&machine, &prog) {
+                        Analysis::Certified(_) => assert!(correct, "{prog:?}"),
+                        Analysis::Refuted { witness, .. } => {
+                            assert!(!correct, "{prog:?}");
+                            assert!(!machine
+                                .is_sorted(machine.run(&prog, machine.initial_state(&witness))));
+                        }
+                        Analysis::Bailout { .. } => panic!("no bailout at n=2: {prog:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bailout_on_tiny_limits() {
+        let m = cmov(3, 1);
+        let prog = m.parse_program(ALPHADEV_3).unwrap();
+        let vf = analyze_with(
+            &m,
+            &prog,
+            Limits {
+                max_classes: 2,
+                max_steps: u64::MAX,
+            },
+        );
+        assert!(matches!(vf.analysis, Analysis::Bailout { .. }));
+        let vf = analyze_with(
+            &m,
+            &prog,
+            Limits {
+                max_classes: u64::MAX,
+                max_steps: 10,
+            },
+        );
+        assert!(matches!(vf.analysis, Analysis::Bailout { .. }));
+    }
+
+    #[test]
+    fn ineffective_selections_are_reported() {
+        let m = cmov(2, 1);
+        // A correct n=2 CAS with its last cmov duplicated: on the gt path
+        // the duplicate copies s1 into r2, which already holds that term;
+        // on the lt path it does not fire. Never an effect on any path.
+        let prog = m
+            .parse_program("mov s1 r1; cmp r1 r2; cmovg r1 r2; cmovg r2 s1; cmovg r2 s1")
+            .unwrap();
+        let vf = analyze_with(&m, &prog, Limits::default());
+        let Analysis::Certified(_) = vf.analysis else {
+            panic!("CAS plus no-op must certify, got {:?}", vf.analysis);
+        };
+        assert_eq!(vf.ineffective, vec![4]);
+    }
+
+    #[test]
+    fn stitched_n4_from_two_cas_windows_certifies() {
+        // Two overlapping 3-windows don't sort n=4; use the bubble tiling
+        // (0,1,2),(1,2,3),(0,1,2) of full 3-sorters... built from the n=3
+        // network block mapped onto register windows.
+        let m = cmov(4, 1);
+        let net3 = |a: u8, b: u8, c: u8| {
+            let cas = |i: u8, j: u8| {
+                format!("mov s1 r{i}; cmp r{i} r{j}; cmovg r{i} r{j}; cmovg r{j} s1")
+            };
+            format!("{}; {}; {}", cas(a, b), cas(b, c), cas(a, b))
+        };
+        let text = format!("{}; {}; {}", net3(1, 2, 3), net3(2, 3, 4), net3(1, 2, 3));
+        let prog = m.parse_program(&text).unwrap();
+        assert!(m.is_correct(&prog));
+        let windows = vec![
+            vec![Reg::new(0), Reg::new(1), Reg::new(2)],
+            vec![Reg::new(1), Reg::new(2), Reg::new(3)],
+            vec![Reg::new(0), Reg::new(1), Reg::new(2)],
+        ];
+        let blocks = window_blocks(&[12, 12, 12], &windows);
+        let cert = verify_stitched(&m, &prog, &blocks).expect("stitched proof");
+        assert_eq!(cert.blocks, 3);
+        // 3 blocks × 3! classes + 2^4 model checks.
+        assert_eq!(cert.classes, 3 * 6 + 16);
+    }
+
+    #[test]
+    fn stitched_proof_rejects_an_insufficient_tiling() {
+        // Sorting (0,1,2) then (1,2,3) is not enough for n=4: the model
+        // check must refute with a permutation witness.
+        let m = cmov(4, 1);
+        let cas =
+            |i: u8, j: u8| format!("mov s1 r{i}; cmp r{i} r{j}; cmovg r{i} r{j}; cmovg r{j} s1");
+        let net3 = |a: u8, b: u8, c: u8| format!("{}; {}; {}", cas(a, b), cas(b, c), cas(a, b));
+        let text = format!("{}; {}", net3(1, 2, 3), net3(2, 3, 4));
+        let prog = m.parse_program(&text).unwrap();
+        let windows = vec![
+            vec![Reg::new(0), Reg::new(1), Reg::new(2)],
+            vec![Reg::new(1), Reg::new(2), Reg::new(3)],
+        ];
+        let blocks = window_blocks(&[12, 12], &windows);
+        let Err(StitchError::Refuted { witness }) = verify_stitched(&m, &prog, &blocks) else {
+            panic!("two windows cannot sort four values");
+        };
+        assert!(!m.is_sorted(m.run(&prog, m.initial_state(&witness))));
+    }
+
+    #[test]
+    fn stitched_proof_rejects_footprint_escapes() {
+        let m = cmov(4, 1);
+        // Block claims to sort (r1, r2) but touches r3.
+        let prog = m
+            .parse_program("mov s1 r1; cmp r1 r3; cmovg r1 r3; cmovg r3 s1")
+            .unwrap();
+        let blocks = vec![BlockSpec {
+            start: 0,
+            end: 4,
+            sorts: vec![Reg::new(0), Reg::new(1)],
+        }];
+        assert!(matches!(
+            verify_stitched(&m, &prog, &blocks),
+            Err(StitchError::BadSpec { .. })
+        ));
+        // Reading scratch before writing it is rejected (the previous block
+        // may have left anything there).
+        let prog = m
+            .parse_program("cmp r1 r2; cmovg r1 s1; cmovg r2 r1")
+            .unwrap();
+        let blocks = vec![BlockSpec {
+            start: 0,
+            end: 3,
+            sorts: vec![Reg::new(0), Reg::new(1)],
+        }];
+        assert!(matches!(
+            verify_stitched(&m, &prog, &blocks),
+            Err(StitchError::BadSpec { .. })
+        ));
+    }
+}
