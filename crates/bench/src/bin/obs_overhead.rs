@@ -1,0 +1,6 @@
+//! Observability overhead benchmark: profiler and flight-recorder cost on
+//! the headline synthesis. Emits `BENCH_obs_overhead.json`.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::obs_overhead::run(&cfg);
+}

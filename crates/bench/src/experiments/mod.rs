@@ -8,6 +8,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod lower_bound;
 pub mod minmax;
+pub mod obs_overhead;
 pub mod parallel_speedup;
 pub mod planning;
 pub mod portfolio;
@@ -60,6 +61,8 @@ pub fn run_all(cfg: &BenchConfig) {
     portfolio::run(cfg);
     println!();
     search_core::run(cfg);
+    println!();
+    obs_overhead::run(cfg);
     println!();
     throughput::run(cfg);
     println!();

@@ -129,6 +129,7 @@ pub fn run(cfg: &BenchConfig) {
         search_threads: 1,
         self_report: None,
         portfolio: None,
+        record_dir: None,
     })
     .expect("bind service")
     .spawn();

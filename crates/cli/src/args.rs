@@ -73,6 +73,9 @@ const VALUED: &[&str] = &[
     "backend",
     "trace",
     "log-level",
+    "record",
+    "record-dir",
+    "wait-ms",
 ];
 
 /// Parses `args` (without the binary name).

@@ -28,6 +28,12 @@ pub const USAGE: &str = "usage:
                     [--threads T]                 T search threads (0 = all cores; default 1)
                     [--backend B]                 astar|astar-par|cegis|smt-min|mcts|stoke|plan,
                                                   or `portfolio` to race them all first-win
+                    [--record FILE]               leave a flight recording of the search
+  sortsynth profile --n N [--scratch M] [--isa cmov|minmax] [--plain] [--max-len L] [--cut K]
+                    [--threads T] [--timeout SECS]   per-phase time table of one search
+  sortsynth inspect <recording.ssfr> [--json]    post-mortem summary of a flight recording
+  sortsynth top     [--addr HOST:PORT] [--n N ...] [--backend B] [--wait-ms MS]
+                                                  live view of an in-flight server search
   sortsynth prove   --n N --len L [--budget-states S]
   sortsynth check   <file|-> --n N [--scratch M] [--isa cmov|minmax]
   sortsynth analyze <file|-> --n N [--scratch M] [--isa cmov|minmax]
@@ -37,8 +43,9 @@ pub const USAGE: &str = "usage:
                     [--cache-dir DIR] [--cache-capacity C] [--timeout SECS] [--metrics]
                     [--search-threads T]          engine threads per synth job (default 1)
                     [--portfolio]                 race all backends for unrouted synth requests
-  sortsynth client  ping|synth|check|analyze|metrics|stats [<file|->] [--addr HOST:PORT]
-                    [--n N ...] [--timeout SECS] [--backend B]
+                    [--record-dir DIR]            flight-record every engine search
+  sortsynth client  ping|synth|check|analyze|metrics|stats|watch [<file|->] [--addr HOST:PORT]
+                    [--n N ...] [--timeout SECS] [--backend B] [--wait-ms MS]
   sortsynth stats   [--addr HOST:PORT]
   sortsynth help
 
@@ -58,6 +65,9 @@ pub fn dispatch(args: ParsedArgs) -> Result<(), ArgsError> {
         "serve" => serve(&args),
         "client" => client_cmd(&args),
         "stats" => stats_cmd(&args),
+        "profile" => profile_cmd(&args),
+        "inspect" => inspect_cmd(&args),
+        "top" => top_cmd(&args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -161,6 +171,12 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
     if let Some(secs) = args.num::<f64>("timeout")? {
         cfg = cfg.search_budget(SearchBudget::with_timeout(Duration::from_secs_f64(secs)));
     }
+    if let Some(recorder) = flight_recorder(args)? {
+        cfg = cfg.progress_hook(sortsynth_search::ProgressHook::new(move |p| {
+            // Recording is best-effort: a full disk must not fail the synth.
+            let _ = recorder.record(&p.recorder_frame());
+        }));
+    }
     let result = synthesize(&cfg);
     if result.stats.distance_table_skipped {
         warn!("# note: machine too large for the distance table; searched with degraded pruning");
@@ -221,6 +237,18 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
             }
             Ok(())
         }
+    }
+}
+
+/// `--record FILE`: a flight recorder for the search about to run.
+fn flight_recorder(
+    args: &ParsedArgs,
+) -> Result<Option<std::sync::Arc<sortsynth_obs::FlightRecorder>>, ArgsError> {
+    match args.options.get("record") {
+        None => Ok(None),
+        Some(path) => sortsynth_obs::FlightRecorder::create(path)
+            .map(|r| Some(std::sync::Arc::new(r)))
+            .map_err(|e| ArgsError::new(format!("--record {path}: {e}"))),
     }
 }
 
@@ -582,6 +610,7 @@ fn serve(args: &ParsedArgs) -> Result<(), ArgsError> {
         // `--portfolio` races every backend for synth requests that don't
         // name one (an empty roster means "all arms" to the server).
         portfolio: args.flag("portfolio").then(Vec::new),
+        record_dir: args.options.get("record-dir").map(PathBuf::from),
     };
     let server = Server::bind(config).map_err(|e| ArgsError::new(format!("bind: {e}")))?;
     // Tests (and scripts using port 0) parse this line for the bound port.
@@ -614,7 +643,7 @@ fn client_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let op = args.positional.first().map(String::as_str).ok_or_else(|| {
         ArgsError::new(
-            "client needs an operation: ping | synth | check | analyze | metrics | stats",
+            "client needs an operation: ping | synth | check | analyze | metrics | stats | watch",
         )
     })?;
     let mut client = Client::connect(addr.as_str())
@@ -637,6 +666,11 @@ fn client_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
                 client.analyze(machine, text)
             }
         }
+        "watch" => {
+            return stream_watch(&mut client, args, |frame, nodes_per_sec| {
+                println!("{}", progress_line(frame, nodes_per_sec));
+            })
+        }
         other => {
             return Err(ArgsError::new(format!(
                 "unknown client operation `{other}`"
@@ -645,6 +679,76 @@ fn client_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
     }
     .map_err(|e| ArgsError::new(format!("request: {e}")))?;
     render_response(response)
+}
+
+/// One rendered line of a live progress frame.
+fn progress_line(frame: &sortsynth_service::ProgressReply, nodes_per_sec: f64) -> String {
+    let f_bound = match frame.f_bound {
+        Some(f) => f.to_string(),
+        None => "-".to_string(),
+    };
+    let mem: u64 = frame.shards.iter().map(|s| s.arena_bytes).sum();
+    let mut line = format!(
+        "t={:>7.2}s  expanded={:<10} open={:<9} f={:<3} nodes/s={:<9.0} mem={}",
+        frame.elapsed_millis as f64 / 1000.0,
+        frame.expanded,
+        frame.open,
+        f_bound,
+        nodes_per_sec,
+        fmt_bytes(mem),
+    );
+    if frame.finished {
+        line.push_str(&format!(
+            "  [finished: {}]",
+            frame.outcome.as_deref().unwrap_or("?")
+        ));
+    }
+    line
+}
+
+/// Streams an in-flight server search's frames through `render`, computing
+/// a nodes/sec estimate from consecutive frames. Shared by `client watch`
+/// (line per frame) and `top` (refreshing screen).
+fn stream_watch(
+    client: &mut Client,
+    args: &ParsedArgs,
+    render: impl Fn(&sortsynth_service::ProgressReply, f64),
+) -> Result<(), ArgsError> {
+    let backend = args.options.get("backend").cloned();
+    let wait_ms = args.num::<u64>("wait-ms")?;
+    client
+        .begin_watch(synth_query(args)?, backend, wait_ms)
+        .map_err(|e| ArgsError::new(format!("request: {e}")))?;
+    let mut prev: Option<(u64, u64)> = None; // (elapsed_millis, expanded)
+    loop {
+        match client
+            .next_frame()
+            .map_err(|e| ArgsError::new(format!("request: {e}")))?
+        {
+            Response::Progress(frame) => {
+                let nodes_per_sec = match prev {
+                    Some((t0, e0)) if frame.elapsed_millis > t0 => {
+                        (frame.expanded.saturating_sub(e0)) as f64
+                            / ((frame.elapsed_millis - t0) as f64 / 1000.0)
+                    }
+                    _ if frame.elapsed_millis > 0 => {
+                        frame.expanded as f64 / (frame.elapsed_millis as f64 / 1000.0)
+                    }
+                    _ => 0.0,
+                };
+                prev = Some((frame.elapsed_millis, frame.expanded));
+                let finished = frame.finished;
+                render(&frame, nodes_per_sec);
+                if finished {
+                    return Ok(());
+                }
+            }
+            Response::Error { message } => {
+                return Err(ArgsError::new(format!("server error: {message}")))
+            }
+            other => return render_response(other),
+        }
+    }
 }
 
 /// `sortsynth stats`: query a running server for its live counters.
@@ -660,6 +764,312 @@ fn stats_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
         .stats()
         .map_err(|e| ArgsError::new(format!("request: {e}")))?;
     render_response(response)
+}
+
+/// `sortsynth profile`: run one search with the phase profiler enabled and
+/// print the per-phase attribution table.
+fn profile_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
+    use sortsynth_obs::profile::{time_global, Phase, PHASE_COUNT};
+
+    sortsynth_obs::profile::set_enabled(true);
+    let machine = machine_from(args)?;
+    let mut cfg = if args.flag("plain") {
+        SynthesisConfig::new(machine.clone())
+    } else {
+        SynthesisConfig::best(machine.clone())
+    };
+    if let Some(max_len) = args.num::<u32>("max-len")? {
+        cfg = cfg.max_len(max_len);
+    }
+    if let Some(k) = args.num::<f64>("cut")? {
+        cfg = cfg.cut(Cut::Factor(k));
+    }
+    if let Some(threads) = args.num::<usize>("threads")? {
+        cfg = cfg.threads(threads);
+    }
+    if let Some(secs) = args.num::<f64>("timeout")? {
+        cfg = cfg.search_budget(SearchBudget::with_timeout(Duration::from_secs_f64(secs)));
+    }
+    let result = synthesize(&cfg);
+
+    // The engine attributes its own phases; the verification gate of the
+    // found kernel runs here, timed onto the VerifyGate counter (read back
+    // as a delta so earlier runs in this process don't leak in).
+    let mut phase_nanos: [u64; PHASE_COUNT] = result.stats.phase_nanos;
+    let gate_counter = format!("sortsynth_phase_{}_nanos_total", Phase::VerifyGate.token());
+    let mut gate_nanos = 0;
+    if let Some(prog) = result.first_program() {
+        let before = sortsynth_obs::registry().counter_value(&gate_counter);
+        time_global(Phase::VerifyGate, || {
+            sortsynth_verify::gate(&machine, &prog)
+        })
+        .map_err(|e| ArgsError::new(format!("verification gate refused the kernel: {e}")))?;
+        gate_nanos = sortsynth_obs::registry().counter_value(&gate_counter) - before;
+        phase_nanos[Phase::VerifyGate as usize] += gate_nanos;
+    }
+    sortsynth_obs::profile::set_enabled(false);
+
+    match result.found_len {
+        Some(len) => info!(
+            "# length {len}, {} states explored in {:?}",
+            result.stats.generated, result.stats.search_time
+        ),
+        None => info!("# no kernel found (outcome {:?})", result.outcome),
+    }
+    let wall = result.stats.distance_build.as_nanos() as u64
+        + result.stats.search_time.as_nanos() as u64
+        + gate_nanos;
+    let attributed: u64 = phase_nanos.iter().sum();
+    println!("{:<18} {:>12} {:>7}  description", "phase", "time", "share");
+    for phase in Phase::ALL {
+        let nanos = phase_nanos[phase as usize];
+        let share = if wall > 0 {
+            100.0 * nanos as f64 / wall as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<18} {:>12} {:>6.1}%  {}",
+            phase.token(),
+            fmt_nanos(nanos),
+            share,
+            phase.describe()
+        );
+    }
+    println!(
+        "attributed {} of {} wall ({:.1}%)",
+        fmt_nanos(attributed),
+        fmt_nanos(wall),
+        if wall > 0 {
+            100.0 * attributed as f64 / wall as f64
+        } else {
+            0.0
+        }
+    );
+    Ok(())
+}
+
+/// `sortsynth inspect`: post-mortem summary of a flight recording.
+fn inspect_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| ArgsError::new("inspect needs a recording path (see synth --record)"))?;
+    let recording =
+        sortsynth_obs::read_recording(path).map_err(|e| ArgsError::new(format!("{path}: {e}")))?;
+    if recording.frames.is_empty() {
+        return Err(ArgsError::new(format!(
+            "{path}: no intact frames ({} bytes lost)",
+            recording.lost_bytes
+        )));
+    }
+    let first = recording.frames.first().unwrap();
+    let last = recording.frames.last().unwrap();
+    let duration_secs = last.elapsed_micros as f64 / 1e6;
+    let avg_nodes_per_sec = if last.elapsed_micros > 0 {
+        last.expanded as f64 / duration_secs
+    } else {
+        0.0
+    };
+    // Peak rate and per-shard high-water marks come from frame deltas: the
+    // recording is the only survivor of a crashed run, so everything is
+    // derived from it rather than from live engine state.
+    let mut peak_nodes_per_sec = avg_nodes_per_sec;
+    for pair in recording.frames.windows(2) {
+        let dt = pair[1]
+            .elapsed_micros
+            .saturating_sub(pair[0].elapsed_micros);
+        if dt > 0 {
+            let rate = pair[1].expanded.saturating_sub(pair[0].expanded) as f64 / (dt as f64 / 1e6);
+            peak_nodes_per_sec = peak_nodes_per_sec.max(rate);
+        }
+    }
+    let shard_count = recording
+        .frames
+        .iter()
+        .map(|f| f.shards.len())
+        .max()
+        .unwrap_or(0);
+    let mut shard_peaks = vec![sortsynth_obs::ShardFrame::default(); shard_count];
+    for frame in &recording.frames {
+        for (i, shard) in frame.shards.iter().enumerate() {
+            let peak = &mut shard_peaks[i];
+            peak.interned_states = peak.interned_states.max(shard.interned_states);
+            peak.arena_bytes = peak.arena_bytes.max(shard.arena_bytes);
+            peak.open_depth = peak.open_depth.max(shard.open_depth);
+        }
+    }
+    let (peak_arena_shard, peak_arena_bytes) = shard_peaks
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, s.arena_bytes))
+        .max_by_key(|&(_, b)| b)
+        .unwrap_or((0, 0));
+
+    if args.flag("json") {
+        use serde::Value;
+        let shards = shard_peaks
+            .iter()
+            .map(|s| {
+                Value::map([
+                    ("interned_states", Value::UInt(s.interned_states)),
+                    ("arena_bytes", Value::UInt(s.arena_bytes)),
+                    ("open_depth", Value::UInt(s.open_depth)),
+                ])
+            })
+            .collect();
+        let value = Value::map([
+            ("frames", Value::UInt(recording.frames.len() as u64)),
+            ("segments", Value::UInt(recording.segments as u64)),
+            ("lost_bytes", Value::UInt(recording.lost_bytes)),
+            ("rejected_tail", Value::Bool(recording.rejected_tail)),
+            ("duration_secs", Value::Float(duration_secs)),
+            ("finished", Value::Bool(last.finished)),
+            (
+                "outcome",
+                match &last.outcome {
+                    Some(o) => Value::Str(o.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("expanded", Value::UInt(last.expanded)),
+            ("generated", Value::UInt(last.generated)),
+            ("open", Value::UInt(last.open)),
+            ("avg_nodes_per_sec", Value::Float(avg_nodes_per_sec)),
+            ("peak_nodes_per_sec", Value::Float(peak_nodes_per_sec)),
+            ("viability_pruned", Value::UInt(last.viability_pruned)),
+            ("cut_pruned", Value::UInt(last.cut_pruned)),
+            ("dedup_hits", Value::UInt(last.dedup_hits)),
+            ("dead_write_pruned", Value::UInt(last.dead_write_pruned)),
+            ("value_flow_pruned", Value::UInt(last.value_flow_pruned)),
+            (
+                "distance_table_skipped",
+                Value::Bool(last.distance_table_skipped),
+            ),
+            ("peak_arena_bytes", Value::UInt(peak_arena_bytes)),
+            ("shards", Value::Seq(shards)),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string(&value).expect("value-tree serialization is infallible")
+        );
+        return Ok(());
+    }
+
+    // Keyed `name: value` lines, one fact per line, greppable from CI.
+    println!(
+        "frames: {} ({} segment{}, {} bytes lost{})",
+        recording.frames.len(),
+        recording.segments,
+        if recording.segments == 1 { "" } else { "s" },
+        recording.lost_bytes,
+        if recording.rejected_tail {
+            ", torn tail dropped"
+        } else {
+            ""
+        }
+    );
+    println!("duration: {duration_secs:.2}s");
+    println!("finished: {}", last.finished);
+    println!("outcome: {}", last.outcome.as_deref().unwrap_or("-"));
+    println!("expanded: {}", last.expanded);
+    println!("generated: {}", last.generated);
+    println!("open: {}", last.open);
+    println!("nodes/sec: {avg_nodes_per_sec:.0} avg, {peak_nodes_per_sec:.0} peak");
+    println!(
+        "f-bound: {} -> {}",
+        first.f_bound.map_or("-".into(), |f| f.to_string()),
+        last.f_bound.map_or("-".into(), |f| f.to_string()),
+    );
+    println!(
+        "pruned: {} viability, {} cut, {} dedup, {} dead-write, {} value-flow",
+        last.viability_pruned,
+        last.cut_pruned,
+        last.dedup_hits,
+        last.dead_write_pruned,
+        last.value_flow_pruned
+    );
+    if last.distance_table_skipped {
+        println!("distance table: skipped (degraded pruning)");
+    }
+    for (i, shard) in shard_peaks.iter().enumerate() {
+        println!(
+            "shard {i}: peak {} states, {} arena, open depth {}",
+            shard.interned_states,
+            fmt_bytes(shard.arena_bytes),
+            shard.open_depth
+        );
+    }
+    println!("peak arena_bytes: {peak_arena_bytes} (shard {peak_arena_shard})");
+    Ok(())
+}
+
+/// `sortsynth top`: live view of an in-flight server search, refreshing in
+/// place on a terminal and degrading to one line per frame in a pipe.
+fn top_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
+    use std::io::IsTerminal;
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut client = Client::connect(addr.as_str())
+        .map_err(|e| ArgsError::new(format!("connect {addr}: {e}")))?;
+    let clear = std::io::stdout().is_terminal();
+    stream_watch(&mut client, args, move |frame, nodes_per_sec| {
+        if clear {
+            // Home + clear-to-end keeps the dashboard in place per frame.
+            print!("\x1b[H\x1b[2J");
+        }
+        println!("sortsynth top — {addr}");
+        println!("{}", progress_line(frame, nodes_per_sec));
+        println!(
+            "generated={}  dedup={}  pruned: viability={} cut={} dead-write={} value-flow={}",
+            frame.generated,
+            frame.dedup_hits,
+            frame.viability_pruned,
+            frame.cut_pruned,
+            frame.dead_write_pruned,
+            frame.value_flow_pruned
+        );
+        for (i, shard) in frame.shards.iter().enumerate() {
+            println!(
+                "shard {i}: {} states, {} arena, open depth {}",
+                shard.interned_states,
+                fmt_bytes(shard.arena_bytes),
+                shard.open_depth
+            );
+        }
+    })
+}
+
+/// Human-readable byte count.
+fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{value:.1}{}", UNITS[unit])
+    }
+}
+
+/// Human-readable nanosecond duration.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
 }
 
 fn render_response(response: Response) -> Result<(), ArgsError> {
@@ -787,6 +1197,12 @@ fn render_response(response: Response) -> Result<(), ArgsError> {
             t.generated,
             if t.cancelled { ", cancelled" } else { "" }
         ))),
+        Response::Progress(frame) => {
+            // Progress frames normally stay inside the watch stream loop;
+            // render a stray one rather than erroring.
+            println!("{}", progress_line(&frame, 0.0));
+            Ok(())
+        }
         Response::Overloaded => Err(ArgsError::new("server overloaded; retry later")),
         Response::Error { message } => Err(ArgsError::new(format!("server error: {message}"))),
     }

@@ -3,13 +3,16 @@
 //!
 //! ```text
 //! sortsynth synth   --n 3 [--scratch 1] [--isa cmov|minmax] [--all] [--max-len L] [--cut K]
+//! sortsynth profile --n 3 [...]             # per-phase time table of one search
+//! sortsynth inspect <recording.ssfr>        # post-mortem of a flight recording
+//! sortsynth top     [--addr 127.0.0.1:7878] # live view of an in-flight search
 //! sortsynth prove   --n 3 --len 11 [--budget-states N]
 //! sortsynth check   <file|-> --n 3          # verify a kernel program
 //! sortsynth analyze <file|-> --n 3          # cost & pipeline analysis
 //! sortsynth lint    <file|-> --n 3          # static analysis & lint report
 //! sortsynth run     <file|-> --n 3 --data 3,1,2
 //! sortsynth serve   [--addr 127.0.0.1:7878] [--workers 4] [--cache-dir DIR] [--metrics]
-//! sortsynth client  ping|synth|check|analyze|metrics|stats [--addr 127.0.0.1:7878]
+//! sortsynth client  ping|synth|check|analyze|metrics|stats|watch [--addr 127.0.0.1:7878]
 //! sortsynth stats   [--addr 127.0.0.1:7878]
 //! ```
 //!

@@ -18,6 +18,14 @@
 //! * [`log`](crate::Level) — `error!`/`warn!`/`info!`/`debug!`/`trace!`
 //!   macros gated by a process-wide [`Level`], writing to stderr and (when a
 //!   subscriber is installed) mirroring into the event stream.
+//! * [`profile`] — an instrumented (sampling-free) phase profiler for the
+//!   search hot loop: per-worker cache-line-padded [`PhaseProbe`]s attribute
+//!   wall time to a fixed [`Phase`] taxonomy, off by default with one
+//!   relaxed load per search when disabled.
+//! * [`recorder`] — the flight recorder: a bounded, checksummed, crash-safe
+//!   on-disk ring of search progress snapshots ([`FlightRecorder`]) with a
+//!   torn-tail-tolerant reader ([`read_recording`]) for post-mortem
+//!   analysis of long searches.
 //!
 //! Overhead is designed to vanish when nobody is watching: metric updates
 //! are single relaxed atomic operations, span and event emission first check
@@ -52,10 +60,14 @@
 mod level;
 pub mod metrics;
 pub mod names;
+pub mod profile;
+pub mod recorder;
 pub mod trace;
 
 pub use level::{log_emit, log_enabled, log_level, set_log_level, Level};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use profile::{PaddedU64, Phase, PhaseProbe, PHASE_COUNT};
+pub use recorder::{read_recording, FlightRecorder, Frame, Recording, ShardFrame};
 pub use trace::{
     add_subscriber, emit, enabled, now_micros, remove_subscriber, set_enabled, Event, EventKind,
     FieldValue, FileSubscriber, RingBuffer, Span, Subscriber,

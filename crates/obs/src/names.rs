@@ -110,6 +110,18 @@ pub const PORTFOLIO_WIDENED_TOTAL: &str = "sortsynth_portfolio_widened_total";
 /// Time from race start to the first verified solution, seconds.
 pub const PORTFOLIO_TTFS_SECONDS: &str = "sortsynth_portfolio_ttfs_seconds";
 
+// --- introspection ---
+/// Flight-recorder frames appended (across all recordings).
+pub const RECORDER_FRAMES_TOTAL: &str = "sortsynth_recorder_frames_total";
+/// Flight-recorder bytes written (headers + payloads).
+pub const RECORDER_BYTES_TOTAL: &str = "sortsynth_recorder_bytes_total";
+/// Flight-recorder segment rotations.
+pub const RECORDER_ROTATIONS_TOTAL: &str = "sortsynth_recorder_rotations_total";
+/// Watch streams opened against in-flight searches.
+pub const WATCH_STREAMS_TOTAL: &str = "sortsynth_watch_streams_total";
+/// Progress frames delivered to watch subscribers.
+pub const WATCH_FRAMES_TOTAL: &str = "sortsynth_watch_frames_total";
+
 // --- SAT / CEGIS ---
 /// CDCL conflicts across all solver runs.
 pub const SAT_CONFLICTS_TOTAL: &str = "sortsynth_sat_conflicts_total";
@@ -311,6 +323,22 @@ pub fn register_well_known() {
     );
     portfolio_ttfs_seconds();
 
+    r.counter(RECORDER_FRAMES_TOTAL, "Flight-recorder frames appended.");
+    r.counter(RECORDER_BYTES_TOTAL, "Flight-recorder bytes written.");
+    r.counter(
+        RECORDER_ROTATIONS_TOTAL,
+        "Flight-recorder segment rotations.",
+    );
+    r.counter(
+        WATCH_STREAMS_TOTAL,
+        "Watch streams opened against in-flight searches.",
+    );
+    r.counter(
+        WATCH_FRAMES_TOTAL,
+        "Progress frames delivered to watch subscribers.",
+    );
+    crate::profile::register_phase_counters();
+
     r.counter(
         SAT_CONFLICTS_TOTAL,
         "CDCL conflicts across all solver runs.",
@@ -347,6 +375,9 @@ mod tests {
             SEARCH_EXPANDED_TOTAL,
             SEARCH_VALUE_FLOW_PRUNED_TOTAL,
             SEARCH_CANCELLED_TOTAL,
+            RECORDER_FRAMES_TOTAL,
+            WATCH_FRAMES_TOTAL,
+            "sortsynth_phase_step_viability_nanos_total",
             SAT_CONFLICTS_TOTAL,
             CEGIS_ITERATIONS_TOTAL,
         ] {

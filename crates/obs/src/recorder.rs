@@ -1,0 +1,598 @@
+//! The flight recorder: a bounded, crash-safe, on-disk ring of search
+//! progress snapshots for post-mortem analysis of hour-scale runs.
+//!
+//! # On-disk format
+//!
+//! A recording is one or two segment files (`<path>` plus, after a
+//! rotation, `<path>.1` holding the previous segment). Each segment is a
+//! write-ahead log in the same discipline as the kernel cache's store:
+//!
+//! ```text
+//! header:  "SSFLIGHT"  (8 bytes magic)
+//!          version     (u32 LE, currently 1)
+//! frame*:  seq         (u64 LE — monotonically increasing frame number)
+//!          payload_len (u32 LE)
+//!          checksum    (u64 LE — FNV-1a of the payload bytes)
+//!          payload     (binary frame body, see [`Frame`])
+//! ```
+//!
+//! Every [`FlightRecorder::record`] appends one frame with a single
+//! `write_all` + flush, so a crash (including a panicking search worker)
+//! can tear at most the final frame — which [`read_recording`] then drops,
+//! keeping the intact prefix. The snapshot delivered just before the
+//! crash is therefore always recoverable: callers feed the recorder from a
+//! progress hook whose delivery precedes the panic propagation.
+//!
+//! Boundedness: when the live segment exceeds its byte budget the recorder
+//! rotates it aside to `<path>.1` (dropping the previous `.1`) and starts a
+//! fresh segment, so a recording holds at most two segments ≈ 2× the
+//! budget no matter how long the run — the "ring" is chunked at segment
+//! granularity to keep every append a pure O(frame) write.
+//!
+//! # Frame payload
+//!
+//! Fixed little-endian fields, then a per-shard table:
+//!
+//! ```text
+//! elapsed_micros u64 | expanded u64 | generated u64 | open u64
+//! f_bound u64 (u64::MAX = none)
+//! viability_pruned u64 | cut_pruned u64 | dedup_hits u64
+//! dead_write_pruned u64 | value_flow_pruned u64
+//! flags u8 (bit0 finished, bit1 distance_table_skipped)
+//! outcome_len u8 | outcome bytes (UTF-8, empty = none)
+//! shard_count u32 | shard* { interned_states u64, arena_bytes u64, open_depth u64 }
+//! ```
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Segment magic; eight bytes so the header is naturally aligned.
+pub const MAGIC: &[u8; 8] = b"SSFLIGHT";
+/// Format version. Bumping it invalidates existing recordings.
+pub const VERSION: u32 = 1;
+/// Hard cap on one frame payload; anything larger is corruption.
+pub const MAX_PAYLOAD: u32 = 1024 * 1024;
+/// Default live-segment byte budget before rotation (per segment; a
+/// recording keeps the live segment plus one rotated predecessor).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+
+/// FNV-1a over a byte slice — the recorder's frame checksum. (Local copy:
+/// `sortsynth-obs` sits below every other crate and depends on nothing.)
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+/// One recorded progress snapshot. Mirrors the search engine's
+/// `SearchProgress` (plus per-shard memory high-water marks) without
+/// depending on the search crate — `sortsynth-obs` is the bottom of the
+/// dependency stack.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Frame {
+    /// Frame number, assigned by the recorder at append time (monotonic
+    /// across rotations).
+    pub seq: u64,
+    /// Microseconds since the search started.
+    pub elapsed_micros: u64,
+    /// States expanded so far.
+    pub expanded: u64,
+    /// States generated so far.
+    pub generated: u64,
+    /// Open-list size (summed across shards).
+    pub open: u64,
+    /// Current frontier bound: layer depth / last popped f (sequential) or
+    /// the incumbent-derived length bound (parallel).
+    pub f_bound: Option<u64>,
+    /// Viability prunes so far.
+    pub viability_pruned: u64,
+    /// §3.5 cut prunes so far.
+    pub cut_pruned: u64,
+    /// Closed-set dedup hits so far.
+    pub dedup_hits: u64,
+    /// Dead-write cut prunes so far.
+    pub dead_write_pruned: u64,
+    /// Value-flow cut prunes so far.
+    pub value_flow_pruned: u64,
+    /// Whether the distance table was skipped (oversized machine).
+    pub distance_table_skipped: bool,
+    /// Whether this is the run's final snapshot.
+    pub finished: bool,
+    /// Outcome tag on the final snapshot (`Solved`, `Cancelled`, …).
+    pub outcome: Option<String>,
+    /// Per-shard memory high-water marks (one entry for the sequential
+    /// engine).
+    pub shards: Vec<ShardFrame>,
+}
+
+/// Per-shard state of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardFrame {
+    /// States interned in this shard's arena.
+    pub interned_states: u64,
+    /// Bytes held by this shard's assignment arena.
+    pub arena_bytes: u64,
+    /// This shard's open-list depth.
+    pub open_depth: u64,
+}
+
+impl Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.elapsed_micros,
+            self.expanded,
+            self.generated,
+            self.open,
+            self.f_bound.unwrap_or(u64::MAX),
+            self.viability_pruned,
+            self.cut_pruned,
+            self.dedup_hits,
+            self.dead_write_pruned,
+            self.value_flow_pruned,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let flags = (self.finished as u8) | ((self.distance_table_skipped as u8) << 1);
+        out.push(flags);
+        let outcome = self.outcome.as_deref().unwrap_or("");
+        let outcome = &outcome.as_bytes()[..outcome.len().min(255)];
+        out.push(outcome.len() as u8);
+        out.extend_from_slice(outcome);
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for shard in &self.shards {
+            out.extend_from_slice(&shard.interned_states.to_le_bytes());
+            out.extend_from_slice(&shard.arena_bytes.to_le_bytes());
+            out.extend_from_slice(&shard.open_depth.to_le_bytes());
+        }
+    }
+
+    fn decode(seq: u64, payload: &[u8]) -> Option<Frame> {
+        let mut cur = Cursor {
+            buf: payload,
+            at: 0,
+        };
+        let mut fixed = [0u64; 10];
+        for slot in &mut fixed {
+            *slot = cur.u64()?;
+        }
+        let flags = cur.u8()?;
+        let outcome_len = cur.u8()? as usize;
+        let outcome_bytes = cur.bytes(outcome_len)?;
+        let outcome = if outcome_len == 0 {
+            None
+        } else {
+            Some(String::from_utf8(outcome_bytes.to_vec()).ok()?)
+        };
+        let shard_count = cur.u32()? as usize;
+        // A frame never carries more shards than bytes remaining allow.
+        if shard_count > cur.remaining() / 24 {
+            return None;
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            shards.push(ShardFrame {
+                interned_states: cur.u64()?,
+                arena_bytes: cur.u64()?,
+                open_depth: cur.u64()?,
+            });
+        }
+        Some(Frame {
+            seq,
+            elapsed_micros: fixed[0],
+            expanded: fixed[1],
+            generated: fixed[2],
+            open: fixed[3],
+            f_bound: (fixed[4] != u64::MAX).then_some(fixed[4]),
+            viability_pruned: fixed[5],
+            cut_pruned: fixed[6],
+            dedup_hits: fixed[7],
+            dead_write_pruned: fixed[8],
+            value_flow_pruned: fixed[9],
+            distance_table_skipped: flags & 0b10 != 0,
+            finished: flags & 0b1 != 0,
+            outcome,
+            shards,
+        })
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&[u8]> {
+        let slice = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.bytes(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.bytes(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+struct Inner {
+    file: File,
+    bytes: u64,
+    next_seq: u64,
+}
+
+/// A live recording: append-only, checksummed, rotated at the segment byte
+/// budget. Thread-safe (a progress hook may fire from any worker).
+pub struct FlightRecorder {
+    path: PathBuf,
+    segment_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+fn open_segment(path: &Path) -> io::Result<(File, u64)> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::create_dir_all(dir)?;
+    }
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(path)?;
+    let mut header = Vec::with_capacity(12);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    file.write_all(&header)?;
+    file.flush()?;
+    Ok((file, header.len() as u64))
+}
+
+/// The rotated-predecessor path for a recording at `path`.
+pub fn rotated_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".1");
+    PathBuf::from(name)
+}
+
+impl FlightRecorder {
+    /// Creates (truncating) a recording at `path` with the default segment
+    /// budget.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<FlightRecorder> {
+        FlightRecorder::with_segment_bytes(path, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// Creates a recording whose live segment rotates once it exceeds
+    /// `segment_bytes` (floored to one frame per segment).
+    pub fn with_segment_bytes(
+        path: impl Into<PathBuf>,
+        segment_bytes: u64,
+    ) -> io::Result<FlightRecorder> {
+        let path = path.into();
+        // A fresh recording owns both segment slots.
+        let _ = fs::remove_file(rotated_path(&path));
+        let (file, bytes) = open_segment(&path)?;
+        Ok(FlightRecorder {
+            path,
+            segment_bytes,
+            inner: Mutex::new(Inner {
+                file,
+                bytes,
+                next_seq: 0,
+            }),
+        })
+    }
+
+    /// The live segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one frame (the recorder assigns `frame.seq`); flushed before
+    /// returning, so the frame survives any later crash.
+    pub fn record(&self, frame: &Frame) -> io::Result<u64> {
+        let mut payload = Vec::with_capacity(128);
+        frame.encode(&mut payload);
+        assert!(payload.len() as u32 <= MAX_PAYLOAD, "oversized frame");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.bytes > self.segment_bytes.max(1) {
+            // Rotate: the live segment becomes `.1` (dropping the previous
+            // one) and a fresh segment takes its place. Sequence numbers
+            // keep counting, so a reader stitches segments unambiguously.
+            let (file, bytes) = {
+                let _ = fs::remove_file(rotated_path(&self.path));
+                fs::rename(&self.path, rotated_path(&self.path))?;
+                open_segment(&self.path)?
+            };
+            inner.file = file;
+            inner.bytes = bytes;
+            crate::registry()
+                .counter(
+                    crate::names::RECORDER_ROTATIONS_TOTAL,
+                    "Flight-recorder segment rotations.",
+                )
+                .inc();
+        }
+        let mut buf = Vec::with_capacity(20 + payload.len());
+        buf.extend_from_slice(&seq.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        inner.file.write_all(&buf)?;
+        inner.file.flush()?;
+        inner.bytes += buf.len() as u64;
+        let registry = crate::registry();
+        registry
+            .counter(
+                crate::names::RECORDER_FRAMES_TOTAL,
+                "Flight-recorder frames appended.",
+            )
+            .inc();
+        registry
+            .counter(
+                crate::names::RECORDER_BYTES_TOTAL,
+                "Flight-recorder bytes written.",
+            )
+            .add(buf.len() as u64);
+        Ok(seq)
+    }
+}
+
+/// What [`read_recording`] recovered.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Recording {
+    /// Intact frames, oldest first (stitched across segments).
+    pub frames: Vec<Frame>,
+    /// Segment files read.
+    pub segments: u32,
+    /// Bytes discarded as torn or corrupt (0 on a clean read).
+    pub lost_bytes: u64,
+    /// Whether a torn/corrupt tail (or bad header) was hit in any segment.
+    pub rejected_tail: bool,
+}
+
+fn read_segment(path: &Path, recording: &mut Recording) -> io::Result<bool> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    recording.segments += 1;
+    let total = file.metadata()?.len();
+    let mut header = [0u8; 12];
+    if !matches!(read_exact_or_eof(&mut file, &mut header), Ok(true))
+        || &header[..8] != MAGIC
+        || u32::from_le_bytes(header[8..12].try_into().unwrap()) != VERSION
+    {
+        recording.rejected_tail = true;
+        recording.lost_bytes += total;
+        return Ok(true);
+    }
+    let mut consumed = header.len() as u64;
+    loop {
+        let mut head = [0u8; 20];
+        match read_exact_or_eof(&mut file, &mut head) {
+            Ok(false) => break,
+            Ok(true) => {}
+            Err(_) => {
+                recording.rejected_tail = true;
+                break;
+            }
+        }
+        let seq = u64::from_le_bytes(head[0..8].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(head[8..12].try_into().unwrap());
+        let checksum = u64::from_le_bytes(head[12..20].try_into().unwrap());
+        if payload_len > MAX_PAYLOAD {
+            recording.rejected_tail = true;
+            break;
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        if !matches!(read_exact_or_eof(&mut file, &mut payload), Ok(true))
+            || fnv1a(&payload) != checksum
+        {
+            recording.rejected_tail = true;
+            break;
+        }
+        let Some(frame) = Frame::decode(seq, &payload) else {
+            recording.rejected_tail = true;
+            break;
+        };
+        consumed += (head.len() + payload.len()) as u64;
+        recording.frames.push(frame);
+    }
+    recording.lost_bytes += total.saturating_sub(consumed);
+    Ok(true)
+}
+
+fn read_exact_or_eof(file: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(ErrorKind::UnexpectedEof, "torn frame"))
+                }
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Loads a recording: the rotated predecessor segment (if any) followed by
+/// the live segment, torn tails dropped per segment. Errors only on a
+/// missing live segment or an I/O failure; corruption is reported in the
+/// returned [`Recording`], never fatal.
+pub fn read_recording(path: impl AsRef<Path>) -> io::Result<Recording> {
+    let path = path.as_ref();
+    let mut recording = Recording::default();
+    read_segment(&rotated_path(path), &mut recording)?;
+    if !read_segment(path, &mut recording)? {
+        return Err(io::Error::new(
+            ErrorKind::NotFound,
+            format!("no recording at {}", path.display()),
+        ));
+    }
+    Ok(recording)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ssflight-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("run.ssfr")
+    }
+
+    fn frame(expanded: u64) -> Frame {
+        Frame {
+            seq: 0,
+            elapsed_micros: expanded * 10,
+            expanded,
+            generated: expanded * 7,
+            open: 42,
+            f_bound: Some(5),
+            viability_pruned: 3,
+            cut_pruned: 2,
+            dedup_hits: 1,
+            dead_write_pruned: 0,
+            value_flow_pruned: 4,
+            distance_table_skipped: false,
+            finished: false,
+            outcome: None,
+            shards: vec![
+                ShardFrame {
+                    interned_states: expanded,
+                    arena_bytes: expanded * 100,
+                    open_depth: 21,
+                },
+                ShardFrame {
+                    interned_states: expanded / 2,
+                    arena_bytes: expanded * 50,
+                    open_depth: 21,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn record_then_read_round_trips() {
+        let path = tmp("rt");
+        let rec = FlightRecorder::create(&path).unwrap();
+        for i in 1..=3u64 {
+            rec.record(&frame(i * 100)).unwrap();
+        }
+        let mut done = frame(400);
+        done.finished = true;
+        done.outcome = Some("Solved".into());
+        rec.record(&done).unwrap();
+        let recording = read_recording(&path).unwrap();
+        assert_eq!(recording.frames.len(), 4);
+        assert!(!recording.rejected_tail && recording.lost_bytes == 0);
+        assert_eq!(recording.segments, 1);
+        let last = recording.frames.last().unwrap();
+        assert_eq!(last.seq, 3);
+        assert!(last.finished);
+        assert_eq!(last.outcome.as_deref(), Some("Solved"));
+        assert_eq!(last.shards.len(), 2);
+        assert_eq!(last.shards[0].arena_bytes, 40_000);
+        assert_eq!(last.f_bound, Some(5));
+    }
+
+    #[test]
+    fn torn_tail_keeps_prefix() {
+        let path = tmp("torn");
+        let rec = FlightRecorder::create(&path).unwrap();
+        rec.record(&frame(100)).unwrap();
+        rec.record(&frame(200)).unwrap();
+        drop(rec);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let recording = read_recording(&path).unwrap();
+        assert_eq!(recording.frames.len(), 1);
+        assert_eq!(recording.frames[0].expanded, 100);
+        assert!(recording.rejected_tail);
+        assert!(recording.lost_bytes > 0);
+    }
+
+    #[test]
+    fn bit_flip_detected_by_checksum() {
+        let path = tmp("flip");
+        let rec = FlightRecorder::create(&path).unwrap();
+        rec.record(&frame(100)).unwrap();
+        drop(rec);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 9;
+        bytes[at] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        let recording = read_recording(&path).unwrap();
+        assert!(recording.frames.is_empty());
+        assert!(recording.rejected_tail);
+    }
+
+    #[test]
+    fn rotation_bounds_the_recording_and_reader_stitches() {
+        let path = tmp("rot");
+        // Tiny budget: every few frames force a rotation.
+        let rec = FlightRecorder::with_segment_bytes(&path, 256).unwrap();
+        for i in 0..40u64 {
+            rec.record(&frame(i)).unwrap();
+        }
+        assert!(rotated_path(&path).exists(), "rotation happened");
+        let live = fs::metadata(&path).unwrap().len();
+        let old = fs::metadata(rotated_path(&path)).unwrap().len();
+        assert!(live + old < 40 * 200, "recording stayed bounded");
+        let recording = read_recording(&path).unwrap();
+        assert_eq!(recording.segments, 2);
+        assert!(!recording.rejected_tail);
+        // Stitched frames are consecutive and end at the last append.
+        let seqs: Vec<u64> = recording.frames.iter().map(|f| f.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "{seqs:?}");
+        assert_eq!(*seqs.last().unwrap(), 39);
+        assert!(recording.frames.len() < 40, "old segments were dropped");
+    }
+
+    #[test]
+    fn missing_recording_is_an_error() {
+        let path = tmp("missing");
+        assert!(read_recording(&path).is_err());
+    }
+
+    #[test]
+    fn outcome_longer_than_255_bytes_is_truncated_not_fatal() {
+        let path = tmp("long");
+        let rec = FlightRecorder::create(&path).unwrap();
+        let mut f = frame(1);
+        f.outcome = Some("x".repeat(400));
+        rec.record(&f).unwrap();
+        let recording = read_recording(&path).unwrap();
+        assert_eq!(
+            recording.frames[0].outcome.as_deref(),
+            Some(&"x".repeat(255)[..])
+        );
+    }
+}

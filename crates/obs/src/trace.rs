@@ -14,9 +14,9 @@
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::fs::File;
+use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
@@ -456,38 +456,108 @@ impl Subscriber for RingBuffer {
     }
 }
 
+/// Default per-segment byte budget for [`FileSubscriber`] rotation.
+pub const TRACE_SEGMENT_BYTES: u64 = 64 * 1024 * 1024;
+/// Default number of rotated segments kept next to the live log.
+pub const TRACE_KEEP_SEGMENTS: usize = 3;
+
+struct FileWriter {
+    writer: BufWriter<File>,
+    bytes: u64,
+}
+
 /// Streams events to a file as JSON lines (one object per line). Buffered;
 /// flushed on [`FileSubscriber::flush`] and on drop.
+///
+/// Long runs don't grow the log without bound: once the live file exceeds
+/// its byte budget it is rotated aside (`<path>.1`, `<path>.2`, …, keeping
+/// the newest `keep` rotated segments) and a fresh file takes its place.
 pub struct FileSubscriber {
-    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+    segment_bytes: u64,
+    keep: usize,
+    writer: Mutex<FileWriter>,
 }
 
 impl FileSubscriber {
-    /// Creates (truncating) the log file.
+    /// Creates (truncating) the log file with the default rotation policy
+    /// ([`TRACE_SEGMENT_BYTES`] per segment, [`TRACE_KEEP_SEGMENTS`] kept).
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::with_rotation(path, TRACE_SEGMENT_BYTES, TRACE_KEEP_SEGMENTS)
+    }
+
+    /// Creates (truncating) the log file, rotating whenever it exceeds
+    /// `segment_bytes` and keeping the newest `keep` rotated segments.
+    pub fn with_rotation(
+        path: impl AsRef<Path>,
+        segment_bytes: u64,
+        keep: usize,
+    ) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
         Ok(FileSubscriber {
-            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+            writer: Mutex::new(FileWriter {
+                writer: BufWriter::new(File::create(&path)?),
+                bytes: 0,
+            }),
+            path,
+            segment_bytes: segment_bytes.max(1),
+            keep: keep.max(1),
         })
     }
 
     /// Flushes buffered events to disk.
     pub fn flush(&self) -> io::Result<()> {
-        self.writer.lock().expect("trace file poisoned").flush()
+        self.writer
+            .lock()
+            .expect("trace file poisoned")
+            .writer
+            .flush()
+    }
+
+    fn rotated(&self, n: usize) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(format!(".{n}"));
+        PathBuf::from(name)
+    }
+
+    /// Rotates the live file aside and starts a fresh one. Best-effort: a
+    /// failed rotation keeps writing to the old file rather than dropping
+    /// events.
+    fn rotate(&self, state: &mut FileWriter) {
+        if state.writer.flush().is_err() {
+            return;
+        }
+        let _ = fs::remove_file(self.rotated(self.keep));
+        for n in (1..self.keep).rev() {
+            let _ = fs::rename(self.rotated(n), self.rotated(n + 1));
+        }
+        if fs::rename(&self.path, self.rotated(1)).is_err() {
+            return;
+        }
+        if let Ok(file) = File::create(&self.path) {
+            state.writer = BufWriter::new(file);
+            state.bytes = 0;
+        }
     }
 }
 
 impl Subscriber for FileSubscriber {
     fn on_event(&self, event: &Event) {
-        let mut writer = self.writer.lock().expect("trace file poisoned");
-        let _ = writer.write_all(event.to_json().as_bytes());
-        let _ = writer.write_all(b"\n");
+        let mut state = self.writer.lock().expect("trace file poisoned");
+        if state.bytes > self.segment_bytes {
+            self.rotate(&mut state);
+        }
+        let line = event.to_json();
+        let _ = state.writer.write_all(line.as_bytes());
+        let _ = state.writer.write_all(b"\n");
+        state.bytes += line.len() as u64 + 1;
     }
 }
 
 impl Drop for FileSubscriber {
     fn drop(&mut self) {
-        if let Ok(mut writer) = self.writer.lock() {
-            let _ = writer.flush();
+        if let Ok(mut state) = self.writer.lock() {
+            let _ = state.writer.flush();
         }
     }
 }
@@ -580,5 +650,53 @@ mod tests {
         let id = add_subscriber(ring.clone());
         remove_subscriber(id);
         assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn file_subscriber_rotates_and_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("sstrace-rot-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let event = Event {
+            micros: 1,
+            kind: EventKind::Point,
+            level: Level::Info,
+            name: "tick",
+            span: None,
+            parent: None,
+            fields: vec![("payload", FieldValue::Str("x".repeat(64)))],
+            message: None,
+        };
+        let line_len = event.to_json().len() as u64 + 1;
+        {
+            // Cap at ~4 lines per segment, keep 2 rotated segments.
+            let file = FileSubscriber::with_rotation(&path, line_len * 4, 2).unwrap();
+            for _ in 0..20 {
+                file.on_event(&event);
+            }
+            // Drop flushes the live segment without an explicit flush().
+        }
+        let live = fs::read_to_string(&path).unwrap();
+        assert!(!live.is_empty(), "flush-on-drop wrote buffered events");
+        assert!(live.lines().all(|l| l.contains("\"name\":\"tick\"")));
+        let seg = |n: usize| {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(format!(".{n}"));
+            PathBuf::from(name)
+        };
+        assert!(
+            seg(1).exists() && seg(2).exists(),
+            "kept 2 rotated segments"
+        );
+        assert!(!seg(3).exists(), "older segments were discarded");
+        let total: u64 = [path.clone(), seg(1), seg(2)]
+            .iter()
+            .map(|p| fs::metadata(p).unwrap().len())
+            .sum();
+        assert!(
+            total < 20 * line_len,
+            "rotation bounded the log: {total} bytes"
+        );
     }
 }

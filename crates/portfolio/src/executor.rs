@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use sortsynth_cache::KernelQuery;
 use sortsynth_isa::{Machine, Program};
 use sortsynth_obs::names;
+use sortsynth_obs::profile::{self, Phase};
 use sortsynth_search::SearchBudget;
 
 use crate::backend::{backend_for, Backend, BackendKind, BackendOutcome, BackendStatus};
@@ -171,7 +172,20 @@ impl Portfolio {
                 let arm_budget = race_budget.clone();
                 let arm = *arm;
                 scope.spawn(move || {
+                    // Per-arm wall attribution when the phase profiler is
+                    // on: arms are black boxes (SMT, MCTS, …), so the race
+                    // accounts their whole run rather than inner phases.
+                    let profiled = profile::enabled().then(Instant::now);
                     let out = arm.run(query, &arm_budget, None);
+                    if let Some(t0) = profiled {
+                        let name = format!(
+                            "sortsynth_portfolio_{}_nanos_total",
+                            arm.kind().metric_token()
+                        );
+                        sortsynth_obs::registry()
+                            .counter(&name, "Wall nanoseconds this arm ran in races.")
+                            .add(t0.elapsed().as_nanos() as u64);
+                    }
                     // The receiver hangs up only after all arms reported;
                     // a send can still race scope teardown on panic paths,
                     // so ignore the error.
@@ -185,7 +199,9 @@ impl Portfolio {
                         program,
                         minimal_certified,
                     } if report.winner.is_none() => {
-                        match sortsynth_verify::gate(machine, program) {
+                        match profile::time_global(Phase::VerifyGate, || {
+                            sortsynth_verify::gate(machine, program)
+                        }) {
                             Ok(()) => {
                                 report.winner = Some(out.kind);
                                 report.found_len = Some(program.len() as u32);

@@ -171,6 +171,13 @@ pub struct SynthesisConfig {
     /// engine.
     #[doc(hidden)]
     pub perturb_seed: Option<u64>,
+    /// Test-only crash harness: when set, the sequential engine panics once
+    /// this many states have been expanded — *after* the progress tick for
+    /// that expansion, so the flight recorder's crash-dump property (the
+    /// last delivered snapshot survives a worker panic) can be tested
+    /// deterministically. Ignored by the parallel engine.
+    #[doc(hidden)]
+    pub panic_after: Option<u64>,
 }
 
 impl SynthesisConfig {
@@ -195,6 +202,7 @@ impl SynthesisConfig {
             progress_hook: None,
             threads: 1,
             perturb_seed: None,
+            panic_after: None,
         }
     }
 
@@ -311,6 +319,14 @@ impl SynthesisConfig {
     #[doc(hidden)]
     pub fn perturb_seed(mut self, seed: u64) -> Self {
         self.perturb_seed = Some(seed);
+        self
+    }
+
+    /// Installs the test-only crash injection threshold (see
+    /// [`SynthesisConfig::panic_after`]).
+    #[doc(hidden)]
+    pub fn panic_after(mut self, expansions: u64) -> Self {
+        self.panic_after = Some(expansions);
         self
     }
 

@@ -7,20 +7,26 @@ use std::time::{Duration, Instant};
 use sortsynth_isa::{Instr, MachineState, Op, Program};
 
 use sortsynth_obs::names;
+use sortsynth_obs::profile::{Phase, PhaseProbe, PHASE_COUNT};
 
 use crate::config::{Strategy, SynthesisConfig};
 use crate::distance::{DistanceTable, UNSORTABLE};
 use crate::heuristics::heuristic_from_meta;
 use crate::intern::StateArena;
-use crate::progress::SearchProgress;
+use crate::progress::{SearchProgress, ShardProgress};
 use crate::state::{
-    assignment_erased, canonicalize_tail, key_of, perm_count_slice, value_reg_mask, ProjScratch,
+    assignment_erased, canonicalize_slice, key_of, perm_count_slice, value_reg_mask, ProjScratch,
     StateSet,
 };
 
 /// Default progress-emission throttle (expansions between snapshots) when
 /// [`SynthesisConfig::progress_every`] is 0.
 pub(crate) const DEFAULT_PROGRESS_EVERY: u64 = 4096;
+
+/// Time floor on progress delivery: even when the expansion-count throttle
+/// has not tripped, a snapshot is delivered at least this often, so slow
+/// expansions (big machines, degraded pruning) still produce a live signal.
+pub(crate) const PROGRESS_TIME_FLOOR: Duration = Duration::from_millis(500);
 
 /// How a synthesis run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +126,11 @@ pub struct SearchStats {
     /// these (each shard owns a disjoint slice of the key space, so no state
     /// is ever counted by two shards).
     pub shards: Vec<ShardStats>,
+    /// Nanoseconds attributed to each engine phase by the instrumented
+    /// profiler, indexed by [`sortsynth_obs::profile::Phase`]. All zero
+    /// unless the profiler was enabled for the run
+    /// ([`sortsynth_obs::profile::set_enabled`]).
+    pub phase_nanos: [u64; PHASE_COUNT],
 }
 
 /// Counters owned by one parallel worker (= one closed-set shard). See
@@ -468,6 +479,14 @@ impl ExpandCtx<'_> {
     /// copied scratch); survivors land in `scratch.buf` as spans plus
     /// cached facts, so the whole expansion allocates nothing once the
     /// scratch has grown to steady state.
+    ///
+    /// Expansion runs in two passes so the phase profiler can attribute
+    /// time with one timestamp per pass instead of per candidate: the
+    /// action sweep (select, step, viability, cut) leaves survivors as raw
+    /// spans, then a second pass canonicalizes each span in place and
+    /// computes its content hash. Dedup gaps the canonicalization leaves
+    /// between spans are harmless — every consumer reads spans through
+    /// `(offset, len)`, never by assuming dense packing.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn expand(
         &self,
@@ -478,6 +497,7 @@ impl ExpandCtx<'_> {
         cut_threshold: Option<u32>,
         scratch: &mut ExpandScratch,
         counters: &mut WorkerCounters,
+        probe: &mut PhaseProbe,
     ) {
         counters.expanded += 1;
         scratch.buf.clear();
@@ -624,18 +644,30 @@ impl ExpandCtx<'_> {
                     }
                 }
             }
-            canonicalize_tail(&mut scratch.buf.assigns, start);
-            let span = &scratch.buf.assigns[start..];
             scratch.buf.metas.push(SuccMeta {
                 ai: ai as u16,
                 offset: start as u32,
-                len: span.len() as u32,
-                key: key_of(span),
+                len: (scratch.buf.assigns.len() - start) as u32,
+                key: 0,
                 perm,
                 max_dist,
                 goal,
             });
         }
+        probe.lap(Phase::Step);
+
+        // Second pass: canonicalize every survivor's span in place (the
+        // hottest single operation in the engine) and hash it. Dedup may
+        // shrink a span, leaving a gap before the next one; `len` is
+        // updated to the kept prefix.
+        let SuccessorBuf { assigns, metas } = &mut scratch.buf;
+        for m in metas {
+            let span = &mut assigns[m.offset as usize..(m.offset + m.len) as usize];
+            let kept = canonicalize_slice(span);
+            m.len = kept as u32;
+            m.key = key_of(&span[..kept]);
+        }
+        probe.lap(Phase::Canonicalize);
     }
 }
 
@@ -664,12 +696,21 @@ struct Engine<'a> {
     current_f: Option<u64>,
     /// Expansion count at the last delivered progress snapshot.
     last_progress_expanded: u64,
+    /// Wall-clock time of the last delivered progress snapshot, for the
+    /// [`PROGRESS_TIME_FLOOR`].
+    last_progress_at: Instant,
     /// Reused expansion buffers ([`ExpandCtx::expand`] output).
     scratch: ExpandScratch,
+    /// Per-run phase profiler probe (inert unless the profiler was enabled
+    /// when the run started).
+    probe: PhaseProbe,
 }
 
 impl<'a> Engine<'a> {
     fn new(cfg: &'a SynthesisConfig) -> Self {
+        // Latch the profiler switch before the table build so its time is
+        // attributable; the probe itself stamps from the first expansion.
+        let probe = PhaseProbe::new();
         let mut stats = SearchStats::default();
         let table = build_distance_table(cfg, &mut stats);
         let start = Instant::now();
@@ -696,7 +737,9 @@ impl<'a> Engine<'a> {
             pending_frontier: Vec::new(),
             current_f: None,
             last_progress_expanded: 0,
+            last_progress_at: start,
             scratch: ExpandScratch::default(),
+            probe,
             cfg,
         }
     }
@@ -728,6 +771,10 @@ impl<'a> Engine<'a> {
             self.goals.push(0);
             Outcome::Solved
         } else {
+            // Re-stamp so the first Select lap starts at the search proper,
+            // not at probe creation (the table build is attributed
+            // separately).
+            self.probe.skip();
             match self.cfg.strategy {
                 Strategy::Layered => self.run_layered(),
                 Strategy::AStar { .. } => self.run_astar(),
@@ -737,6 +784,14 @@ impl<'a> Engine<'a> {
         self.stats.search_time = self.start.elapsed();
         self.stats.interned_states = self.arena.len() as u64;
         self.stats.arena_bytes = self.arena.assign_bytes();
+        self.stats.phase_nanos = self.probe.nanos();
+        if self.probe.is_on() {
+            // The table build ran before the first probe stamp; its time is
+            // already measured separately, so it joins the attribution for
+            // free.
+            self.stats.phase_nanos[Phase::TableBuild as usize] =
+                self.stats.distance_build.as_nanos() as u64;
+        }
         // Every run — solved, exhausted, limited, or cancelled — flushes one
         // final snapshot (so consumers always see the closing counters) and
         // publishes its totals to the process-wide metrics registry.
@@ -780,6 +835,10 @@ impl<'a> Engine<'a> {
             // progress samples) accumulate through the layer instead of
             // appearing all at once at its end.
             for &node in &frontier {
+                // One sampled probe cycle per expansion; frontier iteration
+                // and bookkeeping up to the expansion are selection.
+                self.probe.begin_cycle();
+                self.probe.lap(Phase::Select);
                 self.expand_node(node, g, cut_threshold);
                 // Detach the successor buffer so merging (which grows the
                 // arena) can't alias it; the move is two pointer swaps.
@@ -787,12 +846,16 @@ impl<'a> Engine<'a> {
                 for m in &buf.metas {
                     match self.merge(node, m, buf.assigns_of(m), g + 1) {
                         // Layer order makes the first goal minimal-length.
-                        Gen::Goal(_) if !self.cfg.all_solutions => return Outcome::Solved,
+                        Gen::Goal(_) if !self.cfg.all_solutions => {
+                            self.probe.lap(Phase::Intern);
+                            return Outcome::Solved;
+                        }
                         Gen::Goal(_) => self.bound = self.bound.min(g + 1),
                         Gen::Fresh(_) | Gen::Pruned => {}
                     }
                 }
                 self.scratch.buf = buf;
+                self.probe.lap(Phase::Intern);
                 self.sample_progress(self.pending_frontier.len() as u64);
                 if self.over_limits() {
                     return self.limit_outcome();
@@ -823,7 +886,12 @@ impl<'a> Engine<'a> {
             node: 0,
         });
 
-        while let Some(entry) = heap.pop() {
+        loop {
+            // One sampled probe cycle per expansion; the pop and staleness
+            // checks are selection.
+            self.probe.begin_cycle();
+            let Some(entry) = heap.pop() else { break };
+            self.probe.lap(Phase::Select);
             self.current_f = Some(entry.f);
             // Goals are queued with f = g and accepted when *popped*, the
             // standard A* discipline: every open state that could lead to a
@@ -877,6 +945,7 @@ impl<'a> Engine<'a> {
                 }
             }
             self.scratch.buf = buf;
+            self.probe.lap(Phase::Intern);
             if self.over_limits() {
                 return self.limit_outcome();
             }
@@ -917,6 +986,7 @@ impl<'a> Engine<'a> {
             cut_threshold,
             &mut self.scratch,
             &mut counters,
+            &mut self.probe,
         );
         if self.scratch.capacity_signature() == before {
             self.stats.scratch_reused += 1;
@@ -1043,10 +1113,19 @@ impl<'a> Engine<'a> {
             });
         }
         self.tick_progress(open);
+        if let Some(after) = self.cfg.panic_after {
+            // Test-only crash injection, after the progress tick so the
+            // snapshot at the threshold is delivered before the unwind.
+            if self.stats.expanded >= after {
+                panic!("injected panic after {after} expansions (test harness)");
+            }
+        }
     }
 
     /// Throttled mid-search snapshot delivery: at most one snapshot per
-    /// `progress_every` expansions (default [`DEFAULT_PROGRESS_EVERY`]).
+    /// `progress_every` expansions (default [`DEFAULT_PROGRESS_EVERY`]),
+    /// but at least one per [`PROGRESS_TIME_FLOOR`] so slow expansions
+    /// still produce a live signal.
     fn tick_progress(&mut self, open: u64) {
         if !crate::progress::delivery_active(self.cfg.progress_hook.as_ref()) {
             return;
@@ -1056,7 +1135,9 @@ impl<'a> Engine<'a> {
         } else {
             DEFAULT_PROGRESS_EVERY
         };
-        if self.stats.expanded - self.last_progress_expanded < every {
+        if self.stats.expanded - self.last_progress_expanded < every
+            && self.last_progress_at.elapsed() < PROGRESS_TIME_FLOOR
+        {
             return;
         }
         self.emit_progress(open, None);
@@ -1069,6 +1150,7 @@ impl<'a> Engine<'a> {
             return;
         }
         self.last_progress_expanded = self.stats.expanded;
+        self.last_progress_at = Instant::now();
         let snapshot = SearchProgress {
             elapsed: self.start.elapsed(),
             expanded: self.stats.expanded,
@@ -1083,6 +1165,11 @@ impl<'a> Engine<'a> {
             distance_table_skipped: self.stats.distance_table_skipped,
             finished: outcome.is_some(),
             outcome,
+            shards: vec![ShardProgress {
+                interned_states: self.arena.len() as u64,
+                arena_bytes: self.arena.assign_bytes(),
+                open_depth: open,
+            }],
         };
         crate::progress::deliver(self.cfg.progress_hook.as_ref(), &snapshot);
     }
@@ -1161,6 +1248,7 @@ pub(crate) fn publish_search_metrics(stats: &SearchStats, outcome: Outcome) {
         )
         .inc();
     }
+    sortsynth_obs::profile::publish_phase_nanos(&stats.phase_nanos);
     if !stats.shards.is_empty() {
         r.counter(
             names::SEARCH_PARALLEL_RUNS_TOTAL,

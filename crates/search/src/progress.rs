@@ -16,7 +16,7 @@ use crate::engine::Outcome;
 /// `finished = true` is always delivered regardless of the throttle — even
 /// for cancelled searches — so the last event's `expanded` always equals the
 /// run's [`crate::SearchStats::expanded`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchProgress {
     /// Wall-clock time since the search started.
     pub elapsed: Duration,
@@ -47,6 +47,64 @@ pub struct SearchProgress {
     pub finished: bool,
     /// How the run ended; only set when `finished`.
     pub outcome: Option<Outcome>,
+    /// Per-shard memory state at snapshot time: one entry per parallel
+    /// worker shard, or a single entry for the sequential engine. These are
+    /// live values — their running maxima are the high-water marks the
+    /// flight recorder exists to capture.
+    pub shards: Vec<ShardProgress>,
+}
+
+/// One shard's memory/backlog state inside a [`SearchProgress`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardProgress {
+    /// Unique canonical states interned into this shard's arena.
+    pub interned_states: u64,
+    /// Bytes of assignment storage held by this shard's arena.
+    pub arena_bytes: u64,
+    /// This shard's open-list depth.
+    pub open_depth: u64,
+}
+
+impl SearchProgress {
+    /// Total interned states across shards.
+    pub fn interned_states(&self) -> u64 {
+        self.shards.iter().map(|s| s.interned_states).sum()
+    }
+
+    /// Total arena bytes across shards.
+    pub fn arena_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.arena_bytes).sum()
+    }
+
+    /// Converts this snapshot into a flight-recorder frame (`seq` is
+    /// assigned by the recorder at append time).
+    pub fn recorder_frame(&self) -> sortsynth_obs::recorder::Frame {
+        sortsynth_obs::recorder::Frame {
+            seq: 0,
+            elapsed_micros: self.elapsed.as_micros() as u64,
+            expanded: self.expanded,
+            generated: self.generated,
+            open: self.open,
+            f_bound: self.f_bound,
+            viability_pruned: self.viability_pruned,
+            cut_pruned: self.cut_pruned,
+            dedup_hits: self.dedup_hits,
+            dead_write_pruned: self.dead_write_pruned,
+            value_flow_pruned: self.value_flow_pruned,
+            distance_table_skipped: self.distance_table_skipped,
+            finished: self.finished,
+            outcome: self.outcome.map(|o| format!("{o:?}")),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| sortsynth_obs::recorder::ShardFrame {
+                    interned_states: s.interned_states,
+                    arena_bytes: s.arena_bytes,
+                    open_depth: s.open_depth,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// A callback receiving [`SearchProgress`] snapshots mid-search.
@@ -112,6 +170,11 @@ pub(crate) fn deliver(hook: Option<&ProgressHook>, snapshot: &SearchProgress) {
                 "distance_table_skipped",
                 FieldValue::Bool(snapshot.distance_table_skipped),
             ),
+            (
+                "interned_states",
+                FieldValue::U64(snapshot.interned_states()),
+            ),
+            ("arena_bytes", FieldValue::U64(snapshot.arena_bytes())),
             ("finished", FieldValue::Bool(snapshot.finished)),
         ];
         if let Some(f) = snapshot.f_bound {
@@ -151,10 +214,56 @@ mod tests {
             distance_table_skipped: false,
             finished: true,
             outcome: Some(Outcome::Exhausted),
+            shards: vec![ShardProgress {
+                interned_states: 10,
+                arena_bytes: 640,
+                open_depth: 3,
+            }],
         };
         hook.clone().call(&snapshot);
         hook.call(&snapshot);
         assert_eq!(calls.load(Ordering::Relaxed), 2);
         assert_eq!(format!("{hook:?}"), "ProgressHook(..)");
+    }
+
+    #[test]
+    fn recorder_frame_mirrors_the_snapshot() {
+        let snapshot = SearchProgress {
+            elapsed: Duration::from_micros(1234),
+            expanded: 7,
+            generated: 21,
+            open: 4,
+            f_bound: Some(5),
+            viability_pruned: 1,
+            cut_pruned: 2,
+            dedup_hits: 3,
+            dead_write_pruned: 4,
+            value_flow_pruned: 5,
+            distance_table_skipped: true,
+            finished: true,
+            outcome: Some(Outcome::Solved),
+            shards: vec![
+                ShardProgress {
+                    interned_states: 6,
+                    arena_bytes: 384,
+                    open_depth: 2,
+                },
+                ShardProgress {
+                    interned_states: 4,
+                    arena_bytes: 256,
+                    open_depth: 2,
+                },
+            ],
+        };
+        assert_eq!(snapshot.interned_states(), 10);
+        assert_eq!(snapshot.arena_bytes(), 640);
+        let frame = snapshot.recorder_frame();
+        assert_eq!(frame.elapsed_micros, 1234);
+        assert_eq!(frame.expanded, 7);
+        assert_eq!(frame.f_bound, Some(5));
+        assert!(frame.distance_table_skipped && frame.finished);
+        assert_eq!(frame.outcome.as_deref(), Some("Solved"));
+        assert_eq!(frame.shards.len(), 2);
+        assert_eq!(frame.shards[0].arena_bytes, 384);
     }
 }

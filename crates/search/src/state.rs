@@ -110,20 +110,30 @@ pub(crate) fn key_of(assigns: &[MachineState]) -> u128 {
     ((h1 as u128) << 64) | h2 as u128
 }
 
-/// Canonicalizes `v[start..]` in place (sorts ascending, removes adjacent
-/// duplicates, truncates). `start == 0` canonicalizes the whole vector; the
-/// expansion loop uses nonzero `start` to canonicalize each successor's
-/// span inside one shared scratch buffer.
-pub(crate) fn canonicalize_tail(v: &mut Vec<MachineState>, start: usize) {
-    crate::netsort::sort_by_size(&mut v[start..], MachineState::from_bits(u64::MAX));
-    let mut w = start;
-    for r in start..v.len() {
-        if w == start || v[r] != v[w - 1] {
-            v[w] = v[r];
+/// Canonicalizes a span in place (sorts ascending, dedups adjacent
+/// duplicates) and returns the deduplicated length; the elements past the
+/// returned length are stale. The expansion loop uses this to canonicalize
+/// each successor's span inside one shared scratch buffer — deferred to a
+/// second pass after the whole action sweep, so the profiler can attribute
+/// step/filter time and canonicalize/hash time with two timestamps per
+/// expansion instead of two per candidate.
+pub(crate) fn canonicalize_slice(s: &mut [MachineState]) -> usize {
+    crate::netsort::sort_by_size(s, MachineState::from_bits(u64::MAX));
+    let mut w = 0;
+    for r in 0..s.len() {
+        if w == 0 || s[r] != s[w - 1] {
+            s[w] = s[r];
             w += 1;
         }
     }
-    v.truncate(w);
+    w
+}
+
+/// Canonicalizes `v[start..]` in place (sorts ascending, removes adjacent
+/// duplicates, truncates). `start == 0` canonicalizes the whole vector.
+pub(crate) fn canonicalize_tail(v: &mut Vec<MachineState>, start: usize) {
+    let kept = canonicalize_slice(&mut v[start..]);
+    v.truncate(start + kept);
 }
 
 /// Reusable scratch for [`perm_count_slice`]. The bitmap half serves masks

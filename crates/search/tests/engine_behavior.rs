@@ -239,7 +239,7 @@ fn cancelled_search_flushes_final_progress_and_counts_cancellation() {
         .search_budget(budget)
         .progress_every(1024)
         .progress_hook(ProgressHook::new(move |p: &SearchProgress| {
-            sink.lock().unwrap().push(*p);
+            sink.lock().unwrap().push(p.clone());
         }));
     let canceller = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(50));

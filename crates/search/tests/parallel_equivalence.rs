@@ -262,7 +262,7 @@ fn cancelled_parallel_search_joins_workers_and_flushes_once() {
         .search_budget(budget)
         .progress_every(512)
         .progress_hook(ProgressHook::new(move |p: &SearchProgress| {
-            sink.lock().unwrap().push(*p);
+            sink.lock().unwrap().push(p.clone());
         }));
 
     let threads_before = live_threads();

@@ -80,4 +80,62 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<Response> {
         self.request(&Request::Stats)
     }
+
+    /// Attaches to the in-flight synthesis of `query` (admitted under
+    /// `backend`, `None` for the default route). The server streams
+    /// [`Response::Progress`] frames; read them with [`Client::next_frame`]
+    /// until one has `finished = true` (or a non-progress response ends the
+    /// stream), after which the connection is back in request/response.
+    pub fn begin_watch(
+        &mut self,
+        query: KernelQuery,
+        backend: Option<String>,
+        wait_ms: Option<u64>,
+    ) -> io::Result<()> {
+        write_message(
+            &mut self.stream,
+            &Request::Watch {
+                query,
+                backend,
+                wait_ms,
+            },
+        )
+    }
+
+    /// Reads the next frame of an in-progress watch stream.
+    pub fn next_frame(&mut self) -> io::Result<Response> {
+        read_message::<Response>(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(ErrorKind::UnexpectedEof, "server closed connection"))
+    }
+
+    /// Convenience wrapper: attaches to `query`'s flight and collects every
+    /// streamed [`crate::proto::ProgressReply`] until the stream ends.
+    /// Errors with the server's message if there is no matching flight.
+    pub fn watch(
+        &mut self,
+        query: KernelQuery,
+        backend: Option<String>,
+        wait_ms: Option<u64>,
+    ) -> io::Result<Vec<crate::proto::ProgressReply>> {
+        self.begin_watch(query, backend, wait_ms)?;
+        let mut frames = Vec::new();
+        loop {
+            match self.next_frame()? {
+                Response::Progress(frame) => {
+                    let finished = frame.finished;
+                    frames.push(frame);
+                    if finished {
+                        return Ok(frames);
+                    }
+                }
+                Response::Error { message } => return Err(io::Error::other(message)),
+                other => {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("unexpected watch response: {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
 }

@@ -14,7 +14,10 @@
 //!   (overload is shed explicitly, not queued indefinitely), with
 //!   per-request deadlines that propagate into the engine as a cooperative
 //!   [`sortsynth_search::SearchBudget`] — an expired request returns partial
-//!   search diagnostics instead of hanging a worker.
+//!   search diagnostics instead of hanging a worker;
+//! * [`watch`] — live attach: the `watch` verb streams an in-flight
+//!   search's throttled progress frames to any number of observers, riding
+//!   the same single-flight key the synth path coalesces on.
 //!
 //! # Quick start
 //!
@@ -40,11 +43,13 @@ pub mod client;
 pub mod proto;
 pub mod server;
 pub mod singleflight;
+pub mod watch;
 
 pub use client::Client;
 pub use proto::{
-    AnalyzeReply, CheckReply, LintReply, ReplySource, Request, Response, StatsReply, SynthReply,
-    TimeoutReply,
+    AnalyzeReply, CheckReply, LintReply, ProgressReply, ReplySource, Request, Response, ShardReply,
+    StatsReply, SynthReply, TimeoutReply,
 };
 pub use server::{Server, ServerHandle, ServiceConfig};
 pub use singleflight::{LeaderToken, Role, SingleFlight};
+pub use watch::WatchHub;

@@ -131,6 +131,24 @@ pub enum Request {
     /// Fetch a compact live-gauges snapshot ([`StatsReply`]). Also answered
     /// inline.
     Stats,
+    /// Attach to an in-flight synthesis of `query` and stream throttled
+    /// [`Response::Progress`] frames until the search finishes. Rides the
+    /// single-flight table: any number of watchers observe the one coalesced
+    /// search without adding load. Answered inline by the connection thread
+    /// (like `metrics`/`stats`) so attaching works even when the admission
+    /// queue is full. If no matching flight exists, the server waits up to
+    /// `wait_ms` for one to start before answering [`Response::Error`].
+    Watch {
+        /// The query whose flight to observe (same canonical form as
+        /// [`Request::Synth`]).
+        query: KernelQuery,
+        /// The route the flight was admitted under (`None` for the default
+        /// engine route) — watch keys match synth keys.
+        backend: Option<String>,
+        /// How long to wait for a flight to appear before giving up.
+        /// `None` uses the server default.
+        wait_ms: Option<u64>,
+    },
 }
 
 /// Where a synth answer came from.
@@ -264,6 +282,80 @@ pub struct StatsReply {
     pub portfolio: Vec<PortfolioRowReply>,
 }
 
+/// One shard's live memory/backlog state inside a [`ProgressReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardReply {
+    /// Unique canonical states interned into the shard's arena.
+    pub interned_states: u64,
+    /// Bytes of assignment storage held by the shard's arena.
+    pub arena_bytes: u64,
+    /// The shard's open-list depth.
+    pub open_depth: u64,
+}
+
+/// One streamed progress frame of an in-flight search (reply to
+/// [`Request::Watch`]). The stream ends with the frame whose `finished`
+/// is `true`; after that the connection returns to request/response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgressReply {
+    /// Milliseconds since the observed search started.
+    pub elapsed_millis: u64,
+    /// States expanded so far.
+    pub expanded: u64,
+    /// States generated so far.
+    pub generated: u64,
+    /// Open (unexpanded) states at snapshot time.
+    pub open: u64,
+    /// Current frontier bound, if the search has started expanding.
+    pub f_bound: Option<u64>,
+    /// Successors dropped by viability checks so far.
+    pub viability_pruned: u64,
+    /// Successors dropped by the permutation-count cut so far.
+    pub cut_pruned: u64,
+    /// Successors dropped as duplicates so far.
+    pub dedup_hits: u64,
+    /// Successors skipped by the dead-write cut so far.
+    pub dead_write_pruned: u64,
+    /// Successors skipped by the symbolic value-flow cut so far.
+    pub value_flow_pruned: u64,
+    /// `true` on the stream's final frame.
+    pub finished: bool,
+    /// How the search ended (`Solved`, `Exhausted`, …); only on the final
+    /// frame.
+    pub outcome: Option<String>,
+    /// Per-shard live memory levels (one entry for the sequential engine).
+    pub shards: Vec<ShardReply>,
+}
+
+impl ProgressReply {
+    /// Builds a wire frame from an engine snapshot.
+    pub fn from_progress(p: &sortsynth_search::SearchProgress) -> Self {
+        ProgressReply {
+            elapsed_millis: p.elapsed.as_millis() as u64,
+            expanded: p.expanded,
+            generated: p.generated,
+            open: p.open,
+            f_bound: p.f_bound,
+            viability_pruned: p.viability_pruned,
+            cut_pruned: p.cut_pruned,
+            dedup_hits: p.dedup_hits,
+            dead_write_pruned: p.dead_write_pruned,
+            value_flow_pruned: p.value_flow_pruned,
+            finished: p.finished,
+            outcome: p.outcome.map(|o| format!("{o:?}")),
+            shards: p
+                .shards
+                .iter()
+                .map(|s| ShardReply {
+                    interned_states: s.interned_states,
+                    arena_bytes: s.arena_bytes,
+                    open_depth: s.open_depth,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// A correctness-check answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckReply {
@@ -331,6 +423,9 @@ pub enum Response {
     },
     /// Reply to [`Request::Stats`].
     Stats(StatsReply),
+    /// One streamed frame of an in-flight search (reply to
+    /// [`Request::Watch`]; many frames per request).
+    Progress(ProgressReply),
     /// The request was malformed or failed.
     Error {
         /// Human-readable reason.
@@ -365,6 +460,16 @@ impl Serialize for Request {
             Request::Sleep { ms } => Value::map([("op", s("sleep")), ("ms", ms.serialize())]),
             Request::Metrics => Value::map([("op", s("metrics"))]),
             Request::Stats => Value::map([("op", s("stats"))]),
+            Request::Watch {
+                query,
+                backend,
+                wait_ms,
+            } => Value::map([
+                ("op", s("watch")),
+                ("query", query.serialize()),
+                ("backend", backend.serialize()),
+                ("wait_ms", wait_ms.serialize()),
+            ]),
         }
     }
 }
@@ -398,6 +503,17 @@ impl Deserialize for Request {
             }),
             "metrics" => Ok(Request::Metrics),
             "stats" => Ok(Request::Stats),
+            "watch" => Ok(Request::Watch {
+                query: KernelQuery::deserialize(value.required("query")?)?,
+                backend: match value.get("backend") {
+                    None => None,
+                    Some(v) => Option::<String>::deserialize(v)?,
+                },
+                wait_ms: match value.get("wait_ms") {
+                    None => None,
+                    Some(v) => Option::<u64>::deserialize(v)?,
+                },
+            }),
             other => Err(Error::new(format!("unknown op `{other}`"))),
         }
     }
@@ -447,6 +563,26 @@ impl Deserialize for PortfolioRowReply {
             losses: u64::deserialize(value.required("losses")?)?,
             cancelled: u64::deserialize(value.required("cancelled")?)?,
             total_millis: u64::deserialize(value.required("total_millis")?)?,
+        })
+    }
+}
+
+impl Serialize for ShardReply {
+    fn serialize(&self) -> Value {
+        Value::map([
+            ("interned_states", self.interned_states.serialize()),
+            ("arena_bytes", self.arena_bytes.serialize()),
+            ("open_depth", self.open_depth.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ShardReply {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(ShardReply {
+            interned_states: u64::deserialize(value.required("interned_states")?)?,
+            arena_bytes: u64::deserialize(value.required("arena_bytes")?)?,
+            open_depth: u64::deserialize(value.required("open_depth")?)?,
         })
     }
 }
@@ -528,6 +664,22 @@ impl Serialize for Response {
                 ("portfolio_wins", reply.portfolio_wins.serialize()),
                 ("portfolio_widened", reply.portfolio_widened.serialize()),
                 ("portfolio", reply.portfolio.serialize()),
+            ]),
+            Response::Progress(reply) => Value::map([
+                ("type", s("progress")),
+                ("elapsed_millis", reply.elapsed_millis.serialize()),
+                ("expanded", reply.expanded.serialize()),
+                ("generated", reply.generated.serialize()),
+                ("open", reply.open.serialize()),
+                ("f_bound", reply.f_bound.serialize()),
+                ("viability_pruned", reply.viability_pruned.serialize()),
+                ("cut_pruned", reply.cut_pruned.serialize()),
+                ("dedup_hits", reply.dedup_hits.serialize()),
+                ("dead_write_pruned", reply.dead_write_pruned.serialize()),
+                ("value_flow_pruned", reply.value_flow_pruned.serialize()),
+                ("finished", reply.finished.serialize()),
+                ("outcome", reply.outcome.serialize()),
+                ("shards", reply.shards.serialize()),
             ]),
             Response::Error { message } => {
                 Value::map([("type", s("error")), ("message", message.serialize())])
@@ -619,6 +771,21 @@ impl Deserialize for Response {
                     Some(v) => Vec::<PortfolioRowReply>::deserialize(v)?,
                 },
             })),
+            "progress" => Ok(Response::Progress(ProgressReply {
+                elapsed_millis: u64::deserialize(value.required("elapsed_millis")?)?,
+                expanded: u64::deserialize(value.required("expanded")?)?,
+                generated: u64::deserialize(value.required("generated")?)?,
+                open: u64::deserialize(value.required("open")?)?,
+                f_bound: Option::<u64>::deserialize(value.required("f_bound")?)?,
+                viability_pruned: u64::deserialize(value.required("viability_pruned")?)?,
+                cut_pruned: u64::deserialize(value.required("cut_pruned")?)?,
+                dedup_hits: u64::deserialize(value.required("dedup_hits")?)?,
+                dead_write_pruned: u64::deserialize(value.required("dead_write_pruned")?)?,
+                value_flow_pruned: u64::deserialize(value.required("value_flow_pruned")?)?,
+                finished: bool::deserialize(value.required("finished")?)?,
+                outcome: Option::<String>::deserialize(value.required("outcome")?)?,
+                shards: Vec::<ShardReply>::deserialize(value.required("shards")?)?,
+            })),
             "error" => Ok(Response::Error {
                 message: String::deserialize(value.required("message")?)?,
             }),
@@ -664,6 +831,16 @@ mod tests {
             Request::Sleep { ms: 25 },
             Request::Metrics,
             Request::Stats,
+            Request::Watch {
+                query: KernelQuery::best(4, 1, IsaMode::Cmov),
+                backend: Some("portfolio".into()),
+                wait_ms: Some(2000),
+            },
+            Request::Watch {
+                query: KernelQuery::best(3, 1, IsaMode::MinMax),
+                backend: None,
+                wait_ms: None,
+            },
         ];
         for req in &requests {
             assert_eq!(&round_trip(req), req);
@@ -766,6 +943,37 @@ mod tests {
                     cancelled: 1,
                     total_millis: 40,
                 }],
+            }),
+            Response::Progress(ProgressReply {
+                elapsed_millis: 750,
+                expanded: 4096,
+                generated: 90_000,
+                open: 1200,
+                f_bound: Some(9),
+                viability_pruned: 60_000,
+                cut_pruned: 10_000,
+                dedup_hits: 14_000,
+                dead_write_pruned: 500,
+                value_flow_pruned: 300,
+                finished: false,
+                outcome: None,
+                shards: vec![
+                    ShardReply {
+                        interned_states: 3000,
+                        arena_bytes: 1 << 20,
+                        open_depth: 700,
+                    },
+                    ShardReply {
+                        interned_states: 2800,
+                        arena_bytes: 900_000,
+                        open_depth: 500,
+                    },
+                ],
+            }),
+            Response::Progress(ProgressReply {
+                finished: true,
+                outcome: Some("Solved".into()),
+                ..ProgressReply::default()
             }),
             Response::Error {
                 message: "bad".into(),

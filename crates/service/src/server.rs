@@ -33,21 +33,27 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use sortsynth_cache::{fnv1a, CacheEntry, CutSpec, KernelCache, KernelQuery};
 use sortsynth_isa::{analyze, Machine, ThroughputModel};
+use sortsynth_obs::FlightRecorder;
 use sortsynth_obs::{names, FieldValue, Span};
 use sortsynth_portfolio::{
     backend_for, BackendKind, BackendStatus, DispatchPolicy, Portfolio, POLICY_FILE,
 };
-use sortsynth_search::{synthesize, Cut, Outcome, SearchBudget, SynthesisConfig};
+use sortsynth_search::{synthesize, Cut, Outcome, ProgressHook, SearchBudget, SynthesisConfig};
 
 use crate::proto::{
     read_message, write_message, AnalyzeReply, CheckReply, LintReply, PortfolioRowReply,
-    ReplySource, Request, Response, StatsReply, SynthReply, TimeoutReply,
+    ProgressReply, ReplySource, Request, Response, StatsReply, SynthReply, TimeoutReply,
 };
 use crate::singleflight::{Role, SingleFlight};
+use crate::watch::WatchHub;
 
 /// Upper bound honoured for `Request::Sleep` (keeps the diagnostic op from
 /// wedging a worker).
 const MAX_SLEEP_MS: u64 = 10_000;
+
+/// How long a `watch` request waits for a matching flight to start when the
+/// client doesn't say.
+const DEFAULT_WATCH_WAIT_MS: u64 = 2_000;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -86,6 +92,11 @@ pub struct ServiceConfig {
     /// every known backend). Requests carrying an explicit `backend`
     /// override this. Enabled by `sortsynth serve --portfolio`.
     pub portfolio: Option<Vec<String>>,
+    /// When set, every engine-route search leaves a flight recording
+    /// `search-<fingerprint>-<seq>.ssfr` in this directory (bounded by the
+    /// recorder's segment rotation), readable post-mortem with
+    /// `sortsynth inspect`. Enabled by `sortsynth serve --record-dir`.
+    pub record_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -100,6 +111,7 @@ impl Default for ServiceConfig {
             search_threads: 1,
             self_report: None,
             portfolio: None,
+            record_dir: None,
         }
     }
 }
@@ -144,6 +156,14 @@ struct Shared {
     portfolio_races: AtomicU64,
     portfolio_wins: AtomicU64,
     portfolio_widened: AtomicU64,
+    /// Live-attach fan-out registry, keyed by single-flight key. `Arc` so
+    /// the search progress hook (which must be `'static`) can publish into
+    /// it from worker threads.
+    watch: Arc<WatchHub>,
+    /// Flight-recording directory (`ServiceConfig::record_dir`).
+    record_dir: Option<PathBuf>,
+    /// Distinguishes recordings of repeated identical queries.
+    recording_seq: AtomicU64,
 }
 
 impl Shared {
@@ -246,6 +266,9 @@ impl Server {
         // Pre-register every metric family so the first `metrics` reply is
         // complete even before any request has touched a counter.
         names::register_well_known();
+        if let Some(dir) = &config.record_dir {
+            std::fs::create_dir_all(dir)?;
+        }
         let (jobs_tx, jobs_rx) = channel::bounded::<Job>(config.queue_depth.max(1));
         let shared = Arc::new(Shared {
             cache,
@@ -268,6 +291,9 @@ impl Server {
             portfolio_races: AtomicU64::new(0),
             portfolio_wins: AtomicU64::new(0),
             portfolio_widened: AtomicU64::new(0),
+            watch: Arc::new(WatchHub::new()),
+            record_dir: config.record_dir.clone(),
+            recording_seq: AtomicU64::new(0),
         });
         let mut workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
@@ -437,6 +463,7 @@ fn op_name(request: &Request) -> &'static str {
         Request::Sleep { .. } => "sleep",
         Request::Metrics => "metrics",
         Request::Stats => "stats",
+        Request::Watch { .. } => "watch",
     }
 }
 
@@ -452,6 +479,7 @@ fn response_name(response: &Response) -> &'static str {
         Response::Slept => "slept",
         Response::Metrics { .. } => "metrics",
         Response::Stats(_) => "stats",
+        Response::Progress(_) => "progress",
         Response::Error { .. } => "error",
     }
 }
@@ -537,6 +565,16 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 }
                 continue;
             }
+            Request::Watch {
+                query,
+                backend,
+                wait_ms,
+            } => {
+                if !handle_watch(&shared, &mut writer, query, backend.as_deref(), *wait_ms) {
+                    return;
+                }
+                continue;
+            }
             _ => {}
         }
         let span = Span::root_with("request", &[("op", FieldValue::Static(op_name(&request)))]);
@@ -599,6 +637,81 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
+/// Streams an in-flight search's progress frames to one watcher. Runs on
+/// the connection thread (like `metrics`/`stats`) so attaching works under
+/// overload. Returns `false` when the connection is gone.
+fn handle_watch(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    query: &KernelQuery,
+    backend: Option<&str>,
+    wait_ms: Option<u64>,
+) -> bool {
+    let route = match SynthRoute::resolve(shared, backend) {
+        Ok(route) => route,
+        Err(message) => return write_message(writer, &Response::Error { message }).is_ok(),
+    };
+    let wait = Duration::from_millis(wait_ms.unwrap_or(DEFAULT_WATCH_WAIT_MS));
+    let Some((rx, last)) = shared.watch.attach(route.flight_key(query), wait) else {
+        return write_message(
+            writer,
+            &Response::Error {
+                message: "no in-flight search for this query".to_string(),
+            },
+        )
+        .is_ok();
+    };
+    let registry = sortsynth_obs::registry();
+    registry
+        .counter(
+            names::WATCH_STREAMS_TOTAL,
+            "Watch streams attached to in-flight searches.",
+        )
+        .inc();
+    let frames = registry.counter(
+        names::WATCH_FRAMES_TOTAL,
+        "Progress frames streamed to watchers.",
+    );
+    // Prime with the latest frame, then stream live ones. The hub
+    // guarantees termination: every flight ends with a `finished` frame
+    // (synthesized as `Abandoned` if the search unwound).
+    if let Some(frame) = last {
+        let finished = frame.finished;
+        if write_message(writer, &Response::Progress(frame)).is_err() {
+            return false;
+        }
+        frames.inc();
+        if finished {
+            return true;
+        }
+    }
+    loop {
+        match rx.recv() {
+            Ok(frame) => {
+                let finished = frame.finished;
+                if write_message(writer, &Response::Progress(frame)).is_err() {
+                    return false;
+                }
+                frames.inc();
+                if finished {
+                    return true;
+                }
+            }
+            Err(_) => {
+                // The flight was replaced out from under us; end the stream
+                // explicitly rather than leaving the client waiting.
+                return write_message(
+                    writer,
+                    &Response::Error {
+                        message: "watch stream interrupted".to_string(),
+                    },
+                )
+                .is_ok();
+            }
+        }
+    }
+}
+
 /// Deadline stamped when the request is admitted: synth requests honour
 /// their own `timeout_ms`, falling back to the server default.
 fn admission_deadline(shared: &Shared, request: &Request) -> Option<Instant> {
@@ -657,12 +770,15 @@ fn execute(shared: &Shared, job: &Job) -> Response {
         Request::Synth { query, backend, .. } => {
             handle_synth(shared, query, backend.as_deref(), job.deadline, job.span_id)
         }
-        // Metrics/stats are answered inline by the connection thread and
-        // never enqueued; answer anyway so the protocol stays total.
+        // Metrics/stats/watch are answered inline by the connection thread
+        // and never enqueued; answer anyway so the protocol stays total.
         Request::Metrics => Response::Metrics {
             text: sortsynth_obs::registry().render_prometheus(),
         },
         Request::Stats => Response::Stats(shared.stats_reply()),
+        Request::Watch { .. } => Response::Error {
+            message: "watch is answered inline by the connection thread".to_string(),
+        },
     }
 }
 
@@ -766,7 +882,7 @@ fn handle_synth(
                 )],
             );
             let response = match &route {
-                SynthRoute::Engine => run_search(shared, query, deadline),
+                SynthRoute::Engine => run_search(shared, query, deadline, route.flight_key(query)),
                 SynthRoute::Single(kind) => run_single(shared, query, *kind, deadline),
                 SynthRoute::Race(kinds) => run_race(shared, query, kinds, deadline),
             };
@@ -781,7 +897,12 @@ fn handle_synth(
 }
 
 /// Builds the engine configuration the query describes and runs it.
-fn run_search(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -> Response {
+fn run_search(
+    shared: &Shared,
+    query: &KernelQuery,
+    deadline: Option<Instant>,
+    flight_key: u64,
+) -> Response {
     let machine: Machine = query.machine();
     let mut cfg = SynthesisConfig::new(machine);
     cfg.threads = shared.search_threads;
@@ -795,6 +916,24 @@ fn run_search(shared: &Shared, query: &KernelQuery, deadline: Option<Instant>) -
     if let Some(deadline) = deadline {
         cfg.budget = SearchBudget::with_deadline(deadline);
     }
+    // Every engine search is observable: register the flight so watchers
+    // can attach, and (when configured) leave a flight recording on disk.
+    // The engine's guaranteed final snapshot publishes the `finished`
+    // frame; the guard covers the unwind path with a synthetic one.
+    let _watch_guard = shared.watch.begin(flight_key);
+    let recorder = shared.record_dir.as_ref().and_then(|dir| {
+        let seq = shared.recording_seq.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("search-{:016x}-{seq}.ssfr", query.fingerprint()));
+        FlightRecorder::create(&path).ok()
+    });
+    let hub = Arc::clone(&shared.watch);
+    cfg.progress_hook = Some(ProgressHook::new(move |p| {
+        if let Some(recorder) = &recorder {
+            // Recording is best-effort: a full disk must not fail a search.
+            let _ = recorder.record(&p.recorder_frame());
+        }
+        hub.publish(flight_key, &ProgressReply::from_progress(p));
+    }));
 
     let result = synthesize(&cfg);
     match result.outcome {

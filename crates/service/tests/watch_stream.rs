@@ -1,0 +1,134 @@
+//! Live-attach end-to-end: a watcher on a real TCP connection streams
+//! progress frames from an in-flight, coalesced search, and the server's
+//! flight recorder leaves a readable recording of the same run.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sortsynth_cache::KernelQuery;
+use sortsynth_isa::IsaMode;
+use sortsynth_service::{Client, Response, Server, ServiceConfig};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sortsynth-watch-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A query whose search runs for seconds in a test build: n = 4 without the
+/// distance table (whose construction would delay the first progress frame)
+/// and a deadline that expires long after several 500 ms progress-floor
+/// ticks have fired.
+fn slow_query() -> KernelQuery {
+    let mut query = KernelQuery::best(4, 1, IsaMode::Cmov);
+    query.optimal_instrs_only = false;
+    query
+}
+
+#[test]
+fn watcher_streams_frames_from_a_coalesced_flight_and_recorder_persists_them() {
+    let record_dir = tmp_dir("rec");
+    let handle = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        record_dir: Some(record_dir.clone()),
+        ..ServiceConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+    let query = slow_query();
+
+    // Two identical synth requests: one leads, one coalesces. A watcher
+    // attaches to the same flight and streams until the search times out.
+    let synth_a = {
+        let query = query.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.synth(query, Some(2_500)).unwrap()
+        })
+    };
+    let synth_b = {
+        let query = query.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.synth(query, Some(2_500)).unwrap()
+        })
+    };
+    let mut watcher = Client::connect(addr).unwrap();
+    watcher
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let frames = watcher
+        .watch(query.clone(), None, Some(10_000))
+        .expect("flight is live long enough to attach");
+
+    let a = synth_a.join().unwrap();
+    let b = synth_b.join().unwrap();
+    assert!(
+        matches!(a, Response::Timeout(_)) && matches!(b, Response::Timeout(_)),
+        "the deliberately slow query must time out: {a:?} / {b:?}"
+    );
+    assert_eq!(
+        handle.searches_started(),
+        1,
+        "watch rode one coalesced search"
+    );
+
+    // The stream: at least two frames, strictly growing expansion counts,
+    // terminated by the finished frame carrying the outcome and live
+    // per-shard memory levels.
+    assert!(frames.len() >= 2, "got {} frames", frames.len());
+    for pair in frames.windows(2) {
+        assert!(pair[1].expanded >= pair[0].expanded);
+        assert!(!pair[0].finished, "only the last frame is final");
+    }
+    let last = frames.last().unwrap();
+    assert!(last.finished);
+    assert_eq!(last.outcome.as_deref(), Some("TimeLimit"));
+    assert!(!last.shards.is_empty());
+    assert!(last.shards[0].arena_bytes > 0);
+
+    // After the stream the connection is back in request/response.
+    assert!(matches!(watcher.ping().unwrap(), Response::Pong));
+
+    // The recorder left the same run on disk, parseable and finished.
+    let recordings: Vec<_> = fs::read_dir(&record_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ssfr"))
+        .collect();
+    assert_eq!(recordings.len(), 1, "one flight, one recording");
+    let recording = sortsynth_obs::read_recording(&recordings[0]).unwrap();
+    assert!(recording.frames.len() >= 2);
+    let final_frame = recording.frames.last().unwrap();
+    assert!(final_frame.finished);
+    assert_eq!(final_frame.outcome.as_deref(), Some("TimeLimit"));
+    assert_eq!(
+        final_frame.expanded, last.expanded,
+        "recording and stream agree"
+    );
+
+    handle.shutdown().unwrap();
+    let _ = fs::remove_dir_all(&record_dir);
+}
+
+#[test]
+fn watch_without_a_matching_flight_errors_after_the_wait_window() {
+    let handle = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServiceConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let err = client
+        .watch(KernelQuery::best(2, 1, IsaMode::Cmov), None, Some(50))
+        .expect_err("no flight to attach to");
+    assert!(err.to_string().contains("no in-flight search"), "{err}");
+    // The connection survives the refused watch.
+    assert!(matches!(client.ping().unwrap(), Response::Pong));
+    handle.shutdown().unwrap();
+}
