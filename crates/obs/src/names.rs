@@ -90,6 +90,12 @@ pub const SEARCH_STEALS_TOTAL: &str = "sortsynth_search_steals_total";
 pub const SEARCH_INTERNED_STATES_TOTAL: &str = "sortsynth_search_interned_states_total";
 /// Expansions served entirely from already-reserved scratch capacity.
 pub const SEARCH_SCRATCH_REUSED_TOTAL: &str = "sortsynth_search_scratch_reused_total";
+/// Open entries discarded at pop as stale (reopened or bound-overtaken).
+pub const SEARCH_STALE_POPS_TOTAL: &str = "sortsynth_search_stale_pops_total";
+/// Empty-bucket cursor scans performed by bucketed open lists.
+pub const SEARCH_BUCKET_SCANS_TOTAL: &str = "sortsynth_search_bucket_scans_total";
+/// SWAR lane passes taken by batch expansion.
+pub const SEARCH_SWAR_BATCHES_TOTAL: &str = "sortsynth_search_swar_batches_total";
 /// Bytes of assignment storage held by the last run's state arena(s).
 pub const SEARCH_ARENA_BYTES: &str = "sortsynth_search_arena_bytes";
 
@@ -292,6 +298,18 @@ pub fn register_well_known() {
         SEARCH_SCRATCH_REUSED_TOTAL,
         "Expansions served from already-reserved scratch capacity.",
     );
+    r.counter(
+        SEARCH_STALE_POPS_TOTAL,
+        "Open entries discarded at pop as stale (reopened or bound-overtaken).",
+    );
+    r.counter(
+        SEARCH_BUCKET_SCANS_TOTAL,
+        "Empty-bucket cursor scans performed by bucketed open lists.",
+    );
+    r.counter(
+        SEARCH_SWAR_BATCHES_TOTAL,
+        "SWAR lane passes taken by batch expansion.",
+    );
     r.gauge(
         SEARCH_ARENA_BYTES,
         "Assignment bytes held by the last run's state arena(s).",
@@ -375,6 +393,9 @@ mod tests {
             SEARCH_EXPANDED_TOTAL,
             SEARCH_VALUE_FLOW_PRUNED_TOTAL,
             SEARCH_CANCELLED_TOTAL,
+            SEARCH_STALE_POPS_TOTAL,
+            SEARCH_BUCKET_SCANS_TOTAL,
+            SEARCH_SWAR_BATCHES_TOTAL,
             RECORDER_FRAMES_TOTAL,
             WATCH_FRAMES_TOTAL,
             "sortsynth_phase_step_viability_nanos_total",

@@ -54,6 +54,25 @@ impl Heuristic {
     }
 }
 
+/// Open-list implementation behind the best-first engines.
+///
+/// Purely an implementation choice: both variants pop entries in the
+/// exact same ascending `(f, g, state id)` order, which the
+/// `bucket_equivalence` differential suite pins by asserting identical
+/// expansion traces. The heap stays available as the reference
+/// implementation for that harness (and as a fallback), the bucket queue
+/// is the production default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpenList {
+    /// The [`crate::BucketQueue`]: O(1) push and amortized-O(1) pop over
+    /// the small dense f-range of this search.
+    #[default]
+    Bucket,
+    /// The reference `std::collections::BinaryHeap` with `O(log n)`
+    /// operations.
+    Heap,
+}
+
 /// The §3.5 non-optimality-preserving cut. A freshly generated state of
 /// length ℓ is discarded when its permutation count exceeds the threshold
 /// derived from the best (minimum) permutation count seen at length ℓ−1.
@@ -102,6 +121,9 @@ pub struct SynthesisConfig {
     pub machine: Machine,
     /// Open-state selection strategy.
     pub strategy: Strategy,
+    /// Open-list implementation (bucket queue by default; the binary heap
+    /// remains as the differential-testing reference).
+    pub open_list: OpenList,
     /// Optional §3.5 cut.
     pub cut: Option<Cut>,
     /// Enable the §3.3 per-assignment remaining-budget viability check
@@ -188,6 +210,7 @@ impl SynthesisConfig {
         SynthesisConfig {
             machine,
             strategy: Strategy::Layered,
+            open_list: OpenList::default(),
             cut: None,
             budget_viability: false,
             optimal_instrs_only: false,
@@ -228,6 +251,12 @@ impl SynthesisConfig {
     /// Sets the open-state selection strategy.
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Selects the open-list implementation.
+    pub fn open_list(mut self, open_list: OpenList) -> Self {
+        self.open_list = open_list;
         self
     }
 

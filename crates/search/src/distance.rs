@@ -16,7 +16,7 @@
 
 use sortsynth_isa::{Instr, Machine, MachineState, Reg};
 
-use crate::state::StateSet;
+use crate::state::{ProjScratch, StateSet};
 
 /// Distance value meaning "cannot be sorted" (a value was erased).
 pub const UNSORTABLE: u16 = u16::MAX;
@@ -89,19 +89,30 @@ pub struct DistanceTable {
     flag_stride: usize,
     /// Largest finite distance in the table.
     max_finite: u16,
-    /// Successor distances, action-major: `succ_dist[ai * total + enc]` is
-    /// `dist(step(decode(enc), actions[ai]))`. Lets the expansion loop
-    /// viability-check a candidate from the *parent's* encodings — no
-    /// stepping, no per-successor encode — and is small enough to stay
-    /// cache-resident (n = 4, m = 1 cmp/cmov: 66 actions × 9 375 encodings
-    /// ≈ 1.2 MiB). `None` when the product exceeds
-    /// [`SUCC_DIST_MAX_ENTRIES`].
+    /// Successor distances, *encoding-major*: `succ_dist[enc * actions +
+    /// ai]` is `dist(step(decode(enc), actions[ai]))`. One contiguous row
+    /// holds a parent assignment's distance under *every* action, so
+    /// [`DistanceTable::succ_max_dist_sweep`] streams the whole action
+    /// sweep as packed integer max instead of gathering one scattered
+    /// entry per (action, assignment) pair (n = 4, m = 1 cmp/cmov: 66
+    /// actions × 9 375 encodings ≈ 1.2 MiB). Kept separate from
+    /// [`DistanceTable::succ_proj`] — rather than packed into one u32 —
+    /// so each of the two expansion passes streams only the 1.2 MiB half
+    /// it reads, keeping both L2-resident. `None` when the product
+    /// exceeds [`SUCC_DIST_MAX_ENTRIES`] or the projection outgrows 16
+    /// bits.
     succ_dist: Option<Vec<u16>>,
+    /// The radix-packed value-register projection of each successor (a
+    /// bijection of the §3.5 permutation projection), same shape as
+    /// [`DistanceTable::succ_dist`]. Lets the expansion loop count a
+    /// candidate's distinct successor projections — the permutation-count
+    /// cut — *before* the candidate is ever stepped.
+    succ_proj: Option<Vec<u16>>,
 }
 
-/// Cap on `actions × encodings` for the successor-distance table (u16
-/// entries, so 32 MiB). Covers every machine through n = 5, m = 1; beyond
-/// that the expansion loop falls back to per-successor lookups.
+/// Cap on `actions × encodings` for the successor-distance table (two u16
+/// arrays, so 64 MiB total). Covers every machine through n = 5, m = 1;
+/// beyond that the expansion loop falls back to per-successor lookups.
 const SUCC_DIST_MAX_ENTRIES: usize = 1 << 24;
 
 impl DistanceTable {
@@ -192,16 +203,26 @@ impl DistanceTable {
             moves
         });
 
-        let succ_dist = (actions.len() * total <= SUCC_DIST_MAX_ENTRIES).then(|| {
-            let mut t = vec![UNSORTABLE; actions.len() * total];
+        // The packed projection must fit the entry's low 16 bits; machines
+        // big enough to overflow it also blow the entry cap, but gate
+        // explicitly rather than rely on that coincidence.
+        let proj_fits = (radix as u64).pow(machine.n() as u32) <= 1 << 16;
+        let (succ_dist, succ_proj) = if proj_fits && actions.len() * total <= SUCC_DIST_MAX_ENTRIES
+        {
+            let mut td = vec![0u16; actions.len() * total];
+            let mut tp = vec![0u16; actions.len() * total];
             for idx in 0..total {
                 let st = decode(machine, radix, flag_stride, idx);
                 for (ai, &a) in actions.iter().enumerate() {
-                    t[ai * total + idx] = dist[encode(machine, radix, flag_stride, st.step(a))];
+                    let succ = st.step(a);
+                    td[idx * actions.len() + ai] = dist[encode(machine, radix, flag_stride, succ)];
+                    tp[idx * actions.len() + ai] = packed_proj(machine, radix, succ);
                 }
             }
-            t
-        });
+            (Some(td), Some(tp))
+        } else {
+            (None, None)
+        };
 
         DistanceTable {
             machine: machine.clone(),
@@ -212,6 +233,7 @@ impl DistanceTable {
             flag_stride,
             max_finite,
             succ_dist,
+            succ_proj,
         }
     }
 
@@ -279,6 +301,21 @@ impl DistanceTable {
         out
     }
 
+    /// [`DistanceTable::optimal_first_moves_slice`] over already-computed
+    /// assignment encodings ([`DistanceTable::encode_assign`]), so callers
+    /// that hold the encodings anyway skip re-encoding every assignment.
+    pub(crate) fn optimal_first_moves_enc(&self, enc: &[u32]) -> ActionSet {
+        let moves = self
+            .first_moves
+            .as_ref()
+            .expect("DistanceTable built without first moves");
+        let mut out = ActionSet::empty();
+        for &e in enc {
+            out.union_with(&moves[e as usize]);
+        }
+        out
+    }
+
     /// Whether first moves were recorded at build time.
     pub fn has_first_moves(&self) -> bool {
         self.first_moves.is_some()
@@ -311,16 +348,105 @@ impl DistanceTable {
             .succ_dist
             .as_ref()
             .expect("DistanceTable built without successor distances");
-        let row = &table[ai * (3 * self.flag_stride)..(ai + 1) * (3 * self.flag_stride)];
+        let na = self.actions.len();
         let mut worst = 0;
         for &e in enc {
-            let d = row[e as usize];
+            let d = table[e as usize * na + ai];
             if d == UNSORTABLE {
                 return UNSORTABLE;
             }
             worst = worst.max(d);
         }
         worst
+    }
+
+    /// [`DistanceTable::succ_max_dist`] for *every* action at once:
+    /// `worst[ai]` becomes the successor `max_dist` under action `ai`
+    /// ([`UNSORTABLE`] — the numeric maximum — propagates through the
+    /// running max for free). One expansion's whole viability sweep is a
+    /// single streaming pass over `enc.len()` contiguous rows, which the
+    /// compiler turns into packed integer max — replacing one scattered
+    /// gather per surviving (action, assignment) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built without successor distances
+    /// ([`DistanceTable::has_succ_dist`]).
+    pub fn succ_max_dist_sweep(&self, enc: &[u32], worst: &mut Vec<u16>) {
+        let table = self
+            .succ_dist
+            .as_ref()
+            .expect("DistanceTable built without successor distances");
+        let na = self.actions.len();
+        worst.clear();
+        worst.resize(na, 0);
+        for &e in enc {
+            let row = &table[e as usize * na..(e as usize + 1) * na];
+            for (w, &d) in worst.iter_mut().zip(row) {
+                *w = (*w).max(d);
+            }
+        }
+    }
+
+    /// The radix-packed value-register projections of the successors of
+    /// the parent assignments `enc` under action `ai`, in parent order.
+    /// Feeding these to a distinct-count gives the successor's permutation
+    /// count (§3.5) *before* the successor is ever stepped: packing is a
+    /// bijection on value-register contents, so distinct packed
+    /// projections are exactly distinct permutation projections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built without successor distances
+    /// ([`DistanceTable::has_succ_dist`]).
+    #[inline]
+    pub fn succ_projs<'a>(&'a self, ai: usize, enc: &'a [u32]) -> impl Iterator<Item = u16> + 'a {
+        let table = self
+            .succ_proj
+            .as_ref()
+            .expect("DistanceTable built without successor distances");
+        let na = self.actions.len();
+        enc.iter().map(move |&e| table[e as usize * na + ai])
+    }
+
+    /// Distinct successor projections of `enc` under action `ai` — the
+    /// §3.5 permutation count of the successor, computed straight off the
+    /// projection table with no successor materialized and nothing copied.
+    /// Same cap contract and chunked cap placement as
+    /// [`crate::state::perm_count_slice`]: a return `> cap` means the scan
+    /// stopped early, any return `<= cap` is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built without successor distances
+    /// ([`DistanceTable::has_succ_dist`]).
+    pub(crate) fn succ_perm_capped(
+        &self,
+        ai: usize,
+        enc: &[u32],
+        scratch: &mut ProjScratch,
+        cap: u32,
+    ) -> u32 {
+        let table = self
+            .succ_proj
+            .as_ref()
+            .expect("DistanceTable built without successor distances");
+        let na = self.actions.len();
+        let (stamp, epoch) = scratch.stamp_begin();
+        let mut count = 0u32;
+        let mut chunks = enc.chunks(8);
+        for c in &mut chunks {
+            for &e in c {
+                let v = table[e as usize * na + ai] as usize;
+                let s = &mut stamp[v];
+                count += u32::from(*s != epoch);
+                *s = epoch;
+            }
+            if count > cap {
+                break;
+            }
+        }
+        count
     }
 }
 
@@ -331,6 +457,17 @@ fn flag_code(st: MachineState) -> usize {
         (false, true) => 2,
         (true, true) => unreachable!("cmp never sets both flags"),
     }
+}
+
+/// Radix-packs the value registers `r1..rn` of `st`: `Σ reg(r) · radixʳ`.
+/// A bijection of the §3.5 permutation projection (each register holds a
+/// digit `< radix`) that fits 16 bits for every table-supported machine.
+fn packed_proj(machine: &Machine, radix: usize, st: MachineState) -> u16 {
+    let mut p = 0usize;
+    for r in (0..machine.n() as usize).rev() {
+        p = p * radix + st.reg(Reg::new(r as u8)) as usize;
+    }
+    p as u16
 }
 
 fn encode(machine: &Machine, radix: usize, flag_stride: usize, st: MachineState) -> usize {

@@ -1,14 +1,14 @@
 //! The enumerative synthesis engine: layered (Dijkstra) and A* search with
 //! deduplication, viability checks, and cuts (§3 of the paper).
 
-use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
-use sortsynth_isa::{Instr, MachineState, Op, Program};
+use sortsynth_isa::{BatchStepper, Instr, MachineState, Op, Program};
 
 use sortsynth_obs::names;
 use sortsynth_obs::profile::{Phase, PhaseProbe, PHASE_COUNT};
 
+use crate::bucket::OpenQueue;
 use crate::config::{Strategy, SynthesisConfig};
 use crate::distance::{DistanceTable, UNSORTABLE};
 use crate::heuristics::heuristic_from_meta;
@@ -121,6 +121,21 @@ pub struct SearchStats {
     /// bound proved they cannot lead to a strictly shorter kernel
     /// (`g + 1 ≥ best_cost`). Lossless, unlike [`SearchStats::cut_pruned`].
     pub bound_pruned: u64,
+    /// Open entries discarded at pop without expansion: superseded by a
+    /// reopen at a shorter length, or overtaken by the length bound while
+    /// queued. Sequential best-first runs count their pop-time skips here;
+    /// parallel runs aggregate the shards' [`ShardStats::stale_drops`].
+    pub stale_pops: u64,
+    /// Cursor-advance steps the bucketed open lists spent scanning empty
+    /// buckets/lanes (0 under [`crate::OpenList::Heap`] and in layered
+    /// sequential runs, which keep no open list). The amortized-O(1)
+    /// selection claim is this number staying small relative to
+    /// [`SearchStats::expanded`].
+    pub bucket_scans: u64,
+    /// SWAR passes taken by batch expansion: each pass steps up to
+    /// [`sortsynth_isa::SWAR_LANES`] packed parent assignments through one
+    /// action's lane kernel.
+    pub swar_batches: u64,
     /// Parallel mode only: per-worker/shard counter blocks, in worker order.
     /// Empty for sequential runs. The global counters above are the sums of
     /// these (each shard owns a disjoint slice of the key space, so no state
@@ -175,6 +190,9 @@ pub struct ShardStats {
     /// Expansions this worker served entirely from already-reserved scratch
     /// capacity (see [`SearchStats::scratch_reused`]).
     pub scratch_reused: u64,
+    /// SWAR batch passes taken by this worker's expansions (see
+    /// [`SearchStats::swar_batches`]).
+    pub swar_batches: u64,
 }
 
 /// A node of the solution DAG: a unique canonical state, with every
@@ -442,18 +460,22 @@ pub(crate) struct ExpandScratch {
     pub buf: SuccessorBuf,
     proj: ProjScratch,
     enc: Vec<u32>,
+    /// Per-action successor `max_dist` of the state under expansion
+    /// ([`DistanceTable::succ_max_dist_sweep`] output).
+    succ_worst: Vec<u16>,
 }
 
 impl ExpandScratch {
     /// Reserved capacities, for [`SearchStats::scratch_reused`]: an
     /// expansion that leaves the signature unchanged allocated nothing
     /// here.
-    pub fn capacity_signature(&self) -> (usize, usize, usize, usize) {
+    pub fn capacity_signature(&self) -> (usize, usize, usize, usize, usize) {
         (
             self.buf.assigns.capacity(),
             self.buf.metas.capacity(),
             self.proj.capacity(),
             self.enc.capacity(),
+            self.succ_worst.capacity(),
         )
     }
 }
@@ -501,10 +523,27 @@ impl ExpandCtx<'_> {
     ) {
         counters.expanded += 1;
         scratch.buf.clear();
+        // Successor-distance fast path: with the parent's encodings in hand
+        // a candidate's viability check is one table row scan — unsortable
+        // and over-budget successors are pruned without ever being stepped.
+        let succ_table = self.table.filter(|t| t.has_succ_dist());
+        if let Some(table) = succ_table {
+            scratch.enc.clear();
+            scratch
+                .enc
+                .extend(state.iter().map(|&a| table.encode_assign(a)));
+            // Whole-sweep viability: one streaming pass computes every
+            // action's successor distance up front (packed max over
+            // contiguous rows), so the action loop below never touches the
+            // table row-by-row for viability again.
+            table.succ_max_dist_sweep(&scratch.enc, &mut scratch.succ_worst);
+        }
         let allowed = match self.table {
-            Some(table) if self.cfg.optimal_instrs_only => {
-                Some(table.optimal_first_moves_slice(state))
-            }
+            Some(table) if self.cfg.optimal_instrs_only => Some(if succ_table.is_some() {
+                table.optimal_first_moves_enc(&scratch.enc)
+            } else {
+                table.optimal_first_moves_slice(state)
+            }),
             _ => None,
         };
         // A successor whose new instruction erases the parent edge's effect
@@ -517,22 +556,25 @@ impl ExpandCtx<'_> {
         };
         let machine = &self.cfg.machine;
         let mask = value_reg_mask(machine);
+        // Cut-bound permutation counting: a span the cut will discard only
+        // needs its count known to exceed the threshold, so the scan stops
+        // there. Kept spans never reach the cap — their count stays exact
+        // (as [`SuccMeta::perm`] and the layer minima require). Goal spans
+        // project to the single sorted tuple and finish at 1 regardless.
+        let cut_cap = cut_threshold.unwrap_or(u32::MAX);
         // The sibling-subsumption half of the value-flow cut drops edges
         // whose successor duplicates the plain `mov` successor generated in
         // this same sweep — only safe when the full action set is on the
         // table and the caller does not want every minimal program.
         let vf_subsume =
             self.cfg.value_flow_cut && !self.cfg.all_solutions && !self.cfg.optimal_instrs_only;
-        // Successor-distance fast path: with the parent's encodings in hand
-        // a candidate's viability check is one table row scan — unsortable
-        // and over-budget successors are pruned without ever being stepped.
-        let succ_table = self.table.filter(|t| t.has_succ_dist());
-        if let Some(table) = succ_table {
-            scratch.enc.clear();
-            scratch
-                .enc
-                .extend(state.iter().map(|&a| table.encode_assign(a)));
-        }
+        // An action that writes no value register (`cmp`, or any write
+        // into a scratch register) leaves the value-register projection of
+        // every assignment untouched, so all such successors share the
+        // *parent's* permutation count — computed at most once per
+        // expansion and reused across the whole sweep.
+        let n_vals = machine.n() as usize;
+        let mut parent_perm: Option<u32> = None;
         for (ai, &instr) in self.actions.iter().enumerate() {
             if let Some(set) = &allowed {
                 // `cmp` is always permitted: a shortest program for a single
@@ -572,8 +614,9 @@ impl ExpandCtx<'_> {
             let mut max_dist = 0u16;
             let mut goal = false;
             let mut checked = false;
+            let mut perm = 0u32;
             if let Some(table) = succ_table {
-                let d = table.succ_max_dist(ai, &scratch.enc);
+                let d = scratch.succ_worst[ai];
                 if d == UNSORTABLE
                     || (self.cfg.budget_viability && bound != u32::MAX && g + 1 + d as u32 > bound)
                 {
@@ -583,19 +626,43 @@ impl ExpandCtx<'_> {
                 max_dist = d;
                 goal = d == 0;
                 checked = true;
+                // Pre-step cut (§3.5): the successor span's permutation
+                // count equals the distinct count of the parents' packed
+                // table projections (the projection is a bijection of the
+                // masked value registers), so the cut verdict is known
+                // *before* stepping — and the majority of generated
+                // candidates die here without ever being stepped.
+                let writes_value = instr.op != Op::Cmp && (instr.dst.index() as usize) < n_vals;
+                perm = if writes_value {
+                    table.succ_perm_capped(ai, &scratch.enc, &mut scratch.proj, cut_cap)
+                } else {
+                    *parent_perm.get_or_insert_with(|| {
+                        table.succ_perm_capped(ai, &scratch.enc, &mut scratch.proj, cut_cap)
+                    })
+                };
+                if !goal {
+                    if let Some(threshold) = cut_threshold {
+                        if perm > threshold {
+                            counters.cut_pruned += 1;
+                            continue;
+                        }
+                    }
+                }
             }
 
             // Apply into the shared buffer; a pruned successor is truncated
             // away again, so survivors stay densely packed. Goal,
             // permutation count, and the cut are all insensitive to order
-            // and duplicates, so they run on the *raw* stepped span — the
-            // canonicalizing sort (the hottest single operation in the
-            // engine) is paid only by candidates that survive every filter.
+            // and duplicates, so (on the fallback paths) they run on the
+            // *raw* stepped span — the canonicalizing sort (the hottest
+            // single operation in the engine) is paid only by candidates
+            // that survive every filter.
             let start = scratch.buf.assigns.len();
-            scratch
-                .buf
-                .assigns
-                .extend(state.iter().map(|a| a.step(instr)));
+            // SWAR batch step: one opcode dispatch and a branchless lane
+            // kernel for the whole span instead of a per-assignment
+            // `step` (whose cmov branch is data-dependent).
+            counters.swar_batches +=
+                BatchStepper::new(instr).append_stepped(state, &mut scratch.buf.assigns);
             if checked {
                 debug_assert_eq!(
                     max_dist,
@@ -603,6 +670,14 @@ impl ExpandCtx<'_> {
                         .expect("checked implies table")
                         .max_dist_slice(&scratch.buf.assigns[start..]),
                     "successor-distance table disagrees with direct lookup"
+                );
+                debug_assert_eq!(
+                    perm,
+                    {
+                        let (head, proj) = (&scratch.buf.assigns[start..], &mut scratch.proj);
+                        perm_count_slice(head, mask, proj, u32::MAX)
+                    },
+                    "packed projections disagree with the stepped span's count"
                 );
             } else if let Some(table) = self.table {
                 // Fallback for machines whose successor table exceeded the
@@ -631,16 +706,18 @@ impl ExpandCtx<'_> {
                     .all(|&a| machine.is_sorted(a));
             }
 
-            let perm = {
-                let (head, proj) = (&scratch.buf.assigns[start..], &mut scratch.proj);
-                perm_count_slice(head, mask, proj)
-            };
-            if !goal {
-                if let Some(threshold) = cut_threshold {
-                    if perm > threshold {
-                        counters.cut_pruned += 1;
-                        scratch.buf.assigns.truncate(start);
-                        continue;
+            if !checked {
+                perm = {
+                    let (head, proj) = (&scratch.buf.assigns[start..], &mut scratch.proj);
+                    perm_count_slice(head, mask, proj, cut_cap)
+                };
+                if !goal {
+                    if let Some(threshold) = cut_threshold {
+                        if perm > threshold {
+                            counters.cut_pruned += 1;
+                            scratch.buf.assigns.truncate(start);
+                            continue;
+                        }
                     }
                 }
             }
@@ -878,48 +955,55 @@ impl<'a> Engine<'a> {
             Strategy::AStar { heuristic } => heuristic,
             Strategy::Layered => unreachable!("run_astar called for layered strategy"),
         };
-        let mut heap: BinaryHeap<OpenEntry> = BinaryHeap::new();
+        let mut open = OpenQueue::new(
+            self.cfg.open_list,
+            open_f_hint(self.bound, self.table.as_ref()),
+        );
         let m0 = *self.arena.meta(0);
-        heap.push(OpenEntry {
-            f: heuristic_from_meta(heuristic, m0.perm, m0.assign_count(), m0.max_dist) as u64,
-            g: 0,
-            node: 0,
-        });
+        open.push(
+            heuristic_from_meta(heuristic, m0.perm, m0.assign_count(), m0.max_dist) as u64,
+            0,
+            0,
+        );
 
-        loop {
+        let outcome = loop {
             // One sampled probe cycle per expansion; the pop and staleness
             // checks are selection.
             self.probe.begin_cycle();
-            let Some(entry) = heap.pop() else { break };
+            let Some((f, g, node)) = open.pop() else {
+                break if self.goals.is_empty() {
+                    Outcome::Exhausted
+                } else {
+                    Outcome::SolvedAll
+                };
+            };
             self.probe.lap(Phase::Select);
-            self.current_f = Some(entry.f);
+            self.current_f = Some(f);
             // Goals are queued with f = g and accepted when *popped*, the
             // standard A* discipline: every open state that could lead to a
             // shorter kernel (f < g_goal) is expanded first.
-            if self.arena.meta(entry.node).goal {
-                return Outcome::Solved;
+            if self.arena.meta(node).goal {
+                break Outcome::Solved;
             }
-            if entry.g >= self.bound {
+            if g >= self.bound {
+                self.stats.stale_pops += 1;
                 continue;
             }
             // Skip stale entries: the state was re-reached at a shorter
             // length after this entry was pushed.
-            if self.nodes[entry.node as usize].len as u32 != entry.g {
+            if self.nodes[node as usize].len as u32 != g {
+                self.stats.stale_pops += 1;
                 continue;
             }
-            let cut_threshold = self.cut_threshold_for(entry.g);
-            self.expand_node(entry.node, entry.g, cut_threshold);
+            let cut_threshold = self.cut_threshold_for(g);
+            self.expand_node(node, g, cut_threshold);
             let buf = std::mem::take(&mut self.scratch.buf);
             for m in &buf.metas {
-                match self.merge(entry.node, m, buf.assigns_of(m), entry.g + 1) {
+                match self.merge(node, m, buf.assigns_of(m), g + 1) {
                     Gen::Goal(idx) => {
-                        self.bound = self.bound.min(entry.g + 1);
+                        self.bound = self.bound.min(g + 1);
                         if !self.cfg.all_solutions {
-                            heap.push(OpenEntry {
-                                f: (entry.g + 1) as u64,
-                                g: entry.g + 1,
-                                node: idx,
-                            });
+                            open.push((g + 1) as u64, g + 1, idx);
                         }
                     }
                     Gen::Fresh(idx) => {
@@ -935,11 +1019,7 @@ impl<'a> Engine<'a> {
                             meta.assign_count(),
                             meta.max_dist,
                         );
-                        heap.push(OpenEntry {
-                            f: (entry.g + 1) as u64 + h as u64,
-                            g: entry.g + 1,
-                            node: idx,
-                        });
+                        open.push((g + 1) as u64 + h as u64, g + 1, idx);
                     }
                     Gen::Pruned => {}
                 }
@@ -947,15 +1027,12 @@ impl<'a> Engine<'a> {
             self.scratch.buf = buf;
             self.probe.lap(Phase::Intern);
             if self.over_limits() {
-                return self.limit_outcome();
+                break self.limit_outcome();
             }
-            self.sample_progress(heap.len() as u64);
-        }
-        if self.goals.is_empty() {
-            Outcome::Exhausted
-        } else {
-            Outcome::SolvedAll
-        }
+            self.sample_progress(open.len() as u64);
+        };
+        self.stats.bucket_scans += open.scans();
+        outcome
     }
 
     // ------------------------------------------------------------------
@@ -997,6 +1074,7 @@ impl<'a> Engine<'a> {
         self.stats.cut_pruned += counters.cut_pruned;
         self.stats.dead_write_pruned += counters.dead_write_pruned;
         self.stats.value_flow_pruned += counters.value_flow_pruned;
+        self.stats.swar_batches += counters.swar_batches;
     }
 
     /// Deduplicates a surviving successor (§3.6) against the interner and
@@ -1229,6 +1307,21 @@ pub(crate) fn publish_search_metrics(stats: &SearchStats, outcome: Outcome) {
         "Expansions served from already-reserved scratch capacity.",
     )
     .add(stats.scratch_reused);
+    r.counter(
+        names::SEARCH_STALE_POPS_TOTAL,
+        "Open entries discarded at pop as stale (reopened or bound-overtaken).",
+    )
+    .add(stats.stale_pops);
+    r.counter(
+        names::SEARCH_BUCKET_SCANS_TOTAL,
+        "Empty-bucket cursor scans performed by bucketed open lists.",
+    )
+    .add(stats.bucket_scans);
+    r.counter(
+        names::SEARCH_SWAR_BATCHES_TOTAL,
+        "SWAR lane passes taken by batch expansion.",
+    )
+    .add(stats.swar_batches);
     r.gauge(
         names::SEARCH_ARENA_BYTES,
         "Assignment bytes held by the last run's state arena(s).",
@@ -1278,6 +1371,7 @@ pub(crate) struct WorkerCounters {
     pub cut_pruned: u64,
     pub dead_write_pruned: u64,
     pub value_flow_pruned: u64,
+    pub swar_batches: u64,
 }
 
 /// Whether the symbolic value-flow cut may discard `instr` as a successor of
@@ -1307,28 +1401,17 @@ fn value_flow_redundant(state: &[MachineState], instr: Instr, subsume: bool) -> 
     }
 }
 
-/// Open-list entry for A*: ordered so that the smallest `f` (then `g`, then
-/// node id) is popped first from the max-heap.
-struct OpenEntry {
-    f: u64,
-    g: u32,
-    node: u32,
-}
-
-impl PartialEq for OpenEntry {
-    fn eq(&self, other: &Self) -> bool {
-        (self.f, self.g, self.node) == (other.f, other.g, other.node)
-    }
-}
-impl Eq for OpenEntry {}
-impl PartialOrd for OpenEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OpenEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the smallest f first.
-        (other.f, other.g, other.node).cmp(&(self.f, self.g, self.node))
-    }
+/// Pre-sizing hint for a bucketed open list: f-values are bounded by
+/// `bound + max_dist` when the admissible distance heuristic is in play,
+/// and stay near the depth bound otherwise. Clamped to keep an unbounded
+/// run (`bound == u32::MAX`) from pre-allocating absurdly; the queue
+/// grows past the hint on demand either way (see [`crate::BucketQueue`]).
+pub(crate) fn open_f_hint(bound: u32, table: Option<&DistanceTable>) -> usize {
+    let depth = if bound == u32::MAX {
+        64
+    } else {
+        bound as usize + 1
+    };
+    let dist = table.map_or(0, |t| t.max_finite_dist() as usize);
+    (depth + dist + 1).min(4096)
 }

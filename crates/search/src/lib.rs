@@ -38,6 +38,7 @@
 //! assert!(machine.is_correct(&kernel));
 //! ```
 
+mod bucket;
 mod budget;
 mod config;
 mod distance;
@@ -52,8 +53,9 @@ mod progress;
 mod solutions;
 mod state;
 
+pub use bucket::BucketQueue;
 pub use budget::{CancelHandle, SearchBudget};
-pub use config::{Cut, Heuristic, Strategy, SynthesisConfig};
+pub use config::{Cut, Heuristic, OpenList, Strategy, SynthesisConfig};
 pub use distance::{ActionSet, DistanceTable, UNSORTABLE};
 pub use engine::{
     synthesize, Outcome, ProgressSample, SearchStats, ShardStats, SolutionDag, SynthesisResult,

@@ -63,7 +63,12 @@ impl StateSet {
     /// §3.5's cut heuristic). Scratch registers and flags are ignored.
     pub fn perm_count(&self, machine: &Machine) -> u32 {
         let mut scratch = ProjScratch::default();
-        perm_count_slice(&self.assigns, value_reg_mask(machine), &mut scratch)
+        perm_count_slice(
+            &self.assigns,
+            value_reg_mask(machine),
+            &mut scratch,
+            u32::MAX,
+        )
     }
 
     /// Executes `instr` on every assignment and re-canonicalizes.
@@ -136,49 +141,78 @@ pub(crate) fn canonicalize_tail(v: &mut Vec<MachineState>, start: usize) {
     v.truncate(start + kept);
 }
 
-/// Reusable scratch for [`perm_count_slice`]. The bitmap half serves masks
-/// that fit 16 bits (machines through n = 4): 8 KiB of lazily-allocated
-/// words, reset after each count by zeroing only the touched words, so a
-/// count costs one test-and-set per assignment instead of a sort. Wider
-/// masks fall back to the sort-and-dedup path over `proj`.
+/// Reusable scratch for [`perm_count_slice`]. The epoch-stamp half serves
+/// values that fit 16 bits (machines through n = 4): a lazily-allocated
+/// stamp per value, where "seen this call" is `stamp[v] == epoch`.
+/// Bumping the epoch invalidates every stamp at once, so there is no
+/// per-call reset pass — and unlike a shared-word bitmap, distinct values
+/// never touch the same slot, so the scan carries no store-to-load
+/// dependency between elements (only true duplicates revisit a slot).
+/// Only the slots actually probed (≤ span length per call, clustered in
+/// the low projection range) occupy cache. Wider masks fall back to the
+/// sort-and-dedup path over `proj`.
 #[derive(Default)]
 pub(crate) struct ProjScratch {
     proj: Vec<u64>,
-    words: Vec<u64>,
-    touched: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
 }
 
 impl ProjScratch {
     /// Combined reserved capacity, for the scratch-reuse counter.
     pub fn capacity(&self) -> usize {
-        self.proj.capacity() + self.words.len() + self.touched.capacity()
+        self.proj.capacity() + self.stamp.len()
+    }
+
+    /// Starts a fresh count: bumps the epoch (clearing the stamp array on
+    /// the ~never wrap) and returns the stamp slots with the new epoch.
+    /// Values stamped `== epoch` have been seen since this call.
+    #[inline]
+    pub(crate) fn stamp_begin(&mut self) -> (&mut [u32], u32) {
+        if self.stamp.is_empty() {
+            self.stamp.resize(1 << 16, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        (&mut self.stamp, self.epoch)
     }
 }
 
 /// Counts distinct `mask`-projections of `assigns` using `scratch` (the
 /// permutation count when `mask` covers the value registers).
+///
+/// `cap` bounds the useful answer: once the count *exceeds* `cap` the scan
+/// stops and returns the running count (some value `> cap`). Callers that
+/// only compare the count against a cut threshold pass that threshold and
+/// skip the tail of every span the cut will discard anyway; `u32::MAX`
+/// counts exactly. Any return `<= cap` is always the exact count.
 pub(crate) fn perm_count_slice(
     assigns: &[MachineState],
     mask: u64,
     scratch: &mut ProjScratch,
+    cap: u32,
 ) -> u32 {
     if mask <= u16::MAX as u64 {
-        if scratch.words.is_empty() {
-            scratch.words.resize(1 << 10, 0);
-        }
+        let (stamp, epoch) = scratch.stamp_begin();
         let mut count = 0u32;
-        for a in assigns {
-            let v = (a.bits() & mask) as usize;
-            let (w, b) = (v >> 6, v & 63);
-            let word = &mut scratch.words[w];
-            if *word == 0 {
-                scratch.touched.push(w as u32);
+        // Chunked cap check: the fixed-size inner loop stays branch-lean
+        // (exit tests per element would chain every iteration's branch on
+        // the preceding stamp load), while the between-chunk test still
+        // abandons spans the cut is going to discard.
+        let mut chunks = assigns.chunks(8);
+        for c in &mut chunks {
+            for a in c {
+                let v = (a.bits() & mask) as usize;
+                let s = &mut stamp[v];
+                count += u32::from(*s != epoch);
+                *s = epoch;
             }
-            count += u32::from(*word >> b & 1 == 0);
-            *word |= 1 << b;
-        }
-        for w in scratch.touched.drain(..) {
-            scratch.words[w as usize] = 0;
+            if count > cap {
+                break;
+            }
         }
         count
     } else {

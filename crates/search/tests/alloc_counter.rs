@@ -11,7 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use sortsynth_isa::{IsaMode, Machine};
-use sortsynth_search::{synthesize, SynthesisConfig};
+use sortsynth_search::{synthesize, Heuristic, OpenList, Strategy, SynthesisConfig};
 
 struct CountingAlloc;
 
@@ -78,5 +78,51 @@ fn expansion_path_allocates_o1_amortized() {
     assert!(
         per_node < 1.0,
         "expansion path regressed to {per_node:.2} allocations per expanded node"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    miri,
+    ignore = "global-allocator counting is not meaningful under miri"
+)]
+fn bucket_astar_expansion_is_allocation_free_in_steady_state() {
+    // The bucket-queue best-first engine is the tightest path: pushes are
+    // lane appends into retained buffers and pops only move cursors, so
+    // after warm-up the *whole* search — selection included — runs on
+    // reserved capacity. The budget is an order of magnitude below the
+    // layered test's: the measured run sits around 0.002 allocs/node
+    // (buffer doublings and the run's own table build), and 0.06 leaves
+    // headroom for allocator/runtime jitter without masking a real
+    // per-node allocation (which would cost ≥ 1.0).
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let cfg = SynthesisConfig::new(machine)
+        .strategy(Strategy::AStar {
+            heuristic: Heuristic::MaxRemaining,
+        })
+        .open_list(OpenList::Bucket)
+        .optimal_instrs_only(true)
+        .budget_viability(true)
+        .max_len(11);
+
+    let warm = synthesize(&cfg);
+    assert_eq!(warm.found_len, Some(11));
+
+    let before = allocations();
+    let result = synthesize(&cfg);
+    let during = allocations() - before;
+    assert_eq!(result.found_len, Some(11));
+
+    let expanded = result.stats.expanded.max(1);
+    let per_node = during as f64 / expanded as f64;
+    println!(
+        "bucket A*: {during} allocations over {expanded} expanded nodes = {per_node:.4} \
+         allocs/node (generated {}, bucket_scans {})",
+        result.stats.generated, result.stats.bucket_scans
+    );
+
+    assert!(
+        per_node <= 0.06,
+        "bucket A* path regressed to {per_node:.3} allocations per expanded node"
     );
 }

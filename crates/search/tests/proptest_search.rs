@@ -1,8 +1,12 @@
-//! Property-based tests for search states and the distance table.
+//! Property-based tests for search states, the distance table, the
+//! bucketed open list, and SWAR batch stepping.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use proptest::prelude::*;
-use sortsynth_isa::{IsaMode, Machine, MachineState};
-use sortsynth_search::{DistanceTable, StateSet, UNSORTABLE};
+use sortsynth_isa::{BatchStepper, IsaMode, Machine, MachineState};
+use sortsynth_search::{BucketQueue, DistanceTable, StateSet, UNSORTABLE};
 
 fn machine() -> Machine {
     Machine::new(3, 1, IsaMode::Cmov)
@@ -137,5 +141,64 @@ proptest! {
         let table = DistanceTable::build(&m, false);
         let set = StateSet::from_assignments(vec![assign]);
         prop_assert_eq!(set.has_erased_value(&m), table.dist(assign) == UNSORTABLE);
+    }
+
+    /// The bucket queue is observationally a priority queue: under an
+    /// *arbitrary* interleaving of pushes and pops — including f-values
+    /// that undercut the cursor, duplicate triples, and pops on empty —
+    /// every pop agrees with a reference `BinaryHeap` popping the
+    /// smallest `(f, g, id)`. This is stronger than the engines need
+    /// (their f-sequences are nearly monotone) and is exactly the
+    /// contract the `bucket_equivalence` differential suite relies on.
+    #[test]
+    #[cfg_attr(miri, ignore = "property sweep is too slow under miri")]
+    fn bucket_queue_matches_reference_heap(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..24, 0u32..16, 0u32..128),
+            1..200,
+        ),
+    ) {
+        let mut bucket = BucketQueue::with_f_hint(8);
+        let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+        for (is_push, f, g, id) in ops {
+            if is_push {
+                bucket.push(f, g, id);
+                heap.push(Reverse((f, g, id)));
+            } else {
+                prop_assert_eq!(bucket.pop(), heap.pop().map(|Reverse(e)| e));
+            }
+            prop_assert_eq!(bucket.len(), heap.len());
+            prop_assert_eq!(bucket.is_empty(), heap.is_empty());
+        }
+        // Drain: the live multisets are equal, delivered in sorted order.
+        while let Some(expected) = heap.pop() {
+            prop_assert_eq!(bucket.pop(), Some(expected.0));
+        }
+        prop_assert_eq!(bucket.pop(), None);
+        prop_assert!(bucket.is_empty());
+    }
+
+    /// SWAR batch stepping is bit-for-bit the scalar `step` on every ISA
+    /// action, over random batches of *search-shaped* states (legal flag
+    /// combinations; the all-bit-patterns case is pinned by the unit
+    /// tests in `sortsynth-isa`). Also checks the appended span lands
+    /// after an untouched prefix, as the expansion buffer requires.
+    #[test]
+    #[cfg_attr(miri, ignore = "property sweep is too slow under miri")]
+    fn batch_step_matches_scalar_step(
+        batch in prop::collection::vec(arb_assignment(), 0..40),
+        action_idx in 0usize..64,
+        minmax in any::<bool>(),
+    ) {
+        let mode = if minmax { IsaMode::MinMax } else { IsaMode::Cmov };
+        let m = Machine::new(3, 1, mode);
+        let actions = m.actions();
+        let instr = actions[action_idx % actions.len()];
+        let sentinel = MachineState::from_values(&[1, 2, 3]);
+        let mut out = vec![sentinel];
+        BatchStepper::new(instr).append_stepped(&batch, &mut out);
+        prop_assert_eq!(out[0], sentinel);
+        let scalar: Vec<MachineState> = batch.iter().map(|s| s.step(instr)).collect();
+        prop_assert_eq!(&out[1..], &scalar[..]);
     }
 }
