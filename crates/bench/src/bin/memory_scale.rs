@@ -1,0 +1,7 @@
+//! Memory-scale accounting: u64 vs u128 closed-set bytes/state, spill-tier
+//! throughput under budget, spill-disabled headline nodes/sec. Emits
+//! `BENCH_memory_scale.json`.
+fn main() {
+    let cfg = sortsynth_bench::util::BenchConfig::from_env();
+    sortsynth_bench::experiments::memory_scale::run(&cfg);
+}

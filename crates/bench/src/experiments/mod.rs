@@ -7,6 +7,7 @@ pub mod cut_sweep;
 pub mod fig1;
 pub mod fig2;
 pub mod lower_bound;
+pub mod memory_scale;
 pub mod minmax;
 pub mod obs_overhead;
 pub mod parallel_speedup;
@@ -61,6 +62,8 @@ pub fn run_all(cfg: &BenchConfig) {
     portfolio::run(cfg);
     println!();
     search_core::run(cfg);
+    println!();
+    memory_scale::run(cfg);
     println!();
     obs_overhead::run(cfg);
     println!();

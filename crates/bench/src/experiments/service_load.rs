@@ -130,6 +130,7 @@ pub fn run(cfg: &BenchConfig) {
         self_report: None,
         portfolio: None,
         record_dir: None,
+        search_mem_limit: None,
     })
     .expect("bind service")
     .spawn();

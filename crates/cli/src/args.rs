@@ -76,7 +76,40 @@ const VALUED: &[&str] = &[
     "record",
     "record-dir",
     "wait-ms",
+    "mem-limit",
+    "resume",
+    "key-width",
+    "spill-dir",
+    "search-mem-limit",
 ];
+
+/// Parses a byte-size value with an optional `K`/`M`/`G` suffix
+/// (`256M`, `1G`, `4096`). Case-insensitive; an optional trailing `iB`/`B`
+/// is accepted (`256MiB`).
+pub fn parse_bytes(value: &str) -> Result<u64, ArgsError> {
+    let v = value.trim();
+    let lower = v.to_ascii_lowercase();
+    let digits_end = lower
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(lower.len());
+    let (num, suffix) = lower.split_at(digits_end);
+    let base: u64 = num
+        .parse()
+        .map_err(|_| ArgsError::new(format!("`{value}` is not a byte size")))?;
+    let mult = match suffix.trim_end_matches("ib").trim_end_matches('b') {
+        "" => 1,
+        "k" => 1 << 10,
+        "m" => 1 << 20,
+        "g" => 1 << 30,
+        _ => {
+            return Err(ArgsError::new(format!(
+                "`{value}` has an unknown size suffix (expected K, M, or G)"
+            )))
+        }
+    };
+    base.checked_mul(mult)
+        .ok_or_else(|| ArgsError::new(format!("`{value}` overflows a byte count")))
+}
 
 /// Parses `args` (without the binary name).
 ///
@@ -217,6 +250,17 @@ mod tests {
     fn unknown_options_are_rejected() {
         let err = parse(&strings(&["synth", "--maxlen", "9"])).unwrap_err();
         assert!(err.to_string().contains("--maxlen"), "{err}");
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_bytes("4096").unwrap(), 4096);
+        assert_eq!(parse_bytes("256M").unwrap(), 256 << 20);
+        assert_eq!(parse_bytes("256MiB").unwrap(), 256 << 20);
+        assert_eq!(parse_bytes("1g").unwrap(), 1 << 30);
+        assert_eq!(parse_bytes("8K").unwrap(), 8 << 10);
+        assert!(parse_bytes("1T").is_err());
+        assert!(parse_bytes("lots").is_err());
     }
 
     #[test]

@@ -13,12 +13,13 @@ use sortsynth_portfolio::{
     backend_for, BackendKind, BackendStatus, DispatchPolicy, Portfolio, POLICY_FILE,
 };
 use sortsynth_search::{
-    prove_no_solution, synthesize, BoundVerdict, Cut, Outcome, SearchBudget, SynthesisConfig,
+    prove_no_solution, synthesize, try_synthesize, BoundVerdict, Cut, KeyWidth, Outcome,
+    SearchBudget, SynthesisConfig,
 };
 use sortsynth_service::{Client, ReplySource, Response, Server, ServiceConfig};
 use sortsynth_verify::{dce, verify, Verdict};
 
-use crate::args::{ArgsError, ParsedArgs};
+use crate::args::{parse_bytes, ArgsError, ParsedArgs};
 
 /// Help text shown on errors and `sortsynth help`.
 pub const USAGE: &str = "usage:
@@ -29,6 +30,11 @@ pub const USAGE: &str = "usage:
                     [--backend B]                 astar|astar-par|cegis|smt-min|mcts|stoke|plan,
                                                   or `portfolio` to race them all first-win
                     [--record FILE]               leave a flight recording of the search
+                    [--mem-limit BYTES]           spill cold search state to disk past this
+                                                  budget (suffixes: K, M, G; sequential engine)
+                    [--spill-dir DIR]             where spill segments + journal live
+                    [--resume DIR]                resume a killed search from its journal
+                    [--key-width 64|128]          closed-set key width (default 64)
   sortsynth profile --n N [--scratch M] [--isa cmov|minmax] [--plain] [--max-len L] [--cut K]
                     [--threads T] [--timeout SECS]   per-phase time table of one search
   sortsynth inspect <recording.ssfr> [--json]    post-mortem summary of a flight recording
@@ -44,6 +50,7 @@ pub const USAGE: &str = "usage:
                     [--search-threads T]          engine threads per synth job (default 1)
                     [--portfolio]                 race all backends for unrouted synth requests
                     [--record-dir DIR]            flight-record every engine search
+                    [--search-mem-limit BYTES]    memory budget per engine search (spills to disk)
   sortsynth client  ping|synth|check|analyze|metrics|stats|watch [<file|->] [--addr HOST:PORT]
                     [--n N ...] [--timeout SECS] [--backend B] [--wait-ms MS]
   sortsynth stats   [--addr HOST:PORT]
@@ -171,15 +178,53 @@ fn synth(args: &ParsedArgs) -> Result<(), ArgsError> {
     if let Some(secs) = args.num::<f64>("timeout")? {
         cfg = cfg.search_budget(SearchBudget::with_timeout(Duration::from_secs_f64(secs)));
     }
+    if let Some(limit) = args.options.get("mem-limit") {
+        cfg = cfg.mem_budget_bytes(parse_bytes(limit)?);
+    }
+    if let Some(dir) = args.options.get("spill-dir") {
+        cfg = cfg.spill_dir(PathBuf::from(dir));
+    }
+    if let Some(dir) = args.options.get("resume") {
+        cfg = cfg.resume_from(PathBuf::from(dir));
+    }
+    match args.options.get("key-width").map(String::as_str) {
+        None | Some("64") => {}
+        Some("128") => cfg = cfg.key_width(KeyWidth::U128),
+        Some(other) => {
+            return Err(ArgsError::new(format!(
+                "--key-width: `{other}` (expected 64 or 128)"
+            )))
+        }
+    }
+    // The arena sizing table lives next to the kernel cache so repeat
+    // queries pre-size their arenas instead of growing into them.
+    if let Some(dir) = args.options.get("cache-dir") {
+        cfg = cfg.sizing_path(PathBuf::from(dir).join("sizing.txt"));
+    }
     if let Some(recorder) = flight_recorder(args)? {
         cfg = cfg.progress_hook(sortsynth_search::ProgressHook::new(move |p| {
             // Recording is best-effort: a full disk must not fail the synth.
             let _ = recorder.record(&p.recorder_frame());
         }));
     }
-    let result = synthesize(&cfg);
+    let result = try_synthesize(&cfg).map_err(|e| ArgsError::new(e.to_string()))?;
     if result.stats.distance_table_skipped {
         warn!("# note: machine too large for the distance table; searched with degraded pruning");
+    }
+    if result.stats.resumed_frontier_states > 0 {
+        info!(
+            "# resumed {} frontier states from the journal",
+            result.stats.resumed_frontier_states
+        );
+    }
+    if result.stats.spilled_bytes > 0 {
+        info!(
+            "# spilled {} to disk ({} open states, {} closed entries, {} DDD duplicates)",
+            fmt_bytes(result.stats.spilled_bytes),
+            result.stats.spilled_open,
+            result.stats.spilled_closed,
+            result.stats.ddd_dedup_hits
+        );
     }
     if result.stats.dead_write_pruned > 0 {
         info!(
@@ -611,6 +656,11 @@ fn serve(args: &ParsedArgs) -> Result<(), ArgsError> {
         // name one (an empty roster means "all arms" to the server).
         portfolio: args.flag("portfolio").then(Vec::new),
         record_dir: args.options.get("record-dir").map(PathBuf::from),
+        search_mem_limit: args
+            .options
+            .get("search-mem-limit")
+            .map(|v| parse_bytes(v))
+            .transpose()?,
     };
     let server = Server::bind(config).map_err(|e| ArgsError::new(format!("bind: {e}")))?;
     // Tests (and scripts using port 0) parse this line for the bound port.
@@ -687,7 +737,12 @@ fn progress_line(frame: &sortsynth_service::ProgressReply, nodes_per_sec: f64) -
         Some(f) => f.to_string(),
         None => "-".to_string(),
     };
-    let mem: u64 = frame.shards.iter().map(|s| s.arena_bytes).sum();
+    // Parallel runs report per-shard arenas; sequential (and spilling) runs
+    // report a whole-search resident estimate instead.
+    let mem: u64 = match frame.resident_bytes {
+        0 => frame.shards.iter().map(|s| s.arena_bytes).sum(),
+        resident => resident,
+    };
     let mut line = format!(
         "t={:>7.2}s  expanded={:<10} open={:<9} f={:<3} nodes/s={:<9.0} mem={}",
         frame.elapsed_millis as f64 / 1000.0,
@@ -697,6 +752,9 @@ fn progress_line(frame: &sortsynth_service::ProgressReply, nodes_per_sec: f64) -
         nodes_per_sec,
         fmt_bytes(mem),
     );
+    if frame.spilled_bytes > 0 {
+        line.push_str(&format!("  spilled={}", fmt_bytes(frame.spilled_bytes)));
+    }
     if frame.finished {
         line.push_str(&format!(
             "  [finished: {}]",
@@ -942,6 +1000,15 @@ fn inspect_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
             ("dedup_hits", Value::UInt(last.dedup_hits)),
             ("dead_write_pruned", Value::UInt(last.dead_write_pruned)),
             ("value_flow_pruned", Value::UInt(last.value_flow_pruned)),
+            ("spilled_open", Value::UInt(last.spilled_open)),
+            ("spilled_closed", Value::UInt(last.spilled_closed)),
+            ("ddd_dedup_hits", Value::UInt(last.ddd_dedup_hits)),
+            (
+                "resumed_frontier_states",
+                Value::UInt(last.resumed_frontier_states),
+            ),
+            ("resident_bytes", Value::UInt(last.resident_bytes)),
+            ("spilled_bytes", Value::UInt(last.spilled_bytes)),
             (
                 "distance_table_skipped",
                 Value::Bool(last.distance_table_skipped),
@@ -992,6 +1059,21 @@ fn inspect_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
     if last.distance_table_skipped {
         println!("distance table: skipped (degraded pruning)");
     }
+    if last.resumed_frontier_states > 0 {
+        println!("resumed: {} frontier states", last.resumed_frontier_states);
+    }
+    if last.resident_bytes > 0 {
+        println!("resident: {}", fmt_bytes(last.resident_bytes));
+    }
+    if last.spilled_bytes > 0 {
+        println!(
+            "spill: {} written ({} open states, {} closed entries, {} DDD dedups)",
+            fmt_bytes(last.spilled_bytes),
+            last.spilled_open,
+            last.spilled_closed,
+            last.ddd_dedup_hits
+        );
+    }
     for (i, shard) in shard_peaks.iter().enumerate() {
         println!(
             "shard {i}: peak {} states, {} arena, open depth {}",
@@ -1032,6 +1114,16 @@ fn top_cmd(args: &ParsedArgs) -> Result<(), ArgsError> {
             frame.dead_write_pruned,
             frame.value_flow_pruned
         );
+        if frame.spilled_bytes > 0 || frame.resumed_frontier_states > 0 {
+            println!(
+                "spill: {} on disk ({} open, {} closed, {} DDD dedups), resumed {}",
+                fmt_bytes(frame.spilled_bytes),
+                frame.spilled_open,
+                frame.spilled_closed,
+                frame.ddd_dedup_hits,
+                frame.resumed_frontier_states
+            );
+        }
         for (i, shard) in frame.shards.iter().enumerate() {
             println!(
                 "shard {i}: {} states, {} arena, open depth {}",

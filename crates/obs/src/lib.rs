@@ -26,6 +26,11 @@
 //!   on-disk ring of search progress snapshots ([`FlightRecorder`]) with a
 //!   torn-tail-tolerant reader ([`read_recording`]) for post-mortem
 //!   analysis of long searches.
+//! * [`segment`] — generic checksummed append-only record segments (the
+//!   WAL discipline the cache store and flight recorder share), with both
+//!   a tolerant reader (drop the torn tail) and a strict reader (any
+//!   defect inside a recorded valid length is a hard error) — the search
+//!   engine's external-memory spill tier builds on the strict flavor.
 //!
 //! Overhead is designed to vanish when nobody is watching: metric updates
 //! are single relaxed atomic operations, span and event emission first check
@@ -62,6 +67,7 @@ pub mod metrics;
 pub mod names;
 pub mod profile;
 pub mod recorder;
+pub mod segment;
 pub mod trace;
 
 pub use level::{log_emit, log_enabled, log_level, set_log_level, Level};

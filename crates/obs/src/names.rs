@@ -98,6 +98,26 @@ pub const SEARCH_BUCKET_SCANS_TOTAL: &str = "sortsynth_search_bucket_scans_total
 pub const SEARCH_SWAR_BATCHES_TOTAL: &str = "sortsynth_search_swar_batches_total";
 /// Bytes of assignment storage held by the last run's state arena(s).
 pub const SEARCH_ARENA_BYTES: &str = "sortsynth_search_arena_bytes";
+/// Estimated resident search-bookkeeping bytes (arena + closed map +
+/// per-node metadata) of the last run.
+pub const SEARCH_RESIDENT_BYTES: &str = "sortsynth_search_resident_bytes";
+/// Bytes held in external-memory spill segments by the last run.
+pub const SEARCH_SPILLED_BYTES: &str = "sortsynth_search_spilled_bytes";
+/// Spill segment files held by the last run.
+pub const SEARCH_SPILL_SEGMENTS: &str = "sortsynth_search_spill_segments";
+/// Frontier states spilled to disk segments.
+pub const SEARCH_SPILLED_OPEN_TOTAL: &str = "sortsynth_search_spilled_open_total";
+/// Closed-set entries evicted to sorted disk segments.
+pub const SEARCH_SPILLED_CLOSED_TOTAL: &str = "sortsynth_search_spilled_closed_total";
+/// Duplicates caught by delayed duplicate detection against spilled
+/// closed segments.
+pub const SEARCH_DDD_DEDUP_HITS_TOTAL: &str = "sortsynth_search_ddd_dedup_hits_total";
+/// Frontier states restored from resume journals.
+pub const SEARCH_RESUMED_FRONTIER_TOTAL: &str = "sortsynth_search_resumed_frontier_total";
+/// Latency of spill segment writes, seconds.
+pub const SEARCH_SPILL_WRITE_SECONDS: &str = "sortsynth_search_spill_write_seconds";
+/// Latency of spill segment reads (frontier streams + DDD joins), seconds.
+pub const SEARCH_SPILL_READ_SECONDS: &str = "sortsynth_search_spill_read_seconds";
 
 // --- portfolio ---
 /// Portfolio races executed (one per query reaching the executor).
@@ -137,6 +157,24 @@ pub const SAT_RESTARTS_TOTAL: &str = "sortsynth_sat_restarts_total";
 pub const SAT_LEARNED_CLAUSES_TOTAL: &str = "sortsynth_sat_learned_clauses_total";
 /// CEGIS refinement iterations across all synthesis calls.
 pub const CEGIS_ITERATIONS_TOTAL: &str = "sortsynth_cegis_iterations_total";
+
+/// The spill segment write-latency histogram (registered on first use).
+pub fn search_spill_write_seconds() -> Arc<Histogram> {
+    registry().histogram(
+        SEARCH_SPILL_WRITE_SECONDS,
+        "Spill segment write latency in seconds.",
+        LATENCY_BUCKETS,
+    )
+}
+
+/// The spill segment read-latency histogram (registered on first use).
+pub fn search_spill_read_seconds() -> Arc<Histogram> {
+    registry().histogram(
+        SEARCH_SPILL_READ_SECONDS,
+        "Spill segment read latency in seconds.",
+        LATENCY_BUCKETS,
+    )
+}
 
 /// The end-to-end request latency histogram (registered on first use).
 pub fn request_seconds() -> Arc<Histogram> {
@@ -314,6 +352,36 @@ pub fn register_well_known() {
         SEARCH_ARENA_BYTES,
         "Assignment bytes held by the last run's state arena(s).",
     );
+    r.gauge(
+        SEARCH_RESIDENT_BYTES,
+        "Estimated resident search-bookkeeping bytes of the last run.",
+    );
+    r.gauge(
+        SEARCH_SPILLED_BYTES,
+        "Bytes held in external-memory spill segments by the last run.",
+    );
+    r.gauge(
+        SEARCH_SPILL_SEGMENTS,
+        "Spill segment files held by the last run.",
+    );
+    r.counter(
+        SEARCH_SPILLED_OPEN_TOTAL,
+        "Frontier states spilled to disk segments.",
+    );
+    r.counter(
+        SEARCH_SPILLED_CLOSED_TOTAL,
+        "Closed-set entries evicted to sorted disk segments.",
+    );
+    r.counter(
+        SEARCH_DDD_DEDUP_HITS_TOTAL,
+        "Duplicates caught by delayed duplicate detection.",
+    );
+    r.counter(
+        SEARCH_RESUMED_FRONTIER_TOTAL,
+        "Frontier states restored from resume journals.",
+    );
+    search_spill_write_seconds();
+    search_spill_read_seconds();
 
     r.counter(
         PORTFOLIO_RACES_TOTAL,
@@ -396,6 +464,15 @@ mod tests {
             SEARCH_STALE_POPS_TOTAL,
             SEARCH_BUCKET_SCANS_TOTAL,
             SEARCH_SWAR_BATCHES_TOTAL,
+            SEARCH_RESIDENT_BYTES,
+            SEARCH_SPILLED_BYTES,
+            SEARCH_SPILL_SEGMENTS,
+            SEARCH_SPILLED_OPEN_TOTAL,
+            SEARCH_SPILLED_CLOSED_TOTAL,
+            SEARCH_DDD_DEDUP_HITS_TOTAL,
+            SEARCH_RESUMED_FRONTIER_TOTAL,
+            SEARCH_SPILL_WRITE_SECONDS,
+            SEARCH_SPILL_READ_SECONDS,
             RECORDER_FRAMES_TOTAL,
             WATCH_FRAMES_TOTAL,
             "sortsynth_phase_step_viability_nanos_total",

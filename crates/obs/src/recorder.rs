@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! header:  "SSFLIGHT"  (8 bytes magic)
-//!          version     (u32 LE, currently 1)
+//!          version     (u32 LE, currently 2; v1 recordings stay readable)
 //! frame*:  seq         (u64 LE — monotonically increasing frame number)
 //!          payload_len (u32 LE)
 //!          checksum    (u64 LE — FNV-1a of the payload bytes)
@@ -38,10 +38,17 @@
 //! f_bound u64 (u64::MAX = none)
 //! viability_pruned u64 | cut_pruned u64 | dedup_hits u64
 //! dead_write_pruned u64 | value_flow_pruned u64
+//! [v2+] spilled_open u64 | spilled_closed u64 | ddd_dedup_hits u64
+//! [v2+] resumed_frontier_states u64 | resident_bytes u64 | spilled_bytes u64
 //! flags u8 (bit0 finished, bit1 distance_table_skipped)
 //! outcome_len u8 | outcome bytes (UTF-8, empty = none)
 //! shard_count u32 | shard* { interned_states u64, arena_bytes u64, open_depth u64 }
 //! ```
+//!
+//! Version 2 inserted the six external-memory counters after the v1 fixed
+//! block; the reader keys the layout off the segment header's version and
+//! decodes v1 recordings with those fields zeroed, so old recordings stay
+//! inspectable.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Write};
@@ -50,8 +57,10 @@ use std::sync::Mutex;
 
 /// Segment magic; eight bytes so the header is naturally aligned.
 pub const MAGIC: &[u8; 8] = b"SSFLIGHT";
-/// Format version. Bumping it invalidates existing recordings.
-pub const VERSION: u32 = 1;
+/// Format version written by new recordings.
+pub const VERSION: u32 = 2;
+/// Oldest segment version the reader still decodes.
+pub const MIN_VERSION: u32 = 1;
 /// Hard cap on one frame payload; anything larger is corruption.
 pub const MAX_PAYLOAD: u32 = 1024 * 1024;
 /// Default live-segment byte budget before rotation (per segment; a
@@ -99,6 +108,20 @@ pub struct Frame {
     pub dead_write_pruned: u64,
     /// Value-flow cut prunes so far.
     pub value_flow_pruned: u64,
+    /// Frontier states spilled to disk segments so far (v2; 0 in v1
+    /// recordings).
+    pub spilled_open: u64,
+    /// Closed-set entries evicted to sorted disk segments so far (v2).
+    pub spilled_closed: u64,
+    /// Duplicates caught by delayed duplicate detection against spilled
+    /// closed segments (v2).
+    pub ddd_dedup_hits: u64,
+    /// Frontier states restored from a resume journal (v2).
+    pub resumed_frontier_states: u64,
+    /// Estimated resident search-bookkeeping bytes (v2).
+    pub resident_bytes: u64,
+    /// Bytes currently held in spill segments (v2).
+    pub spilled_bytes: u64,
     /// Whether the distance table was skipped (oversized machine).
     pub distance_table_skipped: bool,
     /// Whether this is the run's final snapshot.
@@ -134,6 +157,12 @@ impl Frame {
             self.dedup_hits,
             self.dead_write_pruned,
             self.value_flow_pruned,
+            self.spilled_open,
+            self.spilled_closed,
+            self.ddd_dedup_hits,
+            self.resumed_frontier_states,
+            self.resident_bytes,
+            self.spilled_bytes,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -151,13 +180,14 @@ impl Frame {
         }
     }
 
-    fn decode(seq: u64, payload: &[u8]) -> Option<Frame> {
+    fn decode(seq: u64, payload: &[u8], version: u32) -> Option<Frame> {
         let mut cur = Cursor {
             buf: payload,
             at: 0,
         };
-        let mut fixed = [0u64; 10];
-        for slot in &mut fixed {
+        let mut fixed = [0u64; 16];
+        let fixed_count = if version >= 2 { 16 } else { 10 };
+        for slot in fixed.iter_mut().take(fixed_count) {
             *slot = cur.u64()?;
         }
         let flags = cur.u8()?;
@@ -193,6 +223,12 @@ impl Frame {
             dedup_hits: fixed[7],
             dead_write_pruned: fixed[8],
             value_flow_pruned: fixed[9],
+            spilled_open: fixed[10],
+            spilled_closed: fixed[11],
+            ddd_dedup_hits: fixed[12],
+            resumed_frontier_states: fixed[13],
+            resident_bytes: fixed[14],
+            spilled_bytes: fixed[15],
             distance_table_skipped: flags & 0b10 != 0,
             finished: flags & 0b1 != 0,
             outcome,
@@ -377,10 +413,12 @@ fn read_segment(path: &Path, recording: &mut Recording) -> io::Result<bool> {
     recording.segments += 1;
     let total = file.metadata()?.len();
     let mut header = [0u8; 12];
-    if !matches!(read_exact_or_eof(&mut file, &mut header), Ok(true))
-        || &header[..8] != MAGIC
-        || u32::from_le_bytes(header[8..12].try_into().unwrap()) != VERSION
-    {
+    let version = if matches!(read_exact_or_eof(&mut file, &mut header), Ok(true)) {
+        u32::from_le_bytes(header[8..12].try_into().unwrap())
+    } else {
+        0
+    };
+    if &header[..8] != MAGIC || !(MIN_VERSION..=VERSION).contains(&version) {
         recording.rejected_tail = true;
         recording.lost_bytes += total;
         return Ok(true);
@@ -410,7 +448,7 @@ fn read_segment(path: &Path, recording: &mut Recording) -> io::Result<bool> {
             recording.rejected_tail = true;
             break;
         }
-        let Some(frame) = Frame::decode(seq, &payload) else {
+        let Some(frame) = Frame::decode(seq, &payload, version) else {
             recording.rejected_tail = true;
             break;
         };
@@ -481,6 +519,12 @@ mod tests {
             dedup_hits: 1,
             dead_write_pruned: 0,
             value_flow_pruned: 4,
+            spilled_open: expanded / 3,
+            spilled_closed: expanded / 5,
+            ddd_dedup_hits: 6,
+            resumed_frontier_states: 0,
+            resident_bytes: expanded * 64,
+            spilled_bytes: expanded * 16,
             distance_table_skipped: false,
             finished: false,
             outcome: None,
@@ -521,6 +565,60 @@ mod tests {
         assert_eq!(last.shards.len(), 2);
         assert_eq!(last.shards[0].arena_bytes, 40_000);
         assert_eq!(last.f_bound, Some(5));
+        assert_eq!(last.spilled_open, 400 / 3);
+        assert_eq!(last.resident_bytes, 400 * 64);
+    }
+
+    /// A v1 recording (written before the external-memory counters existed)
+    /// must still read back cleanly, with the v2 fields zeroed.
+    #[test]
+    fn v1_recording_reads_with_zeroed_spill_fields() {
+        let path = tmp("v1");
+        // Hand-encode a v1 segment: v1 header + one frame whose payload is
+        // the 10-field fixed block, flags, outcome, and one shard.
+        let mut payload = Vec::new();
+        for v in [10u64, 20, 30, 40, u64::MAX, 1, 2, 3, 4, 5] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        payload.push(0b01); // finished
+        let outcome = b"Solved";
+        payload.push(outcome.len() as u8);
+        payload.extend_from_slice(outcome);
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        for v in [7u64, 700, 9] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // seq
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        fs::write(&path, &bytes).unwrap();
+        let recording = read_recording(&path).unwrap();
+        assert_eq!(recording.frames.len(), 1);
+        assert!(!recording.rejected_tail && recording.lost_bytes == 0);
+        let f = &recording.frames[0];
+        assert_eq!(
+            (f.elapsed_micros, f.expanded, f.generated, f.open),
+            (10, 20, 30, 40)
+        );
+        assert_eq!(f.f_bound, None);
+        assert_eq!(f.value_flow_pruned, 5);
+        assert!(f.finished);
+        assert_eq!(f.outcome.as_deref(), Some("Solved"));
+        assert_eq!(f.shards.len(), 1);
+        assert_eq!(f.shards[0].arena_bytes, 700);
+        assert_eq!(
+            (f.spilled_open, f.spilled_closed, f.ddd_dedup_hits),
+            (0, 0, 0),
+            "v1 frames decode with spill fields zeroed"
+        );
+        assert_eq!(
+            (f.resumed_frontier_states, f.resident_bytes, f.spilled_bytes),
+            (0, 0, 0)
+        );
     }
 
     #[test]

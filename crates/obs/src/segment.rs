@@ -1,0 +1,438 @@
+//! Generic checksummed append-only record segments — the WAL discipline
+//! shared by the kernel cache's store, the flight recorder, and the search
+//! engine's external-memory spill tier.
+//!
+//! A segment is a header (caller-chosen 8-byte magic + version) followed by
+//! length-prefixed records, each guarded by an FNV-1a checksum:
+//!
+//! ```text
+//! header:  magic       (8 bytes)
+//!          version     (u32 LE)
+//! record*: payload_len (u32 LE)
+//!          checksum    (u64 LE — FNV-1a of the payload bytes)
+//!          payload
+//! ```
+//!
+//! Every append is one `write_all` + flush, so a crash tears at most the
+//! final record. Two read disciplines exist, matching the two consumers:
+//!
+//! * **Tolerant** ([`SegmentReader::next`] after plain `open`): a torn or
+//!   corrupt tail ends the stream, keeping the intact prefix — the flight
+//!   recorder's behavior for best-effort post-mortems.
+//! * **Strict** ([`SegmentReader::open_strict`] with a known valid length):
+//!   any checksum mismatch, short record, or length disagreement *within
+//!   the recorded valid length* is a hard [`SegmentError`] — the spill
+//!   tier's behavior, because a resume journal that references bytes it
+//!   cannot trust must fail loudly, never silently replay.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::recorder::fnv1a;
+
+/// Hard cap on one record payload; anything larger is corruption.
+pub const MAX_RECORD: u32 = 64 * 1024 * 1024;
+
+/// Why a strict segment read failed.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header's magic or version did not match.
+    BadHeader { path: PathBuf },
+    /// A record's checksum did not match its payload, or a record was torn
+    /// inside the segment's recorded valid length.
+    Checksum { path: PathBuf, at: u64 },
+    /// The file is shorter than the recorded valid length.
+    Truncated {
+        path: PathBuf,
+        expected: u64,
+        actual: u64,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Io(e) => write!(f, "segment i/o error: {e}"),
+            SegmentError::BadHeader { path } => {
+                write!(f, "bad segment header in {}", path.display())
+            }
+            SegmentError::Checksum { path, at } => write!(
+                f,
+                "segment checksum mismatch in {} at byte {at} (torn or corrupt record)",
+                path.display()
+            ),
+            SegmentError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "segment {} truncated: {actual} bytes on disk, {expected} recorded",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<io::Error> for SegmentError {
+    fn from(e: io::Error) -> Self {
+        SegmentError::Io(e)
+    }
+}
+
+/// Appends checksummed records to a fresh segment file.
+pub struct SegmentWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+    bytes: u64,
+    records: u64,
+}
+
+impl SegmentWriter {
+    /// Creates (truncating) a segment at `path` with the given magic and
+    /// version.
+    pub fn create(path: impl Into<PathBuf>, magic: &[u8; 8], version: u32) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path)?;
+        let mut file = BufWriter::new(file);
+        file.write_all(magic)?;
+        file.write_all(&version.to_le_bytes())?;
+        file.flush()?;
+        Ok(SegmentWriter {
+            path,
+            file,
+            bytes: 12,
+            records: 0,
+        })
+    }
+
+    /// Appends one record; flushed before returning so the record survives
+    /// any later crash.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        assert!(
+            payload.len() as u64 <= MAX_RECORD as u64,
+            "oversized record"
+        );
+        self.file.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.file.write_all(&fnv1a(payload).to_le_bytes())?;
+        self.file.write_all(payload)?;
+        self.file.flush()?;
+        self.bytes += 12 + payload.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Bytes written so far (header + records) — the valid length a journal
+    /// records for strict re-reads.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Streams records back out of a segment.
+#[derive(Debug)]
+pub struct SegmentReader {
+    path: PathBuf,
+    file: BufReader<File>,
+    consumed: u64,
+    valid_len: Option<u64>,
+    strict: bool,
+}
+
+impl SegmentReader {
+    /// Opens a segment tolerantly: a torn tail ends the stream without an
+    /// error.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        magic: &[u8; 8],
+        version: u32,
+    ) -> Result<Self, SegmentError> {
+        SegmentReader::new(path.into(), magic, version, None, false)
+    }
+
+    /// Opens a segment strictly against a recorded valid length: every byte
+    /// up to `valid_len` must parse and checksum, or the read fails.
+    pub fn open_strict(
+        path: impl Into<PathBuf>,
+        magic: &[u8; 8],
+        version: u32,
+        valid_len: u64,
+    ) -> Result<Self, SegmentError> {
+        SegmentReader::new(path.into(), magic, version, Some(valid_len), true)
+    }
+
+    fn new(
+        path: PathBuf,
+        magic: &[u8; 8],
+        version: u32,
+        valid_len: Option<u64>,
+        strict: bool,
+    ) -> Result<Self, SegmentError> {
+        let file = File::open(&path)?;
+        if strict {
+            let actual = file.metadata()?.len();
+            let expected = valid_len.unwrap_or(0);
+            if actual < expected {
+                return Err(SegmentError::Truncated {
+                    path,
+                    expected,
+                    actual,
+                });
+            }
+        }
+        let mut file = BufReader::new(file);
+        let mut header = [0u8; 12];
+        let ok = matches!(read_exact_or_eof(&mut file, &mut header), Ok(true))
+            && &header[..8] == magic
+            && u32::from_le_bytes(header[8..12].try_into().unwrap()) == version;
+        if !ok {
+            return Err(SegmentError::BadHeader { path });
+        }
+        Ok(SegmentReader {
+            path,
+            file,
+            consumed: 12,
+            valid_len,
+            strict,
+        })
+    }
+
+    /// The next record's payload, `Ok(None)` at the (valid) end of the
+    /// segment. In strict mode any defect before the valid length is an
+    /// error; in tolerant mode it ends the stream.
+    // Not `Iterator`: the fallible `Result<Option<_>>` shape would have to
+    // flip to `Option<Result<_>>` and every caller wants `?` on the outside.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Vec<u8>>, SegmentError> {
+        if let Some(valid) = self.valid_len {
+            if self.consumed >= valid {
+                return Ok(None);
+            }
+        }
+        let mut head = [0u8; 12];
+        match read_exact_or_eof(&mut self.file, &mut head) {
+            Ok(false) if self.valid_len.is_none() => return Ok(None),
+            Ok(true) => {}
+            _ => return self.defect(),
+        }
+        let payload_len = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        let checksum = u64::from_le_bytes(head[4..12].try_into().unwrap());
+        if payload_len > MAX_RECORD {
+            return self.defect();
+        }
+        if let Some(valid) = self.valid_len {
+            if self.consumed + 12 + payload_len as u64 > valid {
+                return self.defect();
+            }
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        if !matches!(read_exact_or_eof(&mut self.file, &mut payload), Ok(true))
+            || fnv1a(&payload) != checksum
+        {
+            return self.defect();
+        }
+        self.consumed += 12 + payload.len() as u64;
+        Ok(Some(payload))
+    }
+
+    fn defect(&self) -> Result<Option<Vec<u8>>, SegmentError> {
+        if self.strict {
+            Err(SegmentError::Checksum {
+                path: self.path.clone(),
+                at: self.consumed,
+            })
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+fn read_exact_or_eof(file: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(ErrorKind::UnexpectedEof, "torn record"))
+                }
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Atomically replaces `path` with `payload` wrapped in the segment format
+/// (header + checksummed records), via a temp file and rename — the
+/// journal-checkpoint primitive. Payloads larger than [`MAX_RECORD`] are
+/// split across consecutive records, so a checkpoint's size is bounded only
+/// by the filesystem, not the per-record cap.
+pub fn write_atomic(path: &Path, magic: &[u8; 8], version: u32, payload: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut w = SegmentWriter::create(&tmp, magic, version)?;
+        if payload.is_empty() {
+            w.append(payload)?;
+        }
+        for chunk in payload.chunks(MAX_RECORD as usize) {
+            w.append(chunk)?;
+        }
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads back a [`write_atomic`] file strictly: at least one intact record,
+/// concatenated in order (one per [`MAX_RECORD`]-sized chunk of the
+/// original payload).
+pub fn read_atomic(path: &Path, magic: &[u8; 8], version: u32) -> Result<Vec<u8>, SegmentError> {
+    let len = fs::metadata(path).map_err(SegmentError::Io)?.len();
+    let mut r = SegmentReader::open_strict(path, magic, version, len)?;
+    let mut payload = r.next()?.ok_or(SegmentError::Checksum {
+        path: path.to_path_buf(),
+        at: 12,
+    })?;
+    while let Some(chunk) = r.next()? {
+        payload.extend_from_slice(&chunk);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ssseg-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("seg.bin")
+    }
+
+    const MAGIC: &[u8; 8] = b"SSTESTSG";
+
+    #[test]
+    fn round_trip_and_valid_length() {
+        let path = tmp("rt");
+        let mut w = SegmentWriter::create(&path, MAGIC, 1).unwrap();
+        w.append(b"alpha").unwrap();
+        w.append(b"beta").unwrap();
+        let valid = w.bytes();
+        assert_eq!(w.records(), 2);
+        drop(w);
+        let mut r = SegmentReader::open_strict(&path, MAGIC, 1, valid).unwrap();
+        assert_eq!(r.next().unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(r.next().unwrap().as_deref(), Some(&b"beta"[..]));
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn strict_read_reports_bit_flip() {
+        let path = tmp("flip");
+        let mut w = SegmentWriter::create(&path, MAGIC, 1).unwrap();
+        w.append(b"payload-bytes").unwrap();
+        let valid = w.bytes();
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 3;
+        bytes[at] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let mut r = SegmentReader::open_strict(&path, MAGIC, 1, valid).unwrap();
+        let err = r.next().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn strict_read_reports_truncation() {
+        let path = tmp("trunc");
+        let mut w = SegmentWriter::create(&path, MAGIC, 1).unwrap();
+        w.append(b"will be cut").unwrap();
+        let valid = w.bytes();
+        drop(w);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let err = SegmentReader::open_strict(&path, MAGIC, 1, valid).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn tolerant_read_drops_torn_tail() {
+        let path = tmp("torn");
+        let mut w = SegmentWriter::create(&path, MAGIC, 1).unwrap();
+        w.append(b"kept").unwrap();
+        w.append(b"torn-away").unwrap();
+        drop(w);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let mut r = SegmentReader::open(&path, MAGIC, 1).unwrap();
+        assert_eq!(r.next().unwrap().as_deref(), Some(&b"kept"[..]));
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_detects_corruption() {
+        let path = tmp("atomic");
+        write_atomic(&path, MAGIC, 3, b"journal-state").unwrap();
+        assert_eq!(read_atomic(&path, MAGIC, 3).unwrap(), b"journal-state");
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(read_atomic(&path, MAGIC, 3).is_err());
+    }
+
+    #[test]
+    fn atomic_read_concatenates_chunked_records() {
+        // `write_atomic` splits payloads over MAX_RECORD into consecutive
+        // records; the reader must reassemble them in order. Exercised here
+        // with hand-written records so the test doesn't shuffle 64 MiB.
+        let path = tmp("chunked");
+        let mut w = SegmentWriter::create(&path, MAGIC, 3).unwrap();
+        w.append(b"journal-").unwrap();
+        w.append(b"state-").unwrap();
+        w.append(b"tail").unwrap();
+        drop(w);
+        assert_eq!(read_atomic(&path, MAGIC, 3).unwrap(), b"journal-state-tail");
+    }
+
+    #[test]
+    fn wrong_magic_is_a_bad_header() {
+        let path = tmp("magic");
+        let mut w = SegmentWriter::create(&path, MAGIC, 1).unwrap();
+        w.append(b"x").unwrap();
+        drop(w);
+        assert!(matches!(
+            SegmentReader::open(&path, b"WRONGMGC", 1),
+            Err(SegmentError::BadHeader { .. })
+        ));
+    }
+}

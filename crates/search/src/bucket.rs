@@ -109,6 +109,10 @@ pub struct BucketQueue {
     cursor: usize,
     len: usize,
     scans: u64,
+    /// Initial id capacity of freshly created lanes (0 = grow on demand).
+    /// Sized from the sizing table's recorded peak open depth so the hot
+    /// lanes never pay growth reallocations mid-layer.
+    lane_hint: usize,
 }
 
 impl BucketQueue {
@@ -123,6 +127,16 @@ impl BucketQueue {
     pub fn with_f_hint(hint: usize) -> Self {
         BucketQueue {
             buckets: Vec::with_capacity(hint),
+            ..BucketQueue::default()
+        }
+    }
+
+    /// [`BucketQueue::with_f_hint`] plus a per-lane id-capacity hint for
+    /// freshly created lanes.
+    pub fn with_hints(f_hint: usize, lane_hint: usize) -> Self {
+        BucketQueue {
+            buckets: Vec::with_capacity(f_hint),
+            lane_hint,
             ..BucketQueue::default()
         }
     }
@@ -154,7 +168,11 @@ impl BucketQueue {
         let bucket = &mut self.buckets[fi];
         let gi = g as usize;
         if gi >= bucket.lanes.len() {
-            bucket.lanes.resize_with(gi + 1, Lane::default);
+            let hint = self.lane_hint;
+            bucket.lanes.resize_with(gi + 1, || Lane {
+                ids: Vec::with_capacity(hint),
+                next: 0,
+            });
         }
         let lane = &mut bucket.lanes[gi];
         if lane.is_drained() {
@@ -242,9 +260,15 @@ impl OpenQueue {
     /// An empty queue of the configured kind, pre-sized (bucket variant)
     /// for f-values below `f_hint`.
     pub(crate) fn new(kind: OpenList, f_hint: usize) -> Self {
+        OpenQueue::with_hints(kind, f_hint, 0)
+    }
+
+    /// [`OpenQueue::new`] plus a per-lane capacity hint (bucket variant
+    /// only), from the sizing table's recorded peak open depth.
+    pub(crate) fn with_hints(kind: OpenList, f_hint: usize, lane_hint: usize) -> Self {
         match kind {
             OpenList::Heap => OpenQueue::Heap(BinaryHeap::new()),
-            OpenList::Bucket => OpenQueue::Bucket(BucketQueue::with_f_hint(f_hint)),
+            OpenList::Bucket => OpenQueue::Bucket(BucketQueue::with_hints(f_hint, lane_hint)),
         }
     }
 
@@ -352,6 +376,18 @@ mod tests {
         // The (3, 2) lane was fully drained each round, so its buffer was
         // reset rather than accumulating 6400 consumed ids.
         assert!(q.buckets[3].lanes[2].ids.capacity() <= 64);
+    }
+
+    #[test]
+    fn lane_hint_presizes_fresh_lanes() {
+        let mut q = BucketQueue::with_hints(4, 32);
+        q.push(3, 2, 1);
+        assert!(q.buckets[3].lanes[2].ids.capacity() >= 32);
+        // Unhinted queues keep lanes lazily sized (see
+        // `drained_lanes_release_their_entries`).
+        let mut q = BucketQueue::new();
+        q.push(3, 2, 1);
+        assert!(q.buckets[3].lanes[2].ids.capacity() <= 8);
     }
 
     #[test]

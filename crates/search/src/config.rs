@@ -1,11 +1,45 @@
 //! Synthesis configuration: strategy, heuristics, cuts, and limits.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use sortsynth_isa::Machine;
 
 use crate::budget::SearchBudget;
 use crate::progress::ProgressHook;
+
+/// Width of the closed/open-set key derived from the 128-bit content hash
+/// ([`crate::state::key_of`]).
+///
+/// The narrow width xor-folds the two 64-bit halves — the exact fold the
+/// identity hasher already uses for bucket selection — halving closed-set
+/// bytes per state. Soundness is pinned by the `key_width` collision fuzz
+/// suite (≥10M random state pairs per ISA find no fold collision between
+/// distinct states) and by the u64-vs-u128 differential matrix asserting
+/// identical costs and prune counters; the analytic collision probability
+/// at n = 4 scale (~2.6e5 states) is ≈ 1.8e-9 per run. The wide width
+/// stays available as the differential reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyWidth {
+    /// 64-bit folded keys — the production default (16-byte map entries).
+    #[default]
+    U64,
+    /// Full 128-bit keys — the differential reference (32-byte map
+    /// entries).
+    U128,
+}
+
+impl KeyWidth {
+    /// Bytes of one `key → id` closed-map entry (key + `u32` id, padded to
+    /// the key's alignment) — the per-state closed-set cost the
+    /// `memory_scale` bench reports.
+    pub fn entry_bytes(self) -> u64 {
+        match self {
+            KeyWidth::U64 => 16,
+            KeyWidth::U128 => 32,
+        }
+    }
+}
 
 /// Open-state selection strategy (§3.1).
 ///
@@ -200,6 +234,36 @@ pub struct SynthesisConfig {
     /// deterministically. Ignored by the parallel engine.
     #[doc(hidden)]
     pub panic_after: Option<u64>,
+    /// Closed/open-set key width (see [`KeyWidth`]). `U64` by default;
+    /// `U128` remains as the differential reference.
+    pub key_width: KeyWidth,
+    /// Approximate resident-memory budget for search bookkeeping (arena
+    /// spans + closed map + per-node metadata). When set, the sequential
+    /// layered engine activates the external-memory tier: frontier spans
+    /// over budget spill to checksummed append-only segments under
+    /// [`SynthesisConfig::spill_dir`], expanded layers are compacted out of
+    /// the arena, old closed-set entries are evicted to sorted segments
+    /// with delayed duplicate detection on re-read, and a journal
+    /// checkpoint after every completed layer makes the run resumable. The
+    /// A* and parallel engines ignore the budget (documented limitation of
+    /// this tier).
+    pub mem_budget_bytes: Option<u64>,
+    /// Directory for spill segments and the resume journal. Defaults to a
+    /// fresh per-run directory under the system temp dir when a budget is
+    /// set without an explicit location.
+    pub spill_dir: Option<PathBuf>,
+    /// Resume a killed budgeted search from the journal in this directory
+    /// (the run's `spill_dir`). The journal's config fingerprint must
+    /// match; segment checksums are verified before any state is trusted —
+    /// a torn or corrupt journal/segment is reported as an error, never
+    /// silently replayed. Use [`crate::try_synthesize`] to observe the
+    /// error.
+    pub resume_dir: Option<PathBuf>,
+    /// Persisted per-(n, scratch, ISA, threads) arena sizing table. When
+    /// the file has a row for this run's shape, arenas and open lanes are
+    /// pre-sized to the recorded high-water marks (eliminating growth
+    /// reallocations); the row is refreshed after every run.
+    pub sizing_path: Option<PathBuf>,
 }
 
 impl SynthesisConfig {
@@ -226,6 +290,11 @@ impl SynthesisConfig {
             threads: 1,
             perturb_seed: None,
             panic_after: None,
+            key_width: KeyWidth::default(),
+            mem_budget_bytes: None,
+            spill_dir: None,
+            resume_dir: None,
+            sizing_path: None,
         }
     }
 
@@ -356,6 +425,38 @@ impl SynthesisConfig {
     #[doc(hidden)]
     pub fn panic_after(mut self, expansions: u64) -> Self {
         self.panic_after = Some(expansions);
+        self
+    }
+
+    /// Selects the closed/open-set key width (see [`KeyWidth`]).
+    pub fn key_width(mut self, width: KeyWidth) -> Self {
+        self.key_width = width;
+        self
+    }
+
+    /// Sets the resident-memory budget that activates the external-memory
+    /// spill tier (see [`SynthesisConfig::mem_budget_bytes`]).
+    pub fn mem_budget_bytes(mut self, bytes: u64) -> Self {
+        self.mem_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the spill/journal directory for the external-memory tier.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Resumes a killed budgeted search from the journal in `dir`.
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume_dir = Some(dir.into());
+        self
+    }
+
+    /// Points the engine at a persisted arena sizing table (see
+    /// [`SynthesisConfig::sizing_path`]).
+    pub fn sizing_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.sizing_path = Some(path.into());
         self
     }
 

@@ -248,6 +248,13 @@ impl DistanceTable {
         self.dist[encode(&self.machine, self.radix, self.flag_stride, assign)]
     }
 
+    /// Number of per-assignment encodings the table covers — an upper bound
+    /// on distinct single assignments, which the engine scales into an
+    /// arena pre-sizing estimate when no measured sizing row exists.
+    pub fn encodings(&self) -> usize {
+        self.dist.len()
+    }
+
     /// The largest finite distance of any assignment — a lower bound on no
     /// program, but a useful diagnostic.
     pub fn max_finite_dist(&self) -> u16 {

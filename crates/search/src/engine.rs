@@ -14,6 +14,8 @@ use crate::distance::{DistanceTable, UNSORTABLE};
 use crate::heuristics::heuristic_from_meta;
 use crate::intern::StateArena;
 use crate::progress::{SearchProgress, ShardProgress};
+use crate::sizing::{SizingRow, SizingTable};
+use crate::spill::{self, Journal, JournalMeta, JournalNode, ResumeError, SpillTier};
 use crate::state::{
     assignment_erased, canonicalize_slice, key_of, perm_count_slice, value_reg_mask, ProjScratch,
     StateSet,
@@ -136,6 +138,37 @@ pub struct SearchStats {
     /// [`sortsynth_isa::SWAR_LANES`] packed parent assignments through one
     /// action's lane kernel.
     pub swar_batches: u64,
+    /// Frontier states whose assignment spans were written to a spill
+    /// segment instead of the arena (external-memory tier; 0 unless
+    /// [`SynthesisConfig::mem_budget_bytes`] is set on a sequential layered
+    /// run).
+    pub spilled_open: u64,
+    /// Closed-map entries evicted to sorted on-disk segments under budget
+    /// pressure.
+    pub spilled_closed: u64,
+    /// Frontier states deleted by delayed duplicate detection: they
+    /// duplicated a state whose closed-map entry had been evicted to disk.
+    /// These are dedup hits the resident map could no longer see.
+    pub ddd_dedup_hits: u64,
+    /// Frontier states restored from a resume journal
+    /// ([`SynthesisConfig::resume_from`]); 0 for non-resumed runs.
+    pub resumed_frontier_states: u64,
+    /// Growth reallocations of the arena's backing stores (span store, meta
+    /// store, closed map) after construction. A run pre-sized from the
+    /// sizing table pins this to zero after warm-up.
+    pub arena_reallocs: u64,
+    /// Bytes of closed-map storage reserved at end of run (capacity × entry
+    /// size at the configured [`crate::config::KeyWidth`]) — halved by the
+    /// u64 key representation.
+    pub key_bytes: u64,
+    /// Bytes appended to spill segments (frontier spans + closed entries).
+    pub spilled_bytes: u64,
+    /// Spill segment files created over the run.
+    pub spill_segments: u64,
+    /// Estimated resident footprint at end of run: arena spans, closed map,
+    /// per-state metadata, and parent edges. The quantity the spill tier
+    /// holds under [`SynthesisConfig::mem_budget_bytes`].
+    pub resident_bytes: u64,
     /// Parallel mode only: per-worker/shard counter blocks, in worker order.
     /// Empty for sequential runs. The global counters above are the sums of
     /// these (each shard owns a disjoint slice of the key space, so no state
@@ -370,8 +403,21 @@ impl SynthesisResult {
 /// all-solutions mode, which needs the sequential engine's globally ordered
 /// parent edges to build the full solution DAG.
 pub fn synthesize(cfg: &SynthesisConfig) -> SynthesisResult {
+    try_synthesize(cfg).unwrap_or_else(|e| panic!("synthesis failed to start: {e}"))
+}
+
+/// [`synthesize`], but resume failures surface as a [`ResumeError`] instead
+/// of a panic. Only [`SynthesisConfig::resume_from`] runs can fail here: a
+/// missing journal, a checksum-detected torn segment, or a configuration
+/// mismatch is reported, never silently replayed.
+pub fn try_synthesize(cfg: &SynthesisConfig) -> Result<SynthesisResult, ResumeError> {
     if cfg.effective_threads() > 1 && !cfg.all_solutions {
-        return crate::parallel::run(cfg);
+        if cfg.resume_dir.is_some() {
+            return Err(ResumeError::Unsupported {
+                why: "resume requires the sequential engine (threads = 1)",
+            });
+        }
+        return Ok(crate::parallel::run(cfg));
     }
     Engine::new(cfg).run()
 }
@@ -458,7 +504,7 @@ impl SuccessorBuf {
 #[derive(Default)]
 pub(crate) struct ExpandScratch {
     pub buf: SuccessorBuf,
-    proj: ProjScratch,
+    pub(crate) proj: ProjScratch,
     enc: Vec<u32>,
     /// Per-action successor `max_dist` of the state under expansion
     /// ([`DistanceTable::succ_max_dist_sweep`] output).
@@ -781,6 +827,14 @@ struct Engine<'a> {
     /// Per-run phase profiler probe (inert unless the profiler was enabled
     /// when the run started).
     probe: PhaseProbe,
+    /// External-memory tier (layered sequential runs under
+    /// [`SynthesisConfig::mem_budget_bytes`], and every resumed run).
+    spill: Option<SpillTier>,
+    /// Peak frontier/open depth, recorded into the sizing table.
+    peak_open: u64,
+    /// Per-lane capacity hint for the bucketed open list, derived from the
+    /// sizing table's recorded peak open depth (0 = no hint).
+    lane_hint: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -800,11 +854,36 @@ impl<'a> Engine<'a> {
         let actions = cfg.machine.actions();
         // Edge records store action indices as `u16`.
         assert!(actions.len() <= u16::MAX as usize + 1);
+        // Pre-size the arena and node store: a measured sizing row beats
+        // everything; otherwise derive a (clamped) estimate from the
+        // distance table's encoding count. Budgeted runs skip the estimate
+        // — pre-reserving a full-population arena would defeat the budget.
+        let mut arena = StateArena::with_key_width(cfg.key_width);
+        let mut nodes = Vec::new();
+        let sizing_row = cfg
+            .sizing_path
+            .as_deref()
+            .map(SizingTable::load)
+            .and_then(|t| t.lookup(&cfg.machine, 1));
+        if let Some(row) = sizing_row {
+            let states = row.states as usize + row.states as usize / 8 + 64;
+            let assigns = row.assigns as usize + row.assigns as usize / 8 + 1024;
+            arena.reserve(states, assigns);
+            nodes.reserve(states);
+        } else if cfg.mem_budget_bytes.is_none() {
+            if let Some(t) = table.as_ref() {
+                let states = (t.encodings() * 32).min(512 * 1024);
+                let per_state = sortsynth_isa::factorial(cfg.machine.n()) as usize;
+                let assigns = states.saturating_mul(per_state).min(16 * 1024 * 1024);
+                arena.reserve(states, assigns);
+                nodes.reserve(states);
+            }
+        }
         Engine {
             actions,
             table,
-            arena: StateArena::new(),
-            nodes: Vec::new(),
+            arena,
+            nodes,
             min_perm: Vec::new(),
             goals: Vec::new(),
             bound: cfg.max_len.unwrap_or(u32::MAX),
@@ -817,50 +896,88 @@ impl<'a> Engine<'a> {
             last_progress_at: start,
             scratch: ExpandScratch::default(),
             probe,
+            spill: None,
+            peak_open: 0,
+            // Open entries spread over a handful of hot (f, g) lanes; a
+            // quarter of the recorded peak per lane covers the densest one
+            // without over-reserving the rest.
+            lane_hint: sizing_row.map_or(0, |r| (r.open_depth / 4) as usize),
             cfg,
         }
     }
 
-    fn run(mut self) -> SynthesisResult {
+    fn run(mut self) -> Result<SynthesisResult, ResumeError> {
         let cfg = self.cfg;
-        let init = StateSet::initial(&cfg.machine);
-        let init_perm = init.perm_count(&cfg.machine);
-        let init_dist = self.table.as_ref().map_or(0, |t| t.max_dist(&init));
-        let init_goal = init.is_goal(&cfg.machine);
-        let root = self.arena.insert_new(
-            init.key(),
-            init.assignments(),
-            init_perm,
-            init_dist,
-            init_goal,
-        );
-        debug_assert_eq!(root, 0);
-        self.nodes.push(Node {
-            parent: NO_PARENT,
-            instr: 0,
-            more_parents: Vec::new(),
-            len: 0,
-        });
-        self.note_min_perm(0, init_perm);
-        self.stats.states_kept = 1;
-
-        let outcome = if init_goal {
-            self.goals.push(0);
-            Outcome::Solved
-        } else {
-            // Re-stamp so the first Select lap starts at the search proper,
-            // not at probe creation (the table build is attributed
-            // separately).
+        let outcome = if let Some(dir) = cfg.resume_dir.clone() {
+            let (frontier, g) = self.restore_from(&dir)?;
             self.probe.skip();
-            match self.cfg.strategy {
-                Strategy::Layered => self.run_layered(),
-                Strategy::AStar { .. } => self.run_astar(),
+            self.run_layered(frontier, g)
+        } else {
+            let init = StateSet::initial(&cfg.machine);
+            let init_perm = init.perm_count(&cfg.machine);
+            let init_dist = self.table.as_ref().map_or(0, |t| t.max_dist(&init));
+            let init_goal = init.is_goal(&cfg.machine);
+            let root = self.arena.insert_new(
+                init.key(),
+                init.assignments(),
+                init_perm,
+                init_dist,
+                init_goal,
+            );
+            debug_assert_eq!(root, 0);
+            self.nodes.push(Node {
+                parent: NO_PARENT,
+                instr: 0,
+                more_parents: Vec::new(),
+                len: 0,
+            });
+            self.note_min_perm(0, init_perm);
+            self.stats.states_kept = 1;
+
+            if init_goal {
+                self.goals.push(0);
+                Outcome::Solved
+            } else {
+                // The external-memory tier serves the sequential layered
+                // strategy; A* runs ignore the budget (their pop order
+                // revisits arbitrary layers, which defeats streaming
+                // frontier segments) — documented in DESIGN.md.
+                if let Some(budget) = cfg.mem_budget_bytes {
+                    if cfg.strategy == Strategy::Layered {
+                        let dir = cfg
+                            .spill_dir
+                            .clone()
+                            .unwrap_or_else(spill::default_spill_dir);
+                        let tier = SpillTier::new(dir, budget)
+                            .unwrap_or_else(|e| panic!("cannot create spill directory: {e}"));
+                        self.spill = Some(tier);
+                        self.checkpoint(0, &[0]);
+                    }
+                }
+                // Re-stamp so the first Select lap starts at the search
+                // proper, not at probe creation (the table build is
+                // attributed separately).
+                self.probe.skip();
+                match self.cfg.strategy {
+                    Strategy::Layered => self.run_layered(vec![0], 0),
+                    Strategy::AStar { .. } => self.run_astar(),
+                }
             }
         };
 
         self.stats.search_time = self.start.elapsed();
         self.stats.interned_states = self.arena.len() as u64;
         self.stats.arena_bytes = self.arena.assign_bytes();
+        self.stats.key_bytes = self.arena.key_bytes();
+        self.stats.arena_reallocs = self.arena.reallocs();
+        self.stats.resident_bytes = self.resident_bytes();
+        if let Some(tier) = &self.spill {
+            self.stats.spilled_open = tier.spilled_open;
+            self.stats.spilled_closed = tier.spilled_closed;
+            self.stats.ddd_dedup_hits = tier.ddd_dedup_hits;
+            self.stats.spilled_bytes = tier.spilled_bytes;
+            self.stats.spill_segments = tier.segments_created;
+        }
         self.stats.phase_nanos = self.probe.nanos();
         if self.probe.is_on() {
             // The table build ran before the first probe stamp; its time is
@@ -874,11 +991,39 @@ impl<'a> Engine<'a> {
         // publishes its totals to the process-wide metrics registry.
         self.emit_progress(self.pending_frontier.len() as u64, Some(outcome));
         publish_search_metrics(&self.stats, outcome);
+        if matches!(
+            outcome,
+            Outcome::Solved | Outcome::SolvedAll | Outcome::Exhausted
+        ) {
+            // Completed runs feed the sizing table, so the next run of this
+            // configuration pre-sizes its arena and skips the growth spikes.
+            if let Some(path) = self.cfg.sizing_path.as_deref() {
+                let mut table = SizingTable::load(path);
+                table.record(
+                    &self.cfg.machine,
+                    1,
+                    SizingRow {
+                        states: self.arena.len() as u64,
+                        assigns: self.arena.assign_len() as u64,
+                        arena_bytes: self.arena.assign_bytes(),
+                        open_depth: self.peak_open,
+                    },
+                );
+                table.save(path);
+            }
+            // A completed run that spilled into a default temp directory
+            // leaves nothing to resume — reclaim the disk.
+            if let Some(tier) = &self.spill {
+                if self.cfg.spill_dir.is_none() && self.cfg.resume_dir.is_none() {
+                    tier.cleanup();
+                }
+            }
+        }
         let found_len = self
             .goals
             .first()
             .map(|&g| self.nodes[g as usize].len as u32);
-        SynthesisResult {
+        Ok(SynthesisResult {
             minimal_certified: found_len.is_some() && self.cfg.guarantees_minimal(),
             dag: SolutionDag {
                 nodes: self.nodes,
@@ -888,16 +1033,170 @@ impl<'a> Engine<'a> {
             found_len,
             outcome,
             stats: self.stats,
+        })
+    }
+
+    /// Restores engine state from the journal in `dir` and returns the
+    /// frontier and layer to re-run. Every byte the journal references is
+    /// strictly re-verified (checksums against recorded valid lengths)
+    /// before anything is trusted; any defect is a [`ResumeError`]. The
+    /// checkpointed layer re-runs from its start — the journal was written
+    /// before the layer began, so a mid-layer crash loses at most one
+    /// layer's work, and a partially written next-layer frontier segment is
+    /// truncated automatically when its writer is recreated.
+    fn restore_from(&mut self, dir: &std::path::Path) -> Result<(Vec<u32>, u32), ResumeError> {
+        if self.cfg.strategy != Strategy::Layered {
+            return Err(ResumeError::Unsupported {
+                why: "resume requires the layered strategy",
+            });
         }
+        let fingerprint = spill::config_fingerprint(self.cfg);
+        let journal = spill::load_journal(dir, fingerprint)?;
+        spill::verify_segments(dir, &journal)?;
+        let budget = self.cfg.mem_budget_bytes.unwrap_or(journal.budget);
+        let tier = SpillTier::resumed(dir.to_path_buf(), budget, &journal)?;
+        for m in &journal.metas {
+            self.arena.restore_meta(m.len, m.perm, m.max_dist, m.goal);
+        }
+        for &(key, id) in &journal.closed {
+            self.arena.restore_closed(key, id);
+        }
+        for (id, span) in &journal.spans {
+            self.arena.restore_span(*id, span);
+        }
+        self.nodes = journal
+            .nodes
+            .iter()
+            .map(|n| Node {
+                parent: n.parent,
+                instr: n.instr,
+                more_parents: n.more.clone(),
+                len: n.len,
+            })
+            .collect();
+        self.min_perm = journal.min_perm.clone();
+        self.goals = journal.goals.clone();
+        self.bound = journal.bound;
+        self.stats.expanded = journal.expanded;
+        self.stats.generated = journal.generated;
+        self.stats.dedup_hits = journal.dedup_hits;
+        self.stats.viability_pruned = journal.viability_pruned;
+        self.stats.cut_pruned = journal.cut_pruned;
+        self.stats.dead_write_pruned = journal.dead_write_pruned;
+        self.stats.value_flow_pruned = journal.value_flow_pruned;
+        self.stats.states_kept = journal.states_kept;
+        self.stats.scratch_reused = journal.scratch_reused;
+        self.stats.swar_batches = journal.swar_batches;
+        self.stats.resumed_frontier_states = journal.frontier.len() as u64;
+        self.spill = Some(tier);
+        Ok((journal.frontier.clone(), journal.g))
+    }
+
+    /// Estimated resident footprint: arena spans + closed map + per-state
+    /// metadata + parent edges. The spill tier's merge-time trigger.
+    fn resident_bytes(&self) -> u64 {
+        self.arena.assign_bytes()
+            + self.arena.key_bytes()
+            + self.arena.len() as u64 * 16
+            + self.nodes.len() as u64 * std::mem::size_of::<Node>() as u64
+    }
+
+    /// End-of-layer spill maintenance: seal the frontier segment under
+    /// construction, run delayed duplicate detection over this layer's
+    /// fresh interns (deleting duplicates of evicted states from `next`),
+    /// evict already-expanded closed entries under budget pressure, compact
+    /// the arena's span store down to the surviving frontier, and write the
+    /// journal checkpoint for the next layer.
+    fn end_of_layer(&mut self, g: u32, next: &mut Vec<u32>) {
+        debug_assert!(next.windows(2).all(|w| w[0] < w[1]), "frontier id order");
+        let tier = self.spill.as_mut().expect("end_of_layer without spill");
+        tier.seal_frontier();
+        let dead = tier.ddd_filter();
+        if !dead.is_empty() {
+            next.retain(|id| dead.binary_search(id).is_err());
+        }
+        let over_budget = {
+            let budget = self.spill.as_ref().unwrap().budget();
+            self.resident_bytes() > budget
+        };
+        if over_budget {
+            let evicted = self
+                .arena
+                .evict_closed(|id| next.binary_search(&id).is_ok());
+            self.spill.as_mut().unwrap().append_closed(g, evicted);
+        }
+        self.arena.compact_spans(next);
+        self.checkpoint(g + 1, next);
+    }
+
+    /// Writes the journal checkpoint declaring layer `g` (with frontier
+    /// `frontier`) as the next layer to expand.
+    fn checkpoint(&mut self, g: u32, frontier: &[u32]) {
+        let tier = self.spill.as_ref().expect("checkpoint without spill");
+        let journal = Journal {
+            fingerprint: spill::config_fingerprint(self.cfg),
+            g,
+            bound: self.bound,
+            budget: tier.budget(),
+            min_perm: self.min_perm.clone(),
+            goals: self.goals.clone(),
+            expanded: self.stats.expanded,
+            generated: self.stats.generated,
+            dedup_hits: self.stats.dedup_hits,
+            viability_pruned: self.stats.viability_pruned,
+            cut_pruned: self.stats.cut_pruned,
+            dead_write_pruned: self.stats.dead_write_pruned,
+            value_flow_pruned: self.stats.value_flow_pruned,
+            states_kept: self.stats.states_kept,
+            scratch_reused: self.stats.scratch_reused,
+            swar_batches: self.stats.swar_batches,
+            spilled_open: tier.spilled_open,
+            spilled_closed: tier.spilled_closed,
+            ddd_dedup_hits: tier.ddd_dedup_hits,
+            spilled_bytes: tier.spilled_bytes,
+            spill_segments: tier.segments_created,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| JournalNode {
+                    parent: n.parent,
+                    instr: n.instr,
+                    len: n.len,
+                    more: n.more_parents.clone(),
+                })
+                .collect(),
+            metas: (0..self.arena.len() as u32)
+                .map(|id| {
+                    let m = self.arena.meta(id);
+                    JournalMeta {
+                        len: m.assign_count(),
+                        perm: m.perm,
+                        max_dist: m.max_dist,
+                        goal: m.goal,
+                    }
+                })
+                .collect(),
+            closed: self.arena.closed_entries(),
+            frontier: frontier.to_vec(),
+            spans: frontier
+                .iter()
+                .filter(|&&id| self.arena.has_span(id))
+                .map(|&id| (id, self.arena.assignments(id).to_vec()))
+                .collect(),
+            frontier_seg: tier.frontier_seg(),
+            closed_segs: tier.closed_segs(),
+        };
+        self.spill
+            .as_mut()
+            .expect("checkpoint without spill")
+            .write_journal(&journal);
     }
 
     // ------------------------------------------------------------------
     // Layered (Dijkstra) search: process all programs of length g before
     // any of length g + 1 (§3.1). First solution is minimal.
     // ------------------------------------------------------------------
-    fn run_layered(&mut self) -> Outcome {
-        let mut frontier: Vec<u32> = vec![0];
-        let mut g = 0u32;
+    fn run_layered(&mut self, mut frontier: Vec<u32>, mut g: u32) -> Outcome {
         loop {
             if g >= self.bound || frontier.is_empty() {
                 return if self.goals.is_empty() {
@@ -907,6 +1206,7 @@ impl<'a> Engine<'a> {
                 };
             }
             self.current_f = Some(g as u64);
+            self.peak_open = self.peak_open.max(frontier.len() as u64);
             let cut_threshold = self.cut_threshold_for(g);
             // Merge each state's successors immediately, so goals (and
             // progress samples) accumulate through the layer instead of
@@ -938,7 +1238,10 @@ impl<'a> Engine<'a> {
                     return self.limit_outcome();
                 }
             }
-            let next = std::mem::take(&mut self.pending_frontier);
+            let mut next = std::mem::take(&mut self.pending_frontier);
+            if self.spill.is_some() {
+                self.end_of_layer(g, &mut next);
+            }
             if self.over_limits() {
                 return self.limit_outcome();
             }
@@ -955,9 +1258,10 @@ impl<'a> Engine<'a> {
             Strategy::AStar { heuristic } => heuristic,
             Strategy::Layered => unreachable!("run_astar called for layered strategy"),
         };
-        let mut open = OpenQueue::new(
+        let mut open = OpenQueue::with_hints(
             self.cfg.open_list,
             open_f_hint(self.bound, self.table.as_ref()),
+            self.lane_hint,
         );
         let m0 = *self.arena.meta(0);
         open.push(
@@ -1055,16 +1359,38 @@ impl<'a> Engine<'a> {
             actions: &self.actions,
             table: self.table.as_ref(),
         };
-        ctx.expand(
-            self.arena.assignments(node),
-            prev_instr,
-            g,
-            self.bound,
-            cut_threshold,
-            &mut self.scratch,
-            &mut counters,
-            &mut self.probe,
-        );
+        if self.arena.has_span(node) {
+            ctx.expand(
+                self.arena.assignments(node),
+                prev_instr,
+                g,
+                self.bound,
+                cut_threshold,
+                &mut self.scratch,
+                &mut counters,
+                &mut self.probe,
+            );
+        } else {
+            // Spilled frontier state: stream its span back from the sealed
+            // frontier segment. Layered expansion visits frontier ids in
+            // increasing (append) order, so this is one sequential read per
+            // layer.
+            let tier = self
+                .spill
+                .as_mut()
+                .expect("state without a resident span outside spill mode");
+            let span = tier.fetch_span(node);
+            ctx.expand(
+                span,
+                prev_instr,
+                g,
+                self.bound,
+                cut_threshold,
+                &mut self.scratch,
+                &mut counters,
+                &mut self.probe,
+            );
+        }
         if self.scratch.capacity_signature() == before {
             self.stats.scratch_reused += 1;
         }
@@ -1111,9 +1437,32 @@ impl<'a> Engine<'a> {
             return Gen::Fresh(existing);
         }
 
-        let idx = self
-            .arena
-            .insert_new(m.key, assigns, m.perm, m.max_dist, m.goal);
+        // Spill decision (external-memory tier): once the resident estimate
+        // crosses the budget, fresh non-goal states keep their closed-set
+        // entry and metadata but their span goes to the frontier segment.
+        // Goals stay resident — reconstruction and bound updates touch them
+        // immediately.
+        let spill_over = match self.spill.as_ref() {
+            Some(tier) if !m.goal => self.resident_bytes() > tier.budget(),
+            _ => false,
+        };
+        let idx = if spill_over {
+            let idx = self
+                .arena
+                .insert_spilled(m.key, m.len, m.perm, m.max_dist, m.goal);
+            self.spill
+                .as_mut()
+                .unwrap()
+                .spill_span(g_succ, idx, assigns);
+            idx
+        } else {
+            self.arena
+                .insert_new(m.key, assigns, m.perm, m.max_dist, m.goal)
+        };
+        if let Some(spill) = &mut self.spill {
+            let stored = self.arena.stored_key(m.key);
+            spill.note_fresh(stored, idx);
+        }
         debug_assert_eq!(idx as usize, self.nodes.len());
         self.nodes.push(Node {
             parent,
@@ -1181,6 +1530,7 @@ impl<'a> Engine<'a> {
     }
 
     fn sample_progress(&mut self, open: u64) {
+        self.peak_open = self.peak_open.max(open);
         if self.cfg.progress_every != 0
             && self.stats.expanded.is_multiple_of(self.cfg.progress_every)
         {
@@ -1243,6 +1593,12 @@ impl<'a> Engine<'a> {
             distance_table_skipped: self.stats.distance_table_skipped,
             finished: outcome.is_some(),
             outcome,
+            spilled_open: self.spill.as_ref().map_or(0, |t| t.spilled_open),
+            spilled_closed: self.spill.as_ref().map_or(0, |t| t.spilled_closed),
+            ddd_dedup_hits: self.spill.as_ref().map_or(0, |t| t.ddd_dedup_hits),
+            resumed_frontier_states: self.stats.resumed_frontier_states,
+            resident_bytes: self.resident_bytes(),
+            spilled_bytes: self.spill.as_ref().map_or(0, |t| t.spilled_bytes),
             shards: vec![ShardProgress {
                 interned_states: self.arena.len() as u64,
                 arena_bytes: self.arena.assign_bytes(),
@@ -1327,6 +1683,41 @@ pub(crate) fn publish_search_metrics(stats: &SearchStats, outcome: Outcome) {
         "Assignment bytes held by the last run's state arena(s).",
     )
     .set(stats.arena_bytes as i64);
+    r.gauge(
+        names::SEARCH_RESIDENT_BYTES,
+        "Estimated resident search footprint at end of the last run.",
+    )
+    .set(stats.resident_bytes as i64);
+    r.gauge(
+        names::SEARCH_SPILLED_BYTES,
+        "Bytes held by the last run's spill segments.",
+    )
+    .set(stats.spilled_bytes as i64);
+    r.gauge(
+        names::SEARCH_SPILL_SEGMENTS,
+        "Spill segment files created by the last run.",
+    )
+    .set(stats.spill_segments as i64);
+    r.counter(
+        names::SEARCH_SPILLED_OPEN_TOTAL,
+        "Frontier spans written to spill segments.",
+    )
+    .add(stats.spilled_open);
+    r.counter(
+        names::SEARCH_SPILLED_CLOSED_TOTAL,
+        "Closed-map entries evicted to spill segments.",
+    )
+    .add(stats.spilled_closed);
+    r.counter(
+        names::SEARCH_DDD_DEDUP_HITS_TOTAL,
+        "Frontier states deleted by delayed duplicate detection.",
+    )
+    .add(stats.ddd_dedup_hits);
+    r.counter(
+        names::SEARCH_RESUMED_FRONTIER_TOTAL,
+        "Frontier states restored from resume journals.",
+    )
+    .add(stats.resumed_frontier_states);
     if stats.distance_table_skipped {
         r.counter(
             names::SEARCH_DISTANCE_TABLE_SKIPPED_TOTAL,

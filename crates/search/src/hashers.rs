@@ -53,6 +53,12 @@ impl Hasher for IdentityHasher {
 /// A `u128`-keyed map probing on the key's own bits.
 pub(crate) type KeyMap<V> = HashMap<u128, V, IdentityKeyHasher>;
 
+/// A `u64`-keyed map for narrowed keys ([`crate::KeyWidth::U64`]). The
+/// narrow key *is* the xor-fold the `write_u128` path would compute, so
+/// wide and narrow maps probe identical bucket sequences — only the stored
+/// key (and thus the entry size) differs.
+pub(crate) type NarrowKeyMap<V> = HashMap<u64, V, IdentityKeyHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,7 +20,13 @@
 
 use sortsynth_isa::MachineState;
 
-use crate::hashers::KeyMap;
+use crate::config::KeyWidth;
+use crate::hashers::{KeyMap, NarrowKeyMap};
+use crate::state::narrow_key;
+
+/// Sentinel offset marking a state whose span is not resident (spilled to
+/// a frontier segment, or compacted away after its layer was expanded).
+pub(crate) const SPAN_NONE: u32 = u32::MAX;
 
 /// Per-state facts cached at intern time. Everything the hot loop needs
 /// after interning — heuristic inputs, goal flag, the span — without
@@ -49,23 +55,102 @@ impl StateMeta {
     }
 }
 
+/// The closed map at its configured key width ([`KeyWidth`]). Both arms
+/// probe identical bucket sequences (the narrow key *is* the wide key's
+/// xor-fold); the narrow arm halves the per-entry footprint from 32 to
+/// 16 bytes.
+pub(crate) enum KeyStore {
+    Wide(KeyMap<u32>),
+    Narrow(NarrowKeyMap<u32>),
+}
+
+impl KeyStore {
+    fn new(width: KeyWidth) -> Self {
+        match width {
+            KeyWidth::U64 => KeyStore::Narrow(NarrowKeyMap::default()),
+            KeyWidth::U128 => KeyStore::Wide(KeyMap::default()),
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: u128) -> Option<u32> {
+        match self {
+            KeyStore::Wide(m) => m.get(&key).copied(),
+            KeyStore::Narrow(m) => m.get(&narrow_key(key)).copied(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: u128, id: u32) -> Option<u32> {
+        match self {
+            KeyStore::Wide(m) => m.insert(key, id),
+            KeyStore::Narrow(m) => m.insert(narrow_key(key), id),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            KeyStore::Wide(m) => m.capacity(),
+            KeyStore::Narrow(m) => m.capacity(),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            KeyStore::Wide(m) => m.reserve(additional),
+            KeyStore::Narrow(m) => m.reserve(additional),
+        }
+    }
+
+    fn width(&self) -> KeyWidth {
+        match self {
+            KeyStore::Wide(_) => KeyWidth::U128,
+            KeyStore::Narrow(_) => KeyWidth::U64,
+        }
+    }
+}
+
 /// The interner. See the module docs for the layout.
-#[derive(Default)]
 pub(crate) struct StateArena {
     assigns: Vec<MachineState>,
     metas: Vec<StateMeta>,
-    ids: KeyMap<u32>,
+    ids: KeyStore,
+    /// Growth events (capacity change of the span store, meta store, or
+    /// closed map) since construction/pre-sizing — the
+    /// [`crate::SearchStats::arena_reallocs`] counter. A correctly
+    /// pre-sized run pins this to zero.
+    reallocs: u64,
+}
+
+impl Default for StateArena {
+    fn default() -> Self {
+        StateArena::with_key_width(KeyWidth::default())
+    }
 }
 
 impl StateArena {
-    pub fn new() -> Self {
-        StateArena::default()
+    pub fn with_key_width(width: KeyWidth) -> Self {
+        StateArena {
+            assigns: Vec::new(),
+            metas: Vec::new(),
+            ids: KeyStore::new(width),
+            reallocs: 0,
+        }
+    }
+
+    /// Pre-sizes the backing structures for an expected population
+    /// (`states` interned states holding `assign_total` assignments in
+    /// all), so steady-state interning never reallocates.
+    pub fn reserve(&mut self, states: usize, assign_total: usize) {
+        self.assigns.reserve(assign_total);
+        self.metas.reserve(states);
+        self.ids.reserve(states);
     }
 
     /// Looks up the id interned for `key`, if any.
     #[inline]
     pub fn get(&self, key: u128) -> Option<u32> {
-        self.ids.get(&key).copied()
+        self.ids.get(key)
     }
 
     /// Interns a state known to be absent (callers check [`StateArena::get`]
@@ -78,12 +163,42 @@ impl StateArena {
         max_dist: u16,
         goal: bool,
     ) -> u32 {
+        let assign_cap = self.assigns.capacity();
         let offset = u32::try_from(self.assigns.len()).expect("state arena span overflow");
         self.assigns.extend_from_slice(assigns);
-        let id = u32::try_from(self.metas.len()).expect("state arena id overflow");
-        self.metas.push(StateMeta {
+        let id = self.push_meta(StateMeta {
             offset,
             len: assigns.len() as u32,
+            perm,
+            max_dist,
+            goal,
+        });
+        if assign_cap != 0 && self.assigns.capacity() != assign_cap {
+            self.reallocs += 1;
+        }
+        let map_cap = self.ids.capacity();
+        let previous = self.ids.insert(key, id);
+        if map_cap != 0 && self.ids.capacity() != map_cap {
+            self.reallocs += 1;
+        }
+        debug_assert!(previous.is_none(), "intern of an already-interned key");
+        id
+    }
+
+    /// Interns a state whose span lives in a spill segment rather than the
+    /// arena (external-memory tier): full closed-set membership and cached
+    /// facts, no resident assignments.
+    pub fn insert_spilled(
+        &mut self,
+        key: u128,
+        len: u32,
+        perm: u32,
+        max_dist: u16,
+        goal: bool,
+    ) -> u32 {
+        let id = self.push_meta(StateMeta {
+            offset: SPAN_NONE,
+            len,
             perm,
             max_dist,
             goal,
@@ -93,10 +208,29 @@ impl StateArena {
         id
     }
 
-    /// The canonical assignments of state `id`.
+    fn push_meta(&mut self, meta: StateMeta) -> u32 {
+        let meta_cap = self.metas.capacity();
+        let id = u32::try_from(self.metas.len()).expect("state arena id overflow");
+        self.metas.push(meta);
+        if meta_cap != 0 && self.metas.capacity() != meta_cap {
+            self.reallocs += 1;
+        }
+        id
+    }
+
+    /// Whether state `id`'s assignments are resident in the arena.
+    #[inline]
+    pub fn has_span(&self, id: u32) -> bool {
+        self.metas[id as usize].offset != SPAN_NONE
+    }
+
+    /// The canonical assignments of state `id`. Panics (via slice bounds)
+    /// if the span was spilled or compacted away — the spill tier streams
+    /// those from disk instead.
     #[inline]
     pub fn assignments(&self, id: u32) -> &[MachineState] {
         let m = &self.metas[id as usize];
+        debug_assert!(m.offset != SPAN_NONE, "assignments of a spilled state");
         &self.assigns[m.offset as usize..(m.offset + m.len) as usize]
     }
 
@@ -111,11 +245,153 @@ impl StateArena {
         self.metas.len()
     }
 
+    /// Assignments currently held by the span store (the sizing table's
+    /// `assigns` mark; equals the total interned assignment count when no
+    /// span was spilled or compacted).
+    pub fn assign_len(&self) -> usize {
+        self.assigns.len()
+    }
+
     /// Bytes of assignment storage currently reserved (the arena's dominant
     /// memory term; per-state metadata is excluded by definition of
     /// [`crate::SearchStats::arena_bytes`]).
     pub fn assign_bytes(&self) -> u64 {
         (self.assigns.capacity() * std::mem::size_of::<MachineState>()) as u64
+    }
+
+    /// Bytes of closed-map storage currently reserved (capacity × entry
+    /// size at the configured [`KeyWidth`]) — the
+    /// [`crate::SearchStats::key_bytes`] stat the `memory_scale` bench
+    /// compares across widths.
+    pub fn key_bytes(&self) -> u64 {
+        self.ids.capacity() as u64 * self.ids.width().entry_bytes()
+    }
+
+    /// Growth events since construction (see the `reallocs` field).
+    pub fn reallocs(&self) -> u64 {
+        self.reallocs
+    }
+
+    /// Drops every resident span except those of `live` ids (the next
+    /// frontier), rewriting the span store densely in `live` order. Part of
+    /// the external-memory tier's end-of-layer compaction: expanded layers'
+    /// assignments are never read again (only their keys, metas, and parent
+    /// edges are), so their spans are reclaimed.
+    pub fn compact_spans(&mut self, live: &[u32]) {
+        let total: usize = live
+            .iter()
+            .map(|&id| {
+                let m = &self.metas[id as usize];
+                if m.offset == SPAN_NONE {
+                    0
+                } else {
+                    m.len as usize
+                }
+            })
+            .sum();
+        let mut packed = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(live.len());
+        for &id in live {
+            let m = &self.metas[id as usize];
+            if m.offset == SPAN_NONE {
+                offsets.push(SPAN_NONE);
+                continue;
+            }
+            let start = u32::try_from(packed.len()).expect("state arena span overflow");
+            packed.extend_from_slice(&self.assigns[m.offset as usize..(m.offset + m.len) as usize]);
+            offsets.push(start);
+        }
+        for m in &mut self.metas {
+            m.offset = SPAN_NONE;
+        }
+        for (&id, &offset) in live.iter().zip(&offsets) {
+            self.metas[id as usize].offset = offset;
+        }
+        self.assigns = packed;
+    }
+
+    /// Evicts closed-map entries whose id fails `keep`, returning the
+    /// evicted `(wide key, id)` pairs (narrow keys zero-extended) for the
+    /// caller to persist in a sorted closed segment. Delayed duplicate
+    /// detection re-checks future candidates against those segments.
+    pub fn evict_closed<F: FnMut(u32) -> bool>(&mut self, mut keep: F) -> Vec<(u128, u32)> {
+        let mut evicted = Vec::new();
+        match &mut self.ids {
+            KeyStore::Wide(m) => m.retain(|&k, &mut id| {
+                let live = keep(id);
+                if !live {
+                    evicted.push((k, id));
+                }
+                live
+            }),
+            KeyStore::Narrow(m) => m.retain(|&k, &mut id| {
+                let live = keep(id);
+                if !live {
+                    evicted.push((k as u128, id));
+                }
+                live
+            }),
+        }
+        evicted
+    }
+
+    /// All resident closed-map entries as `(wide key, id)` pairs (narrow
+    /// keys zero-extended) — journal checkpoint material.
+    pub fn closed_entries(&self) -> Vec<(u128, u32)> {
+        match &self.ids {
+            KeyStore::Wide(m) => m.iter().map(|(&k, &id)| (k, id)).collect(),
+            KeyStore::Narrow(m) => m.iter().map(|(&k, &id)| (k as u128, id)).collect(),
+        }
+    }
+
+    /// The key a spill segment / DDD comparison stores for a candidate's
+    /// content key at this arena's width: the full key in wide mode, the
+    /// zero-extended fold in narrow mode.
+    #[inline]
+    pub fn stored_key(&self, key: u128) -> u128 {
+        match self.ids.width() {
+            KeyWidth::U128 => key,
+            KeyWidth::U64 => narrow_key(key) as u128,
+        }
+    }
+
+    /// Resume support: re-registers a closed-map entry for an
+    /// already-restored meta. `key` is a stored-width key as persisted by
+    /// [`StateArena::closed_entries`].
+    pub fn restore_closed(&mut self, key: u128, id: u32) {
+        match &mut self.ids {
+            KeyStore::Wide(m) => {
+                m.insert(key, id);
+            }
+            KeyStore::Narrow(m) => {
+                m.insert(key as u64, id);
+            }
+        }
+    }
+
+    /// Resume support: appends a meta (in dense id order) without a span or
+    /// closed-map entry.
+    pub fn restore_meta(&mut self, len: u32, perm: u32, max_dist: u16, goal: bool) -> u32 {
+        self.push_meta(StateMeta {
+            offset: SPAN_NONE,
+            len,
+            perm,
+            max_dist,
+            goal,
+        })
+    }
+
+    /// Resume support: re-attaches a resident span to a restored meta.
+    pub fn restore_span(&mut self, id: u32, assigns: &[MachineState]) {
+        let offset = u32::try_from(self.assigns.len()).expect("state arena span overflow");
+        self.assigns.extend_from_slice(assigns);
+        let m = &mut self.metas[id as usize];
+        debug_assert_eq!(
+            m.len as usize,
+            assigns.len(),
+            "restored span length mismatch"
+        );
+        m.offset = offset;
     }
 }
 
@@ -129,7 +405,7 @@ mod tests {
     fn intern_round_trip() {
         let m = Machine::new(3, 1, IsaMode::Cmov);
         let set = StateSet::initial(&m);
-        let mut arena = StateArena::new();
+        let mut arena = StateArena::default();
         assert_eq!(arena.get(set.key()), None);
         let id = arena.insert_new(set.key(), set.assignments(), 6, 4, false);
         assert_eq!(arena.get(set.key()), Some(id));
@@ -142,6 +418,71 @@ mod tests {
         assert!(arena.assign_bytes() >= 6 * 8);
     }
 
+    #[test]
+    fn key_widths_agree_and_presizing_pins_reallocs() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let init = StateSet::initial(&m);
+        let mut wide = StateArena::with_key_width(KeyWidth::U128);
+        let mut narrow = StateArena::with_key_width(KeyWidth::U64);
+        narrow.reserve(512, 8192);
+        let mut frontier = vec![init];
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for state in frontier {
+                let key = key_of(state.assignments());
+                let w = match wide.get(key) {
+                    Some(id) => id,
+                    None => {
+                        let id = wide.insert_new(key, state.assignments(), 0, 0, false);
+                        for a in m.actions() {
+                            next.push(state.apply(a));
+                        }
+                        id
+                    }
+                };
+                let n = match narrow.get(key) {
+                    Some(id) => id,
+                    None => narrow.insert_new(key, state.assignments(), 0, 0, false),
+                };
+                assert_eq!(w, n, "wide and narrow maps intern identical id sequences");
+            }
+            frontier = next;
+        }
+        assert!(wide.len() > 10);
+        assert_eq!(narrow.len(), wide.len());
+        assert_eq!(narrow.reallocs(), 0, "pre-sized arena must not grow");
+        assert!(wide.reallocs() > 0, "unsized arena grows from empty");
+        // Map bytes per entry: the narrow store costs half the wide store.
+        assert_eq!(
+            KeyWidth::U128.entry_bytes(),
+            2 * KeyWidth::U64.entry_bytes()
+        );
+    }
+
+    #[test]
+    fn spill_span_lifecycle() {
+        let m = Machine::new(3, 1, IsaMode::Cmov);
+        let a = StateSet::initial(&m);
+        let b = a.apply(m.actions()[0]);
+        let mut arena = StateArena::default();
+        let ia = arena.insert_new(a.key(), a.assignments(), 0, 0, false);
+        let ib = arena.insert_spilled(b.key(), b.assignments().len() as u32, 0, 0, false);
+        assert!(arena.has_span(ia));
+        assert!(!arena.has_span(ib));
+        assert_eq!(arena.get(b.key()), Some(ib));
+        arena.restore_span(ib, b.assignments());
+        assert_eq!(arena.assignments(ib), b.assignments());
+        arena.compact_spans(&[ib]);
+        assert!(!arena.has_span(ia));
+        assert_eq!(arena.assignments(ib), b.assignments());
+        let evicted = arena.evict_closed(|id| id != ia);
+        assert_eq!(evicted, vec![(arena.stored_key(a.key()), ia)]);
+        assert_eq!(arena.get(a.key()), None);
+        assert_eq!(arena.get(b.key()), Some(ib));
+        arena.restore_closed(arena.stored_key(a.key()), ia);
+        assert_eq!(arena.get(a.key()), Some(ia));
+    }
+
     /// Satellite property: interner id equality must coincide with
     /// [`StateSet`] equality — distinct canonical states get distinct ids,
     /// and re-deriving a state (different instruction order, same effect)
@@ -150,7 +491,7 @@ mod tests {
     fn id_equality_matches_state_equality() {
         let m = Machine::new(3, 1, IsaMode::Cmov);
         let init = StateSet::initial(&m);
-        let mut arena = StateArena::new();
+        let mut arena = StateArena::default();
         let mut seen: Vec<(StateSet, u32)> = Vec::new();
         let mut frontier = vec![init];
         for _ in 0..3 {
@@ -220,7 +561,7 @@ mod tests {
                     .into_iter()
                     .map(StateSet::from_assignments)
                     .collect();
-                let mut arena = StateArena::new();
+                let mut arena = StateArena::default();
                 let ids: Vec<u32> = sets
                     .iter()
                     .map(|s| match arena.get(s.key()) {

@@ -50,15 +50,18 @@ mod lower_bound;
 mod netsort;
 mod parallel;
 mod progress;
+mod sizing;
 mod solutions;
+mod spill;
 mod state;
 
 pub use bucket::BucketQueue;
 pub use budget::{CancelHandle, SearchBudget};
-pub use config::{Cut, Heuristic, OpenList, Strategy, SynthesisConfig};
+pub use config::{Cut, Heuristic, KeyWidth, OpenList, Strategy, SynthesisConfig};
 pub use distance::{ActionSet, DistanceTable, UNSORTABLE};
 pub use engine::{
-    synthesize, Outcome, ProgressSample, SearchStats, ShardStats, SolutionDag, SynthesisResult,
+    synthesize, try_synthesize, Outcome, ProgressSample, SearchStats, ShardStats, SolutionDag,
+    SynthesisResult,
 };
 pub use heuristics::heuristic_value;
 pub use lower_bound::{prove_no_solution, prove_optimal_length, BoundVerdict, LowerBoundResult};
@@ -66,7 +69,8 @@ pub use progress::{ProgressHook, SearchProgress, ShardProgress};
 pub use solutions::{
     command_signature, distinct_command_signatures, sample_lowest_strata, score_strata,
 };
-pub use state::StateSet;
+pub use spill::ResumeError;
+pub use state::{narrow_key, StateSet};
 
 #[cfg(test)]
 mod tests {

@@ -43,6 +43,19 @@ pub struct SearchProgress {
     /// Whether this run fell back to degraded pruning because the machine
     /// exceeds the distance table's limits.
     pub distance_table_skipped: bool,
+    /// Open states whose assignment spans were spilled to disk so far.
+    pub spilled_open: u64,
+    /// Closed-set entries evicted to disk segments so far.
+    pub spilled_closed: u64,
+    /// Duplicates caught by delayed duplicate detection against spilled
+    /// closed segments so far.
+    pub ddd_dedup_hits: u64,
+    /// Frontier states restored from a resume journal (0 for fresh runs).
+    pub resumed_frontier_states: u64,
+    /// Estimated bytes of resident (in-memory) search state.
+    pub resident_bytes: u64,
+    /// Bytes written to spill segments so far.
+    pub spilled_bytes: u64,
     /// `true` exactly once, on the final snapshot of the run.
     pub finished: bool,
     /// How the run ended; only set when `finished`.
@@ -92,6 +105,12 @@ impl SearchProgress {
             dead_write_pruned: self.dead_write_pruned,
             value_flow_pruned: self.value_flow_pruned,
             distance_table_skipped: self.distance_table_skipped,
+            spilled_open: self.spilled_open,
+            spilled_closed: self.spilled_closed,
+            ddd_dedup_hits: self.ddd_dedup_hits,
+            resumed_frontier_states: self.resumed_frontier_states,
+            resident_bytes: self.resident_bytes,
+            spilled_bytes: self.spilled_bytes,
             finished: self.finished,
             outcome: self.outcome.map(|o| format!("{o:?}")),
             shards: self
@@ -212,6 +231,12 @@ mod tests {
             dead_write_pruned: 0,
             value_flow_pruned: 0,
             distance_table_skipped: false,
+            spilled_open: 0,
+            spilled_closed: 0,
+            ddd_dedup_hits: 0,
+            resumed_frontier_states: 0,
+            resident_bytes: 0,
+            spilled_bytes: 0,
             finished: true,
             outcome: Some(Outcome::Exhausted),
             shards: vec![ShardProgress {
@@ -240,6 +265,12 @@ mod tests {
             dead_write_pruned: 4,
             value_flow_pruned: 5,
             distance_table_skipped: true,
+            spilled_open: 11,
+            spilled_closed: 12,
+            ddd_dedup_hits: 13,
+            resumed_frontier_states: 14,
+            resident_bytes: 1500,
+            spilled_bytes: 1600,
             finished: true,
             outcome: Some(Outcome::Solved),
             shards: vec![
@@ -262,6 +293,9 @@ mod tests {
         assert_eq!(frame.expanded, 7);
         assert_eq!(frame.f_bound, Some(5));
         assert!(frame.distance_table_skipped && frame.finished);
+        assert_eq!(frame.spilled_open, 11);
+        assert_eq!(frame.resident_bytes, 1500);
+        assert_eq!(frame.spilled_bytes, 1600);
         assert_eq!(frame.outcome.as_deref(), Some("Solved"));
         assert_eq!(frame.shards.len(), 2);
         assert_eq!(frame.shards[0].arena_bytes, 384);

@@ -111,8 +111,34 @@ pub(crate) fn key_of(assigns: &[MachineState]) -> u128 {
         h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
         h2 = (h2.rotate_left(7) ^ x).wrapping_mul(K2);
     }
-    h1 ^= assigns.len() as u64;
+    // Finalize both halves. The multiply chains never diffuse the *last*
+    // element's high bits downward (a wrapping multiply only carries
+    // upward), so without this the two halves differ only in their top
+    // bits when states differ only in trailing flag bits — and the
+    // [`narrow_key`] xor-fold cancels exactly those, colliding distinct
+    // states. Caught by the key_width collision fuzz.
+    h1 = mix(h1 ^ assigns.len() as u64);
+    h2 = mix(h2);
     ((h1 as u128) << 64) | h2 as u128
+}
+
+/// Splitmix64 finalizer: full avalanche, so every input bit reaches every
+/// output bit before the halves are folded.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Folds a 128-bit content key to the 64-bit closed-set key used by
+/// [`crate::KeyWidth::U64`]. This is exactly the xor-fold the identity
+/// hasher applies for bucket selection, so narrowing changes the stored key
+/// width without changing any probe sequence. Public so the collision-fuzz
+/// suite and benches can probe the fold directly.
+#[inline]
+pub fn narrow_key(key: u128) -> u64 {
+    (key >> 64) as u64 ^ key as u64
 }
 
 /// Canonicalizes a span in place (sorts ascending, dedups adjacent

@@ -1,0 +1,223 @@
+//! Soundness of the narrowed u64 closed-set key ([`KeyWidth::U64`]).
+//!
+//! Narrowing xor-folds the 128-bit content hash to 64 bits before it is
+//! stored, halving closed-map bytes per state. A fold collision between two
+//! *different* canonical states would silently merge them and could produce
+//! a wrong "optimal" length, so the narrowing is defended on two fronts:
+//!
+//! 1. a **differential matrix**: every (n, ISA, threads) cell runs under
+//!    both key widths and must produce identical optimal costs — and, for
+//!    the deterministic sequential engine, identical prune counters;
+//! 2. **collision fuzzing**: millions of random canonical states must map
+//!    to distinct narrowed keys (distinct 128-bit keys implied). The quick
+//!    rows run in CI; the `#[ignore]` rows push past 10M states per ISA
+//!    under `--release -- --ignored`.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sortsynth_isa::{IsaMode, Machine, MachineState};
+use sortsynth_search::{narrow_key, synthesize, KeyWidth, StateSet, SynthesisConfig};
+
+/// The distance-table configuration for one machine, at one width.
+fn cfg(machine: &Machine, bound: u32, width: KeyWidth) -> SynthesisConfig {
+    SynthesisConfig::new(machine.clone())
+        .budget_viability(true)
+        .max_len(bound)
+        .key_width(width)
+}
+
+/// Runs one matrix cell at both widths and asserts cost equality; for
+/// sequential runs additionally pins every prune counter (the sequential
+/// engine is deterministic, so the key representation must be invisible in
+/// them). Parallel runs assert cost only — interleavings perturb counter
+/// attribution across shards.
+fn assert_widths_agree(machine: &Machine, label: &str, bound: u32, threads: usize) {
+    let narrow = synthesize(&cfg(machine, bound, KeyWidth::U64).threads(threads));
+    let wide = synthesize(&cfg(machine, bound, KeyWidth::U128).threads(threads));
+    assert_eq!(
+        narrow.found_len, wide.found_len,
+        "{label}@{threads}t: key width changed the optimal cost (u64 {:?}, u128 {:?})",
+        narrow.outcome, wide.outcome
+    );
+    if let Some(prog) = narrow.first_program() {
+        sortsynth_verify::gate(machine, &prog)
+            .unwrap_or_else(|e| panic!("{label}@{threads}t: oracle rejected u64 kernel: {e:?}"));
+    }
+    if threads <= 1 {
+        let (a, b) = (&narrow.stats, &wide.stats);
+        assert_eq!(a.generated, b.generated, "{label}: generated");
+        assert_eq!(a.expanded, b.expanded, "{label}: expanded");
+        assert_eq!(a.dedup_hits, b.dedup_hits, "{label}: dedup_hits");
+        assert_eq!(a.viability_pruned, b.viability_pruned, "{label}: viability");
+        assert_eq!(a.cut_pruned, b.cut_pruned, "{label}: cut");
+        assert_eq!(
+            a.dead_write_pruned, b.dead_write_pruned,
+            "{label}: dead-write"
+        );
+        assert_eq!(
+            a.value_flow_pruned, b.value_flow_pruned,
+            "{label}: value-flow"
+        );
+        assert_eq!(a.states_kept, b.states_kept, "{label}: states_kept");
+        assert_eq!(a.interned_states, b.interned_states, "{label}: interned");
+        // The whole point of the narrowing: same states, half the key bytes.
+        assert!(
+            a.key_bytes * 2 <= b.key_bytes || b.key_bytes == 0,
+            "{label}: u64 key store ({} B) is not half the u128 store ({} B)",
+            a.key_bytes,
+            b.key_bytes
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "differential matrix is too slow under miri")]
+fn key_width_differential_matrix() {
+    let cells: &[(u8, IsaMode, u32)] = &[
+        (2, IsaMode::Cmov, 4),
+        (2, IsaMode::MinMax, 3),
+        (3, IsaMode::Cmov, 11),
+        (3, IsaMode::MinMax, 8),
+        (4, IsaMode::MinMax, 15),
+    ];
+    for &(n, mode, bound) in cells {
+        let machine = Machine::new(n, 1, mode);
+        for threads in [1usize, 4] {
+            assert_widths_agree(&machine, &format!("n{n} {mode:?}"), bound, threads);
+        }
+    }
+}
+
+/// Completes the matrix at the headline cell. Run by the CI `memory-smoke`
+/// job with `--release -- --include-ignored`.
+#[test]
+#[cfg_attr(miri, ignore = "differential matrix is too slow under miri")]
+#[ignore = "n4 cmov needs --release; CI runs it"]
+fn key_width_differential_n4_cmov() {
+    let machine = Machine::new(4, 1, IsaMode::Cmov);
+    for threads in [1usize, 4] {
+        let narrow = synthesize(
+            &SynthesisConfig::best(machine.clone())
+                .key_width(KeyWidth::U64)
+                .threads(threads),
+        );
+        let wide = synthesize(
+            &SynthesisConfig::best(machine.clone())
+                .key_width(KeyWidth::U128)
+                .threads(threads),
+        );
+        assert_eq!(narrow.found_len, Some(20), "u64 @ {threads}t");
+        assert_eq!(wide.found_len, Some(20), "u128 @ {threads}t");
+    }
+}
+
+/// Splitmix64: a tiny, deterministic PRNG so the fuzz corpus is reproducible
+/// without threading `rand` state through helpers.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One random canonical state for `machine`: a random-size set of random
+/// register assignments (values confined to the machine's nibble lanes,
+/// random flag bits), canonicalized by [`StateSet::from_assignments`].
+fn random_state(machine: &Machine, rng: &mut u64) -> StateSet {
+    let regs = machine.n() as u32 + machine.scratch() as u32;
+    let value_mask = (1u64 << (4 * regs)) - 1;
+    let flag_mask = 0b11 << 60;
+    let count = 1 + (splitmix(rng) as usize % 24);
+    let assigns = (0..count)
+        .map(|_| MachineState::from_bits(splitmix(rng) & (value_mask | flag_mask)))
+        .collect();
+    StateSet::from_assignments(assigns)
+}
+
+/// Feeds `states` random canonical states through the fold, asserting that
+/// equal narrowed keys only ever come from equal 128-bit keys *and* equal
+/// assignment sets. Checking each new state against everything already seen
+/// makes the pair count quadratic in distinct states — well past the 10M
+/// pair target at the `#[ignore]` scale.
+fn fuzz_fold(mode: IsaMode, states: u64, seed: u64) {
+    let machine = Machine::new(4, 1, mode);
+    let mut rng = seed;
+    let mut seen: HashMap<u64, (u128, StateSet)> = HashMap::with_capacity(states as usize);
+    for i in 0..states {
+        let state = random_state(&machine, &mut rng);
+        let key = state.key();
+        match seen.get(&narrow_key(key)) {
+            None => {
+                seen.insert(narrow_key(key), (key, state));
+            }
+            Some((prev_key, prev_state)) => {
+                assert_eq!(
+                    (*prev_key, prev_state.assignments()),
+                    (key, state.assignments()),
+                    "{mode:?}: 64-bit fold collision after {i} states \
+                     (fold {:#018x})",
+                    narrow_key(key)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn narrowed_keys_are_collision_free_quick() {
+    fuzz_fold(IsaMode::Cmov, 200_000, 0xC0FFEE);
+    fuzz_fold(IsaMode::MinMax, 200_000, 0xB00B1E5);
+}
+
+#[test]
+#[ignore = "10M+ states per ISA; CI memory-smoke runs it with --release"]
+fn narrowed_keys_are_collision_free_deep() {
+    fuzz_fold(IsaMode::Cmov, 12_000_000, 0xDEAD_BEEF);
+    fuzz_fold(IsaMode::MinMax, 12_000_000, 0xFACE_FEED);
+}
+
+proptest! {
+    /// Key equality is exactly assignment-set equality, at both widths: the
+    /// canonical key (and its fold) is a pure function of the canonical
+    /// assignment list, insensitive to input order and duplicates.
+    #[test]
+    fn key_is_a_pure_function_of_the_canonical_set(
+        bits in prop::collection::vec(0u64..(1 << 16), 1..12),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let assigns: Vec<MachineState> =
+            bits.iter().map(|&b| MachineState::from_bits(b)).collect();
+        let a = StateSet::from_assignments(assigns.clone());
+        // Same multiset, rotated order, plus a duplicated element.
+        let mut rotated = assigns.clone();
+        let pivot = (shuffle_seed as usize) % rotated.len();
+        rotated.rotate_left(pivot);
+        rotated.push(rotated[0]);
+        let b = StateSet::from_assignments(rotated);
+        prop_assert_eq!(a.assignments(), b.assignments());
+        prop_assert_eq!(a.key(), b.key());
+        prop_assert_eq!(narrow_key(a.key()), narrow_key(b.key()));
+    }
+
+    /// Distinct canonical sets get distinct keys and distinct folds across
+    /// the proptest corpus (a probabilistic injectivity check, shrunk to a
+    /// minimal witness on failure).
+    #[test]
+    fn distinct_sets_get_distinct_folds(
+        xs in prop::collection::vec(0u64..(1 << 16), 1..12),
+        ys in prop::collection::vec(0u64..(1 << 16), 1..12),
+    ) {
+        let a = StateSet::from_assignments(
+            xs.iter().map(|&b| MachineState::from_bits(b)).collect());
+        let b = StateSet::from_assignments(
+            ys.iter().map(|&b| MachineState::from_bits(b)).collect());
+        if a.assignments() != b.assignments() {
+            prop_assert_ne!(a.key(), b.key());
+            prop_assert_ne!(narrow_key(a.key()), narrow_key(b.key()));
+        } else {
+            prop_assert_eq!(a.key(), b.key());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The external-memory tier end to end: spill differentials, crash
+//! injection + journal resume, torn-segment detection, and the sizing
+//! table's zero-realloc contract.
+//!
+//! The spill tier ([`SynthesisConfig::mem_budget_bytes`]) must be invisible
+//! in the result: a budgeted run streams frontier spans and evicted closed
+//! entries through checksummed segments, yet lands on the same optimal cost
+//! as a fully resident run. A killed run must restart from its journal
+//! ([`SynthesisConfig::resume_from`]) and still land there; a corrupted
+//! segment must be rejected, never silently trusted.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use sortsynth_isa::{IsaMode, Machine};
+use sortsynth_search::{synthesize, try_synthesize, SynthesisConfig};
+
+/// Fresh per-test scratch directory (removed up front so reruns of a
+/// failed test never see stale segments).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssresume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The canonical budgeted configuration: sequential layered search with
+/// budget viability, the combination the spill tier serves.
+fn layered(machine: &Machine, bound: u32) -> SynthesisConfig {
+    SynthesisConfig::new(machine.clone())
+        .budget_viability(true)
+        .max_len(bound)
+}
+
+/// Runs `machine` fully resident and again under `budget` bytes, asserting
+/// the spill tier changed the memory story but not the answer.
+fn assert_spill_is_lossless(machine: &Machine, label: &str, bound: u32, budget: u64) {
+    let dir = scratch(&format!("diff-{label}"));
+    let resident = synthesize(&layered(machine, bound));
+    let spilled = synthesize(
+        &layered(machine, bound)
+            .mem_budget_bytes(budget)
+            .spill_dir(dir.clone()),
+    );
+    assert_eq!(
+        resident.found_len, spilled.found_len,
+        "{label}: spilling under {budget} B changed the optimal cost \
+         (resident {:?}, spilled {:?})",
+        resident.outcome, spilled.outcome
+    );
+    let stats = &spilled.stats;
+    assert!(stats.spilled_open > 0, "{label}: no frontier spans spilled");
+    assert!(
+        stats.spilled_bytes > 0,
+        "{label}: no bytes hit the segments"
+    );
+    assert!(stats.spill_segments > 0, "{label}: no segments created");
+    if let Some(prog) = spilled.first_program() {
+        sortsynth_verify::gate(machine, &prog)
+            .unwrap_or_else(|e| panic!("{label}: oracle rejected spilled kernel: {e:?}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "spill differential does real file I/O")]
+fn spilled_search_matches_resident_search() {
+    // Budgets sized to force the tier on partway through each search (the
+    // min/max space is far smaller, so its threshold sits lower); both ISAs
+    // so the span codec sees cmov flag bits and min/max flag-free states.
+    assert_spill_is_lossless(&Machine::new(3, 1, IsaMode::Cmov), "n3-cmov", 11, 64 << 10);
+    assert_spill_is_lossless(
+        &Machine::new(3, 1, IsaMode::MinMax),
+        "n3-minmax",
+        8,
+        4 << 10,
+    );
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "crash injection does real file I/O")]
+fn killed_run_resumes_from_journal_to_the_same_optimum() {
+    let machine = Machine::new(3, 1, IsaMode::Cmov);
+    let dir = scratch("resume");
+
+    // Reference run: the cost to recover, and the expansion count that
+    // places the injected crash mid-search (past several checkpoints,
+    // before the solution layer).
+    let reference = synthesize(&layered(&machine, 11));
+    assert_eq!(reference.found_len, Some(11));
+    let crash_at = reference.stats.expanded / 2;
+    assert!(crash_at > 0, "reference run expanded nothing");
+
+    // Killed run: the panic unwinds out of `synthesize`; the journal on
+    // disk was written at the start of the layer the crash landed in.
+    let killed = catch_unwind(AssertUnwindSafe(|| {
+        synthesize(
+            &layered(&machine, 11)
+                .mem_budget_bytes(64 << 10)
+                .spill_dir(dir.clone())
+                .panic_after(crash_at),
+        )
+    }));
+    assert!(killed.is_err(), "crash injection did not fire");
+
+    // Resumed run: same search fingerprint, journal directory as input.
+    let resumed = try_synthesize(&layered(&machine, 11).resume_from(dir.clone()))
+        .expect("journal resume failed");
+    assert_eq!(
+        resumed.found_len,
+        Some(11),
+        "resume lost the optimum ({:?})",
+        resumed.outcome
+    );
+    assert!(
+        resumed.stats.resumed_frontier_states > 0,
+        "resume restored an empty frontier"
+    );
+    let prog = resumed.first_program().expect("resumed run has a kernel");
+    sortsynth_verify::gate(&machine, &prog)
+        .unwrap_or_else(|e| panic!("oracle rejected resumed kernel: {e:?}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "corruption test does real file I/O")]
+fn torn_segment_byte_is_rejected_on_resume() {
+    let machine = Machine::new(3, 1, IsaMode::MinMax);
+    let dir = scratch("torn");
+
+    // A 1-byte budget spills every span from layer 0 on, so the journal
+    // written at each layer boundary references real segment bytes almost
+    // immediately; ten expansions is comfortably past the first boundary.
+    let killed = catch_unwind(AssertUnwindSafe(|| {
+        synthesize(
+            &layered(&machine, 8)
+                .mem_budget_bytes(1)
+                .spill_dir(dir.clone())
+                .panic_after(10),
+        )
+    }));
+    assert!(killed.is_err(), "crash injection did not fire");
+
+    // Flip one byte in the middle of every sealed segment: a torn tail or
+    // bit rot anywhere in the journal-referenced region must surface as a
+    // checksum failure, not be deserialized on faith.
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&dir).expect("spill dir readable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "seg") {
+            let mut bytes = std::fs::read(&path).expect("segment readable");
+            if bytes.is_empty() {
+                continue;
+            }
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&path, bytes).expect("segment writable");
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "killed run left no segments to corrupt");
+
+    let err = try_synthesize(&layered(&machine, 8).resume_from(dir.clone()))
+        .expect_err("resume accepted a corrupted segment");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("checksum"),
+        "corruption surfaced as something other than a checksum failure: {msg}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warm-up then rerun with a sizing table: the recorded row must pre-size
+/// the arena so the second run performs zero growth reallocations.
+fn assert_sized_rerun_never_reallocs(machine: &Machine, label: &str, bound: u32) {
+    let dir = scratch(&format!("sizing-{label}"));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("sizing.txt");
+    let cfg = layered(machine, bound).sizing_path(path);
+
+    let warm = synthesize(&cfg);
+    assert!(warm.found_len.is_some(), "{label}: warm-up found no kernel");
+
+    let sized = synthesize(&cfg);
+    assert_eq!(sized.found_len, warm.found_len, "{label}: rerun diverged");
+    assert_eq!(
+        sized.stats.arena_reallocs, 0,
+        "{label}: sizing table left {} arena reallocations on a warm rerun",
+        sized.stats.arena_reallocs
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "sizing table does real file I/O")]
+fn sizing_table_pins_warm_rerun_reallocs_to_zero() {
+    assert_sized_rerun_never_reallocs(&Machine::new(3, 1, IsaMode::Cmov), "n3-cmov", 11);
+}
+
+/// The headline-scale row. Run by the CI `memory-smoke` job with
+/// `--release -- --include-ignored`.
+#[test]
+#[cfg_attr(miri, ignore = "sizing table does real file I/O")]
+#[ignore = "n4 warm rerun needs --release; CI memory-smoke runs it"]
+fn sizing_table_pins_warm_rerun_reallocs_to_zero_n4() {
+    assert_sized_rerun_never_reallocs(&Machine::new(4, 1, IsaMode::MinMax), "n4-minmax", 15);
+}

@@ -318,6 +318,19 @@ pub struct ProgressReply {
     pub dead_write_pruned: u64,
     /// Successors skipped by the symbolic value-flow cut so far.
     pub value_flow_pruned: u64,
+    /// Open states whose spans were spilled to disk so far (0 unless the
+    /// search runs under a memory budget).
+    pub spilled_open: u64,
+    /// Closed-set entries evicted to disk segments so far.
+    pub spilled_closed: u64,
+    /// Duplicates caught by delayed duplicate detection so far.
+    pub ddd_dedup_hits: u64,
+    /// Frontier states restored from a resume journal (0 for fresh runs).
+    pub resumed_frontier_states: u64,
+    /// Estimated resident bytes of the search.
+    pub resident_bytes: u64,
+    /// Bytes written to spill segments so far.
+    pub spilled_bytes: u64,
     /// `true` on the stream's final frame.
     pub finished: bool,
     /// How the search ended (`Solved`, `Exhausted`, …); only on the final
@@ -341,6 +354,12 @@ impl ProgressReply {
             dedup_hits: p.dedup_hits,
             dead_write_pruned: p.dead_write_pruned,
             value_flow_pruned: p.value_flow_pruned,
+            spilled_open: p.spilled_open,
+            spilled_closed: p.spilled_closed,
+            ddd_dedup_hits: p.ddd_dedup_hits,
+            resumed_frontier_states: p.resumed_frontier_states,
+            resident_bytes: p.resident_bytes,
+            spilled_bytes: p.spilled_bytes,
             finished: p.finished,
             outcome: p.outcome.map(|o| format!("{o:?}")),
             shards: p
@@ -677,6 +696,15 @@ impl Serialize for Response {
                 ("dedup_hits", reply.dedup_hits.serialize()),
                 ("dead_write_pruned", reply.dead_write_pruned.serialize()),
                 ("value_flow_pruned", reply.value_flow_pruned.serialize()),
+                ("spilled_open", reply.spilled_open.serialize()),
+                ("spilled_closed", reply.spilled_closed.serialize()),
+                ("ddd_dedup_hits", reply.ddd_dedup_hits.serialize()),
+                (
+                    "resumed_frontier_states",
+                    reply.resumed_frontier_states.serialize(),
+                ),
+                ("resident_bytes", reply.resident_bytes.serialize()),
+                ("spilled_bytes", reply.spilled_bytes.serialize()),
                 ("finished", reply.finished.serialize()),
                 ("outcome", reply.outcome.serialize()),
                 ("shards", reply.shards.serialize()),
@@ -782,6 +810,32 @@ impl Deserialize for Response {
                 dedup_hits: u64::deserialize(value.required("dedup_hits")?)?,
                 dead_write_pruned: u64::deserialize(value.required("dead_write_pruned")?)?,
                 value_flow_pruned: u64::deserialize(value.required("value_flow_pruned")?)?,
+                // Spill fields are optional on the wire: an older peer's
+                // frames decode with zeros.
+                spilled_open: match value.get("spilled_open") {
+                    None => 0,
+                    Some(v) => u64::deserialize(v)?,
+                },
+                spilled_closed: match value.get("spilled_closed") {
+                    None => 0,
+                    Some(v) => u64::deserialize(v)?,
+                },
+                ddd_dedup_hits: match value.get("ddd_dedup_hits") {
+                    None => 0,
+                    Some(v) => u64::deserialize(v)?,
+                },
+                resumed_frontier_states: match value.get("resumed_frontier_states") {
+                    None => 0,
+                    Some(v) => u64::deserialize(v)?,
+                },
+                resident_bytes: match value.get("resident_bytes") {
+                    None => 0,
+                    Some(v) => u64::deserialize(v)?,
+                },
+                spilled_bytes: match value.get("spilled_bytes") {
+                    None => 0,
+                    Some(v) => u64::deserialize(v)?,
+                },
                 finished: bool::deserialize(value.required("finished")?)?,
                 outcome: Option::<String>::deserialize(value.required("outcome")?)?,
                 shards: Vec::<ShardReply>::deserialize(value.required("shards")?)?,
@@ -955,6 +1009,12 @@ mod tests {
                 dedup_hits: 14_000,
                 dead_write_pruned: 500,
                 value_flow_pruned: 300,
+                spilled_open: 2000,
+                spilled_closed: 1500,
+                ddd_dedup_hits: 77,
+                resumed_frontier_states: 12,
+                resident_bytes: 3 << 20,
+                spilled_bytes: 5 << 20,
                 finished: false,
                 outcome: None,
                 shards: vec![

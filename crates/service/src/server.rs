@@ -97,6 +97,12 @@ pub struct ServiceConfig {
     /// recorder's segment rotation), readable post-mortem with
     /// `sortsynth inspect`. Enabled by `sortsynth serve --record-dir`.
     pub record_dir: Option<PathBuf>,
+    /// Memory budget applied to every engine-route search. When the
+    /// resident estimate crosses it, cold open-list buckets and closed-set
+    /// segments spill to disk instead of growing the heap (sequential
+    /// engine only — the spill tier is bypassed when `search_threads != 1`).
+    /// Enabled by `sortsynth serve --search-mem-limit`.
+    pub search_mem_limit: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -112,6 +118,7 @@ impl Default for ServiceConfig {
             self_report: None,
             portfolio: None,
             record_dir: None,
+            search_mem_limit: None,
         }
     }
 }
@@ -164,6 +171,12 @@ struct Shared {
     record_dir: Option<PathBuf>,
     /// Distinguishes recordings of repeated identical queries.
     recording_seq: AtomicU64,
+    /// Memory budget for engine-route searches
+    /// (`ServiceConfig::search_mem_limit`).
+    search_mem_limit: Option<u64>,
+    /// Arena sizing table, persisted next to the durable cache so repeated
+    /// shapes pre-size their arenas; memory-only servers size from scratch.
+    sizing_path: Option<PathBuf>,
 }
 
 impl Shared {
@@ -294,6 +307,8 @@ impl Server {
             watch: Arc::new(WatchHub::new()),
             record_dir: config.record_dir.clone(),
             recording_seq: AtomicU64::new(0),
+            search_mem_limit: config.search_mem_limit,
+            sizing_path: config.cache_dir.as_ref().map(|dir| dir.join("sizing.txt")),
         });
         let mut workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
@@ -916,6 +931,8 @@ fn run_search(
     if let Some(deadline) = deadline {
         cfg.budget = SearchBudget::with_deadline(deadline);
     }
+    cfg.mem_budget_bytes = shared.search_mem_limit;
+    cfg.sizing_path = shared.sizing_path.clone();
     // Every engine search is observable: register the flight so watchers
     // can attach, and (when configured) leave a flight recording on disk.
     // The engine's guaranteed final snapshot publishes the `finished`
